@@ -1,0 +1,79 @@
+//! E4 — Section 7.4: the cost of verifying the implicit structural
+//! conformance rules.
+//!
+//! Paper: ≈ 12.66 ms per 1000 verifications (~12.7 µs/check) on "very
+//! simple types", called "in some sense, a lower bound". We measure the
+//! uncached check (the paper's number), the cached re-check (our D5
+//! optimization), and the scaling with member count.
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pti_bench::conformance_fixture;
+use pti_conformance::{ConformanceChecker, ConformanceConfig};
+use pti_core::samples;
+use pti_metamodel::{TypeDescription, TypeRegistry};
+use std::hint::black_box;
+
+fn bench_conformance(c: &mut Criterion) {
+    let mut group = c.benchmark_group("conformance");
+
+    let f = conformance_fixture();
+    group.bench_function("uncached Person check (paper §7.4)", |b| {
+        let checker = ConformanceChecker::uncached(ConformanceConfig::pragmatic());
+        b.iter(|| {
+            black_box(checker.check(
+                black_box(&f.received),
+                black_box(&f.expected),
+                &f.registry,
+                &f.registry,
+            ))
+        })
+    });
+
+    group.bench_function("cached Person re-check (D5)", |b| {
+        let checker = ConformanceChecker::new(ConformanceConfig::pragmatic());
+        // Warm the cache once.
+        let _ = checker.check(&f.received, &f.expected, &f.registry, &f.registry);
+        b.iter(|| {
+            black_box(checker.check(
+                black_box(&f.received),
+                black_box(&f.expected),
+                &f.registry,
+                &f.registry,
+            ))
+        })
+    });
+
+    group.bench_function("uncached non-conformant rejection", |b| {
+        let checker = ConformanceChecker::uncached(ConformanceConfig::pragmatic());
+        let mut reg = TypeRegistry::with_builtins();
+        let alien = pti_metamodel::TypeDef::class("Alien", "x").build();
+        reg.register(alien.clone()).unwrap();
+        let alien_desc = TypeDescription::from_def(&alien);
+        b.iter(|| {
+            black_box(checker.check(
+                black_box(&alien_desc),
+                black_box(&f.expected),
+                &reg,
+                &reg,
+            ))
+        })
+    });
+
+    // Scaling with structure: the generated SensorReading pair.
+    let interest = samples::sensor_interest("t");
+    let variant = &samples::generate_population(9, 1, 1.0)[0];
+    let mut reg = TypeRegistry::with_builtins();
+    reg.register(interest.clone()).unwrap();
+    reg.register(variant.def.clone()).unwrap();
+    let idesc = TypeDescription::from_def(&interest);
+    let vdesc = TypeDescription::from_def(&variant.def);
+    group.bench_function("uncached SensorReading check (permuted args)", |b| {
+        let checker = ConformanceChecker::uncached(ConformanceConfig::pragmatic());
+        b.iter(|| black_box(checker.check(black_box(&vdesc), black_box(&idesc), &reg, &reg)))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_conformance);
+criterion_main!(benches);

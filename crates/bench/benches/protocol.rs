@@ -1,0 +1,36 @@
+//! F1 — Figure 1: the optimistic transport protocol vs the eager
+//! ship-everything baseline.
+//!
+//! The paper claims the protocol "saves network resources" by sending
+//! type descriptions and code only when needed. This bench measures
+//! wall-clock protocol-engine time for representative workloads; the
+//! byte-level comparison (the primary result) is produced by the
+//! `experiments` harness (rows F1-*), since bytes are deterministic and
+//! not a timing quantity.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use pti_bench::run_protocol;
+use std::hint::black_box;
+
+fn bench_protocol(c: &mut Criterion) {
+    let mut group = c.benchmark_group("protocol");
+    group.sample_size(20);
+
+    for ratio in [0.0, 0.5, 1.0] {
+        group.bench_with_input(
+            BenchmarkId::new("optimistic 20 objects, conforming", format!("{ratio}")),
+            &ratio,
+            |b, &r| b.iter(|| black_box(run_protocol(false, 20, r, 5, 42))),
+        );
+        group.bench_with_input(
+            BenchmarkId::new("eager 20 objects, conforming", format!("{ratio}")),
+            &ratio,
+            |b, &r| b.iter(|| black_box(run_protocol(true, 20, r, 5, 42))),
+        );
+    }
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_protocol);
+criterion_main!(benches);

@@ -1,0 +1,63 @@
+//! F3 — Figure 3 + the paper's "indirect evaluation" of the XML / SOAP /
+//! binary serialization mechanisms.
+//!
+//! Times the three formats on the same objects; the size comparison
+//! (bytes per format, envelope overhead) is produced by the `experiments`
+//! harness (rows F3-*).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use pti_bench::serialization_fixture;
+use pti_metamodel::TypeDescription;
+use pti_serialize::{description_to_string, to_binary, to_soap_string, ObjectEnvelope, Payload};
+use std::hint::black_box;
+
+fn bench_serializers(c: &mut Criterion) {
+    let mut group = c.benchmark_group("serializers");
+
+    // XML: the type-description path.
+    let def = pti_core::samples::person_vendor_a();
+    group.bench_function("xml: Person type description", |b| {
+        b.iter(|| {
+            let d = TypeDescription::from_def(black_box(&def));
+            black_box(description_to_string(&d))
+        })
+    });
+
+    // SOAP and binary: the object payload paths.
+    let f = serialization_fixture();
+    group.bench_function("soap: Person object", |b| {
+        b.iter(|| black_box(to_soap_string(&f.runtime, &f.person).unwrap()))
+    });
+    group.bench_function("binary: Person object", |b| {
+        b.iter(|| black_box(to_binary(&f.runtime, &f.person).unwrap()))
+    });
+
+    // The full hybrid envelope of Figure 3 (XML + embedded payload).
+    let f = serialization_fixture();
+    group.bench_function("hybrid envelope: build + render (binary payload)", |b| {
+        b.iter(|| {
+            let env = ObjectEnvelope {
+                type_name: "Person".into(),
+                type_guid: def.guid,
+                assemblies: vec![],
+                payload: Payload::Binary(to_binary(&f.runtime, &f.person).unwrap()),
+            };
+            black_box(env.to_string_compact())
+        })
+    });
+    let env = ObjectEnvelope {
+        type_name: "Person".into(),
+        type_guid: def.guid,
+        assemblies: vec![],
+        payload: Payload::Binary(to_binary(&f.runtime, &f.person).unwrap()),
+    };
+    let wire = env.to_string_compact();
+    group.bench_function("hybrid envelope: parse (binary payload)", |b| {
+        b.iter(|| black_box(ObjectEnvelope::from_string(black_box(&wire)).unwrap()))
+    });
+
+    group.finish();
+}
+
+criterion_group!(benches, bench_serializers);
+criterion_main!(benches);

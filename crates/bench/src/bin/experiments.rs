@@ -1,0 +1,561 @@
+//! The experiments harness: regenerates every table/figure of the
+//! paper's evaluation (Section 7) plus the protocol and ablation
+//! experiments indexed in DESIGN.md, printing paper-style rows and a
+//! machine-readable JSON dump (`experiments.json` in the working
+//! directory).
+//!
+//! Run with: `cargo run --release -p pti-bench --bin experiments`
+
+use std::time::Instant;
+
+use pti_bench::{
+    conformance_fixture, invocation_fixture, run_protocol, serialization_fixture,
+};
+use pti_conformance::{ConformanceChecker, ConformanceConfig, NameMatcher};
+use pti_core::prelude::*;
+use pti_core::samples;
+use pti_proxy::invoke_direct;
+use pti_serialize::{
+    description_from_string, description_to_string, from_binary, from_soap_string, to_binary,
+    to_soap_string,
+};
+use serde::Serialize;
+
+#[derive(Serialize)]
+struct Row {
+    id: String,
+    name: String,
+    paper: String,
+    measured: String,
+    shape_holds: bool,
+}
+
+struct Report {
+    rows: Vec<Row>,
+}
+
+impl Report {
+    fn push(&mut self, id: &str, name: &str, paper: &str, measured: String, holds: bool) {
+        println!(
+            "  [{}] {:<52} paper: {:<28} measured: {:<34} {}",
+            id,
+            name,
+            paper,
+            measured,
+            if holds { "OK" } else { "SHAPE MISMATCH" }
+        );
+        self.rows.push(Row {
+            id: id.to_string(),
+            name: name.to_string(),
+            paper: paper.to_string(),
+            measured,
+            shape_holds: holds,
+        });
+    }
+}
+
+/// Microseconds per operation over `reps` timed repetitions of `per_rep`
+/// operations each (the paper's "100 repetitions of N operations" shape).
+fn time_us_per_op(reps: usize, per_rep: usize, mut f: impl FnMut()) -> f64 {
+    // Warmup.
+    for _ in 0..per_rep.min(1000) {
+        f();
+    }
+    let start = Instant::now();
+    for _ in 0..reps {
+        for _ in 0..per_rep {
+            f();
+        }
+    }
+    start.elapsed().as_secs_f64() * 1e6 / (reps * per_rep) as f64
+}
+
+fn e1_invocation(report: &mut Report) {
+    println!("\nE1  §7.1 — invocation time (direct vs dynamic proxy)");
+    // "Direct" in the paper is a compiled call; the analogue here is a
+    // method body bound once and called repeatedly.
+    let mut f = invocation_fixture();
+    let bound = std::sync::Arc::clone(&f.bound_get);
+    let recv = Value::Obj(f.handle);
+    let direct_us = time_us_per_op(100, 10_000, || {
+        let _ = bound(&mut f.runtime, recv.clone(), &[]).unwrap();
+    });
+    // Per-call dynamic dispatch through the runtime (what .NET's DII-ish
+    // late binding would cost) — an intermediate point.
+    let mut f = invocation_fixture();
+    let dispatch_us = time_us_per_op(100, 10_000, || {
+        let _ = invoke_direct(&mut f.runtime, f.handle, "getPersonName", &[]).unwrap();
+    });
+    let mut f = invocation_fixture();
+    let proxy_us = time_us_per_op(100, 10_000, || {
+        let _ = f.proxy.invoke(&mut f.runtime, "getName", &[]).unwrap();
+    });
+    let ratio = proxy_us / direct_us;
+    report.push(
+        "E1",
+        "direct invocation (bound call site)",
+        "0.142 µs",
+        format!("{direct_us:.3} µs"),
+        true,
+    );
+    report.push(
+        "E1",
+        "runtime dynamic dispatch (unproxied)",
+        "— (substrate detail)",
+        format!("{dispatch_us:.3} µs"),
+        true,
+    );
+    report.push(
+        "E1",
+        "dynamic-proxy invocation",
+        "30 µs (~211x direct)",
+        format!("{proxy_us:.3} µs ({ratio:.1}x direct)"),
+        ratio > 1.5 && proxy_us > dispatch_us,
+    );
+}
+
+fn e2_typedesc(report: &mut Report) {
+    println!("\nE2  §7.2 — type description create+serialize / deserialize");
+    let def = samples::person_vendor_a();
+    let ser_us = time_us_per_op(100, 1000, || {
+        let d = TypeDescription::from_def(&def);
+        let _ = description_to_string(&d);
+    });
+    let xml = description_to_string(&TypeDescription::from_def(&def));
+    let de_us = time_us_per_op(100, 1000, || {
+        let _ = description_from_string(&xml).unwrap();
+    });
+    report.push(
+        "E2",
+        "create+serialize Person description",
+        "6.14 µs/op",
+        format!("{ser_us:.3} µs/op"),
+        true,
+    );
+    report.push(
+        "E2",
+        "deserialize Person description",
+        "2.34 µs/op (serialize > deserialize)",
+        format!(
+            "{de_us:.3} µs/op (ratio ser/de = {:.2})",
+            ser_us / de_us
+        ),
+        ser_us > de_us,
+    );
+}
+
+fn e3_object_serde(report: &mut Report) {
+    println!("\nE3  §7.3 — object (SOAP) serialize / deserialize");
+    let f = serialization_fixture();
+    let ser_us = time_us_per_op(100, 1000, || {
+        let _ = to_soap_string(&f.runtime, &f.person).unwrap();
+    });
+    let mut f = serialization_fixture();
+    let soap = to_soap_string(&f.runtime, &f.person).unwrap();
+    let de_us = time_us_per_op(100, 1000, || {
+        // Steady state: release the materialized object after use.
+        let v = from_soap_string(&mut f.runtime, &soap).unwrap();
+        if let Ok(h) = v.as_obj() {
+            let _ = f.runtime.heap.free(h);
+        }
+    });
+    report.push(
+        "E3",
+        "SOAP serialize Person instance",
+        "16.68 µs/op",
+        format!("{ser_us:.3} µs/op"),
+        true,
+    );
+    report.push(
+        "E3",
+        "SOAP deserialize Person instance",
+        "1.32 µs/op (serialize >> deserialize)",
+        format!("{de_us:.3} µs/op (ratio ser/de = {:.2})", ser_us / de_us),
+        ser_us > de_us,
+    );
+    // Binary comparison (the paper's alternative formatter).
+    let f = serialization_fixture();
+    let bser_us = time_us_per_op(100, 1000, || {
+        let _ = to_binary(&f.runtime, &f.person).unwrap();
+    });
+    let mut f = serialization_fixture();
+    let bin = to_binary(&f.runtime, &f.person).unwrap();
+    let bde_us = time_us_per_op(100, 1000, || {
+        let v = from_binary(&mut f.runtime, &bin).unwrap();
+        if let Ok(h) = v.as_obj() {
+            let _ = f.runtime.heap.free(h);
+        }
+    });
+    report.push(
+        "E3",
+        "binary serialize/deserialize Person",
+        "binary faster than SOAP",
+        format!("{bser_us:.3} / {bde_us:.3} µs/op"),
+        bser_us < ser_us,
+    );
+}
+
+fn e4_conformance(report: &mut Report) {
+    println!("\nE4  §7.4 — implicit structural conformance check");
+    let f = conformance_fixture();
+    let checker = ConformanceChecker::uncached(ConformanceConfig::pragmatic());
+    let us = time_us_per_op(100, 1000, || {
+        let _ = checker.check(&f.received, &f.expected, &f.registry, &f.registry);
+    });
+    report.push(
+        "E4",
+        "conformance check (simple Person types)",
+        "12.66 µs/check (a lower bound)",
+        format!("{us:.3} µs/check"),
+        true,
+    );
+    let cached = ConformanceChecker::new(ConformanceConfig::pragmatic());
+    let _ = cached.check(&f.received, &f.expected, &f.registry, &f.registry);
+    let cus = time_us_per_op(100, 1000, || {
+        let _ = cached.check(&f.received, &f.expected, &f.registry, &f.registry);
+    });
+    report.push(
+        "E4",
+        "conformance re-check (GUID-pair cache, D5)",
+        "— (our addition)",
+        format!("{cus:.3} µs/check ({:.0}x faster)", us / cus),
+        cus < us,
+    );
+}
+
+fn f1_protocol(report: &mut Report) {
+    println!("\nF1  Figure 1 — optimistic protocol vs eager baseline (bytes, virtual time)");
+    for (label, objects, ratio, types) in [
+        ("hot path: 50 objects of 1 known type", 50usize, 1.0f64, 1usize),
+        ("mixed: 50 objects, 10 types, 50% conforming", 50, 0.5, 10),
+        ("hostile: 50 objects, 10 types, none conforming", 50, 0.0, 10),
+    ] {
+        let opt = run_protocol(false, objects, ratio, types, 42);
+        let eag = run_protocol(true, objects, ratio, types, 42);
+        let saving = 100.0 * (1.0 - opt.bytes as f64 / eag.bytes as f64);
+        report.push(
+            "F1",
+            label,
+            "optimistic saves network resources",
+            format!(
+                "opt {} B vs eager {} B ({saving:.0}% saved); accepted {}/{}",
+                opt.bytes,
+                eag.bytes,
+                opt.accepted,
+                opt.accepted + opt.rejected
+            ),
+            opt.bytes < eag.bytes,
+        );
+    }
+    // Cold start: a single novel type — the round trips cost latency.
+    let opt = run_protocol(false, 1, 1.0, 1, 7);
+    let eag = run_protocol(true, 1, 1.0, 1, 7);
+    report.push(
+        "F1",
+        "cold start: 1 novel conformant object",
+        "optimism costs round trips once",
+        format!(
+            "opt {} µs / {} msgs vs eager {} µs / {} msgs",
+            opt.virtual_us, opt.messages, eag.virtual_us, eag.messages
+        ),
+        opt.messages > eag.messages,
+    );
+}
+
+fn f3_serializers(report: &mut Report) {
+    println!("\nF3  Figure 3 — hybrid envelope & serializer comparison (XML/SOAP/binary)");
+    let f = serialization_fixture();
+    let desc_xml = description_to_string(&f.description);
+    let soap = to_soap_string(&f.runtime, &f.person).unwrap();
+    let bin = to_binary(&f.runtime, &f.person).unwrap();
+    report.push(
+        "F3",
+        "XML type description size",
+        "small, human readable",
+        format!("{} B", desc_xml.len()),
+        true,
+    );
+    report.push(
+        "F3",
+        "SOAP vs binary payload size (Person)",
+        "SOAP verbose, binary compact",
+        format!("soap {} B vs binary {} B", soap.len(), bin.len()),
+        bin.len() < soap.len(),
+    );
+    let nested_soap = to_soap_string(&f.runtime, &f.nested).unwrap();
+    let nested_bin = to_binary(&f.runtime, &f.nested).unwrap();
+    report.push(
+        "F3",
+        "SOAP vs binary payload size (nested A+B)",
+        "gap grows with structure",
+        format!("soap {} B vs binary {} B", nested_soap.len(), nested_bin.len()),
+        nested_bin.len() < nested_soap.len(),
+    );
+    // Envelope overhead on top of the raw payload.
+    let mut swarm = Swarm::new(NetConfig::default());
+    let p = swarm.add_peer(ConformanceConfig::pragmatic());
+    swarm
+        .publish(p, samples::person_assembly(&samples::person_vendor_a()))
+        .unwrap();
+    let v = samples::make_person(&mut swarm.peer_mut(p).runtime, "benchmark subject");
+    let env = swarm.peer(p).make_envelope(&v, PayloadFormat::Binary).unwrap();
+    // The envelope adds a fixed metadata block (type id, download paths,
+    // base64 framing) on top of the payload — an additive, bounded cost,
+    // not a multiplicative one.
+    let metadata = env.wire_size().saturating_sub(bin.len());
+    report.push(
+        "F3",
+        "hybrid envelope metadata on top of raw binary",
+        "bounded metadata cost",
+        format!(
+            "{} B total for {} B payload (+{metadata} B metadata)",
+            env.wire_size(),
+            bin.len()
+        ),
+        metadata < 1024,
+    );
+}
+
+fn a1_name_matchers(report: &mut Report) {
+    println!("\nA1  ablation D1 — name matcher strictness vs match rate & cost");
+    let variants = samples::generate_population(3, 200, 0.5);
+    let interest = samples::sensor_interest("interest");
+    let mut reg = TypeRegistry::with_builtins();
+    reg.register(interest.clone()).unwrap();
+    for v in &variants {
+        let _ = reg.register(v.def.clone());
+    }
+    let idesc = TypeDescription::from_def(&interest);
+    for (label, cfg) in [
+        ("exact (paper)", ConformanceConfig::paper()),
+        ("levenshtein<=3", ConformanceConfig::paper().with_member_names(NameMatcher::Levenshtein(3))),
+        ("token-subsequence (pragmatic)", ConformanceConfig::pragmatic()),
+        ("wildcard members", ConformanceConfig::paper().with_member_names(NameMatcher::Wildcard)),
+    ] {
+        let checker = ConformanceChecker::uncached(cfg);
+        let start = Instant::now();
+        let matched = variants
+            .iter()
+            .filter(|v| {
+                checker.conforms(&TypeDescription::from_def(&v.def), &idesc, &reg, &reg)
+            })
+            .count();
+        let us = start.elapsed().as_secs_f64() * 1e6 / variants.len() as f64;
+        report.push(
+            "A1",
+            &format!("matcher {label}"),
+            "stricter ⇒ fewer matches",
+            format!("{matched}/200 matched, {us:.2} µs/check"),
+            true,
+        );
+    }
+}
+
+fn a2_variance(report: &mut Report) {
+    println!("\nA2  ablation D2 — argument variance (paper covariant vs strict)");
+    use pti_metamodel::{ParamDef, TypeDef};
+    // Generate method pairs with sub/supertyped arguments.
+    let wide = TypeDef::class("Payload", "w").field("len", pti_metamodel::primitives::INT32).build();
+    let narrow = TypeDef::class("Packet", "n")
+        .field("len", pti_metamodel::primitives::INT32)
+        .field("crc", pti_metamodel::primitives::INT32)
+        .build();
+    let want = TypeDef::class("Chan", "t")
+        .method("push", vec![ParamDef::new("p", "Payload")], pti_metamodel::primitives::VOID)
+        .build();
+    let have_narrow = TypeDef::class("Chan", "s1")
+        .method("push", vec![ParamDef::new("p", "Packet")], pti_metamodel::primitives::VOID)
+        .build();
+    let have_same = TypeDef::class("Chan", "s2")
+        .method("push", vec![ParamDef::new("p", "Payload")], pti_metamodel::primitives::VOID)
+        .build();
+    let mut reg = TypeRegistry::with_builtins();
+    for d in [&wide, &narrow, &want, &have_narrow, &have_same] {
+        reg.register(d.clone()).unwrap();
+    }
+    let relaxed = ConformanceConfig::paper().with_type_names(NameMatcher::Levenshtein(7));
+    let cov = ConformanceChecker::uncached(relaxed.clone());
+    let strict = ConformanceChecker::uncached(relaxed.with_variance(pti_conformance::Variance::Strict));
+    let wd = TypeDescription::from_def(&want);
+    let narrow_ok_cov = cov.conforms(&TypeDescription::from_def(&have_narrow), &wd, &reg, &reg);
+    let narrow_ok_strict =
+        strict.conforms(&TypeDescription::from_def(&have_narrow), &wd, &reg, &reg);
+    let same_ok_strict = strict.conforms(&TypeDescription::from_def(&have_same), &wd, &reg, &reg);
+    report.push(
+        "A2",
+        "narrowed argument accepted?",
+        "covariant yes / strict no",
+        format!("covariant {narrow_ok_cov}, strict {narrow_ok_strict}"),
+        narrow_ok_cov && !narrow_ok_strict,
+    );
+    report.push(
+        "A2",
+        "identical argument accepted under strict",
+        "yes",
+        format!("{same_ok_strict}"),
+        same_ok_strict,
+    );
+}
+
+fn a3_cache(report: &mut Report) {
+    println!("\nA3  ablation D5 — conformance verdict caching");
+    let f = conformance_fixture();
+    let uncached = ConformanceChecker::uncached(ConformanceConfig::pragmatic());
+    let u_us = time_us_per_op(50, 1000, || {
+        let _ = uncached.check(&f.received, &f.expected, &f.registry, &f.registry);
+    });
+    let cached = ConformanceChecker::new(ConformanceConfig::pragmatic());
+    let c_us = time_us_per_op(50, 1000, || {
+        let _ = cached.check(&f.received, &f.expected, &f.registry, &f.registry);
+    });
+    let stats = cached.stats();
+    report.push(
+        "A3",
+        "uncached vs cached repeat checks",
+        "cache ⇒ O(1) repeats",
+        format!(
+            "{u_us:.3} vs {c_us:.3} µs/check ({:.0}x); {} hits / {} misses",
+            u_us / c_us,
+            stats.hits,
+            stats.misses
+        ),
+        c_us < u_us,
+    );
+    // Recursive types require the coinductive hypothesis either way.
+    let pa = TypeDef::class("Node", "a").field("next", "Node").build();
+    let pb = TypeDef::class("Node", "b").field("next", "Node").build();
+    let mut ra = TypeRegistry::with_builtins();
+    ra.register(pa.clone()).unwrap();
+    let mut rb = TypeRegistry::with_builtins();
+    rb.register(pb.clone()).unwrap();
+    let rec_ok = uncached.conforms(
+        &TypeDescription::from_def(&pb),
+        &TypeDescription::from_def(&pa),
+        &rb,
+        &ra,
+    );
+    report.push(
+        "A3",
+        "recursive type pair terminates & conforms",
+        "coinductive treatment",
+        format!("{rec_ok}"),
+        rec_ok,
+    );
+}
+
+fn a4_behavioral(report: &mut Report) {
+    println!("\nA4  extension §4.1 — implicit behavioral conformance (strong conformance)");
+    use pti_conformance::BehavioralTester;
+    use pti_metamodel::bodies;
+    use std::sync::Arc;
+
+    let expected = TypeDef::class("Adder", "vendor-a")
+        .field("acc", primitives::INT64)
+        .method("add", vec![ParamDef::new("x", primitives::INT64)], primitives::INT64)
+        .method("total", vec![], primitives::INT64)
+        .ctor(vec![])
+        .build();
+    let make_received = |salt: &str, sign: i64| {
+        let def = TypeDef::class("Adder", salt)
+            .field("acc", primitives::INT64)
+            .method("addValue", vec![ParamDef::new("x", primitives::INT64)], primitives::INT64)
+            .method("totalValue", vec![], primitives::INT64)
+            .ctor(vec![])
+            .build();
+        let g = def.guid;
+        let asm = Assembly::builder(format!("adder-{salt}"))
+            .ty(def.clone())
+            .body(
+                g,
+                "addValue",
+                1,
+                Arc::new(move |rt: &mut Runtime, recv: Value, args: &[Value]| {
+                    let h = recv.as_obj()?;
+                    let acc = rt.get_field(h, "acc")?.as_i64()? + sign * args[0].as_i64()?;
+                    rt.set_field(h, "acc", Value::I64(acc))?;
+                    Ok(Value::I64(acc))
+                }),
+            )
+            .body(g, "totalValue", 0, bodies::getter("acc"))
+            .ctor_body(g, 0, bodies::ctor_assign(&[]))
+            .build();
+        (def, asm)
+    };
+    let eg = expected.guid;
+    let exp_asm = Assembly::builder("adder-a")
+        .ty(expected.clone())
+        .body(
+            eg,
+            "add",
+            1,
+            Arc::new(|rt: &mut Runtime, recv: Value, args: &[Value]| {
+                let h = recv.as_obj()?;
+                let acc = rt.get_field(h, "acc")?.as_i64()? + args[0].as_i64()?;
+                rt.set_field(h, "acc", Value::I64(acc))?;
+                Ok(Value::I64(acc))
+            }),
+        )
+        .body(eg, "total", 0, bodies::getter("acc"))
+        .ctor_body(eg, 0, bodies::ctor_assign(&[]))
+        .build();
+
+    for (label, sign, expect_pass) in
+        [("faithful re-implementation", 1i64, true), ("structurally-identical impostor", -1, false)]
+    {
+        let (received, asm) = make_received(&format!("vendor-{sign}"), sign);
+        let mut rt = Runtime::new();
+        exp_asm.install(&mut rt).unwrap();
+        asm.install(&mut rt).unwrap();
+        let checker = ConformanceChecker::new(ConformanceConfig::pragmatic());
+        let conf = checker
+            .check(
+                &TypeDescription::from_def(&received),
+                &TypeDescription::from_def(&expected),
+                &rt.registry,
+                &rt.registry,
+            )
+            .expect("structural pass");
+        let binding = conf.binding(&TypeDescription::from_def(&expected));
+        let start = Instant::now();
+        let behav = BehavioralTester::default()
+            .test(&mut rt, &received, &expected, &binding)
+            .unwrap();
+        let ms = start.elapsed().as_secs_f64() * 1e3;
+        report.push(
+            "A4",
+            &format!("strong conformance: {label}"),
+            "behavioral check separates them",
+            format!(
+                "structural pass + behavioral {} ({} probes, {:.2} ms)",
+                if behav.conformant() { "pass" } else { "FAIL" },
+                behav.methods.iter().map(|m| m.probes).sum::<usize>() + behav.sequence_steps,
+                ms
+            ),
+            behav.conformant() == expect_pass,
+        );
+    }
+}
+
+fn main() {
+    println!("Pragmatic Type Interoperability — experiment harness");
+    println!("(paper numbers are 2002 hardware + .NET; ours are this machine + the Rust substrate;");
+    println!(" per DESIGN.md only the *shapes* — orderings, ratios, savings — are expected to hold)");
+
+    let mut report = Report { rows: Vec::new() };
+    e1_invocation(&mut report);
+    e2_typedesc(&mut report);
+    e3_object_serde(&mut report);
+    e4_conformance(&mut report);
+    f1_protocol(&mut report);
+    f3_serializers(&mut report);
+    a1_name_matchers(&mut report);
+    a2_variance(&mut report);
+    a3_cache(&mut report);
+    a4_behavioral(&mut report);
+
+    let holds = report.rows.iter().filter(|r| r.shape_holds).count();
+    println!("\n{}/{} rows hold the paper's shape", holds, report.rows.len());
+    let json = serde_json::to_string_pretty(&report.rows).expect("serializable");
+    std::fs::write("experiments.json", json).expect("writable cwd");
+    println!("wrote experiments.json");
+}

@@ -1,0 +1,212 @@
+//! Conformance bindings: the witness a successful check produces.
+//!
+//! When `T'` implicitly structurally conforms to `T`, a dynamic proxy must
+//! translate every invocation phrased against `T` into one against `T'`:
+//! possibly under a different method name and with permuted arguments.
+//! A [`ConformanceBinding`] records exactly that translation — it is the
+//! contract between the checker and `pti-proxy`.
+
+use pti_metamodel::TypeDescription;
+
+/// How one expected method maps onto a received type's method.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MethodBinding {
+    /// Method name as declared on the *expected* type `T`.
+    pub expected_name: String,
+    /// Method name to actually invoke on the received object of `T'`.
+    pub actual_name: String,
+    /// Argument permutation: `perm[i]` is the position in the *actual*
+    /// call of the caller's `i`-th argument. Identity when no reordering
+    /// is needed.
+    pub perm: Vec<usize>,
+}
+
+impl MethodBinding {
+    /// Reorders caller arguments into the actual call order.
+    ///
+    /// # Panics
+    /// If `args.len() != self.perm.len()` — callers are validated against
+    /// the expected signature before dispatch.
+    pub fn reorder<V: Clone>(&self, args: &[V]) -> Vec<V> {
+        assert_eq!(args.len(), self.perm.len(), "arity mismatch in binding");
+        let mut out: Vec<Option<V>> = vec![None; args.len()];
+        for (caller_pos, &actual_pos) in self.perm.iter().enumerate() {
+            out[actual_pos] = Some(args[caller_pos].clone());
+        }
+        out.into_iter().map(|v| v.expect("perm is a permutation")).collect()
+    }
+
+    /// Whether this binding is an identity mapping (same name, no
+    /// reordering).
+    pub fn is_identity(&self) -> bool {
+        self.expected_name == self.actual_name && self.perm.iter().enumerate().all(|(i, &p)| i == p)
+    }
+}
+
+/// How one expected field maps onto a received type's field.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct FieldBinding {
+    /// Field name on the expected type.
+    pub expected_name: String,
+    /// Field name on the received type.
+    pub actual_name: String,
+}
+
+/// How one expected constructor maps onto a received type's constructor.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CtorBinding {
+    /// Arity of the constructor (constructors are identified by arity).
+    pub arity: usize,
+    /// Index of the bound constructor on the received type.
+    pub actual_index: usize,
+    /// Argument permutation, as in [`MethodBinding::perm`].
+    pub perm: Vec<usize>,
+}
+
+/// The full translation table from an expected type `T` to a conformant
+/// received type `T'`.
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct ConformanceBinding {
+    /// Per-method translations, in `T`'s declaration order.
+    pub methods: Vec<MethodBinding>,
+    /// Per-field translations, in `T`'s declaration order.
+    pub fields: Vec<FieldBinding>,
+    /// Per-constructor translations, in `T`'s declaration order.
+    pub constructors: Vec<CtorBinding>,
+}
+
+impl ConformanceBinding {
+    /// The identity binding: every member maps to itself. Produced when
+    /// conformance holds by identity, explicit subtyping or equivalence —
+    /// cases where names line up by construction.
+    pub fn identity(expected: &TypeDescription) -> ConformanceBinding {
+        ConformanceBinding {
+            methods: expected
+                .methods
+                .iter()
+                .map(|m| MethodBinding {
+                    expected_name: m.name.clone(),
+                    actual_name: m.name.clone(),
+                    perm: (0..m.params.len()).collect(),
+                })
+                .collect(),
+            fields: expected
+                .fields
+                .iter()
+                .map(|f| FieldBinding {
+                    expected_name: f.name.clone(),
+                    actual_name: f.name.clone(),
+                })
+                .collect(),
+            constructors: expected
+                .constructors
+                .iter()
+                .enumerate()
+                .map(|(i, c)| CtorBinding {
+                    arity: c.params.len(),
+                    actual_index: i,
+                    perm: (0..c.params.len()).collect(),
+                })
+                .collect(),
+        }
+    }
+
+    /// Finds the translation for an expected method by name and arity.
+    pub fn method(&self, expected_name: &str, arity: usize) -> Option<&MethodBinding> {
+        self.methods
+            .iter()
+            .find(|m| m.expected_name == expected_name && m.perm.len() == arity)
+    }
+
+    /// Finds the translation for an expected field by name.
+    pub fn field(&self, expected_name: &str) -> Option<&FieldBinding> {
+        self.fields.iter().find(|f| f.expected_name == expected_name)
+    }
+
+    /// Whether every member binding is an identity mapping.
+    pub fn is_identity(&self) -> bool {
+        self.methods.iter().all(MethodBinding::is_identity)
+            && self.fields.iter().all(|f| f.expected_name == f.actual_name)
+            && self
+                .constructors
+                .iter()
+                .all(|c| c.perm.iter().enumerate().all(|(i, &p)| i == p))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pti_metamodel::{primitives, ParamDef, TypeDef};
+
+    fn desc() -> TypeDescription {
+        TypeDescription::from_def(
+            &TypeDef::class("Person", "v")
+                .field("name", primitives::STRING)
+                .method(
+                    "setBoth",
+                    vec![
+                        ParamDef::new("a", primitives::STRING),
+                        ParamDef::new("b", primitives::INT32),
+                    ],
+                    primitives::VOID,
+                )
+                .ctor(vec![ParamDef::new("n", primitives::STRING)])
+                .build(),
+        )
+    }
+
+    #[test]
+    fn identity_binding_maps_every_member() {
+        let d = desc();
+        let b = ConformanceBinding::identity(&d);
+        assert!(b.is_identity());
+        assert_eq!(b.methods.len(), 1);
+        assert_eq!(b.fields.len(), 1);
+        assert_eq!(b.constructors.len(), 1);
+        assert!(b.method("setBoth", 2).is_some());
+        assert!(b.method("setBoth", 1).is_none(), "arity is part of the key");
+        assert!(b.field("name").is_some());
+    }
+
+    #[test]
+    fn reorder_applies_permutation() {
+        let m = MethodBinding {
+            expected_name: "f".into(),
+            actual_name: "g".into(),
+            perm: vec![1, 0],
+        };
+        assert_eq!(m.reorder(&["x", "y"]), vec!["y", "x"]);
+        assert!(!m.is_identity());
+    }
+
+    #[test]
+    fn reorder_identity() {
+        let m = MethodBinding {
+            expected_name: "f".into(),
+            actual_name: "f".into(),
+            perm: vec![0, 1, 2],
+        };
+        assert_eq!(m.reorder(&[1, 2, 3]), vec![1, 2, 3]);
+        assert!(m.is_identity());
+    }
+
+    #[test]
+    #[should_panic(expected = "arity mismatch")]
+    fn reorder_panics_on_arity_mismatch() {
+        let m = MethodBinding {
+            expected_name: "f".into(),
+            actual_name: "f".into(),
+            perm: vec![0, 1],
+        };
+        let _ = m.reorder(&[1]);
+    }
+
+    #[test]
+    fn non_identity_detected() {
+        let d = desc();
+        let mut b = ConformanceBinding::identity(&d);
+        b.methods[0].actual_name = "assignBoth".into();
+        assert!(!b.is_identity());
+    }
+}

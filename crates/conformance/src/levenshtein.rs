@@ -1,0 +1,96 @@
+//! Levenshtein edit distance.
+//!
+//! The paper's name-conformance aspect is phrased in terms of Levenshtein
+//! distance [Levenshtein 1965]: two names conform when their
+//! (case-insensitive) distance is 0, and the rule generalizes by relaxing
+//! the threshold. This is the classic O(m·n) dynamic program with a
+//! single-row working set.
+
+/// Computes the Levenshtein (insert/delete/substitute) distance between
+/// two strings, by Unicode scalar values.
+///
+/// # Examples
+///
+/// ```
+/// use pti_conformance::levenshtein;
+/// assert_eq!(levenshtein("kitten", "sitting"), 3);
+/// assert_eq!(levenshtein("", "abc"), 3);
+/// assert_eq!(levenshtein("same", "same"), 0);
+/// ```
+pub fn levenshtein(a: &str, b: &str) -> usize {
+    let a: Vec<char> = a.chars().collect();
+    let b: Vec<char> = b.chars().collect();
+    if a.is_empty() {
+        return b.len();
+    }
+    if b.is_empty() {
+        return a.len();
+    }
+    let mut prev: Vec<usize> = (0..=b.len()).collect();
+    let mut cur = vec![0usize; b.len() + 1];
+    for (i, ca) in a.iter().enumerate() {
+        cur[0] = i + 1;
+        for (j, cb) in b.iter().enumerate() {
+            let cost = usize::from(ca != cb);
+            cur[j + 1] = (prev[j] + cost).min(prev[j + 1] + 1).min(cur[j] + 1);
+        }
+        std::mem::swap(&mut prev, &mut cur);
+    }
+    prev[b.len()]
+}
+
+/// Case-insensitive Levenshtein distance (ASCII folding plus Unicode
+/// simple lowercasing) — the form the paper's rule uses.
+pub fn levenshtein_ci(a: &str, b: &str) -> usize {
+    let fold = |s: &str| s.chars().flat_map(char::to_lowercase).collect::<String>();
+    levenshtein(&fold(a), &fold(b))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn known_distances() {
+        assert_eq!(levenshtein("kitten", "sitting"), 3);
+        assert_eq!(levenshtein("flaw", "lawn"), 2);
+        assert_eq!(levenshtein("gumbo", "gambol"), 2);
+        assert_eq!(levenshtein("setName", "setPersonName"), 6);
+    }
+
+    #[test]
+    fn identity_and_empty() {
+        assert_eq!(levenshtein("", ""), 0);
+        assert_eq!(levenshtein("x", ""), 1);
+        assert_eq!(levenshtein("", "xyz"), 3);
+        assert_eq!(levenshtein("abc", "abc"), 0);
+    }
+
+    #[test]
+    fn single_edits() {
+        assert_eq!(levenshtein("abc", "abd"), 1, "substitution");
+        assert_eq!(levenshtein("abc", "abcd"), 1, "insertion");
+        assert_eq!(levenshtein("abc", "ab"), 1, "deletion");
+    }
+
+    #[test]
+    fn case_insensitive_variant() {
+        assert_eq!(levenshtein_ci("Person", "PERSON"), 0);
+        assert_eq!(levenshtein_ci("Person", "person"), 0);
+        assert_ne!(levenshtein("Person", "PERSON"), 0);
+        assert_eq!(levenshtein_ci("getName", "GetNom"), 2);
+    }
+
+    #[test]
+    fn unicode_counts_scalars() {
+        assert_eq!(levenshtein("héllo", "hello"), 1);
+        assert_eq!(levenshtein("日本", "日本語"), 1);
+    }
+
+    #[test]
+    fn symmetric() {
+        for (a, b) in [("abc", "xbc"), ("", "q"), ("setName", "setPersonName")] {
+            assert_eq!(levenshtein(a, b), levenshtein(b, a));
+        }
+    }
+}

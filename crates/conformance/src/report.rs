@@ -1,0 +1,218 @@
+//! Diagnostic reports for failed (and successful) conformance checks.
+//!
+//! The paper's rules are a conjunction of aspects; when a check fails, a
+//! downstream user needs to know *which* aspect failed and on which
+//! member. [`NonConformance`] carries one [`Reason`] per violated aspect.
+
+use std::fmt;
+
+use pti_metamodel::TypeName;
+
+/// The aspect of Figure 2 a reason refers to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum Aspect {
+    /// (i) type-name conformance.
+    Name,
+    /// (ii) field conformance.
+    Fields,
+    /// (iii) supertype conformance.
+    Supertypes,
+    /// (iv) method conformance.
+    Methods,
+    /// (v) constructor conformance.
+    Constructors,
+    /// Type kind compatibility (class/interface/primitive) — implicit in
+    /// the paper's setting, explicit here.
+    Kind,
+}
+
+impl fmt::Display for Aspect {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let s = match self {
+            Aspect::Name => "name",
+            Aspect::Fields => "fields",
+            Aspect::Supertypes => "supertypes",
+            Aspect::Methods => "methods",
+            Aspect::Constructors => "constructors",
+            Aspect::Kind => "kind",
+        };
+        f.write_str(s)
+    }
+}
+
+/// A single violated aspect with enough context to act on it.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Reason {
+    /// The type names do not match under the configured matcher.
+    NameMismatch {
+        /// Expected (target) type name.
+        expected: TypeName,
+        /// Received (source) type name.
+        found: TypeName,
+    },
+    /// Incompatible type kinds (e.g. expected a class, received a
+    /// primitive).
+    KindMismatch {
+        /// Human-readable expected kind.
+        expected: String,
+        /// Human-readable received kind.
+        found: String,
+    },
+    /// An expected member has no conforming counterpart.
+    MissingMember {
+        /// Which aspect the member belongs to.
+        aspect: Aspect,
+        /// Member description, e.g. `getName() -> String`.
+        member: String,
+    },
+    /// An expected member matched several counterparts under
+    /// [`Ambiguity::Error`](crate::config::Ambiguity::Error).
+    AmbiguousMember {
+        /// Which aspect the member belongs to.
+        aspect: Aspect,
+        /// Member description.
+        member: String,
+        /// Names of the candidates that all matched.
+        candidates: Vec<String>,
+    },
+    /// The supertype aspect failed.
+    SupertypeMismatch {
+        /// Expected supertype (superclass or interface) name.
+        expected: TypeName,
+        /// What the received type offered, if anything.
+        found: Option<TypeName>,
+    },
+    /// A referenced type could not be resolved under
+    /// [`Unresolved::Fail`](crate::config::Unresolved::Fail).
+    UnresolvedType {
+        /// The name that could not be resolved to a description.
+        name: TypeName,
+    },
+    /// Recursion exceeded the checker's depth bound (malformed or
+    /// adversarial descriptions).
+    DepthExceeded,
+}
+
+impl fmt::Display for Reason {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Reason::NameMismatch { expected, found } => {
+                write!(f, "type name `{found}` does not conform to `{expected}`")
+            }
+            Reason::KindMismatch { expected, found } => {
+                write!(f, "kind mismatch: expected {expected}, found {found}")
+            }
+            Reason::MissingMember { aspect, member } => {
+                write!(f, "no conforming {aspect} member for `{member}`")
+            }
+            Reason::AmbiguousMember { aspect, member, candidates } => write!(
+                f,
+                "{aspect} member `{member}` matches {} candidates ({})",
+                candidates.len(),
+                candidates.join(", ")
+            ),
+            Reason::SupertypeMismatch { expected, found } => match found {
+                Some(found) => {
+                    write!(f, "supertype `{found}` does not conform to `{expected}`")
+                }
+                None => write!(f, "missing supertype conforming to `{expected}`"),
+            },
+            Reason::UnresolvedType { name } => {
+                write!(f, "referenced type `{name}` has no available description")
+            }
+            Reason::DepthExceeded => f.write_str("conformance recursion depth exceeded"),
+        }
+    }
+}
+
+/// The failure outcome of a conformance check.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct NonConformance {
+    /// The expected (target) type name.
+    pub expected: TypeName,
+    /// The received (source) type name.
+    pub found: TypeName,
+    /// Every violated aspect discovered (the checker does not stop at the
+    /// first failure within a member list, so reports are actionable).
+    pub reasons: Vec<Reason>,
+}
+
+impl fmt::Display for NonConformance {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "`{}` does not implicitly structurally conform to `{}`: ",
+            self.found, self.expected
+        )?;
+        for (i, r) in self.reasons.iter().enumerate() {
+            if i > 0 {
+                f.write_str("; ")?;
+            }
+            write!(f, "{r}")?;
+        }
+        Ok(())
+    }
+}
+
+impl std::error::Error for NonConformance {}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn reasons_render_readably() {
+        let r = Reason::MissingMember {
+            aspect: Aspect::Methods,
+            member: "getName() -> String".into(),
+        };
+        assert_eq!(
+            r.to_string(),
+            "no conforming methods member for `getName() -> String`"
+        );
+    }
+
+    #[test]
+    fn nonconformance_renders_all_reasons() {
+        let nc = NonConformance {
+            expected: TypeName::new("Person"),
+            found: TypeName::new("Human"),
+            reasons: vec![
+                Reason::NameMismatch {
+                    expected: TypeName::new("Person"),
+                    found: TypeName::new("Human"),
+                },
+                Reason::DepthExceeded,
+            ],
+        };
+        let s = nc.to_string();
+        assert!(s.contains("Human"));
+        assert!(s.contains("; "), "multiple reasons joined: {s}");
+    }
+
+    #[test]
+    fn ambiguous_member_lists_candidates() {
+        let r = Reason::AmbiguousMember {
+            aspect: Aspect::Methods,
+            member: "f(Int32)".into(),
+            candidates: vec!["f1".into(), "f2".into()],
+        };
+        let s = r.to_string();
+        assert!(s.contains("2 candidates"));
+        assert!(s.contains("f1, f2"));
+    }
+
+    #[test]
+    fn supertype_mismatch_with_and_without_found() {
+        let some = Reason::SupertypeMismatch {
+            expected: TypeName::new("Base"),
+            found: Some(TypeName::new("Other")),
+        };
+        assert!(some.to_string().contains("Other"));
+        let none = Reason::SupertypeMismatch {
+            expected: TypeName::new("Base"),
+            found: None,
+        };
+        assert!(none.to_string().contains("missing supertype"));
+    }
+}

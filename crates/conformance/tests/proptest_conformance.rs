@@ -1,0 +1,218 @@
+//! Property tests over the conformance rules: metric axioms for
+//! Levenshtein, reflexivity of conformance, explicit-subtype implication,
+//! cache agreement, and permutation soundness on generated types.
+
+use proptest::prelude::*;
+use pti_conformance::{
+    levenshtein, Conformance, ConformanceChecker, ConformanceConfig, NameMatcher,
+};
+use pti_metamodel::{primitives, ParamDef, TypeDef, TypeDescription, TypeRegistry};
+
+// ---------------------------------------------------------------------
+// Levenshtein metric axioms
+// ---------------------------------------------------------------------
+
+proptest! {
+    #[test]
+    fn levenshtein_identity(s in "\\PC{0,20}") {
+        prop_assert_eq!(levenshtein(&s, &s), 0);
+    }
+
+    #[test]
+    fn levenshtein_symmetry(a in "\\PC{0,15}", b in "\\PC{0,15}") {
+        prop_assert_eq!(levenshtein(&a, &b), levenshtein(&b, &a));
+    }
+
+    #[test]
+    fn levenshtein_triangle(a in "[a-c]{0,8}", b in "[a-c]{0,8}", c in "[a-c]{0,8}") {
+        prop_assert!(levenshtein(&a, &c) <= levenshtein(&a, &b) + levenshtein(&b, &c));
+    }
+
+    #[test]
+    fn levenshtein_bounded_by_longer(a in "\\PC{0,15}", b in "\\PC{0,15}") {
+        let d = levenshtein(&a, &b);
+        let (la, lb) = (a.chars().count(), b.chars().count());
+        prop_assert!(d <= la.max(lb));
+        prop_assert!(d >= la.abs_diff(lb));
+    }
+
+    #[test]
+    fn wildcard_star_matches_everything(s in "[a-zA-Z0-9]{0,20}") {
+        prop_assert!(NameMatcher::Wildcard.matches("*", &s));
+    }
+
+    #[test]
+    fn exact_match_is_reflexive(s in "[a-zA-Z][a-zA-Z0-9]{0,12}") {
+        prop_assert!(NameMatcher::Exact.matches(&s, &s));
+        prop_assert!(NameMatcher::TokenSubsequence.matches(&s, &s));
+        prop_assert!(NameMatcher::Levenshtein(0).matches(&s, &s));
+    }
+}
+
+// ---------------------------------------------------------------------
+// Generated type populations
+// ---------------------------------------------------------------------
+
+const PRIMS: [&str; 4] = ["Int32", "Int64", "Float64", "String"];
+
+#[derive(Debug, Clone)]
+struct GenType {
+    name: String,
+    fields: Vec<(String, &'static str)>,
+    methods: Vec<(String, Vec<&'static str>, &'static str)>,
+}
+
+fn arb_gentype() -> impl Strategy<Value = GenType> {
+    (
+        "[A-Z][a-z]{2,6}",
+        proptest::collection::vec(("[a-z]{2,6}", proptest::sample::select(&PRIMS[..])), 0..4),
+        proptest::collection::vec(
+            (
+                "[a-z]{2,6}",
+                proptest::collection::vec(proptest::sample::select(&PRIMS[..]), 0..3),
+                proptest::sample::select(&PRIMS[..]),
+            ),
+            0..4,
+        ),
+    )
+        .prop_map(|(name, mut fields, mut methods)| {
+            fields.dedup_by(|a, b| a.0 == b.0);
+            methods.dedup_by(|a, b| a.0 == b.0 && a.1.len() == b.1.len());
+            GenType { name, fields, methods }
+        })
+}
+
+fn build(g: &GenType, salt: &str) -> TypeDef {
+    let mut b = TypeDef::class(g.name.clone(), salt);
+    for (n, t) in &g.fields {
+        b = b.field(n.clone(), *t);
+    }
+    for (n, params, ret) in &g.methods {
+        let ps: Vec<ParamDef> = params
+            .iter()
+            .enumerate()
+            .map(|(i, t)| ParamDef::new(format!("p{i}"), *t))
+            .collect();
+        b = b.method(n.clone(), ps, *ret);
+    }
+    b.ctor(vec![]).build()
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Any generated type conforms to a fresh same-structure copy from a
+    /// different publisher (structural reflexivity across identities).
+    #[test]
+    fn cross_publisher_reflexivity(g in arb_gentype()) {
+        let a = build(&g, "salt-a");
+        let b = build(&g, "salt-b");
+        let mut r = TypeRegistry::with_builtins();
+        r.register(a.clone()).unwrap();
+        r.register(b.clone()).unwrap();
+        let checker = ConformanceChecker::new(ConformanceConfig::paper());
+        prop_assert!(checker.conforms(
+            &TypeDescription::from_def(&b),
+            &TypeDescription::from_def(&a),
+            &r,
+            &r
+        ));
+    }
+
+    /// A nominal subtype always conforms (explicit route), whatever its
+    /// extra structure.
+    #[test]
+    fn explicit_subtype_always_conforms(g in arb_gentype(), extra in "[a-z]{2,6}") {
+        let base = build(&g, "v");
+        let sub = TypeDef::class(format!("{}Sub", g.name), "v")
+            .extends(base.name.clone())
+            .field(extra, primitives::INT32)
+            .build();
+        let mut r = TypeRegistry::with_builtins();
+        r.register(base.clone()).unwrap();
+        r.register(sub.clone()).unwrap();
+        let checker = ConformanceChecker::new(ConformanceConfig::paper());
+        let got = checker.check(
+            &TypeDescription::from_def(&sub),
+            &TypeDescription::from_def(&base),
+            &r,
+            &r,
+        );
+        prop_assert_eq!(got.unwrap(), Conformance::Explicit);
+    }
+
+    /// Cached and uncached checkers agree on every verdict.
+    #[test]
+    fn cache_agrees_with_uncached(g1 in arb_gentype(), g2 in arb_gentype()) {
+        let a = build(&g1, "a");
+        let b = build(&g2, "b");
+        let mut r = TypeRegistry::with_builtins();
+        r.register(a.clone()).unwrap();
+        r.register(b.clone()).unwrap();
+        let da = TypeDescription::from_def(&a);
+        let db = TypeDescription::from_def(&b);
+        let cached = ConformanceChecker::new(ConformanceConfig::pragmatic());
+        let uncached = ConformanceChecker::uncached(ConformanceConfig::pragmatic());
+        // Run twice to exercise the cache-hit path.
+        let c1 = cached.conforms(&db, &da, &r, &r);
+        let c2 = cached.conforms(&db, &da, &r, &r);
+        let u = uncached.conforms(&db, &da, &r, &r);
+        prop_assert_eq!(c1, u);
+        prop_assert_eq!(c2, u);
+    }
+
+    /// Whenever a check succeeds structurally, the produced permutations
+    /// really are permutations and the bound methods exist on the source.
+    #[test]
+    fn bindings_are_well_formed(g in arb_gentype()) {
+        let a = build(&g, "a");
+        let b = build(&g, "b");
+        let mut r = TypeRegistry::with_builtins();
+        r.register(a.clone()).unwrap();
+        r.register(b.clone()).unwrap();
+        let da = TypeDescription::from_def(&a);
+        let db = TypeDescription::from_def(&b);
+        let checker = ConformanceChecker::uncached(ConformanceConfig::paper());
+        if let Ok(conf) = checker.check(&db, &da, &r, &r) {
+            let binding = conf.binding(&da);
+            for m in &binding.methods {
+                // perm is a permutation of 0..n
+                let mut sorted = m.perm.clone();
+                sorted.sort_unstable();
+                prop_assert_eq!(sorted, (0..m.perm.len()).collect::<Vec<_>>());
+                // the actual method exists on the source with this arity
+                prop_assert!(
+                    db.methods.iter().any(|sm| sm.name == m.actual_name
+                        && sm.params.len() == m.perm.len()),
+                    "bound method {} missing on source", m.actual_name
+                );
+            }
+            for f in &binding.fields {
+                prop_assert!(db.fields.iter().any(|sf| sf.name == f.actual_name));
+            }
+        }
+    }
+
+    /// Conformance never panics on arbitrary pairs (robustness).
+    #[test]
+    fn checker_total_on_generated_pairs(g1 in arb_gentype(), g2 in arb_gentype()) {
+        let a = build(&g1, "a");
+        let b = build(&g2, "b");
+        let mut r = TypeRegistry::with_builtins();
+        r.register(a.clone()).unwrap();
+        r.register(b.clone()).unwrap();
+        for cfg in [
+            ConformanceConfig::paper(),
+            ConformanceConfig::pragmatic(),
+            ConformanceConfig::strict(),
+        ] {
+            let checker = ConformanceChecker::new(cfg);
+            let _ = checker.check(
+                &TypeDescription::from_def(&b),
+                &TypeDescription::from_def(&a),
+                &r,
+                &r,
+            );
+        }
+    }
+}

@@ -1,0 +1,92 @@
+//! # pti — Pragmatic Type Interoperability
+//!
+//! A from-scratch Rust reproduction of *Pragmatic Type Interoperability*
+//! (Baehni, Eugster, Guerraoui, Altherr; ICDCS 2003): making types that
+//! "aim at representing the same software module" — written by different
+//! programmers, with different member names, on different platforms —
+//! usable as one type in a dynamic distributed system.
+//!
+//! This umbrella crate re-exports the whole stack:
+//!
+//! | layer | crate | paper section |
+//! |---|---|---|
+//! | runtime type system + introspection | [`metamodel`] | §5 (substrate) |
+//! | XML substrate | [`xml`] | §5.2 |
+//! | implicit structural conformance | [`conformance`] | §4, Figure 2 |
+//! | type-description + object serializers | [`serialize`] | §5–6, Figure 3 |
+//! | dynamic proxies | [`proxy`] | §6, §7.1 |
+//! | simulated peers/network | [`net`] | testbed substitute |
+//! | optimistic transport protocol | [`transport`] | §3, Figure 1 |
+//! | pass-by-reference remoting | [`remoting`] | §6.2 |
+//! | type-based publish/subscribe | [`tps`] | §8 |
+//! | borrow/lend resources | [`borrowlend`] | §8 |
+//!
+//! The [`samples`] module carries the paper's `Person` types and the
+//! seeded workload generators the experiment harness sweeps over;
+//! [`prelude`] pulls in the names almost every program needs.
+//!
+//! ## Quickstart
+//!
+//! ```
+//! use pti_core::prelude::*;
+//! use pti_core::samples;
+//!
+//! // Two peers, two vendors, one logical Person module.
+//! let mut swarm = Swarm::new(NetConfig::default());
+//! let alice = swarm.add_peer(ConformanceConfig::pragmatic());
+//! let bob = swarm.add_peer(ConformanceConfig::pragmatic());
+//!
+//! let a_def = samples::person_vendor_a();
+//! swarm.publish(alice, samples::person_assembly(&a_def))?;
+//! let b_def = samples::person_vendor_b();
+//! swarm.peer_mut(bob).subscribe(TypeDescription::from_def(&b_def));
+//!
+//! let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, "ada");
+//! swarm.send_object(alice, bob, &v, PayloadFormat::Binary)?;
+//! swarm.run()?;
+//!
+//! let ds = swarm.peer_mut(bob).take_deliveries();
+//! let Delivery::Accepted { proxy: Some(p), .. } = &ds[0] else { panic!() };
+//! assert_eq!(
+//!     p.invoke(&mut swarm.peer_mut(bob).runtime, "getPersonName", &[])?.as_str()?,
+//!     "ada"
+//! );
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+pub use pti_borrowlend as borrowlend;
+pub use pti_conformance as conformance;
+pub use pti_metamodel as metamodel;
+pub use pti_net as net;
+pub use pti_proxy as proxy;
+pub use pti_remoting as remoting;
+pub use pti_serialize as serialize;
+pub use pti_tps as tps;
+pub use pti_transport as transport;
+pub use pti_xml as xml;
+
+pub mod samples;
+
+/// The names almost every PTI program needs.
+pub mod prelude {
+    pub use pti_borrowlend::{Borrowed, Market};
+    pub use pti_conformance::{
+        Ambiguity, BehavioralReport, BehavioralTester, Conformance, ConformanceBinding,
+        ConformanceChecker, ConformanceConfig, NameMatcher, NonConformance, Variance,
+    };
+    pub use pti_metamodel::{
+        bodies, primitives, Assembly, Guid, MetamodelError, ObjHandle, ParamDef, Runtime,
+        TypeDef, TypeDescription, TypeName, TypeRegistry, Value,
+    };
+    pub use pti_net::{NetConfig, PeerId, SimNet};
+    pub use pti_proxy::{invoke_direct, DynamicProxy, ProxyError};
+    pub use pti_remoting::{RemoteProxy, RemoteRef, RemotingFabric};
+    pub use pti_serialize::{
+        description_from_string, description_to_string, from_binary, from_soap_string,
+        to_binary, to_soap_string, ObjectEnvelope, PayloadFormat,
+    };
+    pub use pti_tps::{EventNotification, TypedPubSub};
+    pub use pti_transport::{Delivery, Peer, Swarm, TransportError};
+}

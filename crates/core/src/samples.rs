@@ -1,0 +1,365 @@
+//! Sample types and workload generators shared by examples, integration
+//! tests and the experiment harness.
+//!
+//! The paper's measurements all run on "simple types" — notably the
+//! `Person` type of Section 3.1 with its two vendor implementations
+//! (`setName`/`getName` vs `setPersonName`/`getPersonName`). This module
+//! reconstructs those exact types, plus seeded generators for the larger
+//! type populations the ablation experiments sweep over.
+
+use pti_metamodel::{
+    bodies, primitives, Assembly, ParamDef, TypeDef, TypeDescription, Value,
+};
+use rand::rngs::StdRng;
+use rand::{RngExt, SeedableRng};
+
+/// The paper's `Person` type as vendor A writes it: `getName`/`setName`.
+pub fn person_vendor_a() -> TypeDef {
+    TypeDef::class("Person", "vendor-a")
+        .field("name", primitives::STRING)
+        .method("getName", vec![], primitives::STRING)
+        .method("setName", vec![ParamDef::new("n", primitives::STRING)], primitives::VOID)
+        .ctor(vec![])
+        .ctor(vec![ParamDef::new("n", primitives::STRING)])
+        .build()
+}
+
+/// The paper's `Person` type as vendor B writes it:
+/// `getPersonName`/`setPersonName` — same module, different names.
+pub fn person_vendor_b() -> TypeDef {
+    TypeDef::class("Person", "vendor-b")
+        .field("name", primitives::STRING)
+        .method("getPersonName", vec![], primitives::STRING)
+        .method(
+            "setPersonName",
+            vec![ParamDef::new("n", primitives::STRING)],
+            primitives::VOID,
+        )
+        .ctor(vec![])
+        .ctor(vec![ParamDef::new("n", primitives::STRING)])
+        .build()
+}
+
+/// An installable assembly for a `Person` definition (works for either
+/// vendor: bodies are wired to whatever getter/setter names the
+/// definition declares).
+pub fn person_assembly(def: &TypeDef) -> Assembly {
+    let g = def.guid;
+    let mut b = Assembly::builder(format!("{}-person", def.guid))
+        .ty(def.clone())
+        .ctor_body(g, 0, bodies::ctor_assign(&[]))
+        .ctor_body(g, 1, bodies::ctor_assign(&["name"]));
+    for m in &def.methods {
+        if m.arity() == 0 {
+            b = b.body(g, m.name.clone(), 0, bodies::getter("name"));
+        } else {
+            b = b.body(g, m.name.clone(), 1, bodies::setter("name"));
+        }
+    }
+    b.build()
+}
+
+/// A `Person` with a nested `Address` — the Figure 3 scenario (an object
+/// of type A containing an object of type B). Returns (address def,
+/// person def, combined assembly).
+pub fn person_with_address(salt: &str) -> (TypeDef, TypeDef, Assembly) {
+    let address = TypeDef::class("Address", salt)
+        .field("street", primitives::STRING)
+        .field("zip", primitives::INT32)
+        .method("getStreet", vec![], primitives::STRING)
+        .ctor(vec![])
+        .build();
+    let person = TypeDef::class("Person", salt)
+        .field("name", primitives::STRING)
+        .field("home", "Address")
+        .method("getName", vec![], primitives::STRING)
+        .ctor(vec![])
+        .build();
+    let (ag, pg) = (address.guid, person.guid);
+    let asm = Assembly::builder(format!("person-address-{salt}"))
+        .ty(address.clone())
+        .ty(person.clone())
+        .body(ag, "getStreet", 0, bodies::getter("street"))
+        .ctor_body(ag, 0, bodies::ctor_assign(&[]))
+        .body(pg, "getName", 0, bodies::getter("name"))
+        .ctor_body(pg, 0, bodies::ctor_assign(&[]))
+        .build();
+    (address, person, asm)
+}
+
+/// Instantiates a `Person` (any vendor) with the given name in a runtime
+/// where its assembly is installed, returning the handle as a value.
+///
+/// # Panics
+/// If the Person type is not installed.
+pub fn make_person(rt: &mut pti_metamodel::Runtime, name: &str) -> Value {
+    let h = rt
+        .instantiate(&"Person".into(), &[])
+        .expect("Person installed");
+    rt.set_field(h, "name", Value::from(name)).expect("field exists");
+    Value::Obj(h)
+}
+
+/// How a generated variant relates to the base interest type.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum VariantKind {
+    /// Member names renamed with a vendor prefix token; still conformant
+    /// under token matching.
+    RenamedConformant,
+    /// Identical structure (conformant even under exact names).
+    ExactConformant,
+    /// Arguments permuted (conformant with permutation search).
+    PermutedConformant,
+    /// A required method is missing (never conformant).
+    MissingMethod,
+    /// A field type changed (never conformant).
+    WrongFieldType,
+    /// A completely unrelated type (never conformant, different name).
+    Unrelated,
+}
+
+impl VariantKind {
+    /// Whether this variant should pass under the *pragmatic* profile
+    /// (token-subsequence member names).
+    pub fn conformant_pragmatic(self) -> bool {
+        matches!(
+            self,
+            VariantKind::RenamedConformant
+                | VariantKind::ExactConformant
+                | VariantKind::PermutedConformant
+        )
+    }
+
+    /// Whether this variant should pass under the *paper* profile (exact
+    /// case-insensitive names).
+    pub fn conformant_paper(self) -> bool {
+        matches!(self, VariantKind::ExactConformant | VariantKind::PermutedConformant)
+    }
+}
+
+/// A generated variant of the base type, with its ground truth.
+#[derive(Debug, Clone)]
+pub struct Variant {
+    /// The variant's definition.
+    pub def: TypeDef,
+    /// An installable assembly for it.
+    pub assembly: Assembly,
+    /// Ground truth of the generator.
+    pub kind: VariantKind,
+}
+
+/// The base "SensorReading" interest type used by generated populations.
+pub fn sensor_interest(salt: &str) -> TypeDef {
+    TypeDef::class("SensorReading", salt)
+        .field("value", primitives::FLOAT64)
+        .field("unit", primitives::STRING)
+        .method("getValue", vec![], primitives::FLOAT64)
+        .method(
+            "calibrate",
+            vec![
+                ParamDef::new("offset", primitives::FLOAT64),
+                ParamDef::new("label", primitives::STRING),
+            ],
+            primitives::VOID,
+        )
+        .ctor(vec![])
+        .build()
+}
+
+/// Deterministically generates a population of `count` variants of
+/// [`sensor_interest`] with roughly `conforming_ratio` of them conformant
+/// under the pragmatic profile. Used by the protocol (F1) and ablation
+/// (A1/A2) experiments.
+pub fn generate_population(seed: u64, count: usize, conforming_ratio: f64) -> Vec<Variant> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    (0..count)
+        .map(|i| {
+            let conform = rng.random_bool(conforming_ratio.clamp(0.0, 1.0));
+            let kind = if conform {
+                match rng.random_range(0..3u8) {
+                    0 => VariantKind::RenamedConformant,
+                    1 => VariantKind::ExactConformant,
+                    _ => VariantKind::PermutedConformant,
+                }
+            } else {
+                match rng.random_range(0..3u8) {
+                    0 => VariantKind::MissingMethod,
+                    1 => VariantKind::WrongFieldType,
+                    _ => VariantKind::Unrelated,
+                }
+            };
+            build_variant(i, kind)
+        })
+        .collect()
+}
+
+fn build_variant(i: usize, kind: VariantKind) -> Variant {
+    let salt = format!("gen-{i}");
+    let def = match kind {
+        VariantKind::ExactConformant => sensor_interest(&salt),
+        VariantKind::RenamedConformant => TypeDef::class("SensorReading", salt.as_str())
+            .field("value", primitives::FLOAT64)
+            .field("unit", primitives::STRING)
+            .method("getSensorValue", vec![], primitives::FLOAT64)
+            .method(
+                "calibrateSensor",
+                vec![
+                    ParamDef::new("offset", primitives::FLOAT64),
+                    ParamDef::new("label", primitives::STRING),
+                ],
+                primitives::VOID,
+            )
+            .ctor(vec![])
+            .build(),
+        VariantKind::PermutedConformant => TypeDef::class("SensorReading", salt.as_str())
+            .field("value", primitives::FLOAT64)
+            .field("unit", primitives::STRING)
+            .method("getValue", vec![], primitives::FLOAT64)
+            .method(
+                "calibrate",
+                vec![
+                    ParamDef::new("label", primitives::STRING),
+                    ParamDef::new("offset", primitives::FLOAT64),
+                ],
+                primitives::VOID,
+            )
+            .ctor(vec![])
+            .build(),
+        VariantKind::MissingMethod => TypeDef::class("SensorReading", salt.as_str())
+            .field("value", primitives::FLOAT64)
+            .field("unit", primitives::STRING)
+            .method("getValue", vec![], primitives::FLOAT64)
+            .ctor(vec![])
+            .build(),
+        VariantKind::WrongFieldType => TypeDef::class("SensorReading", salt.as_str())
+            .field("value", primitives::STRING)
+            .field("unit", primitives::STRING)
+            .method("getValue", vec![], primitives::FLOAT64)
+            .method(
+                "calibrate",
+                vec![
+                    ParamDef::new("offset", primitives::FLOAT64),
+                    ParamDef::new("label", primitives::STRING),
+                ],
+                primitives::VOID,
+            )
+            .ctor(vec![])
+            .build(),
+        VariantKind::Unrelated => TypeDef::class(format!("Blob{i}"), salt.as_str())
+            .field("data", primitives::STRING)
+            .ctor(vec![])
+            .build(),
+    };
+    let g = def.guid;
+    let mut b = Assembly::builder(format!("gen-asm-{i}")).ty(def.clone());
+    for m in &def.methods {
+        let body = if m.arity() == 0 {
+            bodies::getter("value")
+        } else {
+            bodies::constant(Value::Null)
+        };
+        b = b.body(g, m.name.clone(), m.arity(), body);
+    }
+    b = b.ctor_body(g, 0, bodies::ctor_assign(&[]));
+    Variant { def, assembly: b.build(), kind }
+}
+
+/// Descriptions for the two vendor Persons, handy in tests.
+pub fn person_descriptions() -> (TypeDescription, TypeDescription) {
+    (
+        TypeDescription::from_def(&person_vendor_a()),
+        TypeDescription::from_def(&person_vendor_b()),
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pti_conformance::{ConformanceChecker, ConformanceConfig};
+    use pti_metamodel::{Runtime, TypeRegistry};
+
+    #[test]
+    fn vendor_persons_differ_in_identity_and_methods() {
+        let a = person_vendor_a();
+        let b = person_vendor_b();
+        assert_ne!(a.guid, b.guid);
+        assert!(a.find_method("getName", 0).is_some());
+        assert!(b.find_method("getPersonName", 0).is_some());
+        assert!(b.find_method("getName", 0).is_none());
+    }
+
+    #[test]
+    fn person_assembly_runs_for_both_vendors() {
+        for def in [person_vendor_a(), person_vendor_b()] {
+            let mut rt = Runtime::new();
+            person_assembly(&def).install(&mut rt).unwrap();
+            let v = make_person(&mut rt, "t");
+            let h = v.as_obj().unwrap();
+            let getter = &def.methods[0].name;
+            assert_eq!(rt.invoke(h, getter, &[]).unwrap().as_str().unwrap(), "t");
+        }
+    }
+
+    #[test]
+    fn population_is_deterministic() {
+        let a = generate_population(7, 20, 0.5);
+        let b = generate_population(7, 20, 0.5);
+        assert_eq!(a.len(), 20);
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.kind, y.kind);
+            assert_eq!(x.def.guid, y.def.guid);
+        }
+        let c = generate_population(8, 20, 0.5);
+        assert!(
+            a.iter().zip(c.iter()).any(|(x, y)| x.kind != y.kind),
+            "different seeds differ"
+        );
+    }
+
+    #[test]
+    fn population_ground_truth_matches_checker() {
+        let interest = TypeDescription::from_def(&sensor_interest("interest"));
+        let mut reg = TypeRegistry::with_builtins();
+        reg.register(sensor_interest("interest")).unwrap();
+        let pragmatic = ConformanceChecker::new(ConformanceConfig::pragmatic());
+        let paper = ConformanceChecker::new(ConformanceConfig::paper());
+        for v in generate_population(42, 60, 0.5) {
+            let desc = TypeDescription::from_def(&v.def);
+            assert_eq!(
+                pragmatic.conforms(&desc, &interest, &reg, &reg),
+                v.kind.conformant_pragmatic(),
+                "pragmatic profile vs ground truth for {:?}",
+                v.kind
+            );
+            assert_eq!(
+                paper.conforms(&desc, &interest, &reg, &reg),
+                v.kind.conformant_paper(),
+                "paper profile vs ground truth for {:?}",
+                v.kind
+            );
+        }
+    }
+
+    #[test]
+    fn ratio_extremes() {
+        assert!(generate_population(1, 30, 1.0)
+            .iter()
+            .all(|v| v.kind.conformant_pragmatic()));
+        assert!(generate_population(1, 30, 0.0)
+            .iter()
+            .all(|v| !v.kind.conformant_pragmatic()));
+    }
+
+    #[test]
+    fn nested_person_address_assembly_works() {
+        let (_, _, asm) = person_with_address("s");
+        let mut rt = Runtime::new();
+        asm.install(&mut rt).unwrap();
+        let ah = rt.instantiate(&"Address".into(), &[]).unwrap();
+        rt.set_field(ah, "street", Value::from("Main")).unwrap();
+        let ph = rt.instantiate(&"Person".into(), &[]).unwrap();
+        rt.set_field(ph, "home", Value::Obj(ah)).unwrap();
+        let home = rt.get_field(ph, "home").unwrap().as_obj().unwrap();
+        assert_eq!(rt.invoke(home, "getStreet", &[]).unwrap().as_str().unwrap(), "Main");
+    }
+}

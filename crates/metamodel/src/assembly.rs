@@ -1,0 +1,237 @@
+//! Assemblies: deployable bundles of type definitions plus code.
+//!
+//! The paper's protocol distinguishes a type's *description* (cheap,
+//! shipped eagerly on demand) from its *code* (the .NET assembly,
+//! downloaded only after a successful conformance check). An [`Assembly`]
+//! models the latter: definitions plus native method bodies plus a
+//! simulated on-the-wire size, installable into a [`Runtime`].
+
+use std::sync::Arc;
+
+use crate::error::Result;
+use crate::guid::Guid;
+use crate::runtime::{NativeFn, Runtime, CTOR_NAME};
+use crate::types::TypeDef;
+
+/// Rough per-item constants for the simulated wire size of an assembly.
+/// Real assemblies carry IL, metadata tables and resources; we charge a
+/// fixed overhead plus a per-member cost so bigger types cost more to
+/// download — which is all the protocol experiments need.
+const BASE_BYTES: usize = 2048;
+const PER_TYPE_BYTES: usize = 512;
+const PER_MEMBER_BYTES: usize = 96;
+const PER_BODY_BYTES: usize = 160;
+
+/// A named, installable bundle of types and method bodies.
+#[derive(Clone)]
+pub struct Assembly {
+    name: String,
+    types: Vec<TypeDef>,
+    bodies: Vec<(Guid, String, usize, NativeFn)>,
+}
+
+impl std::fmt::Debug for Assembly {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Assembly")
+            .field("name", &self.name)
+            .field("types", &self.types.iter().map(|t| t.name.full()).collect::<Vec<_>>())
+            .field("bodies", &self.bodies.len())
+            .field("byte_size", &self.byte_size())
+            .finish()
+    }
+}
+
+impl Assembly {
+    /// Starts building an assembly with the given name.
+    pub fn builder(name: impl Into<String>) -> AssemblyBuilder {
+        AssemblyBuilder {
+            asm: Assembly { name: name.into(), types: Vec::new(), bodies: Vec::new() },
+        }
+    }
+
+    /// The assembly name (also used as its default download-path stem).
+    pub fn name(&self) -> &str {
+        &self.name
+    }
+
+    /// The type definitions bundled in this assembly.
+    pub fn types(&self) -> &[TypeDef] {
+        &self.types
+    }
+
+    /// Number of native bodies bundled.
+    pub fn body_count(&self) -> usize {
+        self.bodies.len()
+    }
+
+    /// Simulated on-the-wire size in bytes.
+    ///
+    /// Deterministic in the assembly's structure, so experiments comparing
+    /// protocol variants charge identical costs for identical assemblies.
+    pub fn byte_size(&self) -> usize {
+        let members: usize = self
+            .types
+            .iter()
+            .map(|t| t.fields.len() + t.methods.len() + t.constructors.len() + t.interfaces.len())
+            .sum();
+        BASE_BYTES
+            + PER_TYPE_BYTES * self.types.len()
+            + PER_MEMBER_BYTES * members
+            + PER_BODY_BYTES * self.bodies.len()
+    }
+
+    /// A stable identity for the assembly's *content*: its name plus the
+    /// identities of the types it bundles. Two peers that installed the
+    /// same assembly under different download paths recognize each other's
+    /// references through this hash.
+    pub fn content_hash(&self) -> u64 {
+        let mut h: u64 = 0xcbf29ce484222325;
+        let mut mix = |bytes: &[u8]| {
+            for &b in bytes {
+                h ^= u64::from(b);
+                h = h.wrapping_mul(0x100000001b3);
+            }
+        };
+        mix(self.name.as_bytes());
+        let mut guids: Vec<Guid> = self.types.iter().map(|t| t.guid).collect();
+        guids.sort_unstable();
+        for g in guids {
+            mix(&g.to_bytes());
+        }
+        h
+    }
+
+    /// Installs every type and body into the runtime.
+    ///
+    /// Idempotent: re-installing the same assembly is allowed (types are
+    /// deduplicated by identity, bodies overwritten with identical code).
+    ///
+    /// # Errors
+    /// Propagates registry errors (e.g. a *different* type already
+    /// registered under one of the bundled GUIDs).
+    pub fn install(&self, rt: &mut Runtime) -> Result<()> {
+        for t in &self.types {
+            rt.register_type(t.clone())?;
+        }
+        for (guid, method, arity, body) in &self.bodies {
+            rt.register_body(*guid, method.clone(), *arity, Arc::clone(body));
+        }
+        Ok(())
+    }
+}
+
+/// Fluent builder for [`Assembly`].
+pub struct AssemblyBuilder {
+    asm: Assembly,
+}
+
+impl AssemblyBuilder {
+    /// Bundles a type definition.
+    #[must_use]
+    pub fn ty(mut self, def: TypeDef) -> Self {
+        self.asm.types.push(def);
+        self
+    }
+
+    /// Bundles a method body for `guid::method/arity`.
+    #[must_use]
+    pub fn body(
+        mut self,
+        guid: Guid,
+        method: impl Into<String>,
+        arity: usize,
+        body: NativeFn,
+    ) -> Self {
+        self.asm.bodies.push((guid, method.into(), arity, body));
+        self
+    }
+
+    /// Bundles a constructor body for `guid` with the given arity.
+    #[must_use]
+    pub fn ctor_body(self, guid: Guid, arity: usize, body: NativeFn) -> Self {
+        self.body(guid, CTOR_NAME, arity, body)
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> Assembly {
+        self.asm
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::names::TypeName;
+    use crate::primitives;
+    use crate::runtime::bodies;
+    use crate::types::ParamDef;
+    use crate::value::Value;
+
+    fn person_assembly() -> Assembly {
+        let def = TypeDef::class("Person", "vendor-a")
+            .field("name", primitives::STRING)
+            .method("getName", vec![], primitives::STRING)
+            .method(
+                "setName",
+                vec![ParamDef::new("n", primitives::STRING)],
+                primitives::VOID,
+            )
+            .ctor(vec![ParamDef::new("n", primitives::STRING)])
+            .build();
+        let g = def.guid;
+        Assembly::builder("acme-person")
+            .ty(def)
+            .body(g, "getName", 0, bodies::getter("name"))
+            .body(g, "setName", 1, bodies::setter("name"))
+            .ctor_body(g, 1, bodies::ctor_assign(&["name"]))
+            .build()
+    }
+
+    #[test]
+    fn install_makes_type_usable() {
+        let mut rt = Runtime::new();
+        person_assembly().install(&mut rt).unwrap();
+        let h = rt
+            .instantiate(&TypeName::new("Person"), &[Value::from("ada")])
+            .unwrap();
+        assert_eq!(
+            rt.invoke(h, "getName", &[]).unwrap().as_str().unwrap(),
+            "ada"
+        );
+    }
+
+    #[test]
+    fn install_is_idempotent() {
+        let mut rt = Runtime::new();
+        let asm = person_assembly();
+        asm.install(&mut rt).unwrap();
+        asm.install(&mut rt).unwrap();
+        assert!(rt.registry.contains_name(&TypeName::new("Person")));
+    }
+
+    #[test]
+    fn byte_size_grows_with_structure() {
+        let small = Assembly::builder("s")
+            .ty(TypeDef::class("A", "v").build())
+            .build();
+        let big = Assembly::builder("b")
+            .ty(
+                TypeDef::class("B", "v")
+                    .field("f1", primitives::INT32)
+                    .field("f2", primitives::INT32)
+                    .method("m", vec![], primitives::VOID)
+                    .build(),
+            )
+            .build();
+        assert!(big.byte_size() > small.byte_size());
+        assert_eq!(big.byte_size(), big.clone().byte_size(), "deterministic");
+    }
+
+    #[test]
+    fn debug_lists_types() {
+        let asm = person_assembly();
+        let dbg = format!("{asm:?}");
+        assert!(dbg.contains("Person"));
+        assert!(dbg.contains("acme-person"));
+    }
+}

@@ -1,0 +1,273 @@
+//! Type descriptions — the paper's `TypeDescription` / `ITypeDescription`
+//! (Section 5).
+//!
+//! A [`TypeDescription`] is the *shippable* reflection of a type: enough
+//! structure to run the conformance rules, but deliberately
+//! **non-recursive** — field and argument types are referenced by name
+//! only, "(1) for saving time during the creation of the XML message and
+//! (2) for keeping this message small" (Section 5.2). When a rule needs the
+//! structure of a referenced type, it asks a [`DescriptionProvider`].
+
+use crate::guid::Guid;
+use crate::names::TypeName;
+use crate::types::{Modifiers, TypeDef, TypeKind};
+
+/// Description of a field: name and type name.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FieldDesc {
+    /// Field name.
+    pub name: String,
+    /// Field type, by name.
+    pub ty: TypeName,
+    /// Field modifiers.
+    pub modifiers: Modifiers,
+}
+
+/// Description of a method: name, parameter type names, return type name
+/// and modifiers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MethodDesc {
+    /// Method name.
+    pub name: String,
+    /// Parameter types, by name, in declaration order.
+    pub params: Vec<TypeName>,
+    /// Return type, by name.
+    pub return_type: TypeName,
+    /// Method modifiers.
+    pub modifiers: Modifiers,
+}
+
+impl MethodDesc {
+    /// Number of parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+}
+
+/// Description of a constructor: parameter type names and modifiers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CtorDesc {
+    /// Parameter types, by name, in declaration order.
+    pub params: Vec<TypeName>,
+    /// Constructor modifiers.
+    pub modifiers: Modifiers,
+}
+
+impl CtorDesc {
+    /// Number of parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+}
+
+/// The non-recursive, serializable description of a type.
+///
+/// This is what peers exchange *instead of* code: cheap to produce via
+/// introspection, cheap to ship as XML, sufficient for conformance
+/// checking. Produced from a [`TypeDef`] by [`TypeDescription::from_def`]
+/// (our stand-in for CLR reflection).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeDescription {
+    /// Full type name.
+    pub name: TypeName,
+    /// Platform identity of the type.
+    pub guid: Guid,
+    /// Class / interface / primitive.
+    pub kind: TypeKind,
+    /// Type modifiers.
+    pub modifiers: Modifiers,
+    /// Superclass, by name.
+    pub superclass: Option<TypeName>,
+    /// Implemented interfaces, by name.
+    pub interfaces: Vec<TypeName>,
+    /// Declared fields.
+    pub fields: Vec<FieldDesc>,
+    /// Declared methods.
+    pub methods: Vec<MethodDesc>,
+    /// Declared constructors.
+    pub constructors: Vec<CtorDesc>,
+}
+
+impl TypeDescription {
+    /// Introspects a [`TypeDef`] into its description.
+    ///
+    /// This is the moral equivalent of the paper's use of .NET reflection
+    /// to build `TypeDescription` instances.
+    pub fn from_def(def: &TypeDef) -> TypeDescription {
+        TypeDescription {
+            name: def.name.clone(),
+            guid: def.guid,
+            kind: def.kind,
+            modifiers: def.modifiers,
+            superclass: def.superclass.clone(),
+            interfaces: def.interfaces.clone(),
+            fields: def
+                .fields
+                .iter()
+                .map(|f| FieldDesc {
+                    name: f.name.clone(),
+                    ty: f.ty.clone(),
+                    modifiers: f.modifiers,
+                })
+                .collect(),
+            methods: def
+                .methods
+                .iter()
+                .map(|m| MethodDesc {
+                    name: m.name.clone(),
+                    params: m.params.iter().map(|p| p.ty.clone()).collect(),
+                    return_type: m.return_type.clone(),
+                    modifiers: m.modifiers,
+                })
+                .collect(),
+            constructors: def
+                .constructors
+                .iter()
+                .map(|c| CtorDesc {
+                    params: c.params.iter().map(|p| p.ty.clone()).collect(),
+                    modifiers: c.modifiers,
+                })
+                .collect(),
+        }
+    }
+
+    /// The paper's `equals()`: identity comparison via platform GUIDs.
+    pub fn equals(&self, other: &TypeDescription) -> bool {
+        self.guid == other.guid
+    }
+
+    /// Structural equality ignoring identity: same name (case-insensitive)
+    /// and member-for-member identical structure. This is the paper's type
+    /// *equivalence* (definition 3): two types that are indistinguishable
+    /// by structure even though minted by different publishers.
+    pub fn equivalent(&self, other: &TypeDescription) -> bool {
+        self.name.eq_ignore_case(&other.name)
+            && self.kind == other.kind
+            && self.modifiers == other.modifiers
+            && self.superclass == other.superclass
+            && self.interfaces == other.interfaces
+            && self.fields == other.fields
+            && self.methods == other.methods
+            && self.constructors == other.constructors
+    }
+
+    /// Every type name this description references (supertypes, field
+    /// types, parameter and return types) — the set a conformance check
+    /// may need to resolve through a [`DescriptionProvider`].
+    pub fn referenced_types(&self) -> Vec<TypeName> {
+        let mut out = Vec::new();
+        if let Some(s) = &self.superclass {
+            out.push(s.clone());
+        }
+        out.extend(self.interfaces.iter().cloned());
+        out.extend(self.fields.iter().map(|f| f.ty.clone()));
+        for m in &self.methods {
+            out.extend(m.params.iter().cloned());
+            out.push(m.return_type.clone());
+        }
+        for c in &self.constructors {
+            out.extend(c.params.iter().cloned());
+        }
+        out.sort();
+        out.dedup();
+        out
+    }
+}
+
+/// Resolves type names to descriptions.
+///
+/// Conformance checking of a description may require descriptions of the
+/// types it references (field types, argument types, supertypes). In a
+/// running peer the provider is backed by the local registry plus whatever
+/// descriptions were downloaded from remote hosts.
+pub trait DescriptionProvider {
+    /// Returns the description registered under `name`, if any.
+    fn describe(&self, name: &TypeName) -> Option<TypeDescription>;
+}
+
+/// A provider with no descriptions at all; useful in tests and for
+/// primitive-only types.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct EmptyProvider;
+
+impl DescriptionProvider for EmptyProvider {
+    fn describe(&self, _name: &TypeName) -> Option<TypeDescription> {
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives;
+    use crate::types::ParamDef;
+
+    fn person(salt: &str) -> TypeDef {
+        TypeDef::class("Person", salt)
+            .field("name", primitives::STRING)
+            .method("getName", vec![], primitives::STRING)
+            .method(
+                "setName",
+                vec![ParamDef::new("n", primitives::STRING)],
+                primitives::VOID,
+            )
+            .ctor(vec![ParamDef::new("n", primitives::STRING)])
+            .build()
+    }
+
+    #[test]
+    fn from_def_captures_structure() {
+        let d = TypeDescription::from_def(&person("a"));
+        assert_eq!(d.name.full(), "Person");
+        assert_eq!(d.fields.len(), 1);
+        assert_eq!(d.methods.len(), 2);
+        assert_eq!(d.methods[1].params, vec![TypeName::new(primitives::STRING)]);
+        assert_eq!(d.constructors[0].arity(), 1);
+    }
+
+    #[test]
+    fn equals_is_identity() {
+        let a = TypeDescription::from_def(&person("a"));
+        let a2 = TypeDescription::from_def(&person("a"));
+        let b = TypeDescription::from_def(&person("b"));
+        assert!(a.equals(&a2));
+        assert!(!a.equals(&b), "different salts mint different identities");
+    }
+
+    #[test]
+    fn equivalent_ignores_identity() {
+        let a = TypeDescription::from_def(&person("a"));
+        let b = TypeDescription::from_def(&person("b"));
+        assert!(a.equivalent(&b));
+        assert!(!a.equals(&b));
+    }
+
+    #[test]
+    fn equivalent_is_structural() {
+        let a = TypeDescription::from_def(&person("a"));
+        let other = TypeDescription::from_def(
+            &TypeDef::class("Person", "c")
+                .field("name", primitives::STRING)
+                .method("getName", vec![], primitives::STRING)
+                .build(),
+        );
+        assert!(!a.equivalent(&other), "missing members break equivalence");
+    }
+
+    #[test]
+    fn referenced_types_deduplicated() {
+        let d = TypeDescription::from_def(&person("a"));
+        let refs = d.referenced_types();
+        assert!(refs.contains(&TypeName::new(primitives::STRING)));
+        assert!(refs.contains(&TypeName::new(primitives::VOID)));
+        assert!(refs.contains(&TypeName::new(primitives::OBJECT)));
+        let mut sorted = refs.clone();
+        sorted.dedup();
+        assert_eq!(sorted.len(), refs.len(), "no duplicates");
+    }
+
+    #[test]
+    fn empty_provider_is_empty() {
+        assert!(EmptyProvider.describe(&TypeName::new("X")).is_none());
+    }
+}

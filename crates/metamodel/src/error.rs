@@ -1,0 +1,122 @@
+//! Error types for the metamodel runtime.
+
+use std::fmt;
+
+use crate::guid::Guid;
+use crate::names::TypeName;
+
+/// Errors raised by the metamodel runtime ([`Runtime`](crate::runtime::Runtime)
+/// and its supporting structures).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum MetamodelError {
+    /// A type was looked up by name but is not registered.
+    UnknownTypeName(TypeName),
+    /// A type was looked up by GUID but is not registered.
+    UnknownTypeGuid(Guid),
+    /// A second, different type was registered under an existing GUID.
+    DuplicateGuid(Guid),
+    /// A field was accessed that does not exist on the object's type.
+    UnknownField {
+        /// The type on which the lookup was attempted.
+        ty: TypeName,
+        /// The missing field name.
+        field: String,
+    },
+    /// A method was invoked that does not exist on the object's type
+    /// (searching the full superclass chain).
+    UnknownMethod {
+        /// The type on which the lookup was attempted.
+        ty: TypeName,
+        /// The missing method name.
+        method: String,
+        /// Number of arguments the caller supplied.
+        arity: usize,
+    },
+    /// A method exists in the type definition but no native body was
+    /// installed for it (the "assembly" with the code was never loaded).
+    MissingBody {
+        /// The type declaring the method.
+        ty: TypeName,
+        /// The method whose body is missing.
+        method: String,
+    },
+    /// No constructor with the given arity exists on the type.
+    UnknownConstructor {
+        /// The type being instantiated.
+        ty: TypeName,
+        /// Number of arguments the caller supplied.
+        arity: usize,
+    },
+    /// An object handle is stale (the object was collected) or malformed.
+    DanglingHandle,
+    /// A value had a different runtime kind than the operation expected.
+    TypeMismatch {
+        /// What the operation expected (human readable).
+        expected: String,
+        /// What it actually found (human readable).
+        found: String,
+    },
+    /// Instantiating an interface or abstract class.
+    NotInstantiable(TypeName),
+    /// A native method body raised an application-level error.
+    Native(String),
+}
+
+impl fmt::Display for MetamodelError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::UnknownTypeName(n) => write!(f, "unknown type name `{n}`"),
+            Self::UnknownTypeGuid(g) => write!(f, "unknown type guid {g}"),
+            Self::DuplicateGuid(g) => write!(f, "a different type is already registered under guid {g}"),
+            Self::UnknownField { ty, field } => write!(f, "type `{ty}` has no field `{field}`"),
+            Self::UnknownMethod { ty, method, arity } => {
+                write!(f, "type `{ty}` has no method `{method}` taking {arity} argument(s)")
+            }
+            Self::MissingBody { ty, method } => {
+                write!(f, "no native body installed for `{ty}::{method}` (assembly not loaded?)")
+            }
+            Self::UnknownConstructor { ty, arity } => {
+                write!(f, "type `{ty}` has no constructor taking {arity} argument(s)")
+            }
+            Self::DanglingHandle => write!(f, "dangling object handle"),
+            Self::TypeMismatch { expected, found } => {
+                write!(f, "type mismatch: expected {expected}, found {found}")
+            }
+            Self::NotInstantiable(n) => write!(f, "type `{n}` is not instantiable"),
+            Self::Native(msg) => write!(f, "native method error: {msg}"),
+        }
+    }
+}
+
+impl std::error::Error for MetamodelError {}
+
+/// Convenient result alias used throughout the metamodel.
+pub type Result<T> = std::result::Result<T, MetamodelError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_unknown_type() {
+        let e = MetamodelError::UnknownTypeName(TypeName::new("Acme.Person"));
+        assert_eq!(e.to_string(), "unknown type name `Acme.Person`");
+    }
+
+    #[test]
+    fn display_unknown_method() {
+        let e = MetamodelError::UnknownMethod {
+            ty: TypeName::new("Person"),
+            method: "getName".into(),
+            arity: 2,
+        };
+        assert!(e.to_string().contains("getName"));
+        assert!(e.to_string().contains("2 argument(s)"));
+    }
+
+    #[test]
+    fn error_is_std_error() {
+        fn takes_err(_e: &dyn std::error::Error) {}
+        takes_err(&MetamodelError::DanglingHandle);
+    }
+}

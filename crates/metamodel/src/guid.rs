@@ -1,0 +1,176 @@
+//! 128-bit globally unique type identifiers.
+//!
+//! The paper (Section 5, footnote 5) relies on the platform's notion of type
+//! identity; on .NET these are 128-bit GUIDs. We reproduce them as a 128-bit
+//! value derived deterministically from the type's full name plus an
+//! arbitrary *salt* identifying the publishing vendor/assembly, so that two
+//! independently written types — even with the same name — receive distinct
+//! identities, while repeated runs of a deterministic workload derive stable
+//! ids (important for reproducible benchmarks).
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A 128-bit globally unique identifier for a type.
+///
+/// Equality of GUIDs is the platform's *type identity*: two types are "the
+/// same type" (the paper's `==`) iff their GUIDs are equal.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Guid(pub u128);
+
+const FNV_OFFSET: u128 = 0x6c62272e07bb014262b821756295c58d;
+const FNV_PRIME: u128 = 0x0000000001000000000000000000013b;
+
+fn fnv1a_128(bytes: &[u8], seed: u128) -> u128 {
+    let mut h = FNV_OFFSET ^ seed;
+    for &b in bytes {
+        h ^= u128::from(b);
+        h = h.wrapping_mul(FNV_PRIME);
+    }
+    h
+}
+
+impl Guid {
+    /// The all-zero GUID, used as a sentinel for "no identity assigned".
+    pub const NIL: Guid = Guid(0);
+
+    /// Derives a GUID from a type's full name and a vendor/assembly salt.
+    ///
+    /// The derivation is a 128-bit FNV-1a hash — deterministic across runs
+    /// and platforms. Different salts model different publishers
+    /// independently minting identities for (possibly identically named)
+    /// types.
+    ///
+    /// # Examples
+    ///
+    /// ```
+    /// use pti_metamodel::Guid;
+    /// let a = Guid::derive("Acme.Person", "vendor-a");
+    /// let b = Guid::derive("Acme.Person", "vendor-b");
+    /// assert_ne!(a, b);
+    /// assert_eq!(a, Guid::derive("Acme.Person", "vendor-a"));
+    /// ```
+    pub fn derive(full_name: &str, salt: &str) -> Guid {
+        let seed = fnv1a_128(salt.as_bytes(), 0);
+        Guid(fnv1a_128(full_name.as_bytes(), seed))
+    }
+
+    /// Returns `true` if this is the [`NIL`](Self::NIL) sentinel.
+    pub fn is_nil(self) -> bool {
+        self.0 == 0
+    }
+
+    /// Raw little-endian bytes of the identifier (for binary serialization).
+    pub fn to_bytes(self) -> [u8; 16] {
+        self.0.to_le_bytes()
+    }
+
+    /// Reconstructs a GUID from little-endian bytes produced by
+    /// [`to_bytes`](Self::to_bytes).
+    pub fn from_bytes(bytes: [u8; 16]) -> Guid {
+        Guid(u128::from_le_bytes(bytes))
+    }
+}
+
+impl fmt::Display for Guid {
+    /// Formats in the canonical 8-4-4-4-12 hex form, like .NET GUIDs.
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let b = self.0.to_be_bytes();
+        write!(
+            f,
+            "{:02x}{:02x}{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}-{:02x}{:02x}{:02x}{:02x}{:02x}{:02x}",
+            b[0], b[1], b[2], b[3], b[4], b[5], b[6], b[7], b[8], b[9], b[10], b[11], b[12], b[13], b[14], b[15]
+        )
+    }
+}
+
+/// Error returned when parsing a malformed GUID string.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseGuidError;
+
+impl fmt::Display for ParseGuidError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "malformed GUID (expected 32 hex digits with optional dashes)")
+    }
+}
+
+impl std::error::Error for ParseGuidError {}
+
+impl FromStr for Guid {
+    type Err = ParseGuidError;
+
+    fn from_str(s: &str) -> std::result::Result<Self, Self::Err> {
+        let mut v: u128 = 0;
+        let mut digits = 0;
+        for b in s.bytes() {
+            if b == b'-' {
+                continue;
+            }
+            let d = match b {
+                b'0'..=b'9' => b - b'0',
+                b'a'..=b'f' => b - b'a' + 10,
+                b'A'..=b'F' => b - b'A' + 10,
+                _ => return Err(ParseGuidError),
+            };
+            digits += 1;
+            if digits > 32 {
+                return Err(ParseGuidError);
+            }
+            v = (v << 4) | u128::from(d);
+        }
+        if digits != 32 {
+            return Err(ParseGuidError);
+        }
+        Ok(Guid(v))
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn derive_is_deterministic() {
+        assert_eq!(Guid::derive("Person", "a"), Guid::derive("Person", "a"));
+    }
+
+    #[test]
+    fn derive_distinguishes_salt_and_name() {
+        assert_ne!(Guid::derive("Person", "a"), Guid::derive("Person", "b"));
+        assert_ne!(Guid::derive("Person", "a"), Guid::derive("Human", "a"));
+    }
+
+    #[test]
+    fn display_roundtrip() {
+        let g = Guid::derive("Acme.Person", "vendor-a");
+        let s = g.to_string();
+        assert_eq!(s.len(), 36);
+        assert_eq!(s.parse::<Guid>().unwrap(), g);
+    }
+
+    #[test]
+    fn parse_without_dashes() {
+        let g = Guid::derive("X", "y");
+        let compact: String = g.to_string().chars().filter(|c| *c != '-').collect();
+        assert_eq!(compact.parse::<Guid>().unwrap(), g);
+    }
+
+    #[test]
+    fn parse_rejects_garbage() {
+        assert!("not-a-guid".parse::<Guid>().is_err());
+        assert!("".parse::<Guid>().is_err());
+        assert!("123".parse::<Guid>().is_err());
+    }
+
+    #[test]
+    fn bytes_roundtrip() {
+        let g = Guid::derive("T", "s");
+        assert_eq!(Guid::from_bytes(g.to_bytes()), g);
+    }
+
+    #[test]
+    fn nil_is_nil() {
+        assert!(Guid::NIL.is_nil());
+        assert!(!Guid::derive("T", "s").is_nil());
+    }
+}

@@ -1,0 +1,179 @@
+//! A generational object heap.
+//!
+//! Objects live in slots; freed slots are recycled with a bumped
+//! generation so stale [`ObjHandle`]s are detected instead of aliasing a
+//! new object.
+
+use crate::error::{MetamodelError, Result};
+use crate::value::{DynObject, ObjHandle};
+
+/// Slab-style storage for [`DynObject`]s with generational handles.
+#[derive(Debug, Default)]
+pub struct Heap {
+    slots: Vec<Slot>,
+    free: Vec<u32>,
+    live: usize,
+}
+
+#[derive(Debug)]
+struct Slot {
+    generation: u32,
+    object: Option<DynObject>,
+}
+
+impl Heap {
+    /// Creates an empty heap.
+    pub fn new() -> Heap {
+        Heap::default()
+    }
+
+    /// Number of live objects.
+    pub fn len(&self) -> usize {
+        self.live
+    }
+
+    /// Whether the heap holds no live objects.
+    pub fn is_empty(&self) -> bool {
+        self.live == 0
+    }
+
+    /// Allocates an object, returning its handle.
+    pub fn alloc(&mut self, object: DynObject) -> ObjHandle {
+        self.live += 1;
+        if let Some(index) = self.free.pop() {
+            let slot = &mut self.slots[index as usize];
+            slot.object = Some(object);
+            ObjHandle { index, generation: slot.generation }
+        } else {
+            let index = self.slots.len() as u32;
+            self.slots.push(Slot { generation: 0, object: Some(object) });
+            ObjHandle { index, generation: 0 }
+        }
+    }
+
+    /// Reads an object.
+    ///
+    /// # Errors
+    /// [`MetamodelError::DanglingHandle`] if the handle is stale.
+    pub fn get(&self, handle: ObjHandle) -> Result<&DynObject> {
+        self.slot(handle)?
+            .object
+            .as_ref()
+            .ok_or(MetamodelError::DanglingHandle)
+    }
+
+    /// Mutably reads an object.
+    ///
+    /// # Errors
+    /// [`MetamodelError::DanglingHandle`] if the handle is stale.
+    pub fn get_mut(&mut self, handle: ObjHandle) -> Result<&mut DynObject> {
+        let slot = self
+            .slots
+            .get_mut(handle.index as usize)
+            .filter(|s| s.generation == handle.generation)
+            .ok_or(MetamodelError::DanglingHandle)?;
+        slot.object.as_mut().ok_or(MetamodelError::DanglingHandle)
+    }
+
+    /// Frees an object, invalidating its handle.
+    ///
+    /// # Errors
+    /// [`MetamodelError::DanglingHandle`] if the handle is already stale.
+    pub fn free(&mut self, handle: ObjHandle) -> Result<DynObject> {
+        let slot = self
+            .slots
+            .get_mut(handle.index as usize)
+            .filter(|s| s.generation == handle.generation)
+            .ok_or(MetamodelError::DanglingHandle)?;
+        let obj = slot.object.take().ok_or(MetamodelError::DanglingHandle)?;
+        slot.generation = slot.generation.wrapping_add(1);
+        self.free.push(handle.index);
+        self.live -= 1;
+        Ok(obj)
+    }
+
+    fn slot(&self, handle: ObjHandle) -> Result<&Slot> {
+        self.slots
+            .get(handle.index as usize)
+            .filter(|s| s.generation == handle.generation)
+            .ok_or(MetamodelError::DanglingHandle)
+    }
+
+    /// Iterates over all live objects and their handles.
+    pub fn iter(&self) -> impl Iterator<Item = (ObjHandle, &DynObject)> {
+        self.slots.iter().enumerate().filter_map(|(i, s)| {
+            s.object.as_ref().map(|o| {
+                (
+                    ObjHandle { index: i as u32, generation: s.generation },
+                    o,
+                )
+            })
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::guid::Guid;
+    use crate::value::Value;
+
+    fn obj(tag: &str) -> DynObject {
+        let mut o = DynObject::new(Guid::derive(tag, "t"));
+        o.set("tag", Value::from(tag));
+        o
+    }
+
+    #[test]
+    fn alloc_get_roundtrip() {
+        let mut h = Heap::new();
+        let a = h.alloc(obj("a"));
+        let b = h.alloc(obj("b"));
+        assert_eq!(h.len(), 2);
+        assert_eq!(h.get(a).unwrap().get("tag").unwrap().as_str().unwrap(), "a");
+        assert_eq!(h.get(b).unwrap().get("tag").unwrap().as_str().unwrap(), "b");
+    }
+
+    #[test]
+    fn free_invalidates_handle() {
+        let mut h = Heap::new();
+        let a = h.alloc(obj("a"));
+        h.free(a).unwrap();
+        assert!(h.get(a).is_err());
+        assert!(h.free(a).is_err());
+        assert!(h.is_empty());
+    }
+
+    #[test]
+    fn slot_reuse_bumps_generation() {
+        let mut h = Heap::new();
+        let a = h.alloc(obj("a"));
+        h.free(a).unwrap();
+        let b = h.alloc(obj("b"));
+        assert_eq!(a.index(), b.index());
+        assert_ne!(a.generation(), b.generation());
+        assert!(h.get(a).is_err());
+        assert!(h.get(b).is_ok());
+    }
+
+    #[test]
+    fn get_mut_mutates() {
+        let mut h = Heap::new();
+        let a = h.alloc(obj("a"));
+        h.get_mut(a).unwrap().set("tag", Value::from("z"));
+        assert_eq!(h.get(a).unwrap().get("tag").unwrap().as_str().unwrap(), "z");
+    }
+
+    #[test]
+    fn iter_visits_live_only() {
+        let mut h = Heap::new();
+        let a = h.alloc(obj("a"));
+        let _b = h.alloc(obj("b"));
+        h.free(a).unwrap();
+        let tags: Vec<String> = h
+            .iter()
+            .map(|(_, o)| o.get("tag").unwrap().as_str().unwrap().to_string())
+            .collect();
+        assert_eq!(tags, vec!["b"]);
+    }
+}

@@ -1,0 +1,117 @@
+//! Built-in primitive types and the root `Object` class.
+//!
+//! Mirrors the CLR's built-in value types that the paper's prototype leans
+//! on. Every [`Runtime`](crate::runtime::Runtime) pre-registers these, so
+//! two independently built peers always agree on primitive identity — just
+//! like two .NET installations agree on `System.Int32`.
+
+use crate::guid::Guid;
+use crate::names::TypeName;
+use crate::types::{Modifiers, TypeDef, TypeKind};
+
+/// Name of the `Void` pseudo-type (return type of procedures).
+pub const VOID: &str = "Void";
+/// Name of the boolean primitive.
+pub const BOOL: &str = "Boolean";
+/// Name of the 32-bit integer primitive.
+pub const INT32: &str = "Int32";
+/// Name of the 64-bit integer primitive.
+pub const INT64: &str = "Int64";
+/// Name of the 64-bit float primitive.
+pub const FLOAT64: &str = "Float64";
+/// Name of the string primitive.
+pub const STRING: &str = "String";
+/// Name of the root class every class ultimately extends.
+pub const OBJECT: &str = "Object";
+
+/// Salt under which the platform itself mints primitive identities.
+/// Shared by all runtimes, so primitives are identity-equal everywhere.
+pub const PLATFORM_SALT: &str = "pti-platform";
+
+/// All primitive type names (excluding the root `Object` class).
+pub const ALL_PRIMITIVES: [&str; 6] = [VOID, BOOL, INT32, INT64, FLOAT64, STRING];
+
+fn primitive_def(name: &str) -> TypeDef {
+    TypeDef {
+        name: TypeName::new(name),
+        guid: Guid::derive(name, PLATFORM_SALT),
+        kind: TypeKind::Primitive,
+        modifiers: Modifiers::PUBLIC | Modifiers::FINAL,
+        superclass: None,
+        interfaces: Vec::new(),
+        fields: Vec::new(),
+        methods: Vec::new(),
+        constructors: Vec::new(),
+    }
+}
+
+/// The definition of the root `Object` class.
+pub fn object_def() -> TypeDef {
+    TypeDef {
+        name: TypeName::new(OBJECT),
+        guid: Guid::derive(OBJECT, PLATFORM_SALT),
+        kind: TypeKind::Class,
+        modifiers: Modifiers::PUBLIC,
+        superclass: None,
+        interfaces: Vec::new(),
+        fields: Vec::new(),
+        methods: Vec::new(),
+        constructors: vec![crate::types::CtorSig::new(vec![])],
+    }
+}
+
+/// Definitions of every built-in type (primitives plus `Object`), in a
+/// stable order.
+pub fn builtin_defs() -> Vec<TypeDef> {
+    let mut defs: Vec<TypeDef> = ALL_PRIMITIVES.iter().map(|n| primitive_def(n)).collect();
+    defs.push(object_def());
+    defs
+}
+
+/// Whether `name` names a built-in primitive (arrays are not primitives).
+pub fn is_primitive(name: &TypeName) -> bool {
+    ALL_PRIMITIVES.iter().any(|p| name.full() == *p)
+}
+
+/// Whether `name` is a built-in (primitive or `Object`).
+pub fn is_builtin(name: &TypeName) -> bool {
+    is_primitive(name) || name.full() == OBJECT
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn builtins_cover_primitives_and_object() {
+        let defs = builtin_defs();
+        assert_eq!(defs.len(), ALL_PRIMITIVES.len() + 1);
+        assert!(defs.iter().any(|d| d.name.full() == OBJECT));
+    }
+
+    #[test]
+    fn primitive_identity_is_platform_wide() {
+        let a = builtin_defs();
+        let b = builtin_defs();
+        for (x, y) in a.iter().zip(b.iter()) {
+            assert_eq!(x.guid, y.guid);
+        }
+    }
+
+    #[test]
+    fn classification() {
+        assert!(is_primitive(&TypeName::new(INT32)));
+        assert!(!is_primitive(&TypeName::new(OBJECT)));
+        assert!(is_builtin(&TypeName::new(OBJECT)));
+        assert!(!is_builtin(&TypeName::new("Acme.Person")));
+        assert!(!is_primitive(&TypeName::new("Int32[]")));
+    }
+
+    #[test]
+    fn object_is_root() {
+        let o = object_def();
+        assert!(o.superclass.is_none());
+        assert_eq!(o.kind, TypeKind::Class);
+        assert!(o.is_instantiable());
+    }
+}

@@ -1,0 +1,481 @@
+//! Static structure of types: definitions of classes, interfaces,
+//! primitives, their fields, methods and constructors.
+//!
+//! This is the "common type system" substrate the paper assumes from .NET.
+//! A [`TypeDef`] carries exactly the structure the conformance rules
+//! (Section 4) inspect: name, supertypes, fields, method signatures and
+//! constructor signatures — plus a [`Guid`] establishing type identity.
+
+use std::fmt;
+
+use crate::guid::Guid;
+use crate::names::TypeName;
+
+/// What kind of type a [`TypeDef`] defines.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum TypeKind {
+    /// A concrete or abstract class.
+    Class,
+    /// An interface (no fields, no constructors, abstract methods only).
+    Interface,
+    /// A built-in primitive (`Int32`, `String`, ...).
+    Primitive,
+}
+
+impl fmt::Display for TypeKind {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TypeKind::Class => f.write_str("class"),
+            TypeKind::Interface => f.write_str("interface"),
+            TypeKind::Primitive => f.write_str("primitive"),
+        }
+    }
+}
+
+/// Member and type modifiers.
+///
+/// The paper's method rule assumes "the modifiers of the methods are
+/// supposed to be the same"; this compact bit-set is what gets compared.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub struct Modifiers(u8);
+
+impl Modifiers {
+    /// `public` visibility.
+    pub const PUBLIC: Modifiers = Modifiers(1);
+    /// `static` member.
+    pub const STATIC: Modifiers = Modifiers(1 << 1);
+    /// `virtual` (overridable) method.
+    pub const VIRTUAL: Modifiers = Modifiers(1 << 2);
+    /// `abstract` method or class.
+    pub const ABSTRACT: Modifiers = Modifiers(1 << 3);
+    /// `final`/`sealed` method or class.
+    pub const FINAL: Modifiers = Modifiers(1 << 4);
+
+    /// The empty modifier set.
+    pub const fn empty() -> Modifiers {
+        Modifiers(0)
+    }
+
+    /// Union of two modifier sets.
+    #[must_use]
+    pub const fn union(self, other: Modifiers) -> Modifiers {
+        Modifiers(self.0 | other.0)
+    }
+
+    /// Whether every modifier in `other` is present in `self`.
+    pub const fn contains(self, other: Modifiers) -> bool {
+        (self.0 & other.0) == other.0
+    }
+
+    /// Raw bits (stable across serialization).
+    pub const fn bits(self) -> u8 {
+        self.0
+    }
+
+    /// Reconstructs from raw bits, masking unknown bits away.
+    pub const fn from_bits(bits: u8) -> Modifiers {
+        Modifiers(bits & 0b1_1111)
+    }
+}
+
+impl std::ops::BitOr for Modifiers {
+    type Output = Modifiers;
+    fn bitor(self, rhs: Modifiers) -> Modifiers {
+        self.union(rhs)
+    }
+}
+
+impl fmt::Display for Modifiers {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        let mut parts = Vec::new();
+        if self.contains(Self::PUBLIC) {
+            parts.push("public");
+        }
+        if self.contains(Self::STATIC) {
+            parts.push("static");
+        }
+        if self.contains(Self::VIRTUAL) {
+            parts.push("virtual");
+        }
+        if self.contains(Self::ABSTRACT) {
+            parts.push("abstract");
+        }
+        if self.contains(Self::FINAL) {
+            parts.push("final");
+        }
+        f.write_str(&parts.join(" "))
+    }
+}
+
+/// A formal parameter of a method or constructor.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct ParamDef {
+    /// Parameter name (informational; not part of conformance).
+    pub name: String,
+    /// Parameter type, referenced by name (descriptions are non-recursive).
+    pub ty: TypeName,
+}
+
+impl ParamDef {
+    /// Creates a parameter definition.
+    pub fn new(name: impl Into<String>, ty: impl Into<TypeName>) -> ParamDef {
+        ParamDef { name: name.into(), ty: ty.into() }
+    }
+}
+
+/// A field declaration.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct FieldDef {
+    /// Field name.
+    pub name: String,
+    /// Field type, referenced by name.
+    pub ty: TypeName,
+    /// Field modifiers.
+    pub modifiers: Modifiers,
+}
+
+impl FieldDef {
+    /// Creates a public field definition.
+    pub fn new(name: impl Into<String>, ty: impl Into<TypeName>) -> FieldDef {
+        FieldDef { name: name.into(), ty: ty.into(), modifiers: Modifiers::PUBLIC }
+    }
+}
+
+/// A method signature: name, parameters, return type and modifiers.
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct MethodSig {
+    /// Method name.
+    pub name: String,
+    /// Formal parameters, in declaration order.
+    pub params: Vec<ParamDef>,
+    /// Return type, referenced by name; `Void` for procedures.
+    pub return_type: TypeName,
+    /// Method modifiers (compared verbatim by the conformance rule).
+    pub modifiers: Modifiers,
+}
+
+impl MethodSig {
+    /// Creates a public method signature.
+    pub fn new(
+        name: impl Into<String>,
+        params: Vec<ParamDef>,
+        return_type: impl Into<TypeName>,
+    ) -> MethodSig {
+        MethodSig {
+            name: name.into(),
+            params,
+            return_type: return_type.into(),
+            modifiers: Modifiers::PUBLIC,
+        }
+    }
+
+    /// Number of formal parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+
+    /// Human-readable `name(T1, T2) -> R` form for diagnostics.
+    pub fn brief(&self) -> String {
+        let params: Vec<&str> = self.params.iter().map(|p| p.ty.full()).collect();
+        format!("{}({}) -> {}", self.name, params.join(", "), self.return_type)
+    }
+}
+
+/// A constructor signature: parameters and modifiers (no name, no return —
+/// the paper's rule (v) is "the same as for methods except that there are
+/// no return values").
+#[derive(Debug, Clone, PartialEq, Eq, Hash)]
+pub struct CtorSig {
+    /// Formal parameters, in declaration order.
+    pub params: Vec<ParamDef>,
+    /// Constructor modifiers.
+    pub modifiers: Modifiers,
+}
+
+impl CtorSig {
+    /// Creates a public constructor signature.
+    pub fn new(params: Vec<ParamDef>) -> CtorSig {
+        CtorSig { params, modifiers: Modifiers::PUBLIC }
+    }
+
+    /// Number of formal parameters.
+    pub fn arity(&self) -> usize {
+        self.params.len()
+    }
+}
+
+/// The full static definition of a type.
+///
+/// Everything the paper's implicit structural conformance rule looks at is
+/// here; the *behaviour* (method bodies) lives separately in an
+/// [`Assembly`](crate::assembly::Assembly), mirroring the paper's split
+/// between type descriptions (cheap to ship) and code (downloaded last).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct TypeDef {
+    /// Full name of the type.
+    pub name: TypeName,
+    /// Identity of the type (the platform GUID).
+    pub guid: Guid,
+    /// Class, interface or primitive.
+    pub kind: TypeKind,
+    /// Type-level modifiers.
+    pub modifiers: Modifiers,
+    /// Superclass, by name (`None` only for the root `Object`, primitives
+    /// and interfaces without a superclass notion).
+    pub superclass: Option<TypeName>,
+    /// Implemented interfaces, by name.
+    pub interfaces: Vec<TypeName>,
+    /// Declared fields (not including inherited ones).
+    pub fields: Vec<FieldDef>,
+    /// Declared methods (not including inherited ones).
+    pub methods: Vec<MethodSig>,
+    /// Declared constructors.
+    pub constructors: Vec<CtorSig>,
+}
+
+impl TypeDef {
+    /// Starts building a class with the given full name and identity salt.
+    ///
+    /// The GUID is derived from the name and salt (see [`Guid::derive`]).
+    pub fn class(name: impl Into<TypeName>, salt: &str) -> TypeDefBuilder {
+        TypeDefBuilder::new(name.into(), salt, TypeKind::Class)
+    }
+
+    /// Starts building an interface.
+    pub fn interface(name: impl Into<TypeName>, salt: &str) -> TypeDefBuilder {
+        TypeDefBuilder::new(name.into(), salt, TypeKind::Interface)
+    }
+
+    /// Finds a declared method by name (exact, case-sensitive) and arity.
+    pub fn find_method(&self, name: &str, arity: usize) -> Option<(usize, &MethodSig)> {
+        self.methods
+            .iter()
+            .enumerate()
+            .find(|(_, m)| m.name == name && m.arity() == arity)
+    }
+
+    /// Finds a declared field by name.
+    pub fn find_field(&self, name: &str) -> Option<&FieldDef> {
+        self.fields.iter().find(|f| f.name == name)
+    }
+
+    /// Finds a constructor by arity.
+    pub fn find_ctor(&self, arity: usize) -> Option<(usize, &CtorSig)> {
+        self.constructors
+            .iter()
+            .enumerate()
+            .find(|(_, c)| c.arity() == arity)
+    }
+
+    /// Whether instances of this type can be created (concrete classes only).
+    pub fn is_instantiable(&self) -> bool {
+        self.kind == TypeKind::Class && !self.modifiers.contains(Modifiers::ABSTRACT)
+    }
+}
+
+/// Fluent builder for [`TypeDef`]s.
+///
+/// # Examples
+///
+/// ```
+/// use pti_metamodel::{TypeDef, ParamDef, primitives};
+///
+/// let person = TypeDef::class("Acme.Person", "vendor-a")
+///     .field("name", primitives::STRING)
+///     .method("getName", vec![], primitives::STRING)
+///     .method("setName", vec![ParamDef::new("n", primitives::STRING)], primitives::VOID)
+///     .ctor(vec![ParamDef::new("n", primitives::STRING)])
+///     .build();
+/// assert_eq!(person.methods.len(), 2);
+/// ```
+#[derive(Debug, Clone)]
+pub struct TypeDefBuilder {
+    def: TypeDef,
+}
+
+impl TypeDefBuilder {
+    fn new(name: TypeName, salt: &str, kind: TypeKind) -> TypeDefBuilder {
+        let guid = Guid::derive(name.full(), salt);
+        let superclass = match kind {
+            TypeKind::Class => Some(TypeName::new(crate::primitives::OBJECT)),
+            _ => None,
+        };
+        TypeDefBuilder {
+            def: TypeDef {
+                name,
+                guid,
+                kind,
+                modifiers: Modifiers::PUBLIC,
+                superclass,
+                interfaces: Vec::new(),
+                fields: Vec::new(),
+                methods: Vec::new(),
+                constructors: Vec::new(),
+            },
+        }
+    }
+
+    /// Sets the superclass (classes default to the root `Object`).
+    #[must_use]
+    pub fn extends(mut self, superclass: impl Into<TypeName>) -> Self {
+        self.def.superclass = Some(superclass.into());
+        self
+    }
+
+    /// Removes the superclass entirely (used for root types).
+    #[must_use]
+    pub fn no_superclass(mut self) -> Self {
+        self.def.superclass = None;
+        self
+    }
+
+    /// Adds an implemented interface.
+    #[must_use]
+    pub fn implements(mut self, iface: impl Into<TypeName>) -> Self {
+        self.def.interfaces.push(iface.into());
+        self
+    }
+
+    /// Adds a public field.
+    #[must_use]
+    pub fn field(mut self, name: impl Into<String>, ty: impl Into<TypeName>) -> Self {
+        self.def.fields.push(FieldDef::new(name, ty));
+        self
+    }
+
+    /// Adds a public method.
+    #[must_use]
+    pub fn method(
+        mut self,
+        name: impl Into<String>,
+        params: Vec<ParamDef>,
+        return_type: impl Into<TypeName>,
+    ) -> Self {
+        self.def.methods.push(MethodSig::new(name, params, return_type));
+        self
+    }
+
+    /// Adds a method with explicit modifiers.
+    #[must_use]
+    pub fn method_with(mut self, sig: MethodSig) -> Self {
+        self.def.methods.push(sig);
+        self
+    }
+
+    /// Adds a public constructor.
+    #[must_use]
+    pub fn ctor(mut self, params: Vec<ParamDef>) -> Self {
+        self.def.constructors.push(CtorSig::new(params));
+        self
+    }
+
+    /// Replaces the type modifiers.
+    #[must_use]
+    pub fn modifiers(mut self, m: Modifiers) -> Self {
+        self.def.modifiers = m;
+        self
+    }
+
+    /// Overrides the derived GUID with an explicit identity.
+    #[must_use]
+    pub fn guid(mut self, guid: Guid) -> Self {
+        self.def.guid = guid;
+        self
+    }
+
+    /// Finishes the build.
+    pub fn build(self) -> TypeDef {
+        self.def
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::primitives;
+
+    fn person() -> TypeDef {
+        TypeDef::class("Acme.Person", "vendor-a")
+            .field("name", primitives::STRING)
+            .method("getName", vec![], primitives::STRING)
+            .method(
+                "setName",
+                vec![ParamDef::new("n", primitives::STRING)],
+                primitives::VOID,
+            )
+            .ctor(vec![])
+            .build()
+    }
+
+    #[test]
+    fn builder_populates_definition() {
+        let p = person();
+        assert_eq!(p.name.full(), "Acme.Person");
+        assert_eq!(p.kind, TypeKind::Class);
+        assert_eq!(p.superclass.as_ref().unwrap().full(), primitives::OBJECT);
+        assert_eq!(p.fields.len(), 1);
+        assert_eq!(p.methods.len(), 2);
+        assert_eq!(p.constructors.len(), 1);
+        assert!(!p.guid.is_nil());
+    }
+
+    #[test]
+    fn find_method_respects_arity() {
+        let p = person();
+        assert!(p.find_method("getName", 0).is_some());
+        assert!(p.find_method("getName", 1).is_none());
+        assert!(p.find_method("setName", 1).is_some());
+        assert!(p.find_method("nope", 0).is_none());
+    }
+
+    #[test]
+    fn find_field_and_ctor() {
+        let p = person();
+        assert!(p.find_field("name").is_some());
+        assert!(p.find_field("age").is_none());
+        assert!(p.find_ctor(0).is_some());
+        assert!(p.find_ctor(3).is_none());
+    }
+
+    #[test]
+    fn interface_has_no_superclass() {
+        let i = TypeDef::interface("Acme.INamed", "vendor-a")
+            .method("getName", vec![], primitives::STRING)
+            .build();
+        assert_eq!(i.kind, TypeKind::Interface);
+        assert!(i.superclass.is_none());
+        assert!(!i.is_instantiable());
+    }
+
+    #[test]
+    fn abstract_class_not_instantiable() {
+        let a = TypeDef::class("A", "s")
+            .modifiers(Modifiers::PUBLIC | Modifiers::ABSTRACT)
+            .build();
+        assert!(!a.is_instantiable());
+        assert!(person().is_instantiable());
+    }
+
+    #[test]
+    fn modifiers_algebra() {
+        let m = Modifiers::PUBLIC | Modifiers::STATIC;
+        assert!(m.contains(Modifiers::PUBLIC));
+        assert!(m.contains(Modifiers::STATIC));
+        assert!(!m.contains(Modifiers::FINAL));
+        assert_eq!(Modifiers::from_bits(m.bits()), m);
+        assert_eq!(m.to_string(), "public static");
+    }
+
+    #[test]
+    fn method_brief_formats() {
+        let p = person();
+        assert_eq!(p.methods[1].brief(), "setName(String) -> Void");
+    }
+
+    #[test]
+    fn guids_differ_per_salt() {
+        let a = TypeDef::class("P", "a").build();
+        let b = TypeDef::class("P", "b").build();
+        assert_ne!(a.guid, b.guid);
+    }
+}

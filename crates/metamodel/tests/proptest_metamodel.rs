@@ -1,0 +1,156 @@
+//! Property tests for the metamodel substrate: the heap against a model,
+//! GUID parsing, registry invariants, and runtime robustness.
+
+use std::collections::HashMap;
+
+use proptest::prelude::*;
+use pti_metamodel::{
+    DynObject, Guid, Heap, ParamDef, Runtime, TypeDef, TypeName, Value,
+};
+
+// ---------------------------------------------------------------------
+// Heap vs a HashMap model
+// ---------------------------------------------------------------------
+
+#[derive(Debug, Clone)]
+enum HeapOp {
+    Alloc(u8),
+    Free(usize),
+    Get(usize),
+    Mutate(usize, u8),
+}
+
+fn arb_ops() -> impl Strategy<Value = Vec<HeapOp>> {
+    proptest::collection::vec(
+        prop_oneof![
+            any::<u8>().prop_map(HeapOp::Alloc),
+            (0usize..32).prop_map(HeapOp::Free),
+            (0usize..32).prop_map(HeapOp::Get),
+            ((0usize..32), any::<u8>()).prop_map(|(i, v)| HeapOp::Mutate(i, v)),
+        ],
+        0..64,
+    )
+}
+
+proptest! {
+    /// The generational heap behaves exactly like a map keyed by live
+    /// handles: frees invalidate, reuse never aliases, reads see writes.
+    #[test]
+    fn heap_matches_model(ops in arb_ops()) {
+        let mut heap = Heap::new();
+        let mut model: HashMap<usize, u8> = HashMap::new();
+        let mut handles = Vec::new();
+        let guid = Guid::derive("M", "model");
+        for op in ops {
+            match op {
+                HeapOp::Alloc(tag) => {
+                    let mut o = DynObject::new(guid);
+                    o.set("tag", Value::I32(i32::from(tag)));
+                    let h = heap.alloc(o);
+                    handles.push(h);
+                    model.insert(handles.len() - 1, tag);
+                }
+                HeapOp::Free(i) => {
+                    if let Some(h) = handles.get(i).copied() {
+                        let live = model.contains_key(&i);
+                        prop_assert_eq!(heap.free(h).is_ok(), live);
+                        model.remove(&i);
+                    }
+                }
+                HeapOp::Get(i) => {
+                    if let Some(h) = handles.get(i).copied() {
+                        match model.get(&i) {
+                            Some(tag) => {
+                                let got = heap.get(h).expect("live");
+                                prop_assert_eq!(
+                                    got.get("tag").unwrap().as_i32().unwrap(),
+                                    i32::from(*tag)
+                                );
+                            }
+                            None => prop_assert!(heap.get(h).is_err(), "stale handle"),
+                        }
+                    }
+                }
+                HeapOp::Mutate(i, v) => {
+                    if let Some(h) = handles.get(i).copied() {
+                        if model.contains_key(&i) {
+                            heap.get_mut(h).unwrap().set("tag", Value::I32(i32::from(v)));
+                            model.insert(i, v);
+                        } else {
+                            prop_assert!(heap.get_mut(h).is_err());
+                        }
+                    }
+                }
+            }
+            prop_assert_eq!(heap.len(), model.len());
+        }
+    }
+
+    // -------------------------------------------------------------------
+    // GUIDs
+    // -------------------------------------------------------------------
+
+    #[test]
+    fn guid_display_parse_roundtrip(v in any::<u128>()) {
+        let g = Guid(v);
+        prop_assert_eq!(g.to_string().parse::<Guid>().unwrap(), g);
+        prop_assert_eq!(Guid::from_bytes(g.to_bytes()), g);
+    }
+
+    #[test]
+    fn guid_parse_never_panics(s in "\\PC{0,40}") {
+        let _ = s.parse::<Guid>();
+    }
+
+    #[test]
+    fn guid_derivation_injective_in_practice(
+        a in "[a-zA-Z0-9.]{1,20}", b in "[a-zA-Z0-9.]{1,20}"
+    ) {
+        // Not a theorem (it's a hash), but collisions on short names
+        // would break the whole identity story — catch regressions.
+        prop_assume!(a != b);
+        prop_assert_ne!(Guid::derive(&a, "s"), Guid::derive(&b, "s"));
+    }
+
+    // -------------------------------------------------------------------
+    // Registry + runtime robustness
+    // -------------------------------------------------------------------
+
+    #[test]
+    fn registry_resolution_case_insensitive(name in "[A-Za-z][A-Za-z0-9]{0,12}") {
+        let mut rt = Runtime::new();
+        prop_assume!(!pti_metamodel::primitives::is_builtin(&TypeName::new(name.clone())));
+        let def = TypeDef::class(name.clone(), "prop").ctor(vec![]).build();
+        rt.register_type(def.clone()).unwrap();
+        let upper = TypeName::new(name.to_uppercase());
+        let lower = TypeName::new(name.to_lowercase());
+        prop_assert_eq!(rt.registry.resolve(&upper).unwrap().guid, def.guid);
+        prop_assert_eq!(rt.registry.resolve(&lower).unwrap().guid, def.guid);
+    }
+
+    #[test]
+    fn invoke_arbitrary_method_names_never_panics(m in "\\PC{0,16}") {
+        let mut rt = Runtime::new();
+        let def = TypeDef::class("T", "prop")
+            .method("real", vec![], pti_metamodel::primitives::VOID)
+            .ctor(vec![])
+            .build();
+        rt.register_type(def).unwrap();
+        let h = rt.instantiate(&"T".into(), &[]).unwrap();
+        let _ = rt.invoke(h, &m, &[]);
+        let _ = rt.get_field(h, &m);
+        let _ = rt.set_field(h, &m, Value::Null);
+    }
+
+    #[test]
+    fn instantiate_with_wrong_arity_never_panics(n in 0usize..6) {
+        let mut rt = Runtime::new();
+        let def = TypeDef::class("T", "prop")
+            .ctor(vec![ParamDef::new("a", pti_metamodel::primitives::INT32)])
+            .build();
+        rt.register_type(def).unwrap();
+        let args = vec![Value::I32(1); n];
+        let r = rt.instantiate(&"T".into(), &args);
+        prop_assert_eq!(r.is_ok(), n == 1);
+    }
+}

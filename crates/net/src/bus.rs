@@ -1,0 +1,190 @@
+//! A concurrent message bus for multithreaded peer drivers.
+//!
+//! The virtual-time [`SimNet`](crate::sim::SimNet) is single-threaded by
+//! design (deterministic experiments). Integration tests and examples
+//! that want *actually concurrent* peers use this crossbeam-channel bus
+//! instead: same message shape, real threads, shared traffic metrics.
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use parking_lot::Mutex;
+
+use crate::metrics::NetMetrics;
+use crate::sim::{NetError, PeerId};
+
+/// A message on the live bus (no virtual timing — delivery is real).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct BusMessage {
+    /// Sending peer.
+    pub from: PeerId,
+    /// Destination peer.
+    pub to: PeerId,
+    /// Application-level kind tag.
+    pub kind: String,
+    /// Opaque payload.
+    pub payload: Vec<u8>,
+}
+
+/// Hub creating endpoints and carrying shared metrics.
+#[derive(Debug, Clone, Default)]
+pub struct LiveBus {
+    inner: Arc<Mutex<BusInner>>,
+}
+
+#[derive(Debug, Default)]
+struct BusInner {
+    senders: HashMap<PeerId, Sender<BusMessage>>,
+    metrics: NetMetrics,
+}
+
+/// One peer's connection to the bus: can send to anyone, receives its own
+/// inbox.
+#[derive(Debug)]
+pub struct Endpoint {
+    id: PeerId,
+    bus: LiveBus,
+    inbox: Receiver<BusMessage>,
+}
+
+impl LiveBus {
+    /// Creates an empty bus.
+    pub fn new() -> LiveBus {
+        LiveBus::default()
+    }
+
+    /// Registers a peer and returns its endpoint.
+    pub fn join(&self, id: PeerId) -> Endpoint {
+        let (tx, rx) = unbounded();
+        self.inner.lock().senders.insert(id, tx);
+        Endpoint { id, bus: self.clone(), inbox: rx }
+    }
+
+    /// Snapshot of the traffic counters.
+    pub fn metrics(&self) -> NetMetrics {
+        self.inner.lock().metrics.clone()
+    }
+
+    fn send(&self, msg: BusMessage) -> Result<(), NetError> {
+        let mut inner = self.inner.lock();
+        let Some(tx) = inner.senders.get(&msg.to).cloned() else {
+            return Err(NetError::UnknownPeer(msg.to));
+        };
+        inner.metrics.record(&msg.kind, msg.payload.len());
+        drop(inner);
+        // A disconnected receiver (peer dropped) is reported like an
+        // unknown peer.
+        let to = msg.to;
+        tx.send(msg).map_err(|_| NetError::UnknownPeer(to))
+    }
+}
+
+impl Endpoint {
+    /// This endpoint's peer id.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// Sends a message to another peer.
+    ///
+    /// # Errors
+    /// [`NetError::UnknownPeer`] when the destination never joined or
+    /// already left.
+    pub fn send(
+        &self,
+        to: PeerId,
+        kind: impl Into<String>,
+        payload: Vec<u8>,
+    ) -> Result<(), NetError> {
+        self.bus.send(BusMessage { from: self.id, to, kind: kind.into(), payload })
+    }
+
+    /// Blocks until a message arrives.
+    pub fn recv(&self) -> Option<BusMessage> {
+        self.inbox.recv().ok()
+    }
+
+    /// Non-blocking receive.
+    pub fn try_recv(&self) -> Option<BusMessage> {
+        self.inbox.try_recv().ok()
+    }
+}
+
+impl Drop for Endpoint {
+    fn drop(&mut self) {
+        self.bus.inner.lock().senders.remove(&self.id);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::thread;
+
+    #[test]
+    fn point_to_point_delivery() {
+        let bus = LiveBus::new();
+        let a = bus.join(PeerId(1));
+        let b = bus.join(PeerId(2));
+        a.send(PeerId(2), "hello", vec![1, 2, 3]).unwrap();
+        let m = b.recv().unwrap();
+        assert_eq!(m.from, PeerId(1));
+        assert_eq!(m.payload, vec![1, 2, 3]);
+    }
+
+    #[test]
+    fn unknown_destination_errors() {
+        let bus = LiveBus::new();
+        let a = bus.join(PeerId(1));
+        assert_eq!(
+            a.send(PeerId(9), "x", vec![]),
+            Err(NetError::UnknownPeer(PeerId(9)))
+        );
+    }
+
+    #[test]
+    fn departed_peer_is_unknown() {
+        let bus = LiveBus::new();
+        let a = bus.join(PeerId(1));
+        {
+            let _b = bus.join(PeerId(2));
+        }
+        assert!(a.send(PeerId(2), "x", vec![]).is_err());
+    }
+
+    #[test]
+    fn metrics_shared_across_endpoints() {
+        let bus = LiveBus::new();
+        let a = bus.join(PeerId(1));
+        let _b = bus.join(PeerId(2));
+        a.send(PeerId(2), "k", vec![0u8; 10]).unwrap();
+        a.send(PeerId(2), "k", vec![0u8; 20]).unwrap();
+        let m = bus.metrics();
+        assert_eq!(m.messages, 2);
+        assert_eq!(m.kind("k").bytes, 30);
+    }
+
+    #[test]
+    fn concurrent_peers_exchange() {
+        let bus = LiveBus::new();
+        let a = bus.join(PeerId(1));
+        let b = bus.join(PeerId(2));
+        let t = thread::spawn(move || {
+            // Echo server: bounce 100 messages back.
+            for _ in 0..100 {
+                let m = b.recv().unwrap();
+                b.send(m.from, "echo", m.payload).unwrap();
+            }
+        });
+        for i in 0..100u8 {
+            a.send(PeerId(2), "ping", vec![i]).unwrap();
+        }
+        for _ in 0..100 {
+            let m = a.recv().unwrap();
+            assert_eq!(m.kind, "echo");
+        }
+        t.join().unwrap();
+        assert!(a.try_recv().is_none());
+    }
+}

@@ -1,0 +1,38 @@
+//! # pti-net — simulated peers and network
+//!
+//! The paper evaluates its protocol on a physical 2002 testbed; this
+//! crate replaces that hardware with two interchangeable fabrics:
+//!
+//! * [`SimNet`] — a deterministic **virtual-time** network with explicit
+//!   latency/bandwidth and per-kind byte accounting. All protocol
+//!   experiments (optimistic vs eager, Figure 1) run on it so results are
+//!   reproducible and expressed in bytes + virtual microseconds.
+//! * [`LiveBus`] — a crossbeam-channel bus for **actually concurrent**
+//!   peers, used by stress tests and examples that want real threads.
+//!
+//! Both share the [`NetMetrics`] accounting shape.
+//!
+//! ## Example
+//!
+//! ```
+//! use pti_net::{NetConfig, PeerId, SimNet};
+//!
+//! let mut net = SimNet::new(NetConfig::default());
+//! net.register(PeerId(1));
+//! net.register(PeerId(2));
+//! net.send(PeerId(1), PeerId(2), "object", vec![0u8; 1024]).unwrap();
+//! let msg = net.recv(PeerId(2)).unwrap();
+//! assert_eq!(msg.kind, "object");
+//! assert!(net.now_us() > 0, "virtual time advanced");
+//! assert_eq!(net.metrics().bytes, 1024);
+//! ```
+
+#![warn(missing_docs)]
+
+mod bus;
+mod metrics;
+mod sim;
+
+pub use bus::{BusMessage, Endpoint, LiveBus};
+pub use metrics::{KindMetrics, NetMetrics};
+pub use sim::{Message, NetConfig, NetError, PeerId, SimNet};

@@ -1,0 +1,76 @@
+//! Traffic accounting.
+//!
+//! The optimistic protocol's whole point is "saving network resources"
+//! (paper Section 1, Figure 1); these counters are how the protocol
+//! experiments (F1) quantify that saving.
+
+use std::collections::BTreeMap;
+
+/// Per-kind and total message/byte counters.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct NetMetrics {
+    /// Total messages sent.
+    pub messages: u64,
+    /// Total payload bytes sent.
+    pub bytes: u64,
+    /// Counters per message kind (e.g. `object`, `desc-request`,
+    /// `assembly`), keyed by the kind tag.
+    pub per_kind: BTreeMap<String, KindMetrics>,
+}
+
+/// Counters for one message kind.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct KindMetrics {
+    /// Messages of this kind.
+    pub messages: u64,
+    /// Payload bytes of this kind.
+    pub bytes: u64,
+}
+
+impl NetMetrics {
+    /// Records one sent message.
+    pub fn record(&mut self, kind: &str, bytes: usize) {
+        self.messages += 1;
+        self.bytes += bytes as u64;
+        let k = self.per_kind.entry(kind.to_string()).or_default();
+        k.messages += 1;
+        k.bytes += bytes as u64;
+    }
+
+    /// Counters for one kind (zero if the kind never appeared).
+    pub fn kind(&self, kind: &str) -> KindMetrics {
+        self.per_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Resets all counters.
+    pub fn reset(&mut self) {
+        *self = NetMetrics::default();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_totals_and_kinds() {
+        let mut m = NetMetrics::default();
+        m.record("object", 100);
+        m.record("object", 50);
+        m.record("assembly", 4000);
+        assert_eq!(m.messages, 3);
+        assert_eq!(m.bytes, 4150);
+        assert_eq!(m.kind("object").messages, 2);
+        assert_eq!(m.kind("object").bytes, 150);
+        assert_eq!(m.kind("assembly").bytes, 4000);
+        assert_eq!(m.kind("never").messages, 0);
+    }
+
+    #[test]
+    fn reset_clears_everything() {
+        let mut m = NetMetrics::default();
+        m.record("x", 1);
+        m.reset();
+        assert_eq!(m, NetMetrics::default());
+    }
+}

@@ -1,0 +1,102 @@
+//! Property tests for the virtual-time network: conservation of bytes,
+//! clock monotonicity, and FIFO per link.
+
+use proptest::prelude::*;
+use pti_net::{NetConfig, PeerId, SimNet};
+
+#[derive(Debug, Clone)]
+struct Send {
+    from: u8,
+    to: u8,
+    size: u16,
+}
+
+fn arb_sends() -> impl Strategy<Value = Vec<Send>> {
+    proptest::collection::vec(
+        (0u8..4, 0u8..4, 0u16..2048).prop_map(|(from, to, size)| Send { from, to, size }),
+        0..40,
+    )
+}
+
+proptest! {
+    /// Every queued byte is accounted; nothing is lost or duplicated.
+    #[test]
+    fn bytes_are_conserved(sends in arb_sends()) {
+        let mut net = SimNet::new(NetConfig::default());
+        for p in 0..4 {
+            net.register(PeerId(p));
+        }
+        let mut expected_bytes = 0u64;
+        for s in &sends {
+            net.send(PeerId(u32::from(s.from)), PeerId(u32::from(s.to)), "k", vec![0u8; s.size as usize])
+                .unwrap();
+            expected_bytes += u64::from(s.size);
+        }
+        prop_assert_eq!(net.metrics().bytes, expected_bytes);
+        prop_assert_eq!(net.metrics().messages, sends.len() as u64);
+        // Drain: every message is delivered exactly once.
+        let mut delivered = 0usize;
+        let mut delivered_bytes = 0u64;
+        for p in 0..4 {
+            while let Some(m) = net.recv(PeerId(p)) {
+                prop_assert_eq!(m.to, PeerId(p));
+                delivered += 1;
+                delivered_bytes += m.payload.len() as u64;
+            }
+        }
+        prop_assert_eq!(delivered, sends.len());
+        prop_assert_eq!(delivered_bytes, expected_bytes);
+    }
+
+    /// The virtual clock never goes backwards, and every delivery time is
+    /// at least its send time plus latency.
+    #[test]
+    fn clock_monotonic_and_causal(sends in arb_sends()) {
+        let cfg = NetConfig { latency_us: 250, bandwidth_bps: 1_000_000 };
+        let mut net = SimNet::new(cfg);
+        for p in 0..4 {
+            net.register(PeerId(p));
+        }
+        for s in &sends {
+            net.send(PeerId(u32::from(s.from)), PeerId(u32::from(s.to)), "k", vec![0u8; s.size as usize])
+                .unwrap();
+        }
+        let mut last = net.now_us();
+        for p in 0..4 {
+            while let Some(m) = net.recv(PeerId(p)) {
+                prop_assert!(m.deliver_at >= m.sent_at + cfg.latency_us);
+                let now = net.now_us();
+                prop_assert!(now >= last, "clock went backwards: {last} -> {now}");
+                last = now;
+            }
+        }
+    }
+
+    /// Messages on the same (from, to) link arrive in send order.
+    #[test]
+    fn per_link_fifo(sizes in proptest::collection::vec(0u16..512, 1..20)) {
+        let mut net = SimNet::new(NetConfig::default());
+        net.register(PeerId(1));
+        net.register(PeerId(2));
+        for (i, size) in sizes.iter().enumerate() {
+            let mut payload = vec![0u8; *size as usize + 4];
+            payload[..4].copy_from_slice(&(i as u32).to_le_bytes());
+            net.send(PeerId(1), PeerId(2), "k", payload).unwrap();
+        }
+        let mut expected = 0u32;
+        while let Some(m) = net.recv(PeerId(2)) {
+            let idx = u32::from_le_bytes(m.payload[..4].try_into().unwrap());
+            prop_assert_eq!(idx, expected);
+            expected += 1;
+        }
+        prop_assert_eq!(expected as usize, sizes.len());
+    }
+
+    /// Transmission time scales with size and never overflows.
+    #[test]
+    fn tx_time_monotone_in_size(a in 0usize..1_000_000, b in 0usize..1_000_000) {
+        let cfg = NetConfig::default();
+        let (small, large) = (a.min(b), a.max(b));
+        prop_assert!(cfg.tx_us(small) <= cfg.tx_us(large));
+    }
+}

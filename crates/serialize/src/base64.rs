@@ -1,0 +1,104 @@
+//! Minimal standard-alphabet base64, used to embed binary payloads in the
+//! hybrid XML envelope (the paper embeds .NET binary-formatter output in
+//! its XML messages the same way).
+
+const ALPHABET: &[u8; 64] = b"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz0123456789+/";
+
+/// Encodes bytes as padded base64.
+pub fn encode(data: &[u8]) -> String {
+    let mut out = String::with_capacity(data.len().div_ceil(3) * 4);
+    for chunk in data.chunks(3) {
+        let b = [chunk[0], *chunk.get(1).unwrap_or(&0), *chunk.get(2).unwrap_or(&0)];
+        let n = (u32::from(b[0]) << 16) | (u32::from(b[1]) << 8) | u32::from(b[2]);
+        out.push(ALPHABET[(n >> 18) as usize & 63] as char);
+        out.push(ALPHABET[(n >> 12) as usize & 63] as char);
+        out.push(if chunk.len() > 1 { ALPHABET[(n >> 6) as usize & 63] as char } else { '=' });
+        out.push(if chunk.len() > 2 { ALPHABET[n as usize & 63] as char } else { '=' });
+    }
+    out
+}
+
+/// Decodes padded base64 (whitespace tolerated), or `None` on malformed
+/// input.
+pub fn decode(text: &str) -> Option<Vec<u8>> {
+    fn val(c: u8) -> Option<u32> {
+        match c {
+            b'A'..=b'Z' => Some(u32::from(c - b'A')),
+            b'a'..=b'z' => Some(u32::from(c - b'a') + 26),
+            b'0'..=b'9' => Some(u32::from(c - b'0') + 52),
+            b'+' => Some(62),
+            b'/' => Some(63),
+            _ => None,
+        }
+    }
+    let clean: Vec<u8> = text.bytes().filter(|b| !b.is_ascii_whitespace()).collect();
+    if !clean.len().is_multiple_of(4) {
+        return None;
+    }
+    let mut out = Vec::with_capacity(clean.len() / 4 * 3);
+    for chunk in clean.chunks(4) {
+        let pad = chunk.iter().rev().take_while(|&&c| c == b'=').count();
+        if pad > 2 || chunk[..4 - pad].iter().any(|&c| val(c).is_none()) {
+            return None;
+        }
+        // '=' may only appear at the very end of the input.
+        if pad > 0 && chunk.as_ptr() != clean[clean.len() - 4..].as_ptr() {
+            return None;
+        }
+        let n = chunk
+            .iter()
+            .map(|&c| if c == b'=' { 0 } else { val(c).unwrap() })
+            .fold(0u32, |acc, v| (acc << 6) | v);
+        out.push((n >> 16) as u8);
+        if pad < 2 {
+            out.push((n >> 8) as u8);
+        }
+        if pad < 1 {
+            out.push(n as u8);
+        }
+    }
+    Some(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn rfc4648_vectors() {
+        assert_eq!(encode(b""), "");
+        assert_eq!(encode(b"f"), "Zg==");
+        assert_eq!(encode(b"fo"), "Zm8=");
+        assert_eq!(encode(b"foo"), "Zm9v");
+        assert_eq!(encode(b"foob"), "Zm9vYg==");
+        assert_eq!(encode(b"fooba"), "Zm9vYmE=");
+        assert_eq!(encode(b"foobar"), "Zm9vYmFy");
+    }
+
+    #[test]
+    fn decode_inverts_encode() {
+        for data in [&b""[..], b"f", b"fo", b"foo", b"\x00\xff\x7f\x80", b"hello world!"] {
+            assert_eq!(decode(&encode(data)).unwrap(), data);
+        }
+    }
+
+    #[test]
+    fn decode_tolerates_whitespace() {
+        assert_eq!(decode("Zm9v\nYmFy").unwrap(), b"foobar");
+        assert_eq!(decode("  Zg==  ").unwrap(), b"f");
+    }
+
+    #[test]
+    fn decode_rejects_malformed() {
+        assert!(decode("Zg=").is_none(), "bad length");
+        assert!(decode("Z$==").is_none(), "bad alphabet");
+        assert!(decode("====").is_none(), "too much padding");
+        assert!(decode("Zg==Zg==").is_none(), "padding mid-stream");
+    }
+
+    #[test]
+    fn all_byte_values_roundtrip() {
+        let data: Vec<u8> = (0..=255u8).collect();
+        assert_eq!(decode(&encode(&data)).unwrap(), data);
+    }
+}

@@ -1,0 +1,295 @@
+//! The hybrid XML message wrapping every transferred object — Figure 3 of
+//! the paper.
+//!
+//! "An XML message encompassing the object is sent instead of only the
+//! object itself. This XML message consists of information about the
+//! types of the object (type names and download paths of their
+//! implementations) and includes the SOAP or binary serialized object."
+//!
+//! An [`ObjectEnvelope`] therefore carries: the root type's name + GUID,
+//! the download paths for its type description and its assembly (code),
+//! the same information for every *referenced* assembly (Figure 3's
+//! "Assembly B information"), and the serialized payload in either
+//! format.
+
+use pti_metamodel::{Guid, TypeName};
+use pti_xml::Element;
+
+use crate::base64;
+use crate::error::{Result, SerializeError};
+
+/// Which serializer produced the embedded payload.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, Default)]
+pub enum PayloadFormat {
+    /// SOAP-style XML (human readable, verbose).
+    #[default]
+    Soap,
+    /// Compact binary (base64-embedded in the XML message).
+    Binary,
+}
+
+impl PayloadFormat {
+    /// Wire token for the `format` attribute.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            PayloadFormat::Soap => "soap",
+            PayloadFormat::Binary => "binary",
+        }
+    }
+}
+
+/// The serialized object body inside an envelope.
+#[derive(Debug, Clone, PartialEq)]
+pub enum Payload {
+    /// An inline SOAP `<Envelope>` element.
+    Soap(Element),
+    /// Binary-formatter output.
+    Binary(Vec<u8>),
+}
+
+impl Payload {
+    /// The format tag of this payload.
+    pub fn format(&self) -> PayloadFormat {
+        match self {
+            Payload::Soap(_) => PayloadFormat::Soap,
+            Payload::Binary(_) => PayloadFormat::Binary,
+        }
+    }
+
+    /// Approximate wire size of the payload alone, in bytes.
+    pub fn wire_size(&self) -> usize {
+        match self {
+            Payload::Soap(e) => e.wire_size(),
+            Payload::Binary(b) => base64::encode(b).len(),
+        }
+    }
+}
+
+/// Identification of one assembly a transferred object depends on: where
+/// to fetch its type description and its code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct AssemblyRef {
+    /// Assembly (bundle) name.
+    pub name: String,
+    /// Download path for the type description(s).
+    pub description_path: String,
+    /// Download path for the code.
+    pub assembly_path: String,
+    /// Content identity of the assembly (hex), so receivers recognize
+    /// code they already installed from a different path.
+    pub content_hash: String,
+}
+
+/// The hybrid message of Figure 3.
+#[derive(Debug, Clone, PartialEq)]
+pub struct ObjectEnvelope {
+    /// Full name of the root object's type.
+    pub type_name: TypeName,
+    /// Identity of the root object's type.
+    pub type_guid: Guid,
+    /// Download information for the root type's assembly plus every
+    /// assembly of types reachable from the object (Figure 3 lists
+    /// "Assembly A information" and "Assembly B information").
+    pub assemblies: Vec<AssemblyRef>,
+    /// The serialized object.
+    pub payload: Payload,
+}
+
+impl ObjectEnvelope {
+    /// Renders the envelope to its XML wire element.
+    pub fn to_xml(&self) -> Element {
+        let mut root = Element::new("ptiMessage")
+            .attr("version", "1")
+            .attr("type", self.type_name.full())
+            .attr("guid", self.type_guid.to_string());
+        for a in &self.assemblies {
+            root.push_child(
+                Element::new("assembly")
+                    .attr("name", &a.name)
+                    .attr("description", &a.description_path)
+                    .attr("code", &a.assembly_path)
+                    .attr("hash", &a.content_hash),
+            );
+        }
+        let payload = match &self.payload {
+            Payload::Soap(e) => Element::new("payload")
+                .attr("format", "soap")
+                .child(e.clone()),
+            Payload::Binary(b) => Element::new("payload")
+                .attr("format", "binary")
+                .text(base64::encode(b)),
+        };
+        root.push_child(payload);
+        root
+    }
+
+    /// Renders to the compact XML string.
+    pub fn to_string_compact(&self) -> String {
+        self.to_xml().to_compact()
+    }
+
+    /// Total wire size of the message in bytes.
+    pub fn wire_size(&self) -> usize {
+        self.to_xml().wire_size()
+    }
+
+    /// Parses an envelope from its XML element.
+    ///
+    /// # Errors
+    /// Schema violations, unknown versions or formats, bad base64.
+    pub fn from_xml(el: &Element) -> Result<ObjectEnvelope> {
+        if el.name != "ptiMessage" {
+            return Err(SerializeError::Malformed(format!(
+                "expected <ptiMessage>, got <{}>",
+                el.name
+            )));
+        }
+        match el.get_attr("version") {
+            Some("1") => {}
+            Some(v) => {
+                return Err(SerializeError::UnsupportedFormat(format!("message version {v}")))
+            }
+            None => return Err(SerializeError::Malformed("missing version".into())),
+        }
+        let type_name = TypeName::new(
+            el.get_attr("type")
+                .ok_or_else(|| SerializeError::Malformed("missing type".into()))?,
+        );
+        let type_guid: Guid = el
+            .get_attr("guid")
+            .and_then(|g| g.parse().ok())
+            .ok_or_else(|| SerializeError::Malformed("missing or bad guid".into()))?;
+        let assemblies = el
+            .find_all("assembly")
+            .map(|a| {
+                Ok(AssemblyRef {
+                    name: a
+                        .get_attr("name")
+                        .ok_or_else(|| SerializeError::Malformed("assembly missing name".into()))?
+                        .to_string(),
+                    description_path: a
+                        .get_attr("description")
+                        .ok_or_else(|| {
+                            SerializeError::Malformed("assembly missing description path".into())
+                        })?
+                        .to_string(),
+                    assembly_path: a
+                        .get_attr("code")
+                        .ok_or_else(|| {
+                            SerializeError::Malformed("assembly missing code path".into())
+                        })?
+                        .to_string(),
+                    content_hash: a.get_attr("hash").unwrap_or_default().to_string(),
+                })
+            })
+            .collect::<Result<Vec<_>>>()?;
+        let pe = el
+            .find("payload")
+            .ok_or_else(|| SerializeError::Malformed("missing payload".into()))?;
+        let payload = match pe.get_attr("format") {
+            Some("soap") => Payload::Soap(
+                pe.elements()
+                    .next()
+                    .cloned()
+                    .ok_or_else(|| SerializeError::Malformed("empty soap payload".into()))?,
+            ),
+            Some("binary") => Payload::Binary(
+                base64::decode(&pe.text_content())
+                    .ok_or_else(|| SerializeError::Malformed("bad base64 payload".into()))?,
+            ),
+            other => {
+                return Err(SerializeError::UnsupportedFormat(format!(
+                    "payload format {other:?}"
+                )))
+            }
+        };
+        Ok(ObjectEnvelope { type_name, type_guid, assemblies, payload })
+    }
+
+    /// Parses from the XML string form.
+    pub fn from_string(xml: &str) -> Result<ObjectEnvelope> {
+        Self::from_xml(&pti_xml::parse(xml)?)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(payload: Payload) -> ObjectEnvelope {
+        ObjectEnvelope {
+            type_name: TypeName::new("Acme.Person"),
+            type_guid: Guid::derive("Acme.Person", "vendor-a"),
+            assemblies: vec![
+                AssemblyRef {
+                    name: "acme-person".into(),
+                    description_path: "pti://peer-1/desc/acme-person".into(),
+                    assembly_path: "pti://peer-1/asm/acme-person".into(),
+                    content_hash: "deadbeef".into(),
+                },
+                AssemblyRef {
+                    name: "acme-address".into(),
+                    description_path: "pti://peer-1/desc/acme-address".into(),
+                    assembly_path: "pti://peer-1/asm/acme-address".into(),
+                    content_hash: "cafebabe".into(),
+                },
+            ],
+            payload,
+        }
+    }
+
+    #[test]
+    fn soap_envelope_roundtrips() {
+        let env = sample(Payload::Soap(
+            Element::new("Envelope").child(Element::new("Body").child(Element::new("null"))),
+        ));
+        let xml = env.to_string_compact();
+        let back = ObjectEnvelope::from_string(&xml).unwrap();
+        assert_eq!(back, env);
+        assert_eq!(back.payload.format(), PayloadFormat::Soap);
+    }
+
+    #[test]
+    fn binary_envelope_roundtrips() {
+        let env = sample(Payload::Binary(vec![0, 1, 2, 250, 251, 252]));
+        let xml = env.to_string_compact();
+        assert!(!xml.contains('\u{0}'), "binary is base64-embedded");
+        let back = ObjectEnvelope::from_string(&xml).unwrap();
+        assert_eq!(back, env);
+        assert_eq!(back.payload.format(), PayloadFormat::Binary);
+    }
+
+    #[test]
+    fn envelope_lists_all_assemblies() {
+        // Figure 3: the message carries assembly info for A and for the
+        // nested B.
+        let env = sample(Payload::Binary(vec![]));
+        let back = ObjectEnvelope::from_string(&env.to_string_compact()).unwrap();
+        assert_eq!(back.assemblies.len(), 2);
+        assert_eq!(back.assemblies[1].name, "acme-address");
+    }
+
+    #[test]
+    fn wire_size_positive_and_stable() {
+        let env = sample(Payload::Binary(vec![1, 2, 3]));
+        assert!(env.wire_size() > 100);
+        assert_eq!(env.wire_size(), env.wire_size());
+    }
+
+    #[test]
+    fn rejects_malformed() {
+        assert!(ObjectEnvelope::from_string("<wrong/>").is_err());
+        assert!(ObjectEnvelope::from_string("<ptiMessage version=\"9\"/>").is_err());
+        assert!(ObjectEnvelope::from_string(
+            "<ptiMessage version=\"1\" type=\"T\" guid=\"00000000000000000000000000000000\"/>"
+        )
+        .is_err(), "missing payload");
+        let bad_b64 = r#"<ptiMessage version="1" type="T" guid="00000000000000000000000000000001"><payload format="binary">!!!</payload></ptiMessage>"#;
+        assert!(ObjectEnvelope::from_string(bad_b64).is_err());
+        let bad_fmt = r#"<ptiMessage version="1" type="T" guid="00000000000000000000000000000001"><payload format="yaml"/></ptiMessage>"#;
+        assert!(matches!(
+            ObjectEnvelope::from_string(bad_fmt),
+            Err(SerializeError::UnsupportedFormat(_))
+        ));
+    }
+}

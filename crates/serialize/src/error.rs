@@ -1,0 +1,85 @@
+//! Error type for the serialization subsystem.
+
+use std::fmt;
+
+use pti_metamodel::{Guid, MetamodelError, TypeName};
+use pti_xml::ParseError;
+
+/// Errors raised while serializing or deserializing type descriptions,
+/// objects or envelopes.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SerializeError {
+    /// The XML layer rejected the input.
+    Xml(ParseError),
+    /// The runtime rejected an operation (allocation, field write, ...).
+    Metamodel(MetamodelError),
+    /// Structurally invalid input for the expected schema.
+    Malformed(String),
+    /// The payload references a type the receiving runtime does not know.
+    UnknownType {
+        /// Type name as carried in the payload.
+        name: TypeName,
+        /// Type identity as carried in the payload.
+        guid: Guid,
+    },
+    /// A back-reference (`href`/ref id) points at an object id that was
+    /// never defined.
+    DanglingReference(u64),
+    /// Unsupported format version or magic number.
+    UnsupportedFormat(String),
+}
+
+impl fmt::Display for SerializeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Self::Xml(e) => write!(f, "xml: {e}"),
+            Self::Metamodel(e) => write!(f, "runtime: {e}"),
+            Self::Malformed(m) => write!(f, "malformed payload: {m}"),
+            Self::UnknownType { name, guid } => {
+                write!(f, "unknown type `{name}` ({guid}) — assembly not installed")
+            }
+            Self::DanglingReference(id) => write!(f, "dangling object reference #{id}"),
+            Self::UnsupportedFormat(m) => write!(f, "unsupported format: {m}"),
+        }
+    }
+}
+
+impl std::error::Error for SerializeError {}
+
+impl From<ParseError> for SerializeError {
+    fn from(e: ParseError) -> Self {
+        SerializeError::Xml(e)
+    }
+}
+
+impl From<MetamodelError> for SerializeError {
+    fn from(e: MetamodelError) -> Self {
+        SerializeError::Metamodel(e)
+    }
+}
+
+/// Result alias for this crate.
+pub type Result<T> = std::result::Result<T, SerializeError>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn displays_wrap_inner_errors() {
+        let e: SerializeError = MetamodelError::DanglingHandle.into();
+        assert!(e.to_string().contains("dangling object handle"));
+        let m = SerializeError::Malformed("missing attribute".into());
+        assert!(m.to_string().contains("missing attribute"));
+    }
+
+    #[test]
+    fn unknown_type_display() {
+        let e = SerializeError::UnknownType {
+            name: TypeName::new("Person"),
+            guid: Guid::derive("Person", "x"),
+        };
+        assert!(e.to_string().contains("Person"));
+        assert!(e.to_string().contains("assembly not installed"));
+    }
+}

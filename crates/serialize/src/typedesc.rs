@@ -1,0 +1,362 @@
+//! XML codec for [`TypeDescription`]s — the paper's Section 5.2.
+//!
+//! "Types in our system are represented as XML structures": this module
+//! writes a description to a (deliberately flat, human-readable) XML
+//! element and reads it back. Creation + serialization and
+//! deserialization times of exactly this representation are the paper's
+//! Section 7.2 measurements.
+
+use pti_metamodel::{
+    CtorDesc, FieldDesc, Guid, MethodDesc, Modifiers, TypeDescription, TypeKind, TypeName,
+};
+use pti_xml::Element;
+
+use crate::error::{Result, SerializeError};
+
+fn kind_str(kind: TypeKind) -> &'static str {
+    match kind {
+        TypeKind::Class => "class",
+        TypeKind::Interface => "interface",
+        TypeKind::Primitive => "primitive",
+    }
+}
+
+fn kind_from(s: &str) -> Result<TypeKind> {
+    match s {
+        "class" => Ok(TypeKind::Class),
+        "interface" => Ok(TypeKind::Interface),
+        "primitive" => Ok(TypeKind::Primitive),
+        other => Err(SerializeError::Malformed(format!("unknown type kind `{other}`"))),
+    }
+}
+
+/// Renders a type description as its XML wire form.
+///
+/// The layout mirrors what the paper's `TypeDescription` carries: type
+/// identity (GUID), name, kind, modifiers, supertype names, and flat
+/// member signatures with types referenced by name only (no recursion).
+pub fn description_to_xml(desc: &TypeDescription) -> Element {
+    let mut root = Element::new("typeDescription")
+        .attr("name", desc.name.full())
+        .attr("guid", desc.guid.to_string())
+        .attr("kind", kind_str(desc.kind))
+        .attr("modifiers", desc.modifiers.bits().to_string());
+    if let Some(s) = &desc.superclass {
+        root.push_child(Element::new("superclass").attr("name", s.full()));
+    }
+    for i in &desc.interfaces {
+        root.push_child(Element::new("interface").attr("name", i.full()));
+    }
+    for f in &desc.fields {
+        root.push_child(
+            Element::new("field")
+                .attr("name", &f.name)
+                .attr("type", f.ty.full())
+                .attr("modifiers", f.modifiers.bits().to_string()),
+        );
+    }
+    for m in &desc.methods {
+        let mut me = Element::new("method")
+            .attr("name", &m.name)
+            .attr("returns", m.return_type.full())
+            .attr("modifiers", m.modifiers.bits().to_string());
+        for p in &m.params {
+            me.push_child(Element::new("param").attr("type", p.full()));
+        }
+        root.push_child(me);
+    }
+    for c in &desc.constructors {
+        let mut ce = Element::new("constructor").attr("modifiers", c.modifiers.bits().to_string());
+        for p in &c.params {
+            ce.push_child(Element::new("param").attr("type", p.full()));
+        }
+        root.push_child(ce);
+    }
+    root
+}
+
+/// Serializes a description to its compact XML string.
+pub fn description_to_string(desc: &TypeDescription) -> String {
+    description_to_xml(desc).to_compact()
+}
+
+fn require_attr<'e>(el: &'e Element, name: &str) -> Result<&'e str> {
+    el.get_attr(name).ok_or_else(|| {
+        SerializeError::Malformed(format!("<{}> missing `{name}` attribute", el.name))
+    })
+}
+
+fn parse_modifiers(el: &Element) -> Result<Modifiers> {
+    let bits: u8 = require_attr(el, "modifiers")?
+        .parse()
+        .map_err(|_| SerializeError::Malformed("bad modifiers".into()))?;
+    Ok(Modifiers::from_bits(bits))
+}
+
+fn parse_params(el: &Element) -> Result<Vec<TypeName>> {
+    el.find_all("param")
+        .map(|p| Ok(TypeName::new(require_attr(p, "type")?)))
+        .collect()
+}
+
+/// Reconstructs a type description from its XML element.
+///
+/// # Errors
+/// [`SerializeError::Malformed`] on schema violations.
+pub fn description_from_xml(el: &Element) -> Result<TypeDescription> {
+    if el.name != "typeDescription" {
+        return Err(SerializeError::Malformed(format!(
+            "expected <typeDescription>, got <{}>",
+            el.name
+        )));
+    }
+    let guid: Guid = require_attr(el, "guid")?
+        .parse()
+        .map_err(|_| SerializeError::Malformed("bad guid".into()))?;
+    let desc = TypeDescription {
+        name: TypeName::new(require_attr(el, "name")?),
+        guid,
+        kind: kind_from(require_attr(el, "kind")?)?,
+        modifiers: parse_modifiers(el)?,
+        superclass: el
+            .find("superclass")
+            .map(|s| Ok::<_, SerializeError>(TypeName::new(require_attr(s, "name")?)))
+            .transpose()?,
+        interfaces: el
+            .find_all("interface")
+            .map(|i| Ok(TypeName::new(require_attr(i, "name")?)))
+            .collect::<Result<_>>()?,
+        fields: el
+            .find_all("field")
+            .map(|f| {
+                Ok(FieldDesc {
+                    name: require_attr(f, "name")?.to_string(),
+                    ty: TypeName::new(require_attr(f, "type")?),
+                    modifiers: parse_modifiers(f)?,
+                })
+            })
+            .collect::<Result<_>>()?,
+        methods: el
+            .find_all("method")
+            .map(|m| {
+                Ok(MethodDesc {
+                    name: require_attr(m, "name")?.to_string(),
+                    params: parse_params(m)?,
+                    return_type: TypeName::new(require_attr(m, "returns")?),
+                    modifiers: parse_modifiers(m)?,
+                })
+            })
+            .collect::<Result<_>>()?,
+        constructors: el
+            .find_all("constructor")
+            .map(|c| {
+                Ok(CtorDesc { params: parse_params(c)?, modifiers: parse_modifiers(c)? })
+            })
+            .collect::<Result<_>>()?,
+    };
+    Ok(desc)
+}
+
+/// Parses a description from its XML string form.
+///
+/// Takes the owned route: strings move out of the freshly parsed tree
+/// instead of being copied — the hot path for description downloads.
+pub fn description_from_string(xml: &str) -> Result<TypeDescription> {
+    description_from_xml_owned(pti_xml::parse(xml)?)
+}
+
+fn take_attr(el: &mut Element, name: &str) -> Option<String> {
+    let idx = el.attributes.iter().position(|(k, _)| k == name)?;
+    Some(el.attributes.swap_remove(idx).1)
+}
+
+fn require_attr_owned(el: &mut Element, name: &str) -> Result<String> {
+    take_attr(el, name).ok_or_else(|| {
+        SerializeError::Malformed(format!("<{}> missing `{name}` attribute", el.name))
+    })
+}
+
+fn parse_modifiers_owned(el: &mut Element) -> Result<Modifiers> {
+    let bits: u8 = require_attr_owned(el, "modifiers")?
+        .parse()
+        .map_err(|_| SerializeError::Malformed("bad modifiers".into()))?;
+    Ok(Modifiers::from_bits(bits))
+}
+
+fn parse_params_owned(el: &mut Element) -> Result<Vec<TypeName>> {
+    let mut out = Vec::new();
+    for c in &mut el.children {
+        if let pti_xml::Node::Element(p) = c {
+            if p.name == "param" {
+                out.push(TypeName::new(require_attr_owned(p, "type")?));
+            }
+        }
+    }
+    Ok(out)
+}
+
+/// Reconstructs a type description, consuming the element (moves strings
+/// instead of cloning them).
+///
+/// # Errors
+/// [`SerializeError::Malformed`] on schema violations.
+pub fn description_from_xml_owned(mut el: Element) -> Result<TypeDescription> {
+    if el.name != "typeDescription" {
+        return Err(SerializeError::Malformed(format!(
+            "expected <typeDescription>, got <{}>",
+            el.name
+        )));
+    }
+    let guid: Guid = require_attr_owned(&mut el, "guid")?
+        .parse()
+        .map_err(|_| SerializeError::Malformed("bad guid".into()))?;
+    let name = TypeName::new(require_attr_owned(&mut el, "name")?);
+    let kind = kind_from(&require_attr_owned(&mut el, "kind")?)?;
+    let modifiers = parse_modifiers_owned(&mut el)?;
+
+    let mut superclass = None;
+    let mut interfaces = Vec::new();
+    let mut fields = Vec::new();
+    let mut methods = Vec::new();
+    let mut constructors = Vec::new();
+    for node in &mut el.children {
+        let pti_xml::Node::Element(c) = node else { continue };
+        match c.name.as_str() {
+            "superclass" => superclass = Some(TypeName::new(require_attr_owned(c, "name")?)),
+            "interface" => interfaces.push(TypeName::new(require_attr_owned(c, "name")?)),
+            "field" => fields.push(FieldDesc {
+                name: require_attr_owned(c, "name")?,
+                ty: TypeName::new(require_attr_owned(c, "type")?),
+                modifiers: parse_modifiers_owned(c)?,
+            }),
+            "method" => methods.push(MethodDesc {
+                name: require_attr_owned(c, "name")?,
+                params: parse_params_owned(c)?,
+                return_type: TypeName::new(require_attr_owned(c, "returns")?),
+                modifiers: parse_modifiers_owned(c)?,
+            }),
+            "constructor" => constructors.push(CtorDesc {
+                params: parse_params_owned(c)?,
+                modifiers: parse_modifiers_owned(c)?,
+            }),
+            other => {
+                return Err(SerializeError::Malformed(format!(
+                    "unexpected <{other}> in type description"
+                )))
+            }
+        }
+    }
+    Ok(TypeDescription {
+        name,
+        guid,
+        kind,
+        modifiers,
+        superclass,
+        interfaces,
+        fields,
+        methods,
+        constructors,
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pti_metamodel::{primitives, ParamDef, TypeDef};
+
+    fn person() -> TypeDescription {
+        TypeDescription::from_def(
+            &TypeDef::class("Acme.Person", "vendor-a")
+                .implements("INamed")
+                .field("name", primitives::STRING)
+                .field("age", primitives::INT32)
+                .method("getName", vec![], primitives::STRING)
+                .method(
+                    "rename",
+                    vec![
+                        ParamDef::new("first", primitives::STRING),
+                        ParamDef::new("last", primitives::STRING),
+                    ],
+                    primitives::VOID,
+                )
+                .ctor(vec![ParamDef::new("n", primitives::STRING)])
+                .build(),
+        )
+    }
+
+    #[test]
+    fn roundtrip_preserves_description() {
+        let d = person();
+        let xml = description_to_string(&d);
+        let back = description_from_string(&xml).unwrap();
+        assert_eq!(back, d);
+    }
+
+    #[test]
+    fn xml_is_flat_and_nonrecursive() {
+        let d = person();
+        let el = description_to_xml(&d);
+        // Field/param types appear as name attributes only — no nested
+        // <typeDescription> (Section 5.2's "no recursion").
+        fn no_nested(el: &Element) -> bool {
+            el.elements().all(|c| c.name != "typeDescription" && no_nested(c))
+        }
+        assert!(no_nested(&el));
+        assert_eq!(el.find_all("field").count(), 2);
+        assert_eq!(el.find_all("method").count(), 2);
+        assert_eq!(el.find_all("constructor").count(), 1);
+        assert_eq!(el.find("superclass").unwrap().get_attr("name"), Some("Object"));
+    }
+
+    #[test]
+    fn roundtrip_interface_without_superclass() {
+        let d = TypeDescription::from_def(
+            &TypeDef::interface("INamed", "v")
+                .method("getName", vec![], primitives::STRING)
+                .build(),
+        );
+        let back = description_from_string(&description_to_string(&d)).unwrap();
+        assert_eq!(back, d);
+        assert!(back.superclass.is_none());
+    }
+
+    #[test]
+    fn guid_survives_the_wire() {
+        let d = person();
+        let back = description_from_string(&description_to_string(&d)).unwrap();
+        assert_eq!(back.guid, d.guid);
+        assert!(back.equals(&d));
+    }
+
+    #[test]
+    fn rejects_wrong_root() {
+        assert!(matches!(
+            description_from_string("<notATypeDescription/>"),
+            Err(SerializeError::Malformed(_))
+        ));
+    }
+
+    #[test]
+    fn rejects_missing_attributes() {
+        assert!(description_from_string("<typeDescription name=\"X\"/>").is_err());
+        assert!(description_from_string(
+            "<typeDescription name=\"X\" guid=\"bogus\" kind=\"class\" modifiers=\"1\"/>"
+        )
+        .is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_kind() {
+        let d = person();
+        let xml = description_to_string(&d).replace("kind=\"class\"", "kind=\"struct\"");
+        assert!(description_from_string(&xml).is_err());
+    }
+
+    #[test]
+    fn method_param_order_preserved() {
+        let d = person();
+        let back = description_from_string(&description_to_string(&d)).unwrap();
+        assert_eq!(back.methods[1].params.len(), 2);
+        assert_eq!(back.methods[1].params[0].full(), "String");
+    }
+}

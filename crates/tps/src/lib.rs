@@ -1,0 +1,361 @@
+//! # pti-tps — type-based publish/subscribe over type interoperability
+//!
+//! The paper names TPS as the "obvious application" of type
+//! interoperability (Section 8): with plain TPS, "subscribers and
+//! publishers must agree a priori on the types they want to
+//! transfer/receive"; with type interoperability, a subscriber's interest
+//! type matches any *implicitly structurally conformant* event type —
+//! publishers and subscribers never have to share a type hierarchy or
+//! even a vendor.
+//!
+//! [`TypedPubSub`] is a thin broadcast layer over the optimistic
+//! transport: publishing sends the event object to every other member;
+//! each member's own conformance check decides delivery, and rejected
+//! events never cost an assembly download (Figure 1's saving, amortized
+//! over the whole group).
+//!
+//! ## Example
+//!
+//! ```
+//! use pti_conformance::ConformanceConfig;
+//! use pti_metamodel::{Assembly, TypeDef, TypeDescription, Value, bodies, primitives};
+//! use pti_net::NetConfig;
+//! use pti_serialize::PayloadFormat;
+//! use pti_tps::TypedPubSub;
+//!
+//! let mut tps = TypedPubSub::new(NetConfig::default());
+//! let publisher = tps.add_member(ConformanceConfig::pragmatic());
+//! let subscriber = tps.add_member(ConformanceConfig::pragmatic());
+//!
+//! // Publisher's event type.
+//! let quote = TypeDef::class("StockQuote", "pub")
+//!     .field("symbol", primitives::STRING)
+//!     .field("price", primitives::FLOAT64)
+//!     .ctor(vec![])
+//!     .build();
+//! let g = quote.guid;
+//! tps.publish_types(publisher, Assembly::builder("quotes")
+//!     .ty(quote)
+//!     .ctor_body(g, 0, bodies::ctor_assign(&[]))
+//!     .build())?;
+//!
+//! // Subscriber's independently written view of the same module.
+//! let my_quote = TypeDef::class("StockQuote", "sub")
+//!     .field("symbol", primitives::STRING)
+//!     .field("price", primitives::FLOAT64)
+//!     .build();
+//! tps.subscribe(subscriber, TypeDescription::from_def(&my_quote));
+//!
+//! let rt = &mut tps.member_mut(publisher).runtime;
+//! let e = rt.instantiate(&"StockQuote".into(), &[])?;
+//! rt.set_field(e, "symbol", Value::from("ACME"))?;
+//! rt.set_field(e, "price", Value::F64(42.5))?;
+//! tps.publish(publisher, &Value::Obj(e), PayloadFormat::Binary)?;
+//! tps.run()?;
+//!
+//! let events = tps.notifications(subscriber);
+//! assert_eq!(events.len(), 1);
+//! assert_eq!(events[0].interest.full(), "StockQuote");
+//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! ```
+
+#![warn(missing_docs)]
+
+use pti_conformance::ConformanceConfig;
+use pti_metamodel::{Assembly, TypeDescription, TypeName, Value};
+use pti_net::{NetConfig, PeerId, SimNet};
+use pti_proxy::DynamicProxy;
+use pti_serialize::PayloadFormat;
+use pti_transport::{Delivery, Peer, Result, Swarm};
+
+/// A matched event delivered to a subscriber.
+#[derive(Debug, Clone)]
+pub struct EventNotification {
+    /// The publishing peer.
+    pub from: PeerId,
+    /// The materialized event value (object handle in the subscriber's
+    /// runtime).
+    pub value: Value,
+    /// The subscription (type of interest) the event matched.
+    pub interest: TypeName,
+    /// Proxy exposing the subscription's contract over the event.
+    pub proxy: Option<DynamicProxy>,
+}
+
+/// A publish/subscribe group where subscriptions are *types* and matching
+/// is implicit structural conformance.
+#[derive(Debug)]
+pub struct TypedPubSub {
+    swarm: Swarm,
+    members: Vec<PeerId>,
+}
+
+impl TypedPubSub {
+    /// Creates an empty group over a network with the given parameters.
+    pub fn new(config: NetConfig) -> TypedPubSub {
+        TypedPubSub { swarm: Swarm::new(config), members: Vec::new() }
+    }
+
+    /// Adds a member peer.
+    pub fn add_member(&mut self, config: ConformanceConfig) -> PeerId {
+        let id = self.swarm.add_peer(config);
+        self.members.push(id);
+        id
+    }
+
+    /// All member peers.
+    pub fn members(&self) -> &[PeerId] {
+        &self.members
+    }
+
+    /// Mutable access to a member (its runtime, stats, ...).
+    pub fn member_mut(&mut self, id: PeerId) -> &mut Peer {
+        self.swarm.peer_mut(id)
+    }
+
+    /// Immutable access to a member.
+    pub fn member(&self, id: PeerId) -> &Peer {
+        self.swarm.peer(id)
+    }
+
+    /// The underlying swarm (network metrics, manual driving).
+    pub fn swarm(&self) -> &Swarm {
+        &self.swarm
+    }
+
+    /// Mutable access to the underlying swarm.
+    pub fn swarm_mut(&mut self) -> &mut Swarm {
+        &mut self.swarm
+    }
+
+    /// Publishes the event *types* a member will produce (its assembly).
+    ///
+    /// # Errors
+    /// Installation conflicts.
+    pub fn publish_types(&mut self, member: PeerId, assembly: Assembly) -> Result<()> {
+        self.swarm.publish(member, assembly)
+    }
+
+    /// Registers a subscription: a type of interest events are matched
+    /// against by implicit structural conformance.
+    pub fn subscribe(&mut self, member: PeerId, interest: TypeDescription) {
+        self.swarm.peer_mut(member).subscribe(interest);
+    }
+
+    /// Cancels a subscription by the interest type's identity. Returns
+    /// whether a subscription was removed.
+    pub fn unsubscribe(&mut self, member: PeerId, interest: pti_metamodel::Guid) -> bool {
+        self.swarm.peer_mut(member).unsubscribe(interest)
+    }
+
+    /// Publishes an event to every other member (decentralized TPS:
+    /// broadcast + subscriber-side conformance filtering).
+    ///
+    /// # Errors
+    /// Serialization or provenance failures at the publisher.
+    pub fn publish(&mut self, from: PeerId, event: &Value, format: PayloadFormat) -> Result<()> {
+        let targets: Vec<PeerId> =
+            self.members.iter().copied().filter(|m| *m != from).collect();
+        for to in targets {
+            self.swarm.send_object(from, to, event, format)?;
+        }
+        Ok(())
+    }
+
+    /// Drives the network until quiet.
+    ///
+    /// # Errors
+    /// Protocol violations.
+    pub fn run(&mut self) -> Result<()> {
+        self.swarm.run()
+    }
+
+    /// Matched events delivered to a subscriber since the last call.
+    ///
+    /// Only deliveries that matched a subscription become notifications;
+    /// objects accepted merely because their exact type was already
+    /// installed (no interest) are dropped, and rejected events were
+    /// already filtered by the protocol without downloading code.
+    pub fn notifications(&mut self, member: PeerId) -> Vec<EventNotification> {
+        self.swarm
+            .peer_mut(member)
+            .take_deliveries()
+            .into_iter()
+            .filter_map(|d| match d {
+                Delivery::Accepted { from, value, interest: Some(interest), proxy } => {
+                    Some(EventNotification { from, value, interest, proxy })
+                }
+                _ => None,
+            })
+            .collect()
+    }
+
+    /// Network traffic counters.
+    pub fn net(&self) -> &SimNet {
+        self.swarm.net()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pti_metamodel::{bodies, primitives, TypeDef};
+
+    fn quote_assembly(salt: &str) -> (Assembly, TypeDef) {
+        let def = TypeDef::class("StockQuote", salt)
+            .field("symbol", primitives::STRING)
+            .field("price", primitives::FLOAT64)
+            .method("getSymbol", vec![], primitives::STRING)
+            .ctor(vec![])
+            .build();
+        let g = def.guid;
+        let asm = Assembly::builder(format!("quotes-{salt}"))
+            .ty(def.clone())
+            .body(g, "getSymbol", 0, bodies::getter("symbol"))
+            .ctor_body(g, 0, bodies::ctor_assign(&[]))
+            .build();
+        (asm, def)
+    }
+
+    fn news_assembly(salt: &str) -> (Assembly, TypeDef) {
+        let def = TypeDef::class("NewsFlash", salt)
+            .field("headline", primitives::STRING)
+            .ctor(vec![])
+            .build();
+        let g = def.guid;
+        let asm = Assembly::builder(format!("news-{salt}"))
+            .ty(def.clone())
+            .ctor_body(g, 0, bodies::ctor_assign(&[]))
+            .build();
+        (asm, def)
+    }
+
+    fn publish_quote(tps: &mut TypedPubSub, publisher: PeerId, symbol: &str) {
+        let rt = &mut tps.member_mut(publisher).runtime;
+        let e = rt.instantiate(&"StockQuote".into(), &[]).unwrap();
+        rt.set_field(e, "symbol", Value::from(symbol)).unwrap();
+        tps.publish(publisher, &Value::Obj(e), PayloadFormat::Binary).unwrap();
+    }
+
+    #[test]
+    fn matching_subscriber_gets_event_others_do_not() {
+        let mut tps = TypedPubSub::new(NetConfig::default());
+        let publisher = tps.add_member(ConformanceConfig::pragmatic());
+        let quote_fan = tps.add_member(ConformanceConfig::pragmatic());
+        let news_fan = tps.add_member(ConformanceConfig::pragmatic());
+
+        let (asm, _) = quote_assembly("pub");
+        tps.publish_types(publisher, asm).unwrap();
+        let (_, sub_quote) = quote_assembly("quote-fan");
+        tps.subscribe(quote_fan, TypeDescription::from_def(&sub_quote));
+        let (_, sub_news) = news_assembly("news-fan");
+        tps.subscribe(news_fan, TypeDescription::from_def(&sub_news));
+
+        publish_quote(&mut tps, publisher, "ACME");
+        tps.run().unwrap();
+
+        let got = tps.notifications(quote_fan);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].from, publisher);
+        assert!(tps.notifications(news_fan).is_empty());
+        assert_eq!(tps.member(news_fan).stats.rejected, 1);
+        assert_eq!(tps.member(news_fan).stats.asm_requests, 0, "no code for non-matches");
+    }
+
+    #[test]
+    fn subscriber_invokes_event_through_its_own_contract() {
+        let mut tps = TypedPubSub::new(NetConfig::default());
+        let publisher = tps.add_member(ConformanceConfig::pragmatic());
+        let subscriber = tps.add_member(ConformanceConfig::pragmatic());
+        let (asm, _) = quote_assembly("pub");
+        tps.publish_types(publisher, asm).unwrap();
+        // Subscriber's view names the getter differently but conformantly.
+        let sub_def = TypeDef::class("StockQuote", "sub")
+            .field("symbol", primitives::STRING)
+            .field("price", primitives::FLOAT64)
+            .method("getSymbol", vec![], primitives::STRING)
+            .build();
+        tps.subscribe(subscriber, TypeDescription::from_def(&sub_def));
+        publish_quote(&mut tps, publisher, "GLOBEX");
+        tps.run().unwrap();
+        let mut got = tps.notifications(subscriber);
+        let ev = got.remove(0);
+        let proxy = ev.proxy.unwrap();
+        let sym = proxy
+            .invoke(&mut tps.member_mut(subscriber).runtime, "getSymbol", &[])
+            .unwrap();
+        assert_eq!(sym.as_str().unwrap(), "GLOBEX");
+    }
+
+    #[test]
+    fn many_events_amortize_protocol_cost() {
+        let mut tps = TypedPubSub::new(NetConfig::default());
+        let publisher = tps.add_member(ConformanceConfig::pragmatic());
+        let subscriber = tps.add_member(ConformanceConfig::pragmatic());
+        let (asm, _) = quote_assembly("pub");
+        tps.publish_types(publisher, asm).unwrap();
+        let (_, sub) = quote_assembly("sub");
+        tps.subscribe(subscriber, TypeDescription::from_def(&sub));
+
+        for i in 0..10 {
+            publish_quote(&mut tps, publisher, &format!("S{i}"));
+        }
+        tps.run().unwrap();
+        assert_eq!(tps.notifications(subscriber).len(), 10);
+        // Description and code each crossed the wire exactly once.
+        assert_eq!(tps.member(subscriber).stats.desc_requests, 1);
+        assert_eq!(tps.member(subscriber).stats.asm_requests, 1);
+    }
+
+    #[test]
+    fn multiple_subscriptions_first_match_wins() {
+        let mut tps = TypedPubSub::new(NetConfig::default());
+        let publisher = tps.add_member(ConformanceConfig::pragmatic());
+        let subscriber = tps.add_member(ConformanceConfig::pragmatic());
+        let (asm, pub_def) = quote_assembly("pub");
+        tps.publish_types(publisher, asm).unwrap();
+        let (_, news) = news_assembly("sub");
+        tps.subscribe(subscriber, TypeDescription::from_def(&news));
+        tps.subscribe(subscriber, TypeDescription::from_def(&pub_def));
+        publish_quote(&mut tps, publisher, "X");
+        tps.run().unwrap();
+        let got = tps.notifications(subscriber);
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].interest.full(), "StockQuote");
+    }
+
+    #[test]
+    fn unsubscribe_stops_future_deliveries() {
+        let mut tps = TypedPubSub::new(NetConfig::default());
+        let publisher = tps.add_member(ConformanceConfig::pragmatic());
+        let subscriber = tps.add_member(ConformanceConfig::pragmatic());
+        let (asm, _) = quote_assembly("pub");
+        tps.publish_types(publisher, asm).unwrap();
+        let (_, sub_def) = quote_assembly("sub");
+        let sub_guid = sub_def.guid;
+        tps.subscribe(subscriber, TypeDescription::from_def(&sub_def));
+
+        publish_quote(&mut tps, publisher, "BEFORE");
+        tps.run().unwrap();
+        assert_eq!(tps.notifications(subscriber).len(), 1);
+
+        assert!(tps.unsubscribe(subscriber, sub_guid));
+        assert!(!tps.unsubscribe(subscriber, sub_guid), "idempotent");
+        publish_quote(&mut tps, publisher, "AFTER");
+        tps.run().unwrap();
+        assert!(tps.notifications(subscriber).is_empty());
+    }
+
+    #[test]
+    fn publisher_does_not_receive_its_own_events() {
+        let mut tps = TypedPubSub::new(NetConfig::default());
+        let publisher = tps.add_member(ConformanceConfig::pragmatic());
+        let _other = tps.add_member(ConformanceConfig::pragmatic());
+        let (asm, def) = quote_assembly("pub");
+        tps.publish_types(publisher, asm).unwrap();
+        tps.subscribe(publisher, TypeDescription::from_def(&def));
+        publish_quote(&mut tps, publisher, "SELF");
+        tps.run().unwrap();
+        assert!(tps.notifications(publisher).is_empty());
+    }
+}

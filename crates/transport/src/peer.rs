@@ -1,0 +1,546 @@
+//! A protocol peer: runtime + interests + caches + pending exchanges.
+
+use std::collections::{HashMap, HashSet};
+
+use pti_conformance::{Conformance, ConformanceChecker, ConformanceConfig};
+use pti_metamodel::{
+    Assembly, DescriptionProvider, Guid, Runtime, TypeDescription, TypeName, Value,
+};
+use pti_net::PeerId;
+use pti_proxy::DynamicProxy;
+use pti_serialize::{AssemblyRef, ObjectEnvelope, Payload, PayloadFormat};
+
+use crate::error::{Result, TransportError};
+
+/// How an inbound object exchange ended.
+// Accepted carries the full proxy (description + binding); deliveries are
+// produced once per exchange and immediately consumed, so the size skew
+// is irrelevant.
+#[allow(clippy::large_enum_variant)]
+#[derive(Debug, Clone)]
+pub enum Delivery {
+    /// The object was materialized into the local runtime.
+    Accepted {
+        /// Peer the object came from.
+        from: PeerId,
+        /// The materialized value (root object handle or primitive).
+        value: Value,
+        /// Name of the matched type of interest, if conformance-based
+        /// matching took place.
+        interest: Option<TypeName>,
+        /// A proxy exposing the matched interest over the object (absent
+        /// for primitives or interest-less direct acceptance).
+        proxy: Option<DynamicProxy>,
+    },
+    /// Conformance failed against every local interest; the code was
+    /// *not* downloaded (the optimistic saving).
+    Rejected {
+        /// Peer the object came from.
+        from: PeerId,
+        /// Type name of the rejected object.
+        type_name: TypeName,
+    },
+}
+
+impl Delivery {
+    /// Whether this delivery accepted the object.
+    pub fn is_accepted(&self) -> bool {
+        matches!(self, Delivery::Accepted { .. })
+    }
+}
+
+/// Protocol counters per peer.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ProtocolStats {
+    /// Objects received (either protocol).
+    pub objects_received: u64,
+    /// Objects accepted.
+    pub accepted: u64,
+    /// Objects rejected after a failed conformance check.
+    pub rejected: u64,
+    /// Type-description fetches issued.
+    pub desc_requests: u64,
+    /// Assembly (code) fetches issued.
+    pub asm_requests: u64,
+    /// Conformance checks run.
+    pub conformance_checks: u64,
+}
+
+/// One assembly this peer published, with its artifacts and paths.
+#[derive(Debug, Clone)]
+pub struct Published {
+    /// The code bundle.
+    pub assembly: Assembly,
+    /// Descriptions of every type bundled in the assembly.
+    pub descriptions: Vec<TypeDescription>,
+    /// Download path of the descriptions.
+    pub desc_path: String,
+    /// Download path of the code.
+    pub asm_path: String,
+}
+
+/// An inbound object whose exchange is still in flight (waiting on
+/// descriptions and/or code).
+#[derive(Debug, Clone)]
+pub(crate) struct PendingObject {
+    /// Monotonic arrival number (deliveries complete in arrival order
+    /// whenever they unblock together).
+    pub seq: u64,
+    pub from: PeerId,
+    pub envelope: ObjectEnvelope,
+    /// Description paths still outstanding.
+    pub awaiting_descs: HashSet<String>,
+    /// `Some(paths)` once conformance passed: code paths still missing.
+    pub awaiting_asms: Option<HashSet<String>>,
+    /// Interest matched by the conformance stage.
+    pub matched: Option<TypeDescription>,
+}
+
+/// A protocol peer.
+///
+/// Owns a [`Runtime`] (its types + objects), the set of *types of
+/// interest* it is willing to receive, a cache of downloaded type
+/// descriptions, and the conformance checker with its verdict cache.
+pub struct Peer {
+    /// This peer's network identity.
+    pub id: PeerId,
+    /// The local object runtime.
+    pub runtime: Runtime,
+    pub(crate) checker: ConformanceChecker,
+    interests: Vec<TypeDescription>,
+    /// Downloaded descriptions by GUID (plus name index for provider use).
+    desc_cache: HashMap<Guid, TypeDescription>,
+    desc_by_name: HashMap<String, Vec<Guid>>,
+    /// Everything this peer published, by description path and by code
+    /// path.
+    published_by_desc: HashMap<String, Published>,
+    published_by_asm: HashMap<String, Published>,
+    /// Provenance: which published assembly a local type came from.
+    path_of_type: HashMap<Guid, String>,
+    /// Code paths whose assemblies are installed locally.
+    installed: HashSet<String>,
+    /// Content hashes of installed assemblies (path-independent identity).
+    installed_hashes: HashSet<u64>,
+    /// Description paths already requested (suppress duplicates).
+    pub(crate) requested_descs: HashSet<String>,
+    /// Assembly paths already requested (suppress duplicates).
+    pub(crate) requested_asms: HashSet<String>,
+    pub(crate) pending: Vec<PendingObject>,
+    pub(crate) next_seq: u64,
+    deliveries: Vec<Delivery>,
+    /// Protocol counters.
+    pub stats: ProtocolStats,
+}
+
+impl std::fmt::Debug for Peer {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Peer")
+            .field("id", &self.id)
+            .field("interests", &self.interests.len())
+            .field("desc_cache", &self.desc_cache.len())
+            .field("installed", &self.installed.len())
+            .field("pending", &self.pending.len())
+            .field("stats", &self.stats)
+            .finish()
+    }
+}
+
+impl Peer {
+    /// Creates a peer with the given conformance configuration.
+    pub fn new(id: PeerId, config: ConformanceConfig) -> Peer {
+        Peer {
+            id,
+            runtime: Runtime::new(),
+            checker: ConformanceChecker::new(config),
+            interests: Vec::new(),
+            desc_cache: HashMap::new(),
+            desc_by_name: HashMap::new(),
+            published_by_desc: HashMap::new(),
+            published_by_asm: HashMap::new(),
+            path_of_type: HashMap::new(),
+            installed: HashSet::new(),
+            installed_hashes: HashSet::new(),
+            requested_descs: HashSet::new(),
+            requested_asms: HashSet::new(),
+            pending: Vec::new(),
+            next_seq: 0,
+            deliveries: Vec::new(),
+            stats: ProtocolStats::default(),
+        }
+    }
+
+    /// Publishes an assembly: installs it locally and exposes its
+    /// descriptions and code under download paths derived from the peer
+    /// id and assembly name. Returns the published record.
+    ///
+    /// # Errors
+    /// Registry conflicts on installation.
+    pub fn publish(&mut self, assembly: Assembly) -> Result<Published> {
+        assembly.install(&mut self.runtime)?;
+        let desc_path = format!("pti://{}/desc/{}", self.id, assembly.name());
+        let asm_path = format!("pti://{}/asm/{}", self.id, assembly.name());
+        let descriptions: Vec<TypeDescription> =
+            assembly.types().iter().map(TypeDescription::from_def).collect();
+        for t in assembly.types() {
+            self.path_of_type.insert(t.guid, asm_path.clone());
+        }
+        self.installed.insert(asm_path.clone());
+        self.installed_hashes.insert(assembly.content_hash());
+        let published = Published {
+            assembly,
+            descriptions,
+            desc_path: desc_path.clone(),
+            asm_path: asm_path.clone(),
+        };
+        self.published_by_desc.insert(desc_path, published.clone());
+        self.published_by_asm.insert(asm_path, published.clone());
+        Ok(published)
+    }
+
+    /// Declares a type of interest: inbound objects are matched (by
+    /// implicit structural conformance) against these.
+    pub fn subscribe(&mut self, interest: TypeDescription) {
+        self.interests.push(interest);
+    }
+
+    /// The declared interests.
+    pub fn interests(&self) -> &[TypeDescription] {
+        &self.interests
+    }
+
+    /// Withdraws a previously declared interest by identity. Returns
+    /// whether anything was removed. Objects already delivered are
+    /// unaffected; future objects are matched against the remaining
+    /// interests only.
+    pub fn unsubscribe(&mut self, guid: pti_metamodel::Guid) -> bool {
+        let before = self.interests.len();
+        self.interests.retain(|d| d.guid != guid);
+        before != self.interests.len()
+    }
+
+    /// Takes all finished deliveries accumulated so far.
+    pub fn take_deliveries(&mut self) -> Vec<Delivery> {
+        std::mem::take(&mut self.deliveries)
+    }
+
+    pub(crate) fn push_delivery(&mut self, d: Delivery) {
+        match &d {
+            Delivery::Accepted { .. } => self.stats.accepted += 1,
+            Delivery::Rejected { .. } => self.stats.rejected += 1,
+        }
+        self.deliveries.push(d);
+    }
+
+    /// Whether the code for a download path is installed.
+    pub fn has_installed(&self, asm_path: &str) -> bool {
+        self.installed.contains(asm_path)
+    }
+
+    pub(crate) fn mark_installed(&mut self, asm_path: &str, content_hash: u64) {
+        self.installed.insert(asm_path.to_string());
+        self.installed_hashes.insert(content_hash);
+    }
+
+    /// Whether the code behind an assembly reference is available locally
+    /// — by download path or by content identity (the same assembly may
+    /// have been installed from a different peer's path).
+    pub fn has_assembly(&self, aref: &AssemblyRef) -> bool {
+        if self.installed.contains(&aref.assembly_path) {
+            return true;
+        }
+        u64::from_str_radix(&aref.content_hash, 16)
+            .map(|h| self.installed_hashes.contains(&h))
+            .unwrap_or(false)
+    }
+
+    /// The published record behind a description path, if this peer owns
+    /// it.
+    pub fn published_by_desc_path(&self, path: &str) -> Option<&Published> {
+        self.published_by_desc.get(path)
+    }
+
+    /// The published record behind a code path, if this peer owns it.
+    pub fn published_by_asm_path(&self, path: &str) -> Option<&Published> {
+        self.published_by_asm.get(path)
+    }
+
+    /// Caches a downloaded type description.
+    pub fn cache_description(&mut self, desc: TypeDescription) {
+        self.desc_by_name
+            .entry(desc.name.full().to_ascii_lowercase())
+            .or_default()
+            .push(desc.guid);
+        self.desc_cache.insert(desc.guid, desc);
+    }
+
+    /// Whether a description for this GUID is available (downloaded or
+    /// derivable from the local registry).
+    pub fn knows_description(&self, guid: Guid) -> bool {
+        self.desc_cache.contains_key(&guid) || self.runtime.registry.contains(guid)
+    }
+
+    /// The description for a GUID, if known.
+    pub fn description_of(&self, guid: Guid) -> Option<TypeDescription> {
+        self.desc_cache
+            .get(&guid)
+            .cloned()
+            .or_else(|| self.runtime.registry.get(guid).map(|d| TypeDescription::from_def(&d)))
+    }
+
+    /// A name-resolving provider over the registry plus the download
+    /// cache (what conformance checks use on the receiving side).
+    pub fn provider(&self) -> PeerProvider<'_> {
+        PeerProvider { peer: self }
+    }
+
+    /// Runs the conformance stage for a root description: the first
+    /// interest it conforms to (in subscription order).
+    pub fn match_interest(
+        &mut self,
+        root: &TypeDescription,
+    ) -> Option<(TypeDescription, Conformance)> {
+        // Collect into a vec first: the provider borrows `self`.
+        let interests = self.interests.clone();
+        for interest in interests {
+            self.stats.conformance_checks += 1;
+            let provider = PeerProvider { peer: self };
+            if let Ok(conf) = self.checker.check(root, &interest, &provider, &provider) {
+                return Some((interest, conf));
+            }
+        }
+        None
+    }
+
+    /// Builds the Figure-3 envelope for a value rooted in this peer's
+    /// runtime: payload in the requested format plus assembly download
+    /// information for every type reachable from the value.
+    ///
+    /// # Errors
+    /// [`TransportError::NoProvenance`] if a reachable type was never
+    /// published.
+    pub fn make_envelope(&self, root: &Value, format: PayloadFormat) -> Result<ObjectEnvelope> {
+        let guids = self.reachable_type_guids(root)?;
+        let (type_name, type_guid) = match root {
+            Value::Obj(h) => {
+                let def = self.runtime.type_of(*h)?;
+                (def.name.clone(), def.guid)
+            }
+            other => (TypeName::new(other.kind_name()), Guid::NIL),
+        };
+        let mut assemblies: Vec<AssemblyRef> = Vec::new();
+        let mut seen_paths: HashSet<String> = HashSet::new();
+        for guid in &guids {
+            let path = self
+                .path_of_type
+                .get(guid)
+                .ok_or_else(|| {
+                    let name = self
+                        .runtime
+                        .registry
+                        .get(*guid)
+                        .map(|d| d.name.clone())
+                        .unwrap_or_else(|| TypeName::new("<unknown>"));
+                    TransportError::NoProvenance(name)
+                })?
+                .clone();
+            if !seen_paths.insert(path.clone()) {
+                continue;
+            }
+            let published = self
+                .published_by_asm
+                .get(&path)
+                .ok_or_else(|| TransportError::UnknownPath(path.clone()))?;
+            assemblies.push(AssemblyRef {
+                name: published.assembly.name().to_string(),
+                description_path: published.desc_path.clone(),
+                assembly_path: published.asm_path.clone(),
+                content_hash: format!("{:x}", published.assembly.content_hash()),
+            });
+        }
+        let payload = match format {
+            PayloadFormat::Soap => Payload::Soap(pti_serialize::to_soap(&self.runtime, root)?),
+            PayloadFormat::Binary => {
+                Payload::Binary(pti_serialize::to_binary(&self.runtime, root)?)
+            }
+        };
+        Ok(ObjectEnvelope { type_name, type_guid, assemblies, payload })
+    }
+
+    /// Deserializes an envelope payload into the local runtime.
+    ///
+    /// # Errors
+    /// Any serializer error (unknown types mean the protocol let a
+    /// deserialize happen before installing code — a bug).
+    pub fn materialize(&mut self, envelope: &ObjectEnvelope) -> Result<Value> {
+        Ok(match &envelope.payload {
+            Payload::Soap(el) => pti_serialize::from_soap(&mut self.runtime, el)?,
+            Payload::Binary(bytes) => pti_serialize::from_binary(&mut self.runtime, bytes)?,
+        })
+    }
+
+    /// GUIDs of the types of all objects reachable from `root`.
+    fn reachable_type_guids(&self, root: &Value) -> Result<Vec<Guid>> {
+        let mut out = Vec::new();
+        let mut seen_objs = HashSet::new();
+        let mut stack = vec![root.clone()];
+        while let Some(v) = stack.pop() {
+            match v {
+                Value::Obj(h) => {
+                    if !seen_objs.insert(h) {
+                        continue;
+                    }
+                    let obj = self.runtime.heap.get(h)?;
+                    if !out.contains(&obj.type_guid) {
+                        out.push(obj.type_guid);
+                    }
+                    for fv in obj.fields.values() {
+                        stack.push(fv.clone());
+                    }
+                }
+                Value::Array(items) => stack.extend(items),
+                _ => {}
+            }
+        }
+        Ok(out)
+    }
+}
+
+/// [`DescriptionProvider`] over a peer's registry plus its description
+/// download cache.
+pub struct PeerProvider<'p> {
+    peer: &'p Peer,
+}
+
+impl DescriptionProvider for PeerProvider<'_> {
+    fn describe(&self, name: &TypeName) -> Option<TypeDescription> {
+        // Local registry first (authoritative for installed types)...
+        if let Some(d) = self.peer.runtime.registry.resolve(name) {
+            return Some(TypeDescription::from_def(&d));
+        }
+        // ...then the download cache.
+        self.peer
+            .desc_by_name
+            .get(&name.full().to_ascii_lowercase())
+            .and_then(|guids| guids.first())
+            .and_then(|g| self.peer.desc_cache.get(g))
+            .cloned()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pti_metamodel::{bodies, primitives, ParamDef, TypeDef};
+
+    fn person_assembly(salt: &str) -> (Assembly, TypeDef) {
+        let def = TypeDef::class("Person", salt)
+            .field("name", primitives::STRING)
+            .method("getName", vec![], primitives::STRING)
+            .ctor(vec![ParamDef::new("n", primitives::STRING)])
+            .build();
+        let g = def.guid;
+        let asm = Assembly::builder(format!("person-{salt}"))
+            .ty(def.clone())
+            .body(g, "getName", 0, bodies::getter("name"))
+            .ctor_body(g, 1, bodies::ctor_assign(&["name"]))
+            .build();
+        (asm, def)
+    }
+
+    #[test]
+    fn publish_installs_and_indexes() {
+        let mut p = Peer::new(PeerId(1), ConformanceConfig::paper());
+        let (asm, def) = person_assembly("a");
+        let pubd = p.publish(asm).unwrap();
+        assert!(p.runtime.registry.contains(def.guid));
+        assert!(p.has_installed(&pubd.asm_path));
+        assert!(p.published_by_desc_path(&pubd.desc_path).is_some());
+        assert!(p.published_by_asm_path(&pubd.asm_path).is_some());
+        assert_eq!(pubd.descriptions.len(), 1);
+    }
+
+    #[test]
+    fn envelope_carries_provenance() {
+        let mut p = Peer::new(PeerId(1), ConformanceConfig::paper());
+        let (asm, _) = person_assembly("a");
+        p.publish(asm).unwrap();
+        let h = p
+            .runtime
+            .instantiate(&"Person".into(), &[Value::from("ada")])
+            .unwrap();
+        let env = p.make_envelope(&Value::Obj(h), PayloadFormat::Binary).unwrap();
+        assert_eq!(env.type_name.full(), "Person");
+        assert_eq!(env.assemblies.len(), 1);
+        assert!(env.assemblies[0].assembly_path.contains("peer-1"));
+    }
+
+    #[test]
+    fn unpublished_type_has_no_provenance() {
+        let mut p = Peer::new(PeerId(1), ConformanceConfig::paper());
+        let (_, def) = person_assembly("a");
+        p.runtime.register_type(def).unwrap();
+        let h = p.runtime.instantiate(&"Person".into(), &[Value::from("x")]);
+        // ctor body missing (not installed via assembly) — instantiate
+        // with 1 arg still works (declared ctor), body absent is allowed.
+        let h = h.unwrap();
+        let err = p.make_envelope(&Value::Obj(h), PayloadFormat::Binary).unwrap_err();
+        assert!(matches!(err, TransportError::NoProvenance(_)));
+    }
+
+    #[test]
+    fn envelope_includes_nested_assemblies() {
+        // Person in one assembly, Address in another; a Person holding an
+        // Address must list both (Figure 3's A + B information).
+        let mut p = Peer::new(PeerId(1), ConformanceConfig::paper());
+        let addr = TypeDef::class("Address", "a").field("street", primitives::STRING).ctor(vec![]).build();
+        let person = TypeDef::class("Person", "a")
+            .field("name", primitives::STRING)
+            .field("home", "Address")
+            .ctor(vec![])
+            .build();
+        p.publish(Assembly::builder("addr").ty(addr).build()).unwrap();
+        p.publish(Assembly::builder("person").ty(person).build()).unwrap();
+        let ah = p.runtime.instantiate(&"Address".into(), &[]).unwrap();
+        let ph = p.runtime.instantiate(&"Person".into(), &[]).unwrap();
+        p.runtime.set_field(ph, "home", Value::Obj(ah)).unwrap();
+        let env = p.make_envelope(&Value::Obj(ph), PayloadFormat::Soap).unwrap();
+        assert_eq!(env.assemblies.len(), 2);
+    }
+
+    #[test]
+    fn primitive_envelope_has_no_assemblies() {
+        let p = Peer::new(PeerId(1), ConformanceConfig::paper());
+        let env = p.make_envelope(&Value::I32(42), PayloadFormat::Binary).unwrap();
+        assert!(env.assemblies.is_empty());
+        assert!(env.type_guid.is_nil());
+    }
+
+    #[test]
+    fn interest_matching_uses_conformance() {
+        let mut p = Peer::new(PeerId(2), ConformanceConfig::paper());
+        let (asm_local, local_def) = person_assembly("local");
+        p.publish(asm_local).unwrap();
+        p.subscribe(TypeDescription::from_def(&local_def));
+        let (_, remote_def) = person_assembly("remote");
+        let remote_desc = TypeDescription::from_def(&remote_def);
+        let got = p.match_interest(&remote_desc);
+        assert!(got.is_some(), "equivalent remote Person matches");
+        let alien = TypeDescription::from_def(&TypeDef::class("Alien", "x").build());
+        assert!(p.match_interest(&alien).is_none());
+        assert!(p.stats.conformance_checks >= 2);
+    }
+
+    #[test]
+    fn description_cache_feeds_provider() {
+        let mut p = Peer::new(PeerId(1), ConformanceConfig::paper());
+        let remote = TypeDescription::from_def(
+            &TypeDef::class("Remote", "r").field("x", primitives::INT32).build(),
+        );
+        assert!(!p.knows_description(remote.guid));
+        p.cache_description(remote.clone());
+        assert!(p.knows_description(remote.guid));
+        let provider = p.provider();
+        let got = provider.describe(&TypeName::new("Remote")).unwrap();
+        assert_eq!(got.guid, remote.guid);
+    }
+}

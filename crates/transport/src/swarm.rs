@@ -1,0 +1,575 @@
+//! The protocol engine driving Figure 1 of the paper over the simulated
+//! network — plus the *eager* baseline it is compared against (design
+//! decision D4).
+//!
+//! Optimistic exchange of one object:
+//!
+//! 1. sender ships the hybrid envelope (type names + GUIDs + download
+//!    paths + serialized payload) — message kind `object`;
+//! 2. if the receiver does not know the type it requests the type
+//!    *description* (kinds `desc-request` / `desc-response`);
+//! 3. the receiver checks implicit structural conformance against its
+//!    types of interest; on failure the exchange ends — **no code ever
+//!    crosses the wire**;
+//! 4. on success the receiver downloads the assemblies (kinds
+//!    `asm-request` / `asm-response`), installs them, deserializes the
+//!    object and wraps it in a dynamic proxy for the matched interest.
+//!
+//! The eager baseline ships descriptions + code with every object
+//! (kind `eager-object`), which is what a subtype-propagating RMI-style
+//! middleware does; the byte difference between the two protocols is
+//! experiment F1.
+
+use std::collections::{BTreeMap, HashMap, HashSet};
+
+use pti_conformance::ConformanceConfig;
+use pti_metamodel::{Assembly, Value};
+use pti_net::{Message, NetConfig, PeerId, SimNet};
+use pti_proxy::DynamicProxy;
+use pti_serialize::{description_from_xml, description_to_xml, ObjectEnvelope, PayloadFormat};
+use pti_xml::Element;
+
+use crate::error::{Result, TransportError};
+use crate::peer::{Delivery, Peer, PendingObject};
+
+/// Message kind tags on the wire.
+pub mod kinds {
+    /// Optimistic object envelope.
+    pub const OBJECT: &str = "object";
+    /// Type-description fetch request.
+    pub const DESC_REQUEST: &str = "desc-request";
+    /// Type-description fetch response.
+    pub const DESC_RESPONSE: &str = "desc-response";
+    /// Assembly (code) fetch request.
+    pub const ASM_REQUEST: &str = "asm-request";
+    /// Assembly (code) fetch response.
+    pub const ASM_RESPONSE: &str = "asm-response";
+    /// Eager-baseline object message (envelope + descriptions + code).
+    pub const EAGER_OBJECT: &str = "eager-object";
+}
+
+/// A set of peers wired to one simulated network, with the out-of-band
+/// code registry.
+///
+/// Method bodies are Rust closures and cannot cross a (simulated) wire;
+/// the swarm therefore keeps a global `path → Assembly` registry standing
+/// in for the actual code bytes, while the *sizes* of assembly transfers
+/// are charged to the network for accounting. This preserves exactly the
+/// behaviour the experiments measure: who transfers how many bytes, when.
+pub struct Swarm {
+    net: SimNet,
+    peers: BTreeMap<PeerId, Peer>,
+    code: HashMap<String, Assembly>,
+    next_id: u32,
+    budget: usize,
+}
+
+impl std::fmt::Debug for Swarm {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Swarm")
+            .field("peers", &self.peers.len())
+            .field("published_paths", &self.code.len())
+            .field("clock_us", &self.net.now_us())
+            .finish()
+    }
+}
+
+impl Swarm {
+    /// Creates a swarm over a network with the given parameters.
+    pub fn new(config: NetConfig) -> Swarm {
+        Swarm {
+            net: SimNet::new(config),
+            peers: BTreeMap::new(),
+            code: HashMap::new(),
+            next_id: 1,
+            budget: 1_000_000,
+        }
+    }
+
+    /// Adds a peer with the given conformance configuration.
+    pub fn add_peer(&mut self, config: ConformanceConfig) -> PeerId {
+        let id = PeerId(self.next_id);
+        self.next_id += 1;
+        self.net.register(id);
+        self.peers.insert(id, Peer::new(id, config));
+        id
+    }
+
+    /// Immutable access to a peer.
+    pub fn peer(&self, id: PeerId) -> &Peer {
+        &self.peers[&id]
+    }
+
+    /// Mutable access to a peer.
+    pub fn peer_mut(&mut self, id: PeerId) -> &mut Peer {
+        self.peers.get_mut(&id).expect("unknown peer")
+    }
+
+    /// The underlying network (metrics, clock).
+    pub fn net(&self) -> &SimNet {
+        &self.net
+    }
+
+    /// Resets network traffic counters.
+    pub fn reset_metrics(&mut self) {
+        self.net.reset_metrics();
+    }
+
+    /// Publishes an assembly at a peer: local install + global code
+    /// registry entry so other peers can "download" it by path.
+    ///
+    /// # Errors
+    /// Installation conflicts.
+    pub fn publish(&mut self, peer: PeerId, assembly: Assembly) -> Result<()> {
+        let p = self.peers.get_mut(&peer).ok_or(TransportError::UnknownPeer(peer))?;
+        let published = p.publish(assembly)?;
+        self.code.insert(published.asm_path.clone(), published.assembly.clone());
+        Ok(())
+    }
+
+    /// Sends an object with the optimistic protocol (Figure 1, message 1).
+    ///
+    /// # Errors
+    /// Missing provenance, serialization failures, unknown peers.
+    pub fn send_object(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        root: &Value,
+        format: PayloadFormat,
+    ) -> Result<()> {
+        let sender = self.peers.get(&from).ok_or(TransportError::UnknownPeer(from))?;
+        let envelope = sender.make_envelope(root, format)?;
+        self.net
+            .send(from, to, kinds::OBJECT, envelope.to_string_compact().into_bytes())?;
+        Ok(())
+    }
+
+    /// Sends an object with the eager baseline: descriptions + code of
+    /// every involved assembly travel inline with the object.
+    ///
+    /// # Errors
+    /// Same conditions as [`send_object`](Self::send_object).
+    pub fn send_object_eager(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        root: &Value,
+        format: PayloadFormat,
+    ) -> Result<()> {
+        let sender = self.peers.get(&from).ok_or(TransportError::UnknownPeer(from))?;
+        let envelope = sender.make_envelope(root, format)?;
+        // Inline weight: every description document + every assembly.
+        let mut extra = 0usize;
+        for aref in &envelope.assemblies {
+            let published = sender
+                .published_by_asm_path(&aref.assembly_path)
+                .ok_or_else(|| TransportError::UnknownPath(aref.assembly_path.clone()))?;
+            extra += descriptions_document(&published.descriptions, &aref.description_path)
+                .wire_size();
+            extra += published.assembly.byte_size();
+        }
+        let mut payload = envelope.to_string_compact().into_bytes();
+        payload.push(0);
+        payload.extend(std::iter::repeat_n(0u8, extra));
+        self.net.send(from, to, kinds::EAGER_OBJECT, payload)?;
+        Ok(())
+    }
+
+    /// Runs the protocol until the network is quiet: delivers every
+    /// message, advancing pending exchanges through their description /
+    /// conformance / code stages.
+    ///
+    /// # Errors
+    /// Protocol violations (including unknown message kinds — use
+    /// [`poll_message`](Self::poll_message)/[`dispatch`](Self::dispatch)
+    /// to layer extra protocols like remoting on top) or runtime failures
+    /// inside any peer.
+    pub fn run(&mut self) -> Result<()> {
+        while let Some((at, msg)) = self.poll_message()? {
+            if !self.dispatch(at, msg.clone())? {
+                return Err(TransportError::Protocol(format!(
+                    "unknown message kind `{}`",
+                    msg.kind
+                )));
+            }
+        }
+        Ok(())
+    }
+
+    /// Pops the next deliverable message from any peer's inbox (advancing
+    /// the virtual clock). `None` when the network is quiet.
+    ///
+    /// # Errors
+    /// Budget exhaustion — a hard bound converting livelock bugs into
+    /// errors.
+    pub fn poll_message(&mut self) -> Result<Option<(PeerId, Message)>> {
+        self.budget = self.budget.saturating_sub(1);
+        if self.budget == 0 {
+            return Err(TransportError::Protocol("message budget exhausted (livelock?)".into()));
+        }
+        let ids: Vec<PeerId> = self.peers.keys().copied().collect();
+        for id in ids {
+            if let Some(msg) = self.net.recv(id) {
+                return Ok(Some((id, msg)));
+            }
+        }
+        Ok(None)
+    }
+
+    /// Sends a raw message on behalf of a peer — the hook higher-level
+    /// protocols (remoting) use to add their own message kinds.
+    ///
+    /// # Errors
+    /// Unknown destination.
+    pub fn send_raw(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        kind: &str,
+        payload: Vec<u8>,
+    ) -> Result<()> {
+        self.net.send(from, to, kind, payload)?;
+        Ok(())
+    }
+
+    /// Handles one message of the *transport* protocol. Returns `false`
+    /// (without consuming side effects) for unknown kinds so embedding
+    /// protocols can claim them.
+    ///
+    /// # Errors
+    /// Protocol violations or runtime failures.
+    pub fn dispatch(&mut self, at: PeerId, msg: Message) -> Result<bool> {
+        match msg.kind.as_str() {
+            kinds::OBJECT => self.on_object(at, msg)?,
+            kinds::DESC_REQUEST => self.on_desc_request(at, msg)?,
+            kinds::DESC_RESPONSE => self.on_desc_response(at, msg)?,
+            kinds::ASM_REQUEST => self.on_asm_request(at, msg)?,
+            kinds::ASM_RESPONSE => self.on_asm_response(at, msg)?,
+            kinds::EAGER_OBJECT => self.on_eager_object(at, msg)?,
+            _ => return Ok(false),
+        }
+        Ok(true)
+    }
+
+    fn on_object(&mut self, at: PeerId, msg: Message) -> Result<()> {
+        let text = String::from_utf8(msg.payload)
+            .map_err(|_| TransportError::Protocol("object payload not utf8".into()))?;
+        let envelope = ObjectEnvelope::from_string(&text)?;
+        let peer = self.peers.get_mut(&at).ok_or(TransportError::UnknownPeer(at))?;
+        peer.stats.objects_received += 1;
+        peer.next_seq += 1;
+        let seq = peer.next_seq;
+        let pending = PendingObject {
+            seq,
+            from: msg.from,
+            envelope,
+            awaiting_descs: HashSet::new(),
+            awaiting_asms: None,
+            matched: None,
+        };
+        peer.pending.push(pending);
+        self.advance(at, seq)
+    }
+
+    /// Index of a pending exchange by its sequence number (pendings move
+    /// as others complete, so stable seqs are the only safe key).
+    fn pending_idx(&self, at: PeerId, seq: u64) -> Option<usize> {
+        self.peers.get(&at)?.pending.iter().position(|p| p.seq == seq)
+    }
+
+    /// Pushes one pending exchange as far as it can go without more
+    /// network input; issues requests when blocked.
+    fn advance(&mut self, at: PeerId, seq: u64) -> Result<()> {
+        let Some(idx) = self.pending_idx(at, seq) else { return Ok(()) };
+        // Stage 1: root type description (steps 2-3 of Figure 1).
+        let (root_known, from, desc_paths): (bool, PeerId, Vec<(String, String)>) = {
+            let peer = self.peers.get_mut(&at).ok_or(TransportError::UnknownPeer(at))?;
+            let p = &peer.pending[idx];
+            let root_known =
+                p.envelope.type_guid.is_nil() || peer.knows_description(p.envelope.type_guid);
+            let paths = p
+                .envelope
+                .assemblies
+                .iter()
+                .map(|a| (a.description_path.clone(), a.assembly_path.clone()))
+                .collect();
+            (root_known, p.from, paths)
+        };
+
+        if !root_known {
+            // Request every listed description not yet requested.
+            let mut to_request = Vec::new();
+            {
+                let peer = self.peers.get_mut(&at).expect("checked");
+                for (desc_path, _) in &desc_paths {
+                    if peer.requested_descs.insert(desc_path.clone()) {
+                        to_request.push(desc_path.clone());
+                        peer.stats.desc_requests += 1;
+                    }
+                    peer.pending[idx].awaiting_descs.insert(desc_path.clone());
+                }
+            }
+            for path in to_request {
+                self.net.send(at, from, kinds::DESC_REQUEST, path.into_bytes())?;
+            }
+            // If nothing was newly requested but we're still waiting, a
+            // response is already in flight for another pending object.
+            return Ok(());
+        }
+
+        // Stage 2: conformance check against interests (step 3).
+        let matched_needed = {
+            let peer = self.peers.get(&at).expect("checked");
+            peer.pending[idx].matched.is_none()
+        };
+        if matched_needed {
+            let peer = self.peers.get_mut(&at).expect("checked");
+            let guid = peer.pending[idx].envelope.type_guid;
+            if guid.is_nil() {
+                // Primitive payloads skip conformance.
+            } else {
+                let root_desc = peer
+                    .description_of(guid)
+                    .ok_or_else(|| TransportError::Protocol("description vanished".into()))?;
+                // Already-installed types are accepted directly (we have
+                // their code; the value is exactly representable).
+                let all_installed = peer.pending[idx]
+                    .envelope
+                    .assemblies
+                    .iter()
+                    .all(|a| peer.has_assembly(a));
+                match peer.match_interest(&root_desc) {
+                    Some((interest, _conf)) => {
+                        peer.pending[idx].matched = Some(interest);
+                    }
+                    None if all_installed => {
+                        // Known type, no interest: direct acceptance.
+                    }
+                    None => {
+                        // Step 3 failed: reject, never download code.
+                        let p = peer.pending.remove(idx);
+                        let type_name = p.envelope.type_name.clone();
+                        peer.push_delivery(Delivery::Rejected { from: p.from, type_name });
+                        return Ok(());
+                    }
+                }
+            }
+        }
+
+        // Stage 3: code download (steps 4-5).
+        let missing: Vec<String> = {
+            let peer = self.peers.get(&at).expect("checked");
+            let p = &peer.pending[idx];
+            p.envelope
+                .assemblies
+                .iter()
+                .filter(|a| !peer.has_assembly(a))
+                .map(|a| a.assembly_path.clone())
+                .collect()
+        };
+        if !missing.is_empty() {
+            let mut to_request = Vec::new();
+            {
+                let peer = self.peers.get_mut(&at).expect("checked");
+                let p = &mut peer.pending[idx];
+                if p.awaiting_asms.is_some() {
+                    return Ok(()); // this exchange already registered its waits
+                }
+                p.awaiting_asms = Some(missing.iter().cloned().collect());
+                for path in &missing {
+                    // One fetch per path peer-wide; concurrent exchanges
+                    // for the same type share the in-flight download.
+                    if peer.requested_asms.insert(path.clone()) {
+                        to_request.push(path.clone());
+                        peer.stats.asm_requests += 1;
+                    }
+                }
+            }
+            for path in to_request {
+                self.net.send(at, from, kinds::ASM_REQUEST, path.into_bytes())?;
+            }
+            return Ok(());
+        }
+
+        // Stage 4: everything present — materialize and deliver.
+        self.finalize(at, seq)
+    }
+
+    fn finalize(&mut self, at: PeerId, seq: u64) -> Result<()> {
+        let Some(idx) = self.pending_idx(at, seq) else { return Ok(()) };
+        let peer = self.peers.get_mut(&at).ok_or(TransportError::UnknownPeer(at))?;
+        let p = peer.pending.remove(idx);
+        let value = peer.materialize(&p.envelope)?;
+        let proxy = match (&p.matched, &value) {
+            (Some(interest), Value::Obj(h)) => {
+                let root_desc = peer
+                    .description_of(p.envelope.type_guid)
+                    .ok_or_else(|| TransportError::Protocol("description vanished".into()))?;
+                let provider = peer.provider();
+                let conf = peer
+                    .checker
+                    .check(&root_desc, interest, &provider, &provider)
+                    .map_err(|nc| TransportError::Protocol(format!("conformance lost: {nc}")))?;
+                Some(DynamicProxy::from_conformance(interest, &conf, *h))
+            }
+            _ => None,
+        };
+        let interest = p.matched.as_ref().map(|d| d.name.clone());
+        peer.push_delivery(Delivery::Accepted { from: p.from, value, interest, proxy });
+        Ok(())
+    }
+
+    fn on_desc_request(&mut self, at: PeerId, msg: Message) -> Result<()> {
+        let path = String::from_utf8(msg.payload)
+            .map_err(|_| TransportError::Protocol("desc path not utf8".into()))?;
+        let peer = self.peers.get(&at).ok_or(TransportError::UnknownPeer(at))?;
+        let published = peer
+            .published_by_desc_path(&path)
+            .ok_or_else(|| TransportError::UnknownPath(path.clone()))?;
+        let doc = descriptions_document(&published.descriptions, &path);
+        self.net
+            .send(at, msg.from, kinds::DESC_RESPONSE, doc.to_compact().into_bytes())?;
+        Ok(())
+    }
+
+    fn on_desc_response(&mut self, at: PeerId, msg: Message) -> Result<()> {
+        let text = String::from_utf8(msg.payload)
+            .map_err(|_| TransportError::Protocol("desc response not utf8".into()))?;
+        let doc = pti_xml::parse(&text).map_err(pti_serialize::SerializeError::from)?;
+        let path = doc
+            .get_attr("path")
+            .ok_or_else(|| TransportError::Protocol("desc response missing path".into()))?
+            .to_string();
+        let peer = self.peers.get_mut(&at).ok_or(TransportError::UnknownPeer(at))?;
+        for child in doc.find_all("typeDescription") {
+            peer.cache_description(description_from_xml(child)?);
+        }
+        // Unblock pendings waiting on this description path, in arrival
+        // order (seq order).
+        let mut ready = Vec::new();
+        for p in peer.pending.iter_mut() {
+            if p.awaiting_descs.remove(&path) && p.awaiting_descs.is_empty() {
+                ready.push(p.seq);
+            }
+        }
+        ready.sort_unstable();
+        for seq in ready {
+            self.advance(at, seq)?;
+        }
+        Ok(())
+    }
+
+    fn on_asm_request(&mut self, at: PeerId, msg: Message) -> Result<()> {
+        let path = String::from_utf8(msg.payload)
+            .map_err(|_| TransportError::Protocol("asm path not utf8".into()))?;
+        let peer = self.peers.get(&at).ok_or(TransportError::UnknownPeer(at))?;
+        let published = peer
+            .published_by_asm_path(&path)
+            .ok_or_else(|| TransportError::UnknownPath(path.clone()))?;
+        // Payload: path, newline, zero padding up to the simulated size.
+        let size = published.assembly.byte_size();
+        let mut payload = path.clone().into_bytes();
+        payload.push(b'\n');
+        if payload.len() < size {
+            payload.resize(size, 0);
+        }
+        self.net.send(at, msg.from, kinds::ASM_RESPONSE, payload)?;
+        Ok(())
+    }
+
+    fn on_asm_response(&mut self, at: PeerId, msg: Message) -> Result<()> {
+        let nl = msg
+            .payload
+            .iter()
+            .position(|&b| b == b'\n')
+            .ok_or_else(|| TransportError::Protocol("asm response missing path".into()))?;
+        let path = String::from_utf8(msg.payload[..nl].to_vec())
+            .map_err(|_| TransportError::Protocol("asm path not utf8".into()))?;
+        // Install the code from the out-of-band registry (the wire bytes
+        // were the simulated artifact).
+        let assembly = self
+            .code
+            .get(&path)
+            .cloned()
+            .ok_or_else(|| TransportError::UnknownPath(path.clone()))?;
+        let peer = self.peers.get_mut(&at).ok_or(TransportError::UnknownPeer(at))?;
+        assembly.install(&mut peer.runtime)?;
+        let hash = assembly.content_hash();
+        peer.mark_installed(&path, hash);
+        let mut ready = Vec::new();
+        for p in peer.pending.iter_mut() {
+            if let Some(waiting) = &mut p.awaiting_asms {
+                waiting.remove(&path);
+                if waiting.is_empty() {
+                    ready.push(p.seq);
+                }
+            }
+        }
+        ready.sort_unstable();
+        for seq in ready {
+            self.finalize(at, seq)?;
+        }
+        Ok(())
+    }
+
+    fn on_eager_object(&mut self, at: PeerId, msg: Message) -> Result<()> {
+        let cut = msg
+            .payload
+            .iter()
+            .position(|&b| b == 0)
+            .unwrap_or(msg.payload.len());
+        let text = String::from_utf8(msg.payload[..cut].to_vec())
+            .map_err(|_| TransportError::Protocol("eager payload not utf8".into()))?;
+        let envelope = ObjectEnvelope::from_string(&text)?;
+        // Code and descriptions came inline: install everything.
+        let assemblies: Vec<Assembly> = envelope
+            .assemblies
+            .iter()
+            .map(|a| {
+                self.code
+                    .get(&a.assembly_path)
+                    .cloned()
+                    .ok_or_else(|| TransportError::UnknownPath(a.assembly_path.clone()))
+            })
+            .collect::<Result<_>>()?;
+        let peer = self.peers.get_mut(&at).ok_or(TransportError::UnknownPeer(at))?;
+        peer.stats.objects_received += 1;
+        for (aref, asm) in envelope.assemblies.iter().zip(assemblies) {
+            asm.install(&mut peer.runtime)?;
+            let hash = asm.content_hash();
+            peer.mark_installed(&aref.assembly_path, hash);
+            for d in asm.types() {
+                peer.cache_description(pti_metamodel::TypeDescription::from_def(d));
+            }
+        }
+        let value = peer.materialize(&envelope)?;
+        let matched = if envelope.type_guid.is_nil() {
+            None
+        } else {
+            let desc = peer
+                .description_of(envelope.type_guid)
+                .ok_or_else(|| TransportError::Protocol("description missing".into()))?;
+            peer.match_interest(&desc)
+        };
+        let proxy = match (&matched, &value) {
+            (Some((interest, conf)), Value::Obj(h)) => {
+                Some(DynamicProxy::from_conformance(interest, conf, *h))
+            }
+            _ => None,
+        };
+        let interest = matched.map(|(d, _)| d.name.clone());
+        peer.push_delivery(Delivery::Accepted { from: msg.from, value, interest, proxy });
+        Ok(())
+    }
+}
+
+/// The XML document shipped as a `desc-response`: all descriptions of an
+/// assembly under one root tagged with the requested path.
+fn descriptions_document(descs: &[pti_metamodel::TypeDescription], path: &str) -> Element {
+    let mut doc = Element::new("descriptions").attr("path", path);
+    for d in descs {
+        doc.push_child(description_to_xml(d));
+    }
+    doc
+}

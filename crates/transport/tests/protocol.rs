@@ -1,0 +1,374 @@
+//! End-to-end tests of the optimistic protocol and its eager baseline.
+
+use pti_conformance::ConformanceConfig;
+use pti_metamodel::{bodies, primitives, Assembly, ParamDef, TypeDef, TypeDescription, Value};
+use pti_net::NetConfig;
+use pti_serialize::PayloadFormat;
+use pti_transport::{kinds, Delivery, Swarm};
+
+/// An assembly publishing a `Person` type with vendor-specific method
+/// names.
+fn person_assembly(salt: &str, get: &str, set: &str) -> (Assembly, TypeDef) {
+    let def = TypeDef::class("Person", salt)
+        .field("name", primitives::STRING)
+        .method(get, vec![], primitives::STRING)
+        .method(set, vec![ParamDef::new("n", primitives::STRING)], primitives::VOID)
+        .ctor(vec![])
+        .build();
+    let g = def.guid;
+    let asm = Assembly::builder(format!("person-{salt}"))
+        .ty(def.clone())
+        .body(g, get, 0, bodies::getter("name"))
+        .body(g, set, 1, bodies::setter("name"))
+        .ctor_body(g, 0, bodies::ctor_assign(&[]))
+        .build();
+    (asm, def)
+}
+
+fn alien_assembly() -> (Assembly, TypeDef) {
+    let def = TypeDef::class("Spaceship", "zorg")
+        .field("fuel", primitives::INT64)
+        .method("warp", vec![], primitives::VOID)
+        .ctor(vec![])
+        .build();
+    let g = def.guid;
+    let asm = Assembly::builder("zorg-ship")
+        .ty(def.clone())
+        .body(g, "warp", 0, bodies::constant(Value::Null))
+        .ctor_body(g, 0, bodies::ctor_assign(&[]))
+        .build();
+    (asm, def)
+}
+
+struct Fixture {
+    swarm: Swarm,
+    alice: pti_net::PeerId,
+    bob: pti_net::PeerId,
+}
+
+/// Alice publishes vendor-a Person; Bob knows vendor-b Person and
+/// subscribes to it.
+fn fixture() -> Fixture {
+    let mut swarm = Swarm::new(NetConfig::default());
+    let alice = swarm.add_peer(ConformanceConfig::pragmatic());
+    let bob = swarm.add_peer(ConformanceConfig::pragmatic());
+    let (asm_a, _) = person_assembly("vendor-a", "getName", "setName");
+    swarm.publish(alice, asm_a).unwrap();
+    let (asm_b, def_b) = person_assembly("vendor-b", "getPersonName", "setPersonName");
+    swarm.publish(bob, asm_b).unwrap();
+    swarm.peer_mut(bob).subscribe(TypeDescription::from_def(&def_b));
+    Fixture { swarm, alice, bob }
+}
+
+fn make_person(swarm: &mut Swarm, peer: pti_net::PeerId, name: &str) -> Value {
+    let rt = &mut swarm.peer_mut(peer).runtime;
+    let h = rt.instantiate(&"Person".into(), &[]).unwrap();
+    rt.set_field(h, "name", Value::from(name)).unwrap();
+    Value::Obj(h)
+}
+
+#[test]
+fn full_optimistic_exchange_with_proxy() {
+    let Fixture { mut swarm, alice, bob } = fixture();
+    let v = make_person(&mut swarm, alice, "ada");
+    swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    swarm.run().unwrap();
+
+    let deliveries = swarm.peer_mut(bob).take_deliveries();
+    assert_eq!(deliveries.len(), 1);
+    let Delivery::Accepted { interest, proxy, value, .. } = &deliveries[0] else {
+        panic!("expected acceptance, got {deliveries:?}");
+    };
+    assert_eq!(interest.as_ref().unwrap().full(), "Person");
+    assert!(value.as_obj().is_ok());
+    // Bob invokes through *his* contract name; Alice's object answers.
+    let proxy = proxy.as_ref().unwrap();
+    let got = proxy
+        .invoke(&mut swarm.peer_mut(bob).runtime, "getPersonName", &[])
+        .unwrap();
+    assert_eq!(got.as_str().unwrap(), "ada");
+}
+
+#[test]
+fn protocol_fetches_description_then_code() {
+    let Fixture { mut swarm, alice, bob } = fixture();
+    let v = make_person(&mut swarm, alice, "x");
+    swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    swarm.run().unwrap();
+    let m = swarm.net().metrics();
+    assert_eq!(m.kind(kinds::OBJECT).messages, 1);
+    assert_eq!(m.kind(kinds::DESC_REQUEST).messages, 1);
+    assert_eq!(m.kind(kinds::DESC_RESPONSE).messages, 1);
+    assert_eq!(m.kind(kinds::ASM_REQUEST).messages, 1);
+    assert_eq!(m.kind(kinds::ASM_RESPONSE).messages, 1);
+    let stats = swarm.peer(bob).stats;
+    assert_eq!(stats.desc_requests, 1);
+    assert_eq!(stats.asm_requests, 1);
+    assert_eq!(stats.accepted, 1);
+}
+
+#[test]
+fn second_object_of_same_type_skips_all_fetches() {
+    let Fixture { mut swarm, alice, bob } = fixture();
+    let v1 = make_person(&mut swarm, alice, "first");
+    swarm.send_object(alice, bob, &v1, PayloadFormat::Binary).unwrap();
+    swarm.run().unwrap();
+    swarm.reset_metrics();
+
+    let v2 = make_person(&mut swarm, alice, "second");
+    swarm.send_object(alice, bob, &v2, PayloadFormat::Binary).unwrap();
+    swarm.run().unwrap();
+    let m = swarm.net().metrics();
+    assert_eq!(m.kind(kinds::OBJECT).messages, 1);
+    assert_eq!(m.kind(kinds::DESC_REQUEST).messages, 0, "description cached");
+    assert_eq!(m.kind(kinds::ASM_REQUEST).messages, 0, "code installed");
+    let ds = swarm.peer_mut(bob).take_deliveries();
+    assert_eq!(ds.len(), 2);
+    assert!(ds.iter().all(Delivery::is_accepted));
+}
+
+#[test]
+fn nonconformant_object_rejected_without_code_download() {
+    let Fixture { mut swarm, alice, bob } = fixture();
+    let (alien_asm, _) = alien_assembly();
+    swarm.publish(alice, alien_asm).unwrap();
+    let rt = &mut swarm.peer_mut(alice).runtime;
+    let ship = rt.instantiate(&"Spaceship".into(), &[]).unwrap();
+    swarm.send_object(alice, bob, &Value::Obj(ship), PayloadFormat::Binary).unwrap();
+    swarm.run().unwrap();
+
+    let ds = swarm.peer_mut(bob).take_deliveries();
+    assert_eq!(ds.len(), 1);
+    assert!(matches!(&ds[0], Delivery::Rejected { type_name, .. } if type_name.full() == "Spaceship"));
+    let m = swarm.net().metrics();
+    assert_eq!(m.kind(kinds::DESC_REQUEST).messages, 1, "description was fetched");
+    assert_eq!(
+        m.kind(kinds::ASM_REQUEST).messages,
+        0,
+        "the optimistic saving: no code transfer for rejected types"
+    );
+    assert_eq!(swarm.peer(bob).stats.rejected, 1);
+}
+
+#[test]
+fn eager_baseline_ships_everything_every_time() {
+    let Fixture { mut swarm, alice, bob } = fixture();
+    let v1 = make_person(&mut swarm, alice, "a");
+    let v2 = make_person(&mut swarm, alice, "b");
+    swarm.send_object_eager(alice, bob, &v1, PayloadFormat::Binary).unwrap();
+    swarm.send_object_eager(alice, bob, &v2, PayloadFormat::Binary).unwrap();
+    swarm.run().unwrap();
+    let ds = swarm.peer_mut(bob).take_deliveries();
+    assert_eq!(ds.len(), 2);
+    assert!(ds.iter().all(Delivery::is_accepted));
+    let eager_bytes = swarm.net().metrics().kind(kinds::EAGER_OBJECT).bytes;
+
+    // The same two transfers under the optimistic protocol.
+    let Fixture { mut swarm, alice, bob } = fixture();
+    let v1 = make_person(&mut swarm, alice, "a");
+    let v2 = make_person(&mut swarm, alice, "b");
+    swarm.send_object(alice, bob, &v1, PayloadFormat::Binary).unwrap();
+    swarm.run().unwrap();
+    swarm.send_object(alice, bob, &v2, PayloadFormat::Binary).unwrap();
+    swarm.run().unwrap();
+    let optimistic_bytes = swarm.net().metrics().bytes;
+
+    assert!(
+        optimistic_bytes < eager_bytes,
+        "optimistic {optimistic_bytes} B should undercut eager {eager_bytes} B on repeats"
+    );
+}
+
+#[test]
+fn eager_proxy_still_translates() {
+    let Fixture { mut swarm, alice, bob } = fixture();
+    let v = make_person(&mut swarm, alice, "greta");
+    swarm.send_object_eager(alice, bob, &v, PayloadFormat::Soap).unwrap();
+    swarm.run().unwrap();
+    let ds = swarm.peer_mut(bob).take_deliveries();
+    let Delivery::Accepted { proxy: Some(proxy), .. } = &ds[0] else { panic!() };
+    let got = proxy
+        .invoke(&mut swarm.peer_mut(bob).runtime, "getPersonName", &[])
+        .unwrap();
+    assert_eq!(got.as_str().unwrap(), "greta");
+}
+
+#[test]
+fn soap_and_binary_payloads_both_work() {
+    for format in [PayloadFormat::Soap, PayloadFormat::Binary] {
+        let Fixture { mut swarm, alice, bob } = fixture();
+        let v = make_person(&mut swarm, alice, "f");
+        swarm.send_object(alice, bob, &v, format).unwrap();
+        swarm.run().unwrap();
+        let ds = swarm.peer_mut(bob).take_deliveries();
+        assert!(ds[0].is_accepted(), "{format:?}");
+    }
+}
+
+#[test]
+fn primitive_values_accepted_without_protocol_rounds() {
+    let Fixture { mut swarm, alice, bob } = fixture();
+    swarm
+        .send_object(alice, bob, &Value::Array(vec![Value::I32(1), Value::Str("two".into())]), PayloadFormat::Binary)
+        .unwrap();
+    swarm.run().unwrap();
+    let ds = swarm.peer_mut(bob).take_deliveries();
+    let Delivery::Accepted { value, proxy, .. } = &ds[0] else { panic!() };
+    assert!(proxy.is_none());
+    assert_eq!(value.as_array().unwrap().len(), 2);
+    assert_eq!(swarm.net().metrics().kind(kinds::DESC_REQUEST).messages, 0);
+}
+
+#[test]
+fn nested_multi_assembly_object_travels_whole() {
+    let mut swarm = Swarm::new(NetConfig::default());
+    let alice = swarm.add_peer(ConformanceConfig::pragmatic());
+    let bob = swarm.add_peer(ConformanceConfig::pragmatic());
+
+    let addr = TypeDef::class("Address", "alice")
+        .field("street", primitives::STRING)
+        .ctor(vec![])
+        .build();
+    let person = TypeDef::class("Person", "alice")
+        .field("name", primitives::STRING)
+        .field("home", "Address")
+        .method("getName", vec![], primitives::STRING)
+        .ctor(vec![])
+        .build();
+    let (ag, pg) = (addr.guid, person.guid);
+    swarm
+        .publish(
+            alice,
+            Assembly::builder("alice-addr")
+                .ty(addr)
+                .ctor_body(ag, 0, bodies::ctor_assign(&[]))
+                .build(),
+        )
+        .unwrap();
+    swarm
+        .publish(
+            alice,
+            Assembly::builder("alice-person")
+                .ty(person.clone())
+                .body(pg, "getName", 0, bodies::getter("name"))
+                .ctor_body(pg, 0, bodies::ctor_assign(&[]))
+                .build(),
+        )
+        .unwrap();
+
+    // Bob's interest: structurally equivalent local Person view.
+    let bob_person = TypeDef::class("Person", "bob")
+        .field("name", primitives::STRING)
+        .field("home", "Address")
+        .method("getName", vec![], primitives::STRING)
+        .build();
+    let bob_addr = TypeDef::class("Address", "bob").field("street", primitives::STRING).build();
+    swarm.peer_mut(bob).runtime.register_type(bob_addr).unwrap();
+    swarm.peer_mut(bob).subscribe(TypeDescription::from_def(&bob_person));
+
+    let rt = &mut swarm.peer_mut(alice).runtime;
+    let ah = rt.instantiate(&"Address".into(), &[]).unwrap();
+    rt.set_field(ah, "street", Value::from("Main St 1")).unwrap();
+    let ph = rt.instantiate(&"Person".into(), &[]).unwrap();
+    rt.set_field(ph, "name", Value::from("ada")).unwrap();
+    rt.set_field(ph, "home", Value::Obj(ah)).unwrap();
+
+    swarm.send_object(alice, bob, &Value::Obj(ph), PayloadFormat::Binary).unwrap();
+    swarm.run().unwrap();
+
+    let ds = swarm.peer_mut(bob).take_deliveries();
+    let Delivery::Accepted { value, .. } = &ds[0] else { panic!("{ds:?}") };
+    let h = value.as_obj().unwrap();
+    let rt = &mut swarm.peer_mut(bob).runtime;
+    let home = rt.get_field(h, "home").unwrap().as_obj().unwrap();
+    assert_eq!(rt.get_field(home, "street").unwrap().as_str().unwrap(), "Main St 1");
+    // Both assemblies were fetched.
+    assert_eq!(swarm.net().metrics().kind(kinds::ASM_REQUEST).messages, 2);
+}
+
+#[test]
+fn virtual_time_advances_more_for_protocol_rounds() {
+    let Fixture { mut swarm, alice, bob } = fixture();
+    let v = make_person(&mut swarm, alice, "t");
+    swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    swarm.run().unwrap();
+    let t_first = swarm.net().now_us();
+    assert!(t_first > 0);
+    let v2 = make_person(&mut swarm, alice, "t2");
+    swarm.send_object(alice, bob, &v2, PayloadFormat::Binary).unwrap();
+    swarm.run().unwrap();
+    let t_second = swarm.net().now_us() - t_first;
+    assert!(
+        t_second < t_first,
+        "cached exchange ({t_second} µs) beats cold exchange ({t_first} µs)"
+    );
+}
+
+#[test]
+fn known_type_without_interest_is_accepted_raw() {
+    // Bob has the exact same assembly installed; no interests declared.
+    let mut swarm = Swarm::new(NetConfig::default());
+    let alice = swarm.add_peer(ConformanceConfig::paper());
+    let bob = swarm.add_peer(ConformanceConfig::paper());
+    let (asm, _) = person_assembly("shared", "getName", "setName");
+    swarm.publish(alice, asm.clone()).unwrap();
+    swarm.publish(bob, asm).unwrap();
+    let v = make_person(&mut swarm, alice, "raw");
+    swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    swarm.run().unwrap();
+    let ds = swarm.peer_mut(bob).take_deliveries();
+    let Delivery::Accepted { interest, proxy, value, .. } = &ds[0] else { panic!() };
+    assert!(interest.is_none());
+    assert!(proxy.is_none());
+    let h = value.as_obj().unwrap();
+    assert_eq!(
+        swarm.peer_mut(bob).runtime.invoke(h, "getName", &[]).unwrap().as_str().unwrap(),
+        "raw"
+    );
+}
+
+#[test]
+fn unknown_type_without_interest_is_rejected() {
+    let mut swarm = Swarm::new(NetConfig::default());
+    let alice = swarm.add_peer(ConformanceConfig::paper());
+    let bob = swarm.add_peer(ConformanceConfig::paper());
+    let (asm, _) = person_assembly("only-alice", "getName", "setName");
+    swarm.publish(alice, asm).unwrap();
+    let v = make_person(&mut swarm, alice, "n");
+    swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    swarm.run().unwrap();
+    let ds = swarm.peer_mut(bob).take_deliveries();
+    assert!(matches!(ds[0], Delivery::Rejected { .. }));
+}
+
+#[test]
+fn many_types_many_objects_mixed_verdicts() {
+    let mut swarm = Swarm::new(NetConfig::default());
+    let alice = swarm.add_peer(ConformanceConfig::pragmatic());
+    let bob = swarm.add_peer(ConformanceConfig::pragmatic());
+    // Bob subscribes to Person only.
+    let (asm_b, def_b) = person_assembly("bob", "getName", "setName");
+    swarm.publish(bob, asm_b).unwrap();
+    swarm.peer_mut(bob).subscribe(TypeDescription::from_def(&def_b));
+    // Alice publishes Person and Spaceship, sends a mix.
+    let (asm_a, _) = person_assembly("alice", "getPersonName", "setPersonName");
+    let (ship_asm, _) = alien_assembly();
+    swarm.publish(alice, asm_a).unwrap();
+    swarm.publish(alice, ship_asm).unwrap();
+    for i in 0..6 {
+        let v = if i % 3 == 0 {
+            let rt = &mut swarm.peer_mut(alice).runtime;
+            Value::Obj(rt.instantiate(&"Spaceship".into(), &[]).unwrap())
+        } else {
+            make_person(&mut swarm, alice, &format!("p{i}"))
+        };
+        swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    }
+    swarm.run().unwrap();
+    let ds = swarm.peer_mut(bob).take_deliveries();
+    assert_eq!(ds.len(), 6);
+    let accepted = ds.iter().filter(|d| d.is_accepted()).count();
+    assert_eq!(accepted, 4, "4 Persons accepted, 2 Spaceships rejected");
+    // Spaceship's code never crossed the wire.
+    assert_eq!(swarm.net().metrics().kind(kinds::ASM_REQUEST).messages, 1);
+}

@@ -1,0 +1,92 @@
+//! XML text and attribute escaping.
+
+/// Escapes text content: `&`, `<`, `>` plus control characters as numeric
+/// character references.
+pub fn escape_text(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            c if (c as u32) < 0x20 && c != '\t' && c != '\n' && c != '\r' => {
+                out.push_str(&format!("&#x{:X};", c as u32));
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Escapes attribute values: like text, plus quotes.
+pub fn escape_attr(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '&' => out.push_str("&amp;"),
+            '<' => out.push_str("&lt;"),
+            '>' => out.push_str("&gt;"),
+            '"' => out.push_str("&quot;"),
+            '\'' => out.push_str("&apos;"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("&#x{:X};", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Resolves a single entity name (the text between `&` and `;`) to its
+/// character, handling the five predefined entities and numeric references.
+pub fn resolve_entity(name: &str) -> Option<char> {
+    match name {
+        "amp" => Some('&'),
+        "lt" => Some('<'),
+        "gt" => Some('>'),
+        "quot" => Some('"'),
+        "apos" => Some('\''),
+        _ => {
+            let v = if let Some(hex) = name.strip_prefix("#x").or_else(|| name.strip_prefix("#X")) {
+                u32::from_str_radix(hex, 16).ok()?
+            } else if let Some(dec) = name.strip_prefix('#') {
+                dec.parse::<u32>().ok()?
+            } else {
+                return None;
+            };
+            char::from_u32(v)
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn text_escaping() {
+        assert_eq!(escape_text("a<b>&c"), "a&lt;b&gt;&amp;c");
+        assert_eq!(escape_text("plain"), "plain");
+        assert_eq!(escape_text("\u{1}"), "&#x1;");
+        assert_eq!(escape_text("tab\tok"), "tab\tok");
+    }
+
+    #[test]
+    fn attr_escaping() {
+        assert_eq!(escape_attr(r#"a"b'c"#), "a&quot;b&apos;c");
+        assert_eq!(escape_attr("<&>"), "&lt;&amp;&gt;");
+    }
+
+    #[test]
+    fn entity_resolution() {
+        assert_eq!(resolve_entity("amp"), Some('&'));
+        assert_eq!(resolve_entity("lt"), Some('<'));
+        assert_eq!(resolve_entity("gt"), Some('>'));
+        assert_eq!(resolve_entity("quot"), Some('"'));
+        assert_eq!(resolve_entity("apos"), Some('\''));
+        assert_eq!(resolve_entity("#65"), Some('A'));
+        assert_eq!(resolve_entity("#x41"), Some('A'));
+        assert_eq!(resolve_entity("#x1F600"), Some('😀'));
+        assert_eq!(resolve_entity("bogus"), None);
+        assert_eq!(resolve_entity("#xZZ"), None);
+        assert_eq!(resolve_entity("#x110000"), None, "out of Unicode range");
+    }
+}

@@ -1,0 +1,81 @@
+//! # pti-xml — minimal XML substrate
+//!
+//! The paper represents type descriptions "as XML structures" (Section 5.2)
+//! and wraps every transferred object in an XML envelope (Section 6.2,
+//! Figure 3). Its prototype uses the .NET XML stack; this crate is the
+//! from-scratch replacement: an element tree ([`Element`]), a writer
+//! (compact and pretty forms), and a strict recursive-descent [`parse`]r
+//! for the subset PTI emits.
+//!
+//! ## Example
+//!
+//! ```
+//! use pti_xml::{Element, parse};
+//!
+//! let msg = Element::new("typeDescription")
+//!     .attr("name", "Person")
+//!     .child(Element::new("field").attr("name", "name").attr("type", "String"));
+//! let wire = msg.to_compact();
+//! let back = parse(&wire)?;
+//! assert_eq!(back, msg);
+//! # Ok::<(), pti_xml::ParseError>(())
+//! ```
+
+#![warn(missing_docs)]
+
+mod escape;
+mod parser;
+mod tree;
+
+pub use escape::{escape_attr, escape_text, resolve_entity};
+pub use parser::{parse, ParseError};
+pub use tree::{Element, Node};
+
+#[cfg(test)]
+mod roundtrip_tests {
+    use super::*;
+
+    fn assert_roundtrip(e: &Element) {
+        let compact = parse(&e.to_compact()).unwrap();
+        assert_eq!(&compact, e, "compact roundtrip");
+        let pretty = parse(&e.to_pretty()).unwrap();
+        // Pretty-printing inserts whitespace between element children, so
+        // compare structure modulo whitespace-only text nodes.
+        assert_eq!(strip_ws(&pretty), strip_ws(e), "pretty roundtrip");
+    }
+
+    fn strip_ws(e: &Element) -> Element {
+        let mut out = Element::new(e.name.clone());
+        out.attributes = e.attributes.clone();
+        for c in &e.children {
+            match c {
+                Node::Element(el) => out.children.push(Node::Element(strip_ws(el))),
+                Node::Text(t) if t.trim().is_empty() => {}
+                Node::Text(t) => out.children.push(Node::Text(t.clone())),
+            }
+        }
+        out
+    }
+
+    #[test]
+    fn roundtrips_nested_structures() {
+        let e = Element::new("root")
+            .attr("a", "x & y")
+            .child(
+                Element::new("mid")
+                    .attr("quote", "he said \"hi\"")
+                    .child(Element::new("leaf").text("text<with>specials&")),
+            )
+            .child(Element::new("empty"));
+        assert_roundtrip(&e);
+    }
+
+    #[test]
+    fn roundtrips_deep_nesting() {
+        let mut e = Element::new("l0").text("deep");
+        for i in 1..=50 {
+            e = Element::new(format!("l{i}")).child(e);
+        }
+        assert_roundtrip(&e);
+    }
+}

@@ -1,0 +1,483 @@
+//! A recursive-descent parser for the XML subset PTI emits.
+//!
+//! Supported: elements, attributes (single- or double-quoted), character
+//! data, the five predefined entities plus numeric character references,
+//! CDATA sections, comments, processing instructions and the XML
+//! declaration (both skipped). Not supported (never emitted by PTI):
+//! DOCTYPE internal subsets, namespaces-as-semantics (prefixes pass
+//! through verbatim).
+//!
+//! The parser scans the input bytes in place (no intermediate character
+//! buffer): every delimiter it dispatches on is ASCII, so positions can
+//! only ever land on UTF-8 sequence boundaries and slicing the original
+//! `&str` is safe. Type descriptions are parsed on every description
+//! download and object payloads on every SOAP delivery, so this path is
+//! performance-sensitive (experiments E2/E3).
+
+use std::fmt;
+
+use crate::escape::resolve_entity;
+use crate::tree::{Element, Node};
+
+/// A parse error with 1-based line/column position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ParseError {
+    /// What went wrong.
+    pub message: String,
+    /// 1-based line of the offending character.
+    pub line: usize,
+    /// 1-based column of the offending character.
+    pub column: usize,
+}
+
+impl fmt::Display for ParseError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "XML parse error at {}:{}: {}", self.line, self.column, self.message)
+    }
+}
+
+impl std::error::Error for ParseError {}
+
+/// Parses a complete document, returning its root element.
+///
+/// # Errors
+/// Any malformed input: unbalanced tags, bad entities, missing quotes,
+/// trailing content after the root element.
+///
+/// # Examples
+///
+/// ```
+/// let root = pti_xml::parse(r#"<a x="1"><b>hi</b></a>"#)?;
+/// assert_eq!(root.name, "a");
+/// assert_eq!(root.child_text("b").unwrap(), "hi");
+/// # Ok::<(), pti_xml::ParseError>(())
+/// ```
+pub fn parse(input: &str) -> Result<Element, ParseError> {
+    let mut p = Parser { input, bytes: input.as_bytes(), pos: 0 };
+    p.skip_prolog()?;
+    let root = p.parse_element()?;
+    p.skip_misc();
+    if !p.at_end() {
+        return Err(p.err("content after document root"));
+    }
+    Ok(root)
+}
+
+struct Parser<'a> {
+    input: &'a str,
+    bytes: &'a [u8],
+    pos: usize,
+}
+
+impl Parser<'_> {
+    fn err(&self, message: impl Into<String>) -> ParseError {
+        let mut line = 1;
+        let mut column = 1;
+        for &b in &self.bytes[..self.pos.min(self.bytes.len())] {
+            if b == b'\n' {
+                line += 1;
+                column = 1;
+            } else if (b & 0xC0) != 0x80 {
+                // Count characters, not continuation bytes.
+                column += 1;
+            }
+        }
+        ParseError { message: message.into(), line, column }
+    }
+
+    #[inline]
+    fn peek(&self) -> Option<u8> {
+        self.bytes.get(self.pos).copied()
+    }
+
+    #[inline]
+    fn at_end(&self) -> bool {
+        self.pos >= self.bytes.len()
+    }
+
+    #[inline]
+    fn starts_with(&self, s: &str) -> bool {
+        self.bytes[self.pos.min(self.bytes.len())..].starts_with(s.as_bytes())
+    }
+
+    #[inline]
+    fn eat(&mut self, s: &str) -> bool {
+        if self.starts_with(s) {
+            self.pos += s.len();
+            true
+        } else {
+            false
+        }
+    }
+
+    fn expect(&mut self, s: &str) -> Result<(), ParseError> {
+        if self.eat(s) {
+            Ok(())
+        } else {
+            Err(self.err(format!("expected `{s}`")))
+        }
+    }
+
+    #[inline]
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\r' | b'\n')) {
+            self.pos += 1;
+        }
+    }
+
+    /// Skips the XML declaration, comments, PIs and whitespace before the
+    /// root element.
+    fn skip_prolog(&mut self) -> Result<(), ParseError> {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<?") {
+                self.skip_pi()?;
+            } else if self.starts_with("<!--") {
+                self.skip_comment()?;
+            } else if self.starts_with("<!DOCTYPE") {
+                return Err(self.err("DOCTYPE is not supported"));
+            } else {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Skips comments, PIs and whitespace after the root element.
+    fn skip_misc(&mut self) {
+        loop {
+            self.skip_ws();
+            if self.starts_with("<!--") {
+                if self.skip_comment().is_err() {
+                    return;
+                }
+            } else if self.starts_with("<?") {
+                if self.skip_pi().is_err() {
+                    return;
+                }
+            } else {
+                return;
+            }
+        }
+    }
+
+    fn skip_until(&mut self, terminator: &str, what: &str) -> Result<(), ParseError> {
+        let t = terminator.as_bytes();
+        while self.pos < self.bytes.len() {
+            if self.bytes[self.pos..].starts_with(t) {
+                self.pos += t.len();
+                return Ok(());
+            }
+            self.pos += 1;
+        }
+        Err(self.err(format!("unterminated {what}")))
+    }
+
+    fn skip_pi(&mut self) -> Result<(), ParseError> {
+        self.expect("<?")?;
+        self.skip_until("?>", "processing instruction")
+    }
+
+    fn skip_comment(&mut self) -> Result<(), ParseError> {
+        self.expect("<!--")?;
+        self.skip_until("-->", "comment")
+    }
+
+    fn parse_name(&mut self) -> Result<String, ParseError> {
+        let start = self.pos;
+        while let Some(b) = self.peek() {
+            if is_name_byte(b) {
+                self.pos += 1;
+            } else {
+                break;
+            }
+        }
+        if self.pos == start {
+            return Err(self.err("expected a name"));
+        }
+        Ok(self.input[start..self.pos].to_string())
+    }
+
+    fn parse_element(&mut self) -> Result<Element, ParseError> {
+        self.expect("<")?;
+        let name = self.parse_name()?;
+        let mut element = Element::new(name.clone());
+
+        loop {
+            self.skip_ws();
+            match self.peek() {
+                Some(b'/') => {
+                    self.expect("/>")?;
+                    return Ok(element);
+                }
+                Some(b'>') => {
+                    self.pos += 1;
+                    break;
+                }
+                Some(b) if is_name_byte(b) => {
+                    let key = self.parse_name()?;
+                    self.skip_ws();
+                    self.expect("=")?;
+                    self.skip_ws();
+                    let value = self.parse_attr_value()?;
+                    element.attributes.push((key, value));
+                }
+                _ => return Err(self.err("malformed start tag")),
+            }
+        }
+
+        // Children until the matching end tag.
+        loop {
+            match self.peek() {
+                None => {
+                    return Err(self.err(format!("unexpected end of input inside `<{name}>`")))
+                }
+                Some(b'<') => {
+                    if self.starts_with("</") {
+                        self.pos += 2;
+                        let end = self.parse_name()?;
+                        if end != name {
+                            return Err(
+                                self.err(format!("mismatched end tag `</{end}>` for `<{name}>`"))
+                            );
+                        }
+                        self.skip_ws();
+                        self.expect(">")?;
+                        return Ok(element);
+                    } else if self.starts_with("<!--") {
+                        self.skip_comment()?;
+                    } else if self.starts_with("<![CDATA[") {
+                        let text = self.parse_cdata()?;
+                        push_text(&mut element, text);
+                    } else if self.starts_with("<?") {
+                        self.skip_pi()?;
+                    } else {
+                        let child = self.parse_element()?;
+                        element.children.push(Node::Element(child));
+                    }
+                }
+                Some(_) => {
+                    let text = self.parse_text()?;
+                    push_text(&mut element, text);
+                }
+            }
+        }
+    }
+
+    fn parse_attr_value(&mut self) -> Result<String, ParseError> {
+        let quote = match self.peek() {
+            Some(q @ (b'"' | b'\'')) => {
+                self.pos += 1;
+                q
+            }
+            _ => return Err(self.err("expected quoted attribute value")),
+        };
+        let mut out = String::new();
+        let mut run_start = self.pos;
+        loop {
+            match self.peek() {
+                None => return Err(self.err("unterminated attribute value")),
+                Some(b) if b == quote => {
+                    out.push_str(&self.input[run_start..self.pos]);
+                    self.pos += 1;
+                    return Ok(out);
+                }
+                Some(b'&') => {
+                    out.push_str(&self.input[run_start..self.pos]);
+                    self.pos += 1;
+                    out.push(self.parse_entity()?);
+                    run_start = self.pos;
+                }
+                Some(b'<') => return Err(self.err("`<` in attribute value")),
+                Some(_) => self.pos += 1,
+            }
+        }
+    }
+
+    fn parse_text(&mut self) -> Result<String, ParseError> {
+        let mut out = String::new();
+        let mut run_start = self.pos;
+        while let Some(b) = self.peek() {
+            match b {
+                b'<' => break,
+                b'&' => {
+                    out.push_str(&self.input[run_start..self.pos]);
+                    self.pos += 1;
+                    out.push(self.parse_entity()?);
+                    run_start = self.pos;
+                }
+                _ => self.pos += 1,
+            }
+        }
+        out.push_str(&self.input[run_start..self.pos]);
+        Ok(out)
+    }
+
+    fn parse_cdata(&mut self) -> Result<String, ParseError> {
+        self.expect("<![CDATA[")?;
+        let start = self.pos;
+        self.skip_until("]]>", "CDATA section")?;
+        Ok(self.input[start..self.pos - 3].to_string())
+    }
+
+    fn parse_entity(&mut self) -> Result<char, ParseError> {
+        let start = self.pos;
+        loop {
+            match self.peek() {
+                Some(b';') => break,
+                Some(_) if self.pos - start < 10 => self.pos += 1,
+                _ => return Err(self.err("malformed entity reference")),
+            }
+        }
+        let name = &self.input[start..self.pos];
+        self.pos += 1; // consume ';'
+        resolve_entity(name).ok_or_else(|| self.err(format!("unknown entity `&{name};`")))
+    }
+}
+
+fn push_text(element: &mut Element, text: String) {
+    if text.is_empty() {
+        return;
+    }
+    if let Some(Node::Text(last)) = element.children.last_mut() {
+        last.push_str(&text);
+    } else {
+        element.children.push(Node::Text(text));
+    }
+}
+
+/// Name characters: XML-ish, ASCII dispatch only. Any non-ASCII byte
+/// (0x80+) is part of a multibyte character and allowed in names, which
+/// keeps slicing on ASCII delimiters UTF-8-safe.
+#[inline]
+fn is_name_byte(b: u8) -> bool {
+    b.is_ascii_alphanumeric() || matches!(b, b'_' | b'-' | b'.' | b':') || b >= 0x80
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_minimal_document() {
+        let e = parse("<a/>").unwrap();
+        assert_eq!(e.name, "a");
+        assert!(e.children.is_empty());
+    }
+
+    #[test]
+    fn parses_attributes_both_quote_styles() {
+        let e = parse(r#"<a x="1" y='2'/>"#).unwrap();
+        assert_eq!(e.get_attr("x"), Some("1"));
+        assert_eq!(e.get_attr("y"), Some("2"));
+    }
+
+    #[test]
+    fn parses_nested_elements_and_text() {
+        let e = parse("<a><b>hello</b><c><d/></c></a>").unwrap();
+        assert_eq!(e.child_text("b").unwrap(), "hello");
+        assert!(e.find("c").unwrap().find("d").is_some());
+    }
+
+    #[test]
+    fn resolves_entities() {
+        let e = parse("<a>&lt;tag&gt; &amp; &#65;&#x42;</a>").unwrap();
+        assert_eq!(e.text_content(), "<tag> & AB");
+        let e2 = parse(r#"<a v="&quot;q&apos;"/>"#).unwrap();
+        assert_eq!(e2.get_attr("v"), Some("\"q'"));
+    }
+
+    #[test]
+    fn skips_declaration_comments_and_pis() {
+        let e = parse("<?xml version=\"1.0\"?>\n<!-- top --><a><!-- in --><b/></a><!-- after -->")
+            .unwrap();
+        assert!(e.find("b").is_some());
+        assert_eq!(e.elements().count(), 1);
+    }
+
+    #[test]
+    fn parses_cdata_verbatim() {
+        let e = parse("<a><![CDATA[<raw> & stuff]]></a>").unwrap();
+        assert_eq!(e.text_content(), "<raw> & stuff");
+    }
+
+    #[test]
+    fn adjacent_text_merges() {
+        let e = parse("<a>x<![CDATA[y]]>z</a>").unwrap();
+        assert_eq!(e.children.len(), 1);
+        assert_eq!(e.text_content(), "xyz");
+    }
+
+    #[test]
+    fn rejects_mismatched_tags() {
+        let err = parse("<a><b></a></b>").unwrap_err();
+        assert!(err.message.contains("mismatched"), "{err}");
+    }
+
+    #[test]
+    fn rejects_trailing_content() {
+        assert!(parse("<a/><b/>").is_err());
+        assert!(parse("<a/>junk").is_err());
+    }
+
+    #[test]
+    fn rejects_unterminated_everything() {
+        assert!(parse("<a>").is_err());
+        assert!(parse("<a x=\"1>").is_err());
+        assert!(parse("<a><!-- nope</a>").is_err());
+        assert!(parse("<a><![CDATA[x</a>").is_err());
+        assert!(parse("<").is_err());
+        assert!(parse("").is_err());
+    }
+
+    #[test]
+    fn rejects_unknown_entity() {
+        assert!(parse("<a>&nope;</a>").is_err());
+        assert!(parse("<a>&unterminated").is_err());
+    }
+
+    #[test]
+    fn rejects_doctype() {
+        assert!(parse("<!DOCTYPE html><a/>").is_err());
+    }
+
+    #[test]
+    fn error_positions_are_tracked() {
+        let err = parse("<a>\n  <b></c>\n</a>").unwrap_err();
+        assert_eq!(err.line, 2);
+        assert!(err.column > 1);
+        assert!(err.to_string().contains("2:"));
+    }
+
+    #[test]
+    fn error_columns_count_chars_not_bytes() {
+        // Multibyte text before the error must not inflate the column.
+        let err = parse("<a>éé<b></c></a>").unwrap_err();
+        assert_eq!(err.line, 1);
+        assert!(err.column < 14, "column {} counts chars", err.column);
+    }
+
+    #[test]
+    fn whitespace_in_end_tag_ok() {
+        let e = parse("<a></a >").unwrap();
+        assert_eq!(e.name, "a");
+    }
+
+    #[test]
+    fn unicode_content() {
+        let e = parse("<a>héllo 世界 😀</a>").unwrap();
+        assert_eq!(e.text_content(), "héllo 世界 😀");
+    }
+
+    #[test]
+    fn unicode_names_and_attrs() {
+        let e = parse("<día läge=\"süd\">x</día>").unwrap();
+        assert_eq!(e.name, "día");
+        assert_eq!(e.get_attr("läge"), Some("süd"));
+    }
+
+    #[test]
+    fn entity_at_text_run_boundaries() {
+        let e = parse("<a>&amp;start middle&amp; end&amp;</a>").unwrap();
+        assert_eq!(e.text_content(), "&start middle& end&");
+    }
+}

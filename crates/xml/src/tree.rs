@@ -1,0 +1,280 @@
+//! The XML element tree and its writer.
+
+use std::fmt;
+
+use crate::escape::{escape_attr, escape_text};
+
+/// A node in an element's child list.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Node {
+    /// A child element.
+    Element(Element),
+    /// A run of character data.
+    Text(String),
+}
+
+/// An XML element: name, attributes and children.
+///
+/// The fluent constructors make building documents terse:
+///
+/// ```
+/// use pti_xml::Element;
+/// let doc = Element::new("person")
+///     .attr("id", "7")
+///     .child(Element::new("name").text("Ada"));
+/// assert_eq!(doc.to_compact(), r#"<person id="7"><name>Ada</name></person>"#);
+/// ```
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
+pub struct Element {
+    /// Element (tag) name.
+    pub name: String,
+    /// Attributes in document order.
+    pub attributes: Vec<(String, String)>,
+    /// Child nodes in document order.
+    pub children: Vec<Node>,
+}
+
+impl Element {
+    /// Creates an empty element with the given tag name.
+    pub fn new(name: impl Into<String>) -> Element {
+        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+    }
+
+    /// Adds an attribute (builder style).
+    #[must_use]
+    pub fn attr(mut self, key: impl Into<String>, value: impl Into<String>) -> Element {
+        self.attributes.push((key.into(), value.into()));
+        self
+    }
+
+    /// Adds a child element (builder style).
+    #[must_use]
+    pub fn child(mut self, child: Element) -> Element {
+        self.children.push(Node::Element(child));
+        self
+    }
+
+    /// Adds a text node (builder style).
+    #[must_use]
+    pub fn text(mut self, text: impl Into<String>) -> Element {
+        self.children.push(Node::Text(text.into()));
+        self
+    }
+
+    /// Adds a child element in place.
+    pub fn push_child(&mut self, child: Element) {
+        self.children.push(Node::Element(child));
+    }
+
+    /// Looks up an attribute value.
+    pub fn get_attr(&self, key: &str) -> Option<&str> {
+        self.attributes
+            .iter()
+            .find(|(k, _)| k == key)
+            .map(|(_, v)| v.as_str())
+    }
+
+    /// First child element with the given name.
+    pub fn find(&self, name: &str) -> Option<&Element> {
+        self.elements().find(|e| e.name == name)
+    }
+
+    /// All child elements with the given name.
+    pub fn find_all<'a>(&'a self, name: &'a str) -> impl Iterator<Item = &'a Element> + 'a {
+        self.elements().filter(move |e| e.name == name)
+    }
+
+    /// All child elements.
+    pub fn elements(&self) -> impl Iterator<Item = &Element> {
+        self.children.iter().filter_map(|n| match n {
+            Node::Element(e) => Some(e),
+            Node::Text(_) => None,
+        })
+    }
+
+    /// Concatenated text content of this element's direct text children.
+    pub fn text_content(&self) -> String {
+        let mut out = String::new();
+        for n in &self.children {
+            if let Node::Text(t) = n {
+                out.push_str(t);
+            }
+        }
+        out
+    }
+
+    /// Convenience: the text content of the first child element named
+    /// `name`, if that child exists.
+    pub fn child_text(&self, name: &str) -> Option<String> {
+        self.find(name).map(|e| e.text_content())
+    }
+
+    /// Serializes without any insignificant whitespace — the wire form.
+    pub fn to_compact(&self) -> String {
+        let mut out = String::new();
+        self.write_compact(&mut out);
+        out
+    }
+
+    fn write_compact(&self, out: &mut String) {
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attributes {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_attr(v));
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        out.push('>');
+        for c in &self.children {
+            match c {
+                Node::Element(e) => e.write_compact(out),
+                Node::Text(t) => out.push_str(&escape_text(t)),
+            }
+        }
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+
+    /// Serializes with two-space indentation — the human-readable form the
+    /// paper emphasizes ("a human readable type description").
+    pub fn to_pretty(&self) -> String {
+        let mut out = String::new();
+        self.write_pretty(&mut out, 0);
+        out.push('\n');
+        out
+    }
+
+    fn write_pretty(&self, out: &mut String, depth: usize) {
+        let pad = "  ".repeat(depth);
+        out.push_str(&pad);
+        out.push('<');
+        out.push_str(&self.name);
+        for (k, v) in &self.attributes {
+            out.push(' ');
+            out.push_str(k);
+            out.push_str("=\"");
+            out.push_str(&escape_attr(v));
+            out.push('"');
+        }
+        if self.children.is_empty() {
+            out.push_str("/>");
+            return;
+        }
+        // Elements with only text children stay on one line.
+        let only_text = self.children.iter().all(|c| matches!(c, Node::Text(_)));
+        if only_text {
+            out.push('>');
+            for c in &self.children {
+                if let Node::Text(t) = c {
+                    out.push_str(&escape_text(t));
+                }
+            }
+            out.push_str("</");
+            out.push_str(&self.name);
+            out.push('>');
+            return;
+        }
+        out.push('>');
+        for c in &self.children {
+            out.push('\n');
+            match c {
+                Node::Element(e) => e.write_pretty(out, depth + 1),
+                Node::Text(t) => {
+                    out.push_str(&"  ".repeat(depth + 1));
+                    out.push_str(&escape_text(t));
+                }
+            }
+        }
+        out.push('\n');
+        out.push_str(&pad);
+        out.push_str("</");
+        out.push_str(&self.name);
+        out.push('>');
+    }
+
+    /// Serialized byte length of the compact form (wire-size accounting
+    /// for the protocol experiments).
+    pub fn wire_size(&self) -> usize {
+        self.to_compact().len()
+    }
+}
+
+impl fmt::Display for Element {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(&self.to_compact())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn compact_roundtrip_structure() {
+        let e = Element::new("a")
+            .attr("x", "1")
+            .child(Element::new("b").text("hi"))
+            .child(Element::new("c"));
+        assert_eq!(e.to_compact(), r#"<a x="1"><b>hi</b><c/></a>"#);
+    }
+
+    #[test]
+    fn escaping_in_output() {
+        let e = Element::new("t").attr("q", "a\"b").text("x<y&z");
+        assert_eq!(e.to_compact(), r#"<t q="a&quot;b">x&lt;y&amp;z</t>"#);
+    }
+
+    #[test]
+    fn navigation() {
+        let e = Element::new("root")
+            .child(Element::new("kid").attr("n", "1"))
+            .child(Element::new("kid").attr("n", "2"))
+            .child(Element::new("other"));
+        assert_eq!(e.find("kid").unwrap().get_attr("n"), Some("1"));
+        assert_eq!(e.find_all("kid").count(), 2);
+        assert_eq!(e.elements().count(), 3);
+        assert!(e.find("missing").is_none());
+    }
+
+    #[test]
+    fn text_content_and_child_text() {
+        let e = Element::new("m")
+            .text("a")
+            .child(Element::new("x").text("inner"))
+            .text("b");
+        assert_eq!(e.text_content(), "ab");
+        assert_eq!(e.child_text("x").unwrap(), "inner");
+        assert!(e.child_text("y").is_none());
+    }
+
+    #[test]
+    fn pretty_printing() {
+        let e = Element::new("root").child(Element::new("leaf").text("v"));
+        let p = e.to_pretty();
+        assert!(p.contains("<root>\n  <leaf>v</leaf>\n</root>"), "{p}");
+    }
+
+    #[test]
+    fn pretty_empty_element_self_closes() {
+        assert_eq!(Element::new("e").to_pretty(), "<e/>\n");
+    }
+
+    #[test]
+    fn wire_size_is_compact_length() {
+        let e = Element::new("abc");
+        assert_eq!(e.wire_size(), "<abc/>".len());
+    }
+
+    #[test]
+    fn display_is_compact() {
+        let e = Element::new("d").text("t");
+        assert_eq!(format!("{e}"), "<d>t</d>");
+    }
+}

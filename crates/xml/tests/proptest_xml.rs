@@ -1,0 +1,95 @@
+//! Property tests: any tree the writer can emit, the parser reads back.
+
+use proptest::prelude::*;
+use pti_xml::{parse, Element, Node};
+
+fn arb_name() -> impl Strategy<Value = String> {
+    "[a-zA-Z][a-zA-Z0-9_.-]{0,8}"
+}
+
+fn arb_text() -> impl Strategy<Value = String> {
+    // Arbitrary printable text including XML specials and unicode.
+    proptest::collection::vec(
+        prop_oneof![
+            Just('&'),
+            Just('<'),
+            Just('>'),
+            Just('"'),
+            Just('\''),
+            Just(' '),
+            proptest::char::range('a', 'z'),
+            proptest::char::range('α', 'ω'),
+        ],
+        1..20,
+    )
+    .prop_map(|cs| cs.into_iter().collect())
+}
+
+fn arb_element() -> impl Strategy<Value = Element> {
+    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3))
+        .prop_map(|(name, attrs)| {
+            let mut e = Element::new(name);
+            for (k, v) in attrs {
+                // Attribute keys must be unique for a faithful roundtrip.
+                if e.get_attr(&k).is_none() {
+                    e = e.attr(k, v);
+                }
+            }
+            e
+        });
+    leaf.prop_recursive(4, 32, 4, |inner| {
+        (
+            arb_name(),
+            proptest::collection::vec((arb_name(), arb_text()), 0..3),
+            proptest::collection::vec(
+                prop_oneof![
+                    inner.prop_map(Node::Element),
+                    arb_text().prop_map(Node::Text),
+                ],
+                0..4,
+            ),
+        )
+            .prop_map(|(name, attrs, children)| {
+                let mut e = Element::new(name);
+                for (k, v) in attrs {
+                    if e.get_attr(&k).is_none() {
+                        e = e.attr(k, v);
+                    }
+                }
+                // Merge adjacent text nodes so the roundtrip comparison is
+                // canonical (the parser always merges).
+                for c in children {
+                    match c {
+                        Node::Text(t) => {
+                            if let Some(Node::Text(last)) = e.children.last_mut() {
+                                last.push_str(&t);
+                            } else {
+                                e.children.push(Node::Text(t));
+                            }
+                        }
+                        n => e.children.push(n),
+                    }
+                }
+                e
+            })
+    })
+}
+
+proptest! {
+    #[test]
+    fn compact_roundtrip(e in arb_element()) {
+        let wire = e.to_compact();
+        let back = parse(&wire).expect("writer output must parse");
+        prop_assert_eq!(back, e);
+    }
+
+    #[test]
+    fn wire_size_matches_compact_len(e in arb_element()) {
+        prop_assert_eq!(e.wire_size(), e.to_compact().len());
+    }
+
+    #[test]
+    fn parser_never_panics_on_garbage(s in "\\PC{0,60}") {
+        let _ = parse(&s);
+    }
+}

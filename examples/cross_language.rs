@@ -1,0 +1,148 @@
+//! Cross-"language" interoperability: the same module written with C#,
+//! VB and Java naming conventions, plus a look at how the name-matcher
+//! configuration (the paper's "wildcards could be allowed" remark)
+//! changes what interoperates.
+//!
+//! The paper's platform (.NET) already unifies *languages* under one type
+//! system; type interoperability unifies *types*. We simulate three
+//! dialect conventions of one logical `Customer` module — PascalCase
+//! (C#-style), `get_`/snake_case (Java-ish via a port), and prefixed VB
+//! style — and show which pairs conform under each matcher.
+//!
+//! Run with: `cargo run --example cross_language`
+
+use pti_core::prelude::*;
+use pti_metamodel::bodies;
+
+/// C#-style: PascalCase members.
+fn customer_csharp() -> TypeDef {
+    TypeDef::class("Customer", "csharp")
+        .field("name", primitives::STRING)
+        .field("balance", primitives::INT64)
+        .method("GetName", vec![], primitives::STRING)
+        .method("Credit", vec![ParamDef::new("amount", primitives::INT64)], primitives::VOID)
+        .ctor(vec![])
+        .build()
+}
+
+/// Java-port style: camelCase with `get` prefixes.
+fn customer_java() -> TypeDef {
+    TypeDef::class("Customer", "java")
+        .field("name", primitives::STRING)
+        .field("balance", primitives::INT64)
+        .method("getName", vec![], primitives::STRING)
+        .method("credit", vec![ParamDef::new("amount", primitives::INT64)], primitives::VOID)
+        .ctor(vec![])
+        .build()
+}
+
+/// VB-style: verbose prefixed names.
+fn customer_vb() -> TypeDef {
+    TypeDef::class("Customer", "vb")
+        .field("name", primitives::STRING)
+        .field("balance", primitives::INT64)
+        .method("GetCustomerName", vec![], primitives::STRING)
+        .method(
+            "CreditCustomer",
+            vec![ParamDef::new("amount", primitives::INT64)],
+            primitives::VOID,
+        )
+        .ctor(vec![])
+        .build()
+}
+
+fn assembly_for(def: &TypeDef) -> Assembly {
+    let g = def.guid;
+    let mut b = Assembly::builder(format!("customer-{}", def.guid))
+        .ty(def.clone())
+        .ctor_body(g, 0, bodies::ctor_assign(&[]));
+    for m in &def.methods {
+        if m.arity() == 0 {
+            b = b.body(g, m.name.clone(), 0, bodies::getter("name"));
+        } else {
+            b = b.body(
+                g,
+                m.name.clone(),
+                1,
+                std::sync::Arc::new(|rt: &mut Runtime, recv: Value, args: &[Value]| {
+                    let h = recv.as_obj()?;
+                    let bal = rt.get_field(h, "balance")?.as_i64()? + args[0].as_i64()?;
+                    rt.set_field(h, "balance", Value::I64(bal))?;
+                    Ok(Value::Null)
+                }),
+            );
+        }
+    }
+    b.build()
+}
+
+fn check_pair(
+    label: &str,
+    cfg: ConformanceConfig,
+    source: &TypeDef,
+    target: &TypeDef,
+) -> bool {
+    let mut reg = TypeRegistry::with_builtins();
+    reg.register(source.clone()).unwrap();
+    reg.register(target.clone()).unwrap();
+    let checker = ConformanceChecker::new(cfg);
+    let ok = checker.conforms(
+        &TypeDescription::from_def(source),
+        &TypeDescription::from_def(target),
+        &reg,
+        &reg,
+    );
+    println!("  {label:<52} {}", if ok { "conforms" } else { "REJECTED" });
+    ok
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let cs = customer_csharp();
+    let java = customer_java();
+    let vb = customer_vb();
+
+    println!("paper profile (exact case-insensitive names):");
+    // Case-insensitivity makes C# and Java dialects interoperate already.
+    assert!(check_pair("C# Customer   as  Java Customer", ConformanceConfig::paper(), &cs, &java));
+    assert!(check_pair("Java Customer as  C# Customer", ConformanceConfig::paper(), &java, &cs));
+    // The VB dialect renames methods — exact matching rejects it.
+    assert!(!check_pair("VB Customer   as  C# Customer", ConformanceConfig::paper(), &vb, &cs));
+
+    println!("\npragmatic profile (token-subsequence member names):");
+    assert!(check_pair("VB Customer   as  C# Customer", ConformanceConfig::pragmatic(), &vb, &cs));
+    assert!(check_pair("VB Customer   as  Java Customer", ConformanceConfig::pragmatic(), &vb, &java));
+
+    println!("\nwildcard type names (subscription patterns):");
+    let pattern = TypeDef::class("Cust*", "pattern")
+        .field("name", primitives::STRING)
+        .field("balance", primitives::INT64)
+        .method("GetName", vec![], primitives::STRING)
+        .method("Credit", vec![ParamDef::new("a", primitives::INT64)], primitives::VOID)
+        .build();
+    let wild = ConformanceConfig::pragmatic().with_type_names(NameMatcher::Wildcard);
+    assert!(check_pair("C# Customer   as  Cust* pattern", wild, &cs, &pattern));
+
+    // Full end-to-end: the VB object used through the C# contract.
+    println!("\nend-to-end: a VB-built object used through the C# contract");
+    let mut swarm = Swarm::new(NetConfig::default());
+    let vb_peer = swarm.add_peer(ConformanceConfig::pragmatic());
+    let cs_peer = swarm.add_peer(ConformanceConfig::pragmatic());
+    swarm.publish(vb_peer, assembly_for(&vb))?;
+    swarm.peer_mut(cs_peer).subscribe(TypeDescription::from_def(&cs));
+
+    let rt = &mut swarm.peer_mut(vb_peer).runtime;
+    let h = rt.instantiate(&"Customer".into(), &[])?;
+    rt.set_field(h, "name", Value::from("Wernher"))?;
+    swarm.send_object(vb_peer, cs_peer, &Value::Obj(h), PayloadFormat::Soap)?;
+    swarm.run()?;
+
+    let ds = swarm.peer_mut(cs_peer).take_deliveries();
+    let Delivery::Accepted { proxy: Some(proxy), .. } = &ds[0] else { panic!("{ds:?}") };
+    let name = proxy.invoke(&mut swarm.peer_mut(cs_peer).runtime, "GetName", &[])?;
+    proxy.invoke(&mut swarm.peer_mut(cs_peer).runtime, "Credit", &[Value::I64(100)])?;
+    let balance = proxy.get_field(&swarm.peer_mut(cs_peer).runtime, "balance")?;
+    println!("  GetName() -> {name}, balance after Credit(100) = {balance}");
+    assert_eq!(name.as_str()?, "Wernher");
+    assert_eq!(balance.as_i64()?, 100);
+    Ok(())
+}

@@ -1,0 +1,107 @@
+//! Type-based publish/subscribe with interoperable event types.
+//!
+//! The paper's Section 8: classic TPS forces publishers and subscribers
+//! to agree a priori on event types. With type interoperability, a
+//! market-data publisher and two independently written subscribers
+//! interoperate although each party defined "the same" event type on its
+//! own: one subscriber wrote its own `StockQuote` with renamed accessors,
+//! the other only cares about `NewsFlash` events and never pays for quote
+//! code downloads.
+//!
+//! Run with: `cargo run --example tps_news`
+
+use pti_core::prelude::*;
+use pti_metamodel::bodies;
+
+fn quote_type(salt: &str, getter: &str) -> TypeDef {
+    TypeDef::class("StockQuote", salt)
+        .field("symbol", primitives::STRING)
+        .field("price", primitives::FLOAT64)
+        .method(getter, vec![], primitives::STRING)
+        .ctor(vec![])
+        .build()
+}
+
+fn news_type(salt: &str) -> TypeDef {
+    TypeDef::class("NewsFlash", salt)
+        .field("headline", primitives::STRING)
+        .method("getHeadline", vec![], primitives::STRING)
+        .ctor(vec![])
+        .build()
+}
+
+fn assembly_for(def: &TypeDef, getter_field: &str) -> Assembly {
+    let g = def.guid;
+    let mut b = Assembly::builder(format!("{}-{}", def.name.simple(), def.guid))
+        .ty(def.clone())
+        .ctor_body(g, 0, bodies::ctor_assign(&[]));
+    for m in &def.methods {
+        b = b.body(g, m.name.clone(), 0, bodies::getter(getter_field));
+    }
+    b.build()
+}
+
+fn main() -> Result<(), Box<dyn std::error::Error>> {
+    let mut tps = TypedPubSub::new(NetConfig::default());
+    let exchange = tps.add_member(ConformanceConfig::pragmatic());
+    let trader = tps.add_member(ConformanceConfig::pragmatic());
+    let newsroom = tps.add_member(ConformanceConfig::pragmatic());
+
+    // The exchange publishes quotes and news under its own types.
+    let quote = quote_type("exchange", "getSymbol");
+    let news = news_type("exchange");
+    tps.publish_types(exchange, assembly_for(&quote, "symbol"))?;
+    tps.publish_types(exchange, assembly_for(&news, "headline"))?;
+
+    // The trader wrote its own StockQuote with a differently named getter.
+    let trader_quote = quote_type("trader", "getQuoteSymbol");
+    tps.subscribe(trader, TypeDescription::from_def(&trader_quote));
+    // The newsroom wants news only.
+    let newsroom_news = news_type("newsroom");
+    tps.subscribe(newsroom, TypeDescription::from_def(&newsroom_news));
+
+    // A burst of events.
+    for (sym, price) in [("ACME", 42.5), ("GLOBEX", 17.25), ("INITECH", 3.5)] {
+        let rt = &mut tps.member_mut(exchange).runtime;
+        let e = rt.instantiate(&"StockQuote".into(), &[])?;
+        rt.set_field(e, "symbol", Value::from(sym))?;
+        rt.set_field(e, "price", Value::F64(price))?;
+        tps.publish(exchange, &Value::Obj(e), PayloadFormat::Binary)?;
+    }
+    {
+        let rt = &mut tps.member_mut(exchange).runtime;
+        let n = rt.instantiate(&"NewsFlash".into(), &[])?;
+        rt.set_field(n, "headline", Value::from("Types now interoperable!"))?;
+        tps.publish(exchange, &Value::Obj(n), PayloadFormat::Binary)?;
+    }
+    tps.run()?;
+
+    // The trader got exactly the quotes, through its own contract.
+    let quotes = tps.notifications(trader);
+    println!("trader received {} quote(s):", quotes.len());
+    for ev in &quotes {
+        let proxy = ev.proxy.as_ref().expect("conformant event has a proxy");
+        let sym = proxy.invoke(&mut tps.member_mut(trader).runtime, "getQuoteSymbol", &[])?;
+        println!("  quote: {sym}");
+    }
+    assert_eq!(quotes.len(), 3);
+
+    // The newsroom got exactly the news.
+    let flashes = tps.notifications(newsroom);
+    println!("newsroom received {} flash(es):", flashes.len());
+    for ev in &flashes {
+        let proxy = ev.proxy.as_ref().unwrap();
+        let h = proxy.invoke(&mut tps.member_mut(newsroom).runtime, "getHeadline", &[])?;
+        println!("  news: {h}");
+    }
+    assert_eq!(flashes.len(), 1);
+
+    // The optimistic protocol never shipped quote code to the newsroom.
+    let newsroom_stats = tps.member(newsroom).stats;
+    println!(
+        "\nnewsroom: {} accepted, {} rejected, {} code download(s)",
+        newsroom_stats.accepted, newsroom_stats.rejected, newsroom_stats.asm_requests
+    );
+    assert_eq!(newsroom_stats.asm_requests, 1, "news assembly only");
+    Ok(())
+}

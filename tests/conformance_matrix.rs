@@ -1,0 +1,183 @@
+//! The generated-population ground truth, driven through the *full
+//! protocol* (not just the checker): every variant kind must be accepted
+//! or rejected by a live peer exactly as the generator predicts.
+
+use pti_core::prelude::*;
+use pti_core::samples::{self, VariantKind};
+
+fn run_population(config: ConformanceConfig, seed: u64, count: usize) -> Vec<(VariantKind, bool)> {
+    let mut swarm = Swarm::new(NetConfig::default());
+    let publisher = swarm.add_peer(config.clone());
+    let subscriber = swarm.add_peer(config);
+    let interest = samples::sensor_interest("local");
+    swarm.peer_mut(subscriber).runtime.register_type(interest.clone()).unwrap();
+    swarm.peer_mut(subscriber).subscribe(TypeDescription::from_def(&interest));
+
+    let variants = samples::generate_population(seed, count, 0.5);
+    let mut out = Vec::new();
+    for v in variants {
+        swarm.publish(publisher, v.assembly.clone()).unwrap();
+        let h = swarm
+            .peer_mut(publisher)
+            .runtime
+            .instantiate_def(&v.def, &[])
+            .unwrap();
+        swarm
+            .send_object(publisher, subscriber, &Value::Obj(h), PayloadFormat::Binary)
+            .unwrap();
+        swarm.run().unwrap();
+        let ds = swarm.peer_mut(subscriber).take_deliveries();
+        assert_eq!(ds.len(), 1);
+        out.push((v.kind, ds[0].is_accepted()));
+    }
+    out
+}
+
+#[test]
+fn pragmatic_profile_matches_ground_truth_through_the_protocol() {
+    for (kind, accepted) in run_population(ConformanceConfig::pragmatic(), 11, 40) {
+        assert_eq!(
+            accepted,
+            kind.conformant_pragmatic(),
+            "variant {kind:?} mis-delivered under pragmatic profile"
+        );
+    }
+}
+
+#[test]
+fn paper_profile_matches_ground_truth_through_the_protocol() {
+    for (kind, accepted) in run_population(ConformanceConfig::paper(), 13, 40) {
+        assert_eq!(
+            accepted,
+            kind.conformant_paper(),
+            "variant {kind:?} mis-delivered under paper profile"
+        );
+    }
+}
+
+#[test]
+fn rejected_variants_cost_no_code_downloads() {
+    let mut swarm = Swarm::new(NetConfig::default());
+    let publisher = swarm.add_peer(ConformanceConfig::pragmatic());
+    let subscriber = swarm.add_peer(ConformanceConfig::pragmatic());
+    let interest = samples::sensor_interest("local");
+    swarm.peer_mut(subscriber).runtime.register_type(interest.clone()).unwrap();
+    swarm.peer_mut(subscriber).subscribe(TypeDescription::from_def(&interest));
+
+    // All-nonconforming population: many descriptions, zero assemblies.
+    for v in samples::generate_population(5, 15, 0.0) {
+        swarm.publish(publisher, v.assembly.clone()).unwrap();
+        let h = swarm
+            .peer_mut(publisher)
+            .runtime
+            .instantiate_def(&v.def, &[])
+            .unwrap();
+        swarm
+            .send_object(publisher, subscriber, &Value::Obj(h), PayloadFormat::Binary)
+            .unwrap();
+    }
+    swarm.run().unwrap();
+    let stats = swarm.peer(subscriber).stats;
+    assert_eq!(stats.rejected, 15);
+    assert_eq!(stats.asm_requests, 0, "the optimistic protocol's whole point");
+    assert!(stats.desc_requests > 0);
+}
+
+#[test]
+fn strict_variance_rejects_paper_accepted_pairs() {
+    // A source whose argument types are *narrower* than the interest's:
+    // accepted under the paper's covariant reading, rejected by Strict.
+    use pti_metamodel::ParamDef;
+    let base_t = TypeDef::class("Payload", "tgt").field("len", primitives::INT32).build();
+    let base_s = TypeDef::class("Payload", "src").field("len", primitives::INT32).build();
+    let narrow_s = TypeDef::class("Packet", "src")
+        .field("len", primitives::INT32)
+        .field("crc", primitives::INT32)
+        .build();
+    let want = TypeDef::class("Channel", "tgt")
+        .method("push", vec![ParamDef::new("p", "Payload")], primitives::VOID)
+        .build();
+    let have = TypeDef::class("Channel", "src")
+        .method("push", vec![ParamDef::new("p", "Packet")], primitives::VOID)
+        .build();
+
+    let mut rt_reg = TypeRegistry::with_builtins();
+    rt_reg.register(base_t.clone()).unwrap();
+    let mut rs_reg = TypeRegistry::with_builtins();
+    rs_reg.register(base_s.clone()).unwrap();
+    rs_reg.register(narrow_s.clone()).unwrap();
+
+    // Packet ≼ Payload must hold for the covariant check; relax type
+    // names to isolate variance.
+    let relaxed = ConformanceConfig::paper().with_type_names(NameMatcher::Levenshtein(7));
+    let cov = ConformanceChecker::new(relaxed.clone());
+    assert!(cov.conforms(
+        &TypeDescription::from_def(&have),
+        &TypeDescription::from_def(&want),
+        &rs_reg,
+        &rt_reg
+    ));
+    let strict = ConformanceChecker::new(relaxed.with_variance(Variance::Strict));
+    assert!(!strict.conforms(
+        &TypeDescription::from_def(&have),
+        &TypeDescription::from_def(&want),
+        &rs_reg,
+        &rt_reg
+    ));
+}
+
+#[test]
+fn ambiguity_policies_affect_protocol_outcomes() {
+    // A source type with two members matching one expected member.
+    let interest = TypeDef::class("Logger", "tgt")
+        .method("log", vec![pti_metamodel::ParamDef::new("m", primitives::STRING)], primitives::VOID)
+        .build();
+    let source = TypeDef::class("Logger", "src")
+        .method("logMessage", vec![pti_metamodel::ParamDef::new("m", primitives::STRING)], primitives::VOID)
+        .method("logMessageWithContext", vec![pti_metamodel::ParamDef::new("m", primitives::STRING)], primitives::VOID)
+        .build();
+    let reg = TypeRegistry::with_builtins();
+    let sd = TypeDescription::from_def(&source);
+    let td = TypeDescription::from_def(&interest);
+
+    let first = ConformanceChecker::new(
+        ConformanceConfig::pragmatic().with_ambiguity(Ambiguity::First),
+    );
+    let got = first.check(&sd, &td, &reg, &reg).unwrap();
+    assert_eq!(
+        got.binding(&td).method("log", 1).unwrap().actual_name,
+        "logMessage"
+    );
+
+    let error = ConformanceChecker::new(
+        ConformanceConfig::pragmatic().with_ambiguity(Ambiguity::Error),
+    );
+    assert!(error.check(&sd, &td, &reg, &reg).is_err());
+
+    let best = ConformanceChecker::new(
+        ConformanceConfig::pragmatic().with_ambiguity(Ambiguity::BestName),
+    );
+    assert_eq!(
+        best.check(&sd, &td, &reg, &reg)
+            .unwrap()
+            .binding(&td)
+            .method("log", 1)
+            .unwrap()
+            .actual_name,
+        "logMessage",
+        "shorter name is closer to `log`"
+    );
+}
+
+#[test]
+fn population_statistics_are_reproducible() {
+    let a: Vec<bool> = run_population(ConformanceConfig::pragmatic(), 21, 30)
+        .into_iter()
+        .map(|(_, ok)| ok)
+        .collect();
+    let b: Vec<bool> = run_population(ConformanceConfig::pragmatic(), 21, 30)
+        .into_iter()
+        .map(|(_, ok)| ok)
+        .collect();
+    assert_eq!(a, b, "same seed, same verdicts — experiments are deterministic");
+}

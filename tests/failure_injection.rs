@@ -1,0 +1,165 @@
+//! Failure injection: corrupted payloads, missing artifacts and protocol
+//! misuse must surface as errors — never panics, never silent corruption.
+
+use pti_core::prelude::*;
+use pti_core::samples;
+use pti_transport::{kinds, TransportError};
+
+fn fixture() -> (Swarm, PeerId, PeerId) {
+    let mut swarm = Swarm::new(NetConfig::default());
+    let alice = swarm.add_peer(ConformanceConfig::pragmatic());
+    let bob = swarm.add_peer(ConformanceConfig::pragmatic());
+    let a = samples::person_vendor_a();
+    swarm.publish(alice, samples::person_assembly(&a)).unwrap();
+    let b = samples::person_vendor_b();
+    swarm.peer_mut(bob).subscribe(TypeDescription::from_def(&b));
+    (swarm, alice, bob)
+}
+
+#[test]
+fn corrupted_object_message_is_a_protocol_error() {
+    let (mut swarm, alice, bob) = fixture();
+    swarm
+        .send_raw(alice, bob, kinds::OBJECT, b"<not-an-envelope/>".to_vec())
+        .unwrap();
+    let err = swarm.run().unwrap_err();
+    assert!(matches!(err, TransportError::Serialize(_)), "{err}");
+}
+
+#[test]
+fn non_utf8_object_message_is_a_protocol_error() {
+    let (mut swarm, alice, bob) = fixture();
+    swarm
+        .send_raw(alice, bob, kinds::OBJECT, vec![0xff, 0xfe, 0x00, 0x80])
+        .unwrap();
+    let err = swarm.run().unwrap_err();
+    assert!(matches!(err, TransportError::Protocol(_)), "{err}");
+}
+
+#[test]
+fn desc_request_for_unknown_path_errors() {
+    let (mut swarm, alice, bob) = fixture();
+    swarm
+        .send_raw(bob, alice, kinds::DESC_REQUEST, b"pti://peer-1/desc/ghost".to_vec())
+        .unwrap();
+    let err = swarm.run().unwrap_err();
+    assert!(matches!(err, TransportError::UnknownPath(_)), "{err}");
+}
+
+#[test]
+fn asm_request_for_unknown_path_errors() {
+    let (mut swarm, alice, bob) = fixture();
+    swarm
+        .send_raw(bob, alice, kinds::ASM_REQUEST, b"pti://peer-1/asm/ghost".to_vec())
+        .unwrap();
+    let err = swarm.run().unwrap_err();
+    assert!(matches!(err, TransportError::UnknownPath(_)), "{err}");
+}
+
+#[test]
+fn unknown_message_kind_is_rejected_by_run() {
+    let (mut swarm, alice, bob) = fixture();
+    swarm.send_raw(alice, bob, "mystery-kind", vec![1, 2, 3]).unwrap();
+    let err = swarm.run().unwrap_err();
+    assert!(matches!(err, TransportError::Protocol(m) if m.contains("mystery-kind")));
+}
+
+#[test]
+fn truncated_binary_payload_inside_valid_envelope_errors() {
+    let (mut swarm, alice, bob) = fixture();
+    let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, "x");
+    let mut env = swarm
+        .peer(alice)
+        .make_envelope(&v, PayloadFormat::Binary)
+        .unwrap();
+    // Corrupt: truncate the binary payload.
+    if let pti_serialize::Payload::Binary(b) = &mut env.payload {
+        b.truncate(b.len() / 2);
+    }
+    swarm
+        .send_raw(alice, bob, kinds::OBJECT, env.to_string_compact().into_bytes())
+        .unwrap();
+    let err = swarm.run().unwrap_err();
+    assert!(matches!(err, TransportError::Serialize(_)), "{err}");
+}
+
+#[test]
+fn error_in_one_exchange_does_not_corrupt_peer_state() {
+    // After a failed run, the swarm remains usable for fresh exchanges.
+    let (mut swarm, alice, bob) = fixture();
+    swarm
+        .send_raw(alice, bob, kinds::OBJECT, b"<garbage".to_vec())
+        .unwrap();
+    assert!(swarm.run().is_err());
+
+    let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, "recovered");
+    swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    swarm.run().unwrap();
+    let ds = swarm.peer_mut(bob).take_deliveries();
+    assert!(ds.iter().any(Delivery::is_accepted));
+}
+
+#[test]
+fn sending_to_unknown_peer_fails_fast() {
+    let (mut swarm, alice, _) = fixture();
+    let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, "x");
+    let err = swarm
+        .send_object(alice, PeerId(99), &v, PayloadFormat::Binary)
+        .unwrap_err();
+    assert!(matches!(err, TransportError::Net(_)));
+}
+
+#[test]
+fn dangling_object_cannot_be_sent() {
+    let (mut swarm, alice, bob) = fixture();
+    let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, "gone");
+    let h = v.as_obj().unwrap();
+    swarm.peer_mut(alice).runtime.heap.free(h).unwrap();
+    let err = swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap_err();
+    assert!(matches!(err, TransportError::Metamodel(_)));
+}
+
+#[test]
+fn hostile_envelope_with_fake_paths_is_contained() {
+    // An envelope claiming assemblies the sender never published: the
+    // receiver requests the description and the *sender* errors on the
+    // unknown path — the receiver never installs anything.
+    let (mut swarm, alice, bob) = fixture();
+    let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, "trojan");
+    let mut env = swarm
+        .peer(alice)
+        .make_envelope(&v, PayloadFormat::Binary)
+        .unwrap();
+    for aref in &mut env.assemblies {
+        aref.description_path = "pti://peer-1/desc/forged".into();
+        aref.assembly_path = "pti://peer-1/asm/forged".into();
+        aref.content_hash = "0".into();
+    }
+    swarm
+        .send_raw(alice, bob, kinds::OBJECT, env.to_string_compact().into_bytes())
+        .unwrap();
+    let err = swarm.run().unwrap_err();
+    assert!(matches!(err, TransportError::UnknownPath(_)));
+    assert_eq!(swarm.peer(bob).stats.accepted, 0);
+}
+
+#[test]
+fn remoting_unanswered_invocation_is_detected() {
+    use pti_remoting::RemotingFabric;
+    let (mut swarm, alice, bob) = fixture();
+    // Forge a proxy to an export id that does not exist; the owner
+    // answers with an error response, which invoke() surfaces.
+    let h = samples::make_person(&mut swarm.peer_mut(alice).runtime, "r")
+        .as_obj()
+        .unwrap();
+    let mut fabric = RemotingFabric::new();
+    let rref = fabric.export(&swarm, alice, h).unwrap();
+    fabric.offer(&mut swarm, alice, bob, &rref).unwrap();
+    fabric.run(&mut swarm).unwrap();
+    let mut proxy = fabric.take_proxies(bob).pop().expect("conforms");
+    proxy.remote.object_id = 777; // forge
+    let err = fabric
+        .invoke(&mut swarm, bob, &proxy, "getPersonName", &[])
+        .unwrap_err();
+    assert!(err.to_string().contains("no export"), "{err}");
+}

@@ -1,0 +1,163 @@
+//! Pass-by-reference integration: remote references, conformant remote
+//! proxies, and the interplay with pass-by-value.
+
+use pti_core::prelude::*;
+use pti_core::samples;
+use pti_metamodel::bodies;
+
+fn counter_assembly(salt: &str, bump_name: &str) -> (TypeDef, Assembly) {
+    let def = TypeDef::class("Counter", salt)
+        .field("count", primitives::INT64)
+        .method(bump_name, vec![ParamDef::new("by", primitives::INT64)], primitives::INT64)
+        .method("getCount", vec![], primitives::INT64)
+        .ctor(vec![])
+        .build();
+    let g = def.guid;
+    let asm = Assembly::builder(format!("counter-{salt}"))
+        .ty(def.clone())
+        .body(
+            g,
+            bump_name,
+            1,
+            std::sync::Arc::new(|rt: &mut Runtime, recv: Value, args: &[Value]| {
+                let h = recv.as_obj()?;
+                let c = rt.get_field(h, "count")?.as_i64()? + args[0].as_i64()?;
+                rt.set_field(h, "count", Value::I64(c))?;
+                Ok(Value::I64(c))
+            }),
+        )
+        .body(g, "getCount", 0, bodies::getter("count"))
+        .ctor_body(g, 0, bodies::ctor_assign(&[]))
+        .build();
+    (def, asm)
+}
+
+#[test]
+fn remote_counter_keeps_state_on_owner() {
+    let mut swarm = Swarm::new(NetConfig::default());
+    let owner = swarm.add_peer(ConformanceConfig::pragmatic());
+    let client = swarm.add_peer(ConformanceConfig::pragmatic());
+    let (_, asm) = counter_assembly("owner", "addToCount");
+    swarm.publish(owner, asm).unwrap();
+    // Client's view: `add` instead of `addToCount`.
+    let (client_def, _) = counter_assembly("client", "add");
+    swarm.peer_mut(client).subscribe(TypeDescription::from_def(&client_def));
+
+    let h = swarm.peer_mut(owner).runtime.instantiate(&"Counter".into(), &[]).unwrap();
+    let mut fabric = RemotingFabric::new();
+    let rref = fabric.export(&swarm, owner, h).unwrap();
+    fabric.offer(&mut swarm, owner, client, &rref).unwrap();
+    fabric.run(&mut swarm).unwrap();
+    let proxy = fabric.take_proxies(client).pop().expect("conformant");
+
+    for i in 1..=5i64 {
+        let total = fabric
+            .invoke(&mut swarm, client, &proxy, "add", &[Value::I64(i)])
+            .unwrap();
+        assert_eq!(total.as_i64().unwrap(), (1..=i).sum::<i64>());
+    }
+    // Owner sees accumulated state directly.
+    assert_eq!(
+        swarm.peer_mut(owner).runtime.get_field(h, "count").unwrap().as_i64().unwrap(),
+        15
+    );
+}
+
+#[test]
+fn two_clients_share_one_remote_object() {
+    let mut swarm = Swarm::new(NetConfig::default());
+    let owner = swarm.add_peer(ConformanceConfig::pragmatic());
+    let c1 = swarm.add_peer(ConformanceConfig::pragmatic());
+    let c2 = swarm.add_peer(ConformanceConfig::pragmatic());
+    let (_, asm) = counter_assembly("owner", "add");
+    swarm.publish(owner, asm).unwrap();
+    let (view, _) = counter_assembly("view", "add");
+    let desc = TypeDescription::from_def(&view);
+    swarm.peer_mut(c1).subscribe(desc.clone());
+    swarm.peer_mut(c2).subscribe(desc);
+
+    let h = swarm.peer_mut(owner).runtime.instantiate(&"Counter".into(), &[]).unwrap();
+    let mut fabric = RemotingFabric::new();
+    let rref = fabric.export(&swarm, owner, h).unwrap();
+    fabric.offer(&mut swarm, owner, c1, &rref).unwrap();
+    fabric.offer(&mut swarm, owner, c2, &rref).unwrap();
+    fabric.run(&mut swarm).unwrap();
+    let p1 = fabric.take_proxies(c1).pop().unwrap();
+    let p2 = fabric.take_proxies(c2).pop().unwrap();
+
+    fabric.invoke(&mut swarm, c1, &p1, "add", &[Value::I64(10)]).unwrap();
+    let seen_by_c2 = fabric.invoke(&mut swarm, c2, &p2, "add", &[Value::I64(1)]).unwrap();
+    assert_eq!(seen_by_c2.as_i64().unwrap(), 11, "c2 observes c1's mutation");
+}
+
+#[test]
+fn value_and_reference_semantics_differ_observably() {
+    // Same Person object: ship a copy by value AND a reference; mutate
+    // through the reference; the copy stays stale.
+    let mut swarm = Swarm::new(NetConfig::default());
+    let owner = swarm.add_peer(ConformanceConfig::pragmatic());
+    let client = swarm.add_peer(ConformanceConfig::pragmatic());
+    let a = samples::person_vendor_a();
+    swarm.publish(owner, samples::person_assembly(&a)).unwrap();
+    let b = samples::person_vendor_b();
+    swarm.peer_mut(client).subscribe(TypeDescription::from_def(&b));
+
+    let v = samples::make_person(&mut swarm.peer_mut(owner).runtime, "v1");
+    let h = v.as_obj().unwrap();
+
+    // By value:
+    swarm.send_object(owner, client, &v, PayloadFormat::Binary).unwrap();
+    swarm.run().unwrap();
+    let ds = swarm.peer_mut(client).take_deliveries();
+    let Delivery::Accepted { value: copied, .. } = &ds[0] else { panic!() };
+    let copied = copied.as_obj().unwrap();
+
+    // By reference:
+    let mut fabric = RemotingFabric::new();
+    let rref = fabric.export(&swarm, owner, h).unwrap();
+    fabric.offer(&mut swarm, owner, client, &rref).unwrap();
+    fabric.run(&mut swarm).unwrap();
+    let proxy = fabric.take_proxies(client).pop().unwrap();
+
+    // Mutate through the reference.
+    fabric
+        .invoke(&mut swarm, client, &proxy, "setPersonName", &[Value::from("v2")])
+        .unwrap();
+    let via_ref = fabric.invoke(&mut swarm, client, &proxy, "getPersonName", &[]).unwrap();
+    assert_eq!(via_ref.as_str().unwrap(), "v2");
+    // The by-value copy is unaffected.
+    assert_eq!(
+        swarm.peer_mut(client).runtime.get_field(copied, "name").unwrap().as_str().unwrap(),
+        "v1"
+    );
+}
+
+#[test]
+fn market_full_cycle_with_many_resources() {
+    let mut market = Market::new(NetConfig::default());
+    let lender = market.add_peer(ConformanceConfig::pragmatic());
+    let borrower = market.add_peer(ConformanceConfig::pragmatic());
+    let (_, asm) = counter_assembly("lender", "addToCount");
+    market.publish(lender, asm).unwrap();
+    let mut ids = Vec::new();
+    for _ in 0..3 {
+        let h = market.peer_mut(lender).runtime.instantiate(&"Counter".into(), &[]).unwrap();
+        ids.push(market.lend(lender, h).unwrap());
+    }
+    let (view, _) = counter_assembly("borrower", "add");
+    let desc = TypeDescription::from_def(&view);
+    // Borrow all three.
+    let b1 = market.borrow(borrower, &desc).unwrap().unwrap();
+    let b2 = market.borrow(borrower, &desc).unwrap().unwrap();
+    let b3 = market.borrow(borrower, &desc).unwrap().unwrap();
+    assert!(market.borrow(borrower, &desc).unwrap().is_none(), "pool exhausted");
+    assert_ne!(b1.lending_id, b2.lending_id);
+    assert_ne!(b2.lending_id, b3.lending_id);
+    // Each borrowed counter is independent.
+    market.invoke(borrower, &b1, "add", &[Value::I64(1)]).unwrap();
+    market.invoke(borrower, &b2, "add", &[Value::I64(2)]).unwrap();
+    let c1 = market.invoke(borrower, &b1, "getCount", &[]).unwrap();
+    let c2 = market.invoke(borrower, &b2, "getCount", &[]).unwrap();
+    let c3 = market.invoke(borrower, &b3, "getCount", &[]).unwrap();
+    assert_eq!((c1.as_i64().unwrap(), c2.as_i64().unwrap(), c3.as_i64().unwrap()), (1, 2, 0));
+}

@@ -1,0 +1,160 @@
+//! Cross-cutting serialization tests: type descriptions, SOAP, binary and
+//! the hybrid envelope, exercised through the public `pti_core` API.
+
+use pti_core::prelude::*;
+use pti_core::samples;
+
+fn runtime_with_person() -> Runtime {
+    let def = samples::person_vendor_a();
+    let mut rt = Runtime::new();
+    samples::person_assembly(&def).install(&mut rt).unwrap();
+    rt
+}
+
+#[test]
+fn description_xml_roundtrip_preserves_conformance_verdicts() {
+    // A description that went through XML must produce identical
+    // conformance verdicts to the original.
+    let a = TypeDescription::from_def(&samples::person_vendor_a());
+    let b = TypeDescription::from_def(&samples::person_vendor_b());
+    let a2 = description_from_string(&description_to_string(&a)).unwrap();
+    let b2 = description_from_string(&description_to_string(&b)).unwrap();
+    let reg = TypeRegistry::with_builtins();
+    let checker = ConformanceChecker::new(ConformanceConfig::pragmatic());
+    assert_eq!(
+        checker.conforms(&b, &a, &reg, &reg),
+        checker.conforms(&b2, &a2, &reg, &reg)
+    );
+    assert_eq!(a, a2);
+    assert_eq!(b, b2);
+}
+
+#[test]
+fn soap_and_binary_agree_on_object_state() {
+    let mut rt = runtime_with_person();
+    let v = samples::make_person(&mut rt, "same-state");
+    let soap = to_soap_string(&rt, &v).unwrap();
+    let bin = to_binary(&rt, &v).unwrap();
+
+    let via_soap = from_soap_string(&mut rt, &soap).unwrap().as_obj().unwrap();
+    let via_bin = from_binary(&mut rt, &bin).unwrap().as_obj().unwrap();
+    assert_eq!(
+        rt.get_field(via_soap, "name").unwrap(),
+        rt.get_field(via_bin, "name").unwrap()
+    );
+}
+
+#[test]
+fn binary_beats_soap_on_size_soap_is_readable() {
+    let mut rt = runtime_with_person();
+    let v = samples::make_person(&mut rt, "size-test-subject");
+    let soap = to_soap_string(&rt, &v).unwrap();
+    let bin = to_binary(&rt, &v).unwrap();
+    assert!(bin.len() < soap.len());
+    assert!(soap.contains("size-test-subject"), "SOAP is human readable");
+    assert!(soap.contains("Person"));
+}
+
+#[test]
+fn envelope_roundtrips_both_formats_through_xml() {
+    let mut rt = runtime_with_person();
+    let v = samples::make_person(&mut rt, "enveloped");
+    for format in [PayloadFormat::Soap, PayloadFormat::Binary] {
+        let payload = match format {
+            PayloadFormat::Soap => {
+                pti_serialize::Payload::Soap(pti_serialize::to_soap(&rt, &v).unwrap())
+            }
+            PayloadFormat::Binary => {
+                pti_serialize::Payload::Binary(to_binary(&rt, &v).unwrap())
+            }
+        };
+        let env = ObjectEnvelope {
+            type_name: "Person".into(),
+            type_guid: samples::person_vendor_a().guid,
+            assemblies: vec![],
+            payload,
+        };
+        let back = ObjectEnvelope::from_string(&env.to_string_compact()).unwrap();
+        assert_eq!(back, env, "{format:?}");
+        let value = match back.payload {
+            pti_serialize::Payload::Soap(el) => pti_serialize::from_soap(&mut rt, &el).unwrap(),
+            pti_serialize::Payload::Binary(b) => from_binary(&mut rt, &b).unwrap(),
+        };
+        let h = value.as_obj().unwrap();
+        assert_eq!(rt.get_field(h, "name").unwrap().as_str().unwrap(), "enveloped");
+    }
+}
+
+#[test]
+fn deep_object_chains_roundtrip_both_formats() {
+    let (_, _, asm) = samples::person_with_address("deep");
+    let mut rt = Runtime::new();
+    asm.install(&mut rt).unwrap();
+    // Build a chain person -> address and an array of shared references.
+    let mut people = Vec::new();
+    for i in 0..10 {
+        let a = rt.instantiate(&"Address".into(), &[]).unwrap();
+        rt.set_field(a, "street", Value::from(format!("street-{i}"))).unwrap();
+        let p = rt.instantiate(&"Person".into(), &[]).unwrap();
+        rt.set_field(p, "name", Value::from(format!("p{i}"))).unwrap();
+        rt.set_field(p, "home", Value::Obj(a)).unwrap();
+        people.push(Value::Obj(p));
+    }
+    // Shared tail: everyone also appears twice.
+    let mut all = people.clone();
+    all.extend(people.clone());
+    let v = Value::Array(all);
+
+    let soap = to_soap_string(&rt, &v).unwrap();
+    let got = from_soap_string(&mut rt, &soap).unwrap();
+    let arr = got.as_array().unwrap();
+    assert_eq!(arr.len(), 20);
+    assert_eq!(arr[0].as_obj().unwrap(), arr[10].as_obj().unwrap(), "sharing preserved");
+
+    let bin = to_binary(&rt, &v).unwrap();
+    let got2 = from_binary(&mut rt, &bin).unwrap();
+    let arr2 = got2.as_array().unwrap();
+    assert_eq!(arr2.len(), 20);
+    assert_eq!(arr2[3].as_obj().unwrap(), arr2[13].as_obj().unwrap());
+}
+
+#[test]
+fn description_sizes_scale_with_structure_not_depth() {
+    // Non-recursive descriptions: a type referencing a huge type is no
+    // bigger than one referencing a small one (Section 5.2's design
+    // point).
+    let small_ref = TypeDef::class("Holder", "x").field("r", "Tiny").build();
+    let big_ref = TypeDef::class("Holder", "y").field("r", "Huge").build();
+    let s1 = description_to_string(&TypeDescription::from_def(&small_ref));
+    let s2 = description_to_string(&TypeDescription::from_def(&big_ref));
+    assert_eq!(s1.len(), s2.len(), "referenced type size is irrelevant");
+
+    // But adding members grows the description.
+    let more = TypeDef::class("Holder", "z")
+        .field("r", "Tiny")
+        .field("extra", primitives::INT32)
+        .build();
+    let s3 = description_to_string(&TypeDescription::from_def(&more));
+    assert!(s3.len() > s1.len());
+}
+
+#[test]
+fn adversarial_payloads_do_not_panic() {
+    let mut rt = runtime_with_person();
+    // Truncations, bit flips and garbage must error, never panic.
+    let v = samples::make_person(&mut rt, "adversarial");
+    let bin = to_binary(&rt, &v).unwrap();
+    for cut in 0..bin.len() {
+        let _ = from_binary(&mut rt, &bin[..cut]);
+    }
+    let mut flipped = bin.clone();
+    for i in 0..flipped.len().min(64) {
+        flipped[i] ^= 0x55;
+        let _ = from_binary(&mut rt, &flipped);
+        flipped[i] ^= 0x55;
+    }
+    for garbage in ["", "<", "<Envelope>", "<Envelope><Body><int>x</int></Body></Envelope>"] {
+        let _ = from_soap_string(&mut rt, garbage);
+    }
+    let _ = ObjectEnvelope::from_string("<ptiMessage version=\"1\"/>");
+}
