@@ -8,9 +8,7 @@
 
 use std::time::Instant;
 
-use pti_bench::{
-    conformance_fixture, invocation_fixture, run_protocol, serialization_fixture,
-};
+use pti_bench::{conformance_fixture, invocation_fixture, run_protocol, serialization_fixture};
 use pti_conformance::{ConformanceChecker, ConformanceConfig, NameMatcher};
 use pti_core::prelude::*;
 use pti_core::samples;
@@ -19,15 +17,49 @@ use pti_serialize::{
     description_from_string, description_to_string, from_binary, from_soap_string, to_binary,
     to_soap_string,
 };
-use serde::Serialize;
-
-#[derive(Serialize)]
 struct Row {
     id: String,
     name: String,
     paper: String,
     measured: String,
     shape_holds: bool,
+}
+
+/// Minimal JSON string escaping (the rows carry free-form measurement
+/// text, including quotes and the occasional Greek letter).
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The machine-readable dump, written without a serializer dependency.
+fn rows_to_json(rows: &[Row]) -> String {
+    let mut out = String::from("[\n");
+    for (i, r) in rows.iter().enumerate() {
+        out.push_str(&format!(
+            "  {{\n    \"id\": \"{}\",\n    \"name\": \"{}\",\n    \"paper\": \"{}\",\n    \
+             \"measured\": \"{}\",\n    \"shape_holds\": {}\n  }}{}\n",
+            json_escape(&r.id),
+            json_escape(&r.name),
+            json_escape(&r.paper),
+            json_escape(&r.measured),
+            r.shape_holds,
+            if i + 1 < rows.len() { "," } else { "" },
+        ));
+    }
+    out.push(']');
+    out
 }
 
 struct Report {
@@ -136,10 +168,7 @@ fn e2_typedesc(report: &mut Report) {
         "E2",
         "deserialize Person description",
         "2.34 µs/op (serialize > deserialize)",
-        format!(
-            "{de_us:.3} µs/op (ratio ser/de = {:.2})",
-            ser_us / de_us
-        ),
+        format!("{de_us:.3} µs/op (ratio ser/de = {:.2})", ser_us / de_us),
         ser_us > de_us,
     );
 }
@@ -226,9 +255,19 @@ fn e4_conformance(report: &mut Report) {
 fn f1_protocol(report: &mut Report) {
     println!("\nF1  Figure 1 — optimistic protocol vs eager baseline (bytes, virtual time)");
     for (label, objects, ratio, types) in [
-        ("hot path: 50 objects of 1 known type", 50usize, 1.0f64, 1usize),
+        (
+            "hot path: 50 objects of 1 known type",
+            50usize,
+            1.0f64,
+            1usize,
+        ),
         ("mixed: 50 objects, 10 types, 50% conforming", 50, 0.5, 10),
-        ("hostile: 50 objects, 10 types, none conforming", 50, 0.0, 10),
+        (
+            "hostile: 50 objects, 10 types, none conforming",
+            50,
+            0.0,
+            10,
+        ),
     ] {
         let opt = run_protocol(false, objects, ratio, types, 42);
         let eag = run_protocol(true, objects, ratio, types, 42);
@@ -288,7 +327,11 @@ fn f3_serializers(report: &mut Report) {
         "F3",
         "SOAP vs binary payload size (nested A+B)",
         "gap grows with structure",
-        format!("soap {} B vs binary {} B", nested_soap.len(), nested_bin.len()),
+        format!(
+            "soap {} B vs binary {} B",
+            nested_soap.len(),
+            nested_bin.len()
+        ),
         nested_bin.len() < nested_soap.len(),
     );
     // Envelope overhead on top of the raw payload.
@@ -298,7 +341,10 @@ fn f3_serializers(report: &mut Report) {
         .publish(p, samples::person_assembly(&samples::person_vendor_a()))
         .unwrap();
     let v = samples::make_person(&mut swarm.peer_mut(p).runtime, "benchmark subject");
-    let env = swarm.peer(p).make_envelope(&v, PayloadFormat::Binary).unwrap();
+    let env = swarm
+        .peer(p)
+        .make_envelope(&v, PayloadFormat::Binary)
+        .unwrap();
     // The envelope adds a fixed metadata block (type id, download paths,
     // base64 framing) on top of the payload — an additive, bounded cost,
     // not a multiplicative one.
@@ -328,17 +374,24 @@ fn a1_name_matchers(report: &mut Report) {
     let idesc = TypeDescription::from_def(&interest);
     for (label, cfg) in [
         ("exact (paper)", ConformanceConfig::paper()),
-        ("levenshtein<=3", ConformanceConfig::paper().with_member_names(NameMatcher::Levenshtein(3))),
-        ("token-subsequence (pragmatic)", ConformanceConfig::pragmatic()),
-        ("wildcard members", ConformanceConfig::paper().with_member_names(NameMatcher::Wildcard)),
+        (
+            "levenshtein<=3",
+            ConformanceConfig::paper().with_member_names(NameMatcher::Levenshtein(3)),
+        ),
+        (
+            "token-subsequence (pragmatic)",
+            ConformanceConfig::pragmatic(),
+        ),
+        (
+            "wildcard members",
+            ConformanceConfig::paper().with_member_names(NameMatcher::Wildcard),
+        ),
     ] {
         let checker = ConformanceChecker::uncached(cfg);
         let start = Instant::now();
         let matched = variants
             .iter()
-            .filter(|v| {
-                checker.conforms(&TypeDescription::from_def(&v.def), &idesc, &reg, &reg)
-            })
+            .filter(|v| checker.conforms(&TypeDescription::from_def(&v.def), &idesc, &reg, &reg))
             .count();
         let us = start.elapsed().as_secs_f64() * 1e6 / variants.len() as f64;
         report.push(
@@ -355,19 +408,33 @@ fn a2_variance(report: &mut Report) {
     println!("\nA2  ablation D2 — argument variance (paper covariant vs strict)");
     use pti_metamodel::{ParamDef, TypeDef};
     // Generate method pairs with sub/supertyped arguments.
-    let wide = TypeDef::class("Payload", "w").field("len", pti_metamodel::primitives::INT32).build();
+    let wide = TypeDef::class("Payload", "w")
+        .field("len", pti_metamodel::primitives::INT32)
+        .build();
     let narrow = TypeDef::class("Packet", "n")
         .field("len", pti_metamodel::primitives::INT32)
         .field("crc", pti_metamodel::primitives::INT32)
         .build();
     let want = TypeDef::class("Chan", "t")
-        .method("push", vec![ParamDef::new("p", "Payload")], pti_metamodel::primitives::VOID)
+        .method(
+            "push",
+            vec![ParamDef::new("p", "Payload")],
+            pti_metamodel::primitives::VOID,
+        )
         .build();
     let have_narrow = TypeDef::class("Chan", "s1")
-        .method("push", vec![ParamDef::new("p", "Packet")], pti_metamodel::primitives::VOID)
+        .method(
+            "push",
+            vec![ParamDef::new("p", "Packet")],
+            pti_metamodel::primitives::VOID,
+        )
         .build();
     let have_same = TypeDef::class("Chan", "s2")
-        .method("push", vec![ParamDef::new("p", "Payload")], pti_metamodel::primitives::VOID)
+        .method(
+            "push",
+            vec![ParamDef::new("p", "Payload")],
+            pti_metamodel::primitives::VOID,
+        )
         .build();
     let mut reg = TypeRegistry::with_builtins();
     for d in [&wide, &narrow, &want, &have_narrow, &have_same] {
@@ -375,7 +442,8 @@ fn a2_variance(report: &mut Report) {
     }
     let relaxed = ConformanceConfig::paper().with_type_names(NameMatcher::Levenshtein(7));
     let cov = ConformanceChecker::uncached(relaxed.clone());
-    let strict = ConformanceChecker::uncached(relaxed.with_variance(pti_conformance::Variance::Strict));
+    let strict =
+        ConformanceChecker::uncached(relaxed.with_variance(pti_conformance::Variance::Strict));
     let wd = TypeDescription::from_def(&want);
     let narrow_ok_cov = cov.conforms(&TypeDescription::from_def(&have_narrow), &wd, &reg, &reg);
     let narrow_ok_strict =
@@ -451,14 +519,22 @@ fn a4_behavioral(report: &mut Report) {
 
     let expected = TypeDef::class("Adder", "vendor-a")
         .field("acc", primitives::INT64)
-        .method("add", vec![ParamDef::new("x", primitives::INT64)], primitives::INT64)
+        .method(
+            "add",
+            vec![ParamDef::new("x", primitives::INT64)],
+            primitives::INT64,
+        )
         .method("total", vec![], primitives::INT64)
         .ctor(vec![])
         .build();
     let make_received = |salt: &str, sign: i64| {
         let def = TypeDef::class("Adder", salt)
             .field("acc", primitives::INT64)
-            .method("addValue", vec![ParamDef::new("x", primitives::INT64)], primitives::INT64)
+            .method(
+                "addValue",
+                vec![ParamDef::new("x", primitives::INT64)],
+                primitives::INT64,
+            )
             .method("totalValue", vec![], primitives::INT64)
             .ctor(vec![])
             .build();
@@ -499,9 +575,10 @@ fn a4_behavioral(report: &mut Report) {
         .ctor_body(eg, 0, bodies::ctor_assign(&[]))
         .build();
 
-    for (label, sign, expect_pass) in
-        [("faithful re-implementation", 1i64, true), ("structurally-identical impostor", -1, false)]
-    {
+    for (label, sign, expect_pass) in [
+        ("faithful re-implementation", 1i64, true),
+        ("structurally-identical impostor", -1, false),
+    ] {
         let (received, asm) = make_received(&format!("vendor-{sign}"), sign);
         let mut rt = Runtime::new();
         exp_asm.install(&mut rt).unwrap();
@@ -538,8 +615,12 @@ fn a4_behavioral(report: &mut Report) {
 
 fn main() {
     println!("Pragmatic Type Interoperability — experiment harness");
-    println!("(paper numbers are 2002 hardware + .NET; ours are this machine + the Rust substrate;");
-    println!(" per DESIGN.md only the *shapes* — orderings, ratios, savings — are expected to hold)");
+    println!(
+        "(paper numbers are 2002 hardware + .NET; ours are this machine + the Rust substrate;"
+    );
+    println!(
+        " per DESIGN.md only the *shapes* — orderings, ratios, savings — are expected to hold)"
+    );
 
     let mut report = Report { rows: Vec::new() };
     e1_invocation(&mut report);
@@ -554,8 +635,11 @@ fn main() {
     a4_behavioral(&mut report);
 
     let holds = report.rows.iter().filter(|r| r.shape_holds).count();
-    println!("\n{}/{} rows hold the paper's shape", holds, report.rows.len());
-    let json = serde_json::to_string_pretty(&report.rows).expect("serializable");
-    std::fs::write("experiments.json", json).expect("writable cwd");
+    println!(
+        "\n{}/{} rows hold the paper's shape",
+        holds,
+        report.rows.len()
+    );
+    std::fs::write("experiments.json", rows_to_json(&report.rows)).expect("writable cwd");
     println!("wrote experiments.json");
 }

@@ -36,8 +36,12 @@ pub fn invocation_fixture() -> InvocationFixture {
     let a_def = samples::person_vendor_a();
     let b_def = samples::person_vendor_b();
     let mut runtime = Runtime::new();
-    samples::person_assembly(&b_def).install(&mut runtime).unwrap();
-    let handle = samples::make_person(&mut runtime, "bench").as_obj().unwrap();
+    samples::person_assembly(&b_def)
+        .install(&mut runtime)
+        .unwrap();
+    let handle = samples::make_person(&mut runtime, "bench")
+        .as_obj()
+        .unwrap();
     let bound_get = runtime
         .bind_method(b_def.guid, "getPersonName", 0)
         .expect("installed");
@@ -62,7 +66,13 @@ pub fn invocation_fixture() -> InvocationFixture {
         &runtime.registry,
     )
     .unwrap();
-    InvocationFixture { runtime, handle, bound_get, proxy, transparent_proxy }
+    InvocationFixture {
+        runtime,
+        handle,
+        bound_get,
+        proxy,
+        transparent_proxy,
+    }
 }
 
 /// Fixture for the serialization benchmarks (Sections 7.2/7.3): a runtime
@@ -86,7 +96,9 @@ pub struct SerializationFixture {
 pub fn serialization_fixture() -> SerializationFixture {
     let a_def = samples::person_vendor_a();
     let mut runtime = Runtime::new();
-    samples::person_assembly(&a_def).install(&mut runtime).unwrap();
+    samples::person_assembly(&a_def)
+        .install(&mut runtime)
+        .unwrap();
     let person = samples::make_person(&mut runtime, "benchmark subject");
 
     let (_, _, asm) = samples::person_with_address("bench");
@@ -106,10 +118,14 @@ pub fn serialization_fixture() -> SerializationFixture {
         .unwrap()
         .clone();
     let ah = runtime.instantiate_def(&addr_def, &[]).unwrap();
-    runtime.set_field(ah, "street", Value::from("Avenue de Rhodanie 46")).unwrap();
+    runtime
+        .set_field(ah, "street", Value::from("Avenue de Rhodanie 46"))
+        .unwrap();
     runtime.set_field(ah, "zip", Value::I32(1007)).unwrap();
     let ph = runtime.instantiate_def(&nested_person_def, &[]).unwrap();
-    runtime.set_field(ph, "name", Value::from("figure three")).unwrap();
+    runtime
+        .set_field(ph, "name", Value::from("figure three"))
+        .unwrap();
     runtime.set_field(ph, "home", Value::Obj(ah)).unwrap();
 
     SerializationFixture {
@@ -179,8 +195,14 @@ pub fn run_protocol(
     let publisher = swarm.add_peer(ConformanceConfig::pragmatic());
     let subscriber = swarm.add_peer(ConformanceConfig::pragmatic());
     let interest = samples::sensor_interest("subscriber");
-    swarm.peer_mut(subscriber).runtime.register_type(interest.clone()).unwrap();
-    swarm.peer_mut(subscriber).subscribe(TypeDescription::from_def(&interest));
+    swarm
+        .peer_mut(subscriber)
+        .runtime
+        .register_type(interest.clone())
+        .unwrap();
+    swarm
+        .peer_mut(subscriber)
+        .subscribe(TypeDescription::from_def(&interest));
 
     let variants = samples::generate_population(seed, distinct_types.max(1), conforming_ratio);
     for v in &variants {
@@ -188,7 +210,11 @@ pub fn run_protocol(
     }
     for i in 0..objects {
         let v = &variants[i % variants.len()];
-        let h = swarm.peer_mut(publisher).runtime.instantiate_def(&v.def, &[]).unwrap();
+        let h = swarm
+            .peer_mut(publisher)
+            .runtime
+            .instantiate_def(&v.def, &[])
+            .unwrap();
         if eager {
             swarm
                 .send_object_eager(publisher, subscriber, &Value::Obj(h), PayloadFormat::Binary)
@@ -242,7 +268,10 @@ mod tests {
         let none = run_protocol(false, 10, 0.0, 5, 1);
         assert_eq!(none.accepted, 0);
         assert_eq!(none.rejected, 10);
-        assert!(none.bytes < all.bytes, "rejected objects skip code downloads");
+        assert!(
+            none.bytes < all.bytes,
+            "rejected objects skip code downloads"
+        );
     }
 
     #[test]

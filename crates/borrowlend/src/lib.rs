@@ -17,7 +17,7 @@ use std::collections::HashMap;
 
 use pti_conformance::ConformanceConfig;
 use pti_metamodel::{Assembly, ObjHandle, TypeDescription, Value};
-use pti_net::{NetConfig, PeerId};
+use pti_net::{NetConfig, PeerId, SimNet, Transport};
 use pti_remoting::{RemoteProxy, RemotingFabric};
 use pti_transport::{Peer, Result, Swarm, TransportError};
 
@@ -44,20 +44,28 @@ pub struct Borrowed {
     pub proxy: RemoteProxy,
 }
 
-/// A borrow/lend market over a swarm of peers.
+/// A borrow/lend market over a swarm of peers (any transport).
 #[derive(Debug)]
-pub struct Market {
-    swarm: Swarm,
+pub struct Market<T: Transport = SimNet> {
+    swarm: Swarm<T>,
     fabric: RemotingFabric,
     lendings: HashMap<u64, Lending>,
     next_id: u64,
 }
 
-impl Market {
-    /// Creates an empty market over a network with the given parameters.
+impl Market<SimNet> {
+    /// Creates an empty market over a simulated network with the given
+    /// parameters.
     pub fn new(config: NetConfig) -> Market {
+        Market::over(Swarm::new(config))
+    }
+}
+
+impl<T: Transport> Market<T> {
+    /// Creates an empty market over an existing swarm.
+    pub fn over(swarm: Swarm<T>) -> Market<T> {
         Market {
-            swarm: Swarm::new(config),
+            swarm,
             fabric: RemotingFabric::new(),
             lendings: HashMap::new(),
             next_id: 0,
@@ -80,7 +88,7 @@ impl Market {
     }
 
     /// The underlying swarm.
-    pub fn swarm(&self) -> &Swarm {
+    pub fn swarm(&self) -> &Swarm<T> {
         &self.swarm
     }
 
@@ -101,7 +109,15 @@ impl Market {
         let remote = self.fabric.export(&self.swarm, lender, resource)?;
         self.next_id += 1;
         let id = self.next_id;
-        self.lendings.insert(id, Lending { id, lender, remote, borrowed_by: None });
+        self.lendings.insert(
+            id,
+            Lending {
+                id,
+                lender,
+                remote,
+                borrowed_by: None,
+            },
+        );
         Ok(id)
     }
 
@@ -136,13 +152,17 @@ impl Market {
             .collect();
         for (id, lender) in candidates {
             let rref = self.lendings[&id].remote.clone();
-            self.fabric.offer(&mut self.swarm, lender, borrower, &rref)?;
+            self.fabric
+                .offer(&mut self.swarm, lender, borrower, &rref)?;
             self.fabric.run(&mut self.swarm)?;
             let mut proxies = self.fabric.take_proxies(borrower);
             let _ = self.fabric.take_rejected(borrower);
             if let Some(proxy) = proxies.pop() {
                 self.lendings.get_mut(&id).expect("exists").borrowed_by = Some(borrower);
-                return Ok(Some(Borrowed { lending_id: id, proxy }));
+                return Ok(Some(Borrowed {
+                    lending_id: id,
+                    proxy,
+                }));
             }
         }
         Ok(None)
@@ -160,7 +180,8 @@ impl Market {
         method: &str,
         args: &[Value],
     ) -> Result<Value> {
-        self.fabric.invoke(&mut self.swarm, borrower, &borrowed.proxy, method, args)
+        self.fabric
+            .invoke(&mut self.swarm, borrower, &borrowed.proxy, method, args)
     }
 
     /// Returns a borrowed resource to the market.
@@ -254,7 +275,9 @@ mod tests {
         let scanner = TypeDef::class("Scanner", "b")
             .method("scan", vec![], primitives::STRING)
             .build();
-        let got = market.borrow(borrower, &TypeDescription::from_def(&scanner)).unwrap();
+        let got = market
+            .borrow(borrower, &TypeDescription::from_def(&scanner))
+            .unwrap();
         assert!(got.is_none());
     }
 
@@ -266,9 +289,15 @@ mod tests {
         let desc = TypeDescription::from_def(&want);
         let first = market.borrow(borrower, &desc).unwrap();
         assert!(first.is_some());
-        assert!(market.borrow(third, &desc).unwrap().is_none(), "already lent out");
+        assert!(
+            market.borrow(third, &desc).unwrap().is_none(),
+            "already lent out"
+        );
         market.give_back(id).unwrap();
-        assert!(market.borrow(third, &desc).unwrap().is_some(), "available again");
+        assert!(
+            market.borrow(third, &desc).unwrap().is_some(),
+            "available again"
+        );
     }
 
     #[test]
@@ -278,7 +307,10 @@ mod tests {
         assert_eq!(market.lendings()[0].lender, lender);
         assert!(market.lendings()[0].borrowed_by.is_none());
         let (_, want) = printer_assembly("x", "print");
-        market.borrow(borrower, &TypeDescription::from_def(&want)).unwrap().unwrap();
+        market
+            .borrow(borrower, &TypeDescription::from_def(&want))
+            .unwrap()
+            .unwrap();
         assert_eq!(market.lendings()[0].borrowed_by, Some(borrower));
         market.give_back(id).unwrap();
         assert!(market.lendings()[0].borrowed_by.is_none());
@@ -289,7 +321,9 @@ mod tests {
     fn own_resources_are_not_offered_back() {
         let (mut market, lender, _borrower, _) = market_with_printer();
         let (_, want) = printer_assembly("self", "print");
-        let got = market.borrow(lender, &TypeDescription::from_def(&want)).unwrap();
+        let got = market
+            .borrow(lender, &TypeDescription::from_def(&want))
+            .unwrap();
         assert!(got.is_none(), "a lender does not borrow its own resource");
     }
 }

@@ -19,9 +19,7 @@
 //! Combining a structural pass with a behavioral pass yields the paper's
 //! "strong implicit type conformance".
 
-use pti_metamodel::{
-    MetamodelError, ObjHandle, Runtime, TypeDef, TypeName, Value,
-};
+use pti_metamodel::{MetamodelError, ObjHandle, Runtime, TypeDef, TypeName, Value};
 
 use crate::binding::{ConformanceBinding, MethodBinding};
 
@@ -88,8 +86,7 @@ impl BehavioralReport {
     /// and every sequence step agreed. Skipped methods do not fail the
     /// verdict (they are outside the feasible fragment) but are listed.
     pub fn conformant(&self) -> bool {
-        self.methods.iter().all(MethodVerdict::agrees)
-            && self.sequence_disagreements.is_empty()
+        self.methods.iter().all(MethodVerdict::agrees) && self.sequence_disagreements.is_empty()
     }
 }
 
@@ -141,8 +138,7 @@ fn probeable(def: &TypeDef, binding_name: &str, arity: usize) -> Option<bool> {
     use pti_metamodel::primitives as prim;
     let (_, sig) = def.find_method(binding_name, arity)?;
     let params_ok = sig.params.iter().all(|p| prim::is_primitive(&p.ty));
-    let ret_ok =
-        prim::is_primitive(&sig.return_type) || sig.return_type.full() == prim::VOID;
+    let ret_ok = prim::is_primitive(&sig.return_type) || sig.return_type.full() == prim::VOID;
     Some(params_ok && ret_ok)
 }
 
@@ -203,11 +199,9 @@ impl BehavioralTester {
                 if outcome_eq(&out_e, &out_a) {
                     verdict.agreements += 1;
                 } else if verdict.disagreements.len() < self.max_recorded {
-                    verdict.disagreements.push((
-                        args,
-                        render(&out_e),
-                        render(&out_a),
-                    ));
+                    verdict
+                        .disagreements
+                        .push((args, render(&out_e), render(&out_a)));
                 }
                 let _ = rt.heap.free(eh);
                 let _ = rt.heap.free(ah);
@@ -273,10 +267,7 @@ fn fresh_instance(rt: &mut Runtime, def: &TypeDef) -> Result<ObjHandle, Metamode
     }
 }
 
-fn outcome_eq(
-    a: &Result<Value, MetamodelError>,
-    b: &Result<Value, MetamodelError>,
-) -> bool {
+fn outcome_eq(a: &Result<Value, MetamodelError>, b: &Result<Value, MetamodelError>) -> bool {
     match (a, b) {
         (Ok(x), Ok(y)) => x == y,
         (Err(_), Err(_)) => true, // both fail: identical observable behavior
@@ -303,7 +294,11 @@ mod tests {
     fn adders(faithful: bool) -> (Runtime, TypeDef, TypeDef, ConformanceBinding) {
         let expected = TypeDef::class("Adder", "vendor-a")
             .field("acc", primitives::INT64)
-            .method("add", vec![ParamDef::new("x", primitives::INT64)], primitives::INT64)
+            .method(
+                "add",
+                vec![ParamDef::new("x", primitives::INT64)],
+                primitives::INT64,
+            )
             .method("total", vec![], primitives::INT64)
             .ctor(vec![])
             .build();
@@ -375,11 +370,19 @@ mod tests {
             .test(&mut rt, &received, &expected, &binding)
             .unwrap();
         assert!(!report.conformant());
-        let add = report.methods.iter().find(|m| m.expected_name == "add").unwrap();
+        let add = report
+            .methods
+            .iter()
+            .find(|m| m.expected_name == "add")
+            .unwrap();
         assert!(!add.agrees());
         assert!(!add.disagreements.is_empty(), "witness inputs recorded");
         // The pure getter agrees per-probe (fresh receivers)…
-        let total = report.methods.iter().find(|m| m.expected_name == "total").unwrap();
+        let total = report
+            .methods
+            .iter()
+            .find(|m| m.expected_name == "total")
+            .unwrap();
         assert!(total.agrees());
         // …but the sequence pass exposes the divergent accumulated state.
         assert!(!report.sequence_disagreements.is_empty());
@@ -388,11 +391,17 @@ mod tests {
     #[test]
     fn probing_is_deterministic_per_seed() {
         let (mut rt, received, expected, binding) = adders(false);
-        let t = BehavioralTester { seed: 7, ..BehavioralTester::default() };
+        let t = BehavioralTester {
+            seed: 7,
+            ..BehavioralTester::default()
+        };
         let r1 = t.test(&mut rt, &received, &expected, &binding).unwrap();
         let r2 = t.test(&mut rt, &received, &expected, &binding).unwrap();
         assert_eq!(r1, r2);
-        let t2 = BehavioralTester { seed: 8, ..BehavioralTester::default() };
+        let t2 = BehavioralTester {
+            seed: 8,
+            ..BehavioralTester::default()
+        };
         let r3 = t2.test(&mut rt, &received, &expected, &binding).unwrap();
         // Same verdict, (very likely) different witnesses.
         assert_eq!(r1.conformant(), r3.conformant());
@@ -447,9 +456,12 @@ mod tests {
         rt.register_type(expected.clone()).unwrap();
         rt.register_type(received.clone()).unwrap();
         let binding = ConformanceBinding::identity(&TypeDescription::from_def(&expected));
-        let report = BehavioralTester { sequence_steps: 4, ..Default::default() }
-            .test(&mut rt, &received, &expected, &binding)
-            .unwrap();
+        let report = BehavioralTester {
+            sequence_steps: 4,
+            ..Default::default()
+        }
+        .test(&mut rt, &received, &expected, &binding)
+        .unwrap();
         assert!(report.conformant(), "{report:?}");
     }
 }

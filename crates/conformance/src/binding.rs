@@ -33,7 +33,9 @@ impl MethodBinding {
         for (caller_pos, &actual_pos) in self.perm.iter().enumerate() {
             out[actual_pos] = Some(args[caller_pos].clone());
         }
-        out.into_iter().map(|v| v.expect("perm is a permutation")).collect()
+        out.into_iter()
+            .map(|v| v.expect("perm is a permutation"))
+            .collect()
     }
 
     /// Whether this binding is an identity mapping (same name, no
@@ -120,7 +122,9 @@ impl ConformanceBinding {
 
     /// Finds the translation for an expected field by name.
     pub fn field(&self, expected_name: &str) -> Option<&FieldBinding> {
-        self.fields.iter().find(|f| f.expected_name == expected_name)
+        self.fields
+            .iter()
+            .find(|f| f.expected_name == expected_name)
     }
 
     /// Whether every member binding is an identity mapping.

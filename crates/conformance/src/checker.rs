@@ -20,10 +20,8 @@
 
 use std::collections::HashMap;
 
-use parking_lot::Mutex;
-use pti_metamodel::{
-    DescriptionProvider, Guid, MethodDesc, TypeDescription, TypeKind, TypeName,
-};
+use pti_metamodel::{DescriptionProvider, Guid, MethodDesc, TypeDescription, TypeKind, TypeName};
+use std::sync::Mutex;
 
 use crate::binding::{ConformanceBinding, CtorBinding, FieldBinding, MethodBinding};
 use crate::config::{Ambiguity, ConformanceConfig, Unresolved, Variance};
@@ -99,8 +97,18 @@ impl std::fmt::Debug for ConformanceChecker {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ConformanceChecker")
             .field("config", &self.config)
-            .field("cached_pairs", &self.cache.lock().len())
-            .field("stats", &*self.stats.lock())
+            .field(
+                "cached_pairs",
+                &self
+                    .cache
+                    .lock()
+                    .expect("conformance cache lock poisoned")
+                    .len(),
+            )
+            .field(
+                "stats",
+                &*self.stats.lock().expect("conformance cache lock poisoned"),
+            )
             .finish()
     }
 }
@@ -125,7 +133,10 @@ impl ConformanceChecker {
     /// Creates a checker with GUID-pair caching disabled — every check
     /// recomputes from scratch (ablation A3 baseline).
     pub fn uncached(config: ConformanceConfig) -> ConformanceChecker {
-        ConformanceChecker { caching: false, ..Self::new(config) }
+        ConformanceChecker {
+            caching: false,
+            ..Self::new(config)
+        }
     }
 
     /// The active configuration.
@@ -135,13 +146,16 @@ impl ConformanceChecker {
 
     /// Cache hit/miss counters so far.
     pub fn stats(&self) -> CacheStats {
-        *self.stats.lock()
+        *self.stats.lock().expect("conformance cache lock poisoned")
     }
 
     /// Empties the verdict cache (use when the description environment
     /// changes, e.g. a new description for a previously unresolved name).
     pub fn clear_cache(&self) {
-        self.cache.lock().clear();
+        self.cache
+            .lock()
+            .expect("conformance cache lock poisoned")
+            .clear();
     }
 
     /// Decides whether `source` (`T'`, the received type) implicitly
@@ -178,7 +192,8 @@ impl ConformanceChecker {
         src_provider: &dyn DescriptionProvider,
         tgt_provider: &dyn DescriptionProvider,
     ) -> bool {
-        self.check(source, target, src_provider, tgt_provider).is_ok()
+        self.check(source, target, src_provider, tgt_provider)
+            .is_ok()
     }
 
     fn check_descs(
@@ -193,8 +208,16 @@ impl ConformanceChecker {
         }
         let key = (source.guid, target.guid);
         if self.caching {
-            if let Some(hit) = self.cache.lock().get(&key) {
-                self.stats.lock().hits += 1;
+            if let Some(hit) = self
+                .cache
+                .lock()
+                .expect("conformance cache lock poisoned")
+                .get(&key)
+            {
+                self.stats
+                    .lock()
+                    .expect("conformance cache lock poisoned")
+                    .hits += 1;
                 return hit.clone();
             }
         }
@@ -215,13 +238,19 @@ impl ConformanceChecker {
         let result = self.check_uncached(source, target, state);
         state.depth -= 1;
         state.in_progress.pop();
-        self.stats.lock().misses += 1;
+        self.stats
+            .lock()
+            .expect("conformance cache lock poisoned")
+            .misses += 1;
         // Results derived under a coinductive assumption deeper in the
         // stack are still sound to cache: the assumption is discharged by
         // the time the outermost frame for the pair completes, and inner
         // frames only ran within that computation.
         if self.caching && !state.depth_exceeded {
-            self.cache.lock().insert(key, result.clone());
+            self.cache
+                .lock()
+                .expect("conformance cache lock poisoned")
+                .insert(key, result.clone());
         }
         result
     }
@@ -591,9 +620,7 @@ impl ConformanceChecker {
                 self.check_pair_sided(&ad, src, &bd, tgt, state)
             }
             _ => match self.config.unresolved {
-                Unresolved::NameFallback => {
-                    self.config.type_names.matches(b.simple(), a.simple())
-                }
+                Unresolved::NameFallback => self.config.type_names.matches(b.simple(), a.simple()),
                 Unresolved::Fail => false,
             },
         }
@@ -696,7 +723,9 @@ impl ConformanceChecker {
             if hops > MAX_CHAIN * 4 {
                 break;
             }
-            let Some(desc) = state.src.describe(&name) else { continue };
+            let Some(desc) = state.src.describe(&name) else {
+                continue;
+            };
             if desc.guid == target.guid {
                 return true;
             }
@@ -729,11 +758,15 @@ impl ConformanceChecker {
         let mut hops = 0;
         while hops < MAX_CHAIN {
             hops += 1;
-            let Some(name) = cur.take().or_else(|| interfaces.pop()) else { break };
+            let Some(name) = cur.take().or_else(|| interfaces.pop()) else {
+                break;
+            };
             if name.full() == pti_metamodel::primitives::OBJECT {
                 continue;
             }
-            let Some(sup) = self.provider(side, state).describe(&name) else { continue };
+            let Some(sup) = self.provider(side, state).describe(&name) else {
+                continue;
+            };
             if seen.contains(&sup.guid) {
                 continue;
             }
@@ -768,9 +801,7 @@ impl ConformanceChecker {
             1 => Pick::One(&candidates[0]),
             _ => match self.config.ambiguity {
                 Ambiguity::First => Pick::One(&candidates[0]),
-                Ambiguity::Error => {
-                    Pick::Ambiguous(candidates.iter().map(&name_of).collect())
-                }
+                Ambiguity::Error => Pick::Ambiguous(candidates.iter().map(&name_of).collect()),
                 Ambiguity::BestName => {
                     let best = candidates
                         .iter()

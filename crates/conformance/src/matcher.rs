@@ -182,7 +182,10 @@ mod tests {
         assert!(m.matches("*Name", "personName"));
         assert!(m.matches("get?ame", "getName"));
         assert!(!m.matches("get*Name", "setPersonName"));
-        assert!(m.matches("exact", "EXACT"), "no wildcards degrades to exact");
+        assert!(
+            m.matches("exact", "EXACT"),
+            "no wildcards degrades to exact"
+        );
         assert!(!m.matches("exact", "exactly"));
     }
 
@@ -215,9 +218,7 @@ mod tests {
 
     #[test]
     fn synonyms_fold_tokens() {
-        let table = SynonymTable::new()
-            .with("fetch", "get")
-            .with("nom", "name");
+        let table = SynonymTable::new().with("fetch", "get").with("nom", "name");
         let m = NameMatcher::Synonyms(table);
         assert!(m.matches("getName", "fetchNom"));
         assert!(m.matches("getName", "GetName"));

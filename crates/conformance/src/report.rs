@@ -105,7 +105,11 @@ impl fmt::Display for Reason {
             Reason::MissingMember { aspect, member } => {
                 write!(f, "no conforming {aspect} member for `{member}`")
             }
-            Reason::AmbiguousMember { aspect, member, candidates } => write!(
+            Reason::AmbiguousMember {
+                aspect,
+                member,
+                candidates,
+            } => write!(
                 f,
                 "{aspect} member `{member}` matches {} candidates ({})",
                 candidates.len(),

@@ -5,7 +5,9 @@ use pti_conformance::{
     Ambiguity, Aspect, Conformance, ConformanceChecker, ConformanceConfig, NameMatcher, Reason,
     Unresolved, Variance,
 };
-use pti_metamodel::{primitives, DescriptionProvider, ParamDef, TypeDef, TypeDescription, TypeRegistry};
+use pti_metamodel::{
+    primitives, DescriptionProvider, ParamDef, TypeDef, TypeDescription, TypeRegistry,
+};
 
 fn desc(def: &TypeDef) -> TypeDescription {
     TypeDescription::from_def(def)
@@ -29,7 +31,9 @@ fn paper() -> ConformanceChecker {
 
 #[test]
 fn identical_types_conform_trivially() {
-    let t = TypeDef::class("Person", "v").field("name", primitives::STRING).build();
+    let t = TypeDef::class("Person", "v")
+        .field("name", primitives::STRING)
+        .build();
     let r = reg(&[&t]);
     let c = paper().check(&desc(&t), &desc(&t), &r, &r).unwrap();
     assert_eq!(c, Conformance::Identical);
@@ -63,10 +67,16 @@ fn explicit_subtype_conforms_regardless_of_structure() {
     let employee = TypeDef::class("Employee", "v")
         .extends("Person")
         .field("salary", primitives::INT64)
-        .method("raise", vec![ParamDef::new("by", primitives::INT64)], primitives::VOID)
+        .method(
+            "raise",
+            vec![ParamDef::new("by", primitives::INT64)],
+            primitives::VOID,
+        )
         .build();
     let r = reg(&[&person, &employee]);
-    let c = paper().check(&desc(&employee), &desc(&person), &r, &r).unwrap();
+    let c = paper()
+        .check(&desc(&employee), &desc(&person), &r, &r)
+        .unwrap();
     assert_eq!(c, Conformance::Explicit);
 }
 
@@ -80,7 +90,9 @@ fn explicit_subtype_via_interface_chain() {
         .build();
     let clerk = TypeDef::class("Clerk", "v").implements("IWorker").build();
     let r = reg(&[&inamed, &iworker, &clerk]);
-    let c = paper().check(&desc(&clerk), &desc(&inamed), &r, &r).unwrap();
+    let c = paper()
+        .check(&desc(&clerk), &desc(&inamed), &r, &r)
+        .unwrap();
     assert_eq!(c, Conformance::Explicit, "transitively via IWorker");
 }
 
@@ -90,8 +102,12 @@ fn explicit_subtype_via_interface_chain() {
 
 #[test]
 fn name_matching_is_case_insensitive() {
-    let a = TypeDef::class("PERSON", "a").field("name", primitives::STRING).build();
-    let b = TypeDef::class("person", "b").field("name", primitives::STRING).build();
+    let a = TypeDef::class("PERSON", "a")
+        .field("name", primitives::STRING)
+        .build();
+    let b = TypeDef::class("person", "b")
+        .field("name", primitives::STRING)
+        .build();
     let r = reg(&[&a, &b]);
     assert!(paper().conforms(&desc(&b), &desc(&a), &r, &r));
 }
@@ -110,8 +126,12 @@ fn different_names_fail_under_paper_rules() {
 
 #[test]
 fn namespaces_do_not_block_simple_name_match() {
-    let a = TypeDef::class("Acme.Person", "a").field("name", primitives::STRING).build();
-    let b = TypeDef::class("Globex.Person", "b").field("name", primitives::STRING).build();
+    let a = TypeDef::class("Acme.Person", "a")
+        .field("name", primitives::STRING)
+        .build();
+    let b = TypeDef::class("Globex.Person", "b")
+        .field("name", primitives::STRING)
+        .build();
     let r = reg(&[&a, &b]);
     assert!(paper().conforms(&desc(&b), &desc(&a), &r, &r));
 }
@@ -132,7 +152,10 @@ fn levenshtein_type_names() {
     let b = TypeDef::class("Colour", "b").build();
     let r = reg(&[&a, &b]);
     assert!(ConformanceChecker::new(cfg).conforms(&desc(&b), &desc(&a), &r, &r));
-    assert!(!paper().conforms(&desc(&b), &desc(&a), &r, &r), "paper rule: LD must be 0");
+    assert!(
+        !paper().conforms(&desc(&b), &desc(&a), &r, &r),
+        "paper rule: LD must be 0"
+    );
 }
 
 // ---------------------------------------------------------------------
@@ -145,7 +168,9 @@ fn missing_field_fails() {
         .field("name", primitives::STRING)
         .field("age", primitives::INT32)
         .build();
-    let b = TypeDef::class("P", "b").field("name", primitives::STRING).build();
+    let b = TypeDef::class("P", "b")
+        .field("name", primitives::STRING)
+        .build();
     let r = reg(&[&a, &b]);
     let err = paper().check(&desc(&b), &desc(&a), &r, &r).unwrap_err();
     assert!(err.reasons.iter().any(
@@ -155,7 +180,9 @@ fn missing_field_fails() {
 
 #[test]
 fn extra_source_fields_are_fine() {
-    let a = TypeDef::class("P", "a").field("name", primitives::STRING).build();
+    let a = TypeDef::class("P", "a")
+        .field("name", primitives::STRING)
+        .build();
     let b = TypeDef::class("P", "b")
         .field("name", primitives::STRING)
         .field("age", primitives::INT32)
@@ -166,8 +193,12 @@ fn extra_source_fields_are_fine() {
 
 #[test]
 fn field_type_must_conform_not_just_name() {
-    let a = TypeDef::class("P", "a").field("age", primitives::INT32).build();
-    let b = TypeDef::class("P", "b").field("age", primitives::STRING).build();
+    let a = TypeDef::class("P", "a")
+        .field("age", primitives::INT32)
+        .build();
+    let b = TypeDef::class("P", "b")
+        .field("age", primitives::STRING)
+        .build();
     let r = reg(&[&a, &b]);
     assert!(!paper().conforms(&desc(&b), &desc(&a), &r, &r));
 }
@@ -176,8 +207,12 @@ fn field_type_must_conform_not_just_name() {
 fn field_of_user_type_recurses_structurally() {
     // P has a field of type Address; the two Address types conform
     // structurally, so the P types do too.
-    let addr_a = TypeDef::class("Address", "a").field("street", primitives::STRING).build();
-    let addr_b = TypeDef::class("Address", "b").field("street", primitives::STRING).build();
+    let addr_a = TypeDef::class("Address", "a")
+        .field("street", primitives::STRING)
+        .build();
+    let addr_b = TypeDef::class("Address", "b")
+        .field("street", primitives::STRING)
+        .build();
     let pa = TypeDef::class("P", "a").field("home", "Address").build();
     let pb = TypeDef::class("P", "b").field("home", "Address").build();
     let ra = reg(&[&addr_a, &pa]);
@@ -191,7 +226,9 @@ fn field_of_nonconforming_user_type_fails() {
         .field("street", primitives::STRING)
         .field("zip", primitives::INT32)
         .build();
-    let addr_b = TypeDef::class("Address", "b").field("street", primitives::STRING).build();
+    let addr_b = TypeDef::class("Address", "b")
+        .field("street", primitives::STRING)
+        .build();
     let pa = TypeDef::class("P", "a").field("home", "Address").build();
     let pb = TypeDef::class("P", "b").field("home", "Address").build();
     let ra = reg(&[&addr_a, &pa]);
@@ -218,8 +255,12 @@ fn array_fields_conform_elementwise() {
 
 #[test]
 fn supertype_must_conform() {
-    let base_a = TypeDef::class("Base", "a").field("x", primitives::INT32).build();
-    let base_b = TypeDef::class("Base", "b").field("x", primitives::INT32).build();
+    let base_a = TypeDef::class("Base", "a")
+        .field("x", primitives::INT32)
+        .build();
+    let base_b = TypeDef::class("Base", "b")
+        .field("x", primitives::INT32)
+        .build();
     let da = TypeDef::class("D", "a").extends("Base").build();
     let db = TypeDef::class("D", "b").extends("Base").build();
     let ra = reg(&[&base_a, &da]);
@@ -229,8 +270,12 @@ fn supertype_must_conform() {
 
 #[test]
 fn nonconforming_supertype_fails() {
-    let base_a = TypeDef::class("Base", "a").field("x", primitives::INT32).build();
-    let base_b = TypeDef::class("Basis", "b").field("x", primitives::INT32).build();
+    let base_a = TypeDef::class("Base", "a")
+        .field("x", primitives::INT32)
+        .build();
+    let base_b = TypeDef::class("Basis", "b")
+        .field("x", primitives::INT32)
+        .build();
     let da = TypeDef::class("D", "a").extends("Base").build();
     let db = TypeDef::class("D", "b").extends("Basis").build();
     let ra = reg(&[&base_a, &da]);
@@ -265,7 +310,9 @@ fn required_interface_must_be_offered() {
     let ra = reg(&[&iser_a, &pa]);
     let rb = reg(&[&iser_b, &pb_with, &pb_without]);
     assert!(paper().conforms(&desc(&pb_with), &desc(&pa), &rb, &ra));
-    let err = paper().check(&desc(&pb_without), &desc(&pa), &rb, &ra).unwrap_err();
+    let err = paper()
+        .check(&desc(&pb_without), &desc(&pa), &rb, &ra)
+        .unwrap_err();
     assert!(err
         .reasons
         .iter()
@@ -280,12 +327,20 @@ fn person_pair() -> (TypeDef, TypeDef) {
     let a = TypeDef::class("Person", "a")
         .field("name", primitives::STRING)
         .method("getName", vec![], primitives::STRING)
-        .method("setName", vec![ParamDef::new("n", primitives::STRING)], primitives::VOID)
+        .method(
+            "setName",
+            vec![ParamDef::new("n", primitives::STRING)],
+            primitives::VOID,
+        )
         .build();
     let b = TypeDef::class("Person", "b")
         .field("name", primitives::STRING)
         .method("getPersonName", vec![], primitives::STRING)
-        .method("setPersonName", vec![ParamDef::new("n", primitives::STRING)], primitives::VOID)
+        .method(
+            "setPersonName",
+            vec![ParamDef::new("n", primitives::STRING)],
+            primitives::VOID,
+        )
         .build();
     (a, b)
 }
@@ -308,31 +363,51 @@ fn pragmatic_profile_accepts_the_motivating_example() {
     let checker = ConformanceChecker::new(ConformanceConfig::pragmatic());
     let c = checker.check(&desc(&b), &desc(&a), &r, &r).unwrap();
     let binding = c.binding(&desc(&a));
-    assert_eq!(binding.method("getName", 0).unwrap().actual_name, "getPersonName");
-    assert_eq!(binding.method("setName", 1).unwrap().actual_name, "setPersonName");
+    assert_eq!(
+        binding.method("getName", 0).unwrap().actual_name,
+        "getPersonName"
+    );
+    assert_eq!(
+        binding.method("setName", 1).unwrap().actual_name,
+        "setPersonName"
+    );
 }
 
 #[test]
 fn return_type_must_conform() {
-    let a = TypeDef::class("P", "a").method("get", vec![], primitives::STRING).build();
-    let b = TypeDef::class("P", "b").method("get", vec![], primitives::INT32).build();
+    let a = TypeDef::class("P", "a")
+        .method("get", vec![], primitives::STRING)
+        .build();
+    let b = TypeDef::class("P", "b")
+        .method("get", vec![], primitives::INT32)
+        .build();
     let r = reg(&[&a, &b]);
     let err = paper().check(&desc(&b), &desc(&a), &r, &r).unwrap_err();
-    assert!(err
-        .reasons
-        .iter()
-        .any(|x| matches!(x, Reason::MissingMember { aspect: Aspect::Methods, .. })));
+    assert!(err.reasons.iter().any(|x| matches!(
+        x,
+        Reason::MissingMember {
+            aspect: Aspect::Methods,
+            ..
+        }
+    )));
 }
 
 #[test]
 fn arity_must_match() {
     let a = TypeDef::class("P", "a")
-        .method("f", vec![ParamDef::new("x", primitives::INT32)], primitives::VOID)
+        .method(
+            "f",
+            vec![ParamDef::new("x", primitives::INT32)],
+            primitives::VOID,
+        )
         .build();
     let b = TypeDef::class("P", "b")
         .method(
             "f",
-            vec![ParamDef::new("x", primitives::INT32), ParamDef::new("y", primitives::INT32)],
+            vec![
+                ParamDef::new("x", primitives::INT32),
+                ParamDef::new("y", primitives::INT32),
+            ],
             primitives::VOID,
         )
         .build();
@@ -346,14 +421,20 @@ fn argument_permutations_are_found() {
     let a = TypeDef::class("P", "a")
         .method(
             "f",
-            vec![ParamDef::new("s", primitives::STRING), ParamDef::new("i", primitives::INT32)],
+            vec![
+                ParamDef::new("s", primitives::STRING),
+                ParamDef::new("i", primitives::INT32),
+            ],
             primitives::VOID,
         )
         .build();
     let b = TypeDef::class("P", "b")
         .method(
             "f",
-            vec![ParamDef::new("i", primitives::INT32), ParamDef::new("s", primitives::STRING)],
+            vec![
+                ParamDef::new("i", primitives::INT32),
+                ParamDef::new("s", primitives::STRING),
+            ],
             primitives::VOID,
         )
         .build();
@@ -370,14 +451,20 @@ fn identity_permutation_preferred_when_types_repeat() {
     let a = TypeDef::class("P", "a")
         .method(
             "f",
-            vec![ParamDef::new("x", primitives::INT32), ParamDef::new("y", primitives::INT32)],
+            vec![
+                ParamDef::new("x", primitives::INT32),
+                ParamDef::new("y", primitives::INT32),
+            ],
             primitives::VOID,
         )
         .build();
     let b = TypeDef::class("P", "b")
         .method(
             "f",
-            vec![ParamDef::new("y", primitives::INT32), ParamDef::new("x", primitives::INT32)],
+            vec![
+                ParamDef::new("y", primitives::INT32),
+                ParamDef::new("x", primitives::INT32),
+            ],
             primitives::VOID,
         )
         .build();
@@ -392,17 +479,24 @@ fn modifiers_must_match_by_default() {
     use pti_metamodel::{MethodSig, Modifiers};
     let mut sig_static = MethodSig::new("f", vec![], primitives::VOID);
     sig_static.modifiers = Modifiers::PUBLIC | Modifiers::STATIC;
-    let a = TypeDef::class("P", "a").method("f", vec![], primitives::VOID).build();
+    let a = TypeDef::class("P", "a")
+        .method("f", vec![], primitives::VOID)
+        .build();
     let b = TypeDef::class("P", "b").method_with(sig_static).build();
     let r = reg(&[&a, &b]);
     assert!(!paper().conforms(&desc(&b), &desc(&a), &r, &r));
-    let lax = ConformanceConfig { ignore_modifiers: true, ..ConformanceConfig::paper() };
+    let lax = ConformanceConfig {
+        ignore_modifiers: true,
+        ..ConformanceConfig::paper()
+    };
     assert!(ConformanceChecker::new(lax).conforms(&desc(&b), &desc(&a), &r, &r));
 }
 
 #[test]
 fn extra_source_methods_are_fine() {
-    let a = TypeDef::class("P", "a").method("f", vec![], primitives::VOID).build();
+    let a = TypeDef::class("P", "a")
+        .method("f", vec![], primitives::VOID)
+        .build();
     let b = TypeDef::class("P", "b")
         .method("f", vec![], primitives::VOID)
         .method("g", vec![], primitives::VOID)
@@ -446,19 +540,28 @@ fn constructor_arity_and_types_checked() {
     let r = reg(&[&a, &b_ok, &b_bad]);
     assert!(paper().conforms(&desc(&b_ok), &desc(&a), &r, &r));
     let err = paper().check(&desc(&b_bad), &desc(&a), &r, &r).unwrap_err();
-    assert!(err
-        .reasons
-        .iter()
-        .any(|x| matches!(x, Reason::MissingMember { aspect: Aspect::Constructors, .. })));
+    assert!(err.reasons.iter().any(|x| matches!(
+        x,
+        Reason::MissingMember {
+            aspect: Aspect::Constructors,
+            ..
+        }
+    )));
 }
 
 #[test]
 fn constructor_permutation_recorded() {
     let a = TypeDef::class("P", "a")
-        .ctor(vec![ParamDef::new("s", primitives::STRING), ParamDef::new("i", primitives::INT32)])
+        .ctor(vec![
+            ParamDef::new("s", primitives::STRING),
+            ParamDef::new("i", primitives::INT32),
+        ])
         .build();
     let b = TypeDef::class("P", "b")
-        .ctor(vec![ParamDef::new("i", primitives::INT32), ParamDef::new("s", primitives::STRING)])
+        .ctor(vec![
+            ParamDef::new("i", primitives::INT32),
+            ParamDef::new("s", primitives::STRING),
+        ])
         .build();
     let r = reg(&[&a, &b]);
     let c = paper().check(&desc(&b), &desc(&a), &r, &r).unwrap();
@@ -474,14 +577,22 @@ fn constructor_permutation_recorded() {
 fn covariant_vs_strict_argument_variance() {
     // Expected: f(Animal). Source offers f(Cat) where Cat ≼IS Animal.
     // Paper (covariant) accepts; strict (contravariant) rejects.
-    let animal_t = TypeDef::class("Animal", "t").field("legs", primitives::INT32).build();
-    let animal_s = TypeDef::class("Animal", "s").field("legs", primitives::INT32).build();
+    let animal_t = TypeDef::class("Animal", "t")
+        .field("legs", primitives::INT32)
+        .build();
+    let animal_s = TypeDef::class("Animal", "s")
+        .field("legs", primitives::INT32)
+        .build();
     let cat_s = TypeDef::class("Cat", "s")
         .field("legs", primitives::INT32)
         .field("lives", primitives::INT32)
         .build();
     let want = TypeDef::class("Shelter", "t")
-        .method("admit", vec![ParamDef::new("a", "Animal")], primitives::VOID)
+        .method(
+            "admit",
+            vec![ParamDef::new("a", "Animal")],
+            primitives::VOID,
+        )
         .build();
     let have = TypeDef::class("Shelter", "s")
         .method("admit", vec![ParamDef::new("c", "Cat")], primitives::VOID)
@@ -504,30 +615,42 @@ fn covariant_vs_strict_argument_variance() {
 #[test]
 fn ambiguity_error_mode_reports_candidates() {
     let cfg = ConformanceConfig::pragmatic().with_ambiguity(Ambiguity::Error);
-    let a = TypeDef::class("P", "a").method("getName", vec![], primitives::STRING).build();
+    let a = TypeDef::class("P", "a")
+        .method("getName", vec![], primitives::STRING)
+        .build();
     let b = TypeDef::class("P", "b")
         .method("getName", vec![], primitives::STRING)
         .method("getPersonName", vec![], primitives::STRING)
         .build();
     let r = reg(&[&a, &b]);
-    let err = ConformanceChecker::new(cfg).check(&desc(&b), &desc(&a), &r, &r).unwrap_err();
-    assert!(err.reasons.iter().any(
-        |x| matches!(x, Reason::AmbiguousMember { candidates, .. } if candidates.len() == 2)
-    ));
+    let err = ConformanceChecker::new(cfg)
+        .check(&desc(&b), &desc(&a), &r, &r)
+        .unwrap_err();
+    assert!(err
+        .reasons
+        .iter()
+        .any(|x| matches!(x, Reason::AmbiguousMember { candidates, .. } if candidates.len() == 2)));
 }
 
 #[test]
 fn ambiguity_best_name_picks_closest() {
     let cfg = ConformanceConfig::pragmatic().with_ambiguity(Ambiguity::BestName);
-    let a = TypeDef::class("P", "a").method("getName", vec![], primitives::STRING).build();
+    let a = TypeDef::class("P", "a")
+        .method("getName", vec![], primitives::STRING)
+        .build();
     let b = TypeDef::class("P", "b")
         .method("getPersonName", vec![], primitives::STRING)
         .method("getName", vec![], primitives::STRING)
         .build();
     let r = reg(&[&a, &b]);
-    let c = ConformanceChecker::new(cfg).check(&desc(&b), &desc(&a), &r, &r).unwrap();
+    let c = ConformanceChecker::new(cfg)
+        .check(&desc(&b), &desc(&a), &r, &r)
+        .unwrap();
     assert_eq!(
-        c.binding(&desc(&a)).method("getName", 0).unwrap().actual_name,
+        c.binding(&desc(&a))
+            .method("getName", 0)
+            .unwrap()
+            .actual_name,
         "getName",
         "exact name outranks the longer token match"
     );
@@ -536,15 +659,22 @@ fn ambiguity_best_name_picks_closest() {
 #[test]
 fn ambiguity_first_takes_declaration_order() {
     let cfg = ConformanceConfig::pragmatic(); // Ambiguity::First
-    let a = TypeDef::class("P", "a").method("getName", vec![], primitives::STRING).build();
+    let a = TypeDef::class("P", "a")
+        .method("getName", vec![], primitives::STRING)
+        .build();
     let b = TypeDef::class("P", "b")
         .method("getPersonName", vec![], primitives::STRING)
         .method("getName", vec![], primitives::STRING)
         .build();
     let r = reg(&[&a, &b]);
-    let c = ConformanceChecker::new(cfg).check(&desc(&b), &desc(&a), &r, &r).unwrap();
+    let c = ConformanceChecker::new(cfg)
+        .check(&desc(&b), &desc(&a), &r, &r)
+        .unwrap();
     assert_eq!(
-        c.binding(&desc(&a)).method("getName", 0).unwrap().actual_name,
+        c.binding(&desc(&a))
+            .method("getName", 0)
+            .unwrap()
+            .actual_name,
         "getPersonName"
     );
 }
@@ -556,8 +686,12 @@ fn ambiguity_first_takes_declaration_order() {
 #[test]
 fn recursive_types_conform_coinductively() {
     // Person has a field of type Person (e.g. spouse) on both sides.
-    let pa = TypeDef::class("Person", "a").field("spouse", "Person").build();
-    let pb = TypeDef::class("Person", "b").field("spouse", "Person").build();
+    let pa = TypeDef::class("Person", "a")
+        .field("spouse", "Person")
+        .build();
+    let pb = TypeDef::class("Person", "b")
+        .field("spouse", "Person")
+        .build();
     let ra = reg(&[&pa]);
     let rb = reg(&[&pb]);
     assert!(paper().conforms(&desc(&pb), &desc(&pa), &rb, &ra));

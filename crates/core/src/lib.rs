@@ -15,11 +15,19 @@
 //! | implicit structural conformance | [`conformance`] | §4, Figure 2 |
 //! | type-description + object serializers | [`serialize`] | §5–6, Figure 3 |
 //! | dynamic proxies | [`proxy`] | §6, §7.1 |
-//! | simulated peers/network | [`net`] | testbed substitute |
+//! | transport fabrics (SimNet, LiveBus) | [`net`] | testbed substitute |
 //! | optimistic transport protocol | [`transport`] | §3, Figure 1 |
 //! | pass-by-reference remoting | [`remoting`] | §6.2 |
 //! | type-based publish/subscribe | [`tps`] | §8 |
 //! | borrow/lend resources | [`borrowlend`] | §8 |
+//!
+//! The protocol engine ([`Swarm`](transport::Swarm)) is generic over the
+//! [`Transport`](net::Transport) trait: the *same* optimistic-exchange
+//! state machine runs deterministically on the virtual-time
+//! [`SimNet`](net::SimNet) (experiments) and concurrently on the
+//! threaded [`LiveBus`](net::LiveBus) (load). Applications sit on the
+//! typed session layer of [`tps`]: members, publishers and
+//! subscriptions, never raw envelopes.
 //!
 //! The [`samples`] module carries the paper's `Person` types and the
 //! seeded workload generators the experiment harness sweeps over;
@@ -31,26 +39,30 @@
 //! use pti_core::prelude::*;
 //! use pti_core::samples;
 //!
-//! // Two peers, two vendors, one logical Person module.
-//! let mut swarm = Swarm::new(NetConfig::default());
-//! let alice = swarm.add_peer(ConformanceConfig::pragmatic());
-//! let bob = swarm.add_peer(ConformanceConfig::pragmatic());
+//! // Two members, two vendors, one logical Person module.
+//! let tps = TypedPubSub::builder()
+//!     .default_conformance(ConformanceConfig::pragmatic())
+//!     .build();
+//! let alice = tps.add_member();
+//! let bob = tps.add_member();
 //!
+//! // Alice publishes vendor A's implementation and gets a typed
+//! // publisher for it; Bob subscribes with vendor B's view.
 //! let a_def = samples::person_vendor_a();
-//! swarm.publish(alice, samples::person_assembly(&a_def))?;
+//! let people = alice.publisher_for(samples::person_assembly(&a_def))?;
 //! let b_def = samples::person_vendor_b();
-//! swarm.peer_mut(bob).subscribe(TypeDescription::from_def(&b_def));
+//! let sub = bob.subscribe(TypeDescription::from_def(&b_def));
 //!
-//! let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, "ada");
-//! swarm.send_object(alice, bob, &v, PayloadFormat::Binary)?;
-//! swarm.run()?;
+//! // One publish; the optimistic protocol fetches description + code.
+//! people.publish_with(|p| {
+//!     p.set("name", "ada")?;
+//!     Ok(())
+//! })?;
+//! tps.run()?;
 //!
-//! let ds = swarm.peer_mut(bob).take_deliveries();
-//! let Delivery::Accepted { proxy: Some(p), .. } = &ds[0] else { panic!() };
-//! assert_eq!(
-//!     p.invoke(&mut swarm.peer_mut(bob).runtime, "getPersonName", &[])?.as_str()?,
-//!     "ada"
-//! );
+//! // Bob reads the event through *his* contract.
+//! let events = sub.drain();
+//! assert_eq!(sub.invoke(&events[0], "getPersonName", &[])?.as_str()?, "ada");
 //! # Ok::<(), Box<dyn std::error::Error>>(())
 //! ```
 
@@ -77,16 +89,22 @@ pub mod prelude {
         ConformanceChecker, ConformanceConfig, NameMatcher, NonConformance, Variance,
     };
     pub use pti_metamodel::{
-        bodies, primitives, Assembly, Guid, MetamodelError, ObjHandle, ParamDef, Runtime,
-        TypeDef, TypeDescription, TypeName, TypeRegistry, Value,
+        bodies, primitives, Assembly, Guid, MetamodelError, ObjHandle, ParamDef, Runtime, TypeDef,
+        TypeDescription, TypeName, TypeRegistry, Value,
     };
-    pub use pti_net::{NetConfig, PeerId, SimNet};
+    pub use pti_net::{
+        BusMessage, Endpoint, LiveBus, NetConfig, NetMetrics, PeerId, SimNet, Transport,
+    };
     pub use pti_proxy::{invoke_direct, DynamicProxy, ProxyError};
     pub use pti_remoting::{RemoteProxy, RemoteRef, RemotingFabric};
     pub use pti_serialize::{
-        description_from_string, description_to_string, from_binary, from_soap_string,
-        to_binary, to_soap_string, ObjectEnvelope, PayloadFormat,
+        description_from_string, description_to_string, from_binary, from_soap_string, to_binary,
+        to_soap_string, ObjectEnvelope, PayloadFormat,
     };
-    pub use pti_tps::{EventNotification, TypedPubSub};
-    pub use pti_transport::{Delivery, Peer, Swarm, TransportError};
+    pub use pti_tps::{
+        EventBuilder, EventNotification, Member, Publisher, Subscription, TypedPubSub,
+    };
+    pub use pti_transport::{
+        CodeRegistry, Delivery, LiveSwarm, Peer, SimSwarm, Swarm, TransportError,
+    };
 }

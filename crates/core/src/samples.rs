@@ -7,18 +7,49 @@
 //! reconstructs those exact types, plus seeded generators for the larger
 //! type populations the ablation experiments sweep over.
 
-use pti_metamodel::{
-    bodies, primitives, Assembly, ParamDef, TypeDef, TypeDescription, Value,
-};
-use rand::rngs::StdRng;
-use rand::{RngExt, SeedableRng};
+use pti_metamodel::{bodies, primitives, Assembly, ParamDef, TypeDef, TypeDescription, Value};
+
+/// A seeded SplitMix64 generator — all the randomness the workload
+/// generators need, with zero dependencies and stable streams across
+/// platforms (population determinism is part of the experiment contract).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn new(seed: u64) -> SplitMix64 {
+        SplitMix64(seed)
+    }
+
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9e37_79b9_7f4a_7c15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+        z ^ (z >> 31)
+    }
+
+    /// `true` with probability `p` (clamped to [0, 1]).
+    fn random_bool(&mut self, p: f64) -> bool {
+        // 53 uniform mantissa bits, the standard unit-interval draw.
+        let unit = (self.next_u64() >> 11) as f64 / (1u64 << 53) as f64;
+        unit < p.clamp(0.0, 1.0)
+    }
+
+    /// A uniform draw from `0..bound`.
+    fn random_below(&mut self, bound: u8) -> u8 {
+        (self.next_u64() % u64::from(bound.max(1))) as u8
+    }
+}
 
 /// The paper's `Person` type as vendor A writes it: `getName`/`setName`.
 pub fn person_vendor_a() -> TypeDef {
     TypeDef::class("Person", "vendor-a")
         .field("name", primitives::STRING)
         .method("getName", vec![], primitives::STRING)
-        .method("setName", vec![ParamDef::new("n", primitives::STRING)], primitives::VOID)
+        .method(
+            "setName",
+            vec![ParamDef::new("n", primitives::STRING)],
+            primitives::VOID,
+        )
         .ctor(vec![])
         .ctor(vec![ParamDef::new("n", primitives::STRING)])
         .build()
@@ -96,7 +127,8 @@ pub fn make_person(rt: &mut pti_metamodel::Runtime, name: &str) -> Value {
     let h = rt
         .instantiate(&"Person".into(), &[])
         .expect("Person installed");
-    rt.set_field(h, "name", Value::from(name)).expect("field exists");
+    rt.set_field(h, "name", Value::from(name))
+        .expect("field exists");
     Value::Obj(h)
 }
 
@@ -133,7 +165,10 @@ impl VariantKind {
     /// Whether this variant should pass under the *paper* profile (exact
     /// case-insensitive names).
     pub fn conformant_paper(self) -> bool {
-        matches!(self, VariantKind::ExactConformant | VariantKind::PermutedConformant)
+        matches!(
+            self,
+            VariantKind::ExactConformant | VariantKind::PermutedConformant
+        )
     }
 }
 
@@ -171,18 +206,18 @@ pub fn sensor_interest(salt: &str) -> TypeDef {
 /// under the pragmatic profile. Used by the protocol (F1) and ablation
 /// (A1/A2) experiments.
 pub fn generate_population(seed: u64, count: usize, conforming_ratio: f64) -> Vec<Variant> {
-    let mut rng = StdRng::seed_from_u64(seed);
+    let mut rng = SplitMix64::new(seed);
     (0..count)
         .map(|i| {
-            let conform = rng.random_bool(conforming_ratio.clamp(0.0, 1.0));
+            let conform = rng.random_bool(conforming_ratio);
             let kind = if conform {
-                match rng.random_range(0..3u8) {
+                match rng.random_below(3) {
                     0 => VariantKind::RenamedConformant,
                     1 => VariantKind::ExactConformant,
                     _ => VariantKind::PermutedConformant,
                 }
             } else {
-                match rng.random_range(0..3u8) {
+                match rng.random_below(3) {
                     0 => VariantKind::MissingMethod,
                     1 => VariantKind::WrongFieldType,
                     _ => VariantKind::Unrelated,
@@ -261,7 +296,11 @@ fn build_variant(i: usize, kind: VariantKind) -> Variant {
         b = b.body(g, m.name.clone(), m.arity(), body);
     }
     b = b.ctor_body(g, 0, bodies::ctor_assign(&[]));
-    Variant { def, assembly: b.build(), kind }
+    Variant {
+        def,
+        assembly: b.build(),
+        kind,
+    }
 }
 
 /// Descriptions for the two vendor Persons, handy in tests.
@@ -360,6 +399,9 @@ mod tests {
         let ph = rt.instantiate(&"Person".into(), &[]).unwrap();
         rt.set_field(ph, "home", Value::Obj(ah)).unwrap();
         let home = rt.get_field(ph, "home").unwrap().as_obj().unwrap();
-        assert_eq!(rt.invoke(home, "getStreet", &[]).unwrap().as_str().unwrap(), "Main");
+        assert_eq!(
+            rt.invoke(home, "getStreet", &[]).unwrap().as_str().unwrap(),
+            "Main"
+        );
     }
 }

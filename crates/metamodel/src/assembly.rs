@@ -34,7 +34,10 @@ impl std::fmt::Debug for Assembly {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Assembly")
             .field("name", &self.name)
-            .field("types", &self.types.iter().map(|t| t.name.full()).collect::<Vec<_>>())
+            .field(
+                "types",
+                &self.types.iter().map(|t| t.name.full()).collect::<Vec<_>>(),
+            )
             .field("bodies", &self.bodies.len())
             .field("byte_size", &self.byte_size())
             .finish()
@@ -45,7 +48,11 @@ impl Assembly {
     /// Starts building an assembly with the given name.
     pub fn builder(name: impl Into<String>) -> AssemblyBuilder {
         AssemblyBuilder {
-            asm: Assembly { name: name.into(), types: Vec::new(), bodies: Vec::new() },
+            asm: Assembly {
+                name: name.into(),
+                types: Vec::new(),
+                bodies: Vec::new(),
+            },
         }
     }
 
@@ -215,13 +222,11 @@ mod tests {
             .ty(TypeDef::class("A", "v").build())
             .build();
         let big = Assembly::builder("b")
-            .ty(
-                TypeDef::class("B", "v")
-                    .field("f1", primitives::INT32)
-                    .field("f2", primitives::INT32)
-                    .method("m", vec![], primitives::VOID)
-                    .build(),
-            )
+            .ty(TypeDef::class("B", "v")
+                .field("f1", primitives::INT32)
+                .field("f2", primitives::INT32)
+                .method("m", vec![], primitives::VOID)
+                .build())
             .build();
         assert!(big.byte_size() > small.byte_size());
         assert_eq!(big.byte_size(), big.clone().byte_size(), "deterministic");

@@ -67,16 +67,27 @@ impl fmt::Display for MetamodelError {
         match self {
             Self::UnknownTypeName(n) => write!(f, "unknown type name `{n}`"),
             Self::UnknownTypeGuid(g) => write!(f, "unknown type guid {g}"),
-            Self::DuplicateGuid(g) => write!(f, "a different type is already registered under guid {g}"),
+            Self::DuplicateGuid(g) => {
+                write!(f, "a different type is already registered under guid {g}")
+            }
             Self::UnknownField { ty, field } => write!(f, "type `{ty}` has no field `{field}`"),
             Self::UnknownMethod { ty, method, arity } => {
-                write!(f, "type `{ty}` has no method `{method}` taking {arity} argument(s)")
+                write!(
+                    f,
+                    "type `{ty}` has no method `{method}` taking {arity} argument(s)"
+                )
             }
             Self::MissingBody { ty, method } => {
-                write!(f, "no native body installed for `{ty}::{method}` (assembly not loaded?)")
+                write!(
+                    f,
+                    "no native body installed for `{ty}::{method}` (assembly not loaded?)"
+                )
             }
             Self::UnknownConstructor { ty, arity } => {
-                write!(f, "type `{ty}` has no constructor taking {arity} argument(s)")
+                write!(
+                    f,
+                    "type `{ty}` has no constructor taking {arity} argument(s)"
+                )
             }
             Self::DanglingHandle => write!(f, "dangling object handle"),
             Self::TypeMismatch { expected, found } => {

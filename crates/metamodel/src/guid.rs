@@ -90,7 +90,10 @@ pub struct ParseGuidError;
 
 impl fmt::Display for ParseGuidError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "malformed GUID (expected 32 hex digits with optional dashes)")
+        write!(
+            f,
+            "malformed GUID (expected 32 hex digits with optional dashes)"
+        )
     }
 }
 

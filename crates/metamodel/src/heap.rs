@@ -43,11 +43,20 @@ impl Heap {
         if let Some(index) = self.free.pop() {
             let slot = &mut self.slots[index as usize];
             slot.object = Some(object);
-            ObjHandle { index, generation: slot.generation }
+            ObjHandle {
+                index,
+                generation: slot.generation,
+            }
         } else {
             let index = self.slots.len() as u32;
-            self.slots.push(Slot { generation: 0, object: Some(object) });
-            ObjHandle { index, generation: 0 }
+            self.slots.push(Slot {
+                generation: 0,
+                object: Some(object),
+            });
+            ObjHandle {
+                index,
+                generation: 0,
+            }
         }
     }
 
@@ -104,7 +113,10 @@ impl Heap {
         self.slots.iter().enumerate().filter_map(|(i, s)| {
             s.object.as_ref().map(|o| {
                 (
-                    ObjHandle { index: i as u32, generation: s.generation },
+                    ObjHandle {
+                        index: i as u32,
+                        generation: s.generation,
+                    },
                     o,
                 )
             })

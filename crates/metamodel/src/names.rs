@@ -54,9 +54,7 @@ impl TypeName {
 
     /// For an array type `T[]`, the element type name `T`.
     pub fn element(&self) -> Option<TypeName> {
-        self.0
-            .strip_suffix("[]")
-            .map(|e| TypeName(e.to_string()))
+        self.0.strip_suffix("[]").map(|e| TypeName(e.to_string()))
     }
 
     /// The array type whose elements are `self` (i.e. `self` + `[]`).
@@ -185,7 +183,10 @@ mod tests {
 
     #[test]
     fn token_split_acronyms_and_digits() {
-        assert_eq!(split_ident_tokens("parseXMLDoc"), vec!["parse", "xml", "doc"]);
+        assert_eq!(
+            split_ident_tokens("parseXMLDoc"),
+            vec!["parse", "xml", "doc"]
+        );
         assert_eq!(split_ident_tokens("v2Engine"), vec!["v2", "engine"]);
     }
 

@@ -237,12 +237,8 @@ mod tests {
         let inamed = TypeDef::interface("INamed", "v")
             .method("getName", vec![], primitives::STRING)
             .build();
-        let person = TypeDef::class("Person", "v")
-            .implements("INamed")
-            .build();
-        let employee = TypeDef::class("Employee", "v")
-            .extends("Person")
-            .build();
+        let person = TypeDef::class("Person", "v").implements("INamed").build();
+        let employee = TypeDef::class("Employee", "v").extends("Person").build();
         let (ig, pg, eg) = (inamed.guid, person.guid, employee.guid);
         r.register(inamed).unwrap();
         r.register(person).unwrap();
@@ -273,7 +269,11 @@ mod tests {
         let mut r = TypeRegistry::with_builtins();
         r.register(
             TypeDef::class("P", "a")
-                .method("f", vec![ParamDef::new("x", primitives::INT32)], primitives::VOID)
+                .method(
+                    "f",
+                    vec![ParamDef::new("x", primitives::INT32)],
+                    primitives::VOID,
+                )
                 .build(),
         )
         .unwrap();

@@ -132,7 +132,8 @@ impl Runtime {
         arity: usize,
         body: NativeFn,
     ) {
-        self.bodies.insert(BodyKey(type_guid, method.into(), arity), body);
+        self.bodies
+            .insert(BodyKey(type_guid, method.into(), arity), body);
     }
 
     /// Whether a body is installed for the given method.
@@ -203,7 +204,12 @@ impl Runtime {
             supers.push(d);
         }
         // Superclass fields first, then subclasses shadow.
-        for d in supers.iter().rev().map(|a| a.as_ref()).chain(std::iter::once(def)) {
+        for d in supers
+            .iter()
+            .rev()
+            .map(|a| a.as_ref())
+            .chain(std::iter::once(def))
+        {
             for f in &d.fields {
                 if let Some(slot) = out.iter_mut().find(|(n, _)| n == &f.name) {
                     slot.1 = f.ty.clone();
@@ -281,12 +287,14 @@ impl Runtime {
         while let Some(d) = cur {
             if d.find_method(method, args.len()).is_some() {
                 let key = BodyKey(d.guid, method.to_string(), args.len());
-                let body = self.bodies.get(&key).cloned().ok_or_else(|| {
-                    MetamodelError::MissingBody {
-                        ty: d.name.clone(),
-                        method: method.to_string(),
-                    }
-                })?;
+                let body =
+                    self.bodies
+                        .get(&key)
+                        .cloned()
+                        .ok_or_else(|| MetamodelError::MissingBody {
+                            ty: d.name.clone(),
+                            method: method.to_string(),
+                        })?;
                 return body(self, Value::Obj(handle), args);
             }
             hops += 1;
@@ -314,7 +322,10 @@ impl Runtime {
                 .get(obj.type_guid)
                 .map(|d| d.name.clone())
                 .unwrap_or_else(|| TypeName::new("<unknown>"));
-            MetamodelError::UnknownField { ty, field: field.to_string() }
+            MetamodelError::UnknownField {
+                ty,
+                field: field.to_string(),
+            }
         })
     }
 
@@ -332,7 +343,10 @@ impl Runtime {
                 .get(type_guid)
                 .map(|d| d.name.clone())
                 .unwrap_or_else(|| TypeName::new("<unknown>"));
-            return Err(MetamodelError::UnknownField { ty, field: field.to_string() });
+            return Err(MetamodelError::UnknownField {
+                ty,
+                field: field.to_string(),
+            });
         }
         obj.set(field, value);
         Ok(())
@@ -340,7 +354,9 @@ impl Runtime {
 
     /// Introspects a registered type into its shippable description.
     pub fn describe(&self, name: &TypeName) -> Result<TypeDescription> {
-        Ok(TypeDescription::from_def(&*self.registry.require_name(name)?))
+        Ok(TypeDescription::from_def(
+            &*self.registry.require_name(name)?,
+        ))
     }
 
     /// Introspects by identity.
@@ -492,7 +508,10 @@ mod tests {
     #[test]
     fn field_shadowing_uses_subclass_type() {
         let mut rt = Runtime::new();
-        let base = TypeDef::class("B", "v").field("v", primitives::INT32).ctor(vec![]).build();
+        let base = TypeDef::class("B", "v")
+            .field("v", primitives::INT32)
+            .ctor(vec![])
+            .build();
         let derived = TypeDef::class("D", "v")
             .extends("B")
             .field("v", primitives::STRING)
@@ -517,7 +536,8 @@ mod tests {
     #[test]
     fn cannot_instantiate_interface() {
         let mut rt = Runtime::new();
-        rt.register_type(TypeDef::interface("I", "v").build()).unwrap();
+        rt.register_type(TypeDef::interface("I", "v").build())
+            .unwrap();
         assert!(matches!(
             rt.instantiate(&TypeName::new("I"), &[]),
             Err(MetamodelError::NotInstantiable(_))
@@ -535,13 +555,22 @@ mod tests {
 
     #[test]
     fn default_values_by_type() {
-        assert_eq!(Runtime::default_value(&TypeName::new(primitives::INT32)), Value::I32(0));
-        assert_eq!(Runtime::default_value(&TypeName::new(primitives::BOOL)), Value::Bool(false));
+        assert_eq!(
+            Runtime::default_value(&TypeName::new(primitives::INT32)),
+            Value::I32(0)
+        );
+        assert_eq!(
+            Runtime::default_value(&TypeName::new(primitives::BOOL)),
+            Value::Bool(false)
+        );
         assert_eq!(
             Runtime::default_value(&TypeName::new("Int32[]")),
             Value::Array(vec![])
         );
-        assert_eq!(Runtime::default_value(&TypeName::new("Person")), Value::Null);
+        assert_eq!(
+            Runtime::default_value(&TypeName::new("Person")),
+            Value::Null
+        );
     }
 
     #[test]

@@ -119,7 +119,10 @@ pub struct ParamDef {
 impl ParamDef {
     /// Creates a parameter definition.
     pub fn new(name: impl Into<String>, ty: impl Into<TypeName>) -> ParamDef {
-        ParamDef { name: name.into(), ty: ty.into() }
+        ParamDef {
+            name: name.into(),
+            ty: ty.into(),
+        }
     }
 }
 
@@ -137,7 +140,11 @@ pub struct FieldDef {
 impl FieldDef {
     /// Creates a public field definition.
     pub fn new(name: impl Into<String>, ty: impl Into<TypeName>) -> FieldDef {
-        FieldDef { name: name.into(), ty: ty.into(), modifiers: Modifiers::PUBLIC }
+        FieldDef {
+            name: name.into(),
+            ty: ty.into(),
+            modifiers: Modifiers::PUBLIC,
+        }
     }
 }
 
@@ -177,7 +184,12 @@ impl MethodSig {
     /// Human-readable `name(T1, T2) -> R` form for diagnostics.
     pub fn brief(&self) -> String {
         let params: Vec<&str> = self.params.iter().map(|p| p.ty.full()).collect();
-        format!("{}({}) -> {}", self.name, params.join(", "), self.return_type)
+        format!(
+            "{}({}) -> {}",
+            self.name,
+            params.join(", "),
+            self.return_type
+        )
     }
 }
 
@@ -195,7 +207,10 @@ pub struct CtorSig {
 impl CtorSig {
     /// Creates a public constructor signature.
     pub fn new(params: Vec<ParamDef>) -> CtorSig {
-        CtorSig { params, modifiers: Modifiers::PUBLIC }
+        CtorSig {
+            params,
+            modifiers: Modifiers::PUBLIC,
+        }
     }
 
     /// Number of formal parameters.
@@ -351,7 +366,9 @@ impl TypeDefBuilder {
         params: Vec<ParamDef>,
         return_type: impl Into<TypeName>,
     ) -> Self {
-        self.def.methods.push(MethodSig::new(name, params, return_type));
+        self.def
+            .methods
+            .push(MethodSig::new(name, params, return_type));
         self
     }
 

@@ -225,7 +225,10 @@ pub struct DynObject {
 impl DynObject {
     /// Creates an object of the given type identity with no fields set.
     pub fn new(type_guid: Guid) -> DynObject {
-        DynObject { type_guid, fields: BTreeMap::new() }
+        DynObject {
+            type_guid,
+            fields: BTreeMap::new(),
+        }
     }
 
     /// Reads a field value.

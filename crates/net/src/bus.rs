@@ -2,17 +2,28 @@
 //!
 //! The virtual-time [`SimNet`](crate::sim::SimNet) is single-threaded by
 //! design (deterministic experiments). Integration tests and examples
-//! that want *actually concurrent* peers use this crossbeam-channel bus
+//! that want *actually concurrent* peers use this std-channel bus
 //! instead: same message shape, real threads, shared traffic metrics.
+//!
+//! There are two ways to drive it:
+//!
+//! * [`LiveBus::join`] hands back a raw [`Endpoint`] for manual
+//!   send/recv loops;
+//! * the [`Transport`](crate::Transport) implementation attaches peer
+//!   inboxes to *this handle* of the bus, so a protocol `Swarm` can own
+//!   its peers' receive sides while every handle shares one delivery
+//!   fabric and one set of metrics. Cloning a `LiveBus` yields a new
+//!   handle onto the same fabric with no attached inboxes — hand clones
+//!   to threads and let each register its own peers.
 
 use std::collections::HashMap;
-use std::sync::Arc;
-
-use crossbeam::channel::{unbounded, Receiver, Sender};
-use parking_lot::Mutex;
+use std::sync::mpsc::{channel, Receiver, Sender};
+use std::sync::{Arc, Mutex};
+use std::time::{Duration, Instant};
 
 use crate::metrics::NetMetrics;
 use crate::sim::{NetError, PeerId};
+use crate::transport::Transport;
 
 /// A message on the live bus (no virtual timing — delivery is real).
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -28,9 +39,24 @@ pub struct BusMessage {
 }
 
 /// Hub creating endpoints and carrying shared metrics.
-#[derive(Debug, Clone, Default)]
+#[derive(Debug, Default)]
 pub struct LiveBus {
     inner: Arc<Mutex<BusInner>>,
+    /// Inboxes attached to this handle via [`Transport::register`] —
+    /// deliberately not shared between clones: each protocol driver owns
+    /// the receive side of its own peers.
+    attached: HashMap<PeerId, Receiver<BusMessage>>,
+}
+
+impl Clone for LiveBus {
+    /// Clones the *fabric handle*: the new value shares senders and
+    /// metrics with the original but has no attached inboxes of its own.
+    fn clone(&self) -> LiveBus {
+        LiveBus {
+            inner: Arc::clone(&self.inner),
+            attached: HashMap::new(),
+        }
+    }
 }
 
 #[derive(Debug, Default)]
@@ -54,29 +80,122 @@ impl LiveBus {
         LiveBus::default()
     }
 
+    fn lock(&self) -> std::sync::MutexGuard<'_, BusInner> {
+        self.inner.lock().expect("bus lock poisoned")
+    }
+
     /// Registers a peer and returns its endpoint.
+    ///
+    /// # Panics
+    /// If the id is already registered on this fabric (via `join` or the
+    /// [`Transport`] impl) — rebinding would silently hijack the
+    /// existing owner's traffic.
     pub fn join(&self, id: PeerId) -> Endpoint {
-        let (tx, rx) = unbounded();
-        self.inner.lock().senders.insert(id, tx);
-        Endpoint { id, bus: self.clone(), inbox: rx }
+        let (tx, rx) = channel();
+        let mut inner = self.lock();
+        assert!(
+            !inner.senders.contains_key(&id),
+            "{id} is already registered on this LiveBus fabric"
+        );
+        inner.senders.insert(id, tx);
+        drop(inner);
+        Endpoint {
+            id,
+            bus: self.clone(),
+            inbox: rx,
+        }
     }
 
     /// Snapshot of the traffic counters.
     pub fn metrics(&self) -> NetMetrics {
-        self.inner.lock().metrics.clone()
+        self.lock().metrics.clone()
     }
 
-    fn send(&self, msg: BusMessage) -> Result<(), NetError> {
-        let mut inner = self.inner.lock();
-        let Some(tx) = inner.senders.get(&msg.to).cloned() else {
-            return Err(NetError::UnknownPeer(msg.to));
+    fn send_msg(&self, msg: BusMessage) -> Result<(), NetError> {
+        let tx = {
+            let inner = self.lock();
+            let Some(tx) = inner.senders.get(&msg.to).cloned() else {
+                return Err(NetError::UnknownPeer(msg.to));
+            };
+            tx
         };
-        inner.metrics.record(&msg.kind, msg.payload.len());
+        // A disconnected receiver (peer dropped concurrently) is reported
+        // like an unknown peer; only a *delivered* message is recorded,
+        // so accounting matches SimNet's.
+        let (to, kind, bytes) = (msg.to, msg.kind.clone(), msg.payload.len());
+        tx.send(msg).map_err(|_| NetError::UnknownPeer(to))?;
+        self.lock().metrics.record(&kind, bytes);
+        Ok(())
+    }
+}
+
+impl Transport for LiveBus {
+    /// Attaches `peer`'s inbox to this handle (send side goes to the
+    /// shared fabric so any handle can reach it). Re-registering the
+    /// same peer on the same handle is a no-op.
+    ///
+    /// # Panics
+    /// If the id is already registered through *another* handle or
+    /// endpoint of this fabric — silently rebinding would hijack the
+    /// other owner's traffic. Pick distinct ids per driver (see
+    /// `Swarm::add_peer_as`).
+    fn register(&mut self, peer: PeerId) {
+        if self.attached.contains_key(&peer) {
+            return;
+        }
+        let (tx, rx) = channel();
+        let mut inner = self.lock();
+        assert!(
+            !inner.senders.contains_key(&peer),
+            "{peer} is already registered on this LiveBus fabric"
+        );
+        inner.senders.insert(peer, tx);
         drop(inner);
-        // A disconnected receiver (peer dropped) is reported like an
-        // unknown peer.
-        let to = msg.to;
-        tx.send(msg).map_err(|_| NetError::UnknownPeer(to))
+        self.attached.insert(peer, rx);
+    }
+
+    fn send(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        kind: &str,
+        payload: Vec<u8>,
+    ) -> Result<(), NetError> {
+        self.send_msg(BusMessage {
+            from,
+            to,
+            kind: kind.to_string(),
+            payload,
+        })
+    }
+
+    fn try_recv(&mut self, peer: PeerId) -> Option<BusMessage> {
+        self.attached.get(&peer)?.try_recv().ok()
+    }
+
+    /// Polls the attached inboxes until a message arrives or the deadline
+    /// passes (concurrent senders may deliver at any moment).
+    fn recv_deadline(&mut self, peers: &[PeerId], deadline: Instant) -> Option<BusMessage> {
+        loop {
+            if let Some(m) = peers
+                .iter()
+                .find_map(|p| self.attached.get(p).and_then(|rx| rx.try_recv().ok()))
+            {
+                return Some(m);
+            }
+            if Instant::now() >= deadline {
+                return None;
+            }
+            std::thread::sleep(Duration::from_micros(200));
+        }
+    }
+
+    fn metrics(&self) -> NetMetrics {
+        LiveBus::metrics(self)
+    }
+
+    fn reset_metrics(&mut self) {
+        self.lock().metrics.reset();
     }
 }
 
@@ -97,7 +216,12 @@ impl Endpoint {
         kind: impl Into<String>,
         payload: Vec<u8>,
     ) -> Result<(), NetError> {
-        self.bus.send(BusMessage { from: self.id, to, kind: kind.into(), payload })
+        self.bus.send_msg(BusMessage {
+            from: self.id,
+            to,
+            kind: kind.into(),
+            payload,
+        })
     }
 
     /// Blocks until a message arrives.
@@ -113,7 +237,23 @@ impl Endpoint {
 
 impl Drop for Endpoint {
     fn drop(&mut self) {
-        self.bus.inner.lock().senders.remove(&self.id);
+        self.bus.lock().senders.remove(&self.id);
+    }
+}
+
+impl Drop for LiveBus {
+    /// Unregisters the inboxes attached to this handle so the ids can be
+    /// reused (and senders don't pile up) after a driver goes away.
+    fn drop(&mut self) {
+        if self.attached.is_empty() {
+            return;
+        }
+        // Poison-tolerant: this may run while unwinding another panic.
+        if let Ok(mut inner) = self.inner.lock() {
+            for peer in self.attached.keys() {
+                inner.senders.remove(peer);
+            }
+        }
     }
 }
 
@@ -186,5 +326,78 @@ mod tests {
         }
         t.join().unwrap();
         assert!(a.try_recv().is_none());
+    }
+
+    #[test]
+    fn clone_shares_fabric_but_not_inboxes() {
+        let mut left = LiveBus::new();
+        let mut right = left.clone();
+        Transport::register(&mut left, PeerId(1));
+        Transport::register(&mut right, PeerId(2));
+        // A message sent through either handle reaches the peer attached
+        // to the other handle...
+        Transport::send(&mut left, PeerId(1), PeerId(2), "k", vec![9]).unwrap();
+        assert!(
+            left.try_recv(PeerId(2)).is_none(),
+            "inbox is right's, not left's"
+        );
+        let m = right.try_recv(PeerId(2)).unwrap();
+        assert_eq!(m.payload, vec![9]);
+        // ...and both handles see the same metrics.
+        assert_eq!(LiveBus::metrics(&left).messages, 1);
+        assert_eq!(LiveBus::metrics(&right).messages, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn cross_handle_id_collision_panics_instead_of_hijacking() {
+        let mut left = LiveBus::new();
+        let mut right = left.clone();
+        Transport::register(&mut left, PeerId(1));
+        Transport::register(&mut right, PeerId(1));
+    }
+
+    #[test]
+    fn dropping_a_handle_releases_its_peer_ids() {
+        let hub = LiveBus::new();
+        {
+            let mut driver = hub.clone();
+            Transport::register(&mut driver, PeerId(7));
+        }
+        // The id is free again once the owning handle is gone.
+        let mut next = hub.clone();
+        Transport::register(&mut next, PeerId(7));
+        Transport::send(&mut next, PeerId(7), PeerId(7), "loop", vec![1]).unwrap();
+        assert_eq!(next.try_recv(PeerId(7)).unwrap().payload, vec![1]);
+    }
+
+    #[test]
+    fn failed_send_to_departed_peer_is_not_recorded() {
+        let hub = LiveBus::new();
+        let a = hub.join(PeerId(1));
+        {
+            let mut gone = hub.clone();
+            Transport::register(&mut gone, PeerId(2));
+            // `gone` drops here, unregistering peer 2.
+        }
+        assert!(a.send(PeerId(2), "x", vec![0u8; 64]).is_err());
+        assert_eq!(hub.metrics().messages, 0, "failed sends leave no trace");
+    }
+
+    #[test]
+    fn recv_deadline_waits_for_concurrent_sender() {
+        let mut receiver_bus = LiveBus::new();
+        Transport::register(&mut receiver_bus, PeerId(2));
+        let mut sender_bus = receiver_bus.clone();
+        Transport::register(&mut sender_bus, PeerId(1));
+        let t = thread::spawn(move || {
+            thread::sleep(Duration::from_millis(5));
+            Transport::send(&mut sender_bus, PeerId(1), PeerId(2), "late", vec![]).unwrap();
+        });
+        let m = receiver_bus
+            .recv_deadline(&[PeerId(2)], Instant::now() + Duration::from_secs(5))
+            .expect("message arrives within the deadline");
+        assert_eq!(m.kind, "late");
+        t.join().unwrap();
     }
 }

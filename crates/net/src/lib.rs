@@ -7,10 +7,13 @@
 //!   latency/bandwidth and per-kind byte accounting. All protocol
 //!   experiments (optimistic vs eager, Figure 1) run on it so results are
 //!   reproducible and expressed in bytes + virtual microseconds.
-//! * [`LiveBus`] — a crossbeam-channel bus for **actually concurrent**
-//!   peers, used by stress tests and examples that want real threads.
+//! * [`LiveBus`] — a std-channel bus for **actually concurrent** peers,
+//!   used by stress tests and examples that want real threads.
 //!
-//! Both share the [`NetMetrics`] accounting shape.
+//! Both implement the [`Transport`] trait — the seam the protocol
+//! engine (`pti-transport`'s `Swarm<T: Transport>`) is generic over, so
+//! the same optimistic protocol drives either fabric — and share the
+//! [`NetMetrics`] accounting shape.
 //!
 //! ## Example
 //!
@@ -32,7 +35,9 @@
 mod bus;
 mod metrics;
 mod sim;
+mod transport;
 
 pub use bus::{BusMessage, Endpoint, LiveBus};
 pub use metrics::{KindMetrics, NetMetrics};
 pub use sim::{Message, NetConfig, NetError, PeerId, SimNet};
+pub use transport::Transport;

@@ -39,7 +39,10 @@ pub struct NetConfig {
 impl Default for NetConfig {
     /// A 2002-flavoured LAN: 500 µs latency, 100 Mbit/s ≈ 12.5 MB/s.
     fn default() -> Self {
-        NetConfig { latency_us: 500, bandwidth_bps: 12_500_000 }
+        NetConfig {
+            latency_us: 500,
+            bandwidth_bps: 12_500_000,
+        }
     }
 }
 
@@ -47,7 +50,10 @@ impl NetConfig {
     /// A slow wide-area profile (20 ms, 1 MB/s) where the optimistic
     /// protocol's byte savings dominate.
     pub fn wan() -> NetConfig {
-        NetConfig { latency_us: 20_000, bandwidth_bps: 1_000_000 }
+        NetConfig {
+            latency_us: 20_000,
+            bandwidth_bps: 1_000_000,
+        }
     }
 
     /// Transmission time of `bytes` on this link, in microseconds.
@@ -163,7 +169,14 @@ impl SimNet {
         let deliver_at = start + self.config.latency_us + self.config.tx_us(size);
         *link = start + self.config.tx_us(size);
         self.metrics.record(&kind, size);
-        let msg = Message { from, to, kind, payload, sent_at: self.clock_us, deliver_at };
+        let msg = Message {
+            from,
+            to,
+            kind,
+            payload,
+            sent_at: self.clock_us,
+            deliver_at,
+        };
         self.inboxes.get_mut(&to).expect("checked").push_back(msg);
         Ok(deliver_at)
     }
@@ -209,7 +222,10 @@ mod tests {
     use super::*;
 
     fn net() -> SimNet {
-        let mut n = SimNet::new(NetConfig { latency_us: 1000, bandwidth_bps: 1_000_000 });
+        let mut n = SimNet::new(NetConfig {
+            latency_us: 1000,
+            bandwidth_bps: 1_000_000,
+        });
         n.register(PeerId(1));
         n.register(PeerId(2));
         n
@@ -219,7 +235,9 @@ mod tests {
     fn delivery_accounts_latency_and_bandwidth() {
         let mut n = net();
         // 1000 bytes at 1 MB/s = 1000 µs tx + 1000 µs latency.
-        let at = n.send(PeerId(1), PeerId(2), "object", vec![0u8; 1000]).unwrap();
+        let at = n
+            .send(PeerId(1), PeerId(2), "object", vec![0u8; 1000])
+            .unwrap();
         assert_eq!(at, 2000);
         let m = n.recv(PeerId(2)).unwrap();
         assert_eq!(m.deliver_at, 2000);
@@ -247,8 +265,10 @@ mod tests {
     #[test]
     fn recv_order_is_by_delivery_time() {
         let mut n = net();
-        n.send(PeerId(1), PeerId(2), "big", vec![0u8; 5000]).unwrap();
-        n.send(PeerId(1), PeerId(2), "small", vec![0u8; 10]).unwrap();
+        n.send(PeerId(1), PeerId(2), "big", vec![0u8; 5000])
+            .unwrap();
+        n.send(PeerId(1), PeerId(2), "small", vec![0u8; 10])
+            .unwrap();
         // Same link ⇒ FIFO by construction; but from another peer a small
         // message can overtake.
         n.register(PeerId(3));
@@ -271,7 +291,8 @@ mod tests {
     #[test]
     fn metrics_track_traffic() {
         let mut n = net();
-        n.send(PeerId(1), PeerId(2), "object", vec![0u8; 128]).unwrap();
+        n.send(PeerId(1), PeerId(2), "object", vec![0u8; 128])
+            .unwrap();
         n.send(PeerId(2), PeerId(1), "desc", vec![0u8; 64]).unwrap();
         assert_eq!(n.metrics().messages, 2);
         assert_eq!(n.metrics().bytes, 192);

@@ -1,0 +1,153 @@
+//! The transport abstraction both fabrics implement.
+//!
+//! The protocol engine (`pti-transport`'s `Swarm`) is generic over this
+//! trait, so the *same* optimistic-exchange state machine runs
+//! single-threaded over the deterministic virtual-time [`SimNet`] (for
+//! reproducible experiments) and genuinely concurrently over the
+//! threaded [`LiveBus`] (for load and integration tests).
+//!
+//! [`SimNet`]: crate::SimNet
+//! [`LiveBus`]: crate::LiveBus
+
+use std::time::Instant;
+
+use crate::bus::BusMessage;
+use crate::metrics::NetMetrics;
+use crate::sim::{NetError, PeerId, SimNet};
+
+/// A message fabric connecting peers: registration, point-to-point send,
+/// per-peer receive, and shared traffic accounting.
+///
+/// Implementations differ in their notion of time: [`SimNet`] is
+/// virtual-time and single-threaded (an empty inbox means the network is
+/// definitively quiet), while [`LiveBus`] is wall-clock and concurrent
+/// (an empty inbox may fill up a microsecond later, so receives take a
+/// deadline).
+///
+/// [`SimNet`]: crate::SimNet
+/// [`LiveBus`]: crate::LiveBus
+pub trait Transport {
+    /// Registers a peer, creating its inbox. Idempotent.
+    fn register(&mut self, peer: PeerId);
+
+    /// Sends a message from one peer to another.
+    ///
+    /// # Errors
+    /// [`NetError::UnknownPeer`] when the destination is not registered
+    /// on the fabric.
+    fn send(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        kind: &str,
+        payload: Vec<u8>,
+    ) -> Result<(), NetError>;
+
+    /// Takes the next available message for `peer` without waiting.
+    /// `None` means nothing is deliverable right now; on a virtual-time
+    /// fabric that is final until someone sends again.
+    fn try_recv(&mut self, peer: PeerId) -> Option<BusMessage>;
+
+    /// Waits until `deadline` for a message addressed to any of `peers`,
+    /// polling them in order. The default implementation performs a
+    /// single non-blocking pass — correct for virtual-time fabrics where
+    /// no message can appear without a local send; concurrent fabrics
+    /// override it to actually wait.
+    fn recv_deadline(&mut self, peers: &[PeerId], deadline: Instant) -> Option<BusMessage> {
+        let _ = deadline;
+        peers.iter().find_map(|p| self.try_recv(*p))
+    }
+
+    /// A snapshot of the fabric-wide traffic counters.
+    fn metrics(&self) -> NetMetrics;
+
+    /// Resets the fabric-wide traffic counters.
+    fn reset_metrics(&mut self);
+}
+
+impl Transport for SimNet {
+    fn register(&mut self, peer: PeerId) {
+        SimNet::register(self, peer);
+    }
+
+    fn send(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        kind: &str,
+        payload: Vec<u8>,
+    ) -> Result<(), NetError> {
+        SimNet::send(self, from, to, kind, payload).map(|_deliver_at| ())
+    }
+
+    fn try_recv(&mut self, peer: PeerId) -> Option<BusMessage> {
+        SimNet::recv(self, peer).map(|m| BusMessage {
+            from: m.from,
+            to: m.to,
+            kind: m.kind,
+            payload: m.payload,
+        })
+    }
+
+    fn metrics(&self) -> NetMetrics {
+        SimNet::metrics(self).clone()
+    }
+
+    fn reset_metrics(&mut self) {
+        SimNet::reset_metrics(self);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::bus::LiveBus;
+    use crate::sim::NetConfig;
+    use std::time::Duration;
+
+    fn exercise<T: Transport>(mut t: T) {
+        t.register(PeerId(1));
+        t.register(PeerId(2));
+        t.send(PeerId(1), PeerId(2), "k", vec![7]).unwrap();
+        assert_eq!(
+            t.send(PeerId(1), PeerId(9), "k", vec![]),
+            Err(NetError::UnknownPeer(PeerId(9)))
+        );
+        let m = t.try_recv(PeerId(2)).expect("queued message");
+        assert_eq!(m.from, PeerId(1));
+        assert_eq!(m.kind, "k");
+        assert_eq!(m.payload, vec![7]);
+        assert!(t.try_recv(PeerId(2)).is_none());
+        assert_eq!(
+            Transport::metrics(&t).messages,
+            1,
+            "failed send not recorded"
+        );
+        t.reset_metrics();
+        assert_eq!(Transport::metrics(&t).messages, 0);
+    }
+
+    #[test]
+    fn simnet_implements_transport() {
+        exercise(SimNet::new(NetConfig::default()));
+    }
+
+    #[test]
+    fn livebus_implements_transport() {
+        exercise(LiveBus::new());
+    }
+
+    #[test]
+    fn recv_deadline_returns_queued_message() {
+        let mut t = SimNet::new(NetConfig::default());
+        t.register(PeerId(1));
+        t.register(PeerId(2));
+        t.send(PeerId(1), PeerId(2), "k", vec![]).unwrap();
+        let deadline = Instant::now() + Duration::from_millis(1);
+        let m = t
+            .recv_deadline(&[PeerId(1), PeerId(2)], deadline)
+            .expect("one pass finds it");
+        assert_eq!(m.to, PeerId(2));
+        assert!(t.recv_deadline(&[PeerId(1), PeerId(2)], deadline).is_none());
+    }
+}

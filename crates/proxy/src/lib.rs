@@ -86,7 +86,10 @@ impl fmt::Display for ProxyError {
         match self {
             Self::NotConformant(nc) => write!(f, "{nc}"),
             Self::NotInContract { method, arity } => {
-                write!(f, "method `{method}/{arity}` is not in the expected type's contract")
+                write!(
+                    f,
+                    "method `{method}/{arity}` is not in the expected type's contract"
+                )
             }
             Self::FieldNotInContract(name) => {
                 write!(f, "field `{name}` is not in the expected type's contract")
@@ -164,7 +167,11 @@ impl DynamicProxy {
         binding: ConformanceBinding,
         handle: ObjHandle,
     ) -> DynamicProxy {
-        DynamicProxy { expected: expected.clone(), binding, handle }
+        DynamicProxy {
+            expected: expected.clone(),
+            binding,
+            handle,
+        }
     }
 
     /// The wrapped object.
@@ -195,13 +202,13 @@ impl DynamicProxy {
     /// [`ProxyError::NotInContract`] for methods outside `T`'s contract,
     /// or any runtime dispatch error.
     pub fn invoke(&self, rt: &mut Runtime, method: &str, args: &[Value]) -> Result<Value> {
-        let mb = self
-            .binding
-            .method(method, args.len())
-            .ok_or_else(|| ProxyError::NotInContract {
-                method: method.to_string(),
-                arity: args.len(),
-            })?;
+        let mb =
+            self.binding
+                .method(method, args.len())
+                .ok_or_else(|| ProxyError::NotInContract {
+                    method: method.to_string(),
+                    arity: args.len(),
+                })?;
         let actual_args = mb.reorder(args);
         Ok(rt.invoke(self.handle, &mb.actual_name, &actual_args)?)
     }
@@ -251,7 +258,11 @@ mod tests {
         let expected = TypeDef::class("Person", "vendor-a")
             .field("name", primitives::STRING)
             .method("getName", vec![], primitives::STRING)
-            .method("setName", vec![ParamDef::new("n", primitives::STRING)], primitives::VOID)
+            .method(
+                "setName",
+                vec![ParamDef::new("n", primitives::STRING)],
+                primitives::VOID,
+            )
             .method(
                 "tag",
                 vec![
@@ -324,9 +335,16 @@ mod tests {
     fn translates_method_names() {
         let (mut rt, exp, act, h) = setup();
         let p = proxy_for(&rt, &exp, &act, h);
-        assert_eq!(p.invoke(&mut rt, "getName", &[]).unwrap().as_str().unwrap(), "ada");
-        p.invoke(&mut rt, "setName", &[Value::from("grace")]).unwrap();
-        assert_eq!(p.invoke(&mut rt, "getName", &[]).unwrap().as_str().unwrap(), "grace");
+        assert_eq!(
+            p.invoke(&mut rt, "getName", &[]).unwrap().as_str().unwrap(),
+            "ada"
+        );
+        p.invoke(&mut rt, "setName", &[Value::from("grace")])
+            .unwrap();
+        assert_eq!(
+            p.invoke(&mut rt, "getName", &[]).unwrap().as_str().unwrap(),
+            "grace"
+        );
     }
 
     #[test]
@@ -335,7 +353,9 @@ mod tests {
         let p = proxy_for(&rt, &exp, &act, h);
         // Caller uses vendor A's order (label, num); implementation takes
         // (num, label).
-        let out = p.invoke(&mut rt, "tag", &[Value::from("v"), Value::I32(7)]).unwrap();
+        let out = p
+            .invoke(&mut rt, "tag", &[Value::from("v"), Value::I32(7)])
+            .unwrap();
         assert_eq!(out.as_str().unwrap(), "v#7");
     }
 

@@ -22,13 +22,19 @@
 #![warn(missing_docs)]
 
 use std::collections::HashMap;
+use std::time::{Duration, Instant};
 
 use pti_conformance::ConformanceBinding;
 use pti_metamodel::{Guid, ObjHandle, TypeDescription, TypeName, Value};
-use pti_net::{Message, PeerId};
+use pti_net::{BusMessage, PeerId, Transport};
 use pti_serialize::{from_soap, to_soap};
 use pti_transport::{Swarm, TransportError};
 use pti_xml::Element;
+
+/// How long a synchronous invocation tolerates wire silence on a
+/// concurrent fabric before reporting the call unanswered (ignored by
+/// virtual-time transports, whose quiet is definitive).
+const RPC_IDLE: Duration = Duration::from_secs(5);
 
 /// Message kinds added by the remoting layer.
 pub mod kinds {
@@ -144,9 +150,9 @@ impl RemotingFabric {
     ///
     /// # Errors
     /// Dangling handles or unpublished types.
-    pub fn export(
+    pub fn export<T: Transport>(
         &mut self,
-        swarm: &Swarm,
+        swarm: &Swarm<T>,
         owner: PeerId,
         handle: ObjHandle,
     ) -> Result<RemoteRef> {
@@ -175,23 +181,47 @@ impl RemotingFabric {
     ///
     /// # Errors
     /// Unknown destination.
-    pub fn offer(
+    pub fn offer<T: Transport>(
         &mut self,
-        swarm: &mut Swarm,
+        swarm: &mut Swarm<T>,
         from: PeerId,
         to: PeerId,
         rref: &RemoteRef,
     ) -> Result<()> {
-        swarm.send_raw(from, to, kinds::REMOTE_REF, rref.to_xml().to_compact().into_bytes())
+        swarm.send_raw(
+            from,
+            to,
+            kinds::REMOTE_REF,
+            rref.to_xml().to_compact().into_bytes(),
+        )
     }
 
     /// Drives transport + remoting until the network is quiet.
     ///
     /// # Errors
     /// Protocol violations in either layer.
-    pub fn run(&mut self, swarm: &mut Swarm) -> Result<()> {
+    pub fn run<T: Transport>(&mut self, swarm: &mut Swarm<T>) -> Result<()> {
         while let Some((at, msg)) = swarm.poll_message()? {
-            if !swarm.dispatch(at, msg.clone())? {
+            if pti_transport::kinds::is_protocol(&msg.kind) {
+                swarm.dispatch(at, msg)?;
+            } else {
+                self.handle(swarm, at, msg)?;
+            }
+            self.settle_refs(swarm)?;
+        }
+        Ok(())
+    }
+
+    /// Drives transport + remoting until no message arrives for `idle` —
+    /// the concurrent-fabric counterpart of [`run`](Self::run).
+    ///
+    /// # Errors
+    /// Protocol violations in either layer.
+    pub fn run_for<T: Transport>(&mut self, swarm: &mut Swarm<T>, idle: Duration) -> Result<()> {
+        while let Some((at, msg)) = swarm.poll_deadline(Instant::now() + idle)? {
+            if pti_transport::kinds::is_protocol(&msg.kind) {
+                swarm.dispatch(at, msg)?;
+            } else {
                 self.handle(swarm, at, msg)?;
             }
             self.settle_refs(swarm)?;
@@ -216,9 +246,9 @@ impl RemotingFabric {
     /// # Errors
     /// Out-of-contract methods, transport failures, or server-side
     /// dispatch errors (reported as [`TransportError::Protocol`]).
-    pub fn invoke(
+    pub fn invoke<T: Transport>(
         &mut self,
-        swarm: &mut Swarm,
+        swarm: &mut Swarm<T>,
         caller: PeerId,
         proxy: &RemoteProxy,
         method: &str,
@@ -245,7 +275,10 @@ impl RemotingFabric {
             kinds::INVOKE_REQUEST,
             req.to_compact().into_bytes(),
         )?;
-        // Synchronously pump the network until our response arrives.
+        // Synchronously pump the network until our response arrives. The
+        // deadline only matters on concurrent fabrics (the owner may be
+        // served by another thread); a virtual-time transport answers in
+        // a single pass or is definitively quiet.
         loop {
             if let Some(outcome) = self.responses.remove(&request_id) {
                 let xml = outcome.map_err(TransportError::Protocol)?;
@@ -254,9 +287,11 @@ impl RemotingFabric {
                 let el = pti_xml::parse(&text).map_err(pti_serialize::SerializeError::from)?;
                 return Ok(from_soap(&mut swarm.peer_mut(caller).runtime, &el)?);
             }
-            match swarm.poll_message()? {
+            match swarm.poll_deadline(Instant::now() + RPC_IDLE)? {
                 Some((at, msg)) => {
-                    if !swarm.dispatch(at, msg.clone())? {
+                    if pti_transport::kinds::is_protocol(&msg.kind) {
+                        swarm.dispatch(at, msg)?;
+                    } else {
                         self.handle(swarm, at, msg)?;
                     }
                     self.settle_refs(swarm)?;
@@ -270,7 +305,12 @@ impl RemotingFabric {
         }
     }
 
-    fn handle(&mut self, swarm: &mut Swarm, at: PeerId, msg: Message) -> Result<()> {
+    fn handle<T: Transport>(
+        &mut self,
+        swarm: &mut Swarm<T>,
+        at: PeerId,
+        msg: BusMessage,
+    ) -> Result<()> {
         match msg.kind.as_str() {
             kinds::REMOTE_REF => {
                 let text = String::from_utf8(msg.payload)
@@ -338,14 +378,16 @@ impl RemotingFabric {
                 self.responses.insert(id, outcome);
                 Ok(())
             }
-            other => Err(TransportError::Protocol(format!("unknown message kind `{other}`"))),
+            other => Err(TransportError::Protocol(format!(
+                "unknown message kind `{other}`"
+            ))),
         }
     }
 
     /// Server-side dispatch of one invocation request.
-    fn serve(
+    fn serve<T: Transport>(
         &mut self,
-        swarm: &mut Swarm,
+        swarm: &mut Swarm<T>,
         owner: PeerId,
         el: &Element,
     ) -> Result<Element> {
@@ -368,7 +410,10 @@ impl RemotingFabric {
             .ok_or_else(|| TransportError::Protocol("request missing args".into()))?;
         let peer = swarm.peer_mut(owner);
         let args_value = from_soap(&mut peer.runtime, args_env)?;
-        let args = args_value.as_array().map_err(TransportError::Metamodel)?.to_vec();
+        let args = args_value
+            .as_array()
+            .map_err(TransportError::Metamodel)?
+            .to_vec();
         let result = peer
             .runtime
             .invoke(handle, &method, &args)
@@ -379,7 +424,7 @@ impl RemotingFabric {
     /// Completes pending references whose descriptions have arrived:
     /// conformance check against the receiving peer's interests, then a
     /// proxy (accepted) or a rejection record.
-    fn settle_refs(&mut self, swarm: &mut Swarm) -> Result<()> {
+    fn settle_refs<T: Transport>(&mut self, swarm: &mut Swarm<T>) -> Result<()> {
         let mut still_pending = Vec::new();
         for (at, rref) in std::mem::take(&mut self.pending_refs) {
             let peer = swarm.peer_mut(at);
@@ -417,7 +462,11 @@ mod tests {
         let def = TypeDef::class("Person", salt)
             .field("name", primitives::STRING)
             .method(get, vec![], primitives::STRING)
-            .method(set, vec![ParamDef::new("n", primitives::STRING)], primitives::VOID)
+            .method(
+                set,
+                vec![ParamDef::new("n", primitives::STRING)],
+                primitives::VOID,
+            )
             .ctor(vec![])
             .build();
         let g = def.guid;
@@ -468,7 +517,9 @@ mod tests {
         let (mut swarm, mut fabric, _server, client, proxy) = setup();
         // The client calls `getName` (its contract); the wire carries
         // `getPersonName` (the server's).
-        let got = fabric.invoke(&mut swarm, client, &proxy, "getName", &[]).unwrap();
+        let got = fabric
+            .invoke(&mut swarm, client, &proxy, "getName", &[])
+            .unwrap();
         assert_eq!(got.as_str().unwrap(), "remote-ada");
     }
 
@@ -476,7 +527,13 @@ mod tests {
     fn remote_mutation_visible_on_owner() {
         let (mut swarm, mut fabric, server, client, proxy) = setup();
         fabric
-            .invoke(&mut swarm, client, &proxy, "setName", &[Value::from("updated")])
+            .invoke(
+                &mut swarm,
+                client,
+                &proxy,
+                "setName",
+                &[Value::from("updated")],
+            )
             .unwrap();
         // The owner's object changed — pass-by-reference semantics.
         let exports = &fabric.exports[&server];
@@ -524,7 +581,9 @@ mod tests {
             .field("thrust", primitives::INT64)
             .method("launch", vec![], primitives::VOID)
             .build();
-        swarm.peer_mut(client).subscribe(TypeDescription::from_def(&other));
+        swarm
+            .peer_mut(client)
+            .subscribe(TypeDescription::from_def(&other));
         let h = swarm
             .peer_mut(server)
             .runtime
@@ -544,7 +603,9 @@ mod tests {
         // Sabotage: free the exported object on the server.
         let handle = fabric.exports[&server].by_id[&proxy.remote.object_id];
         swarm.peer_mut(server).runtime.heap.free(handle).unwrap();
-        let err = fabric.invoke(&mut swarm, client, &proxy, "getName", &[]).unwrap_err();
+        let err = fabric
+            .invoke(&mut swarm, client, &proxy, "getName", &[])
+            .unwrap_err();
         assert!(err.to_string().contains("dangling"), "{err}");
     }
 

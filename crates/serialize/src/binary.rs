@@ -22,7 +22,7 @@
 
 use std::collections::HashMap;
 
-use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crate::cursor::{GetBuf, PutBuf};
 use pti_metamodel::{Guid, ObjHandle, Runtime, TypeName, Value};
 
 use crate::error::{Result, SerializeError};
@@ -43,7 +43,7 @@ mod tag {
     pub const OBJREF: u8 = 9;
 }
 
-fn put_varint(buf: &mut BytesMut, mut v: u64) {
+fn put_varint(buf: &mut PutBuf, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -55,7 +55,7 @@ fn put_varint(buf: &mut BytesMut, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut Bytes) -> Result<u64> {
+fn get_varint(buf: &mut GetBuf<'_>) -> Result<u64> {
     let mut v: u64 = 0;
     for shift in (0..64).step_by(7) {
         if !buf.has_remaining() {
@@ -78,18 +78,17 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_str(buf: &mut BytesMut, s: &str) {
+fn put_str(buf: &mut PutBuf, s: &str) {
     put_varint(buf, s.len() as u64);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut Bytes) -> Result<String> {
+fn get_str(buf: &mut GetBuf<'_>) -> Result<String> {
     let len = get_varint(buf)? as usize;
     if buf.remaining() < len {
         return Err(SerializeError::Malformed("truncated string".into()));
     }
-    let bytes = buf.copy_to_bytes(len);
-    String::from_utf8(bytes.to_vec())
+    String::from_utf8(buf.take(len).to_vec())
         .map_err(|_| SerializeError::Malformed("invalid utf8".into()))
 }
 
@@ -98,12 +97,16 @@ fn get_str(buf: &mut Bytes) -> Result<String> {
 /// # Errors
 /// Dangling handles or unregistered object types.
 pub fn to_binary(rt: &Runtime, value: &Value) -> Result<Vec<u8>> {
-    let mut buf = BytesMut::with_capacity(128);
+    let mut buf = PutBuf::with_capacity(128);
     buf.put_slice(MAGIC);
     buf.put_u8(VERSION);
-    let mut enc = Encoder { rt, ids: HashMap::new(), next_id: 1 };
+    let mut enc = Encoder {
+        rt,
+        ids: HashMap::new(),
+        next_id: 1,
+    };
     enc.encode(value, &mut buf)?;
-    Ok(buf.to_vec())
+    Ok(buf.into_vec())
 }
 
 struct Encoder<'r> {
@@ -113,7 +116,7 @@ struct Encoder<'r> {
 }
 
 impl Encoder<'_> {
-    fn encode(&mut self, value: &Value, buf: &mut BytesMut) -> Result<()> {
+    fn encode(&mut self, value: &Value, buf: &mut PutBuf) -> Result<()> {
         match value {
             Value::Null => buf.put_u8(tag::NULL),
             Value::Bool(false) => buf.put_u8(tag::FALSE),
@@ -146,7 +149,7 @@ impl Encoder<'_> {
         Ok(())
     }
 
-    fn encode_object(&mut self, handle: ObjHandle, buf: &mut BytesMut) -> Result<()> {
+    fn encode_object(&mut self, handle: ObjHandle, buf: &mut PutBuf) -> Result<()> {
         if let Some(&id) = self.ids.get(&handle) {
             buf.put_u8(tag::OBJREF);
             put_varint(buf, id);
@@ -162,8 +165,11 @@ impl Encoder<'_> {
         put_varint(buf, obj.fields.len() as u64);
         // Clone field values first: encoding nested objects re-borrows
         // the heap.
-        let fields: Vec<(String, Value)> =
-            obj.fields.iter().map(|(k, v)| (k.clone(), v.clone())).collect();
+        let fields: Vec<(String, Value)> = obj
+            .fields
+            .iter()
+            .map(|(k, v)| (k.clone(), v.clone()))
+            .collect();
         for (name, value) in &fields {
             put_str(buf, name);
             self.encode(value, buf)?;
@@ -177,7 +183,7 @@ impl Encoder<'_> {
 /// # Errors
 /// Bad magic/version, truncation, unknown types, dangling references.
 pub fn from_binary(rt: &mut Runtime, data: &[u8]) -> Result<Value> {
-    let mut buf = Bytes::copy_from_slice(data);
+    let mut buf = GetBuf::new(data);
     if buf.remaining() < 5 {
         return Err(SerializeError::UnsupportedFormat("too short".into()));
     }
@@ -188,9 +194,14 @@ pub fn from_binary(rt: &mut Runtime, data: &[u8]) -> Result<Value> {
     }
     let version = buf.get_u8();
     if version != VERSION {
-        return Err(SerializeError::UnsupportedFormat(format!("version {version}")));
+        return Err(SerializeError::UnsupportedFormat(format!(
+            "version {version}"
+        )));
     }
-    let mut dec = Decoder { rt, by_id: HashMap::new() };
+    let mut dec = Decoder {
+        rt,
+        by_id: HashMap::new(),
+    };
     let v = dec.decode(&mut buf)?;
     if buf.has_remaining() {
         return Err(SerializeError::Malformed("trailing bytes".into()));
@@ -204,7 +215,7 @@ struct Decoder<'r> {
 }
 
 impl Decoder<'_> {
-    fn decode(&mut self, buf: &mut Bytes) -> Result<Value> {
+    fn decode(&mut self, buf: &mut GetBuf<'_>) -> Result<Value> {
         if !buf.has_remaining() {
             return Err(SerializeError::Malformed("truncated value".into()));
         }
@@ -255,7 +266,7 @@ impl Decoder<'_> {
         })
     }
 
-    fn decode_object(&mut self, buf: &mut Bytes) -> Result<Value> {
+    fn decode_object(&mut self, buf: &mut GetBuf<'_>) -> Result<Value> {
         let id = get_varint(buf)?;
         if buf.remaining() < 16 {
             return Err(SerializeError::Malformed("truncated guid".into()));
@@ -263,10 +274,14 @@ impl Decoder<'_> {
         let mut gb = [0u8; 16];
         buf.copy_to_slice(&mut gb);
         let guid = Guid::from_bytes(gb);
-        let def = self.rt.registry.get(guid).ok_or_else(|| SerializeError::UnknownType {
-            name: TypeName::new("<binary>"),
-            guid,
-        })?;
+        let def = self
+            .rt
+            .registry
+            .get(guid)
+            .ok_or_else(|| SerializeError::UnknownType {
+                name: TypeName::new("<binary>"),
+                guid,
+            })?;
         let handle = self.rt.allocate_raw(&def)?;
         self.by_id.insert(id, handle);
         let nfields = get_varint(buf)? as usize;
@@ -346,8 +361,12 @@ mod tests {
     #[test]
     fn objects_and_cycles_roundtrip() {
         let mut rt = runtime();
-        let a = rt.allocate_raw(&rt.registry.resolve(&"Person".into()).unwrap().clone()).unwrap();
-        let b = rt.allocate_raw(&rt.registry.resolve(&"Person".into()).unwrap().clone()).unwrap();
+        let a = rt
+            .allocate_raw(&rt.registry.resolve(&"Person".into()).unwrap().clone())
+            .unwrap();
+        let b = rt
+            .allocate_raw(&rt.registry.resolve(&"Person".into()).unwrap().clone())
+            .unwrap();
         rt.heap.get_mut(a).unwrap().set("name", Value::from("a"));
         rt.heap.get_mut(b).unwrap().set("name", Value::from("b"));
         rt.set_field(a, "friend", Value::Obj(b)).unwrap();
@@ -361,8 +380,13 @@ mod tests {
     #[test]
     fn binary_is_denser_than_soap() {
         let mut rt = runtime();
-        let h = rt.allocate_raw(&rt.registry.resolve(&"Person".into()).unwrap().clone()).unwrap();
-        rt.heap.get_mut(h).unwrap().set("name", Value::from("a reasonably long name"));
+        let h = rt
+            .allocate_raw(&rt.registry.resolve(&"Person".into()).unwrap().clone())
+            .unwrap();
+        rt.heap
+            .get_mut(h)
+            .unwrap()
+            .set("name", Value::from("a reasonably long name"));
         rt.set_field(h, "age", Value::I32(123)).unwrap();
         let bin = to_binary(&rt, &Value::Obj(h)).unwrap();
         let soap = crate::soap::to_soap_string(&rt, &Value::Obj(h)).unwrap();
@@ -420,7 +444,18 @@ mod tests {
     #[test]
     fn varint_boundaries() {
         let mut rt = runtime();
-        for v in [0i64, 1, -1, 127, 128, -128, 1 << 20, -(1 << 42), i64::MAX, i64::MIN] {
+        for v in [
+            0i64,
+            1,
+            -1,
+            127,
+            128,
+            -128,
+            1 << 20,
+            -(1 << 42),
+            i64::MAX,
+            i64::MIN,
+        ] {
             assert_eq!(roundtrip(&mut rt, &Value::I64(v)), Value::I64(v));
         }
     }

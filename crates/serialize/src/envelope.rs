@@ -147,7 +147,9 @@ impl ObjectEnvelope {
         match el.get_attr("version") {
             Some("1") => {}
             Some(v) => {
-                return Err(SerializeError::UnsupportedFormat(format!("message version {v}")))
+                return Err(SerializeError::UnsupportedFormat(format!(
+                    "message version {v}"
+                )))
             }
             None => return Err(SerializeError::Malformed("missing version".into())),
         }
@@ -203,7 +205,12 @@ impl ObjectEnvelope {
                 )))
             }
         };
-        Ok(ObjectEnvelope { type_name, type_guid, assemblies, payload })
+        Ok(ObjectEnvelope {
+            type_name,
+            type_guid,
+            assemblies,
+            payload,
+        })
     }
 
     /// Parses from the XML string form.
@@ -280,10 +287,13 @@ mod tests {
     fn rejects_malformed() {
         assert!(ObjectEnvelope::from_string("<wrong/>").is_err());
         assert!(ObjectEnvelope::from_string("<ptiMessage version=\"9\"/>").is_err());
-        assert!(ObjectEnvelope::from_string(
-            "<ptiMessage version=\"1\" type=\"T\" guid=\"00000000000000000000000000000000\"/>"
-        )
-        .is_err(), "missing payload");
+        assert!(
+            ObjectEnvelope::from_string(
+                "<ptiMessage version=\"1\" type=\"T\" guid=\"00000000000000000000000000000000\"/>"
+            )
+            .is_err(),
+            "missing payload"
+        );
         let bad_b64 = r#"<ptiMessage version="1" type="T" guid="00000000000000000000000000000001"><payload format="binary">!!!</payload></ptiMessage>"#;
         assert!(ObjectEnvelope::from_string(bad_b64).is_err());
         let bad_fmt = r#"<ptiMessage version="1" type="T" guid="00000000000000000000000000000001"><payload format="yaml"/></ptiMessage>"#;

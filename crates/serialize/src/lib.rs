@@ -44,6 +44,7 @@
 
 pub mod base64;
 mod binary;
+mod cursor;
 mod envelope;
 mod error;
 mod soap;

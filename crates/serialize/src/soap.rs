@@ -22,12 +22,19 @@ use crate::error::{Result, SerializeError};
 /// # Errors
 /// Dangling handles, or objects whose type is no longer registered.
 pub fn to_soap(rt: &Runtime, value: &Value) -> Result<Element> {
-    let mut enc = Encoder { rt, ids: HashMap::new(), next_id: 1 };
+    let mut enc = Encoder {
+        rt,
+        ids: HashMap::new(),
+        next_id: 1,
+    };
     let body = enc.encode(value)?;
     // SOAP-1.1 envelope with the section-5 encoding namespaces, as the
     // .NET formatter emits.
     Ok(Element::new("Envelope")
-        .attr("xmlns:SOAP-ENV", "http://schemas.xmlsoap.org/soap/envelope/")
+        .attr(
+            "xmlns:SOAP-ENV",
+            "http://schemas.xmlsoap.org/soap/envelope/",
+        )
         .attr("xmlns:xsi", "http://www.w3.org/2001/XMLSchema-instance")
         .attr("xmlns:xsd", "http://www.w3.org/2001/XMLSchema")
         .child(Element::new("Body").child(body)))
@@ -51,16 +58,18 @@ impl Encoder<'_> {
             Value::Bool(b) => Element::new("boolean")
                 .attr("xsi:type", "xsd:boolean")
                 .text(b.to_string()),
-            Value::I32(v) => Element::new("int").attr("xsi:type", "xsd:int").text(v.to_string()),
-            Value::I64(v) => {
-                Element::new("long").attr("xsi:type", "xsd:long").text(v.to_string())
-            }
-            Value::F64(v) => {
-                Element::new("double").attr("xsi:type", "xsd:double").text(format_f64(*v))
-            }
-            Value::Str(s) => {
-                Element::new("string").attr("xsi:type", "xsd:string").text(s.clone())
-            }
+            Value::I32(v) => Element::new("int")
+                .attr("xsi:type", "xsd:int")
+                .text(v.to_string()),
+            Value::I64(v) => Element::new("long")
+                .attr("xsi:type", "xsd:long")
+                .text(v.to_string()),
+            Value::F64(v) => Element::new("double")
+                .attr("xsi:type", "xsd:double")
+                .text(format_f64(*v)),
+            Value::Str(s) => Element::new("string")
+                .attr("xsi:type", "xsd:string")
+                .text(s.clone()),
             Value::Array(items) => {
                 let mut arr = Element::new("array");
                 for item in items {
@@ -120,7 +129,10 @@ pub fn from_soap(rt: &mut Runtime, envelope: &Element) -> Result<Value> {
         .elements()
         .next()
         .ok_or_else(|| SerializeError::Malformed("empty <Body>".into()))?;
-    let mut dec = Decoder { rt, by_id: HashMap::new() };
+    let mut dec = Decoder {
+        rt,
+        by_id: HashMap::new(),
+    };
     dec.decode(root)
 }
 
@@ -187,7 +199,9 @@ impl Decoder<'_> {
                 Ok(Value::Obj(handle))
             }
             "object" => self.decode_object(el),
-            other => Err(SerializeError::Malformed(format!("unknown value element <{other}>"))),
+            other => Err(SerializeError::Malformed(format!(
+                "unknown value element <{other}>"
+            ))),
         }
     }
 
@@ -285,10 +299,7 @@ mod stream {
 
     impl<'a> Decoder<'_, 'a> {
         fn skip_ws(&mut self) {
-            while matches!(
-                self.bytes.get(self.pos),
-                Some(b' ' | b'\t' | b'\r' | b'\n')
-            ) {
+            while matches!(self.bytes.get(self.pos), Some(b' ' | b'\t' | b'\r' | b'\n')) {
                 self.pos += 1;
             }
         }
@@ -459,8 +470,7 @@ mod stream {
             }
             let name = &self.input[start..self.pos];
             self.pos += 1;
-            pti_xml::resolve_entity(name)
-                .ok_or_else(|| malformed("unknown entity"))
+            pti_xml::resolve_entity(name).ok_or_else(|| malformed("unknown entity"))
         }
 
         fn text(&mut self) -> Result<String> {
@@ -592,7 +602,9 @@ mod stream {
                 if ft.name != "field" {
                     return Err(malformed("expected <field>"));
                 }
-                let fname = ft.field_name.ok_or_else(|| malformed("field missing name"))?;
+                let fname = ft
+                    .field_name
+                    .ok_or_else(|| malformed("field missing name"))?;
                 if ft.self_closing {
                     return Err(malformed("field missing value"));
                 }
@@ -611,7 +623,11 @@ fn format_f64(v: f64) -> String {
     if v.is_nan() {
         "NaN".to_string()
     } else if v.is_infinite() {
-        if v > 0.0 { "INF".to_string() } else { "-INF".to_string() }
+        if v > 0.0 {
+            "INF".to_string()
+        } else {
+            "-INF".to_string()
+        }
     } else {
         // {:?} prints the shortest string that parses back to the same f64.
         format!("{v:?}")
@@ -673,19 +689,32 @@ mod tests {
     #[test]
     fn float_specials_roundtrip() {
         let (mut rt, _) = person_runtime();
-        for v in [f64::INFINITY, f64::NEG_INFINITY, 0.1, -0.0, f64::MIN, f64::MAX] {
+        for v in [
+            f64::INFINITY,
+            f64::NEG_INFINITY,
+            0.1,
+            -0.0,
+            f64::MIN,
+            f64::MAX,
+        ] {
             let xml = to_soap_string(&rt, &Value::F64(v)).unwrap();
             let back = from_soap_string(&mut rt, &xml).unwrap();
             assert_eq!(back.as_f64().unwrap().to_bits(), v.to_bits());
         }
         let xml = to_soap_string(&rt, &Value::F64(f64::NAN)).unwrap();
-        assert!(from_soap_string(&mut rt, &xml).unwrap().as_f64().unwrap().is_nan());
+        assert!(from_soap_string(&mut rt, &xml)
+            .unwrap()
+            .as_f64()
+            .unwrap()
+            .is_nan());
     }
 
     #[test]
     fn object_roundtrips_with_fields() {
         let (mut rt, _) = person_runtime();
-        let h = rt.instantiate(&"Person".into(), &[Value::from("ada")]).unwrap();
+        let h = rt
+            .instantiate(&"Person".into(), &[Value::from("ada")])
+            .unwrap();
         rt.set_field(h, "age", Value::I32(36)).unwrap();
         let xml = to_soap_string(&rt, &Value::Obj(h)).unwrap();
         assert!(xml.contains("Envelope"));
@@ -695,38 +724,61 @@ mod tests {
         assert_ne!(h, h2, "a fresh object is materialized");
         assert_eq!(rt.get_field(h2, "name").unwrap().as_str().unwrap(), "ada");
         assert_eq!(rt.get_field(h2, "age").unwrap().as_i32().unwrap(), 36);
-        assert_eq!(rt.invoke(h2, "getName", &[]).unwrap().as_str().unwrap(), "ada");
+        assert_eq!(
+            rt.invoke(h2, "getName", &[]).unwrap().as_str().unwrap(),
+            "ada"
+        );
     }
 
     #[test]
     fn nested_objects_roundtrip() {
         let (mut rt, _) = person_runtime();
-        let alice = rt.instantiate(&"Person".into(), &[Value::from("alice")]).unwrap();
-        let bob = rt.instantiate(&"Person".into(), &[Value::from("bob")]).unwrap();
+        let alice = rt
+            .instantiate(&"Person".into(), &[Value::from("alice")])
+            .unwrap();
+        let bob = rt
+            .instantiate(&"Person".into(), &[Value::from("bob")])
+            .unwrap();
         rt.set_field(alice, "friend", Value::Obj(bob)).unwrap();
         let xml = to_soap_string(&rt, &Value::Obj(alice)).unwrap();
         let back = from_soap_string(&mut rt, &xml).unwrap().as_obj().unwrap();
         let friend = rt.get_field(back, "friend").unwrap().as_obj().unwrap();
-        assert_eq!(rt.get_field(friend, "name").unwrap().as_str().unwrap(), "bob");
+        assert_eq!(
+            rt.get_field(friend, "name").unwrap().as_str().unwrap(),
+            "bob"
+        );
     }
 
     #[test]
     fn shared_references_are_preserved() {
         let (mut rt, _) = person_runtime();
-        let shared = rt.instantiate(&"Person".into(), &[Value::from("shared")]).unwrap();
+        let shared = rt
+            .instantiate(&"Person".into(), &[Value::from("shared")])
+            .unwrap();
         let arr = Value::Array(vec![Value::Obj(shared), Value::Obj(shared)]);
         let xml = to_soap_string(&rt, &arr).unwrap();
-        assert!(xml.contains("href"), "second occurrence must be a ref: {xml}");
+        assert!(
+            xml.contains("href"),
+            "second occurrence must be a ref: {xml}"
+        );
         let back = from_soap_string(&mut rt, &xml).unwrap();
         let items = back.as_array().unwrap().to_vec();
-        assert_eq!(items[0].as_obj().unwrap(), items[1].as_obj().unwrap(), "aliasing preserved");
+        assert_eq!(
+            items[0].as_obj().unwrap(),
+            items[1].as_obj().unwrap(),
+            "aliasing preserved"
+        );
     }
 
     #[test]
     fn cycles_roundtrip() {
         let (mut rt, _) = person_runtime();
-        let a = rt.instantiate(&"Person".into(), &[Value::from("a")]).unwrap();
-        let b = rt.instantiate(&"Person".into(), &[Value::from("b")]).unwrap();
+        let a = rt
+            .instantiate(&"Person".into(), &[Value::from("a")])
+            .unwrap();
+        let b = rt
+            .instantiate(&"Person".into(), &[Value::from("b")])
+            .unwrap();
         rt.set_field(a, "friend", Value::Obj(b)).unwrap();
         rt.set_field(b, "friend", Value::Obj(a)).unwrap();
         let xml = to_soap_string(&rt, &Value::Obj(a)).unwrap();

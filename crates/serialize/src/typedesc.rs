@@ -26,7 +26,9 @@ fn kind_from(s: &str) -> Result<TypeKind> {
         "class" => Ok(TypeKind::Class),
         "interface" => Ok(TypeKind::Interface),
         "primitive" => Ok(TypeKind::Primitive),
-        other => Err(SerializeError::Malformed(format!("unknown type kind `{other}`"))),
+        other => Err(SerializeError::Malformed(format!(
+            "unknown type kind `{other}`"
+        ))),
     }
 }
 
@@ -150,7 +152,10 @@ pub fn description_from_xml(el: &Element) -> Result<TypeDescription> {
         constructors: el
             .find_all("constructor")
             .map(|c| {
-                Ok(CtorDesc { params: parse_params(c)?, modifiers: parse_modifiers(c)? })
+                Ok(CtorDesc {
+                    params: parse_params(c)?,
+                    modifiers: parse_modifiers(c)?,
+                })
             })
             .collect::<Result<_>>()?,
     };
@@ -220,7 +225,9 @@ pub fn description_from_xml_owned(mut el: Element) -> Result<TypeDescription> {
     let mut methods = Vec::new();
     let mut constructors = Vec::new();
     for node in &mut el.children {
-        let pti_xml::Node::Element(c) = node else { continue };
+        let pti_xml::Node::Element(c) = node else {
+            continue;
+        };
         match c.name.as_str() {
             "superclass" => superclass = Some(TypeName::new(require_attr_owned(c, "name")?)),
             "interface" => interfaces.push(TypeName::new(require_attr_owned(c, "name")?)),
@@ -299,13 +306,17 @@ mod tests {
         // Field/param types appear as name attributes only — no nested
         // <typeDescription> (Section 5.2's "no recursion").
         fn no_nested(el: &Element) -> bool {
-            el.elements().all(|c| c.name != "typeDescription" && no_nested(c))
+            el.elements()
+                .all(|c| c.name != "typeDescription" && no_nested(c))
         }
         assert!(no_nested(&el));
         assert_eq!(el.find_all("field").count(), 2);
         assert_eq!(el.find_all("method").count(), 2);
         assert_eq!(el.find_all("constructor").count(), 1);
-        assert_eq!(el.find("superclass").unwrap().get_attr("name"), Some("Object"));
+        assert_eq!(
+            el.find("superclass").unwrap().get_attr("name"),
+            Some("Object")
+        );
     }
 
     #[test]

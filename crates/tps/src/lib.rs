@@ -8,65 +8,76 @@
 //! publishers and subscribers never have to share a type hierarchy or
 //! even a vendor.
 //!
-//! [`TypedPubSub`] is a thin broadcast layer over the optimistic
-//! transport: publishing sends the event object to every other member;
-//! each member's own conformance check decides delivery, and rejected
-//! events never cost an assembly download (Figure 1's saving, amortized
-//! over the whole group).
+//! [`TypedPubSub`] is a broadcast layer over the optimistic transport:
+//! publishing sends the event object to every other member; each
+//! member's own conformance check decides delivery, and rejected events
+//! never cost an assembly download (Figure 1's saving, amortized over
+//! the whole group).
+//!
+//! The session API is **typed handles**, not raw peers: [`Member`]s are
+//! obtained from the group, a [`Publisher`] builds-and-broadcasts events
+//! of one published type, and a [`Subscription`] yields the matched
+//! events — callers never touch a runtime or an envelope. The group is
+//! generic over the transport, so the same code runs deterministically
+//! on a [`SimNet`] and concurrently on a
+//! [`LiveBus`](pti_net::LiveBus).
 //!
 //! ## Example
 //!
 //! ```
 //! use pti_conformance::ConformanceConfig;
-//! use pti_metamodel::{Assembly, TypeDef, TypeDescription, Value, bodies, primitives};
-//! use pti_net::NetConfig;
-//! use pti_serialize::PayloadFormat;
+//! use pti_metamodel::{Assembly, TypeDef, TypeDescription, bodies, primitives};
 //! use pti_tps::TypedPubSub;
 //!
-//! let mut tps = TypedPubSub::new(NetConfig::default());
-//! let publisher = tps.add_member(ConformanceConfig::pragmatic());
-//! let subscriber = tps.add_member(ConformanceConfig::pragmatic());
+//! let tps = TypedPubSub::builder()
+//!     .default_conformance(ConformanceConfig::pragmatic())
+//!     .build();
+//! let exchange = tps.add_member();
+//! let trader = tps.add_member();
 //!
-//! // Publisher's event type.
+//! // The exchange's event type, published as an assembly.
 //! let quote = TypeDef::class("StockQuote", "pub")
 //!     .field("symbol", primitives::STRING)
 //!     .field("price", primitives::FLOAT64)
 //!     .ctor(vec![])
 //!     .build();
 //! let g = quote.guid;
-//! tps.publish_types(publisher, Assembly::builder("quotes")
+//! let quotes = exchange.publisher_for(Assembly::builder("quotes")
 //!     .ty(quote)
 //!     .ctor_body(g, 0, bodies::ctor_assign(&[]))
 //!     .build())?;
 //!
-//! // Subscriber's independently written view of the same module.
+//! // The trader's independently written view of the same module.
 //! let my_quote = TypeDef::class("StockQuote", "sub")
 //!     .field("symbol", primitives::STRING)
 //!     .field("price", primitives::FLOAT64)
 //!     .build();
-//! tps.subscribe(subscriber, TypeDescription::from_def(&my_quote));
+//! let sub = trader.subscribe(TypeDescription::from_def(&my_quote));
 //!
-//! let rt = &mut tps.member_mut(publisher).runtime;
-//! let e = rt.instantiate(&"StockQuote".into(), &[])?;
-//! rt.set_field(e, "symbol", Value::from("ACME"))?;
-//! rt.set_field(e, "price", Value::F64(42.5))?;
-//! tps.publish(publisher, &Value::Obj(e), PayloadFormat::Binary)?;
+//! quotes.publish_with(|e| {
+//!     e.set("symbol", "ACME")?.set("price", 42.5)?;
+//!     Ok(())
+//! })?;
 //! tps.run()?;
 //!
-//! let events = tps.notifications(subscriber);
+//! let events = sub.drain();
 //! assert_eq!(events.len(), 1);
 //! assert_eq!(events[0].interest.full(), "StockQuote");
-//! # Ok::<(), Box<dyn std::error::Error>>(())
+//! # Ok::<(), pti_transport::TransportError>(())
 //! ```
 
 #![warn(missing_docs)]
 
+use std::collections::HashMap;
+use std::sync::{Arc, Mutex, MutexGuard};
+use std::time::Duration;
+
 use pti_conformance::ConformanceConfig;
-use pti_metamodel::{Assembly, TypeDescription, TypeName, Value};
-use pti_net::{NetConfig, PeerId, SimNet};
+use pti_metamodel::{Assembly, Guid, ObjHandle, TypeDef, TypeDescription, TypeName, Value};
+use pti_net::{NetConfig, NetMetrics, PeerId, SimNet, Transport};
 use pti_proxy::DynamicProxy;
 use pti_serialize::PayloadFormat;
-use pti_transport::{Delivery, Peer, Result, Swarm};
+use pti_transport::{Delivery, ProtocolStats, Result, Swarm, TransportError};
 
 /// A matched event delivered to a subscriber.
 #[derive(Debug, Clone)]
@@ -78,121 +89,529 @@ pub struct EventNotification {
     pub value: Value,
     /// The subscription (type of interest) the event matched.
     pub interest: TypeName,
+    /// Identity of the matched interest (distinguishes same-named
+    /// interests from different vendors).
+    pub interest_guid: Guid,
     /// Proxy exposing the subscription's contract over the event.
     pub proxy: Option<DynamicProxy>,
 }
 
-/// A publish/subscribe group where subscriptions are *types* and matching
-/// is implicit structural conformance.
-#[derive(Debug)]
-pub struct TypedPubSub {
-    swarm: Swarm,
+/// The group state behind the handles.
+struct Group<T: Transport> {
+    swarm: Swarm<T>,
     members: Vec<PeerId>,
+    default_conformance: ConformanceConfig,
+    format: PayloadFormat,
+    /// Matched events collected from peers but not yet claimed by a
+    /// subscription's `drain`.
+    mailbox: HashMap<PeerId, Vec<EventNotification>>,
 }
 
-impl TypedPubSub {
-    /// Creates an empty group over a network with the given parameters.
-    pub fn new(config: NetConfig) -> TypedPubSub {
-        TypedPubSub { swarm: Swarm::new(config), members: Vec::new() }
-    }
-
-    /// Adds a member peer.
-    pub fn add_member(&mut self, config: ConformanceConfig) -> PeerId {
-        let id = self.swarm.add_peer(config);
-        self.members.push(id);
-        id
-    }
-
-    /// All member peers.
-    pub fn members(&self) -> &[PeerId] {
-        &self.members
-    }
-
-    /// Mutable access to a member (its runtime, stats, ...).
-    pub fn member_mut(&mut self, id: PeerId) -> &mut Peer {
-        self.swarm.peer_mut(id)
-    }
-
-    /// Immutable access to a member.
-    pub fn member(&self, id: PeerId) -> &Peer {
-        self.swarm.peer(id)
-    }
-
-    /// The underlying swarm (network metrics, manual driving).
-    pub fn swarm(&self) -> &Swarm {
-        &self.swarm
-    }
-
-    /// Mutable access to the underlying swarm.
-    pub fn swarm_mut(&mut self) -> &mut Swarm {
-        &mut self.swarm
-    }
-
-    /// Publishes the event *types* a member will produce (its assembly).
-    ///
-    /// # Errors
-    /// Installation conflicts.
-    pub fn publish_types(&mut self, member: PeerId, assembly: Assembly) -> Result<()> {
-        self.swarm.publish(member, assembly)
-    }
-
-    /// Registers a subscription: a type of interest events are matched
-    /// against by implicit structural conformance.
-    pub fn subscribe(&mut self, member: PeerId, interest: TypeDescription) {
-        self.swarm.peer_mut(member).subscribe(interest);
-    }
-
-    /// Cancels a subscription by the interest type's identity. Returns
-    /// whether a subscription was removed.
-    pub fn unsubscribe(&mut self, member: PeerId, interest: pti_metamodel::Guid) -> bool {
-        self.swarm.peer_mut(member).unsubscribe(interest)
-    }
-
-    /// Publishes an event to every other member (decentralized TPS:
-    /// broadcast + subscriber-side conformance filtering).
-    ///
-    /// # Errors
-    /// Serialization or provenance failures at the publisher.
-    pub fn publish(&mut self, from: PeerId, event: &Value, format: PayloadFormat) -> Result<()> {
-        let targets: Vec<PeerId> =
-            self.members.iter().copied().filter(|m| *m != from).collect();
-        for to in targets {
-            self.swarm.send_object(from, to, event, format)?;
+impl<T: Transport> Group<T> {
+    /// Broadcast to every other member. Deliberately allocation-free:
+    /// indexing sidesteps holding a borrow of `members` across the sends.
+    fn publish(&mut self, from: PeerId, event: &Value, format: PayloadFormat) -> Result<()> {
+        for i in 0..self.members.len() {
+            let to = self.members[i];
+            if to != from {
+                self.swarm.send_object(from, to, event, format)?;
+            }
         }
         Ok(())
     }
 
-    /// Drives the network until quiet.
-    ///
-    /// # Errors
-    /// Protocol violations.
-    pub fn run(&mut self) -> Result<()> {
-        self.swarm.run()
-    }
-
-    /// Matched events delivered to a subscriber since the last call.
-    ///
-    /// Only deliveries that matched a subscription become notifications;
-    /// objects accepted merely because their exact type was already
-    /// installed (no interest) are dropped, and rejected events were
-    /// already filtered by the protocol without downloading code.
-    pub fn notifications(&mut self, member: PeerId) -> Vec<EventNotification> {
-        self.swarm
+    /// Moves a member's finished matched deliveries into the mailbox.
+    fn collect(&mut self, member: PeerId) {
+        let fresh = self
+            .swarm
             .peer_mut(member)
             .take_deliveries()
             .into_iter()
             .filter_map(|d| match d {
-                Delivery::Accepted { from, value, interest: Some(interest), proxy } => {
-                    Some(EventNotification { from, value, interest, proxy })
-                }
+                Delivery::Accepted {
+                    from,
+                    value,
+                    interest: Some(interest),
+                    interest_guid: Some(interest_guid),
+                    proxy,
+                } => Some(EventNotification {
+                    from,
+                    value,
+                    interest,
+                    interest_guid,
+                    proxy,
+                }),
                 _ => None,
-            })
-            .collect()
+            });
+        self.mailbox.entry(member).or_default().extend(fresh);
+    }
+}
+
+/// A publish/subscribe group where subscriptions are *types* and matching
+/// is implicit structural conformance.
+///
+/// This is a cheaply-cloneable session handle; [`Member`], [`Publisher`]
+/// and [`Subscription`] all point back into the same group.
+pub struct TypedPubSub<T: Transport = SimNet> {
+    inner: Arc<Mutex<Group<T>>>,
+}
+
+impl<T: Transport> Clone for TypedPubSub<T> {
+    fn clone(&self) -> Self {
+        TypedPubSub {
+            inner: Arc::clone(&self.inner),
+        }
+    }
+}
+
+impl<T: Transport> std::fmt::Debug for TypedPubSub<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let g = self.lock();
+        f.debug_struct("TypedPubSub")
+            .field("members", &g.members.len())
+            .finish()
+    }
+}
+
+/// Configures and creates a [`TypedPubSub`] group.
+#[derive(Debug, Clone)]
+pub struct Builder {
+    net: NetConfig,
+    conformance: ConformanceConfig,
+    format: PayloadFormat,
+}
+
+impl Default for Builder {
+    fn default() -> Builder {
+        Builder {
+            net: NetConfig::default(),
+            conformance: ConformanceConfig::pragmatic(),
+            format: PayloadFormat::Binary,
+        }
+    }
+}
+
+impl Builder {
+    /// Link parameters for the simulated network (ignored by
+    /// [`over`](Self::over)).
+    pub fn net(mut self, config: NetConfig) -> Builder {
+        self.net = config;
+        self
+    }
+
+    /// Conformance profile given to members added without an explicit
+    /// one. Defaults to the pragmatic profile.
+    pub fn default_conformance(mut self, config: ConformanceConfig) -> Builder {
+        self.conformance = config;
+        self
+    }
+
+    /// Wire format events are serialized with. Defaults to binary.
+    pub fn payload_format(mut self, format: PayloadFormat) -> Builder {
+        self.format = format;
+        self
+    }
+
+    /// Builds the group over a fresh deterministic [`SimNet`].
+    pub fn build(self) -> TypedPubSub<SimNet> {
+        let net = SimNet::new(self.net);
+        self.over(net)
+    }
+
+    /// Builds the group over an existing transport — e.g. a
+    /// [`LiveBus`](pti_net::LiveBus) handle for concurrent members.
+    pub fn over<T: Transport>(self, transport: T) -> TypedPubSub<T> {
+        TypedPubSub {
+            inner: Arc::new(Mutex::new(Group {
+                swarm: Swarm::over(transport),
+                members: Vec::new(),
+                default_conformance: self.conformance,
+                format: self.format,
+                mailbox: HashMap::new(),
+            })),
+        }
+    }
+}
+
+impl TypedPubSub<SimNet> {
+    /// Starts configuring a group.
+    pub fn builder() -> Builder {
+        Builder::default()
+    }
+
+    /// Shorthand: a group over a simulated network with the given link
+    /// parameters and the default profile.
+    pub fn new(config: NetConfig) -> TypedPubSub<SimNet> {
+        Builder::default().net(config).build()
+    }
+}
+
+impl<T: Transport> TypedPubSub<T> {
+    fn lock(&self) -> MutexGuard<'_, Group<T>> {
+        self.inner.lock().expect("pub/sub group lock poisoned")
+    }
+
+    /// Adds a member with the group's default conformance profile.
+    pub fn add_member(&self) -> Member<T> {
+        let config = self.lock().default_conformance.clone();
+        self.add_member_with(config)
+    }
+
+    /// Adds a member with an explicit conformance profile.
+    pub fn add_member_with(&self, config: ConformanceConfig) -> Member<T> {
+        let mut g = self.lock();
+        let id = g.swarm.add_peer(config);
+        g.members.push(id);
+        Member {
+            group: self.clone(),
+            id,
+        }
+    }
+
+    /// Ids of all member peers.
+    pub fn member_ids(&self) -> Vec<PeerId> {
+        self.lock().members.clone()
+    }
+
+    /// Drives the network until quiet (deterministic fabrics).
+    ///
+    /// # Errors
+    /// Protocol violations.
+    pub fn run(&self) -> Result<()> {
+        self.lock().swarm.run()
+    }
+
+    /// Drives the network until no message arrives for `idle`
+    /// (concurrent fabrics).
+    ///
+    /// # Errors
+    /// Protocol violations.
+    pub fn run_for(&self, idle: Duration) -> Result<()> {
+        self.lock().swarm.run_for(idle)
     }
 
     /// Network traffic counters.
-    pub fn net(&self) -> &SimNet {
-        self.swarm.net()
+    pub fn metrics(&self) -> NetMetrics {
+        self.lock().swarm.metrics()
+    }
+
+    /// Protocol counters of one member.
+    pub fn stats(&self, member: PeerId) -> ProtocolStats {
+        self.lock().swarm.peer(member).stats
+    }
+
+    /// Full access to the underlying swarm for protocol-level work the
+    /// handles don't cover (experiments, failure injection). Scoped to a
+    /// closure so no lock guard escapes.
+    pub fn with_swarm<R>(&self, f: impl FnOnce(&mut Swarm<T>) -> R) -> R {
+        f(&mut self.lock().swarm)
+    }
+
+    /// All matched events buffered for a member, regardless of which
+    /// subscription they belong to — the low-level counterpart of
+    /// [`Subscription::drain`].
+    pub fn notifications(&self, member: PeerId) -> Vec<EventNotification> {
+        let mut g = self.lock();
+        g.collect(member);
+        g.mailbox
+            .get_mut(&member)
+            .map(std::mem::take)
+            .unwrap_or_default()
+    }
+}
+
+/// One member of the group, able to publish event types and subscribe
+/// types of interest.
+pub struct Member<T: Transport> {
+    group: TypedPubSub<T>,
+    id: PeerId,
+}
+
+impl<T: Transport> Clone for Member<T> {
+    fn clone(&self) -> Self {
+        Member {
+            group: self.group.clone(),
+            id: self.id,
+        }
+    }
+}
+
+impl<T: Transport> std::fmt::Debug for Member<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Member").field("id", &self.id).finish()
+    }
+}
+
+impl<T: Transport> Member<T> {
+    /// This member's peer id.
+    pub fn id(&self) -> PeerId {
+        self.id
+    }
+
+    /// This member's protocol counters.
+    pub fn stats(&self) -> ProtocolStats {
+        self.group.stats(self.id)
+    }
+
+    /// Publishes the event types in `assembly` and returns a
+    /// [`Publisher`] for the assembly's *first* type — the conventional
+    /// one-event-type-per-assembly case. Publish a multi-type assembly
+    /// once and create further publishers with
+    /// [`publisher_for_type`](Self::publisher_for_type).
+    ///
+    /// # Errors
+    /// Empty assemblies or installation conflicts.
+    pub fn publisher_for(&self, assembly: Assembly) -> Result<Publisher<T>> {
+        let event = assembly
+            .types()
+            .first()
+            .cloned()
+            .ok_or_else(|| TransportError::Protocol("assembly declares no types".into()))?;
+        self.group.lock().swarm.publish(self.id, assembly)?;
+        Ok(Publisher {
+            group: self.group.clone(),
+            member: self.id,
+            event,
+        })
+    }
+
+    /// A [`Publisher`] for one type of an already-published assembly.
+    pub fn publisher_for_type(&self, event: TypeDef) -> Publisher<T> {
+        Publisher {
+            group: self.group.clone(),
+            member: self.id,
+            event,
+        }
+    }
+
+    /// Registers a type of interest and returns its [`Subscription`]:
+    /// inbound events are matched against it by implicit structural
+    /// conformance.
+    pub fn subscribe(&self, interest: TypeDescription) -> Subscription<T> {
+        self.group
+            .lock()
+            .swarm
+            .peer_mut(self.id)
+            .subscribe(interest.clone());
+        Subscription {
+            group: self.group.clone(),
+            member: self.id,
+            interest,
+        }
+    }
+}
+
+/// Builds the fields of one event object before it is broadcast.
+///
+/// The builder locks the group per operation rather than for the whole
+/// construction, so the closure given to [`Publisher::publish_with`] may
+/// freely call back into the group (other publishers, `run`, drains)
+/// without deadlocking.
+pub struct EventBuilder<T: Transport> {
+    group: TypedPubSub<T>,
+    member: PeerId,
+    handle: ObjHandle,
+}
+
+impl<T: Transport> EventBuilder<T> {
+    /// Sets a field of the event under construction.
+    ///
+    /// # Errors
+    /// Unknown fields or type mismatches.
+    pub fn set(&mut self, field: &str, value: impl Into<Value>) -> Result<&mut Self> {
+        self.group
+            .lock()
+            .swarm
+            .peer_mut(self.member)
+            .runtime
+            .set_field(self.handle, field, value.into())?;
+        Ok(self)
+    }
+
+    /// The handle of the event under construction (for nested
+    /// structures).
+    pub fn handle(&self) -> ObjHandle {
+        self.handle
+    }
+}
+
+/// Publishes events of one type to the whole group.
+pub struct Publisher<T: Transport> {
+    group: TypedPubSub<T>,
+    member: PeerId,
+    event: TypeDef,
+}
+
+impl<T: Transport> Clone for Publisher<T> {
+    fn clone(&self) -> Self {
+        Publisher {
+            group: self.group.clone(),
+            member: self.member,
+            event: self.event.clone(),
+        }
+    }
+}
+
+impl<T: Transport> std::fmt::Debug for Publisher<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Publisher")
+            .field("member", &self.member)
+            .field("event", &self.event.name)
+            .finish()
+    }
+}
+
+impl<T: Transport> Publisher<T> {
+    /// The event type this publisher produces.
+    pub fn event_type(&self) -> &TypeDef {
+        &self.event
+    }
+
+    /// The publishing member's peer id.
+    pub fn member_id(&self) -> PeerId {
+        self.member
+    }
+
+    /// Instantiates one event, hands it to `build` for field assignment,
+    /// and broadcasts it to every other member.
+    ///
+    /// The group lock is *not* held across `build` (each
+    /// [`EventBuilder`] operation takes it briefly), so the closure may
+    /// call back into the group — publish on another [`Publisher`],
+    /// drain a subscription — without deadlocking.
+    ///
+    /// # Errors
+    /// Construction failures from `build`, or serialization/provenance
+    /// failures while broadcasting.
+    pub fn publish_with(
+        &self,
+        build: impl FnOnce(&mut EventBuilder<T>) -> Result<()>,
+    ) -> Result<()> {
+        let handle = self
+            .group
+            .lock()
+            .swarm
+            .peer_mut(self.member)
+            .runtime
+            .instantiate_def(&self.event, &[])?;
+        build(&mut EventBuilder {
+            group: self.group.clone(),
+            member: self.member,
+            handle,
+        })?;
+        let mut g = self.group.lock();
+        let format = g.format;
+        g.publish(self.member, &Value::Obj(handle), format)
+    }
+
+    /// Broadcasts a pre-built value (it must live in the publishing
+    /// member's runtime and have published provenance).
+    ///
+    /// # Errors
+    /// Serialization or provenance failures.
+    pub fn publish_value(&self, event: &Value) -> Result<()> {
+        let mut g = self.group.lock();
+        let format = g.format;
+        g.publish(self.member, event, format)
+    }
+}
+
+/// A registered type of interest, yielding the events that matched it.
+pub struct Subscription<T: Transport> {
+    group: TypedPubSub<T>,
+    member: PeerId,
+    interest: TypeDescription,
+}
+
+impl<T: Transport> std::fmt::Debug for Subscription<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Subscription")
+            .field("member", &self.member)
+            .field("interest", &self.interest.name)
+            .finish()
+    }
+}
+
+impl<T: Transport> Subscription<T> {
+    /// The type of interest this subscription matches.
+    pub fn interest(&self) -> &TypeDescription {
+        &self.interest
+    }
+
+    /// The subscribing member's peer id.
+    pub fn member_id(&self) -> PeerId {
+        self.member
+    }
+
+    /// Takes the events delivered to this subscription since the last
+    /// call. Events that matched *other* subscriptions of the same
+    /// member stay queued for them (matching is by interest identity,
+    /// so same-named interests from different vendors stay separate).
+    pub fn drain(&self) -> Vec<EventNotification> {
+        let mut g = self.group.lock();
+        g.collect(self.member);
+        let Some(inbox) = g.mailbox.get_mut(&self.member) else {
+            return Vec::new();
+        };
+        let mut mine = Vec::new();
+        inbox.retain(|ev| {
+            if ev.interest_guid == self.interest.guid {
+                mine.push(ev.clone());
+                false
+            } else {
+                true
+            }
+        });
+        mine
+    }
+
+    /// Drains and visits every pending event of this subscription.
+    pub fn for_each(&self, mut f: impl FnMut(&EventNotification)) {
+        for ev in self.drain() {
+            f(&ev);
+        }
+    }
+
+    /// Invokes a method of the subscription's contract on a delivered
+    /// event, through its conformance-translating proxy.
+    ///
+    /// # Errors
+    /// Events without a proxy, out-of-contract methods, or runtime
+    /// failures.
+    pub fn invoke(&self, event: &EventNotification, method: &str, args: &[Value]) -> Result<Value> {
+        let proxy = event.proxy.as_ref().ok_or_else(|| {
+            TransportError::Protocol("event has no proxy (primitive payload?)".into())
+        })?;
+        let mut g = self.group.lock();
+        let rt = &mut g.swarm.peer_mut(self.member).runtime;
+        proxy
+            .invoke(rt, method, args)
+            .map_err(|e| TransportError::Protocol(format!("event invocation failed: {e}")))
+    }
+
+    /// Reads a field of a delivered event through its proxy binding.
+    ///
+    /// # Errors
+    /// Events without a proxy or unknown fields.
+    pub fn get_field(&self, event: &EventNotification, field: &str) -> Result<Value> {
+        let proxy = event.proxy.as_ref().ok_or_else(|| {
+            TransportError::Protocol("event has no proxy (primitive payload?)".into())
+        })?;
+        let mut g = self.group.lock();
+        let rt = &mut g.swarm.peer_mut(self.member).runtime;
+        proxy
+            .get_field(rt, field)
+            .map_err(|e| TransportError::Protocol(format!("event field read failed: {e}")))
+    }
+
+    /// Withdraws the interest: future events are no longer matched
+    /// against it. Returns whether the interest was still registered.
+    pub fn cancel(&self) -> bool {
+        self.group
+            .lock()
+            .swarm
+            .peer_mut(self.member)
+            .unsubscribe(self.interest.guid)
     }
 }
 
@@ -230,132 +649,293 @@ mod tests {
         (asm, def)
     }
 
-    fn publish_quote(tps: &mut TypedPubSub, publisher: PeerId, symbol: &str) {
-        let rt = &mut tps.member_mut(publisher).runtime;
-        let e = rt.instantiate(&"StockQuote".into(), &[]).unwrap();
-        rt.set_field(e, "symbol", Value::from(symbol)).unwrap();
-        tps.publish(publisher, &Value::Obj(e), PayloadFormat::Binary).unwrap();
+    fn group() -> TypedPubSub {
+        TypedPubSub::builder().build()
     }
 
     #[test]
     fn matching_subscriber_gets_event_others_do_not() {
-        let mut tps = TypedPubSub::new(NetConfig::default());
-        let publisher = tps.add_member(ConformanceConfig::pragmatic());
-        let quote_fan = tps.add_member(ConformanceConfig::pragmatic());
-        let news_fan = tps.add_member(ConformanceConfig::pragmatic());
+        let tps = group();
+        let publisher = tps.add_member();
+        let quote_fan = tps.add_member();
+        let news_fan = tps.add_member();
 
         let (asm, _) = quote_assembly("pub");
-        tps.publish_types(publisher, asm).unwrap();
+        let quotes = publisher.publisher_for(asm).unwrap();
         let (_, sub_quote) = quote_assembly("quote-fan");
-        tps.subscribe(quote_fan, TypeDescription::from_def(&sub_quote));
+        let quote_sub = quote_fan.subscribe(TypeDescription::from_def(&sub_quote));
         let (_, sub_news) = news_assembly("news-fan");
-        tps.subscribe(news_fan, TypeDescription::from_def(&sub_news));
+        let news_sub = news_fan.subscribe(TypeDescription::from_def(&sub_news));
 
-        publish_quote(&mut tps, publisher, "ACME");
+        quotes
+            .publish_with(|e| {
+                e.set("symbol", "ACME")?;
+                Ok(())
+            })
+            .unwrap();
         tps.run().unwrap();
 
-        let got = tps.notifications(quote_fan);
+        let got = quote_sub.drain();
         assert_eq!(got.len(), 1);
-        assert_eq!(got[0].from, publisher);
-        assert!(tps.notifications(news_fan).is_empty());
-        assert_eq!(tps.member(news_fan).stats.rejected, 1);
-        assert_eq!(tps.member(news_fan).stats.asm_requests, 0, "no code for non-matches");
+        assert_eq!(got[0].from, publisher.id());
+        assert!(news_sub.drain().is_empty());
+        assert_eq!(news_fan.stats().rejected, 1);
+        assert_eq!(news_fan.stats().asm_requests, 0, "no code for non-matches");
     }
 
     #[test]
     fn subscriber_invokes_event_through_its_own_contract() {
-        let mut tps = TypedPubSub::new(NetConfig::default());
-        let publisher = tps.add_member(ConformanceConfig::pragmatic());
-        let subscriber = tps.add_member(ConformanceConfig::pragmatic());
+        let tps = group();
+        let publisher = tps.add_member();
+        let subscriber = tps.add_member();
         let (asm, _) = quote_assembly("pub");
-        tps.publish_types(publisher, asm).unwrap();
+        let quotes = publisher.publisher_for(asm).unwrap();
         // Subscriber's view names the getter differently but conformantly.
         let sub_def = TypeDef::class("StockQuote", "sub")
             .field("symbol", primitives::STRING)
             .field("price", primitives::FLOAT64)
             .method("getSymbol", vec![], primitives::STRING)
             .build();
-        tps.subscribe(subscriber, TypeDescription::from_def(&sub_def));
-        publish_quote(&mut tps, publisher, "GLOBEX");
-        tps.run().unwrap();
-        let mut got = tps.notifications(subscriber);
-        let ev = got.remove(0);
-        let proxy = ev.proxy.unwrap();
-        let sym = proxy
-            .invoke(&mut tps.member_mut(subscriber).runtime, "getSymbol", &[])
+        let sub = subscriber.subscribe(TypeDescription::from_def(&sub_def));
+        quotes
+            .publish_with(|e| {
+                e.set("symbol", "GLOBEX")?;
+                Ok(())
+            })
             .unwrap();
+        tps.run().unwrap();
+        let mut got = sub.drain();
+        let ev = got.remove(0);
+        let sym = sub.invoke(&ev, "getSymbol", &[]).unwrap();
         assert_eq!(sym.as_str().unwrap(), "GLOBEX");
     }
 
     #[test]
     fn many_events_amortize_protocol_cost() {
-        let mut tps = TypedPubSub::new(NetConfig::default());
-        let publisher = tps.add_member(ConformanceConfig::pragmatic());
-        let subscriber = tps.add_member(ConformanceConfig::pragmatic());
+        let tps = group();
+        let publisher = tps.add_member();
+        let subscriber = tps.add_member();
         let (asm, _) = quote_assembly("pub");
-        tps.publish_types(publisher, asm).unwrap();
-        let (_, sub) = quote_assembly("sub");
-        tps.subscribe(subscriber, TypeDescription::from_def(&sub));
+        let quotes = publisher.publisher_for(asm).unwrap();
+        let (_, sub_def) = quote_assembly("sub");
+        let sub = subscriber.subscribe(TypeDescription::from_def(&sub_def));
 
         for i in 0..10 {
-            publish_quote(&mut tps, publisher, &format!("S{i}"));
+            let symbol = format!("S{i}");
+            quotes
+                .publish_with(|e| {
+                    e.set("symbol", symbol.as_str())?;
+                    Ok(())
+                })
+                .unwrap();
         }
         tps.run().unwrap();
-        assert_eq!(tps.notifications(subscriber).len(), 10);
+        assert_eq!(sub.drain().len(), 10);
         // Description and code each crossed the wire exactly once.
-        assert_eq!(tps.member(subscriber).stats.desc_requests, 1);
-        assert_eq!(tps.member(subscriber).stats.asm_requests, 1);
+        assert_eq!(subscriber.stats().desc_requests, 1);
+        assert_eq!(subscriber.stats().asm_requests, 1);
     }
 
     #[test]
     fn multiple_subscriptions_first_match_wins() {
-        let mut tps = TypedPubSub::new(NetConfig::default());
-        let publisher = tps.add_member(ConformanceConfig::pragmatic());
-        let subscriber = tps.add_member(ConformanceConfig::pragmatic());
+        let tps = group();
+        let publisher = tps.add_member();
+        let subscriber = tps.add_member();
         let (asm, pub_def) = quote_assembly("pub");
-        tps.publish_types(publisher, asm).unwrap();
+        let quotes = publisher.publisher_for(asm).unwrap();
         let (_, news) = news_assembly("sub");
-        tps.subscribe(subscriber, TypeDescription::from_def(&news));
-        tps.subscribe(subscriber, TypeDescription::from_def(&pub_def));
-        publish_quote(&mut tps, publisher, "X");
+        let news_sub = subscriber.subscribe(TypeDescription::from_def(&news));
+        let quote_sub = subscriber.subscribe(TypeDescription::from_def(&pub_def));
+        quotes
+            .publish_with(|e| {
+                e.set("symbol", "X")?;
+                Ok(())
+            })
+            .unwrap();
         tps.run().unwrap();
-        let got = tps.notifications(subscriber);
+        let got = quote_sub.drain();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].interest.full(), "StockQuote");
+        assert!(news_sub.drain().is_empty());
     }
 
     #[test]
     fn unsubscribe_stops_future_deliveries() {
-        let mut tps = TypedPubSub::new(NetConfig::default());
-        let publisher = tps.add_member(ConformanceConfig::pragmatic());
-        let subscriber = tps.add_member(ConformanceConfig::pragmatic());
+        let tps = group();
+        let publisher = tps.add_member();
+        let subscriber = tps.add_member();
         let (asm, _) = quote_assembly("pub");
-        tps.publish_types(publisher, asm).unwrap();
+        let quotes = publisher.publisher_for(asm).unwrap();
         let (_, sub_def) = quote_assembly("sub");
-        let sub_guid = sub_def.guid;
-        tps.subscribe(subscriber, TypeDescription::from_def(&sub_def));
+        let sub = subscriber.subscribe(TypeDescription::from_def(&sub_def));
 
-        publish_quote(&mut tps, publisher, "BEFORE");
+        quotes
+            .publish_with(|e| {
+                e.set("symbol", "BEFORE")?;
+                Ok(())
+            })
+            .unwrap();
         tps.run().unwrap();
-        assert_eq!(tps.notifications(subscriber).len(), 1);
+        assert_eq!(sub.drain().len(), 1);
 
-        assert!(tps.unsubscribe(subscriber, sub_guid));
-        assert!(!tps.unsubscribe(subscriber, sub_guid), "idempotent");
-        publish_quote(&mut tps, publisher, "AFTER");
+        assert!(sub.cancel());
+        assert!(!sub.cancel(), "idempotent");
+        quotes
+            .publish_with(|e| {
+                e.set("symbol", "AFTER")?;
+                Ok(())
+            })
+            .unwrap();
         tps.run().unwrap();
-        assert!(tps.notifications(subscriber).is_empty());
+        assert!(sub.drain().is_empty());
     }
 
     #[test]
     fn publisher_does_not_receive_its_own_events() {
-        let mut tps = TypedPubSub::new(NetConfig::default());
-        let publisher = tps.add_member(ConformanceConfig::pragmatic());
-        let _other = tps.add_member(ConformanceConfig::pragmatic());
+        let tps = group();
+        let publisher = tps.add_member();
+        let _other = tps.add_member();
         let (asm, def) = quote_assembly("pub");
-        tps.publish_types(publisher, asm).unwrap();
-        tps.subscribe(publisher, TypeDescription::from_def(&def));
-        publish_quote(&mut tps, publisher, "SELF");
+        let quotes = publisher.publisher_for(asm).unwrap();
+        let self_sub = publisher.subscribe(TypeDescription::from_def(&def));
+        quotes
+            .publish_with(|e| {
+                e.set("symbol", "SELF")?;
+                Ok(())
+            })
+            .unwrap();
         tps.run().unwrap();
-        assert!(tps.notifications(publisher).is_empty());
+        assert!(self_sub.drain().is_empty());
+    }
+
+    #[test]
+    fn empty_assembly_cannot_back_a_publisher() {
+        let tps = group();
+        let member = tps.add_member();
+        let err = member
+            .publisher_for(Assembly::builder("empty").build())
+            .unwrap_err();
+        assert!(err.to_string().contains("no types"), "{err}");
+    }
+
+    #[test]
+    fn drain_routes_by_subscription_not_arrival_order() {
+        // Two interests on one member; events of both types interleaved.
+        let tps = group();
+        let publisher = tps.add_member();
+        let subscriber = tps.add_member();
+        let (quote_asm, _) = quote_assembly("pub");
+        let quotes = publisher.publisher_for(quote_asm).unwrap();
+        let (news_asm, _) = news_assembly("pub");
+        let news = publisher.publisher_for(news_asm).unwrap();
+        let (_, q_def) = quote_assembly("sub");
+        let (_, n_def) = news_assembly("sub");
+        let q_sub = subscriber.subscribe(TypeDescription::from_def(&q_def));
+        let n_sub = subscriber.subscribe(TypeDescription::from_def(&n_def));
+
+        for i in 0..3 {
+            let s = format!("Q{i}");
+            quotes
+                .publish_with(|e| {
+                    e.set("symbol", s.as_str())?;
+                    Ok(())
+                })
+                .unwrap();
+            let h = format!("N{i}");
+            news.publish_with(|e| {
+                e.set("headline", h.as_str())?;
+                Ok(())
+            })
+            .unwrap();
+        }
+        tps.run().unwrap();
+        assert_eq!(q_sub.drain().len(), 3);
+        assert_eq!(n_sub.drain().len(), 3);
+        assert!(q_sub.drain().is_empty(), "drained once");
+    }
+
+    #[test]
+    fn publish_with_closure_may_reenter_the_group() {
+        // The build closure publishes on a *second* publisher of the same
+        // group — this must not deadlock on the group lock.
+        let tps = group();
+        let publisher = tps.add_member();
+        let subscriber = tps.add_member();
+        let (quote_asm, _) = quote_assembly("pub");
+        let quotes = publisher.publisher_for(quote_asm).unwrap();
+        let (news_asm, _) = news_assembly("pub");
+        let news = publisher.publisher_for(news_asm).unwrap();
+        let (_, q_def) = quote_assembly("sub");
+        let (_, n_def) = news_assembly("sub");
+        let q_sub = subscriber.subscribe(TypeDescription::from_def(&q_def));
+        let n_sub = subscriber.subscribe(TypeDescription::from_def(&n_def));
+
+        quotes
+            .publish_with(|e| {
+                e.set("symbol", "NESTED")?;
+                news.publish_with(|n| {
+                    n.set("headline", "from inside another publish")?;
+                    Ok(())
+                })
+            })
+            .unwrap();
+        tps.run().unwrap();
+        assert_eq!(q_sub.drain().len(), 1);
+        assert_eq!(n_sub.drain().len(), 1);
+    }
+
+    #[test]
+    fn same_named_interests_from_different_vendors_stay_separate() {
+        // Two subscriptions on one member, both named StockQuote but with
+        // different identities; drain must route by identity, not name.
+        let tps = group();
+        let publisher = tps.add_member();
+        let subscriber = tps.add_member();
+        let (asm, _) = quote_assembly("pub");
+        let quotes = publisher.publisher_for(asm).unwrap();
+        let (_, vendor_x) = quote_assembly("vendor-x");
+        let (_, vendor_y) = quote_assembly("vendor-y");
+        // Subscription order decides the match: vendor-x wins every event.
+        let x_sub = subscriber.subscribe(TypeDescription::from_def(&vendor_x));
+        let y_sub = subscriber.subscribe(TypeDescription::from_def(&vendor_y));
+        quotes
+            .publish_with(|e| {
+                e.set("symbol", "IDENT")?;
+                Ok(())
+            })
+            .unwrap();
+        tps.run().unwrap();
+        // The event matched vendor-x's interest; draining vendor-y first
+        // must not steal it.
+        assert!(y_sub.drain().is_empty(), "same name, different identity");
+        let got = x_sub.drain();
+        assert_eq!(got.len(), 1);
+        assert_eq!(got[0].interest_guid, vendor_x.guid);
+    }
+
+    #[test]
+    fn for_each_and_get_field() {
+        let tps = TypedPubSub::builder()
+            .payload_format(PayloadFormat::Soap)
+            .build();
+        let publisher = tps.add_member();
+        let subscriber = tps.add_member();
+        let (asm, _) = quote_assembly("pub");
+        let quotes = publisher.publisher_for(asm).unwrap();
+        let (_, sub_def) = quote_assembly("sub");
+        let sub = subscriber.subscribe(TypeDescription::from_def(&sub_def));
+        quotes
+            .publish_with(|e| {
+                e.set("symbol", "FLD")?.set("price", 9.5)?;
+                Ok(())
+            })
+            .unwrap();
+        tps.run().unwrap();
+        let mut seen = 0;
+        sub.for_each(|ev| {
+            seen += 1;
+            assert_eq!(sub.get_field(ev, "price").unwrap().as_f64().unwrap(), 9.5);
+        });
+        assert_eq!(seen, 1);
     }
 }

@@ -35,7 +35,10 @@ impl fmt::Display for TransportError {
             Self::Metamodel(e) => write!(f, "runtime: {e}"),
             Self::UnknownPeer(p) => write!(f, "unknown peer {p}"),
             Self::NoProvenance(t) => {
-                write!(f, "type `{t}` has no published assembly (publish it before sending)")
+                write!(
+                    f,
+                    "type `{t}` has no published assembly (publish it before sending)"
+                )
             }
             Self::UnknownPath(p) => write!(f, "no artifact published at `{p}`"),
             Self::Protocol(m) => write!(f, "protocol violation: {m}"),

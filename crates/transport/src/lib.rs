@@ -16,8 +16,12 @@
 //! 5. **Receiving the code, object usable** — assembly installed, object
 //!    deserialized, wrapped in a dynamic proxy for the matched interest.
 //!
-//! A [`Swarm`] wires [`Peer`]s to a deterministic virtual-time network and
-//! drives this exchange; [`Swarm::send_object_eager`] implements the
+//! A [`Swarm`] wires [`Peer`]s to any [`Transport`](pti_net::Transport)
+//! fabric and drives this exchange: [`SimSwarm`] (= `Swarm<SimNet>`) is
+//! the deterministic virtual-time engine the experiments run on, and
+//! [`LiveSwarm`] (= `Swarm<LiveBus>`) runs the *identical* state machine
+//! over real threads, with a shared [`CodeRegistry`] standing in for a
+//! code server. [`Swarm::send_object_eager`] implements the
 //! ship-everything baseline the protocol is measured against
 //! (experiment F1).
 //!
@@ -69,10 +73,12 @@
 
 #![warn(missing_docs)]
 
+mod code;
 mod error;
 mod peer;
 mod swarm;
 
+pub use code::CodeRegistry;
 pub use error::{Result, TransportError};
 pub use peer::{Delivery, Peer, PeerProvider, ProtocolStats, Published};
-pub use swarm::{kinds, Swarm};
+pub use swarm::{kinds, LiveSwarm, SimSwarm, Swarm};

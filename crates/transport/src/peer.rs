@@ -28,6 +28,9 @@ pub enum Delivery {
         /// Name of the matched type of interest, if conformance-based
         /// matching took place.
         interest: Option<TypeName>,
+        /// Identity of the matched interest — distinguishes same-named
+        /// interests from different vendors.
+        interest_guid: Option<Guid>,
         /// A proxy exposing the matched interest over the object (absent
         /// for primitives or interest-less direct acceptance).
         proxy: Option<DynamicProxy>,
@@ -123,6 +126,10 @@ pub struct Peer {
     installed_hashes: HashSet<u64>,
     /// Description paths already requested (suppress duplicates).
     pub(crate) requested_descs: HashSet<String>,
+    /// Description paths whose responses were already consumed (their
+    /// contents live in the description cache; no further response will
+    /// ever arrive for them).
+    pub(crate) received_descs: HashSet<String>,
     /// Assembly paths already requested (suppress duplicates).
     pub(crate) requested_asms: HashSet<String>,
     pub(crate) pending: Vec<PendingObject>,
@@ -161,6 +168,7 @@ impl Peer {
             installed: HashSet::new(),
             installed_hashes: HashSet::new(),
             requested_descs: HashSet::new(),
+            received_descs: HashSet::new(),
             requested_asms: HashSet::new(),
             pending: Vec::new(),
             next_seq: 0,
@@ -179,8 +187,11 @@ impl Peer {
         assembly.install(&mut self.runtime)?;
         let desc_path = format!("pti://{}/desc/{}", self.id, assembly.name());
         let asm_path = format!("pti://{}/asm/{}", self.id, assembly.name());
-        let descriptions: Vec<TypeDescription> =
-            assembly.types().iter().map(TypeDescription::from_def).collect();
+        let descriptions: Vec<TypeDescription> = assembly
+            .types()
+            .iter()
+            .map(TypeDescription::from_def)
+            .collect();
         for t in assembly.types() {
             self.path_of_type.insert(t.guid, asm_path.clone());
         }
@@ -281,10 +292,12 @@ impl Peer {
 
     /// The description for a GUID, if known.
     pub fn description_of(&self, guid: Guid) -> Option<TypeDescription> {
-        self.desc_cache
-            .get(&guid)
-            .cloned()
-            .or_else(|| self.runtime.registry.get(guid).map(|d| TypeDescription::from_def(&d)))
+        self.desc_cache.get(&guid).cloned().or_else(|| {
+            self.runtime
+                .registry
+                .get(guid)
+                .map(|d| TypeDescription::from_def(&d))
+        })
     }
 
     /// A name-resolving provider over the registry plus the download
@@ -363,7 +376,12 @@ impl Peer {
                 Payload::Binary(pti_serialize::to_binary(&self.runtime, root)?)
             }
         };
-        Ok(ObjectEnvelope { type_name, type_guid, assemblies, payload })
+        Ok(ObjectEnvelope {
+            type_name,
+            type_guid,
+            assemblies,
+            payload,
+        })
     }
 
     /// Deserializes an envelope payload into the local runtime.
@@ -468,7 +486,9 @@ mod tests {
             .runtime
             .instantiate(&"Person".into(), &[Value::from("ada")])
             .unwrap();
-        let env = p.make_envelope(&Value::Obj(h), PayloadFormat::Binary).unwrap();
+        let env = p
+            .make_envelope(&Value::Obj(h), PayloadFormat::Binary)
+            .unwrap();
         assert_eq!(env.type_name.full(), "Person");
         assert_eq!(env.assemblies.len(), 1);
         assert!(env.assemblies[0].assembly_path.contains("peer-1"));
@@ -483,7 +503,9 @@ mod tests {
         // ctor body missing (not installed via assembly) — instantiate
         // with 1 arg still works (declared ctor), body absent is allowed.
         let h = h.unwrap();
-        let err = p.make_envelope(&Value::Obj(h), PayloadFormat::Binary).unwrap_err();
+        let err = p
+            .make_envelope(&Value::Obj(h), PayloadFormat::Binary)
+            .unwrap_err();
         assert!(matches!(err, TransportError::NoProvenance(_)));
     }
 
@@ -492,25 +514,34 @@ mod tests {
         // Person in one assembly, Address in another; a Person holding an
         // Address must list both (Figure 3's A + B information).
         let mut p = Peer::new(PeerId(1), ConformanceConfig::paper());
-        let addr = TypeDef::class("Address", "a").field("street", primitives::STRING).ctor(vec![]).build();
+        let addr = TypeDef::class("Address", "a")
+            .field("street", primitives::STRING)
+            .ctor(vec![])
+            .build();
         let person = TypeDef::class("Person", "a")
             .field("name", primitives::STRING)
             .field("home", "Address")
             .ctor(vec![])
             .build();
-        p.publish(Assembly::builder("addr").ty(addr).build()).unwrap();
-        p.publish(Assembly::builder("person").ty(person).build()).unwrap();
+        p.publish(Assembly::builder("addr").ty(addr).build())
+            .unwrap();
+        p.publish(Assembly::builder("person").ty(person).build())
+            .unwrap();
         let ah = p.runtime.instantiate(&"Address".into(), &[]).unwrap();
         let ph = p.runtime.instantiate(&"Person".into(), &[]).unwrap();
         p.runtime.set_field(ph, "home", Value::Obj(ah)).unwrap();
-        let env = p.make_envelope(&Value::Obj(ph), PayloadFormat::Soap).unwrap();
+        let env = p
+            .make_envelope(&Value::Obj(ph), PayloadFormat::Soap)
+            .unwrap();
         assert_eq!(env.assemblies.len(), 2);
     }
 
     #[test]
     fn primitive_envelope_has_no_assemblies() {
         let p = Peer::new(PeerId(1), ConformanceConfig::paper());
-        let env = p.make_envelope(&Value::I32(42), PayloadFormat::Binary).unwrap();
+        let env = p
+            .make_envelope(&Value::I32(42), PayloadFormat::Binary)
+            .unwrap();
         assert!(env.assemblies.is_empty());
         assert!(env.type_guid.is_nil());
     }
@@ -534,7 +565,9 @@ mod tests {
     fn description_cache_feeds_provider() {
         let mut p = Peer::new(PeerId(1), ConformanceConfig::paper());
         let remote = TypeDescription::from_def(
-            &TypeDef::class("Remote", "r").field("x", primitives::INT32).build(),
+            &TypeDef::class("Remote", "r")
+                .field("x", primitives::INT32)
+                .build(),
         );
         assert!(!p.knows_description(remote.guid));
         p.cache_description(remote.clone());

@@ -1,5 +1,5 @@
-//! The protocol engine driving Figure 1 of the paper over the simulated
-//! network — plus the *eager* baseline it is compared against (design
+//! The protocol engine driving Figure 1 of the paper over any transport
+//! fabric — plus the *eager* baseline it is compared against (design
 //! decision D4).
 //!
 //! Optimistic exchange of one object:
@@ -19,16 +19,24 @@
 //! (kind `eager-object`), which is what a subtype-propagating RMI-style
 //! middleware does; the byte difference between the two protocols is
 //! experiment F1.
+//!
+//! The engine is generic over [`Transport`], so the *same* state machine
+//! runs on the deterministic virtual-time [`SimNet`] (as [`SimSwarm`],
+//! for reproducible experiments) and on the threaded
+//! [`LiveBus`](pti_net::LiveBus) (as [`LiveSwarm`], one swarm per thread
+//! over a shared fabric, for genuinely concurrent load).
 
-use std::collections::{BTreeMap, HashMap, HashSet};
+use std::collections::{BTreeMap, HashSet};
+use std::time::{Duration, Instant};
 
 use pti_conformance::ConformanceConfig;
 use pti_metamodel::{Assembly, Value};
-use pti_net::{Message, NetConfig, PeerId, SimNet};
+use pti_net::{BusMessage, LiveBus, NetConfig, PeerId, SimNet, Transport};
 use pti_proxy::DynamicProxy;
 use pti_serialize::{description_from_xml, description_to_xml, ObjectEnvelope, PayloadFormat};
 use pti_xml::Element;
 
+use crate::code::CodeRegistry;
 use crate::error::{Result, TransportError};
 use crate::peer::{Delivery, Peer, PendingObject};
 
@@ -46,53 +54,98 @@ pub mod kinds {
     pub const ASM_RESPONSE: &str = "asm-response";
     /// Eager-baseline object message (envelope + descriptions + code).
     pub const EAGER_OBJECT: &str = "eager-object";
+
+    /// Whether a kind tag belongs to the core transport protocol (as
+    /// opposed to an embedding layer like remoting).
+    pub fn is_protocol(kind: &str) -> bool {
+        matches!(
+            kind,
+            OBJECT | DESC_REQUEST | DESC_RESPONSE | ASM_REQUEST | ASM_RESPONSE | EAGER_OBJECT
+        )
+    }
 }
 
-/// A set of peers wired to one simulated network, with the out-of-band
+/// A set of peers wired to one transport fabric, with the out-of-band
 /// code registry.
 ///
-/// Method bodies are Rust closures and cannot cross a (simulated) wire;
-/// the swarm therefore keeps a global `path → Assembly` registry standing
-/// in for the actual code bytes, while the *sizes* of assembly transfers
-/// are charged to the network for accounting. This preserves exactly the
-/// behaviour the experiments measure: who transfers how many bytes, when.
-pub struct Swarm {
-    net: SimNet,
+/// On a [`SimNet`] one swarm owns every peer and drives the whole
+/// exchange deterministically. On a live fabric several swarms — one per
+/// thread, each owning *its* peers — share the fabric handle's clones
+/// and a [`CodeRegistry`], and the identical protocol code runs
+/// concurrently.
+pub struct Swarm<T: Transport = SimNet> {
+    net: T,
     peers: BTreeMap<PeerId, Peer>,
-    code: HashMap<String, Assembly>,
+    code: CodeRegistry,
     next_id: u32,
     budget: usize,
 }
 
-impl std::fmt::Debug for Swarm {
+/// The deterministic virtual-time swarm every experiment runs on.
+pub type SimSwarm = Swarm<SimNet>;
+
+/// A swarm over the threaded bus: genuinely concurrent peers, same
+/// protocol.
+pub type LiveSwarm = Swarm<LiveBus>;
+
+impl<T: Transport> std::fmt::Debug for Swarm<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Swarm")
             .field("peers", &self.peers.len())
             .field("published_paths", &self.code.len())
-            .field("clock_us", &self.net.now_us())
             .finish()
     }
 }
 
-impl Swarm {
-    /// Creates a swarm over a network with the given parameters.
-    pub fn new(config: NetConfig) -> Swarm {
+impl Swarm<SimNet> {
+    /// Creates a swarm over a fresh simulated network with the given
+    /// link parameters.
+    pub fn new(config: NetConfig) -> SimSwarm {
+        Swarm::over(SimNet::new(config))
+    }
+}
+
+impl<T: Transport> Swarm<T> {
+    /// Creates a swarm over an existing transport with its own (empty)
+    /// code registry.
+    pub fn over(transport: T) -> Swarm<T> {
+        Swarm::with_code_registry(transport, CodeRegistry::new())
+    }
+
+    /// Creates a swarm over an existing transport sharing a code
+    /// registry — the way concurrent swarms on one [`LiveBus`] resolve
+    /// each other's published assemblies.
+    pub fn with_code_registry(transport: T, code: CodeRegistry) -> Swarm<T> {
         Swarm {
-            net: SimNet::new(config),
+            net: transport,
             peers: BTreeMap::new(),
-            code: HashMap::new(),
+            code,
             next_id: 1,
             budget: 1_000_000,
         }
     }
 
-    /// Adds a peer with the given conformance configuration.
+    /// Adds a peer with the given conformance configuration, assigning
+    /// the next free local id.
     pub fn add_peer(&mut self, config: ConformanceConfig) -> PeerId {
         let id = PeerId(self.next_id);
         self.next_id += 1;
+        self.add_peer_as(id, config)
+    }
+
+    /// Adds a peer under an explicit id — required on a shared fabric
+    /// where each swarm must pick ids that don't collide with its
+    /// neighbours'.
+    pub fn add_peer_as(&mut self, id: PeerId, config: ConformanceConfig) -> PeerId {
         self.net.register(id);
+        self.next_id = self.next_id.max(id.0 + 1);
         self.peers.insert(id, Peer::new(id, config));
         id
+    }
+
+    /// Ids of the peers this swarm owns.
+    pub fn peer_ids(&self) -> Vec<PeerId> {
+        self.peers.keys().copied().collect()
     }
 
     /// Immutable access to a peer.
@@ -105,9 +158,19 @@ impl Swarm {
         self.peers.get_mut(&id).expect("unknown peer")
     }
 
-    /// The underlying network (metrics, clock).
-    pub fn net(&self) -> &SimNet {
+    /// The underlying transport (metrics, clock on a [`SimNet`]).
+    pub fn net(&self) -> &T {
         &self.net
+    }
+
+    /// Mutable access to the underlying transport.
+    pub fn net_mut(&mut self) -> &mut T {
+        &mut self.net
+    }
+
+    /// A snapshot of the fabric-wide traffic counters.
+    pub fn metrics(&self) -> pti_net::NetMetrics {
+        self.net.metrics()
     }
 
     /// Resets network traffic counters.
@@ -115,15 +178,24 @@ impl Swarm {
         self.net.reset_metrics();
     }
 
-    /// Publishes an assembly at a peer: local install + global code
+    /// The shared code registry (clone it into sibling swarms).
+    pub fn code_registry(&self) -> CodeRegistry {
+        self.code.clone()
+    }
+
+    /// Publishes an assembly at a peer: local install + shared code
     /// registry entry so other peers can "download" it by path.
     ///
     /// # Errors
     /// Installation conflicts.
     pub fn publish(&mut self, peer: PeerId, assembly: Assembly) -> Result<()> {
-        let p = self.peers.get_mut(&peer).ok_or(TransportError::UnknownPeer(peer))?;
+        let p = self
+            .peers
+            .get_mut(&peer)
+            .ok_or(TransportError::UnknownPeer(peer))?;
         let published = p.publish(assembly)?;
-        self.code.insert(published.asm_path.clone(), published.assembly.clone());
+        self.code
+            .insert(published.asm_path.clone(), published.assembly.clone());
         Ok(())
     }
 
@@ -138,10 +210,17 @@ impl Swarm {
         root: &Value,
         format: PayloadFormat,
     ) -> Result<()> {
-        let sender = self.peers.get(&from).ok_or(TransportError::UnknownPeer(from))?;
+        let sender = self
+            .peers
+            .get(&from)
+            .ok_or(TransportError::UnknownPeer(from))?;
         let envelope = sender.make_envelope(root, format)?;
-        self.net
-            .send(from, to, kinds::OBJECT, envelope.to_string_compact().into_bytes())?;
+        self.net.send(
+            from,
+            to,
+            kinds::OBJECT,
+            envelope.to_string_compact().into_bytes(),
+        )?;
         Ok(())
     }
 
@@ -157,7 +236,10 @@ impl Swarm {
         root: &Value,
         format: PayloadFormat,
     ) -> Result<()> {
-        let sender = self.peers.get(&from).ok_or(TransportError::UnknownPeer(from))?;
+        let sender = self
+            .peers
+            .get(&from)
+            .ok_or(TransportError::UnknownPeer(from))?;
         let envelope = sender.make_envelope(root, format)?;
         // Inline weight: every description document + every assembly.
         let mut extra = 0usize;
@@ -165,8 +247,8 @@ impl Swarm {
             let published = sender
                 .published_by_asm_path(&aref.assembly_path)
                 .ok_or_else(|| TransportError::UnknownPath(aref.assembly_path.clone()))?;
-            extra += descriptions_document(&published.descriptions, &aref.description_path)
-                .wire_size();
+            extra +=
+                descriptions_document(&published.descriptions, &aref.description_path).wire_size();
             extra += published.assembly.byte_size();
         }
         let mut payload = envelope.to_string_compact().into_bytes();
@@ -176,9 +258,13 @@ impl Swarm {
         Ok(())
     }
 
-    /// Runs the protocol until the network is quiet: delivers every
-    /// message, advancing pending exchanges through their description /
-    /// conformance / code stages.
+    /// Runs the protocol until the fabric has nothing queued for this
+    /// swarm's peers: delivers every message, advancing pending exchanges
+    /// through their description / conformance / code stages.
+    ///
+    /// On a live fabric "nothing queued" is a transient condition — use
+    /// [`run_for`](Self::run_for) there to keep serving until an idle
+    /// period passes.
     ///
     /// # Errors
     /// Protocol violations (including unknown message kinds — use
@@ -187,34 +273,90 @@ impl Swarm {
     /// inside any peer.
     pub fn run(&mut self) -> Result<()> {
         while let Some((at, msg)) = self.poll_message()? {
-            if !self.dispatch(at, msg.clone())? {
-                return Err(TransportError::Protocol(format!(
-                    "unknown message kind `{}`",
-                    msg.kind
-                )));
-            }
+            self.dispatch_required(at, msg)?;
         }
         Ok(())
     }
 
-    /// Pops the next deliverable message from any peer's inbox (advancing
-    /// the virtual clock). `None` when the network is quiet.
+    /// Runs the protocol until no message has arrived for `idle` — the
+    /// live-fabric counterpart of [`run`](Self::run), where concurrent
+    /// senders may take real time to produce the next message.
+    ///
+    /// # Errors
+    /// Same conditions as [`run`](Self::run).
+    pub fn run_for(&mut self, idle: Duration) -> Result<()> {
+        while let Some((at, msg)) = self.poll_deadline(Instant::now() + idle)? {
+            self.dispatch_required(at, msg)?;
+        }
+        Ok(())
+    }
+
+    fn dispatch_required(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
+        if !kinds::is_protocol(&msg.kind) {
+            return Err(TransportError::Protocol(format!(
+                "unknown message kind `{}`",
+                msg.kind
+            )));
+        }
+        self.dispatch(at, msg)?;
+        Ok(())
+    }
+
+    /// Pops the next deliverable message from any owned peer's inbox
+    /// (advancing the virtual clock on a [`SimNet`]). `None` when nothing
+    /// is queued right now.
     ///
     /// # Errors
     /// Budget exhaustion — a hard bound converting livelock bugs into
     /// errors.
-    pub fn poll_message(&mut self) -> Result<Option<(PeerId, Message)>> {
-        self.budget = self.budget.saturating_sub(1);
-        if self.budget == 0 {
-            return Err(TransportError::Protocol("message budget exhausted (livelock?)".into()));
-        }
+    pub fn poll_message(&mut self) -> Result<Option<(PeerId, BusMessage)>> {
+        self.check_budget()?;
         let ids: Vec<PeerId> = self.peers.keys().copied().collect();
         for id in ids {
-            if let Some(msg) = self.net.recv(id) {
+            if let Some(msg) = self.net.try_recv(id) {
+                self.budget -= 1;
                 return Ok(Some((id, msg)));
             }
         }
         Ok(None)
+    }
+
+    /// Like [`poll_message`](Self::poll_message), but waits until
+    /// `deadline` for a message to arrive — the polling primitive for
+    /// concurrent fabrics.
+    ///
+    /// # Errors
+    /// Budget exhaustion.
+    pub fn poll_deadline(&mut self, deadline: Instant) -> Result<Option<(PeerId, BusMessage)>> {
+        self.check_budget()?;
+        let ids: Vec<PeerId> = self.peers.keys().copied().collect();
+        match self.net.recv_deadline(&ids, deadline) {
+            Some(m) => {
+                self.budget -= 1;
+                Ok(Some((m.to, m)))
+            }
+            None => Ok(None),
+        }
+    }
+
+    /// Replaces the message budget — the hard bound that converts
+    /// livelock bugs into errors. The default (1,000,000 messages) suits
+    /// finite experiments; long-lived serving loops should raise or
+    /// periodically reset it.
+    pub fn set_message_budget(&mut self, budget: usize) {
+        self.budget = budget;
+    }
+
+    /// Budget charged only for *delivered* messages (idle polls are
+    /// free), checked *before* popping so a budget of N delivers exactly
+    /// N messages and the N+1th is left on the transport.
+    fn check_budget(&self) -> Result<()> {
+        if self.budget == 0 {
+            return Err(TransportError::Protocol(
+                "message budget exhausted (livelock?)".into(),
+            ));
+        }
+        Ok(())
     }
 
     /// Sends a raw message on behalf of a peer — the hook higher-level
@@ -239,7 +381,7 @@ impl Swarm {
     ///
     /// # Errors
     /// Protocol violations or runtime failures.
-    pub fn dispatch(&mut self, at: PeerId, msg: Message) -> Result<bool> {
+    pub fn dispatch(&mut self, at: PeerId, msg: BusMessage) -> Result<bool> {
         match msg.kind.as_str() {
             kinds::OBJECT => self.on_object(at, msg)?,
             kinds::DESC_REQUEST => self.on_desc_request(at, msg)?,
@@ -252,11 +394,14 @@ impl Swarm {
         Ok(true)
     }
 
-    fn on_object(&mut self, at: PeerId, msg: Message) -> Result<()> {
+    fn on_object(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
         let text = String::from_utf8(msg.payload)
             .map_err(|_| TransportError::Protocol("object payload not utf8".into()))?;
         let envelope = ObjectEnvelope::from_string(&text)?;
-        let peer = self.peers.get_mut(&at).ok_or(TransportError::UnknownPeer(at))?;
+        let peer = self
+            .peers
+            .get_mut(&at)
+            .ok_or(TransportError::UnknownPeer(at))?;
         peer.stats.objects_received += 1;
         peer.next_seq += 1;
         let seq = peer.next_seq;
@@ -275,16 +420,25 @@ impl Swarm {
     /// Index of a pending exchange by its sequence number (pendings move
     /// as others complete, so stable seqs are the only safe key).
     fn pending_idx(&self, at: PeerId, seq: u64) -> Option<usize> {
-        self.peers.get(&at)?.pending.iter().position(|p| p.seq == seq)
+        self.peers
+            .get(&at)?
+            .pending
+            .iter()
+            .position(|p| p.seq == seq)
     }
 
     /// Pushes one pending exchange as far as it can go without more
     /// network input; issues requests when blocked.
     fn advance(&mut self, at: PeerId, seq: u64) -> Result<()> {
-        let Some(idx) = self.pending_idx(at, seq) else { return Ok(()) };
+        let Some(idx) = self.pending_idx(at, seq) else {
+            return Ok(());
+        };
         // Stage 1: root type description (steps 2-3 of Figure 1).
         let (root_known, from, desc_paths): (bool, PeerId, Vec<(String, String)>) = {
-            let peer = self.peers.get_mut(&at).ok_or(TransportError::UnknownPeer(at))?;
+            let peer = self
+                .peers
+                .get_mut(&at)
+                .ok_or(TransportError::UnknownPeer(at))?;
             let p = &peer.pending[idx];
             let root_known =
                 p.envelope.type_guid.is_nil() || peer.knows_description(p.envelope.type_guid);
@@ -298,20 +452,38 @@ impl Swarm {
         };
 
         if !root_known {
-            // Request every listed description not yet requested.
+            // Request every listed description not yet requested. A path
+            // whose response was already consumed (by an earlier
+            // exchange) will never be answered again, so it must not be
+            // awaited — only in-flight or fresh requests can unblock us.
             let mut to_request = Vec::new();
-            {
+            let all_answered = {
                 let peer = self.peers.get_mut(&at).expect("checked");
                 for (desc_path, _) in &desc_paths {
+                    if peer.received_descs.contains(desc_path) {
+                        continue;
+                    }
                     if peer.requested_descs.insert(desc_path.clone()) {
                         to_request.push(desc_path.clone());
                         peer.stats.desc_requests += 1;
                     }
                     peer.pending[idx].awaiting_descs.insert(desc_path.clone());
                 }
+                peer.pending[idx].awaiting_descs.is_empty()
+            };
+            if all_answered {
+                // Every listed description arrived earlier and still does
+                // not cover the root type: the envelope is unservable.
+                let peer = self.peers.get_mut(&at).expect("checked");
+                let p = peer.pending.remove(idx);
+                return Err(TransportError::Protocol(format!(
+                    "no listed assembly describes root type `{}`",
+                    p.envelope.type_name
+                )));
             }
             for path in to_request {
-                self.net.send(at, from, kinds::DESC_REQUEST, path.into_bytes())?;
+                self.net
+                    .send(at, from, kinds::DESC_REQUEST, path.into_bytes())?;
             }
             // If nothing was newly requested but we're still waiting, a
             // response is already in flight for another pending object.
@@ -350,7 +522,10 @@ impl Swarm {
                         // Step 3 failed: reject, never download code.
                         let p = peer.pending.remove(idx);
                         let type_name = p.envelope.type_name.clone();
-                        peer.push_delivery(Delivery::Rejected { from: p.from, type_name });
+                        peer.push_delivery(Delivery::Rejected {
+                            from: p.from,
+                            type_name,
+                        });
                         return Ok(());
                     }
                 }
@@ -387,7 +562,8 @@ impl Swarm {
                 }
             }
             for path in to_request {
-                self.net.send(at, from, kinds::ASM_REQUEST, path.into_bytes())?;
+                self.net
+                    .send(at, from, kinds::ASM_REQUEST, path.into_bytes())?;
             }
             return Ok(());
         }
@@ -397,8 +573,13 @@ impl Swarm {
     }
 
     fn finalize(&mut self, at: PeerId, seq: u64) -> Result<()> {
-        let Some(idx) = self.pending_idx(at, seq) else { return Ok(()) };
-        let peer = self.peers.get_mut(&at).ok_or(TransportError::UnknownPeer(at))?;
+        let Some(idx) = self.pending_idx(at, seq) else {
+            return Ok(());
+        };
+        let peer = self
+            .peers
+            .get_mut(&at)
+            .ok_or(TransportError::UnknownPeer(at))?;
         let p = peer.pending.remove(idx);
         let value = peer.materialize(&p.envelope)?;
         let proxy = match (&p.matched, &value) {
@@ -416,11 +597,18 @@ impl Swarm {
             _ => None,
         };
         let interest = p.matched.as_ref().map(|d| d.name.clone());
-        peer.push_delivery(Delivery::Accepted { from: p.from, value, interest, proxy });
+        let interest_guid = p.matched.as_ref().map(|d| d.guid);
+        peer.push_delivery(Delivery::Accepted {
+            from: p.from,
+            value,
+            interest,
+            interest_guid,
+            proxy,
+        });
         Ok(())
     }
 
-    fn on_desc_request(&mut self, at: PeerId, msg: Message) -> Result<()> {
+    fn on_desc_request(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
         let path = String::from_utf8(msg.payload)
             .map_err(|_| TransportError::Protocol("desc path not utf8".into()))?;
         let peer = self.peers.get(&at).ok_or(TransportError::UnknownPeer(at))?;
@@ -428,12 +616,16 @@ impl Swarm {
             .published_by_desc_path(&path)
             .ok_or_else(|| TransportError::UnknownPath(path.clone()))?;
         let doc = descriptions_document(&published.descriptions, &path);
-        self.net
-            .send(at, msg.from, kinds::DESC_RESPONSE, doc.to_compact().into_bytes())?;
+        self.net.send(
+            at,
+            msg.from,
+            kinds::DESC_RESPONSE,
+            doc.to_compact().into_bytes(),
+        )?;
         Ok(())
     }
 
-    fn on_desc_response(&mut self, at: PeerId, msg: Message) -> Result<()> {
+    fn on_desc_response(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
         let text = String::from_utf8(msg.payload)
             .map_err(|_| TransportError::Protocol("desc response not utf8".into()))?;
         let doc = pti_xml::parse(&text).map_err(pti_serialize::SerializeError::from)?;
@@ -441,7 +633,11 @@ impl Swarm {
             .get_attr("path")
             .ok_or_else(|| TransportError::Protocol("desc response missing path".into()))?
             .to_string();
-        let peer = self.peers.get_mut(&at).ok_or(TransportError::UnknownPeer(at))?;
+        let peer = self
+            .peers
+            .get_mut(&at)
+            .ok_or(TransportError::UnknownPeer(at))?;
+        peer.received_descs.insert(path.clone());
         for child in doc.find_all("typeDescription") {
             peer.cache_description(description_from_xml(child)?);
         }
@@ -460,7 +656,7 @@ impl Swarm {
         Ok(())
     }
 
-    fn on_asm_request(&mut self, at: PeerId, msg: Message) -> Result<()> {
+    fn on_asm_request(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
         let path = String::from_utf8(msg.payload)
             .map_err(|_| TransportError::Protocol("asm path not utf8".into()))?;
         let peer = self.peers.get(&at).ok_or(TransportError::UnknownPeer(at))?;
@@ -478,7 +674,7 @@ impl Swarm {
         Ok(())
     }
 
-    fn on_asm_response(&mut self, at: PeerId, msg: Message) -> Result<()> {
+    fn on_asm_response(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
         let nl = msg
             .payload
             .iter()
@@ -491,9 +687,11 @@ impl Swarm {
         let assembly = self
             .code
             .get(&path)
-            .cloned()
             .ok_or_else(|| TransportError::UnknownPath(path.clone()))?;
-        let peer = self.peers.get_mut(&at).ok_or(TransportError::UnknownPeer(at))?;
+        let peer = self
+            .peers
+            .get_mut(&at)
+            .ok_or(TransportError::UnknownPeer(at))?;
         assembly.install(&mut peer.runtime)?;
         let hash = assembly.content_hash();
         peer.mark_installed(&path, hash);
@@ -513,7 +711,7 @@ impl Swarm {
         Ok(())
     }
 
-    fn on_eager_object(&mut self, at: PeerId, msg: Message) -> Result<()> {
+    fn on_eager_object(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
         let cut = msg
             .payload
             .iter()
@@ -529,11 +727,13 @@ impl Swarm {
             .map(|a| {
                 self.code
                     .get(&a.assembly_path)
-                    .cloned()
                     .ok_or_else(|| TransportError::UnknownPath(a.assembly_path.clone()))
             })
             .collect::<Result<_>>()?;
-        let peer = self.peers.get_mut(&at).ok_or(TransportError::UnknownPeer(at))?;
+        let peer = self
+            .peers
+            .get_mut(&at)
+            .ok_or(TransportError::UnknownPeer(at))?;
         peer.stats.objects_received += 1;
         for (aref, asm) in envelope.assemblies.iter().zip(assemblies) {
             asm.install(&mut peer.runtime)?;
@@ -558,8 +758,15 @@ impl Swarm {
             }
             _ => None,
         };
+        let interest_guid = matched.as_ref().map(|(d, _)| d.guid);
         let interest = matched.map(|(d, _)| d.name.clone());
-        peer.push_delivery(Delivery::Accepted { from: msg.from, value, interest, proxy });
+        peer.push_delivery(Delivery::Accepted {
+            from: msg.from,
+            value,
+            interest,
+            interest_guid,
+            proxy,
+        });
         Ok(())
     }
 }

@@ -12,7 +12,11 @@ fn person_assembly(salt: &str, get: &str, set: &str) -> (Assembly, TypeDef) {
     let def = TypeDef::class("Person", salt)
         .field("name", primitives::STRING)
         .method(get, vec![], primitives::STRING)
-        .method(set, vec![ParamDef::new("n", primitives::STRING)], primitives::VOID)
+        .method(
+            set,
+            vec![ParamDef::new("n", primitives::STRING)],
+            primitives::VOID,
+        )
         .ctor(vec![])
         .build();
     let g = def.guid;
@@ -56,7 +60,9 @@ fn fixture() -> Fixture {
     swarm.publish(alice, asm_a).unwrap();
     let (asm_b, def_b) = person_assembly("vendor-b", "getPersonName", "setPersonName");
     swarm.publish(bob, asm_b).unwrap();
-    swarm.peer_mut(bob).subscribe(TypeDescription::from_def(&def_b));
+    swarm
+        .peer_mut(bob)
+        .subscribe(TypeDescription::from_def(&def_b));
     Fixture { swarm, alice, bob }
 }
 
@@ -69,14 +75,26 @@ fn make_person(swarm: &mut Swarm, peer: pti_net::PeerId, name: &str) -> Value {
 
 #[test]
 fn full_optimistic_exchange_with_proxy() {
-    let Fixture { mut swarm, alice, bob } = fixture();
+    let Fixture {
+        mut swarm,
+        alice,
+        bob,
+    } = fixture();
     let v = make_person(&mut swarm, alice, "ada");
-    swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &v, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
 
     let deliveries = swarm.peer_mut(bob).take_deliveries();
     assert_eq!(deliveries.len(), 1);
-    let Delivery::Accepted { interest, proxy, value, .. } = &deliveries[0] else {
+    let Delivery::Accepted {
+        interest,
+        proxy,
+        value,
+        ..
+    } = &deliveries[0]
+    else {
         panic!("expected acceptance, got {deliveries:?}");
     };
     assert_eq!(interest.as_ref().unwrap().full(), "Person");
@@ -91,9 +109,15 @@ fn full_optimistic_exchange_with_proxy() {
 
 #[test]
 fn protocol_fetches_description_then_code() {
-    let Fixture { mut swarm, alice, bob } = fixture();
+    let Fixture {
+        mut swarm,
+        alice,
+        bob,
+    } = fixture();
     let v = make_person(&mut swarm, alice, "x");
-    swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &v, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let m = swarm.net().metrics();
     assert_eq!(m.kind(kinds::OBJECT).messages, 1);
@@ -109,18 +133,30 @@ fn protocol_fetches_description_then_code() {
 
 #[test]
 fn second_object_of_same_type_skips_all_fetches() {
-    let Fixture { mut swarm, alice, bob } = fixture();
+    let Fixture {
+        mut swarm,
+        alice,
+        bob,
+    } = fixture();
     let v1 = make_person(&mut swarm, alice, "first");
-    swarm.send_object(alice, bob, &v1, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &v1, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     swarm.reset_metrics();
 
     let v2 = make_person(&mut swarm, alice, "second");
-    swarm.send_object(alice, bob, &v2, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &v2, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let m = swarm.net().metrics();
     assert_eq!(m.kind(kinds::OBJECT).messages, 1);
-    assert_eq!(m.kind(kinds::DESC_REQUEST).messages, 0, "description cached");
+    assert_eq!(
+        m.kind(kinds::DESC_REQUEST).messages,
+        0,
+        "description cached"
+    );
     assert_eq!(m.kind(kinds::ASM_REQUEST).messages, 0, "code installed");
     let ds = swarm.peer_mut(bob).take_deliveries();
     assert_eq!(ds.len(), 2);
@@ -129,19 +165,31 @@ fn second_object_of_same_type_skips_all_fetches() {
 
 #[test]
 fn nonconformant_object_rejected_without_code_download() {
-    let Fixture { mut swarm, alice, bob } = fixture();
+    let Fixture {
+        mut swarm,
+        alice,
+        bob,
+    } = fixture();
     let (alien_asm, _) = alien_assembly();
     swarm.publish(alice, alien_asm).unwrap();
     let rt = &mut swarm.peer_mut(alice).runtime;
     let ship = rt.instantiate(&"Spaceship".into(), &[]).unwrap();
-    swarm.send_object(alice, bob, &Value::Obj(ship), PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &Value::Obj(ship), PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
 
     let ds = swarm.peer_mut(bob).take_deliveries();
     assert_eq!(ds.len(), 1);
-    assert!(matches!(&ds[0], Delivery::Rejected { type_name, .. } if type_name.full() == "Spaceship"));
+    assert!(
+        matches!(&ds[0], Delivery::Rejected { type_name, .. } if type_name.full() == "Spaceship")
+    );
     let m = swarm.net().metrics();
-    assert_eq!(m.kind(kinds::DESC_REQUEST).messages, 1, "description was fetched");
+    assert_eq!(
+        m.kind(kinds::DESC_REQUEST).messages,
+        1,
+        "description was fetched"
+    );
     assert_eq!(
         m.kind(kinds::ASM_REQUEST).messages,
         0,
@@ -152,11 +200,19 @@ fn nonconformant_object_rejected_without_code_download() {
 
 #[test]
 fn eager_baseline_ships_everything_every_time() {
-    let Fixture { mut swarm, alice, bob } = fixture();
+    let Fixture {
+        mut swarm,
+        alice,
+        bob,
+    } = fixture();
     let v1 = make_person(&mut swarm, alice, "a");
     let v2 = make_person(&mut swarm, alice, "b");
-    swarm.send_object_eager(alice, bob, &v1, PayloadFormat::Binary).unwrap();
-    swarm.send_object_eager(alice, bob, &v2, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object_eager(alice, bob, &v1, PayloadFormat::Binary)
+        .unwrap();
+    swarm
+        .send_object_eager(alice, bob, &v2, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let ds = swarm.peer_mut(bob).take_deliveries();
     assert_eq!(ds.len(), 2);
@@ -164,12 +220,20 @@ fn eager_baseline_ships_everything_every_time() {
     let eager_bytes = swarm.net().metrics().kind(kinds::EAGER_OBJECT).bytes;
 
     // The same two transfers under the optimistic protocol.
-    let Fixture { mut swarm, alice, bob } = fixture();
+    let Fixture {
+        mut swarm,
+        alice,
+        bob,
+    } = fixture();
     let v1 = make_person(&mut swarm, alice, "a");
     let v2 = make_person(&mut swarm, alice, "b");
-    swarm.send_object(alice, bob, &v1, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &v1, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
-    swarm.send_object(alice, bob, &v2, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &v2, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let optimistic_bytes = swarm.net().metrics().bytes;
 
@@ -181,12 +245,23 @@ fn eager_baseline_ships_everything_every_time() {
 
 #[test]
 fn eager_proxy_still_translates() {
-    let Fixture { mut swarm, alice, bob } = fixture();
+    let Fixture {
+        mut swarm,
+        alice,
+        bob,
+    } = fixture();
     let v = make_person(&mut swarm, alice, "greta");
-    swarm.send_object_eager(alice, bob, &v, PayloadFormat::Soap).unwrap();
+    swarm
+        .send_object_eager(alice, bob, &v, PayloadFormat::Soap)
+        .unwrap();
     swarm.run().unwrap();
     let ds = swarm.peer_mut(bob).take_deliveries();
-    let Delivery::Accepted { proxy: Some(proxy), .. } = &ds[0] else { panic!() };
+    let Delivery::Accepted {
+        proxy: Some(proxy), ..
+    } = &ds[0]
+    else {
+        panic!()
+    };
     let got = proxy
         .invoke(&mut swarm.peer_mut(bob).runtime, "getPersonName", &[])
         .unwrap();
@@ -196,7 +271,11 @@ fn eager_proxy_still_translates() {
 #[test]
 fn soap_and_binary_payloads_both_work() {
     for format in [PayloadFormat::Soap, PayloadFormat::Binary] {
-        let Fixture { mut swarm, alice, bob } = fixture();
+        let Fixture {
+            mut swarm,
+            alice,
+            bob,
+        } = fixture();
         let v = make_person(&mut swarm, alice, "f");
         swarm.send_object(alice, bob, &v, format).unwrap();
         swarm.run().unwrap();
@@ -207,13 +286,24 @@ fn soap_and_binary_payloads_both_work() {
 
 #[test]
 fn primitive_values_accepted_without_protocol_rounds() {
-    let Fixture { mut swarm, alice, bob } = fixture();
+    let Fixture {
+        mut swarm,
+        alice,
+        bob,
+    } = fixture();
     swarm
-        .send_object(alice, bob, &Value::Array(vec![Value::I32(1), Value::Str("two".into())]), PayloadFormat::Binary)
+        .send_object(
+            alice,
+            bob,
+            &Value::Array(vec![Value::I32(1), Value::Str("two".into())]),
+            PayloadFormat::Binary,
+        )
         .unwrap();
     swarm.run().unwrap();
     let ds = swarm.peer_mut(bob).take_deliveries();
-    let Delivery::Accepted { value, proxy, .. } = &ds[0] else { panic!() };
+    let Delivery::Accepted { value, proxy, .. } = &ds[0] else {
+        panic!()
+    };
     assert!(proxy.is_none());
     assert_eq!(value.as_array().unwrap().len(), 2);
     assert_eq!(swarm.net().metrics().kind(kinds::DESC_REQUEST).messages, 0);
@@ -262,40 +352,60 @@ fn nested_multi_assembly_object_travels_whole() {
         .field("home", "Address")
         .method("getName", vec![], primitives::STRING)
         .build();
-    let bob_addr = TypeDef::class("Address", "bob").field("street", primitives::STRING).build();
+    let bob_addr = TypeDef::class("Address", "bob")
+        .field("street", primitives::STRING)
+        .build();
     swarm.peer_mut(bob).runtime.register_type(bob_addr).unwrap();
-    swarm.peer_mut(bob).subscribe(TypeDescription::from_def(&bob_person));
+    swarm
+        .peer_mut(bob)
+        .subscribe(TypeDescription::from_def(&bob_person));
 
     let rt = &mut swarm.peer_mut(alice).runtime;
     let ah = rt.instantiate(&"Address".into(), &[]).unwrap();
-    rt.set_field(ah, "street", Value::from("Main St 1")).unwrap();
+    rt.set_field(ah, "street", Value::from("Main St 1"))
+        .unwrap();
     let ph = rt.instantiate(&"Person".into(), &[]).unwrap();
     rt.set_field(ph, "name", Value::from("ada")).unwrap();
     rt.set_field(ph, "home", Value::Obj(ah)).unwrap();
 
-    swarm.send_object(alice, bob, &Value::Obj(ph), PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &Value::Obj(ph), PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
 
     let ds = swarm.peer_mut(bob).take_deliveries();
-    let Delivery::Accepted { value, .. } = &ds[0] else { panic!("{ds:?}") };
+    let Delivery::Accepted { value, .. } = &ds[0] else {
+        panic!("{ds:?}")
+    };
     let h = value.as_obj().unwrap();
     let rt = &mut swarm.peer_mut(bob).runtime;
     let home = rt.get_field(h, "home").unwrap().as_obj().unwrap();
-    assert_eq!(rt.get_field(home, "street").unwrap().as_str().unwrap(), "Main St 1");
+    assert_eq!(
+        rt.get_field(home, "street").unwrap().as_str().unwrap(),
+        "Main St 1"
+    );
     // Both assemblies were fetched.
     assert_eq!(swarm.net().metrics().kind(kinds::ASM_REQUEST).messages, 2);
 }
 
 #[test]
 fn virtual_time_advances_more_for_protocol_rounds() {
-    let Fixture { mut swarm, alice, bob } = fixture();
+    let Fixture {
+        mut swarm,
+        alice,
+        bob,
+    } = fixture();
     let v = make_person(&mut swarm, alice, "t");
-    swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &v, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let t_first = swarm.net().now_us();
     assert!(t_first > 0);
     let v2 = make_person(&mut swarm, alice, "t2");
-    swarm.send_object(alice, bob, &v2, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &v2, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let t_second = swarm.net().now_us() - t_first;
     assert!(
@@ -314,15 +424,31 @@ fn known_type_without_interest_is_accepted_raw() {
     swarm.publish(alice, asm.clone()).unwrap();
     swarm.publish(bob, asm).unwrap();
     let v = make_person(&mut swarm, alice, "raw");
-    swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &v, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let ds = swarm.peer_mut(bob).take_deliveries();
-    let Delivery::Accepted { interest, proxy, value, .. } = &ds[0] else { panic!() };
+    let Delivery::Accepted {
+        interest,
+        proxy,
+        value,
+        ..
+    } = &ds[0]
+    else {
+        panic!()
+    };
     assert!(interest.is_none());
     assert!(proxy.is_none());
     let h = value.as_obj().unwrap();
     assert_eq!(
-        swarm.peer_mut(bob).runtime.invoke(h, "getName", &[]).unwrap().as_str().unwrap(),
+        swarm
+            .peer_mut(bob)
+            .runtime
+            .invoke(h, "getName", &[])
+            .unwrap()
+            .as_str()
+            .unwrap(),
         "raw"
     );
 }
@@ -335,7 +461,9 @@ fn unknown_type_without_interest_is_rejected() {
     let (asm, _) = person_assembly("only-alice", "getName", "setName");
     swarm.publish(alice, asm).unwrap();
     let v = make_person(&mut swarm, alice, "n");
-    swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &v, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let ds = swarm.peer_mut(bob).take_deliveries();
     assert!(matches!(ds[0], Delivery::Rejected { .. }));
@@ -349,7 +477,9 @@ fn many_types_many_objects_mixed_verdicts() {
     // Bob subscribes to Person only.
     let (asm_b, def_b) = person_assembly("bob", "getName", "setName");
     swarm.publish(bob, asm_b).unwrap();
-    swarm.peer_mut(bob).subscribe(TypeDescription::from_def(&def_b));
+    swarm
+        .peer_mut(bob)
+        .subscribe(TypeDescription::from_def(&def_b));
     // Alice publishes Person and Spaceship, sends a mix.
     let (asm_a, _) = person_assembly("alice", "getPersonName", "setPersonName");
     let (ship_asm, _) = alien_assembly();
@@ -362,7 +492,9 @@ fn many_types_many_objects_mixed_verdicts() {
         } else {
             make_person(&mut swarm, alice, &format!("p{i}"))
         };
-        swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+        swarm
+            .send_object(alice, bob, &v, PayloadFormat::Binary)
+            .unwrap();
     }
     swarm.run().unwrap();
     let ds = swarm.peer_mut(bob).take_deliveries();
@@ -371,4 +503,141 @@ fn many_types_many_objects_mixed_verdicts() {
     assert_eq!(accepted, 4, "4 Persons accepted, 2 Spaceships rejected");
     // Spaceship's code never crossed the wire.
     assert_eq!(swarm.net().metrics().kind(kinds::ASM_REQUEST).messages, 1);
+}
+
+/// Regression: an exchange whose envelope lists a description path that
+/// was already fetched *and consumed* by an earlier exchange must not
+/// wait for a second response that will never come.
+#[test]
+fn second_exchange_reusing_a_consumed_description_path_completes() {
+    let mut swarm = Swarm::new(NetConfig::default());
+    let alice = swarm.add_peer(ConformanceConfig::pragmatic());
+    let bob = swarm.add_peer(ConformanceConfig::pragmatic());
+
+    // Two assemblies at Alice: Address alone, and a Person whose `home`
+    // field references Address (so a Person envelope lists both paths).
+    let address = TypeDef::class("Address", "alice")
+        .field("street", primitives::STRING)
+        .ctor(vec![])
+        .build();
+    let (ag,) = (address.guid,);
+    let addr_asm = Assembly::builder("alice-address")
+        .ty(address.clone())
+        .ctor_body(ag, 0, bodies::ctor_assign(&[]))
+        .build();
+    let person = TypeDef::class("Person", "alice")
+        .field("name", primitives::STRING)
+        .field("home", "Address")
+        .method("getName", vec![], primitives::STRING)
+        .ctor(vec![])
+        .build();
+    let pg = person.guid;
+    let person_asm = Assembly::builder("alice-person")
+        .ty(person.clone())
+        .body(pg, "getName", 0, bodies::getter("name"))
+        .ctor_body(pg, 0, bodies::ctor_assign(&[]))
+        .build();
+    swarm.publish(alice, addr_asm).unwrap();
+    swarm.publish(alice, person_asm).unwrap();
+
+    // Bob's interest covers Person only; he rejects the bare Address —
+    // but that first exchange downloads (and consumes) the Address
+    // description response.
+    let bob_person = TypeDef::class("Person", "bob")
+        .field("name", primitives::STRING)
+        .field("home", "Address")
+        .method("getName", vec![], primitives::STRING)
+        .build();
+    swarm
+        .peer_mut(bob)
+        .subscribe(TypeDescription::from_def(&bob_person));
+    let bob_address = TypeDef::class("Address", "bob")
+        .field("street", primitives::STRING)
+        .build();
+    swarm
+        .peer_mut(bob)
+        .subscribe(TypeDescription::from_def(&bob_address));
+
+    // Exchange 1: a bare Address object (Bob accepts it and caches the
+    // Address description).
+    let ah = swarm
+        .peer_mut(alice)
+        .runtime
+        .instantiate(&"Address".into(), &[])
+        .unwrap();
+    swarm
+        .send_object(alice, bob, &Value::Obj(ah), PayloadFormat::Binary)
+        .unwrap();
+    swarm.run().unwrap();
+    assert_eq!(swarm.peer_mut(bob).take_deliveries().len(), 1);
+
+    // Exchange 2: a Person holding an Address — its envelope lists the
+    // Address description path again, whose response was already
+    // consumed above. The exchange must still complete.
+    let ph = swarm
+        .peer_mut(alice)
+        .runtime
+        .instantiate(&"Person".into(), &[])
+        .unwrap();
+    let ah2 = swarm
+        .peer_mut(alice)
+        .runtime
+        .instantiate(&"Address".into(), &[])
+        .unwrap();
+    swarm
+        .peer_mut(alice)
+        .runtime
+        .set_field(ph, "home", Value::Obj(ah2))
+        .unwrap();
+    swarm
+        .peer_mut(alice)
+        .runtime
+        .set_field(ph, "name", Value::from("nested"))
+        .unwrap();
+    swarm
+        .send_object(alice, bob, &Value::Obj(ph), PayloadFormat::Binary)
+        .unwrap();
+    swarm.run().unwrap();
+
+    let ds = swarm.peer_mut(bob).take_deliveries();
+    assert_eq!(
+        ds.len(),
+        1,
+        "the nested Person must be delivered, not stuck"
+    );
+    let Delivery::Accepted {
+        proxy: Some(proxy), ..
+    } = &ds[0]
+    else {
+        panic!("expected an accepted Person, got {ds:?}");
+    };
+    assert_eq!(
+        proxy
+            .invoke(&mut swarm.peer_mut(bob).runtime, "getName", &[])
+            .unwrap()
+            .as_str()
+            .unwrap(),
+        "nested"
+    );
+}
+
+/// A budget of N delivers exactly N messages; the N+1th poll errors
+/// without popping (the message stays on the transport).
+#[test]
+fn message_budget_delivers_exactly_n() {
+    let mut swarm = Swarm::new(NetConfig::default());
+    let alice = swarm.add_peer(ConformanceConfig::pragmatic());
+    let bob = swarm.add_peer(ConformanceConfig::pragmatic());
+    for _ in 0..3 {
+        swarm.send_raw(alice, bob, "object", vec![]).unwrap();
+    }
+    swarm.set_message_budget(2);
+    assert!(swarm.poll_message().unwrap().is_some());
+    assert!(swarm.poll_message().unwrap().is_some());
+    let err = swarm.poll_message().unwrap_err();
+    assert!(err.to_string().contains("budget"), "{err}");
+    // The undelivered message is still queued, not silently dropped.
+    swarm.set_message_budget(10);
+    assert!(swarm.poll_message().unwrap().is_some());
+    assert!(swarm.poll_message().unwrap().is_none(), "drained");
 }

@@ -32,7 +32,11 @@ pub struct ParseError {
 
 impl fmt::Display for ParseError {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "XML parse error at {}:{}: {}", self.line, self.column, self.message)
+        write!(
+            f,
+            "XML parse error at {}:{}: {}",
+            self.line, self.column, self.message
+        )
     }
 }
 
@@ -53,7 +57,11 @@ impl std::error::Error for ParseError {}
 /// # Ok::<(), pti_xml::ParseError>(())
 /// ```
 pub fn parse(input: &str) -> Result<Element, ParseError> {
-    let mut p = Parser { input, bytes: input.as_bytes(), pos: 0 };
+    let mut p = Parser {
+        input,
+        bytes: input.as_bytes(),
+        pos: 0,
+    };
     p.skip_prolog()?;
     let root = p.parse_element()?;
     p.skip_misc();
@@ -82,7 +90,11 @@ impl Parser<'_> {
                 column += 1;
             }
         }
-        ParseError { message: message.into(), line, column }
+        ParseError {
+            message: message.into(),
+            line,
+            column,
+        }
     }
 
     #[inline]
@@ -228,9 +240,7 @@ impl Parser<'_> {
         // Children until the matching end tag.
         loop {
             match self.peek() {
-                None => {
-                    return Err(self.err(format!("unexpected end of input inside `<{name}>`")))
-                }
+                None => return Err(self.err(format!("unexpected end of input inside `<{name}>`"))),
                 Some(b'<') => {
                     if self.starts_with("</") {
                         self.pos += 2;

@@ -37,7 +37,11 @@ pub struct Element {
 impl Element {
     /// Creates an empty element with the given tag name.
     pub fn new(name: impl Into<String>) -> Element {
-        Element { name: name.into(), attributes: Vec::new(), children: Vec::new() }
+        Element {
+            name: name.into(),
+            attributes: Vec::new(),
+            children: Vec::new(),
+        }
     }
 
     /// Adds an attribute (builder style).

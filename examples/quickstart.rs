@@ -1,11 +1,13 @@
-//! Quickstart: the paper's Section 3.1 scenario, end to end.
+//! Quickstart: the paper's Section 3.1 scenario, end to end, on the
+//! typed session API.
 //!
 //! Two programmers independently implement the same logical `Person`
 //! module — one with `getName`/`setName`, the other with
-//! `getPersonName`/`setPersonName`. Alice sends her object to Bob; the
-//! optimistic protocol fetches the description, the conformance rules
-//! match it against Bob's own Person type, the code is downloaded, and
-//! Bob uses the object through a dynamic proxy speaking *his* contract.
+//! `getPersonName`/`setPersonName`. Alice publishes her type and emits
+//! an event; the optimistic protocol fetches the description, the
+//! conformance rules match it against Bob's own Person type, the code is
+//! downloaded, and Bob uses the object through his subscription — which
+//! speaks *his* contract.
 //!
 //! Run with: `cargo run --example quickstart`
 
@@ -13,50 +15,49 @@ use pti_core::prelude::*;
 use pti_core::samples;
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    // A two-peer swarm on a simulated LAN.
-    let mut swarm = Swarm::new(NetConfig::default());
-    let alice = swarm.add_peer(ConformanceConfig::pragmatic());
-    let bob = swarm.add_peer(ConformanceConfig::pragmatic());
+    // A two-member group on a simulated LAN.
+    let tps = TypedPubSub::builder()
+        .net(NetConfig::default())
+        .default_conformance(ConformanceConfig::pragmatic())
+        .build();
+    let alice = tps.add_member();
+    let bob = tps.add_member();
 
-    // Alice publishes vendor A's Person implementation.
+    // Alice publishes vendor A's Person implementation and gets a typed
+    // publisher back.
     let a_def = samples::person_vendor_a();
-    swarm.publish(alice, samples::person_assembly(&a_def))?;
+    let people = alice.publisher_for(samples::person_assembly(&a_def))?;
     println!("alice published {} ({})", a_def.name, a_def.guid);
 
     // Bob knows only vendor B's Person and subscribes to it.
     let b_def = samples::person_vendor_b();
-    swarm.publish(bob, samples::person_assembly(&b_def))?;
-    swarm.peer_mut(bob).subscribe(TypeDescription::from_def(&b_def));
+    let sub = bob.subscribe(TypeDescription::from_def(&b_def));
     println!("bob   subscribed to {} ({})", b_def.name, b_def.guid);
 
-    // Alice ships an object by value.
-    let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, "Ada Lovelace");
-    swarm.send_object(alice, bob, &v, PayloadFormat::Binary)?;
-    swarm.run()?;
+    // Alice ships an object by value — no envelopes, no runtime access.
+    people.publish_with(|p| {
+        p.set("name", "Ada Lovelace")?;
+        Ok(())
+    })?;
+    tps.run()?;
 
-    // Bob received it, conformance-checked, downloaded the code, and got
-    // a proxy exposing *his* method names.
-    let deliveries = swarm.peer_mut(bob).take_deliveries();
-    let Delivery::Accepted { interest, proxy: Some(proxy), .. } = &deliveries[0] else {
-        panic!("expected an accepted delivery, got {deliveries:?}");
-    };
+    // Bob received it, conformance-checked, downloaded the code, and the
+    // subscription exposes *his* method names.
+    let events = sub.drain();
+    let event = events.first().expect("one accepted event");
     println!(
         "bob   accepted an object matching interest {:?}",
-        interest.as_ref().unwrap().full()
+        event.interest.full()
     );
 
-    let name = proxy.invoke(&mut swarm.peer_mut(bob).runtime, "getPersonName", &[])?;
+    let name = sub.invoke(event, "getPersonName", &[])?;
     println!("bob   calls getPersonName() -> {name}");
-    proxy.invoke(
-        &mut swarm.peer_mut(bob).runtime,
-        "setPersonName",
-        &[Value::from("Grace Hopper")],
-    )?;
-    let renamed = proxy.invoke(&mut swarm.peer_mut(bob).runtime, "getPersonName", &[])?;
+    sub.invoke(event, "setPersonName", &[Value::from("Grace Hopper")])?;
+    let renamed = sub.invoke(event, "getPersonName", &[])?;
     println!("bob   after setPersonName(): {renamed}");
 
     // The protocol's traffic, for the curious.
-    let m = swarm.net().metrics();
+    let m = tps.metrics();
     println!(
         "\nwire: {} messages, {} bytes total (desc fetches: {}, code fetches: {})",
         m.messages,

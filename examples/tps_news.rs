@@ -42,62 +42,61 @@ fn assembly_for(def: &TypeDef, getter_field: &str) -> Assembly {
 }
 
 fn main() -> Result<(), Box<dyn std::error::Error>> {
-    let mut tps = TypedPubSub::new(NetConfig::default());
-    let exchange = tps.add_member(ConformanceConfig::pragmatic());
-    let trader = tps.add_member(ConformanceConfig::pragmatic());
-    let newsroom = tps.add_member(ConformanceConfig::pragmatic());
+    let tps = TypedPubSub::builder()
+        .default_conformance(ConformanceConfig::pragmatic())
+        .payload_format(PayloadFormat::Binary)
+        .build();
+    let exchange = tps.add_member();
+    let trader = tps.add_member();
+    let newsroom = tps.add_member();
 
-    // The exchange publishes quotes and news under its own types.
-    let quote = quote_type("exchange", "getSymbol");
-    let news = news_type("exchange");
-    tps.publish_types(exchange, assembly_for(&quote, "symbol"))?;
-    tps.publish_types(exchange, assembly_for(&news, "headline"))?;
+    // The exchange publishes quotes and news under its own types, with a
+    // typed publisher for each event type.
+    let quotes =
+        exchange.publisher_for(assembly_for(&quote_type("exchange", "getSymbol"), "symbol"))?;
+    let news = exchange.publisher_for(assembly_for(&news_type("exchange"), "headline"))?;
 
     // The trader wrote its own StockQuote with a differently named getter.
-    let trader_quote = quote_type("trader", "getQuoteSymbol");
-    tps.subscribe(trader, TypeDescription::from_def(&trader_quote));
+    let trader_sub = trader.subscribe(TypeDescription::from_def(&quote_type(
+        "trader",
+        "getQuoteSymbol",
+    )));
     // The newsroom wants news only.
-    let newsroom_news = news_type("newsroom");
-    tps.subscribe(newsroom, TypeDescription::from_def(&newsroom_news));
+    let newsroom_sub = newsroom.subscribe(TypeDescription::from_def(&news_type("newsroom")));
 
     // A burst of events.
     for (sym, price) in [("ACME", 42.5), ("GLOBEX", 17.25), ("INITECH", 3.5)] {
-        let rt = &mut tps.member_mut(exchange).runtime;
-        let e = rt.instantiate(&"StockQuote".into(), &[])?;
-        rt.set_field(e, "symbol", Value::from(sym))?;
-        rt.set_field(e, "price", Value::F64(price))?;
-        tps.publish(exchange, &Value::Obj(e), PayloadFormat::Binary)?;
+        quotes.publish_with(|e| {
+            e.set("symbol", sym)?.set("price", price)?;
+            Ok(())
+        })?;
     }
-    {
-        let rt = &mut tps.member_mut(exchange).runtime;
-        let n = rt.instantiate(&"NewsFlash".into(), &[])?;
-        rt.set_field(n, "headline", Value::from("Types now interoperable!"))?;
-        tps.publish(exchange, &Value::Obj(n), PayloadFormat::Binary)?;
-    }
+    news.publish_with(|e| {
+        e.set("headline", "Types now interoperable!")?;
+        Ok(())
+    })?;
     tps.run()?;
 
     // The trader got exactly the quotes, through its own contract.
-    let quotes = tps.notifications(trader);
-    println!("trader received {} quote(s):", quotes.len());
-    for ev in &quotes {
-        let proxy = ev.proxy.as_ref().expect("conformant event has a proxy");
-        let sym = proxy.invoke(&mut tps.member_mut(trader).runtime, "getQuoteSymbol", &[])?;
+    let got_quotes = trader_sub.drain();
+    println!("trader received {} quote(s):", got_quotes.len());
+    for ev in &got_quotes {
+        let sym = trader_sub.invoke(ev, "getQuoteSymbol", &[])?;
         println!("  quote: {sym}");
     }
-    assert_eq!(quotes.len(), 3);
+    assert_eq!(got_quotes.len(), 3);
 
     // The newsroom got exactly the news.
-    let flashes = tps.notifications(newsroom);
+    let flashes = newsroom_sub.drain();
     println!("newsroom received {} flash(es):", flashes.len());
     for ev in &flashes {
-        let proxy = ev.proxy.as_ref().unwrap();
-        let h = proxy.invoke(&mut tps.member_mut(newsroom).runtime, "getHeadline", &[])?;
+        let h = newsroom_sub.invoke(ev, "getHeadline", &[])?;
         println!("  news: {h}");
     }
     assert_eq!(flashes.len(), 1);
 
     // The optimistic protocol never shipped quote code to the newsroom.
-    let newsroom_stats = tps.member(newsroom).stats;
+    let newsroom_stats = newsroom.stats();
     println!(
         "\nnewsroom: {} accepted, {} rejected, {} code download(s)",
         newsroom_stats.accepted, newsroom_stats.rejected, newsroom_stats.asm_requests

@@ -1,5 +1,6 @@
 //! Application-level scenarios combining TPS and borrow/lend — the
-//! paper's Section 8 use cases at integration scale.
+//! paper's Section 8 use cases at integration scale, written against the
+//! typed Publisher/Subscription session API.
 
 use pti_core::prelude::*;
 use pti_core::samples;
@@ -23,72 +24,90 @@ fn quote_assembly(salt: &str, getter: &str) -> (TypeDef, Assembly) {
 
 #[test]
 fn tps_fan_out_to_heterogeneous_subscribers() {
-    let mut tps = TypedPubSub::new(NetConfig::default());
-    let publisher = tps.add_member(ConformanceConfig::pragmatic());
-    let (def, asm) = quote_assembly("pub", "getSymbol");
-    tps.publish_types(publisher, asm).unwrap();
-    let _ = def;
+    let tps = TypedPubSub::builder().build();
+    let publisher = tps.add_member();
+    let (_, asm) = quote_assembly("pub", "getSymbol");
+    let quotes = publisher.publisher_for(asm).unwrap();
 
     // Five subscribers, each with its own independently named view.
-    let getters = ["getSymbol", "getQuoteSymbol", "getSymbolName", "getSymbol", "getStockSymbol"];
+    let getters = [
+        "getSymbol",
+        "getQuoteSymbol",
+        "getSymbolName",
+        "getSymbol",
+        "getStockSymbol",
+    ];
     let mut subs = Vec::new();
     for (i, g) in getters.iter().enumerate() {
-        let id = tps.add_member(ConformanceConfig::pragmatic());
+        let member = tps.add_member();
         let (view, _) = quote_assembly(&format!("sub{i}"), g);
-        tps.subscribe(id, TypeDescription::from_def(&view));
-        subs.push((id, *g));
+        subs.push((member.subscribe(TypeDescription::from_def(&view)), *g));
     }
 
     for i in 0..4 {
-        let rt = &mut tps.member_mut(publisher).runtime;
-        let e = rt.instantiate(&"StockQuote".into(), &[]).unwrap();
-        rt.set_field(e, "symbol", Value::from(format!("S{i}"))).unwrap();
-        tps.publish(publisher, &Value::Obj(e), PayloadFormat::Binary).unwrap();
+        let symbol = format!("S{i}");
+        quotes
+            .publish_with(|e| {
+                e.set("symbol", symbol.as_str())?;
+                Ok(())
+            })
+            .unwrap();
     }
     tps.run().unwrap();
 
-    for (id, getter) in subs {
-        let events = tps.notifications(id);
-        assert_eq!(events.len(), 4, "subscriber {id} got all events");
+    for (sub, getter) in subs {
+        let events = sub.drain();
+        assert_eq!(
+            events.len(),
+            4,
+            "subscriber {:?} got all events",
+            sub.member_id()
+        );
         // Each subscriber reads through its own contract.
-        let proxy = events[0].proxy.as_ref().unwrap();
-        let sym = proxy.invoke(&mut tps.member_mut(id).runtime, getter, &[]).unwrap();
+        let sym = sub.invoke(&events[0], getter, &[]).unwrap();
         assert_eq!(sym.as_str().unwrap(), "S0");
     }
 }
 
 #[test]
 fn tps_subscriber_joining_late_still_interoperates() {
-    let mut tps = TypedPubSub::new(NetConfig::default());
-    let publisher = tps.add_member(ConformanceConfig::pragmatic());
+    let tps = TypedPubSub::builder().build();
+    let publisher = tps.add_member();
     let (_, asm) = quote_assembly("pub", "getSymbol");
-    tps.publish_types(publisher, asm).unwrap();
+    let quotes = publisher.publisher_for(asm).unwrap();
 
-    let early = tps.add_member(ConformanceConfig::pragmatic());
+    let early = tps.add_member();
     let (early_view, _) = quote_assembly("early", "getSymbol");
-    tps.subscribe(early, TypeDescription::from_def(&early_view));
+    let early_sub = early.subscribe(TypeDescription::from_def(&early_view));
 
     // First wave.
-    let rt = &mut tps.member_mut(publisher).runtime;
-    let e = rt.instantiate(&"StockQuote".into(), &[]).unwrap();
-    rt.set_field(e, "symbol", Value::from("WAVE1")).unwrap();
-    tps.publish(publisher, &Value::Obj(e), PayloadFormat::Binary).unwrap();
+    quotes
+        .publish_with(|e| {
+            e.set("symbol", "WAVE1")?;
+            Ok(())
+        })
+        .unwrap();
     tps.run().unwrap();
-    assert_eq!(tps.notifications(early).len(), 1);
+    assert_eq!(early_sub.drain().len(), 1);
 
     // Late joiner with yet another naming convention.
-    let late = tps.add_member(ConformanceConfig::pragmatic());
+    let late = tps.add_member();
     let (late_view, _) = quote_assembly("late", "getTickerSymbol");
-    tps.subscribe(late, TypeDescription::from_def(&late_view));
-    let rt = &mut tps.member_mut(publisher).runtime;
-    let e2 = rt.instantiate(&"StockQuote".into(), &[]).unwrap();
-    rt.set_field(e2, "symbol", Value::from("WAVE2")).unwrap();
-    tps.publish(publisher, &Value::Obj(e2), PayloadFormat::Binary).unwrap();
+    let late_sub = late.subscribe(TypeDescription::from_def(&late_view));
+    quotes
+        .publish_with(|e| {
+            e.set("symbol", "WAVE2")?;
+            Ok(())
+        })
+        .unwrap();
     tps.run().unwrap();
 
-    let late_events = tps.notifications(late);
-    assert_eq!(late_events.len(), 1, "late joiner gets the second wave");
-    assert_eq!(tps.notifications(early).len(), 1);
+    assert_eq!(
+        late_sub.drain().len(),
+        1,
+        "late joiner gets the second wave"
+    );
+    assert_eq!(early_sub.drain().len(), 1);
 }
 
 #[test]
@@ -99,12 +118,26 @@ fn borrow_lend_selects_conforming_resource_among_many() {
 
     // Lender offers a mixed bag: a Person and a StockQuote.
     let person_def = samples::person_vendor_a();
-    market.publish(lender, samples::person_assembly(&person_def)).unwrap();
+    market
+        .publish(lender, samples::person_assembly(&person_def))
+        .unwrap();
     let (_, quote_asm) = quote_assembly("lender", "getSymbol");
     market.publish(lender, quote_asm).unwrap();
-    let p = market.peer_mut(lender).runtime.instantiate(&"Person".into(), &[]).unwrap();
-    market.peer_mut(lender).runtime.set_field(p, "name", Value::from("lent")).unwrap();
-    let q = market.peer_mut(lender).runtime.instantiate(&"StockQuote".into(), &[]).unwrap();
+    let p = market
+        .peer_mut(lender)
+        .runtime
+        .instantiate(&"Person".into(), &[])
+        .unwrap();
+    market
+        .peer_mut(lender)
+        .runtime
+        .set_field(p, "name", Value::from("lent"))
+        .unwrap();
+    let q = market
+        .peer_mut(lender)
+        .runtime
+        .instantiate(&"StockQuote".into(), &[])
+        .unwrap();
     market.lend(lender, p).unwrap();
     market.lend(lender, q).unwrap();
 
@@ -125,25 +158,36 @@ fn tps_and_market_share_a_runtime_model() {
     // An event received via TPS can immediately be lent via the market
     // semantics (both operate on the same peer runtimes) — here we just
     // verify the object materialized by TPS is a first-class local
-    // object.
-    let mut tps = TypedPubSub::new(NetConfig::default());
-    let publisher = tps.add_member(ConformanceConfig::pragmatic());
-    let subscriber = tps.add_member(ConformanceConfig::pragmatic());
+    // object, reachable through the protocol-level escape hatch.
+    let tps = TypedPubSub::builder().build();
+    let publisher = tps.add_member();
+    let subscriber = tps.add_member();
     let (_, asm) = quote_assembly("pub", "getSymbol");
-    tps.publish_types(publisher, asm).unwrap();
+    let quotes = publisher.publisher_for(asm).unwrap();
     let (view, _) = quote_assembly("sub", "getSymbol");
-    tps.subscribe(subscriber, TypeDescription::from_def(&view));
+    let sub = subscriber.subscribe(TypeDescription::from_def(&view));
 
-    let rt = &mut tps.member_mut(publisher).runtime;
-    let e = rt.instantiate(&"StockQuote".into(), &[]).unwrap();
-    rt.set_field(e, "symbol", Value::from("LOCAL")).unwrap();
-    tps.publish(publisher, &Value::Obj(e), PayloadFormat::Binary).unwrap();
+    quotes
+        .publish_with(|e| {
+            e.set("symbol", "LOCAL")?;
+            Ok(())
+        })
+        .unwrap();
     tps.run().unwrap();
 
-    let ev = tps.notifications(subscriber).remove(0);
+    let ev = sub.drain().remove(0);
     let h = ev.value.as_obj().unwrap();
+    let sub_id = subscriber.id();
     // Direct runtime access works — it is a real local object now.
-    let rt = &mut tps.member_mut(subscriber).runtime;
-    assert_eq!(rt.get_field(h, "symbol").unwrap().as_str().unwrap(), "LOCAL");
-    assert_eq!(rt.invoke(h, "getSymbol", &[]).unwrap().as_str().unwrap(), "LOCAL");
+    tps.with_swarm(|swarm| {
+        let rt = &mut swarm.peer_mut(sub_id).runtime;
+        assert_eq!(
+            rt.get_field(h, "symbol").unwrap().as_str().unwrap(),
+            "LOCAL"
+        );
+        assert_eq!(
+            rt.invoke(h, "getSymbol", &[]).unwrap().as_str().unwrap(),
+            "LOCAL"
+        );
+    });
 }

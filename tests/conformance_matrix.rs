@@ -10,8 +10,14 @@ fn run_population(config: ConformanceConfig, seed: u64, count: usize) -> Vec<(Va
     let publisher = swarm.add_peer(config.clone());
     let subscriber = swarm.add_peer(config);
     let interest = samples::sensor_interest("local");
-    swarm.peer_mut(subscriber).runtime.register_type(interest.clone()).unwrap();
-    swarm.peer_mut(subscriber).subscribe(TypeDescription::from_def(&interest));
+    swarm
+        .peer_mut(subscriber)
+        .runtime
+        .register_type(interest.clone())
+        .unwrap();
+    swarm
+        .peer_mut(subscriber)
+        .subscribe(TypeDescription::from_def(&interest));
 
     let variants = samples::generate_population(seed, count, 0.5);
     let mut out = Vec::new();
@@ -61,8 +67,14 @@ fn rejected_variants_cost_no_code_downloads() {
     let publisher = swarm.add_peer(ConformanceConfig::pragmatic());
     let subscriber = swarm.add_peer(ConformanceConfig::pragmatic());
     let interest = samples::sensor_interest("local");
-    swarm.peer_mut(subscriber).runtime.register_type(interest.clone()).unwrap();
-    swarm.peer_mut(subscriber).subscribe(TypeDescription::from_def(&interest));
+    swarm
+        .peer_mut(subscriber)
+        .runtime
+        .register_type(interest.clone())
+        .unwrap();
+    swarm
+        .peer_mut(subscriber)
+        .subscribe(TypeDescription::from_def(&interest));
 
     // All-nonconforming population: many descriptions, zero assemblies.
     for v in samples::generate_population(5, 15, 0.0) {
@@ -79,7 +91,10 @@ fn rejected_variants_cost_no_code_downloads() {
     swarm.run().unwrap();
     let stats = swarm.peer(subscriber).stats;
     assert_eq!(stats.rejected, 15);
-    assert_eq!(stats.asm_requests, 0, "the optimistic protocol's whole point");
+    assert_eq!(
+        stats.asm_requests, 0,
+        "the optimistic protocol's whole point"
+    );
     assert!(stats.desc_requests > 0);
 }
 
@@ -88,14 +103,22 @@ fn strict_variance_rejects_paper_accepted_pairs() {
     // A source whose argument types are *narrower* than the interest's:
     // accepted under the paper's covariant reading, rejected by Strict.
     use pti_metamodel::ParamDef;
-    let base_t = TypeDef::class("Payload", "tgt").field("len", primitives::INT32).build();
-    let base_s = TypeDef::class("Payload", "src").field("len", primitives::INT32).build();
+    let base_t = TypeDef::class("Payload", "tgt")
+        .field("len", primitives::INT32)
+        .build();
+    let base_s = TypeDef::class("Payload", "src")
+        .field("len", primitives::INT32)
+        .build();
     let narrow_s = TypeDef::class("Packet", "src")
         .field("len", primitives::INT32)
         .field("crc", primitives::INT32)
         .build();
     let want = TypeDef::class("Channel", "tgt")
-        .method("push", vec![ParamDef::new("p", "Payload")], primitives::VOID)
+        .method(
+            "push",
+            vec![ParamDef::new("p", "Payload")],
+            primitives::VOID,
+        )
         .build();
     let have = TypeDef::class("Channel", "src")
         .method("push", vec![ParamDef::new("p", "Packet")], primitives::VOID)
@@ -130,33 +153,42 @@ fn strict_variance_rejects_paper_accepted_pairs() {
 fn ambiguity_policies_affect_protocol_outcomes() {
     // A source type with two members matching one expected member.
     let interest = TypeDef::class("Logger", "tgt")
-        .method("log", vec![pti_metamodel::ParamDef::new("m", primitives::STRING)], primitives::VOID)
+        .method(
+            "log",
+            vec![pti_metamodel::ParamDef::new("m", primitives::STRING)],
+            primitives::VOID,
+        )
         .build();
     let source = TypeDef::class("Logger", "src")
-        .method("logMessage", vec![pti_metamodel::ParamDef::new("m", primitives::STRING)], primitives::VOID)
-        .method("logMessageWithContext", vec![pti_metamodel::ParamDef::new("m", primitives::STRING)], primitives::VOID)
+        .method(
+            "logMessage",
+            vec![pti_metamodel::ParamDef::new("m", primitives::STRING)],
+            primitives::VOID,
+        )
+        .method(
+            "logMessageWithContext",
+            vec![pti_metamodel::ParamDef::new("m", primitives::STRING)],
+            primitives::VOID,
+        )
         .build();
     let reg = TypeRegistry::with_builtins();
     let sd = TypeDescription::from_def(&source);
     let td = TypeDescription::from_def(&interest);
 
-    let first = ConformanceChecker::new(
-        ConformanceConfig::pragmatic().with_ambiguity(Ambiguity::First),
-    );
+    let first =
+        ConformanceChecker::new(ConformanceConfig::pragmatic().with_ambiguity(Ambiguity::First));
     let got = first.check(&sd, &td, &reg, &reg).unwrap();
     assert_eq!(
         got.binding(&td).method("log", 1).unwrap().actual_name,
         "logMessage"
     );
 
-    let error = ConformanceChecker::new(
-        ConformanceConfig::pragmatic().with_ambiguity(Ambiguity::Error),
-    );
+    let error =
+        ConformanceChecker::new(ConformanceConfig::pragmatic().with_ambiguity(Ambiguity::Error));
     assert!(error.check(&sd, &td, &reg, &reg).is_err());
 
-    let best = ConformanceChecker::new(
-        ConformanceConfig::pragmatic().with_ambiguity(Ambiguity::BestName),
-    );
+    let best =
+        ConformanceChecker::new(ConformanceConfig::pragmatic().with_ambiguity(Ambiguity::BestName));
     assert_eq!(
         best.check(&sd, &td, &reg, &reg)
             .unwrap()
@@ -179,5 +211,8 @@ fn population_statistics_are_reproducible() {
         .into_iter()
         .map(|(_, ok)| ok)
         .collect();
-    assert_eq!(a, b, "same seed, same verdicts — experiments are deterministic");
+    assert_eq!(
+        a, b,
+        "same seed, same verdicts — experiments are deterministic"
+    );
 }

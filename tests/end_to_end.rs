@@ -20,10 +20,14 @@ fn two_vendor_swarm(config: NetConfig) -> (Swarm, PeerId, PeerId) {
 fn paper_motivating_scenario_end_to_end() {
     let (mut swarm, alice, bob) = two_vendor_swarm(NetConfig::default());
     let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, "ada");
-    swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &v, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let ds = swarm.peer_mut(bob).take_deliveries();
-    let Delivery::Accepted { proxy: Some(p), .. } = &ds[0] else { panic!("{ds:?}") };
+    let Delivery::Accepted { proxy: Some(p), .. } = &ds[0] else {
+        panic!("{ds:?}")
+    };
     assert_eq!(
         p.invoke(&mut swarm.peer_mut(bob).runtime, "getPersonName", &[])
             .unwrap()
@@ -40,12 +44,20 @@ fn object_state_is_independent_after_transfer() {
     let (mut swarm, alice, bob) = two_vendor_swarm(NetConfig::default());
     let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, "original");
     let alice_handle = v.as_obj().unwrap();
-    swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &v, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let ds = swarm.peer_mut(bob).take_deliveries();
-    let Delivery::Accepted { proxy: Some(p), .. } = &ds[0] else { panic!() };
-    p.invoke(&mut swarm.peer_mut(bob).runtime, "setPersonName", &[Value::from("mutated")])
-        .unwrap();
+    let Delivery::Accepted { proxy: Some(p), .. } = &ds[0] else {
+        panic!()
+    };
+    p.invoke(
+        &mut swarm.peer_mut(bob).runtime,
+        "setPersonName",
+        &[Value::from("mutated")],
+    )
+    .unwrap();
     assert_eq!(
         swarm
             .peer_mut(alice)
@@ -65,13 +77,20 @@ fn wan_and_lan_deliver_identically_but_wan_is_slower() {
     for cfg in [NetConfig::default(), NetConfig::wan()] {
         let (mut swarm, alice, bob) = two_vendor_swarm(cfg);
         let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, "w");
-        swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+        swarm
+            .send_object(alice, bob, &v, PayloadFormat::Binary)
+            .unwrap();
         swarm.run().unwrap();
         let ds = swarm.peer_mut(bob).take_deliveries();
         assert!(ds[0].is_accepted());
         clocks.push(swarm.net().now_us());
     }
-    assert!(clocks[1] > clocks[0], "WAN {} µs vs LAN {} µs", clocks[1], clocks[0]);
+    assert!(
+        clocks[1] > clocks[0],
+        "WAN {} µs vs LAN {} µs",
+        clocks[1],
+        clocks[0]
+    );
 }
 
 #[test]
@@ -79,19 +98,27 @@ fn bidirectional_exchange_between_vendors() {
     let (mut swarm, alice, bob) = two_vendor_swarm(NetConfig::default());
     // Alice also subscribes to her own view.
     let a = samples::person_vendor_a();
-    swarm.peer_mut(alice).subscribe(TypeDescription::from_def(&a));
+    swarm
+        .peer_mut(alice)
+        .subscribe(TypeDescription::from_def(&a));
 
     let va = samples::make_person(&mut swarm.peer_mut(alice).runtime, "from-alice");
-    swarm.send_object(alice, bob, &va, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &va, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let vb = samples::make_person(&mut swarm.peer_mut(bob).runtime, "from-bob");
-    swarm.send_object(bob, alice, &vb, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(bob, alice, &vb, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
 
     let ds_bob = swarm.peer_mut(bob).take_deliveries();
     let ds_alice = swarm.peer_mut(alice).take_deliveries();
     assert!(ds_bob[0].is_accepted());
-    let Delivery::Accepted { proxy, .. } = &ds_alice[0] else { panic!() };
+    let Delivery::Accepted { proxy, .. } = &ds_alice[0] else {
+        panic!()
+    };
     // Alice's proxy speaks vendor-a names over the vendor-b object.
     let p = proxy.as_ref().unwrap();
     assert_eq!(
@@ -115,18 +142,26 @@ fn three_peer_relay_propagates_types() {
         .field("name", primitives::STRING)
         .method("getName", vec![], primitives::STRING)
         .build();
-    swarm.peer_mut(carol).subscribe(TypeDescription::from_def(&carol_view));
+    swarm
+        .peer_mut(carol)
+        .subscribe(TypeDescription::from_def(&carol_view));
 
     let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, "hop1");
-    swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &v, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     assert!(swarm.peer_mut(bob).take_deliveries()[0].is_accepted());
 
     let v2 = samples::make_person(&mut swarm.peer_mut(bob).runtime, "hop2");
-    swarm.send_object(bob, carol, &v2, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(bob, carol, &v2, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let ds = swarm.peer_mut(carol).take_deliveries();
-    let Delivery::Accepted { proxy: Some(p), .. } = &ds[0] else { panic!("{ds:?}") };
+    let Delivery::Accepted { proxy: Some(p), .. } = &ds[0] else {
+        panic!("{ds:?}")
+    };
     // Carol's own contract name (`getName`) is translated to vendor-b's
     // `getPersonName` by token matching.
     assert_eq!(
@@ -151,7 +186,9 @@ fn strict_paper_rules_reject_renamed_vendor() {
     let b = samples::person_vendor_b();
     swarm.peer_mut(bob).subscribe(TypeDescription::from_def(&b));
     let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, "x");
-    swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &v, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let ds = swarm.peer_mut(bob).take_deliveries();
     assert!(matches!(ds[0], Delivery::Rejected { .. }));
@@ -165,23 +202,30 @@ fn nested_object_graph_travels_with_both_assemblies() {
     let (_, _, asm) = samples::person_with_address("alice");
     swarm.publish(alice, asm).unwrap();
     let (_, bob_person, _) = samples::person_with_address("bob");
-    swarm.peer_mut(bob).subscribe(TypeDescription::from_def(&bob_person));
+    swarm
+        .peer_mut(bob)
+        .subscribe(TypeDescription::from_def(&bob_person));
     // Bob needs Address resolvable for the conformance recursion.
     let (bob_addr, _, _) = samples::person_with_address("bob");
     swarm.peer_mut(bob).runtime.register_type(bob_addr).unwrap();
 
     let rt = &mut swarm.peer_mut(alice).runtime;
     let ah = rt.instantiate(&"Address".into(), &[]).unwrap();
-    rt.set_field(ah, "street", Value::from("Rue de la Gare 12")).unwrap();
+    rt.set_field(ah, "street", Value::from("Rue de la Gare 12"))
+        .unwrap();
     rt.set_field(ah, "zip", Value::I32(1003)).unwrap();
     let ph = rt.instantiate(&"Person".into(), &[]).unwrap();
     rt.set_field(ph, "name", Value::from("nested")).unwrap();
     rt.set_field(ph, "home", Value::Obj(ah)).unwrap();
 
-    swarm.send_object(alice, bob, &Value::Obj(ph), PayloadFormat::Soap).unwrap();
+    swarm
+        .send_object(alice, bob, &Value::Obj(ph), PayloadFormat::Soap)
+        .unwrap();
     swarm.run().unwrap();
     let ds = swarm.peer_mut(bob).take_deliveries();
-    let Delivery::Accepted { value, .. } = &ds[0] else { panic!("{ds:?}") };
+    let Delivery::Accepted { value, .. } = &ds[0] else {
+        panic!("{ds:?}")
+    };
     let h = value.as_obj().unwrap();
     let rt = &mut swarm.peer_mut(bob).runtime;
     let home = rt.get_field(h, "home").unwrap().as_obj().unwrap();
@@ -204,7 +248,9 @@ fn runtime_subtype_evolution() {
 
     // Warm up with plain Persons.
     let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, "warm");
-    swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &v, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     assert!(swarm.peer_mut(bob).take_deliveries()[0].is_accepted());
 
@@ -231,10 +277,19 @@ fn runtime_subtype_evolution() {
     rt.set_field(sh, "name", Value::from("grad")).unwrap();
     rt.set_field(sh, "university", Value::from("EPFL")).unwrap();
 
-    swarm.send_object(alice, bob, &Value::Obj(sh), PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &Value::Obj(sh), PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let ds = swarm.peer_mut(bob).take_deliveries();
-    let Delivery::Accepted { value, proxy: Some(p), .. } = &ds[0] else { panic!("{ds:?}") };
+    let Delivery::Accepted {
+        value,
+        proxy: Some(p),
+        ..
+    } = &ds[0]
+    else {
+        panic!("{ds:?}")
+    };
     // Through Bob's Person interest contract:
     assert_eq!(
         p.invoke(&mut swarm.peer_mut(bob).runtime, "getPersonName", &[])
@@ -271,13 +326,19 @@ fn interleaved_sends_from_two_publishers() {
         .field("name", primitives::STRING)
         .method("getName", vec![], primitives::STRING)
         .build();
-    swarm.peer_mut(sub).subscribe(TypeDescription::from_def(&sub_view));
+    swarm
+        .peer_mut(sub)
+        .subscribe(TypeDescription::from_def(&sub_view));
 
     for i in 0..4 {
         let v1 = samples::make_person(&mut swarm.peer_mut(p1).runtime, &format!("a{i}"));
-        swarm.send_object(p1, sub, &v1, PayloadFormat::Binary).unwrap();
+        swarm
+            .send_object(p1, sub, &v1, PayloadFormat::Binary)
+            .unwrap();
         let v2 = samples::make_person(&mut swarm.peer_mut(p2).runtime, &format!("b{i}"));
-        swarm.send_object(p2, sub, &v2, PayloadFormat::Binary).unwrap();
+        swarm
+            .send_object(p2, sub, &v2, PayloadFormat::Binary)
+            .unwrap();
     }
     swarm.run().unwrap();
     let ds = swarm.peer_mut(sub).take_deliveries();

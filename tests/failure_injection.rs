@@ -40,7 +40,12 @@ fn non_utf8_object_message_is_a_protocol_error() {
 fn desc_request_for_unknown_path_errors() {
     let (mut swarm, alice, bob) = fixture();
     swarm
-        .send_raw(bob, alice, kinds::DESC_REQUEST, b"pti://peer-1/desc/ghost".to_vec())
+        .send_raw(
+            bob,
+            alice,
+            kinds::DESC_REQUEST,
+            b"pti://peer-1/desc/ghost".to_vec(),
+        )
         .unwrap();
     let err = swarm.run().unwrap_err();
     assert!(matches!(err, TransportError::UnknownPath(_)), "{err}");
@@ -50,7 +55,12 @@ fn desc_request_for_unknown_path_errors() {
 fn asm_request_for_unknown_path_errors() {
     let (mut swarm, alice, bob) = fixture();
     swarm
-        .send_raw(bob, alice, kinds::ASM_REQUEST, b"pti://peer-1/asm/ghost".to_vec())
+        .send_raw(
+            bob,
+            alice,
+            kinds::ASM_REQUEST,
+            b"pti://peer-1/asm/ghost".to_vec(),
+        )
         .unwrap();
     let err = swarm.run().unwrap_err();
     assert!(matches!(err, TransportError::UnknownPath(_)), "{err}");
@@ -59,7 +69,9 @@ fn asm_request_for_unknown_path_errors() {
 #[test]
 fn unknown_message_kind_is_rejected_by_run() {
     let (mut swarm, alice, bob) = fixture();
-    swarm.send_raw(alice, bob, "mystery-kind", vec![1, 2, 3]).unwrap();
+    swarm
+        .send_raw(alice, bob, "mystery-kind", vec![1, 2, 3])
+        .unwrap();
     let err = swarm.run().unwrap_err();
     assert!(matches!(err, TransportError::Protocol(m) if m.contains("mystery-kind")));
 }
@@ -77,7 +89,12 @@ fn truncated_binary_payload_inside_valid_envelope_errors() {
         b.truncate(b.len() / 2);
     }
     swarm
-        .send_raw(alice, bob, kinds::OBJECT, env.to_string_compact().into_bytes())
+        .send_raw(
+            alice,
+            bob,
+            kinds::OBJECT,
+            env.to_string_compact().into_bytes(),
+        )
         .unwrap();
     let err = swarm.run().unwrap_err();
     assert!(matches!(err, TransportError::Serialize(_)), "{err}");
@@ -93,7 +110,9 @@ fn error_in_one_exchange_does_not_corrupt_peer_state() {
     assert!(swarm.run().is_err());
 
     let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, "recovered");
-    swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(alice, bob, &v, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let ds = swarm.peer_mut(bob).take_deliveries();
     assert!(ds.iter().any(Delivery::is_accepted));
@@ -115,7 +134,9 @@ fn dangling_object_cannot_be_sent() {
     let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, "gone");
     let h = v.as_obj().unwrap();
     swarm.peer_mut(alice).runtime.heap.free(h).unwrap();
-    let err = swarm.send_object(alice, bob, &v, PayloadFormat::Binary).unwrap_err();
+    let err = swarm
+        .send_object(alice, bob, &v, PayloadFormat::Binary)
+        .unwrap_err();
     assert!(matches!(err, TransportError::Metamodel(_)));
 }
 
@@ -136,7 +157,12 @@ fn hostile_envelope_with_fake_paths_is_contained() {
         aref.content_hash = "0".into();
     }
     swarm
-        .send_raw(alice, bob, kinds::OBJECT, env.to_string_compact().into_bytes())
+        .send_raw(
+            alice,
+            bob,
+            kinds::OBJECT,
+            env.to_string_compact().into_bytes(),
+        )
         .unwrap();
     let err = swarm.run().unwrap_err();
     assert!(matches!(err, TransportError::UnknownPath(_)));

@@ -50,16 +50,23 @@ fn both_protocols_deliver_identical_objects() {
         for n in names {
             let v = samples::make_person(&mut swarm.peer_mut(pub_).runtime, n);
             if eager {
-                swarm.send_object_eager(pub_, sub, &v, PayloadFormat::Binary).unwrap();
+                swarm
+                    .send_object_eager(pub_, sub, &v, PayloadFormat::Binary)
+                    .unwrap();
             } else {
-                swarm.send_object(pub_, sub, &v, PayloadFormat::Binary).unwrap();
+                swarm
+                    .send_object(pub_, sub, &v, PayloadFormat::Binary)
+                    .unwrap();
             }
             swarm.run().unwrap();
         }
         results.push(delivered_names(&mut swarm, sub));
     }
     assert_eq!(results[0], results[1]);
-    assert_eq!(results[0], names.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    assert_eq!(
+        results[0],
+        names.iter().map(|s| s.to_string()).collect::<Vec<_>>()
+    );
 }
 
 #[test]
@@ -71,9 +78,13 @@ fn optimistic_wins_bytes_when_types_repeat() {
         for i in 0..runs {
             let v = samples::make_person(&mut swarm.peer_mut(pub_).runtime, &format!("p{i}"));
             if eager {
-                swarm.send_object_eager(pub_, sub, &v, PayloadFormat::Binary).unwrap();
+                swarm
+                    .send_object_eager(pub_, sub, &v, PayloadFormat::Binary)
+                    .unwrap();
             } else {
-                swarm.send_object(pub_, sub, &v, PayloadFormat::Binary).unwrap();
+                swarm
+                    .send_object(pub_, sub, &v, PayloadFormat::Binary)
+                    .unwrap();
             }
             swarm.run().unwrap();
         }
@@ -95,13 +106,19 @@ fn eager_wastes_code_on_rejected_types() {
         let sub = swarm.add_peer(ConformanceConfig::pragmatic());
         for v in samples::generate_population(3, 8, 0.0) {
             swarm.publish(pub_, v.assembly.clone()).unwrap();
-            let h = swarm.peer_mut(pub_).runtime.instantiate_def(&v.def, &[]).unwrap();
+            let h = swarm
+                .peer_mut(pub_)
+                .runtime
+                .instantiate_def(&v.def, &[])
+                .unwrap();
             if eager {
                 swarm
                     .send_object_eager(pub_, sub, &Value::Obj(h), PayloadFormat::Binary)
                     .unwrap();
             } else {
-                swarm.send_object(pub_, sub, &Value::Obj(h), PayloadFormat::Binary).unwrap();
+                swarm
+                    .send_object(pub_, sub, &Value::Obj(h), PayloadFormat::Binary)
+                    .unwrap();
             }
         }
         swarm.run().unwrap();
@@ -122,13 +139,17 @@ fn single_cold_transfer_overhead_is_bounded() {
     // same ballpark (the description + code dominate both).
     let (mut swarm, pub_, sub) = fixture();
     let v = samples::make_person(&mut swarm.peer_mut(pub_).runtime, "solo");
-    swarm.send_object(pub_, sub, &v, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(pub_, sub, &v, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let optimistic = swarm.net().metrics().bytes;
 
     let (mut swarm, pub_, sub) = fixture();
     let v = samples::make_person(&mut swarm.peer_mut(pub_).runtime, "solo");
-    swarm.send_object_eager(pub_, sub, &v, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object_eager(pub_, sub, &v, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let eager = swarm.net().metrics().bytes;
 
@@ -143,13 +164,17 @@ fn single_cold_transfer_overhead_is_bounded() {
 fn round_trips_cost_virtual_time_on_cold_start() {
     let (mut swarm, pub_, sub) = fixture();
     let v = samples::make_person(&mut swarm.peer_mut(pub_).runtime, "t");
-    swarm.send_object(pub_, sub, &v, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(pub_, sub, &v, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let optimistic_cold = swarm.net().now_us();
 
     let (mut swarm, pub_, sub) = fixture();
     let v = samples::make_person(&mut swarm.peer_mut(pub_).runtime, "t");
-    swarm.send_object_eager(pub_, sub, &v, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object_eager(pub_, sub, &v, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let eager_cold = swarm.net().now_us();
 

@@ -8,7 +8,11 @@ use pti_metamodel::bodies;
 fn counter_assembly(salt: &str, bump_name: &str) -> (TypeDef, Assembly) {
     let def = TypeDef::class("Counter", salt)
         .field("count", primitives::INT64)
-        .method(bump_name, vec![ParamDef::new("by", primitives::INT64)], primitives::INT64)
+        .method(
+            bump_name,
+            vec![ParamDef::new("by", primitives::INT64)],
+            primitives::INT64,
+        )
         .method("getCount", vec![], primitives::INT64)
         .ctor(vec![])
         .build();
@@ -41,9 +45,15 @@ fn remote_counter_keeps_state_on_owner() {
     swarm.publish(owner, asm).unwrap();
     // Client's view: `add` instead of `addToCount`.
     let (client_def, _) = counter_assembly("client", "add");
-    swarm.peer_mut(client).subscribe(TypeDescription::from_def(&client_def));
+    swarm
+        .peer_mut(client)
+        .subscribe(TypeDescription::from_def(&client_def));
 
-    let h = swarm.peer_mut(owner).runtime.instantiate(&"Counter".into(), &[]).unwrap();
+    let h = swarm
+        .peer_mut(owner)
+        .runtime
+        .instantiate(&"Counter".into(), &[])
+        .unwrap();
     let mut fabric = RemotingFabric::new();
     let rref = fabric.export(&swarm, owner, h).unwrap();
     fabric.offer(&mut swarm, owner, client, &rref).unwrap();
@@ -58,7 +68,13 @@ fn remote_counter_keeps_state_on_owner() {
     }
     // Owner sees accumulated state directly.
     assert_eq!(
-        swarm.peer_mut(owner).runtime.get_field(h, "count").unwrap().as_i64().unwrap(),
+        swarm
+            .peer_mut(owner)
+            .runtime
+            .get_field(h, "count")
+            .unwrap()
+            .as_i64()
+            .unwrap(),
         15
     );
 }
@@ -76,7 +92,11 @@ fn two_clients_share_one_remote_object() {
     swarm.peer_mut(c1).subscribe(desc.clone());
     swarm.peer_mut(c2).subscribe(desc);
 
-    let h = swarm.peer_mut(owner).runtime.instantiate(&"Counter".into(), &[]).unwrap();
+    let h = swarm
+        .peer_mut(owner)
+        .runtime
+        .instantiate(&"Counter".into(), &[])
+        .unwrap();
     let mut fabric = RemotingFabric::new();
     let rref = fabric.export(&swarm, owner, h).unwrap();
     fabric.offer(&mut swarm, owner, c1, &rref).unwrap();
@@ -85,9 +105,17 @@ fn two_clients_share_one_remote_object() {
     let p1 = fabric.take_proxies(c1).pop().unwrap();
     let p2 = fabric.take_proxies(c2).pop().unwrap();
 
-    fabric.invoke(&mut swarm, c1, &p1, "add", &[Value::I64(10)]).unwrap();
-    let seen_by_c2 = fabric.invoke(&mut swarm, c2, &p2, "add", &[Value::I64(1)]).unwrap();
-    assert_eq!(seen_by_c2.as_i64().unwrap(), 11, "c2 observes c1's mutation");
+    fabric
+        .invoke(&mut swarm, c1, &p1, "add", &[Value::I64(10)])
+        .unwrap();
+    let seen_by_c2 = fabric
+        .invoke(&mut swarm, c2, &p2, "add", &[Value::I64(1)])
+        .unwrap();
+    assert_eq!(
+        seen_by_c2.as_i64().unwrap(),
+        11,
+        "c2 observes c1's mutation"
+    );
 }
 
 #[test]
@@ -100,16 +128,22 @@ fn value_and_reference_semantics_differ_observably() {
     let a = samples::person_vendor_a();
     swarm.publish(owner, samples::person_assembly(&a)).unwrap();
     let b = samples::person_vendor_b();
-    swarm.peer_mut(client).subscribe(TypeDescription::from_def(&b));
+    swarm
+        .peer_mut(client)
+        .subscribe(TypeDescription::from_def(&b));
 
     let v = samples::make_person(&mut swarm.peer_mut(owner).runtime, "v1");
     let h = v.as_obj().unwrap();
 
     // By value:
-    swarm.send_object(owner, client, &v, PayloadFormat::Binary).unwrap();
+    swarm
+        .send_object(owner, client, &v, PayloadFormat::Binary)
+        .unwrap();
     swarm.run().unwrap();
     let ds = swarm.peer_mut(client).take_deliveries();
-    let Delivery::Accepted { value: copied, .. } = &ds[0] else { panic!() };
+    let Delivery::Accepted { value: copied, .. } = &ds[0] else {
+        panic!()
+    };
     let copied = copied.as_obj().unwrap();
 
     // By reference:
@@ -121,13 +155,27 @@ fn value_and_reference_semantics_differ_observably() {
 
     // Mutate through the reference.
     fabric
-        .invoke(&mut swarm, client, &proxy, "setPersonName", &[Value::from("v2")])
+        .invoke(
+            &mut swarm,
+            client,
+            &proxy,
+            "setPersonName",
+            &[Value::from("v2")],
+        )
         .unwrap();
-    let via_ref = fabric.invoke(&mut swarm, client, &proxy, "getPersonName", &[]).unwrap();
+    let via_ref = fabric
+        .invoke(&mut swarm, client, &proxy, "getPersonName", &[])
+        .unwrap();
     assert_eq!(via_ref.as_str().unwrap(), "v2");
     // The by-value copy is unaffected.
     assert_eq!(
-        swarm.peer_mut(client).runtime.get_field(copied, "name").unwrap().as_str().unwrap(),
+        swarm
+            .peer_mut(client)
+            .runtime
+            .get_field(copied, "name")
+            .unwrap()
+            .as_str()
+            .unwrap(),
         "v1"
     );
 }
@@ -141,7 +189,11 @@ fn market_full_cycle_with_many_resources() {
     market.publish(lender, asm).unwrap();
     let mut ids = Vec::new();
     for _ in 0..3 {
-        let h = market.peer_mut(lender).runtime.instantiate(&"Counter".into(), &[]).unwrap();
+        let h = market
+            .peer_mut(lender)
+            .runtime
+            .instantiate(&"Counter".into(), &[])
+            .unwrap();
         ids.push(market.lend(lender, h).unwrap());
     }
     let (view, _) = counter_assembly("borrower", "add");
@@ -150,14 +202,28 @@ fn market_full_cycle_with_many_resources() {
     let b1 = market.borrow(borrower, &desc).unwrap().unwrap();
     let b2 = market.borrow(borrower, &desc).unwrap().unwrap();
     let b3 = market.borrow(borrower, &desc).unwrap().unwrap();
-    assert!(market.borrow(borrower, &desc).unwrap().is_none(), "pool exhausted");
+    assert!(
+        market.borrow(borrower, &desc).unwrap().is_none(),
+        "pool exhausted"
+    );
     assert_ne!(b1.lending_id, b2.lending_id);
     assert_ne!(b2.lending_id, b3.lending_id);
     // Each borrowed counter is independent.
-    market.invoke(borrower, &b1, "add", &[Value::I64(1)]).unwrap();
-    market.invoke(borrower, &b2, "add", &[Value::I64(2)]).unwrap();
+    market
+        .invoke(borrower, &b1, "add", &[Value::I64(1)])
+        .unwrap();
+    market
+        .invoke(borrower, &b2, "add", &[Value::I64(2)])
+        .unwrap();
     let c1 = market.invoke(borrower, &b1, "getCount", &[]).unwrap();
     let c2 = market.invoke(borrower, &b2, "getCount", &[]).unwrap();
     let c3 = market.invoke(borrower, &b3, "getCount", &[]).unwrap();
-    assert_eq!((c1.as_i64().unwrap(), c2.as_i64().unwrap(), c3.as_i64().unwrap()), (1, 2, 0));
+    assert_eq!(
+        (
+            c1.as_i64().unwrap(),
+            c2.as_i64().unwrap(),
+            c3.as_i64().unwrap()
+        ),
+        (1, 2, 0)
+    );
 }

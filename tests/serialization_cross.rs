@@ -64,9 +64,7 @@ fn envelope_roundtrips_both_formats_through_xml() {
             PayloadFormat::Soap => {
                 pti_serialize::Payload::Soap(pti_serialize::to_soap(&rt, &v).unwrap())
             }
-            PayloadFormat::Binary => {
-                pti_serialize::Payload::Binary(to_binary(&rt, &v).unwrap())
-            }
+            PayloadFormat::Binary => pti_serialize::Payload::Binary(to_binary(&rt, &v).unwrap()),
         };
         let env = ObjectEnvelope {
             type_name: "Person".into(),
@@ -81,7 +79,10 @@ fn envelope_roundtrips_both_formats_through_xml() {
             pti_serialize::Payload::Binary(b) => from_binary(&mut rt, &b).unwrap(),
         };
         let h = value.as_obj().unwrap();
-        assert_eq!(rt.get_field(h, "name").unwrap().as_str().unwrap(), "enveloped");
+        assert_eq!(
+            rt.get_field(h, "name").unwrap().as_str().unwrap(),
+            "enveloped"
+        );
     }
 }
 
@@ -94,9 +95,11 @@ fn deep_object_chains_roundtrip_both_formats() {
     let mut people = Vec::new();
     for i in 0..10 {
         let a = rt.instantiate(&"Address".into(), &[]).unwrap();
-        rt.set_field(a, "street", Value::from(format!("street-{i}"))).unwrap();
+        rt.set_field(a, "street", Value::from(format!("street-{i}")))
+            .unwrap();
         let p = rt.instantiate(&"Person".into(), &[]).unwrap();
-        rt.set_field(p, "name", Value::from(format!("p{i}"))).unwrap();
+        rt.set_field(p, "name", Value::from(format!("p{i}")))
+            .unwrap();
         rt.set_field(p, "home", Value::Obj(a)).unwrap();
         people.push(Value::Obj(p));
     }
@@ -109,7 +112,11 @@ fn deep_object_chains_roundtrip_both_formats() {
     let got = from_soap_string(&mut rt, &soap).unwrap();
     let arr = got.as_array().unwrap();
     assert_eq!(arr.len(), 20);
-    assert_eq!(arr[0].as_obj().unwrap(), arr[10].as_obj().unwrap(), "sharing preserved");
+    assert_eq!(
+        arr[0].as_obj().unwrap(),
+        arr[10].as_obj().unwrap(),
+        "sharing preserved"
+    );
 
     let bin = to_binary(&rt, &v).unwrap();
     let got2 = from_binary(&mut rt, &bin).unwrap();
@@ -153,7 +160,12 @@ fn adversarial_payloads_do_not_panic() {
         let _ = from_binary(&mut rt, &flipped);
         flipped[i] ^= 0x55;
     }
-    for garbage in ["", "<", "<Envelope>", "<Envelope><Body><int>x</int></Body></Envelope>"] {
+    for garbage in [
+        "",
+        "<",
+        "<Envelope>",
+        "<Envelope><Body><int>x</int></Body></Envelope>",
+    ] {
         let _ = from_soap_string(&mut rt, garbage);
     }
     let _ = ObjectEnvelope::from_string("<ptiMessage version=\"1\"/>");

@@ -1,186 +1,248 @@
-//! Concurrency integration: real threads exchanging PTI envelopes over
-//! the crossbeam [`LiveBus`] fabric.
+//! Concurrency integration: real threads running the *shared* optimistic
+//! protocol over the crossbeam-free [`LiveBus`] fabric.
 //!
-//! The virtual-time swarm is single-threaded by design; this test shows
-//! the same wire artifacts (hybrid envelopes, type descriptions) flowing
-//! between *actually concurrent* peers, with each side running its own
-//! runtime, conformance checker and proxy construction.
+//! Each thread owns a `Swarm<LiveBus>` — the exact state machine the
+//! virtual-time experiments run — wired to a clone of one bus handle and
+//! a shared [`CodeRegistry`]. No hand-built envelopes, no re-implemented
+//! description dance: the protocol code is identical to the SimNet
+//! path, only the fabric differs.
 
 use std::thread;
+use std::time::{Duration, Instant};
 
 use pti_core::prelude::*;
 use pti_core::samples;
-use pti_net::LiveBus;
-use pti_serialize::{description_from_string, description_to_string, Payload};
+
+/// How long a serving loop tolerates silence before deciding the
+/// exchange is over (generous: CI machines stall).
+const IDLE: Duration = Duration::from_secs(5);
 
 #[test]
 fn two_threads_exchange_conformant_objects() {
     let bus = LiveBus::new();
-    let producer_ep = bus.join(PeerId(1));
-    let consumer_ep = bus.join(PeerId(2));
-
+    let code = CodeRegistry::new();
     const N: usize = 50;
 
-    // Producer thread: vendor-a Person objects, serialized into hybrid
-    // envelopes; answers description requests.
+    let producer_id = PeerId(1);
+    let consumer_id = PeerId(2);
+
+    // Register both inboxes on their threads' handles *before* spawning
+    // so neither side can send into a not-yet-registered peer.
+    let mut producer_bus = bus.clone();
+    producer_bus.register(producer_id);
+    let mut consumer_bus = bus.clone();
+    consumer_bus.register(consumer_id);
+
+    // Producer thread: publishes vendor-a Person, sends N objects, then
+    // serves description/assembly fetches until the consumer says done.
+    let producer_code = code.clone();
     let producer = thread::spawn(move || {
-        let def = samples::person_vendor_a();
-        let desc_xml = description_to_string(&TypeDescription::from_def(&def));
-        let mut rt = Runtime::new();
-        samples::person_assembly(&def).install(&mut rt).unwrap();
+        let mut swarm: Swarm<LiveBus> = Swarm::with_code_registry(producer_bus, producer_code);
+        swarm.add_peer_as(producer_id, ConformanceConfig::pragmatic());
+        let a_def = samples::person_vendor_a();
+        swarm
+            .publish(producer_id, samples::person_assembly(&a_def))
+            .unwrap();
 
         for i in 0..N {
-            let v = samples::make_person(&mut rt, &format!("p{i}"));
-            let env = ObjectEnvelope {
-                type_name: def.name.clone(),
-                type_guid: def.guid,
-                assemblies: vec![],
-                payload: Payload::Binary(pti_serialize::to_binary(&rt, &v).unwrap()),
-            };
-            producer_ep
-                .send(PeerId(2), "object", env.to_string_compact().into_bytes())
+            let v =
+                samples::make_person(&mut swarm.peer_mut(producer_id).runtime, &format!("p{i}"));
+            swarm
+                .send_object(producer_id, consumer_id, &v, PayloadFormat::Binary)
                 .unwrap();
         }
-        // Serve description requests until the consumer says goodbye.
+        // Serve protocol requests until the consumer's `done` arrives.
         loop {
-            let m = producer_ep.recv().expect("bus alive");
-            match m.kind.as_str() {
-                "desc-request" => producer_ep
-                    .send(m.from, "desc-response", desc_xml.clone().into_bytes())
-                    .unwrap(),
-                "done" => break,
-                other => panic!("unexpected message kind {other}"),
+            let Some((at, msg)) = swarm.poll_deadline(Instant::now() + IDLE).unwrap() else {
+                panic!("producer idled out before the consumer finished");
+            };
+            if msg.kind == "done" {
+                break;
             }
+            assert!(
+                swarm.dispatch(at, msg).unwrap(),
+                "only protocol traffic expected"
+            );
         }
     });
 
-    // Consumer thread: vendor-b view; requests the description once,
-    // checks conformance, then deserializes every object.
-    //
-    // Deserializing needs the *code* in a real deployment; in this
-    // threaded test both vendors' assemblies are available locally (the
-    // protocol-level download dance is covered by the SimNet suites).
+    // Consumer thread: vendor-b interest; the swarm's protocol engine
+    // fetches the description, checks conformance, downloads the code
+    // from the shared registry, and delivers proxied events.
+    let consumer_code = code.clone();
     let consumer = thread::spawn(move || {
+        let mut swarm: Swarm<LiveBus> = Swarm::with_code_registry(consumer_bus, consumer_code);
+        swarm.add_peer_as(consumer_id, ConformanceConfig::pragmatic());
         let b_def = samples::person_vendor_b();
-        let a_def = samples::person_vendor_a();
-        let mut rt = Runtime::new();
-        samples::person_assembly(&b_def).install(&mut rt).unwrap();
-        samples::person_assembly(&a_def).install(&mut rt).unwrap();
-        let checker = ConformanceChecker::new(ConformanceConfig::pragmatic());
-        let interest = TypeDescription::from_def(&b_def);
+        swarm
+            .peer_mut(consumer_id)
+            .subscribe(TypeDescription::from_def(&b_def));
 
-        let mut remote_desc: Option<TypeDescription> = None;
-        let mut received = Vec::new();
-        let mut pending = Vec::new();
-        while received.len() < N {
-            let m = consumer_ep.recv().expect("bus alive");
-            match m.kind.as_str() {
-                "object" => {
-                    let env =
-                        ObjectEnvelope::from_string(&String::from_utf8(m.payload).unwrap())
-                            .unwrap();
-                    if remote_desc.is_none() {
-                        if pending.is_empty() {
-                            consumer_ep
-                                .send(m.from, "desc-request", env.type_name.full().into())
-                                .unwrap();
-                        }
-                        pending.push(env);
-                        continue;
-                    }
-                    received.push(env);
-                }
-                "desc-response" => {
-                    let desc =
-                        description_from_string(&String::from_utf8(m.payload).unwrap()).unwrap();
-                    checker
-                        .check(&desc, &interest, &rt.registry, &rt.registry)
-                        .expect("vendor-a Person conforms to vendor-b interest");
-                    remote_desc = Some(desc);
-                    received.append(&mut pending);
-                }
-                other => panic!("unexpected message kind {other}"),
-            }
+        let mut deliveries = Vec::new();
+        while deliveries.len() < N {
+            let Some((at, msg)) = swarm.poll_deadline(Instant::now() + IDLE).unwrap() else {
+                panic!(
+                    "consumer idled out with {}/{N} deliveries",
+                    deliveries.len()
+                );
+            };
+            assert!(
+                swarm.dispatch(at, msg).unwrap(),
+                "only protocol traffic expected"
+            );
+            deliveries.extend(swarm.peer_mut(consumer_id).take_deliveries());
         }
-        consumer_ep.send(PeerId(1), "done", vec![]).unwrap();
+        swarm
+            .send_raw(consumer_id, producer_id, "done", vec![])
+            .unwrap();
 
-        // Materialize everything and read through conformant proxies.
-        let desc = remote_desc.expect("description downloaded");
-        let conf = checker.check(&desc, &interest, &rt.registry, &rt.registry).unwrap();
+        // Read every event through the consumer's own contract.
         let mut names = Vec::new();
-        for env in received {
-            let Payload::Binary(bytes) = &env.payload else { panic!() };
-            let h = pti_serialize::from_binary(&mut rt, bytes).unwrap().as_obj().unwrap();
-            let proxy = DynamicProxy::from_conformance(&interest, &conf, h);
+        for d in deliveries {
+            let Delivery::Accepted {
+                proxy: Some(proxy), ..
+            } = d
+            else {
+                panic!("expected accepted proxied deliveries, got {d:?}");
+            };
             names.push(
                 proxy
-                    .invoke(&mut rt, "getPersonName", &[])
+                    .invoke(
+                        &mut swarm.peer_mut(consumer_id).runtime,
+                        "getPersonName",
+                        &[],
+                    )
                     .unwrap()
                     .as_str()
                     .unwrap()
                     .to_string(),
             );
         }
-        names
+        let stats = swarm.peer(consumer_id).stats;
+        (names, stats)
     });
 
     producer.join().unwrap();
-    let names = consumer.join().unwrap();
+    let (names, stats) = consumer.join().unwrap();
     assert_eq!(names.len(), N);
     // Per-link FIFO on the bus: names arrive in publication order.
     for (i, n) in names.iter().enumerate() {
         assert_eq!(n, &format!("p{i}"));
     }
-    // Traffic accounting happened on the shared bus.
+    // The optimistic protocol paid for description and code exactly once.
+    assert_eq!(stats.desc_requests, 1);
+    assert_eq!(stats.asm_requests, 1);
+    assert_eq!(stats.accepted as usize, N);
     let m = bus.metrics();
     assert_eq!(m.kind("object").messages as usize, N);
     assert_eq!(m.kind("desc-request").messages, 1);
     assert_eq!(m.kind("desc-response").messages, 1);
+    assert_eq!(m.kind("asm-request").messages, 1);
+    assert_eq!(m.kind("asm-response").messages, 1);
 }
 
 #[test]
 fn many_concurrent_publishers_fan_into_one_consumer() {
     let bus = LiveBus::new();
+    let code = CodeRegistry::new();
     const PUBS: usize = 4;
     const PER_PUB: usize = 25;
 
-    let consumer_ep = bus.join(PeerId(100));
+    let consumer_id = PeerId(100);
+
+    // The consumer's inbox must exist before any publisher sends.
+    let mut consumer_bus = bus.clone();
+    consumer_bus.register(consumer_id);
+
     let mut handles = Vec::new();
     for p in 0..PUBS {
-        let ep = bus.join(PeerId(p as u32 + 1));
+        let pub_bus = bus.clone();
+        let pub_code = code.clone();
         handles.push(thread::spawn(move || {
+            let id = PeerId(p as u32 + 1);
+            let mut swarm: Swarm<LiveBus> = Swarm::with_code_registry(pub_bus, pub_code);
+            swarm.add_peer_as(id, ConformanceConfig::pragmatic());
             let def = samples::person_vendor_a();
-            let mut rt = Runtime::new();
-            samples::person_assembly(&def).install(&mut rt).unwrap();
+            swarm.publish(id, samples::person_assembly(&def)).unwrap();
             for i in 0..PER_PUB {
-                let v = samples::make_person(&mut rt, &format!("pub{p}-{i}"));
-                let env = ObjectEnvelope {
-                    type_name: def.name.clone(),
-                    type_guid: def.guid,
-                    assemblies: vec![],
-                    payload: Payload::Binary(pti_serialize::to_binary(&rt, &v).unwrap()),
-                };
-                ep.send(PeerId(100), "object", env.to_string_compact().into_bytes())
+                let v =
+                    samples::make_person(&mut swarm.peer_mut(id).runtime, &format!("pub{p}-{i}"));
+                swarm
+                    .send_object(id, consumer_id, &v, PayloadFormat::Binary)
                     .unwrap();
+            }
+            // Serve desc/asm fetches until the consumer broadcasts done.
+            loop {
+                let Some((at, msg)) = swarm.poll_deadline(Instant::now() + IDLE).unwrap() else {
+                    panic!("publisher {p} idled out");
+                };
+                if msg.kind == "done" {
+                    break;
+                }
+                assert!(swarm.dispatch(at, msg).unwrap());
             }
         }));
     }
 
-    let mut rt = Runtime::new();
-    samples::person_assembly(&samples::person_vendor_a()).install(&mut rt).unwrap();
-    let mut per_pub = vec![0usize; PUBS];
-    for _ in 0..PUBS * PER_PUB {
-        let m = consumer_ep.recv().unwrap();
-        let env = ObjectEnvelope::from_string(&String::from_utf8(m.payload).unwrap()).unwrap();
-        let Payload::Binary(bytes) = &env.payload else { panic!() };
-        let h = pti_serialize::from_binary(&mut rt, bytes).unwrap().as_obj().unwrap();
-        let name = rt.get_field(h, "name").unwrap().as_str().unwrap().to_string();
-        let pub_idx: usize = name[3..name.find('-').unwrap()].parse().unwrap();
-        per_pub[pub_idx] += 1;
+    // Consumer on the main thread, same protocol engine.
+    let mut swarm: Swarm<LiveBus> = Swarm::with_code_registry(consumer_bus, code);
+    swarm.add_peer_as(consumer_id, ConformanceConfig::pragmatic());
+    let b_def = samples::person_vendor_b();
+    swarm
+        .peer_mut(consumer_id)
+        .subscribe(TypeDescription::from_def(&b_def));
+
+    let mut accepted = Vec::new();
+    while accepted.len() < PUBS * PER_PUB {
+        let Some((at, msg)) = swarm.poll_deadline(Instant::now() + IDLE).unwrap() else {
+            panic!(
+                "consumer idled out with {}/{} events",
+                accepted.len(),
+                PUBS * PER_PUB
+            );
+        };
+        assert!(swarm.dispatch(at, msg).unwrap());
+        accepted.extend(swarm.peer_mut(consumer_id).take_deliveries());
+    }
+    for p in 0..PUBS {
+        swarm
+            .send_raw(consumer_id, PeerId(p as u32 + 1), "done", vec![])
+            .unwrap();
     }
     for h in handles {
         h.join().unwrap();
     }
+
+    // Every publisher's full stream arrived and materialized.
+    let mut per_pub = vec![0usize; PUBS];
+    for d in accepted {
+        let Delivery::Accepted { value, .. } = d else {
+            panic!("{d:?}")
+        };
+        let h = value.as_obj().unwrap();
+        let name = swarm
+            .peer_mut(consumer_id)
+            .runtime
+            .get_field(h, "name")
+            .unwrap()
+            .as_str()
+            .unwrap()
+            .to_string();
+        let pub_idx: usize = name[3..name.find('-').unwrap()].parse().unwrap();
+        per_pub[pub_idx] += 1;
+    }
     assert!(per_pub.iter().all(|&c| c == PER_PUB), "{per_pub:?}");
-    assert_eq!(bus.metrics().kind("object").messages as usize, PUBS * PER_PUB);
+    assert_eq!(
+        bus.metrics().kind("object").messages as usize,
+        PUBS * PER_PUB
+    );
+    // The same logical assembly is fetched at most once per distinct
+    // download path (timing decides how many paths are in flight before
+    // content-hash identity starts deduplicating).
+    let stats = swarm.peer(consumer_id).stats;
+    assert!((1..=PUBS as u64).contains(&stats.asm_requests), "{stats:?}");
+    assert!(
+        (1..=PUBS as u64).contains(&stats.desc_requests),
+        "{stats:?}"
+    );
 }
