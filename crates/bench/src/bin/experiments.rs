@@ -362,6 +362,182 @@ fn f3_serializers(report: &mut Report) {
     );
 }
 
+/// R1 — interest-indexed routing vs flood broadcast over sharded
+/// `LiveBus` swarms: 32 members in 4 shards sharing one fabric, 8 event
+/// types with exactly one subscriber each, interest gossip wiring the
+/// publisher's routing table. Reports the message/byte saving and emits
+/// `BENCH_routing.json` so the perf trajectory is tracked per PR.
+fn r1_routing(report: &mut Report) -> String {
+    use samples::{topic_event_assembly, topic_event_def};
+    use std::time::Duration;
+
+    const SHARDS: usize = 4;
+    const PER_SHARD: usize = 8;
+    const MEMBERS: usize = SHARDS * PER_SHARD;
+    const TOPICS: usize = 8;
+    const EVENTS: usize = 32;
+
+    /// Round-robin the shards until one full sweep moves no traffic.
+    fn pump(bus: &LiveBus, shards: &mut [Swarm<LiveBus>]) {
+        let mut last = u64::MAX;
+        loop {
+            for sw in shards.iter_mut() {
+                sw.run_for(Duration::from_millis(10)).unwrap();
+            }
+            let now = LiveBus::metrics(bus).messages;
+            if now == last {
+                return;
+            }
+            last = now;
+        }
+    }
+
+    struct ModeResult {
+        messages: u64,
+        bytes: u64,
+        /// Object envelopes on the wire: standalone + batched frames.
+        object_envelopes: u64,
+        batches: u64,
+        batched_frames: u64,
+        delivered: u64,
+    }
+
+    let run_mode = |routed: bool| -> ModeResult {
+        let bus = LiveBus::new();
+        let code = CodeRegistry::new();
+        let mut shards: Vec<Swarm<LiveBus>> = (0..SHARDS)
+            .map(|s| {
+                let mut sw = Swarm::with_code_registry(bus.clone(), code.clone());
+                for i in 0..PER_SHARD {
+                    sw.add_peer_as(
+                        PeerId((s * PER_SHARD + i + 1) as u32),
+                        ConformanceConfig::pragmatic(),
+                    );
+                }
+                sw
+            })
+            .collect();
+        let publisher = PeerId(1);
+        // The publisher's shard can name every member (flood baseline);
+        // subscriber shards know the publisher (gossip target).
+        for id in 1..=MEMBERS {
+            shards[0].add_contact(PeerId(id as u32));
+        }
+        for shard in shards.iter_mut().skip(1) {
+            shard.add_contact(publisher);
+        }
+        for t in 0..TOPICS {
+            shards[0]
+                .publish(publisher, topic_event_assembly(t))
+                .unwrap();
+        }
+        // One subscriber per topic, spread over the non-publisher shards.
+        let subscriber_of = |t: usize| PeerId((9 + 3 * t) as u32);
+        for t in 0..TOPICS {
+            let sub = subscriber_of(t);
+            let shard = ((sub.0 - 1) / PER_SHARD as u32) as usize;
+            shards[shard].subscribe(sub, TypeDescription::from_def(&topic_event_def(t, "sub")));
+        }
+        // Let the subscribe gossip reach the publisher's routing table,
+        // then measure only the publish traffic.
+        pump(&bus, &mut shards);
+        let mut hub = bus.clone();
+        Transport::reset_metrics(&mut hub);
+
+        for i in 0..EVENTS {
+            let t = i % TOPICS;
+            let h = shards[0]
+                .peer_mut(publisher)
+                .runtime
+                .instantiate_def(&topic_event_def(t, "pub"), &[])
+                .unwrap();
+            let v = Value::Obj(h);
+            if routed {
+                shards[0]
+                    .route_object(publisher, &v, PayloadFormat::Binary)
+                    .unwrap();
+            } else {
+                shards[0]
+                    .flood_object(publisher, &v, PayloadFormat::Binary)
+                    .unwrap();
+            }
+        }
+        pump(&bus, &mut shards);
+
+        let delivered = (0..TOPICS)
+            .map(|t| {
+                let sub = subscriber_of(t);
+                let shard = ((sub.0 - 1) / PER_SHARD as u32) as usize;
+                shards[shard].peer(sub).stats.accepted
+            })
+            .sum();
+        let m = LiveBus::metrics(&bus);
+        ModeResult {
+            messages: m.messages,
+            bytes: m.bytes,
+            object_envelopes: m.kind("object").messages + m.batched_frames(),
+            batches: m.batches(),
+            batched_frames: m.batched_frames(),
+            delivered,
+        }
+    };
+
+    println!("\nR1  routing — interest-indexed vs flood over {SHARDS} LiveBus shards");
+    let routed = run_mode(true);
+    let flood = run_mode(false);
+    let factor = flood.object_envelopes as f64 / routed.object_envelopes.max(1) as f64;
+    report.push(
+        "R1",
+        &format!("routed delivery ({MEMBERS} members, 1 subscriber/type)"),
+        "O(subscribers) envelopes",
+        format!(
+            "{} envelopes / {} msgs / {} B; {} batches x {} frames; {} delivered",
+            routed.object_envelopes,
+            routed.messages,
+            routed.bytes,
+            routed.batches,
+            routed.batched_frames,
+            routed.delivered
+        ),
+        routed.delivered as usize == EVENTS,
+    );
+    report.push(
+        "R1",
+        "flood baseline (same workload)",
+        "O(members) envelopes",
+        format!(
+            "{} envelopes / {} msgs / {} B; {} delivered",
+            flood.object_envelopes, flood.messages, flood.bytes, flood.delivered
+        ),
+        flood.delivered as usize == EVENTS,
+    );
+    report.push(
+        "R1",
+        "routing saving factor (object envelopes)",
+        ">= 4x",
+        format!(
+            "{factor:.1}x fewer envelopes, {:.1}x fewer bytes",
+            flood.bytes as f64 / routed.bytes.max(1) as f64
+        ),
+        factor >= 4.0,
+    );
+
+    let json_mode = |r: &ModeResult| {
+        format!(
+            "{{\"messages\": {}, \"bytes\": {}, \"object_envelopes\": {}, \"batches\": {}, \
+             \"batched_frames\": {}, \"delivered\": {}}}",
+            r.messages, r.bytes, r.object_envelopes, r.batches, r.batched_frames, r.delivered
+        )
+    };
+    format!(
+        "{{\n  \"members\": {MEMBERS},\n  \"shards\": {SHARDS},\n  \"topics\": {TOPICS},\n  \
+         \"events\": {EVENTS},\n  \"routed\": {},\n  \"flood\": {},\n  \
+         \"envelope_saving_factor\": {factor:.2}\n}}\n",
+        json_mode(&routed),
+        json_mode(&flood),
+    )
+}
+
 fn a1_name_matchers(report: &mut Report) {
     println!("\nA1  ablation D1 — name matcher strictness vs match rate & cost");
     let variants = samples::generate_population(3, 200, 0.5);
@@ -629,6 +805,7 @@ fn main() {
     e4_conformance(&mut report);
     f1_protocol(&mut report);
     f3_serializers(&mut report);
+    let routing_json = r1_routing(&mut report);
     a1_name_matchers(&mut report);
     a2_variance(&mut report);
     a3_cache(&mut report);
@@ -642,4 +819,6 @@ fn main() {
     );
     std::fs::write("experiments.json", rows_to_json(&report.rows)).expect("writable cwd");
     println!("wrote experiments.json");
+    std::fs::write("BENCH_routing.json", routing_json).expect("writable cwd");
+    println!("wrote BENCH_routing.json");
 }

@@ -102,9 +102,10 @@ pub mod prelude {
         to_soap_string, ObjectEnvelope, PayloadFormat,
     };
     pub use pti_tps::{
-        EventBuilder, EventNotification, Member, Publisher, Subscription, TypedPubSub,
+        DeliveryMode, EventBuilder, EventNotification, Member, Publisher, Subscription, TypedPubSub,
     };
     pub use pti_transport::{
-        CodeRegistry, Delivery, LiveSwarm, Peer, SimSwarm, Swarm, TransportError,
+        CodeRegistry, Delivery, LiveSwarm, Peer, RoutingTable, Signature, SimSwarm, Swarm,
+        TransportError,
     };
 }

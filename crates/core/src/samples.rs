@@ -303,6 +303,27 @@ fn build_variant(i: usize, kind: VariantKind) -> Variant {
     }
 }
 
+/// The `Topic{t}Event` type of one routing topic — the fixture family
+/// the routing experiments (tests/routing_scale.rs, bench R1) share.
+/// Topic indices yield distinct type-name token signatures, so the
+/// interest router keeps the topics apart.
+pub fn topic_event_def(topic: usize, salt: &str) -> TypeDef {
+    TypeDef::class(format!("Topic{topic}Event"), salt)
+        .field("value", primitives::FLOAT64)
+        .ctor(vec![])
+        .build()
+}
+
+/// An installable publisher-side assembly for [`topic_event_def`].
+pub fn topic_event_assembly(topic: usize) -> Assembly {
+    let def = topic_event_def(topic, "pub");
+    let g = def.guid;
+    Assembly::builder(format!("topic-{topic}"))
+        .ty(def)
+        .ctor_body(g, 0, bodies::ctor_assign(&[]))
+        .build()
+}
+
 /// Descriptions for the two vendor Persons, handy in tests.
 pub fn person_descriptions() -> (TypeDescription, TypeDescription) {
     (

@@ -21,6 +21,7 @@ use std::sync::mpsc::{channel, Receiver, Sender};
 use std::sync::{Arc, Mutex};
 use std::time::{Duration, Instant};
 
+use crate::frame::{kinds, FrameBatch};
 use crate::metrics::NetMetrics;
 use crate::sim::{NetError, PeerId};
 use crate::transport::Transport;
@@ -32,8 +33,9 @@ pub struct BusMessage {
     pub from: PeerId,
     /// Destination peer.
     pub to: PeerId,
-    /// Application-level kind tag.
-    pub kind: String,
+    /// Application-level kind tag. Always a constant — allocation never
+    /// rides the send path.
+    pub kind: &'static str,
     /// Opaque payload.
     pub payload: Vec<u8>,
 }
@@ -61,8 +63,29 @@ impl Clone for LiveBus {
 
 #[derive(Debug, Default)]
 struct BusInner {
-    senders: HashMap<PeerId, Sender<BusMessage>>,
+    senders: HashMap<PeerId, SenderSlot>,
+    /// Monotonic registration stamp, so pruning a dead sender after a
+    /// failed send cannot race a re-joined peer under the same id.
+    next_gen: u64,
     metrics: NetMetrics,
+}
+
+#[derive(Debug, Clone)]
+struct SenderSlot {
+    gen: u64,
+    tx: Sender<BusMessage>,
+}
+
+impl BusInner {
+    fn bind(&mut self, id: PeerId, tx: Sender<BusMessage>) {
+        assert!(
+            !self.senders.contains_key(&id),
+            "{id} is already registered on this LiveBus fabric"
+        );
+        self.next_gen += 1;
+        let gen = self.next_gen;
+        self.senders.insert(id, SenderSlot { gen, tx });
+    }
 }
 
 /// One peer's connection to the bus: can send to anyone, receives its own
@@ -92,13 +115,7 @@ impl LiveBus {
     /// existing owner's traffic.
     pub fn join(&self, id: PeerId) -> Endpoint {
         let (tx, rx) = channel();
-        let mut inner = self.lock();
-        assert!(
-            !inner.senders.contains_key(&id),
-            "{id} is already registered on this LiveBus fabric"
-        );
-        inner.senders.insert(id, tx);
-        drop(inner);
+        self.lock().bind(id, tx);
         Endpoint {
             id,
             bus: self.clone(),
@@ -112,19 +129,41 @@ impl LiveBus {
     }
 
     fn send_msg(&self, msg: BusMessage) -> Result<(), NetError> {
-        let tx = {
+        let slot = {
             let inner = self.lock();
-            let Some(tx) = inner.senders.get(&msg.to).cloned() else {
+            let Some(slot) = inner.senders.get(&msg.to).cloned() else {
                 return Err(NetError::UnknownPeer(msg.to));
             };
-            tx
+            slot
         };
         // A disconnected receiver (peer dropped concurrently) is reported
         // like an unknown peer; only a *delivered* message is recorded,
-        // so accounting matches SimNet's.
-        let (to, kind, bytes) = (msg.to, msg.kind.clone(), msg.payload.len());
-        tx.send(msg).map_err(|_| NetError::UnknownPeer(to))?;
-        self.lock().metrics.record(&kind, bytes);
+        // so accounting matches SimNet's. The dead sender is pruned (by
+        // registration generation, so a re-joined peer under the same id
+        // is untouched) so a departed peer does not accumulate queues.
+        let (from, to, kind) = (msg.from, msg.to, msg.kind);
+        let frames = if kind == kinds::BATCH {
+            FrameBatch::peek_count(&msg.payload).unwrap_or(0)
+        } else {
+            0
+        };
+        let bytes = msg.payload.len();
+        if slot.tx.send(msg).is_err() {
+            let mut inner = self.lock();
+            if inner
+                .senders
+                .get(&to)
+                .is_some_and(|cur| cur.gen == slot.gen)
+            {
+                inner.senders.remove(&to);
+            }
+            return Err(NetError::UnknownPeer(to));
+        }
+        let mut inner = self.lock();
+        inner.metrics.record(kind, bytes);
+        if kind == kinds::BATCH {
+            inner.metrics.record_batch(from, to, frames, bytes);
+        }
         Ok(())
     }
 }
@@ -144,13 +183,7 @@ impl Transport for LiveBus {
             return;
         }
         let (tx, rx) = channel();
-        let mut inner = self.lock();
-        assert!(
-            !inner.senders.contains_key(&peer),
-            "{peer} is already registered on this LiveBus fabric"
-        );
-        inner.senders.insert(peer, tx);
-        drop(inner);
+        self.lock().bind(peer, tx);
         self.attached.insert(peer, rx);
     }
 
@@ -158,13 +191,13 @@ impl Transport for LiveBus {
         &mut self,
         from: PeerId,
         to: PeerId,
-        kind: &str,
+        kind: &'static str,
         payload: Vec<u8>,
     ) -> Result<(), NetError> {
         self.send_msg(BusMessage {
             from,
             to,
-            kind: kind.to_string(),
+            kind,
             payload,
         })
     }
@@ -210,16 +243,11 @@ impl Endpoint {
     /// # Errors
     /// [`NetError::UnknownPeer`] when the destination never joined or
     /// already left.
-    pub fn send(
-        &self,
-        to: PeerId,
-        kind: impl Into<String>,
-        payload: Vec<u8>,
-    ) -> Result<(), NetError> {
+    pub fn send(&self, to: PeerId, kind: &'static str, payload: Vec<u8>) -> Result<(), NetError> {
         self.bus.send_msg(BusMessage {
             from: self.id,
             to,
-            kind: kind.into(),
+            kind,
             payload,
         })
     }
@@ -382,6 +410,24 @@ mod tests {
         }
         assert!(a.send(PeerId(2), "x", vec![0u8; 64]).is_err());
         assert_eq!(hub.metrics().messages, 0, "failed sends leave no trace");
+    }
+
+    #[test]
+    fn dead_channel_is_pruned_on_send_failure() {
+        // Force the race window the pruning defends against: a sender
+        // entry whose receive side is already gone (no Drop ran for it).
+        let bus = LiveBus::new();
+        let (tx, rx) = channel();
+        bus.lock().bind(PeerId(5), tx);
+        drop(rx);
+        let a = bus.join(PeerId(1));
+        assert!(a.send(PeerId(5), "x", vec![]).is_err());
+        assert_eq!(bus.metrics().messages, 0, "failed send leaves no trace");
+        // The dead entry was pruned, so the id is free to re-join...
+        let e5 = bus.join(PeerId(5));
+        // ...and traffic flows to the new owner.
+        a.send(PeerId(5), "x", vec![7]).unwrap();
+        assert_eq!(e5.try_recv().unwrap().payload, vec![7]);
     }
 
     #[test]

@@ -33,11 +33,13 @@
 #![warn(missing_docs)]
 
 mod bus;
+mod frame;
 mod metrics;
 mod sim;
 mod transport;
 
 pub use bus::{BusMessage, Endpoint, LiveBus};
-pub use metrics::{KindMetrics, NetMetrics};
+pub use frame::{kinds, Frame, FrameBatch, FrameDecodeError};
+pub use metrics::{KindMetrics, LinkBatchMetrics, NetMetrics};
 pub use sim::{Message, NetConfig, NetError, PeerId, SimNet};
 pub use transport::Transport;

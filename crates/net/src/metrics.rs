@@ -2,11 +2,20 @@
 //!
 //! The optimistic protocol's whole point is "saving network resources"
 //! (paper Section 1, Figure 1); these counters are how the protocol
-//! experiments (F1) quantify that saving.
+//! experiments (F1) quantify that saving, and how the routing experiment
+//! (R1) quantifies what interest-indexed dispatch plus wire batching save
+//! on top.
+//!
+//! Kind tags are `&'static str` — every sender passes a constant from a
+//! `kinds` module (or a string literal), so recording a message allocates
+//! nothing on the send hot path.
 
 use std::collections::BTreeMap;
 
-/// Per-kind and total message/byte counters.
+use crate::sim::PeerId;
+
+/// Per-kind and total message/byte counters, plus per-link batching
+/// counters.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
 pub struct NetMetrics {
     /// Total messages sent.
@@ -15,7 +24,10 @@ pub struct NetMetrics {
     pub bytes: u64,
     /// Counters per message kind (e.g. `object`, `desc-request`,
     /// `assembly`), keyed by the kind tag.
-    pub per_kind: BTreeMap<String, KindMetrics>,
+    pub per_kind: BTreeMap<&'static str, KindMetrics>,
+    /// Batching counters per `(from, to)` link — populated whenever a
+    /// [`FrameBatch`](crate::FrameBatch) message crosses that link.
+    pub per_link: BTreeMap<(PeerId, PeerId), LinkBatchMetrics>,
 }
 
 /// Counters for one message kind.
@@ -27,19 +39,59 @@ pub struct KindMetrics {
     pub bytes: u64,
 }
 
+/// Wire-batching counters for one `(from, to)` link.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct LinkBatchMetrics {
+    /// Batch messages sent on this link.
+    pub batches: u64,
+    /// Frames coalesced into those batches.
+    pub frames: u64,
+    /// Payload bytes of those batch messages.
+    pub bytes: u64,
+}
+
 impl NetMetrics {
-    /// Records one sent message.
-    pub fn record(&mut self, kind: &str, bytes: usize) {
+    /// Records one sent message. Allocation-free: the kind tag is a
+    /// static constant shared by every message of that kind.
+    pub fn record(&mut self, kind: &'static str, bytes: usize) {
         self.messages += 1;
         self.bytes += bytes as u64;
-        let k = self.per_kind.entry(kind.to_string()).or_default();
+        let k = self.per_kind.entry(kind).or_default();
         k.messages += 1;
         k.bytes += bytes as u64;
+    }
+
+    /// Records one batch message carrying `frames` coalesced frames on
+    /// the `(from, to)` link. Called *in addition to* [`record`] by the
+    /// fabrics whenever a [`kinds::BATCH`](crate::kinds::BATCH) message
+    /// is sent.
+    ///
+    /// [`record`]: Self::record
+    pub fn record_batch(&mut self, from: PeerId, to: PeerId, frames: usize, bytes: usize) {
+        let l = self.per_link.entry((from, to)).or_default();
+        l.batches += 1;
+        l.frames += frames as u64;
+        l.bytes += bytes as u64;
     }
 
     /// Counters for one kind (zero if the kind never appeared).
     pub fn kind(&self, kind: &str) -> KindMetrics {
         self.per_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Batching counters for one link (zero if no batch crossed it).
+    pub fn link(&self, from: PeerId, to: PeerId) -> LinkBatchMetrics {
+        self.per_link.get(&(from, to)).copied().unwrap_or_default()
+    }
+
+    /// Total batch messages across all links.
+    pub fn batches(&self) -> u64 {
+        self.per_link.values().map(|l| l.batches).sum()
+    }
+
+    /// Total frames coalesced into batches across all links.
+    pub fn batched_frames(&self) -> u64 {
+        self.per_link.values().map(|l| l.frames).sum()
     }
 
     /// Resets all counters.
@@ -70,7 +122,23 @@ mod tests {
     fn reset_clears_everything() {
         let mut m = NetMetrics::default();
         m.record("x", 1);
+        m.record_batch(PeerId(1), PeerId(2), 3, 64);
         m.reset();
         assert_eq!(m, NetMetrics::default());
+    }
+
+    #[test]
+    fn per_link_batches_accumulate() {
+        let mut m = NetMetrics::default();
+        m.record_batch(PeerId(1), PeerId(2), 4, 100);
+        m.record_batch(PeerId(1), PeerId(2), 6, 200);
+        m.record_batch(PeerId(1), PeerId(3), 1, 10);
+        let l = m.link(PeerId(1), PeerId(2));
+        assert_eq!(l.batches, 2);
+        assert_eq!(l.frames, 10);
+        assert_eq!(l.bytes, 300);
+        assert_eq!(m.batches(), 3);
+        assert_eq!(m.batched_frames(), 11);
+        assert_eq!(m.link(PeerId(9), PeerId(9)), LinkBatchMetrics::default());
     }
 }

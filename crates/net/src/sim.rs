@@ -15,6 +15,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
+use crate::frame::{kinds, FrameBatch};
 use crate::metrics::NetMetrics;
 
 /// Identifies a peer on the simulated network.
@@ -71,8 +72,9 @@ pub struct Message {
     pub from: PeerId,
     /// Destination peer.
     pub to: PeerId,
-    /// Application-level kind tag (used for metrics breakdowns).
-    pub kind: String,
+    /// Application-level kind tag (used for metrics breakdowns). Always
+    /// a constant — allocation never rides the send path.
+    pub kind: &'static str,
     /// Opaque payload bytes.
     pub payload: Vec<u8>,
     /// Virtual time (µs) the message was handed to the network.
@@ -154,13 +156,12 @@ impl SimNet {
         &mut self,
         from: PeerId,
         to: PeerId,
-        kind: impl Into<String>,
+        kind: &'static str,
         payload: Vec<u8>,
     ) -> Result<u64, NetError> {
         if !self.inboxes.contains_key(&to) {
             return Err(NetError::UnknownPeer(to));
         }
-        let kind = kind.into();
         let size = payload.len();
         // The link serializes transmissions: start after any in-flight
         // message on the same (from, to) pair finishes.
@@ -168,7 +169,11 @@ impl SimNet {
         let start = self.clock_us.max(*link);
         let deliver_at = start + self.config.latency_us + self.config.tx_us(size);
         *link = start + self.config.tx_us(size);
-        self.metrics.record(&kind, size);
+        self.metrics.record(kind, size);
+        if kind == kinds::BATCH {
+            let frames = FrameBatch::peek_count(&payload).unwrap_or(0);
+            self.metrics.record_batch(from, to, frames, size);
+        }
         let msg = Message {
             from,
             to,

@@ -39,7 +39,7 @@ pub trait Transport {
         &mut self,
         from: PeerId,
         to: PeerId,
-        kind: &str,
+        kind: &'static str,
         payload: Vec<u8>,
     ) -> Result<(), NetError>;
 
@@ -74,7 +74,7 @@ impl Transport for SimNet {
         &mut self,
         from: PeerId,
         to: PeerId,
-        kind: &str,
+        kind: &'static str,
         payload: Vec<u8>,
     ) -> Result<(), NetError> {
         SimNet::send(self, from, to, kind, payload).map(|_deliver_at| ())

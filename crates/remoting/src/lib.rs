@@ -201,15 +201,20 @@ impl RemotingFabric {
     /// # Errors
     /// Protocol violations in either layer.
     pub fn run<T: Transport>(&mut self, swarm: &mut Swarm<T>) -> Result<()> {
-        while let Some((at, msg)) = swarm.poll_message()? {
-            if pti_transport::kinds::is_protocol(&msg.kind) {
+        loop {
+            // Ship anything the routed publish path queued on the wire;
+            // this pump replaces Swarm::run, so it must flush like it.
+            swarm.flush_wire();
+            let Some((at, msg)) = swarm.poll_message()? else {
+                return Ok(());
+            };
+            if pti_transport::kinds::is_protocol(msg.kind) {
                 swarm.dispatch(at, msg)?;
             } else {
                 self.handle(swarm, at, msg)?;
             }
             self.settle_refs(swarm)?;
         }
-        Ok(())
     }
 
     /// Drives transport + remoting until no message arrives for `idle` —
@@ -218,15 +223,18 @@ impl RemotingFabric {
     /// # Errors
     /// Protocol violations in either layer.
     pub fn run_for<T: Transport>(&mut self, swarm: &mut Swarm<T>, idle: Duration) -> Result<()> {
-        while let Some((at, msg)) = swarm.poll_deadline(Instant::now() + idle)? {
-            if pti_transport::kinds::is_protocol(&msg.kind) {
+        loop {
+            swarm.flush_wire();
+            let Some((at, msg)) = swarm.poll_deadline(Instant::now() + idle)? else {
+                return Ok(());
+            };
+            if pti_transport::kinds::is_protocol(msg.kind) {
                 swarm.dispatch(at, msg)?;
             } else {
                 self.handle(swarm, at, msg)?;
             }
             self.settle_refs(swarm)?;
         }
-        Ok(())
     }
 
     /// Remote proxies that finished their conformance handshake at `peer`.
@@ -287,9 +295,10 @@ impl RemotingFabric {
                 let el = pti_xml::parse(&text).map_err(pti_serialize::SerializeError::from)?;
                 return Ok(from_soap(&mut swarm.peer_mut(caller).runtime, &el)?);
             }
+            swarm.flush_wire();
             match swarm.poll_deadline(Instant::now() + RPC_IDLE)? {
                 Some((at, msg)) => {
-                    if pti_transport::kinds::is_protocol(&msg.kind) {
+                    if pti_transport::kinds::is_protocol(msg.kind) {
                         swarm.dispatch(at, msg)?;
                     } else {
                         self.handle(swarm, at, msg)?;
@@ -311,7 +320,7 @@ impl RemotingFabric {
         at: PeerId,
         msg: BusMessage,
     ) -> Result<()> {
-        match msg.kind.as_str() {
+        match msg.kind {
             kinds::REMOTE_REF => {
                 let text = String::from_utf8(msg.payload)
                     .map_err(|_| TransportError::Protocol("ref not utf8".into()))?;

@@ -8,11 +8,17 @@
 //! publishers and subscribers never have to share a type hierarchy or
 //! even a vendor.
 //!
-//! [`TypedPubSub`] is a broadcast layer over the optimistic transport:
-//! publishing sends the event object to every other member; each
-//! member's own conformance check decides delivery, and rejected events
-//! never cost an assembly download (Figure 1's saving, amortized over
-//! the whole group).
+//! [`TypedPubSub`] is an *interest-routed* layer over the optimistic
+//! transport: publishing resolves the subscriber set through the
+//! swarm's routing table (interests indexed by type-name token
+//! signature, Gryphon/SIENA-style) and ships one coalesced wire message
+//! per `(publisher, subscriber)` link per pump — O(subscribers) instead
+//! of O(members) per event. Each receiver's own conformance check still
+//! decides final delivery, and rejected events never cost an assembly
+//! download (Figure 1's saving, amortized over the whole group). The
+//! pre-routing broadcast behaviour survives as an explicit escape hatch
+//! ([`DeliveryMode::Flood`]) for interest-less sniffing and as the
+//! baseline the routing experiment measures against.
 //!
 //! The session API is **typed handles**, not raw peers: [`Member`]s are
 //! obtained from the group, a [`Publisher`] builds-and-broadcasts events
@@ -79,6 +85,21 @@ use pti_proxy::DynamicProxy;
 use pti_serialize::PayloadFormat;
 use pti_transport::{Delivery, ProtocolStats, Result, Swarm, TransportError};
 
+/// How published events reach the other members.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub enum DeliveryMode {
+    /// Route through the interest index: an event goes only to members
+    /// whose subscription signatures match its type, one coalesced wire
+    /// message per link per pump. The default.
+    #[default]
+    Routed,
+    /// Broadcast to every other member regardless of interest — the
+    /// pre-routing behaviour, kept as an explicit escape hatch (e.g. for
+    /// measuring what routing saves, or for members that inspect
+    /// everything without subscribing).
+    Flood,
+}
+
 /// A matched event delivered to a subscriber.
 #[derive(Debug, Clone)]
 pub struct EventNotification {
@@ -102,22 +123,45 @@ struct Group<T: Transport> {
     members: Vec<PeerId>,
     default_conformance: ConformanceConfig,
     format: PayloadFormat,
+    mode: DeliveryMode,
     /// Matched events collected from peers but not yet claimed by a
     /// subscription's `drain`.
     mailbox: HashMap<PeerId, Vec<EventNotification>>,
 }
 
 impl<T: Transport> Group<T> {
-    /// Broadcast to every other member. Deliberately allocation-free:
-    /// indexing sidesteps holding a borrow of `members` across the sends.
+    /// Ships one event according to the group's delivery mode.
     fn publish(&mut self, from: PeerId, event: &Value, format: PayloadFormat) -> Result<()> {
-        for i in 0..self.members.len() {
-            let to = self.members[i];
-            if to != from {
-                self.swarm.send_object(from, to, event, format)?;
+        match self.mode {
+            DeliveryMode::Routed => {
+                // Frames queue per link and flush at the next pump.
+                self.swarm.route_object(from, event, format)?;
+                Ok(())
             }
+            DeliveryMode::Flood => self.flood(from, event, format),
+        }
+    }
+
+    /// Broadcast to every other member (the group's members are exactly
+    /// the swarm's owned peers). A member whose fabric registration is
+    /// gone (departed endpoint) is pruned from future broadcasts instead
+    /// of failing the publish.
+    fn flood(&mut self, from: PeerId, event: &Value, format: PayloadFormat) -> Result<()> {
+        let outcome = self.swarm.flood_object(from, event, format)?;
+        for p in outcome.departed {
+            self.prune_member(p);
         }
         Ok(())
+    }
+
+    /// Forgets a departed member: no more broadcast or routing traffic
+    /// targets it. Its local protocol state is kept so outstanding
+    /// `Member`/`Publisher`/`Subscription` handles stay valid (already
+    /// collected events remain drainable; operations simply find an
+    /// unreachable peer, not a panic).
+    fn prune_member(&mut self, peer: PeerId) {
+        self.members.retain(|m| *m != peer);
+        self.swarm.forget_peer(peer);
     }
 
     /// Moves a member's finished matched deliveries into the mailbox.
@@ -179,6 +223,7 @@ pub struct Builder {
     net: NetConfig,
     conformance: ConformanceConfig,
     format: PayloadFormat,
+    mode: DeliveryMode,
 }
 
 impl Default for Builder {
@@ -187,6 +232,7 @@ impl Default for Builder {
             net: NetConfig::default(),
             conformance: ConformanceConfig::pragmatic(),
             format: PayloadFormat::Binary,
+            mode: DeliveryMode::Routed,
         }
     }
 }
@@ -212,6 +258,14 @@ impl Builder {
         self
     }
 
+    /// How events reach the other members. Defaults to
+    /// [`DeliveryMode::Routed`] (interest-indexed);
+    /// [`DeliveryMode::Flood`] restores the broadcast behaviour.
+    pub fn delivery_mode(mut self, mode: DeliveryMode) -> Builder {
+        self.mode = mode;
+        self
+    }
+
     /// Builds the group over a fresh deterministic [`SimNet`].
     pub fn build(self) -> TypedPubSub<SimNet> {
         let net = SimNet::new(self.net);
@@ -227,6 +281,7 @@ impl Builder {
                 members: Vec::new(),
                 default_conformance: self.conformance,
                 format: self.format,
+                mode: self.mode,
                 mailbox: HashMap::new(),
             })),
         }
@@ -385,14 +440,11 @@ impl<T: Transport> Member<T> {
     }
 
     /// Registers a type of interest and returns its [`Subscription`]:
-    /// inbound events are matched against it by implicit structural
-    /// conformance.
+    /// the interest joins the routing index (so routed publishes start
+    /// targeting this member) and inbound events are matched against it
+    /// by implicit structural conformance.
     pub fn subscribe(&self, interest: TypeDescription) -> Subscription<T> {
-        self.group
-            .lock()
-            .swarm
-            .peer_mut(self.id)
-            .subscribe(interest.clone());
+        self.group.lock().swarm.subscribe(self.id, interest.clone());
         Subscription {
             group: self.group.clone(),
             member: self.id,
@@ -604,14 +656,15 @@ impl<T: Transport> Subscription<T> {
             .map_err(|e| TransportError::Protocol(format!("event field read failed: {e}")))
     }
 
-    /// Withdraws the interest: future events are no longer matched
-    /// against it. Returns whether the interest was still registered.
+    /// Withdraws the interest: it leaves the routing index (routed
+    /// publishes stop targeting this member for it) and future events
+    /// are no longer matched against it. Returns whether the interest
+    /// was still registered.
     pub fn cancel(&self) -> bool {
         self.group
             .lock()
             .swarm
-            .peer_mut(self.member)
-            .unsubscribe(self.interest.guid)
+            .unsubscribe(self.member, self.interest.guid)
     }
 }
 
@@ -679,8 +732,110 @@ mod tests {
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].from, publisher.id());
         assert!(news_sub.drain().is_empty());
+        // Interest-indexed routing: the news fan's signature does not
+        // match, so the event never even crossed its link.
+        assert_eq!(news_fan.stats().objects_received, 0);
+        assert_eq!(news_fan.stats().rejected, 0);
+        assert_eq!(news_fan.stats().asm_requests, 0, "no code for non-matches");
+        assert_eq!(tps.metrics().kind("object").messages, 1, "one link used");
+    }
+
+    #[test]
+    fn flood_mode_still_reaches_non_matching_members() {
+        // The broadcast escape hatch: everyone receives, conformance
+        // rejects locally — the pre-routing behaviour.
+        let tps = TypedPubSub::builder()
+            .delivery_mode(DeliveryMode::Flood)
+            .build();
+        let publisher = tps.add_member();
+        let quote_fan = tps.add_member();
+        let news_fan = tps.add_member();
+
+        let (asm, _) = quote_assembly("pub");
+        let quotes = publisher.publisher_for(asm).unwrap();
+        let (_, sub_quote) = quote_assembly("quote-fan");
+        let quote_sub = quote_fan.subscribe(TypeDescription::from_def(&sub_quote));
+        let (_, sub_news) = news_assembly("news-fan");
+        let news_sub = news_fan.subscribe(TypeDescription::from_def(&sub_news));
+
+        quotes
+            .publish_with(|e| {
+                e.set("symbol", "ACME")?;
+                Ok(())
+            })
+            .unwrap();
+        tps.run().unwrap();
+
+        assert_eq!(quote_sub.drain().len(), 1);
+        assert!(news_sub.drain().is_empty());
+        assert_eq!(news_fan.stats().objects_received, 1);
         assert_eq!(news_fan.stats().rejected, 1);
         assert_eq!(news_fan.stats().asm_requests, 0, "no code for non-matches");
+        assert_eq!(tps.metrics().kind("object").messages, 2, "every link used");
+    }
+
+    #[test]
+    fn loose_type_name_matchers_keep_flood_semantics_under_routing() {
+        // A wildcard type-name profile cannot be modelled by the token
+        // prefilter; its subscriber must still receive routed events
+        // (catch-all route) and match them through its own checker.
+        use pti_conformance::NameMatcher;
+        let tps = group();
+        let publisher = tps.add_member();
+        let wild = tps
+            .add_member_with(ConformanceConfig::pragmatic().with_type_names(NameMatcher::Wildcard));
+        let (asm, _) = quote_assembly("pub");
+        let quotes = publisher.publisher_for(asm).unwrap();
+        // Interest named `Stock*` — token-signature routing alone would
+        // never match it against `StockQuote`.
+        let pattern = TypeDef::class("Stock*", "wild")
+            .field("symbol", primitives::STRING)
+            .field("price", primitives::FLOAT64)
+            .build();
+        let sub = wild.subscribe(TypeDescription::from_def(&pattern));
+        quotes
+            .publish_with(|e| {
+                e.set("symbol", "WILD")?;
+                Ok(())
+            })
+            .unwrap();
+        tps.run().unwrap();
+        assert_eq!(sub.drain().len(), 1, "catch-all route delivered");
+    }
+
+    #[test]
+    fn routed_publishes_coalesce_per_link() {
+        let tps = group();
+        let publisher = tps.add_member();
+        let subscriber = tps.add_member();
+        let spectator = tps.add_member();
+        let (asm, _) = quote_assembly("pub");
+        let quotes = publisher.publisher_for(asm).unwrap();
+        let (_, sub_def) = quote_assembly("sub");
+        let sub = subscriber.subscribe(TypeDescription::from_def(&sub_def));
+
+        for i in 0..10 {
+            let symbol = format!("B{i}");
+            quotes
+                .publish_with(|e| {
+                    e.set("symbol", symbol.as_str())?;
+                    Ok(())
+                })
+                .unwrap();
+        }
+        tps.run().unwrap();
+        assert_eq!(sub.drain().len(), 10);
+
+        let m = tps.metrics();
+        // All ten envelopes crossed the publisher→subscriber link as one
+        // coalesced batch message...
+        assert_eq!(m.kind("object").messages, 0);
+        let link = m.link(publisher.id(), subscriber.id());
+        assert_eq!(link.batches, 1);
+        assert_eq!(link.frames, 10);
+        // ...and the interest-less spectator saw no traffic at all.
+        assert_eq!(tps.stats(spectator.id()).objects_received, 0);
+        assert_eq!(m.link(publisher.id(), spectator.id()).batches, 0);
     }
 
     #[test]
@@ -780,6 +935,7 @@ mod tests {
 
         assert!(sub.cancel());
         assert!(!sub.cancel(), "idempotent");
+        let before = tps.metrics().messages;
         quotes
             .publish_with(|e| {
                 e.set("symbol", "AFTER")?;
@@ -788,6 +944,9 @@ mod tests {
             .unwrap();
         tps.run().unwrap();
         assert!(sub.drain().is_empty());
+        // The retraction reached the router: the second publish found no
+        // matching interest and nothing crossed the wire.
+        assert_eq!(tps.metrics().messages, before);
     }
 
     #[test]

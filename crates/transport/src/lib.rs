@@ -76,9 +76,11 @@
 mod code;
 mod error;
 mod peer;
+mod routing;
 mod swarm;
 
 pub use code::CodeRegistry;
 pub use error::{Result, TransportError};
 pub use peer::{Delivery, Peer, PeerProvider, ProtocolStats, Published};
-pub use swarm::{kinds, LiveSwarm, SimSwarm, Swarm};
+pub use routing::{RoutingTable, Signature};
+pub use swarm::{kinds, FloodOutcome, LiveSwarm, SimSwarm, Swarm};

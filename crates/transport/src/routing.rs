@@ -1,0 +1,355 @@
+//! Interest-indexed routing: who wants events of which type?
+//!
+//! Gryphon/SIENA-style event systems route by *content descriptors*
+//! instead of broadcasting; the TPS analogue of a descriptor is the
+//! *type-name token signature* — the camel/snake-case tokens of a type's
+//! simple name. A subscriber's interest (`StockQuote`) and a publisher's
+//! event type (`StockQuote`, `stock_quote`, `StockQuoteV2`…) match when
+//! one's token sequence is an ordered subsequence of the other's — the
+//! same relaxation [`NameMatcher::TokenSubsequence`] applies to member
+//! names, and a strict superset of the `Exact` type-name matching both
+//! conformance profiles use. The signature is therefore a *conservative
+//! pre-filter*: it may route an event the receiver's conformance check
+//! then rejects, but it never starves a subscriber whose interest name
+//! matches under the default profiles.
+//!
+//! The [`RoutingTable`] is replicated per protocol engine: each
+//! [`Swarm`](crate::Swarm) applies local subscriptions directly and
+//! learns remote ones from `subscribe`/`unsubscribe` gossip messages, so
+//! every engine resolves the same subscriber set for a given event type
+//! — the decision parity `transport_parity.rs` asserts across fabrics.
+//!
+//! [`NameMatcher::TokenSubsequence`]: pti_conformance::NameMatcher
+
+use std::collections::{BTreeMap, BTreeSet, HashMap};
+
+use pti_metamodel::{split_ident_tokens, Guid, TypeDescription};
+use pti_net::PeerId;
+
+/// The token signature of a type name: lowercased identifier tokens of
+/// the *simple* name (`finance.StockQuote` → `["stock", "quote"]`) —
+/// or the *catch-all* signature, which matches every event. Catch-all
+/// entries exist for interests whose conformance profile uses a
+/// type-name matcher the token prefilter cannot model (Levenshtein,
+/// wildcards, synonyms): such subscribers receive everything and filter
+/// locally, preserving flood semantics for them while the rest of the
+/// group enjoys indexed routing.
+#[derive(Debug, Clone, PartialEq, Eq, PartialOrd, Ord, Hash)]
+pub struct Signature {
+    tokens: Vec<String>,
+    catch_all: bool,
+}
+
+impl Signature {
+    /// Signature of a bare type name.
+    pub fn of_name(name: &str) -> Signature {
+        let simple = name.rsplit('.').next().unwrap_or(name);
+        Signature {
+            tokens: split_ident_tokens(simple),
+            catch_all: false,
+        }
+    }
+
+    /// Signature of a type description (its name's simple part).
+    pub fn of_description(desc: &TypeDescription) -> Signature {
+        Signature::of_name(desc.name.simple())
+    }
+
+    /// The signature that matches every event.
+    pub fn catch_all() -> Signature {
+        Signature {
+            tokens: Vec::new(),
+            catch_all: true,
+        }
+    }
+
+    /// Whether this is the catch-all signature.
+    pub fn is_catch_all(&self) -> bool {
+        self.catch_all
+    }
+
+    /// The tokens (empty for the catch-all signature).
+    pub fn tokens(&self) -> &[String] {
+        &self.tokens
+    }
+
+    /// Whether an event with this signature should be routed to an
+    /// interest with signature `interest`: always for a catch-all
+    /// interest; otherwise equal token sequences, or either sequence an
+    /// ordered subsequence of the other (`setName` ≈ `setPersonName`,
+    /// both directions — subscribers may name their interest more or
+    /// less specifically than the publisher).
+    pub fn matches(&self, interest: &Signature) -> bool {
+        interest.catch_all
+            || self.tokens == interest.tokens
+            || subsequence(&self.tokens, &interest.tokens)
+            || subsequence(&interest.tokens, &self.tokens)
+    }
+
+    /// Wire form: tokens joined by spaces; `*` for the catch-all.
+    pub fn encode(&self) -> String {
+        if self.catch_all {
+            "*".to_string()
+        } else {
+            self.tokens.join(" ")
+        }
+    }
+
+    /// Parses the wire form produced by [`encode`](Self::encode).
+    pub fn decode(text: &str) -> Signature {
+        if text.trim() == "*" {
+            return Signature::catch_all();
+        }
+        Signature {
+            tokens: text.split_whitespace().map(str::to_string).collect(),
+            catch_all: false,
+        }
+    }
+}
+
+/// Ordered containment of `needle` in `hay` (both non-empty).
+fn subsequence(needle: &[String], hay: &[String]) -> bool {
+    if needle.is_empty() {
+        return false;
+    }
+    let mut it = hay.iter();
+    needle.iter().all(|t| it.any(|x| x == t))
+}
+
+/// The interest index a protocol engine routes by.
+///
+/// Keyed by `(subscriber, interest identity)` so the same peer may hold
+/// several interests (even same-named ones from different vendors) and
+/// retract each independently. A token inverted index keeps
+/// [`resolve`](Self::resolve) proportional to the *candidate* interests
+/// (those sharing a token with the event) rather than every interest in
+/// the group — the publish hot path must not scan all subscribers.
+#[derive(Debug, Clone, Default)]
+pub struct RoutingTable {
+    entries: BTreeMap<(PeerId, Guid), Signature>,
+    /// token → interests whose signature contains it. A match in either
+    /// subsequence direction shares at least one token with the event,
+    /// so the union over the event's tokens is a complete candidate set.
+    by_token: HashMap<String, BTreeSet<(PeerId, Guid)>>,
+    /// Catch-all interests: candidates for every event.
+    catch_all: BTreeSet<(PeerId, Guid)>,
+}
+
+impl PartialEq for RoutingTable {
+    fn eq(&self, other: &RoutingTable) -> bool {
+        self.entries == other.entries
+    }
+}
+
+impl Eq for RoutingTable {}
+
+impl RoutingTable {
+    /// An empty table.
+    pub fn new() -> RoutingTable {
+        RoutingTable::default()
+    }
+
+    /// Registers an interest. Returns `false` if the identical entry was
+    /// already present (gossip is at-least-once; inserts are idempotent).
+    pub fn insert(&mut self, subscriber: PeerId, interest: Guid, signature: Signature) -> bool {
+        let key = (subscriber, interest);
+        let fresh = match self.entries.insert(key, signature.clone()) {
+            None => true,
+            Some(old) => {
+                self.unindex(key, &old);
+                false
+            }
+        };
+        if signature.is_catch_all() {
+            self.catch_all.insert(key);
+        }
+        for t in signature.tokens() {
+            self.by_token.entry(t.clone()).or_default().insert(key);
+        }
+        fresh
+    }
+
+    fn unindex(&mut self, key: (PeerId, Guid), signature: &Signature) {
+        self.catch_all.remove(&key);
+        for t in signature.tokens() {
+            if let Some(set) = self.by_token.get_mut(t) {
+                set.remove(&key);
+                if set.is_empty() {
+                    self.by_token.remove(t);
+                }
+            }
+        }
+    }
+
+    /// Retracts one interest of one subscriber. Returns whether anything
+    /// was removed.
+    pub fn remove(&mut self, subscriber: PeerId, interest: Guid) -> bool {
+        let key = (subscriber, interest);
+        let Some(signature) = self.entries.remove(&key) else {
+            return false;
+        };
+        self.unindex(key, &signature);
+        true
+    }
+
+    /// Drops every interest of a departed peer.
+    pub fn remove_peer(&mut self, subscriber: PeerId) {
+        let keys: Vec<(PeerId, Guid)> = self
+            .entries
+            .range((subscriber, Guid(0))..=(subscriber, Guid(u128::MAX)))
+            .map(|(k, _)| *k)
+            .collect();
+        for (p, g) in keys {
+            self.remove(p, g);
+        }
+    }
+
+    /// The peers whose interests match an event signature, deduplicated
+    /// and in ascending id order (deterministic fan-out on every fabric).
+    pub fn resolve(&self, event: &Signature) -> Vec<PeerId> {
+        // Candidates: every catch-all interest, plus every interest
+        // sharing at least one token with the event (a necessary
+        // condition for matching in either direction).
+        let mut candidates: BTreeSet<(PeerId, Guid)> = self.catch_all.clone();
+        for t in event.tokens() {
+            if let Some(set) = self.by_token.get(t) {
+                candidates.extend(set.iter().copied());
+            }
+        }
+        let mut out: Vec<PeerId> = Vec::new();
+        for key @ (peer, _) in candidates {
+            if out.last() == Some(&peer) {
+                continue;
+            }
+            if event.matches(&self.entries[&key]) {
+                out.push(peer);
+            }
+        }
+        out
+    }
+
+    /// Number of registered interests.
+    pub fn len(&self) -> usize {
+        self.entries.len()
+    }
+
+    /// Whether no interest is registered.
+    pub fn is_empty(&self) -> bool {
+        self.entries.is_empty()
+    }
+
+    /// Peers holding at least one interest.
+    pub fn subscribers(&self) -> Vec<PeerId> {
+        let mut out: Vec<PeerId> = Vec::new();
+        for (peer, _) in self.entries.keys() {
+            if out.last() != Some(peer) {
+                out.push(*peer);
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use pti_metamodel::{primitives, TypeDef};
+
+    fn sig(name: &str) -> Signature {
+        Signature::of_name(name)
+    }
+
+    #[test]
+    fn signature_tokens_and_namespaces() {
+        assert_eq!(sig("StockQuote").tokens(), ["stock", "quote"]);
+        assert_eq!(sig("finance.StockQuote").tokens(), ["stock", "quote"]);
+        assert_eq!(sig("stock_quote").tokens(), ["stock", "quote"]);
+    }
+
+    #[test]
+    fn signature_matching_is_subsequence_both_ways() {
+        assert!(sig("StockQuote").matches(&sig("stockQuote")));
+        assert!(sig("StockQuoteV2").matches(&sig("StockQuote")));
+        assert!(sig("Quote").matches(&sig("StockQuote")), "less specific");
+        assert!(!sig("NewsFlash").matches(&sig("StockQuote")));
+        assert!(!sig("QuoteStock").matches(&sig("StockQuote")), "ordered");
+    }
+
+    #[test]
+    fn signature_wire_roundtrip() {
+        let s = sig("SensorReading");
+        assert_eq!(Signature::decode(&s.encode()), s);
+        assert!(Signature::decode("").tokens().is_empty());
+        assert!(Signature::decode("*").is_catch_all());
+        assert_eq!(
+            Signature::decode(&Signature::catch_all().encode()),
+            Signature::catch_all()
+        );
+    }
+
+    #[test]
+    fn of_description_uses_simple_name() {
+        let def = TypeDef::class("StockQuote", "v")
+            .field("price", primitives::FLOAT64)
+            .build();
+        let d = TypeDescription::from_def(&def);
+        assert_eq!(Signature::of_description(&d), sig("StockQuote"));
+    }
+
+    #[test]
+    fn table_resolves_matching_subscribers_in_order() {
+        let mut t = RoutingTable::new();
+        let (ga, gb, gc) = (
+            Guid::derive("A", "x"),
+            Guid::derive("B", "x"),
+            Guid::derive("C", "x"),
+        );
+        t.insert(PeerId(3), ga, sig("StockQuote"));
+        t.insert(PeerId(1), gb, sig("StockQuote"));
+        t.insert(PeerId(2), gc, sig("NewsFlash"));
+        assert_eq!(t.resolve(&sig("StockQuote")), vec![PeerId(1), PeerId(3)]);
+        assert_eq!(t.resolve(&sig("NewsFlash")), vec![PeerId(2)]);
+        assert!(t.resolve(&sig("Unrelated")).is_empty());
+    }
+
+    #[test]
+    fn duplicate_interests_resolve_once() {
+        let mut t = RoutingTable::new();
+        let (ga, gb) = (Guid::derive("A", "x"), Guid::derive("A", "y"));
+        assert!(t.insert(PeerId(1), ga, sig("StockQuote")));
+        assert!(!t.insert(PeerId(1), ga, sig("StockQuote")), "idempotent");
+        t.insert(PeerId(1), gb, sig("StockQuote"));
+        assert_eq!(t.resolve(&sig("StockQuote")), vec![PeerId(1)]);
+        assert_eq!(t.len(), 2);
+    }
+
+    #[test]
+    fn catch_all_interests_resolve_for_every_event() {
+        let mut t = RoutingTable::new();
+        let (ga, gb) = (Guid::derive("A", "x"), Guid::derive("B", "x"));
+        t.insert(PeerId(1), ga, sig("StockQuote"));
+        t.insert(PeerId(2), gb, Signature::catch_all());
+        assert!(sig("Anything").matches(&Signature::catch_all()));
+        assert_eq!(t.resolve(&sig("StockQuote")), vec![PeerId(1), PeerId(2)]);
+        assert_eq!(t.resolve(&sig("Unrelated")), vec![PeerId(2)]);
+        // Retraction drops it from the every-event candidate set too.
+        assert!(t.remove(PeerId(2), gb));
+        assert!(t.resolve(&sig("Unrelated")).is_empty());
+    }
+
+    #[test]
+    fn removal_by_identity_and_by_peer() {
+        let mut t = RoutingTable::new();
+        let (ga, gb) = (Guid::derive("A", "x"), Guid::derive("A", "y"));
+        t.insert(PeerId(1), ga, sig("StockQuote"));
+        t.insert(PeerId(1), gb, sig("StockQuote"));
+        t.insert(PeerId(2), ga, sig("StockQuote"));
+        assert!(t.remove(PeerId(1), ga));
+        assert!(!t.remove(PeerId(1), ga), "already gone");
+        assert_eq!(t.resolve(&sig("StockQuote")), vec![PeerId(1), PeerId(2)]);
+        t.remove_peer(PeerId(1));
+        assert_eq!(t.resolve(&sig("StockQuote")), vec![PeerId(2)]);
+        assert_eq!(t.subscribers(), vec![PeerId(2)]);
+        assert!(!t.is_empty());
+    }
+}

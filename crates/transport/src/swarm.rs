@@ -26,12 +26,12 @@
 //! [`LiveBus`](pti_net::LiveBus) (as [`LiveSwarm`], one swarm per thread
 //! over a shared fabric, for genuinely concurrent load).
 
-use std::collections::{BTreeMap, HashSet};
+use std::collections::{BTreeMap, BTreeSet, HashSet};
 use std::time::{Duration, Instant};
 
 use pti_conformance::ConformanceConfig;
-use pti_metamodel::{Assembly, Value};
-use pti_net::{BusMessage, LiveBus, NetConfig, PeerId, SimNet, Transport};
+use pti_metamodel::{Assembly, Guid, TypeDescription, Value};
+use pti_net::{BusMessage, FrameBatch, LiveBus, NetConfig, NetError, PeerId, SimNet, Transport};
 use pti_proxy::DynamicProxy;
 use pti_serialize::{description_from_xml, description_to_xml, ObjectEnvelope, PayloadFormat};
 use pti_xml::Element;
@@ -39,9 +39,14 @@ use pti_xml::Element;
 use crate::code::CodeRegistry;
 use crate::error::{Result, TransportError};
 use crate::peer::{Delivery, Peer, PendingObject};
+use crate::routing::{RoutingTable, Signature};
 
 /// Message kind tags on the wire.
 pub mod kinds {
+    /// Coalesced frame batch for one `(from, to)` link (fabric-level
+    /// kind; the frames inside carry protocol kinds).
+    pub use pti_net::kinds::BATCH;
+
     /// Optimistic object envelope.
     pub const OBJECT: &str = "object";
     /// Type-description fetch request.
@@ -54,15 +59,50 @@ pub mod kinds {
     pub const ASM_RESPONSE: &str = "asm-response";
     /// Eager-baseline object message (envelope + descriptions + code).
     pub const EAGER_OBJECT: &str = "eager-object";
+    /// Interest registration gossip (routing-table update).
+    pub const SUBSCRIBE: &str = "subscribe";
+    /// Interest retraction gossip (routing-table update).
+    pub const UNSUBSCRIBE: &str = "unsubscribe";
+
+    /// Every protocol kind that may travel *inside* a frame batch —
+    /// the single source of truth [`intern`] and [`is_protocol`] share
+    /// (nested batches are deliberately absent).
+    const BATCHABLE: [&str; 8] = [
+        OBJECT,
+        DESC_REQUEST,
+        DESC_RESPONSE,
+        ASM_REQUEST,
+        ASM_RESPONSE,
+        EAGER_OBJECT,
+        SUBSCRIBE,
+        UNSUBSCRIBE,
+    ];
 
     /// Whether a kind tag belongs to the core transport protocol (as
     /// opposed to an embedding layer like remoting).
     pub fn is_protocol(kind: &str) -> bool {
-        matches!(
-            kind,
-            OBJECT | DESC_REQUEST | DESC_RESPONSE | ASM_REQUEST | ASM_RESPONSE | EAGER_OBJECT
-        )
+        kind == BATCH || intern(kind).is_some()
     }
+
+    /// Maps a kind decoded from a frame batch back to its static tag.
+    /// `None` for kinds that may not travel inside a batch (including
+    /// nested batches).
+    pub fn intern(kind: &str) -> Option<&'static str> {
+        BATCHABLE.iter().find(|k| **k == kind).copied()
+    }
+}
+
+/// A queued wire frame: the kind tag plus its payload.
+type QueuedFrame = (&'static str, Vec<u8>);
+
+/// What a [`Swarm::flood_object`] broadcast accomplished.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct FloodOutcome {
+    /// Peers the object was delivered to.
+    pub sent: usize,
+    /// Peers found unreachable (retired from routing/contacts; owned
+    /// protocol state preserved) — the caller prunes its membership.
+    pub departed: Vec<PeerId>,
 }
 
 /// A set of peers wired to one transport fabric, with the out-of-band
@@ -79,6 +119,15 @@ pub struct Swarm<T: Transport = SimNet> {
     code: CodeRegistry,
     next_id: u32,
     budget: usize,
+    /// Interest index: local subscriptions applied directly, remote ones
+    /// learned from `subscribe`/`unsubscribe` gossip.
+    routes: RoutingTable,
+    /// Remote peers (owned by sibling swarms on a shared fabric) that
+    /// receive interest gossip and flood sends.
+    contacts: BTreeSet<PeerId>,
+    /// Frames queued per `(from, to)` link, coalesced into one wire
+    /// message each at the next [`flush_wire`](Self::flush_wire).
+    wire: BTreeMap<(PeerId, PeerId), Vec<QueuedFrame>>,
 }
 
 /// The deterministic virtual-time swarm every experiment runs on.
@@ -93,6 +142,8 @@ impl<T: Transport> std::fmt::Debug for Swarm<T> {
         f.debug_struct("Swarm")
             .field("peers", &self.peers.len())
             .field("published_paths", &self.code.len())
+            .field("routes", &self.routes.len())
+            .field("contacts", &self.contacts.len())
             .finish()
     }
 }
@@ -122,6 +173,9 @@ impl<T: Transport> Swarm<T> {
             code,
             next_id: 1,
             budget: 1_000_000,
+            routes: RoutingTable::new(),
+            contacts: BTreeSet::new(),
+            wire: BTreeMap::new(),
         }
     }
 
@@ -139,6 +193,9 @@ impl<T: Transport> Swarm<T> {
     pub fn add_peer_as(&mut self, id: PeerId, config: ConformanceConfig) -> PeerId {
         self.net.register(id);
         self.next_id = self.next_id.max(id.0 + 1);
+        // Owned peers and contacts stay disjoint: flood and gossip
+        // would otherwise target the id twice.
+        self.contacts.remove(&id);
         self.peers.insert(id, Peer::new(id, config));
         id
     }
@@ -224,6 +281,234 @@ impl<T: Transport> Swarm<T> {
         Ok(())
     }
 
+    /// Declares a remote contact: a peer owned by a sibling swarm on the
+    /// shared fabric. Contacts receive interest gossip (so their swarm's
+    /// routing table learns this swarm's subscriptions) and flood sends.
+    pub fn add_contact(&mut self, peer: PeerId) {
+        if !self.peers.contains_key(&peer) {
+            self.contacts.insert(peer);
+        }
+    }
+
+    /// The declared remote contacts.
+    pub fn contacts(&self) -> Vec<PeerId> {
+        self.contacts.iter().copied().collect()
+    }
+
+    /// The interest index this swarm routes by.
+    pub fn routes(&self) -> &RoutingTable {
+        &self.routes
+    }
+
+    /// Registers a type of interest at a peer *and* indexes it for
+    /// routing: the local table is updated directly and a `subscribe`
+    /// gossip message goes to every remote contact. Unreachable contacts
+    /// are pruned rather than failing the subscription.
+    ///
+    /// The routing signature respects the peer's *type-name* matcher:
+    /// profiles the token prefilter can model exactly or conservatively
+    /// (exact, token-subsequence) get a token signature; anything looser
+    /// (Levenshtein, wildcards, synonyms) gets the catch-all signature,
+    /// so the subscriber keeps flood semantics and filters locally
+    /// instead of being silently starved.
+    ///
+    /// # Panics
+    /// If `peer` is not owned by this swarm.
+    pub fn subscribe(&mut self, peer: PeerId, interest: TypeDescription) {
+        use pti_conformance::NameMatcher;
+        let matcher = &self.peer(peer).checker.config().type_names;
+        let signature = match matcher {
+            NameMatcher::Exact | NameMatcher::Levenshtein(0) | NameMatcher::TokenSubsequence => {
+                Signature::of_description(&interest)
+            }
+            _ => Signature::catch_all(),
+        };
+        let guid = interest.guid;
+        self.peer_mut(peer).subscribe(interest);
+        // A name with no identifier tokens cannot be routed by signature
+        // (it could never match an event name); the interest still works
+        // locally for flood-delivered objects, but it neither enters the
+        // index nor crosses the wire.
+        if !signature.is_catch_all() && signature.tokens().is_empty() {
+            return;
+        }
+        self.routes.insert(peer, guid, signature.clone());
+        let payload = format!("{guid}\n{}", signature.encode()).into_bytes();
+        self.gossip(peer, kinds::SUBSCRIBE, &payload);
+    }
+
+    /// Retracts an interest by identity: the peer stops matching it, the
+    /// routing table drops it, and an `unsubscribe` gossip message goes
+    /// to every remote contact. Returns whether the interest was still
+    /// registered at the peer.
+    ///
+    /// # Panics
+    /// If `peer` is not owned by this swarm.
+    pub fn unsubscribe(&mut self, peer: PeerId, interest: Guid) -> bool {
+        let removed = self.peer_mut(peer).unsubscribe(interest);
+        self.routes.remove(peer, interest);
+        if removed {
+            let payload = interest.to_string().into_bytes();
+            self.gossip(peer, kinds::UNSUBSCRIBE, &payload);
+        }
+        removed
+    }
+
+    /// Sends a control message from `peer` to every remote contact,
+    /// pruning contacts that are no longer reachable.
+    fn gossip(&mut self, peer: PeerId, kind: &'static str, payload: &[u8]) {
+        let contacts: Vec<PeerId> = self.contacts.iter().copied().collect();
+        for to in contacts {
+            if let Err(NetError::UnknownPeer(p)) = self.net.send(peer, to, kind, payload.to_vec()) {
+                self.forget_peer(p);
+            }
+        }
+    }
+
+    /// Retires a departed peer from the routing table and contact list:
+    /// future routed and flood sends stop targeting it. The protocol
+    /// state of an *owned* peer is preserved (handles stay valid, its
+    /// collected deliveries stay drainable) — use
+    /// [`remove_peer`](Self::remove_peer) to drop that too.
+    pub fn forget_peer(&mut self, peer: PeerId) {
+        self.contacts.remove(&peer);
+        self.routes.remove_peer(peer);
+    }
+
+    /// Removes an *owned* peer entirely: its protocol state is dropped
+    /// and its interests leave the routing table — what a layer above
+    /// does when it learns the peer's fabric registration vanished.
+    /// Returns the removed peer, if it was owned.
+    pub fn remove_peer(&mut self, peer: PeerId) -> Option<Peer> {
+        let removed = self.peers.remove(&peer);
+        self.contacts.remove(&peer);
+        self.routes.remove_peer(peer);
+        removed
+    }
+
+    /// Routes an object to every subscriber whose interest signature
+    /// matches the object's type — the interest-indexed replacement for
+    /// publisher-side broadcast. Frames are queued per `(from, to)` link
+    /// and coalesced into one wire message each at the next pump
+    /// ([`run`](Self::run)/[`run_for`](Self::run_for) flush implicitly,
+    /// or call [`flush_wire`](Self::flush_wire)). Returns how many
+    /// subscribers the object was routed to (the sender itself is never
+    /// one).
+    ///
+    /// # Errors
+    /// Missing provenance or serialization failures.
+    pub fn route_object(
+        &mut self,
+        from: PeerId,
+        root: &Value,
+        format: PayloadFormat,
+    ) -> Result<usize> {
+        let sender = self
+            .peers
+            .get(&from)
+            .ok_or(TransportError::UnknownPeer(from))?;
+        let envelope = sender.make_envelope(root, format)?;
+        let signature = Signature::of_name(envelope.type_name.simple());
+        let targets: Vec<PeerId> = self
+            .routes
+            .resolve(&signature)
+            .into_iter()
+            .filter(|p| *p != from)
+            .collect();
+        if targets.is_empty() {
+            return Ok(0);
+        }
+        let payload = envelope.to_string_compact().into_bytes();
+        for to in &targets {
+            self.queue_frame(from, *to, kinds::OBJECT, payload.clone());
+        }
+        Ok(targets.len())
+    }
+
+    /// Sends an object to *every* peer on the fabric this swarm can name
+    /// (owned peers and contacts) regardless of interest — the broadcast
+    /// escape hatch routed delivery replaces, kept as the baseline the
+    /// routing experiment measures against. Unreachable peers are
+    /// retired from the routing table and contact list (an owned peer's
+    /// protocol state is preserved) and reported in the outcome so the
+    /// caller can prune its own membership.
+    ///
+    /// # Errors
+    /// Missing provenance or serialization failures.
+    pub fn flood_object(
+        &mut self,
+        from: PeerId,
+        root: &Value,
+        format: PayloadFormat,
+    ) -> Result<FloodOutcome> {
+        let sender = self
+            .peers
+            .get(&from)
+            .ok_or(TransportError::UnknownPeer(from))?;
+        let envelope = sender.make_envelope(root, format)?;
+        let payload = envelope.to_string_compact().into_bytes();
+        let targets: Vec<PeerId> = self
+            .peers
+            .keys()
+            .copied()
+            .chain(self.contacts.iter().copied())
+            .filter(|p| *p != from)
+            .collect();
+        let mut outcome = FloodOutcome::default();
+        for to in targets {
+            match self.net.send(from, to, kinds::OBJECT, payload.clone()) {
+                Ok(()) => outcome.sent += 1,
+                Err(NetError::UnknownPeer(p)) => {
+                    self.forget_peer(p);
+                    outcome.departed.push(p);
+                }
+            }
+        }
+        Ok(outcome)
+    }
+
+    /// Queues a frame on the `(from, to)` link; the next
+    /// [`flush_wire`](Self::flush_wire) ships each link's queue as one
+    /// wire message (the frame itself if alone, a
+    /// [`kinds::BATCH`] otherwise).
+    pub fn queue_frame(&mut self, from: PeerId, to: PeerId, kind: &'static str, payload: Vec<u8>) {
+        self.wire
+            .entry((from, to))
+            .or_default()
+            .push((kind, payload));
+    }
+
+    /// Number of frames currently queued for the wire.
+    pub fn queued_frames(&self) -> usize {
+        self.wire.values().map(Vec::len).sum()
+    }
+
+    /// Flushes the wire queue: one message per `(from, to)` link — the
+    /// frame itself when a link holds a single frame, a coalesced
+    /// [`kinds::BATCH`] otherwise. Links to departed peers are pruned
+    /// (their frames dropped) instead of failing the flush.
+    pub fn flush_wire(&mut self) {
+        if self.wire.is_empty() {
+            return;
+        }
+        let wire = std::mem::take(&mut self.wire);
+        for ((from, to), mut frames) in wire {
+            let sent = if frames.len() == 1 {
+                let (kind, payload) = frames.pop().expect("one frame");
+                self.net.send(from, to, kind, payload)
+            } else {
+                let mut batch = FrameBatch::new();
+                for (kind, payload) in frames {
+                    batch.push(kind, payload);
+                }
+                self.net.send(from, to, kinds::BATCH, batch.encode())
+            };
+            if let Err(NetError::UnknownPeer(p)) = sent {
+                self.forget_peer(p);
+            }
+        }
+    }
+
     /// Sends an object with the eager baseline: descriptions + code of
     /// every involved assembly travel inline with the object.
     ///
@@ -272,10 +557,13 @@ impl<T: Transport> Swarm<T> {
     /// to layer extra protocols like remoting on top) or runtime failures
     /// inside any peer.
     pub fn run(&mut self) -> Result<()> {
-        while let Some((at, msg)) = self.poll_message()? {
+        loop {
+            self.flush_wire();
+            let Some((at, msg)) = self.poll_message()? else {
+                return Ok(());
+            };
             self.dispatch_required(at, msg)?;
         }
-        Ok(())
     }
 
     /// Runs the protocol until no message has arrived for `idle` — the
@@ -285,14 +573,17 @@ impl<T: Transport> Swarm<T> {
     /// # Errors
     /// Same conditions as [`run`](Self::run).
     pub fn run_for(&mut self, idle: Duration) -> Result<()> {
-        while let Some((at, msg)) = self.poll_deadline(Instant::now() + idle)? {
+        loop {
+            self.flush_wire();
+            let Some((at, msg)) = self.poll_deadline(Instant::now() + idle)? else {
+                return Ok(());
+            };
             self.dispatch_required(at, msg)?;
         }
-        Ok(())
     }
 
     fn dispatch_required(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
-        if !kinds::is_protocol(&msg.kind) {
+        if !kinds::is_protocol(msg.kind) {
             return Err(TransportError::Protocol(format!(
                 "unknown message kind `{}`",
                 msg.kind
@@ -368,7 +659,7 @@ impl<T: Transport> Swarm<T> {
         &mut self,
         from: PeerId,
         to: PeerId,
-        kind: &str,
+        kind: &'static str,
         payload: Vec<u8>,
     ) -> Result<()> {
         self.net.send(from, to, kind, payload)?;
@@ -382,16 +673,59 @@ impl<T: Transport> Swarm<T> {
     /// # Errors
     /// Protocol violations or runtime failures.
     pub fn dispatch(&mut self, at: PeerId, msg: BusMessage) -> Result<bool> {
-        match msg.kind.as_str() {
+        match msg.kind {
             kinds::OBJECT => self.on_object(at, msg)?,
             kinds::DESC_REQUEST => self.on_desc_request(at, msg)?,
             kinds::DESC_RESPONSE => self.on_desc_response(at, msg)?,
             kinds::ASM_REQUEST => self.on_asm_request(at, msg)?,
             kinds::ASM_RESPONSE => self.on_asm_response(at, msg)?,
             kinds::EAGER_OBJECT => self.on_eager_object(at, msg)?,
+            kinds::SUBSCRIBE => self.on_subscribe(at, msg)?,
+            kinds::UNSUBSCRIBE => self.on_unsubscribe(at, msg)?,
+            kinds::BATCH => self.on_batch(at, msg)?,
             _ => return Ok(false),
         }
         Ok(true)
+    }
+
+    /// Splits a coalesced wire batch back into its frames and dispatches
+    /// each in queue order.
+    fn on_batch(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
+        let batch = FrameBatch::decode(&msg.payload)
+            .map_err(|e| TransportError::Protocol(e.to_string()))?;
+        for frame in batch.frames {
+            let kind = kinds::intern(&frame.kind).ok_or_else(|| {
+                TransportError::Protocol(format!("unknown batched kind `{}`", frame.kind))
+            })?;
+            self.dispatch(
+                at,
+                BusMessage {
+                    from: msg.from,
+                    to: at,
+                    kind,
+                    payload: frame.payload,
+                },
+            )?;
+        }
+        Ok(())
+    }
+
+    /// Learns a remote subscription: `msg.from` declared an interest. An
+    /// empty signature is ignored rather than rejected — one peer's
+    /// unroutable type name must not poison the receiving swarm's pump.
+    fn on_subscribe(&mut self, _at: PeerId, msg: BusMessage) -> Result<()> {
+        let (guid, signature) = parse_interest_gossip(&msg.payload)?;
+        if let Some(signature) = signature {
+            self.routes.insert(msg.from, guid, signature);
+        }
+        Ok(())
+    }
+
+    /// Learns a remote retraction: `msg.from` withdrew an interest.
+    fn on_unsubscribe(&mut self, _at: PeerId, msg: BusMessage) -> Result<()> {
+        let (guid, _) = parse_interest_gossip(&msg.payload)?;
+        self.routes.remove(msg.from, guid);
+        Ok(())
     }
 
     fn on_object(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
@@ -769,6 +1103,25 @@ impl<T: Transport> Swarm<T> {
         });
         Ok(())
     }
+}
+
+/// Parses `subscribe`/`unsubscribe` gossip payloads: a GUID line,
+/// optionally followed by a signature-token line (`subscribe` only).
+fn parse_interest_gossip(payload: &[u8]) -> Result<(Guid, Option<Signature>)> {
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| TransportError::Protocol("interest gossip not utf8".into()))?;
+    let mut lines = text.splitn(2, '\n');
+    let guid: Guid = lines
+        .next()
+        .unwrap_or_default()
+        .trim()
+        .parse()
+        .map_err(|_| TransportError::Protocol("interest gossip has malformed guid".into()))?;
+    let signature = lines
+        .next()
+        .map(Signature::decode)
+        .filter(|s| s.is_catch_all() || !s.tokens().is_empty());
+    Ok((guid, signature))
 }
 
 /// The XML document shipped as a `desc-response`: all descriptions of an

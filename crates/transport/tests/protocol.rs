@@ -641,3 +641,116 @@ fn message_budget_delivers_exactly_n() {
     assert!(swarm.poll_message().unwrap().is_some());
     assert!(swarm.poll_message().unwrap().is_none(), "drained");
 }
+
+#[test]
+fn departed_remote_subscriber_is_retired_from_routes() {
+    use pti_net::{LiveBus, PeerId};
+    use std::time::Duration;
+
+    let hub = LiveBus::new();
+    let mut publisher_swarm: Swarm<LiveBus> = Swarm::over(hub.clone());
+    let publisher = publisher_swarm.add_peer_as(PeerId(1), ConformanceConfig::pragmatic());
+    let (asm, def) = person_assembly("pub", "getName", "setName");
+    publisher_swarm.publish(publisher, asm).unwrap();
+
+    // A remote subscriber on a sibling swarm gossips its interest over.
+    {
+        let mut subscriber_swarm: Swarm<LiveBus> =
+            Swarm::with_code_registry(hub.clone(), publisher_swarm.code_registry());
+        let sub = subscriber_swarm.add_peer_as(PeerId(2), ConformanceConfig::pragmatic());
+        subscriber_swarm.add_contact(publisher);
+        subscriber_swarm.subscribe(sub, TypeDescription::from_def(&def));
+        publisher_swarm.run_for(Duration::from_millis(50)).unwrap();
+        assert_eq!(publisher_swarm.routes().len(), 1, "gossip landed");
+        // The subscriber's swarm drops here, unregistering peer 2.
+    }
+
+    // Routing still resolves the stale entry, but the flush notices the
+    // departure and retires it — the next publish stops targeting it.
+    let h = publisher_swarm
+        .peer_mut(publisher)
+        .runtime
+        .instantiate(&"Person".into(), &[])
+        .unwrap();
+    let first = publisher_swarm
+        .route_object(publisher, &Value::Obj(h), PayloadFormat::Binary)
+        .unwrap();
+    assert_eq!(first, 1, "stale route still resolved");
+    publisher_swarm.flush_wire();
+    assert!(publisher_swarm.routes().is_empty(), "dead peer retired");
+    let second = publisher_swarm
+        .route_object(publisher, &Value::Obj(h), PayloadFormat::Binary)
+        .unwrap();
+    assert_eq!(second, 0, "no more targets after retirement");
+}
+
+#[test]
+fn owning_a_former_contact_does_not_double_deliver() {
+    use pti_net::NetConfig;
+
+    let mut swarm = Swarm::new(NetConfig::default());
+    let publisher = swarm.add_peer(ConformanceConfig::pragmatic());
+    // Declared as a contact first (e.g. learned from a membership list),
+    // then adopted as an owned peer: flood must target it exactly once.
+    let adopted = pti_net::PeerId(7);
+    swarm.add_contact(adopted);
+    swarm.add_peer_as(adopted, ConformanceConfig::pragmatic());
+    assert!(
+        swarm.contacts().is_empty(),
+        "owned peers leave the contacts"
+    );
+
+    let (asm, _) = person_assembly("pub", "getName", "setName");
+    swarm.publish(publisher, asm).unwrap();
+    let h = swarm
+        .peer_mut(publisher)
+        .runtime
+        .instantiate(&"Person".into(), &[])
+        .unwrap();
+    let outcome = swarm
+        .flood_object(publisher, &Value::Obj(h), PayloadFormat::Binary)
+        .unwrap();
+    assert_eq!(outcome.sent, 1, "one copy per member");
+    assert!(outcome.departed.is_empty());
+    swarm.run().unwrap();
+    assert_eq!(swarm.peer(adopted).stats.objects_received, 1);
+}
+
+#[test]
+fn unroutable_interest_names_stay_local_and_benign() {
+    use pti_net::{LiveBus, PeerId};
+    use std::time::Duration;
+
+    let hub = LiveBus::new();
+    let mut listener: Swarm<LiveBus> = Swarm::over(hub.clone());
+    let ear = listener.add_peer_as(PeerId(1), ConformanceConfig::pragmatic());
+
+    let mut subscriber_swarm: Swarm<LiveBus> = Swarm::over(hub.clone());
+    let sub = subscriber_swarm.add_peer_as(PeerId(2), ConformanceConfig::pragmatic());
+    subscriber_swarm.add_contact(ear);
+
+    // "_" yields no identifier tokens: the interest works locally but is
+    // unroutable, so it must neither enter the index nor cross the wire.
+    let odd = TypeDescription::from_def(&TypeDef::class("_", "odd").build());
+    subscriber_swarm.subscribe(sub, odd);
+    assert!(subscriber_swarm.routes().is_empty());
+    assert_eq!(
+        pti_net::LiveBus::metrics(&hub).messages,
+        0,
+        "no gossip sent"
+    );
+    assert_eq!(subscriber_swarm.peer(sub).interests().len(), 1);
+
+    // And a foreign peer gossiping an empty signature must not poison
+    // the receiving pump: the message is ignored, not a protocol error.
+    subscriber_swarm
+        .send_raw(
+            sub,
+            ear,
+            kinds::SUBSCRIBE,
+            b"00000000-0000-0000-0000-000000000001\n".to_vec(),
+        )
+        .unwrap();
+    listener.run_for(Duration::from_millis(20)).unwrap();
+    assert!(listener.routes().is_empty());
+}

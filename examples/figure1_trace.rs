@@ -66,7 +66,7 @@ fn main() -> Result<(), Box<dyn std::error::Error>> {
                 at,
                 msg.kind,
                 msg.payload.len(),
-                step_of(&msg.kind),
+                step_of(msg.kind),
             );
             swarm.dispatch(at, msg)?;
         }

@@ -227,3 +227,34 @@ fn market_full_cycle_with_many_resources() {
         (1, 2, 0)
     );
 }
+
+#[test]
+fn remoting_pump_flushes_routed_publishes() {
+    // The remoting pump replaces Swarm::run; frames queued by the routed
+    // publish path must still reach the wire through it.
+    let mut swarm = Swarm::new(NetConfig::default());
+    let publisher = swarm.add_peer(ConformanceConfig::pragmatic());
+    let subscriber = swarm.add_peer(ConformanceConfig::pragmatic());
+
+    let a_def = samples::person_vendor_a();
+    swarm
+        .publish(publisher, samples::person_assembly(&a_def))
+        .unwrap();
+    swarm.subscribe(
+        subscriber,
+        TypeDescription::from_def(&samples::person_vendor_b()),
+    );
+
+    let v = samples::make_person(&mut swarm.peer_mut(publisher).runtime, "via-remoting");
+    let routed = swarm
+        .route_object(publisher, &v, PayloadFormat::Binary)
+        .unwrap();
+    assert_eq!(routed, 1);
+
+    let mut fabric = RemotingFabric::new();
+    fabric.run(&mut swarm).unwrap();
+
+    let deliveries = swarm.peer_mut(subscriber).take_deliveries();
+    assert_eq!(deliveries.len(), 1, "routed frame flushed by the pump");
+    assert!(deliveries[0].is_accepted());
+}

@@ -107,6 +107,136 @@ fn same_scenario_same_decisions_on_both_fabrics() {
     assert_eq!(sim.object_messages, 12, "6 variants x 2 rounds");
 }
 
+/// What a *routed* run observed, fabric-independent: who each publish
+/// was routed to, what each subscriber accepted, and how the wire was
+/// used (object vs coalesced batch messages, per-link frame counts).
+#[derive(Debug, PartialEq, Eq)]
+struct RoutedOutcome {
+    /// Subscriber count each publish resolved to, in publish order.
+    routed_to: Vec<usize>,
+    /// Accepted events per subscriber (s1, s2, s3).
+    accepted: (u64, u64, u64),
+    /// Received objects per subscriber — with routing, a non-matching
+    /// signature means the event never even crossed the link.
+    received: (u64, u64, u64),
+    object_messages: u64,
+    batch_messages: u64,
+    batched_frames: u64,
+    /// Per-link frames on the publisher→s1 link.
+    s1_link_frames: u64,
+    /// Routed target count after s1 retracted its interest.
+    routed_after_unsubscribe: usize,
+    /// s1's received count after retraction (must not grow).
+    s1_received_after_unsubscribe: u64,
+}
+
+/// The routed scenario, written once against the transport-agnostic API:
+/// one publisher, two subscribers interested in `SensorReading`, one in
+/// an unrelated type; then one of the sensor subscribers retracts.
+fn run_routed_scenario<T: Transport>(mut swarm: Swarm<T>) -> RoutedOutcome {
+    let publisher = swarm.add_peer(ConformanceConfig::pragmatic());
+    let s1 = swarm.add_peer(ConformanceConfig::pragmatic());
+    let s2 = swarm.add_peer(ConformanceConfig::pragmatic());
+    let s3 = swarm.add_peer(ConformanceConfig::pragmatic());
+
+    let s1_interest = TypeDescription::from_def(&samples::sensor_interest("s1"));
+    let s1_guid = s1_interest.guid;
+    swarm.subscribe(s1, s1_interest);
+    let unrelated = TypeDef::class("AuditRecord", "s2")
+        .field("value", primitives::FLOAT64)
+        .build();
+    swarm.subscribe(s2, TypeDescription::from_def(&unrelated));
+    swarm.subscribe(
+        s3,
+        TypeDescription::from_def(&samples::sensor_interest("s3")),
+    );
+
+    let event = samples::generate_population(3, 1, 1.0).remove(0);
+    swarm.publish(publisher, event.assembly.clone()).unwrap();
+
+    let mut routed_to = Vec::new();
+    for _ in 0..3 {
+        let h = swarm
+            .peer_mut(publisher)
+            .runtime
+            .instantiate_def(&event.def, &[])
+            .unwrap();
+        routed_to.push(
+            swarm
+                .route_object(publisher, &Value::Obj(h), PayloadFormat::Binary)
+                .unwrap(),
+        );
+    }
+    swarm.run().unwrap();
+
+    let accepted = (
+        swarm.peer(s1).stats.accepted,
+        swarm.peer(s2).stats.accepted,
+        swarm.peer(s3).stats.accepted,
+    );
+    let received = (
+        swarm.peer(s1).stats.objects_received,
+        swarm.peer(s2).stats.objects_received,
+        swarm.peer(s3).stats.objects_received,
+    );
+
+    // s1 retracts: the router must stop targeting it on both fabrics.
+    assert!(swarm.unsubscribe(s1, s1_guid));
+    let h = swarm
+        .peer_mut(publisher)
+        .runtime
+        .instantiate_def(&event.def, &[])
+        .unwrap();
+    let routed_after_unsubscribe = swarm
+        .route_object(publisher, &Value::Obj(h), PayloadFormat::Binary)
+        .unwrap();
+    swarm.run().unwrap();
+
+    // The post-retraction publish was a single frame, so it travelled as
+    // a plain `object` message; every batch counter below is from the
+    // three-event burst.
+    let m = swarm.metrics();
+    RoutedOutcome {
+        routed_to,
+        accepted,
+        received,
+        object_messages: m.kind("object").messages,
+        batch_messages: m.kind("batch").messages,
+        batched_frames: m.batched_frames(),
+        s1_link_frames: m.link(publisher, s1).frames,
+        routed_after_unsubscribe,
+        s1_received_after_unsubscribe: swarm.peer(s1).stats.objects_received,
+    }
+}
+
+#[test]
+fn routing_decisions_agree_on_both_fabrics_including_after_unsubscribe() {
+    let sim = run_routed_scenario(Swarm::new(NetConfig::default()));
+    let live = run_routed_scenario(Swarm::over(LiveBus::new()));
+
+    assert_eq!(
+        sim, live,
+        "SimNet and LiveBus must make identical routing decisions"
+    );
+    // Each publish resolved exactly the two sensor subscribers...
+    assert_eq!(sim.routed_to, vec![2, 2, 2]);
+    assert_eq!(sim.accepted, (3, 0, 3));
+    // ...the unrelated-interest subscriber never saw a single object...
+    assert_eq!(sim.received, (3, 0, 3));
+    // ...the three queued envelopes per link coalesced into one batch
+    // per subscriber link...
+    assert_eq!(sim.batch_messages, 2);
+    assert_eq!(sim.batched_frames, 6);
+    assert_eq!(sim.s1_link_frames, 3);
+    assert_eq!(sim.object_messages, 1, "post-retraction publish to s3 only");
+    // ...and after s1's retraction only s3 remains a target.
+    assert_eq!(sim.routed_after_unsubscribe, 1);
+    assert_eq!(
+        sim.s1_received_after_unsubscribe, 3,
+        "no delivery after unsubscribe"
+    );
+}
+
 #[test]
 fn aliases_name_the_two_canonical_swarms() {
     // Type-level check: the aliases stay wired to the right fabrics.
