@@ -538,6 +538,201 @@ fn r1_routing(report: &mut Report) -> String {
     )
 }
 
+/// R2 — membership gossip over a 4-shard `LiveBus` group wired entirely
+/// by `Swarm::join` (zero manual `add_contact`): measures the control
+/// overhead of assembling the group (JOIN/VIEW messages and bytes),
+/// the convergence of a *late* shard that subscribes before joining,
+/// and the group-wide retirement a LEAVE triggers. Emits
+/// `BENCH_membership.json` so the overhead trajectory is tracked per PR.
+fn r2_membership(report: &mut Report) -> String {
+    use samples::{topic_event_assembly, topic_event_def};
+    use std::time::Duration;
+
+    const SHARDS: usize = 4;
+    const PER_SHARD: usize = 8;
+    const MEMBERS: usize = SHARDS * PER_SHARD;
+    const TOPICS: usize = 8;
+    const EVENTS: usize = 32;
+
+    /// Round-robin the shards until one full sweep moves no traffic;
+    /// returns how many sweeps actually moved messages (the final
+    /// idle sweep that proves quiescence is not convergence work).
+    fn pump(bus: &LiveBus, shards: &mut [Swarm<LiveBus>]) -> u64 {
+        let mut sweeps = 0u64;
+        let mut last = LiveBus::metrics(bus).messages;
+        loop {
+            for sw in shards.iter_mut() {
+                sw.run_for(Duration::from_millis(2)).unwrap();
+            }
+            let now = LiveBus::metrics(bus).messages;
+            if now == last {
+                return sweeps;
+            }
+            sweeps += 1;
+            last = now;
+        }
+    }
+
+    let bus = LiveBus::new();
+    let code = CodeRegistry::new();
+    let mut shards: Vec<Swarm<LiveBus>> = (0..SHARDS)
+        .map(|s| {
+            let mut sw = Swarm::with_code_registry(bus.clone(), code.clone());
+            for i in 0..PER_SHARD {
+                sw.add_peer_as(
+                    PeerId((s * PER_SHARD + i + 1) as u32),
+                    ConformanceConfig::pragmatic(),
+                );
+            }
+            sw
+        })
+        .collect();
+    let publisher = PeerId(1);
+    for t in 0..TOPICS {
+        shards[0]
+            .publish(publisher, topic_event_assembly(t))
+            .unwrap();
+    }
+    // One subscriber per topic, spread over the non-publisher shards —
+    // all subscribed *before* their shard joins, so every interest must
+    // ride a JOIN announcement (the late-join re-announcement path).
+    let subscriber_of = |t: usize| PeerId((9 + 3 * t) as u32);
+    let shard_of = |p: PeerId| ((p.0 - 1) / PER_SHARD as u32) as usize;
+    for t in 0..TOPICS {
+        let sub = subscriber_of(t);
+        shards[shard_of(sub)].subscribe(sub, TypeDescription::from_def(&topic_event_def(t, "sub")));
+    }
+
+    // Assemble the group through the membership protocol alone.
+    let wire_start = Instant::now();
+    for s in 1..SHARDS {
+        shards[s].join(publisher).unwrap();
+        pump(&bus, &mut shards);
+    }
+    let wire_us = wire_start.elapsed().as_secs_f64() * 1e6;
+    let wire = LiveBus::metrics(&bus);
+    let control_messages =
+        wire.kind("join").messages + wire.kind("view").messages + wire.kind("leave").messages;
+    let control_bytes =
+        wire.kind("join").bytes + wire.kind("view").bytes + wire.kind("leave").bytes;
+
+    // Routed delivery over the gossip-wired tables.
+    let mut hub = bus.clone();
+    Transport::reset_metrics(&mut hub);
+    for i in 0..EVENTS {
+        let t = i % TOPICS;
+        let h = shards[0]
+            .peer_mut(publisher)
+            .runtime
+            .instantiate_def(&topic_event_def(t, "pub"), &[])
+            .unwrap();
+        shards[0]
+            .route_object(publisher, &Value::Obj(h), PayloadFormat::Binary)
+            .unwrap();
+    }
+    pump(&bus, &mut shards);
+    let delivered: u64 = (0..TOPICS)
+        .map(|t| {
+            let sub = subscriber_of(t);
+            shards[shard_of(sub)].peer(sub).stats.accepted
+        })
+        .sum();
+    report.push(
+        "R2",
+        &format!(
+            "group of {MEMBERS} wired by join gossip ({} joins)",
+            SHARDS - 1
+        ),
+        "zero manual contact wiring",
+        format!(
+            "{control_messages} control msgs / {control_bytes} B in {wire_us:.0} µs; \
+             {delivered}/{EVENTS} routed events delivered"
+        ),
+        delivered as usize == EVENTS,
+    );
+
+    // A late shard that subscribed before joining: how long until its
+    // interest is live group-wide?
+    let mut late = Swarm::with_code_registry(bus.clone(), code.clone());
+    let late_sub = late.add_peer_as(PeerId(100), ConformanceConfig::pragmatic());
+    late.subscribe(
+        late_sub,
+        TypeDescription::from_def(&topic_event_def(0, "late")),
+    );
+    Transport::reset_metrics(&mut hub);
+    let join_start = Instant::now();
+    late.join(publisher).unwrap();
+    shards.push(late);
+    let sweeps = pump(&bus, &mut shards);
+    let converge_us = join_start.elapsed().as_secs_f64() * 1e6;
+    let join_overhead = LiveBus::metrics(&bus);
+    let h = shards[0]
+        .peer_mut(publisher)
+        .runtime
+        .instantiate_def(&topic_event_def(0, "pub"), &[])
+        .unwrap();
+    let late_targets = shards[0]
+        .route_object(publisher, &Value::Obj(h), PayloadFormat::Binary)
+        .unwrap();
+    pump(&bus, &mut shards);
+    let late_delivered = shards[SHARDS].peer(late_sub).stats.accepted;
+    report.push(
+        "R2",
+        "late joiner (subscribed pre-join) converges",
+        "joins without re-subscribing",
+        format!(
+            "{converge_us:.0} µs / {sweeps} sweeps / {} msgs; next publish routed to \
+             {late_targets} incl. joiner ({late_delivered} delivered)",
+            join_overhead.messages
+        ),
+        late_targets == 2 && late_delivered == 1,
+    );
+
+    // One shard leaves: every engine must retire its peers and routes.
+    let before = {
+        let h = shards[0]
+            .peer_mut(publisher)
+            .runtime
+            .instantiate_def(&topic_event_def(6, "pub"), &[])
+            .unwrap();
+        shards[0]
+            .route_object(publisher, &Value::Obj(h), PayloadFormat::Binary)
+            .unwrap()
+    };
+    pump(&bus, &mut shards);
+    shards[3].leave();
+    pump(&bus, &mut shards);
+    let after = {
+        let h = shards[0]
+            .peer_mut(publisher)
+            .runtime
+            .instantiate_def(&topic_event_def(6, "pub"), &[])
+            .unwrap();
+        shards[0]
+            .route_object(publisher, &Value::Obj(h), PayloadFormat::Binary)
+            .unwrap()
+    };
+    pump(&bus, &mut shards);
+    // Topic 6's subscriber (peer 27) lived in the departed shard.
+    report.push(
+        "R2",
+        "LEAVE retires view + routes together",
+        "no traffic to departed peers",
+        format!("topic-6 targets {before} -> {after} after shard 3 left"),
+        before == 1 && after == 0,
+    );
+
+    format!(
+        "{{\n  \"members\": {MEMBERS},\n  \"shards\": {SHARDS},\n  \"topics\": {TOPICS},\n  \
+         \"wiring\": {{\"control_messages\": {control_messages}, \"control_bytes\": \
+         {control_bytes}, \"wall_us\": {wire_us:.0}, \"delivered\": {delivered}}},\n  \
+         \"late_join\": {{\"convergence_us\": {converge_us:.0}, \"sweeps\": {sweeps}, \
+         \"messages\": {}, \"routed_to\": {late_targets}, \"delivered\": {late_delivered}}},\n  \
+         \"leave\": {{\"targets_before\": {before}, \"targets_after\": {after}}}\n}}\n",
+        join_overhead.messages,
+    )
+}
+
 fn a1_name_matchers(report: &mut Report) {
     println!("\nA1  ablation D1 — name matcher strictness vs match rate & cost");
     let variants = samples::generate_population(3, 200, 0.5);
@@ -806,6 +1001,7 @@ fn main() {
     f1_protocol(&mut report);
     f3_serializers(&mut report);
     let routing_json = r1_routing(&mut report);
+    let membership_json = r2_membership(&mut report);
     a1_name_matchers(&mut report);
     a2_variance(&mut report);
     a3_cache(&mut report);
@@ -821,4 +1017,6 @@ fn main() {
     println!("wrote experiments.json");
     std::fs::write("BENCH_routing.json", routing_json).expect("writable cwd");
     println!("wrote BENCH_routing.json");
+    std::fs::write("BENCH_membership.json", membership_json).expect("writable cwd");
+    println!("wrote BENCH_membership.json");
 }

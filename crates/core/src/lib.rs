@@ -93,7 +93,8 @@ pub mod prelude {
         TypeDescription, TypeName, TypeRegistry, Value,
     };
     pub use pti_net::{
-        BusMessage, Endpoint, LiveBus, NetConfig, NetMetrics, PeerId, SimNet, Transport,
+        BusMessage, Endpoint, LiveBus, NetConfig, NetMetrics, PeerId, SharedSimNet, SimNet,
+        Transport,
     };
     pub use pti_proxy::{invoke_direct, DynamicProxy, ProxyError};
     pub use pti_remoting::{RemoteProxy, RemoteRef, RemotingFabric};
@@ -105,7 +106,7 @@ pub mod prelude {
         DeliveryMode, EventBuilder, EventNotification, Member, Publisher, Subscription, TypedPubSub,
     };
     pub use pti_transport::{
-        CodeRegistry, Delivery, LiveSwarm, Peer, RoutingTable, Signature, SimSwarm, Swarm,
-        TransportError,
+        CodeRegistry, Delivery, LiveSwarm, MembershipView, Peer, ProtocolStats, RoutingTable,
+        Signature, SimSwarm, Swarm, TransportError, ViewDelta,
     };
 }

@@ -230,6 +230,10 @@ impl Transport for LiveBus {
     fn reset_metrics(&mut self) {
         self.lock().metrics.reset();
     }
+
+    fn record_batch_splits(&mut self, from: PeerId, to: PeerId, extra: u64) {
+        self.lock().metrics.record_batch_splits(from, to, extra);
+    }
 }
 
 impl Endpoint {

@@ -13,6 +13,7 @@
 //! the kind bytes, a `u32` payload length and the payload bytes — all
 //! little-endian.
 
+use std::borrow::Cow;
 use std::fmt;
 
 /// Message-kind tags owned by the fabric layer (protocol-level tags live
@@ -23,11 +24,17 @@ pub mod kinds {
 }
 
 /// One frame inside a batch: a kind tag plus an opaque payload.
+///
+/// The kind is a [`Cow`]: frames *built* for the wire borrow the sender's
+/// `&'static str` tag (the same allocation-free invariant the rest of the
+/// stack keeps — see [`NetMetrics`](crate::NetMetrics)), while frames
+/// *decoded* from wire bytes own their tag until the receiving protocol
+/// engine interns it back to a constant.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Frame {
     /// The application-level kind the frame would have carried as a
     /// standalone message.
-    pub kind: String,
+    pub kind: Cow<'static, str>,
     /// Opaque payload bytes.
     pub payload: Vec<u8>,
 }
@@ -57,10 +64,12 @@ impl FrameBatch {
         FrameBatch::default()
     }
 
-    /// Appends a frame.
-    pub fn push(&mut self, kind: impl Into<String>, payload: Vec<u8>) {
+    /// Appends a frame. The kind tag is a static constant, matching the
+    /// rest of the send path — building a batch allocates nothing beyond
+    /// the frame vector itself.
+    pub fn push(&mut self, kind: &'static str, payload: Vec<u8>) {
         self.frames.push(Frame {
-            kind: kind.into(),
+            kind: Cow::Borrowed(kind),
             payload,
         });
     }
@@ -112,9 +121,11 @@ impl FrameBatch {
         let mut frames = Vec::with_capacity(count.min(1024));
         for _ in 0..count {
             let klen = u16::from_le_bytes(take(&mut at, 2)?.try_into().expect("2 bytes")) as usize;
-            let kind = std::str::from_utf8(take(&mut at, klen)?)
-                .map_err(|_| FrameDecodeError("kind not utf8"))?
-                .to_string();
+            let kind = Cow::Owned(
+                std::str::from_utf8(take(&mut at, klen)?)
+                    .map_err(|_| FrameDecodeError("kind not utf8"))?
+                    .to_string(),
+            );
             let plen = u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes")) as usize;
             let payload = take(&mut at, plen)?.to_vec();
             frames.push(Frame { kind, payload });

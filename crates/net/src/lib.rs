@@ -41,5 +41,5 @@ mod transport;
 pub use bus::{BusMessage, Endpoint, LiveBus};
 pub use frame::{kinds, Frame, FrameBatch, FrameDecodeError};
 pub use metrics::{KindMetrics, LinkBatchMetrics, NetMetrics};
-pub use sim::{Message, NetConfig, NetError, PeerId, SimNet};
+pub use sim::{Message, NetConfig, NetError, PeerId, SharedSimNet, SimNet};
 pub use transport::Transport;

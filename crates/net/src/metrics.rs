@@ -48,6 +48,10 @@ pub struct LinkBatchMetrics {
     pub frames: u64,
     /// Payload bytes of those batch messages.
     pub bytes: u64,
+    /// Times a burst on this link exceeded the sender's wire-batch cap
+    /// and was split into additional wire messages (a burst shipped as
+    /// `k` messages counts `k - 1` splits).
+    pub splits: u64,
 }
 
 impl NetMetrics {
@@ -74,6 +78,14 @@ impl NetMetrics {
         l.bytes += bytes as u64;
     }
 
+    /// Records that a sender's wire-batch cap split one link's burst
+    /// into `extra` additional wire messages. Called by the fabrics on
+    /// behalf of the batching layer (see
+    /// [`Transport::record_batch_splits`](crate::Transport::record_batch_splits)).
+    pub fn record_batch_splits(&mut self, from: PeerId, to: PeerId, extra: u64) {
+        self.per_link.entry((from, to)).or_default().splits += extra;
+    }
+
     /// Counters for one kind (zero if the kind never appeared).
     pub fn kind(&self, kind: &str) -> KindMetrics {
         self.per_kind.get(kind).copied().unwrap_or_default()
@@ -92,6 +104,11 @@ impl NetMetrics {
     /// Total frames coalesced into batches across all links.
     pub fn batched_frames(&self) -> u64 {
         self.per_link.values().map(|l| l.frames).sum()
+    }
+
+    /// Total cap-forced batch splits across all links.
+    pub fn batch_splits(&self) -> u64 {
+        self.per_link.values().map(|l| l.splits).sum()
     }
 
     /// Resets all counters.
@@ -140,5 +157,16 @@ mod tests {
         assert_eq!(m.batches(), 3);
         assert_eq!(m.batched_frames(), 11);
         assert_eq!(m.link(PeerId(9), PeerId(9)), LinkBatchMetrics::default());
+    }
+
+    #[test]
+    fn batch_splits_accumulate_per_link() {
+        let mut m = NetMetrics::default();
+        m.record_batch_splits(PeerId(1), PeerId(2), 2);
+        m.record_batch_splits(PeerId(1), PeerId(2), 1);
+        m.record_batch_splits(PeerId(1), PeerId(3), 4);
+        assert_eq!(m.link(PeerId(1), PeerId(2)).splits, 3);
+        assert_eq!(m.batch_splits(), 7);
+        assert_eq!(m.link(PeerId(2), PeerId(1)).splits, 0);
     }
 }

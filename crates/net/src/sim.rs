@@ -138,6 +138,12 @@ impl SimNet {
         &self.metrics
     }
 
+    /// Mutable access to the traffic counters — for accounting hooks
+    /// recorded on behalf of the layers above (batch splits).
+    pub fn metrics_mut(&mut self) -> &mut NetMetrics {
+        &mut self.metrics
+    }
+
     /// Resets traffic counters (keeps the clock and queued messages).
     pub fn reset_metrics(&mut self) {
         self.metrics.reset();
@@ -219,6 +225,63 @@ impl SimNet {
     /// Number of undelivered messages queued for `peer`.
     pub fn pending(&self, peer: PeerId) -> usize {
         self.inboxes.get(&peer).map_or(0, VecDeque::len)
+    }
+}
+
+/// A cloneable handle sharing one [`SimNet`] between several
+/// single-threaded drivers — the deterministic counterpart of cloning a
+/// [`LiveBus`](crate::LiveBus) handle.
+///
+/// Multi-swarm scenarios (membership gossip, late joiners) need several
+/// protocol engines on *one* fabric. On the live bus that falls out of
+/// `Clone`; `SharedSimNet` gives the virtual-time fabric the same shape:
+/// every clone operates on the same inboxes, clock and metrics. It is
+/// deliberately `!Send` (`Rc`) — the simulation stays single-threaded
+/// and deterministic, drivers take turns.
+///
+/// As on a shared live fabric, drivers must pick non-colliding peer ids
+/// (see `Swarm::add_peer_as` in `pti-transport`).
+#[derive(Debug, Clone, Default)]
+pub struct SharedSimNet {
+    inner: std::rc::Rc<std::cell::RefCell<SimNet>>,
+}
+
+impl SharedSimNet {
+    /// Creates a fresh simulated network and wraps it for sharing.
+    pub fn new(config: NetConfig) -> SharedSimNet {
+        SharedSimNet {
+            inner: std::rc::Rc::new(std::cell::RefCell::new(SimNet::new(config))),
+        }
+    }
+
+    /// Runs `f` with exclusive access to the shared network — the escape
+    /// hatch for anything the handle doesn't mirror.
+    ///
+    /// # Panics
+    /// If re-entered (the underlying `RefCell` is already borrowed).
+    pub fn with<R>(&self, f: impl FnOnce(&mut SimNet) -> R) -> R {
+        f(&mut self.inner.borrow_mut())
+    }
+
+    /// The current virtual time in microseconds.
+    pub fn now_us(&self) -> u64 {
+        self.inner.borrow().now_us()
+    }
+
+    /// A snapshot of the shared traffic counters.
+    pub fn metrics(&self) -> NetMetrics {
+        self.inner.borrow().metrics().clone()
+    }
+
+    /// Number of undelivered messages queued for `peer`.
+    pub fn pending(&self, peer: PeerId) -> usize {
+        self.inner.borrow().pending(peer)
+    }
+}
+
+impl Default for SimNet {
+    fn default() -> SimNet {
+        SimNet::new(NetConfig::default())
     }
 }
 
@@ -311,6 +374,29 @@ mod tests {
         let mut n = net();
         assert!(n.recv(PeerId(1)).is_none());
         assert!(n.recv(PeerId(42)).is_none(), "unknown peer inbox is None");
+    }
+
+    #[test]
+    fn shared_handles_drive_one_fabric() {
+        use crate::transport::Transport;
+        let mut left = SharedSimNet::new(NetConfig::default());
+        let mut right = left.clone();
+        Transport::register(&mut left, PeerId(1));
+        Transport::register(&mut right, PeerId(2));
+        // A send through one handle is received through the other...
+        Transport::send(&mut left, PeerId(1), PeerId(2), "k", vec![9]).unwrap();
+        let m = right.try_recv(PeerId(2)).expect("shared inboxes");
+        assert_eq!(m.from, PeerId(1));
+        assert_eq!(m.payload, vec![9]);
+        // ...the virtual clock and metrics are shared too.
+        assert!(left.now_us() > 0);
+        assert_eq!(left.now_us(), right.now_us());
+        assert_eq!(SharedSimNet::metrics(&left).messages, 1);
+        assert_eq!(SharedSimNet::metrics(&right).messages, 1);
+        assert_eq!(
+            Transport::send(&mut left, PeerId(1), PeerId(9), "k", vec![]),
+            Err(NetError::UnknownPeer(PeerId(9)))
+        );
     }
 
     #[test]

@@ -13,7 +13,7 @@ use std::time::Instant;
 
 use crate::bus::BusMessage;
 use crate::metrics::NetMetrics;
-use crate::sim::{NetError, PeerId, SimNet};
+use crate::sim::{NetError, PeerId, SharedSimNet, SimNet};
 
 /// A message fabric connecting peers: registration, point-to-point send,
 /// per-peer receive, and shared traffic accounting.
@@ -63,6 +63,14 @@ pub trait Transport {
 
     /// Resets the fabric-wide traffic counters.
     fn reset_metrics(&mut self);
+
+    /// Accounting hook: the batching layer above split one link's burst
+    /// into `extra` additional wire messages because it exceeded the
+    /// sender's wire-batch cap. Fabrics that keep [`NetMetrics`] fold it
+    /// into the per-link counters; the default is a no-op.
+    fn record_batch_splits(&mut self, from: PeerId, to: PeerId, extra: u64) {
+        let _ = (from, to, extra);
+    }
 }
 
 impl Transport for SimNet {
@@ -95,6 +103,46 @@ impl Transport for SimNet {
 
     fn reset_metrics(&mut self) {
         SimNet::reset_metrics(self);
+    }
+
+    fn record_batch_splits(&mut self, from: PeerId, to: PeerId, extra: u64) {
+        SimNet::metrics_mut(self).record_batch_splits(from, to, extra);
+    }
+}
+
+/// Every clone drives the same underlying [`SimNet`]: registration,
+/// sends, receives and metrics all land on the shared fabric, exactly
+/// like clones of a [`LiveBus`](crate::LiveBus) handle — but
+/// single-threaded and in virtual time.
+impl Transport for SharedSimNet {
+    fn register(&mut self, peer: PeerId) {
+        self.with(|net| net.register(peer));
+    }
+
+    fn send(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        kind: &'static str,
+        payload: Vec<u8>,
+    ) -> Result<(), NetError> {
+        self.with(|net| net.send(from, to, kind, payload).map(|_deliver_at| ()))
+    }
+
+    fn try_recv(&mut self, peer: PeerId) -> Option<BusMessage> {
+        self.with(|net| Transport::try_recv(net, peer))
+    }
+
+    fn metrics(&self) -> NetMetrics {
+        SharedSimNet::metrics(self)
+    }
+
+    fn reset_metrics(&mut self) {
+        self.with(SimNet::reset_metrics);
+    }
+
+    fn record_batch_splits(&mut self, from: PeerId, to: PeerId, extra: u64) {
+        self.with(|net| net.metrics_mut().record_batch_splits(from, to, extra));
     }
 }
 

@@ -83,7 +83,7 @@ use pti_metamodel::{Assembly, Guid, ObjHandle, TypeDef, TypeDescription, TypeNam
 use pti_net::{NetConfig, NetMetrics, PeerId, SimNet, Transport};
 use pti_proxy::DynamicProxy;
 use pti_serialize::PayloadFormat;
-use pti_transport::{Delivery, ProtocolStats, Result, Swarm, TransportError};
+use pti_transport::{CodeRegistry, Delivery, ProtocolStats, Result, Swarm, TransportError};
 
 /// How published events reach the other members.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -124,6 +124,10 @@ struct Group<T: Transport> {
     default_conformance: ConformanceConfig,
     format: PayloadFormat,
     mode: DeliveryMode,
+    /// A seed peer to `join` through once the first member exists (a
+    /// JOIN needs a speaker) — set by [`Builder::join`], consumed on the
+    /// first `add_member*`.
+    join_seed: Option<PeerId>,
     /// Matched events collected from peers but not yet claimed by a
     /// subscription's `drain`.
     mailbox: HashMap<PeerId, Vec<EventNotification>>,
@@ -165,7 +169,13 @@ impl<T: Transport> Group<T> {
     }
 
     /// Moves a member's finished matched deliveries into the mailbox.
+    /// A no-op for departed members (detached via migration): their
+    /// handles stay safe to drain, yielding whatever was collected
+    /// before departure.
     fn collect(&mut self, member: PeerId) {
+        if !self.swarm.has_peer(member) {
+            return;
+        }
         let fresh = self
             .swarm
             .peer_mut(member)
@@ -224,6 +234,8 @@ pub struct Builder {
     conformance: ConformanceConfig,
     format: PayloadFormat,
     mode: DeliveryMode,
+    join_seed: Option<PeerId>,
+    code: Option<CodeRegistry>,
 }
 
 impl Default for Builder {
@@ -233,6 +245,8 @@ impl Default for Builder {
             conformance: ConformanceConfig::pragmatic(),
             format: PayloadFormat::Binary,
             mode: DeliveryMode::Routed,
+            join_seed: None,
+            code: None,
         }
     }
 }
@@ -266,6 +280,34 @@ impl Builder {
         self
     }
 
+    /// Joins an existing group on the shared fabric through `seed` (any
+    /// member of an established group) instead of wiring contacts by
+    /// hand. The JOIN handshake fires when the first member is added (a
+    /// swarm needs a peer to speak with), so the seed's group must be up
+    /// by then; pump both groups afterwards and the late joiner
+    /// converges to the same membership view and routing table as the
+    /// founders. Meaningful with [`over`](Self::over) — a fresh
+    /// [`build`](Self::build) fabric has nobody to join.
+    ///
+    /// The deferred handshake **panics** in `add_member*` if the seed is
+    /// not registered by then (a misconfigured topology, reported like a
+    /// peer-id collision). When the seed's arrival is genuinely racy,
+    /// skip the builder option and call the fallible
+    /// [`TypedPubSub::join`] once the seed is known to be up.
+    pub fn join(mut self, seed: PeerId) -> Builder {
+        self.join_seed = Some(seed);
+        self
+    }
+
+    /// Shares a code registry with sibling groups on the same fabric —
+    /// how members of different shards resolve each other's published
+    /// assemblies (the session-level counterpart of
+    /// `Swarm::with_code_registry`). Defaults to a fresh registry.
+    pub fn code_registry(mut self, code: CodeRegistry) -> Builder {
+        self.code = Some(code);
+        self
+    }
+
     /// Builds the group over a fresh deterministic [`SimNet`].
     pub fn build(self) -> TypedPubSub<SimNet> {
         let net = SimNet::new(self.net);
@@ -275,13 +317,15 @@ impl Builder {
     /// Builds the group over an existing transport — e.g. a
     /// [`LiveBus`](pti_net::LiveBus) handle for concurrent members.
     pub fn over<T: Transport>(self, transport: T) -> TypedPubSub<T> {
+        let code = self.code.unwrap_or_default();
         TypedPubSub {
             inner: Arc::new(Mutex::new(Group {
-                swarm: Swarm::over(transport),
+                swarm: Swarm::with_code_registry(transport, code),
                 members: Vec::new(),
                 default_conformance: self.conformance,
                 format: self.format,
                 mode: self.mode,
+                join_seed: self.join_seed,
                 mailbox: HashMap::new(),
             })),
         }
@@ -316,11 +360,74 @@ impl<T: Transport> TypedPubSub<T> {
     pub fn add_member_with(&self, config: ConformanceConfig) -> Member<T> {
         let mut g = self.lock();
         let id = g.swarm.add_peer(config);
+        self.finish_add(g, id)
+    }
+
+    /// Adds a member under an explicit peer id — required on a shared
+    /// fabric where several groups must pick non-colliding ids (the
+    /// session-level counterpart of `Swarm::add_peer_as`). Uses the
+    /// group's default conformance profile.
+    pub fn add_member_as(&self, id: PeerId) -> Member<T> {
+        let mut g = self.lock();
+        let config = g.default_conformance.clone();
+        g.swarm.add_peer_as(id, config);
+        self.finish_add(g, id)
+    }
+
+    /// Shared tail of the `add_member*` family: membership bookkeeping
+    /// plus the deferred [`Builder::join`] handshake, fired exactly once
+    /// now that the group has a speaker.
+    ///
+    /// # Panics
+    /// If a deferred [`Builder::join`] seed is not registered on the
+    /// fabric (see that method's docs for the fallible alternative).
+    fn finish_add(&self, mut g: MutexGuard<'_, Group<T>>, id: PeerId) -> Member<T> {
         g.members.push(id);
+        if let Some(seed) = g.join_seed.take() {
+            g.swarm
+                .join(seed)
+                .expect("builder join: seed must be registered on the shared fabric");
+        }
         Member {
             group: self.clone(),
             id,
         }
+    }
+
+    /// Joins an established group through `seed` right now (the explicit
+    /// counterpart of [`Builder::join`]). Requires at least one member.
+    ///
+    /// # Errors
+    /// No member to speak with, or an unreachable seed.
+    pub fn join(&self, seed: PeerId) -> Result<()> {
+        self.lock().swarm.join(seed)
+    }
+
+    /// Leaves the group: announces every member's departure and drops
+    /// everything learned from it. Members and their collected events
+    /// survive locally; the group can [`join`](Self::join) again.
+    pub fn leave(&self) {
+        self.lock().swarm.leave()
+    }
+
+    /// Detaches one member for migration to another shard: its departure
+    /// is announced to the group (receivers retire its routes with it)
+    /// and its interests are returned so the caller can re-subscribe
+    /// them at the member's new home — see [`Member::migrate_to`].
+    pub fn detach_member(&self, member: PeerId) -> Vec<TypeDescription> {
+        let mut g = self.lock();
+        if !g.swarm.has_peer(member) {
+            // Already departed (a stale cloned handle): nothing to move.
+            return Vec::new();
+        }
+        let interests = g.swarm.peer(member).interests().to_vec();
+        // Finished deliveries move to the mailbox *before* the peer's
+        // protocol state is dropped, so subscriptions left at the old
+        // home still drain what arrived before the move.
+        g.collect(member);
+        g.swarm.depart_peer(member);
+        g.members.retain(|m| *m != member);
+        interests
     }
 
     /// Ids of all member peers.
@@ -350,9 +457,13 @@ impl<T: Transport> TypedPubSub<T> {
         self.lock().swarm.metrics()
     }
 
-    /// Protocol counters of one member.
+    /// Protocol counters of one member (zeroes once it departed).
     pub fn stats(&self, member: PeerId) -> ProtocolStats {
-        self.lock().swarm.peer(member).stats
+        let g = self.lock();
+        if !g.swarm.has_peer(member) {
+            return ProtocolStats::default();
+        }
+        g.swarm.peer(member).stats
     }
 
     /// Full access to the underlying swarm for protocol-level work the
@@ -443,13 +554,52 @@ impl<T: Transport> Member<T> {
     /// the interest joins the routing index (so routed publishes start
     /// targeting this member) and inbound events are matched against it
     /// by implicit structural conformance.
+    ///
+    /// On a stale handle whose member already departed (a clone kept
+    /// across [`migrate_to`](Self::migrate_to)) the subscription is
+    /// returned inert: nothing is registered and it never yields events.
     pub fn subscribe(&self, interest: TypeDescription) -> Subscription<T> {
-        self.group.lock().swarm.subscribe(self.id, interest.clone());
+        let mut g = self.group.lock();
+        if g.swarm.has_peer(self.id) {
+            g.swarm.subscribe(self.id, interest.clone());
+        }
+        drop(g);
         Subscription {
             group: self.group.clone(),
             member: self.id,
             interest,
         }
+    }
+
+    /// Migrates this member to another shard (group) of the same fabric
+    /// group: the old shard announces its departure — every other
+    /// engine's membership view and routing table retire it together —
+    /// and its interests are re-subscribed under `new_id` at the target,
+    /// whose gossip re-routes them across the group. Returns the new
+    /// member plus one subscription per migrated interest, in the
+    /// original subscription order.
+    ///
+    /// `new_id` must not collide with any id live on the shared fabric:
+    /// the old registration survives until the old shard's fabric handle
+    /// is dropped, so even a same-shard migration needs a fresh id.
+    ///
+    /// This handle is consumed. Handles left over at the old home stay
+    /// *safe* but inert: an old `Subscription` drains what it collected
+    /// before the move and then stays empty (`cancel` returns `false`,
+    /// `invoke`/`get_field` error), an old `Publisher` errors on
+    /// publish. Pump both shards afterwards to converge the group's
+    /// routing tables.
+    pub fn migrate_to(
+        self,
+        target: &TypedPubSub<T>,
+        new_id: PeerId,
+    ) -> (Member<T>, Vec<Subscription<T>>) {
+        // Lock discipline: detach under the source lock, re-attach under
+        // the target's — never both at once (they may be the same group).
+        let interests = self.group.detach_member(self.id);
+        let member = target.add_member_as(new_id);
+        let subscriptions = interests.into_iter().map(|i| member.subscribe(i)).collect();
+        (member, subscriptions)
     }
 }
 
@@ -471,12 +621,15 @@ impl<T: Transport> EventBuilder<T> {
     /// # Errors
     /// Unknown fields or type mismatches.
     pub fn set(&mut self, field: &str, value: impl Into<Value>) -> Result<&mut Self> {
-        self.group
-            .lock()
-            .swarm
+        let mut g = self.group.lock();
+        if !g.swarm.has_peer(self.member) {
+            return Err(TransportError::UnknownPeer(self.member));
+        }
+        g.swarm
             .peer_mut(self.member)
             .runtime
             .set_field(self.handle, field, value.into())?;
+        drop(g);
         Ok(self)
     }
 
@@ -539,13 +692,16 @@ impl<T: Transport> Publisher<T> {
         &self,
         build: impl FnOnce(&mut EventBuilder<T>) -> Result<()>,
     ) -> Result<()> {
-        let handle = self
-            .group
-            .lock()
-            .swarm
-            .peer_mut(self.member)
-            .runtime
-            .instantiate_def(&self.event, &[])?;
+        let handle = {
+            let mut g = self.group.lock();
+            if !g.swarm.has_peer(self.member) {
+                return Err(TransportError::UnknownPeer(self.member));
+            }
+            g.swarm
+                .peer_mut(self.member)
+                .runtime
+                .instantiate_def(&self.event, &[])?
+        };
         build(&mut EventBuilder {
             group: self.group.clone(),
             member: self.member,
@@ -635,6 +791,9 @@ impl<T: Transport> Subscription<T> {
             TransportError::Protocol("event has no proxy (primitive payload?)".into())
         })?;
         let mut g = self.group.lock();
+        if !g.swarm.has_peer(self.member) {
+            return Err(TransportError::UnknownPeer(self.member));
+        }
         let rt = &mut g.swarm.peer_mut(self.member).runtime;
         proxy
             .invoke(rt, method, args)
@@ -650,6 +809,9 @@ impl<T: Transport> Subscription<T> {
             TransportError::Protocol("event has no proxy (primitive payload?)".into())
         })?;
         let mut g = self.group.lock();
+        if !g.swarm.has_peer(self.member) {
+            return Err(TransportError::UnknownPeer(self.member));
+        }
         let rt = &mut g.swarm.peer_mut(self.member).runtime;
         proxy
             .get_field(rt, field)
@@ -659,12 +821,14 @@ impl<T: Transport> Subscription<T> {
     /// Withdraws the interest: it leaves the routing index (routed
     /// publishes stop targeting this member for it) and future events
     /// are no longer matched against it. Returns whether the interest
-    /// was still registered.
+    /// was still registered — `false` too once the member departed (a
+    /// migration already retracted everything).
     pub fn cancel(&self) -> bool {
-        self.group
-            .lock()
-            .swarm
-            .unsubscribe(self.member, self.interest.guid)
+        let mut g = self.group.lock();
+        if !g.swarm.has_peer(self.member) {
+            return false;
+        }
+        g.swarm.unsubscribe(self.member, self.interest.guid)
     }
 }
 

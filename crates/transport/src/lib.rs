@@ -75,12 +75,17 @@
 
 mod code;
 mod error;
+mod membership;
 mod peer;
 mod routing;
 mod swarm;
 
 pub use code::CodeRegistry;
 pub use error::{Result, TransportError};
+pub use membership::{InterestAnnounce, MembershipView, ViewDelta};
 pub use peer::{Delivery, Peer, PeerProvider, ProtocolStats, Published};
 pub use routing::{RoutingTable, Signature};
-pub use swarm::{kinds, FloodOutcome, LiveSwarm, SimSwarm, Swarm};
+pub use swarm::{
+    kinds, FloodOutcome, LiveSwarm, SimSwarm, Swarm, DEFAULT_WIRE_MAX_BYTES,
+    DEFAULT_WIRE_MAX_FRAMES,
+};

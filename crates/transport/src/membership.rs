@@ -1,0 +1,324 @@
+//! Dynamic membership: who is on the fabric, and since when?
+//!
+//! PR 2's interest router is only correct for peers that were present
+//! when an interest was gossiped — contacts were wired by hand and a
+//! swarm that joined late never heard the existing SUBSCRIBEs, so routed
+//! delivery silently starved its subscribers. This module closes that
+//! gap with an lpbcast-flavoured membership view carried over the same
+//! control-gossip path as the interest messages:
+//!
+//! * [`MembershipView`] — the per-swarm set of known remote peers, each
+//!   under a *generation stamp*. Stamps are minted by the peer's owning
+//!   swarm and only ever compared per peer, so a monotonic per-swarm
+//!   counter is enough: gossip is at-least-once and unordered, and the
+//!   stamp decides whether a JOIN/LEAVE is news or a stale replay.
+//!   Departures leave tombstones so a late echo of an old JOIN cannot
+//!   resurrect a peer that already left.
+//! * [`ViewDelta`] — the wire form all three membership kinds share:
+//!   `JOIN` (a joiner announces its peers + interests and asks for the
+//!   current state), `VIEW` (state transfer: live members, tombstones,
+//!   and a re-announcement of every live interest in the sender's
+//!   routing table) and `LEAVE` (departures). The interest lines are
+//!   what make a late joiner converge to the same routing table the
+//!   founders replicated via `subscribe` gossip.
+//!
+//! The protocol handlers live in `Swarm` (`join`/`leave`/`on_join`/…);
+//! this module owns the pure state + codec so both can be tested
+//! without a fabric.
+
+use std::collections::BTreeMap;
+
+use pti_metamodel::Guid;
+use pti_net::PeerId;
+
+use crate::error::{Result, TransportError};
+use crate::routing::Signature;
+
+/// The set of known remote peers, each under the generation stamp of its
+/// latest membership announcement, plus tombstones for departed peers.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct MembershipView {
+    live: BTreeMap<PeerId, u64>,
+    departed: BTreeMap<PeerId, u64>,
+}
+
+impl MembershipView {
+    /// An empty view.
+    pub fn new() -> MembershipView {
+        MembershipView::default()
+    }
+
+    /// The live members in id order.
+    pub fn members(&self) -> impl Iterator<Item = (PeerId, u64)> + '_ {
+        self.live.iter().map(|(&p, &g)| (p, g))
+    }
+
+    /// Tombstoned (departed) members in id order.
+    pub fn tombstones(&self) -> impl Iterator<Item = (PeerId, u64)> + '_ {
+        self.departed.iter().map(|(&p, &g)| (p, g))
+    }
+
+    /// Whether a peer is currently considered live.
+    pub fn is_live(&self, peer: PeerId) -> bool {
+        self.live.contains_key(&peer)
+    }
+
+    /// Number of live members.
+    pub fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether no member is known.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty()
+    }
+
+    /// Learns that `peer` announced itself at `gen`. Returns `true` when
+    /// the peer *became* live (it was unknown, or its tombstone is older
+    /// than this announcement) — the caller wires a contact exactly then.
+    /// A replay at or below a tombstoned generation is stale and ignored.
+    pub fn add(&mut self, peer: PeerId, gen: u64) -> bool {
+        if self.departed.get(&peer).is_some_and(|&dead| dead >= gen) {
+            return false;
+        }
+        self.departed.remove(&peer);
+        match self.live.get_mut(&peer) {
+            Some(cur) => {
+                *cur = (*cur).max(gen);
+                false
+            }
+            None => {
+                self.live.insert(peer, gen);
+                true
+            }
+        }
+    }
+
+    /// Learns that `peer` departed at `gen`. Returns `true` when the
+    /// peer *ceased* being live — the caller retires its contact and
+    /// routes exactly then. A departure older than the latest join is a
+    /// stale replay and ignored; the tombstone keeps the newest
+    /// generation either way.
+    pub fn retire(&mut self, peer: PeerId, gen: u64) -> bool {
+        if self.live.get(&peer).is_some_and(|&alive| alive > gen) {
+            return false;
+        }
+        let was_live = self.live.remove(&peer).is_some();
+        let dead = self.departed.entry(peer).or_insert(gen);
+        *dead = (*dead).max(gen);
+        was_live
+    }
+
+    /// Locally retires a peer that stopped answering (send-failure
+    /// pruning): tombstoned at its last announced generation, so only a
+    /// *newer* announcement can bring it back. Returns whether it was
+    /// live.
+    pub fn forget(&mut self, peer: PeerId) -> bool {
+        match self.live.get(&peer).copied() {
+            Some(gen) => self.retire(peer, gen),
+            None => false,
+        }
+    }
+
+    /// Erases every trace of a peer — entry *and* tombstone. For ids
+    /// this swarm takes ownership of: an owned peer must never appear in
+    /// the remote view, not even as a departure it would then gossip.
+    pub fn purge(&mut self, peer: PeerId) {
+        self.live.remove(&peer);
+        self.departed.remove(&peer);
+    }
+}
+
+/// One interest re-announcement inside a [`ViewDelta`]: a subscriber,
+/// the interest's identity, and its routing signature — exactly the
+/// triple `subscribe` gossip carries, batched.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct InterestAnnounce {
+    /// The subscribing peer.
+    pub subscriber: PeerId,
+    /// Identity of the interest (same-named interests from different
+    /// vendors stay distinct).
+    pub interest: Guid,
+    /// The routing signature events are matched against.
+    pub signature: Signature,
+}
+
+/// The payload all membership kinds share: live members, departures, and
+/// interest re-announcements.
+///
+/// Wire form is line-oriented text, consistent with the interest gossip:
+/// `M <id> <gen>` per live member, `D <id> <gen>` per departure,
+/// `I <id> <guid> <signature>` per interest (the signature is
+/// [`Signature::encode`]'s token form and may contain spaces, so it is
+/// the line's tail).
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ViewDelta {
+    /// Peers announced live, with their generation stamps.
+    pub live: Vec<(PeerId, u64)>,
+    /// Peers announced departed, with their generation stamps.
+    pub departed: Vec<(PeerId, u64)>,
+    /// Interests (re-)announced alongside the membership change.
+    pub interests: Vec<InterestAnnounce>,
+}
+
+impl ViewDelta {
+    /// Whether the delta carries no information.
+    pub fn is_empty(&self) -> bool {
+        self.live.is_empty() && self.departed.is_empty() && self.interests.is_empty()
+    }
+
+    /// Encodes the delta into wire bytes.
+    pub fn encode(&self) -> Vec<u8> {
+        let mut out = String::new();
+        for (peer, gen) in &self.live {
+            out.push_str(&format!("M {} {gen}\n", peer.0));
+        }
+        for (peer, gen) in &self.departed {
+            out.push_str(&format!("D {} {gen}\n", peer.0));
+        }
+        for a in &self.interests {
+            out.push_str(&format!(
+                "I {} {} {}\n",
+                a.subscriber.0,
+                a.interest,
+                a.signature.encode()
+            ));
+        }
+        out.into_bytes()
+    }
+
+    /// Decodes the wire form produced by [`encode`](Self::encode).
+    ///
+    /// # Errors
+    /// Malformed lines (unknown tag, bad id/generation/guid).
+    pub fn decode(payload: &[u8]) -> Result<ViewDelta> {
+        let text = std::str::from_utf8(payload)
+            .map_err(|_| TransportError::Protocol("membership gossip not utf8".into()))?;
+        let mut delta = ViewDelta::default();
+        for line in text.lines().filter(|l| !l.trim().is_empty()) {
+            let bad = || TransportError::Protocol(format!("malformed membership line `{line}`"));
+            let mut parts = line.splitn(2, ' ');
+            let tag = parts.next().unwrap_or_default();
+            let rest = parts.next().ok_or_else(bad)?;
+            match tag {
+                "M" | "D" => {
+                    let (id, gen) = rest.split_once(' ').ok_or_else(bad)?;
+                    let entry = (
+                        PeerId(id.trim().parse().map_err(|_| bad())?),
+                        gen.trim().parse().map_err(|_| bad())?,
+                    );
+                    if tag == "M" {
+                        delta.live.push(entry);
+                    } else {
+                        delta.departed.push(entry);
+                    }
+                }
+                "I" => {
+                    let (id, rest) = rest.split_once(' ').ok_or_else(bad)?;
+                    let (guid, signature) = rest.split_once(' ').ok_or_else(bad)?;
+                    delta.interests.push(InterestAnnounce {
+                        subscriber: PeerId(id.trim().parse().map_err(|_| bad())?),
+                        interest: guid.trim().parse().map_err(|_| bad())?,
+                        signature: Signature::decode(signature),
+                    });
+                }
+                _ => return Err(bad()),
+            }
+        }
+        Ok(delta)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_is_idempotent_and_reports_freshness() {
+        let mut v = MembershipView::new();
+        assert!(v.add(PeerId(1), 1), "first sighting is news");
+        assert!(!v.add(PeerId(1), 1), "replay is not");
+        assert!(!v.add(PeerId(1), 3), "newer stamp refreshes silently");
+        assert_eq!(v.members().collect::<Vec<_>>(), vec![(PeerId(1), 3)]);
+        assert!(v.is_live(PeerId(1)));
+        assert_eq!(v.len(), 1);
+    }
+
+    #[test]
+    fn retire_tombstones_and_blocks_stale_joins() {
+        let mut v = MembershipView::new();
+        v.add(PeerId(1), 2);
+        assert!(v.retire(PeerId(1), 2), "departure at same gen wins");
+        assert!(!v.is_live(PeerId(1)));
+        assert!(!v.add(PeerId(1), 2), "stale JOIN echo stays dead");
+        assert!(!v.add(PeerId(1), 1), "older echo too");
+        assert!(v.add(PeerId(1), 3), "a genuine re-join revives");
+        assert!(v.is_live(PeerId(1)));
+        assert!(v.tombstones().next().is_none(), "revival clears the stone");
+    }
+
+    #[test]
+    fn stale_leave_cannot_kill_a_newer_join() {
+        let mut v = MembershipView::new();
+        v.add(PeerId(7), 5);
+        assert!(!v.retire(PeerId(7), 4), "old LEAVE replay ignored");
+        assert!(v.is_live(PeerId(7)));
+        assert!(v.retire(PeerId(7), 5));
+        assert!(!v.retire(PeerId(7), 5), "already gone");
+    }
+
+    #[test]
+    fn forget_uses_last_announced_generation() {
+        let mut v = MembershipView::new();
+        assert!(!v.forget(PeerId(3)), "unknown peer is a no-op");
+        v.add(PeerId(3), 4);
+        assert!(v.forget(PeerId(3)));
+        assert!(!v.add(PeerId(3), 4), "same-gen replay stays dead");
+        assert!(v.add(PeerId(3), 5), "an actual re-join works");
+    }
+
+    #[test]
+    fn purge_erases_entry_and_tombstone() {
+        let mut v = MembershipView::new();
+        v.add(PeerId(4), 2);
+        v.forget(PeerId(4));
+        v.purge(PeerId(4));
+        assert!(v.tombstones().next().is_none(), "no stone left to gossip");
+        assert!(!v.is_live(PeerId(4)));
+        assert!(v.add(PeerId(4), 1), "no stale tombstone blocks a re-add");
+    }
+
+    #[test]
+    fn delta_roundtrips_including_catch_all_signatures() {
+        let delta = ViewDelta {
+            live: vec![(PeerId(1), 3), (PeerId(2), 1)],
+            departed: vec![(PeerId(9), 7)],
+            interests: vec![
+                InterestAnnounce {
+                    subscriber: PeerId(2),
+                    interest: Guid::derive("A", "x"),
+                    signature: Signature::of_name("StockQuote"),
+                },
+                InterestAnnounce {
+                    subscriber: PeerId(2),
+                    interest: Guid::derive("B", "x"),
+                    signature: Signature::catch_all(),
+                },
+            ],
+        };
+        let back = ViewDelta::decode(&delta.encode()).unwrap();
+        assert_eq!(back, delta);
+        assert!(!back.is_empty());
+        assert_eq!(ViewDelta::decode(b"").unwrap(), ViewDelta::default());
+        assert!(ViewDelta::default().is_empty());
+    }
+
+    #[test]
+    fn decode_rejects_malformed_lines() {
+        assert!(ViewDelta::decode(b"X 1 2").is_err(), "unknown tag");
+        assert!(ViewDelta::decode(b"M 1").is_err(), "missing generation");
+        assert!(ViewDelta::decode(b"M x 2").is_err(), "bad id");
+        assert!(ViewDelta::decode(b"I 1 not-a-guid *").is_err());
+        assert!(ViewDelta::decode(&[0xff, 0xfe]).is_err(), "not utf8");
+    }
+}

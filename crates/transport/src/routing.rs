@@ -238,6 +238,13 @@ impl RoutingTable {
         self.entries.is_empty()
     }
 
+    /// Every registered interest: `(subscriber, interest identity,
+    /// signature)` in key order — what a membership VIEW re-announces to
+    /// a late joiner so it converges to the same table.
+    pub fn entries(&self) -> impl Iterator<Item = (PeerId, Guid, &Signature)> {
+        self.entries.iter().map(|(&(p, g), s)| (p, g, s))
+    }
+
     /// Peers holding at least one interest.
     pub fn subscribers(&self) -> Vec<PeerId> {
         let mut out: Vec<PeerId> = Vec::new();

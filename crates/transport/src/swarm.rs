@@ -38,6 +38,7 @@ use pti_xml::Element;
 
 use crate::code::CodeRegistry;
 use crate::error::{Result, TransportError};
+use crate::membership::{InterestAnnounce, MembershipView, ViewDelta};
 use crate::peer::{Delivery, Peer, PendingObject};
 use crate::routing::{RoutingTable, Signature};
 
@@ -63,11 +64,20 @@ pub mod kinds {
     pub const SUBSCRIBE: &str = "subscribe";
     /// Interest retraction gossip (routing-table update).
     pub const UNSUBSCRIBE: &str = "unsubscribe";
+    /// Membership: a swarm announces its peers (and their interests) and
+    /// asks for the current view.
+    pub const JOIN: &str = "join";
+    /// Membership: a swarm announces its peers' departure.
+    pub const LEAVE: &str = "leave";
+    /// Membership: state transfer — live members, tombstones, and a
+    /// re-announcement of every live interest in the sender's routing
+    /// table.
+    pub const VIEW: &str = "view";
 
     /// Every protocol kind that may travel *inside* a frame batch —
     /// the single source of truth [`intern`] and [`is_protocol`] share
     /// (nested batches are deliberately absent).
-    const BATCHABLE: [&str; 8] = [
+    const BATCHABLE: [&str; 11] = [
         OBJECT,
         DESC_REQUEST,
         DESC_RESPONSE,
@@ -76,6 +86,9 @@ pub mod kinds {
         EAGER_OBJECT,
         SUBSCRIBE,
         UNSUBSCRIBE,
+        JOIN,
+        LEAVE,
+        VIEW,
     ];
 
     /// Whether a kind tag belongs to the core transport protocol (as
@@ -94,6 +107,11 @@ pub mod kinds {
 
 /// A queued wire frame: the kind tag plus its payload.
 type QueuedFrame = (&'static str, Vec<u8>);
+
+/// Default per-link wire-batch cap: frames per batch message.
+pub const DEFAULT_WIRE_MAX_FRAMES: usize = 32;
+/// Default per-link wire-batch cap: payload bytes per batch message.
+pub const DEFAULT_WIRE_MAX_BYTES: usize = 64 * 1024;
 
 /// What a [`Swarm::flood_object`] broadcast accomplished.
 #[derive(Debug, Clone, Default, PartialEq, Eq)]
@@ -123,11 +141,25 @@ pub struct Swarm<T: Transport = SimNet> {
     /// learned from `subscribe`/`unsubscribe` gossip.
     routes: RoutingTable,
     /// Remote peers (owned by sibling swarms on a shared fabric) that
-    /// receive interest gossip and flood sends.
+    /// receive interest gossip and flood sends. Wired automatically by
+    /// the membership protocol ([`join`](Self::join)); the manual
+    /// [`add_contact`](Self::add_contact) escape hatch remains for
+    /// static topologies.
     contacts: BTreeSet<PeerId>,
-    /// Frames queued per `(from, to)` link, coalesced into one wire
-    /// message each at the next [`flush_wire`](Self::flush_wire).
+    /// The membership view: remote peers under generation stamps, with
+    /// tombstones for departures. Contacts wired via gossip live here;
+    /// send-failure pruning retires view and routes together.
+    membership: MembershipView,
+    /// Generation counter for this swarm's own membership announcements.
+    view_gen: u64,
+    /// Frames queued per `(from, to)` link, shipped in bounded batches
+    /// at the next [`flush_wire`](Self::flush_wire).
     wire: BTreeMap<(PeerId, PeerId), Vec<QueuedFrame>>,
+    /// Wire-batch cap: at most this many frames per batch message.
+    wire_max_frames: usize,
+    /// Wire-batch cap: at most this many payload bytes per batch message
+    /// (a single oversized frame still ships, alone).
+    wire_max_bytes: usize,
 }
 
 /// The deterministic virtual-time swarm every experiment runs on.
@@ -144,6 +176,7 @@ impl<T: Transport> std::fmt::Debug for Swarm<T> {
             .field("published_paths", &self.code.len())
             .field("routes", &self.routes.len())
             .field("contacts", &self.contacts.len())
+            .field("view", &self.membership.len())
             .finish()
     }
 }
@@ -175,7 +208,11 @@ impl<T: Transport> Swarm<T> {
             budget: 1_000_000,
             routes: RoutingTable::new(),
             contacts: BTreeSet::new(),
+            membership: MembershipView::new(),
+            view_gen: 0,
             wire: BTreeMap::new(),
+            wire_max_frames: DEFAULT_WIRE_MAX_FRAMES,
+            wire_max_bytes: DEFAULT_WIRE_MAX_BYTES,
         }
     }
 
@@ -189,15 +226,34 @@ impl<T: Transport> Swarm<T> {
 
     /// Adds a peer under an explicit id — required on a shared fabric
     /// where each swarm must pick ids that don't collide with its
-    /// neighbours'.
+    /// neighbours'. If the swarm already joined a group (it has
+    /// contacts), the newcomer is announced with a VIEW so every remote
+    /// engine's membership and flood targets include it.
     pub fn add_peer_as(&mut self, id: PeerId, config: ConformanceConfig) -> PeerId {
         self.net.register(id);
         self.next_id = self.next_id.max(id.0 + 1);
         // Owned peers and contacts stay disjoint: flood and gossip
-        // would otherwise target the id twice.
+        // would otherwise target the id twice — and an owned peer must
+        // leave the remote view entirely (a leftover tombstone would be
+        // gossiped as a departure of our own member).
         self.contacts.remove(&id);
+        self.membership.purge(id);
         self.peers.insert(id, Peer::new(id, config));
+        if !self.contacts.is_empty() {
+            self.view_gen += 1;
+            let delta = ViewDelta {
+                live: vec![(id, self.view_gen)],
+                departed: Vec::new(),
+                interests: Vec::new(),
+            };
+            self.gossip(id, kinds::VIEW, &delta.encode());
+        }
         id
+    }
+
+    /// Whether this swarm owns a peer under the given id.
+    pub fn has_peer(&self, id: PeerId) -> bool {
+        self.peers.contains_key(&id)
     }
 
     /// Ids of the peers this swarm owns.
@@ -295,6 +351,245 @@ impl<T: Transport> Swarm<T> {
         self.contacts.iter().copied().collect()
     }
 
+    /// The membership view: remote peers learned from JOIN/LEAVE/VIEW
+    /// gossip, with their generation stamps and tombstones.
+    pub fn membership(&self) -> &MembershipView {
+        &self.membership
+    }
+
+    /// Joins the group reachable through `seed` (any peer of an
+    /// established swarm on the shared fabric) — the replacement for
+    /// manual `add_contact` chains.
+    ///
+    /// A `join` message announces this swarm's peers and their live
+    /// interests; the established swarm replies with its full view *and
+    /// a re-announcement of every live interest in its routing table*,
+    /// and relays the announcement to the rest of the group. Once both
+    /// sides pump ([`run`](Self::run)/[`run_for`](Self::run_for)), a
+    /// late joiner resolves the same subscriber set as a founding swarm.
+    ///
+    /// # Errors
+    /// No owned peer to speak with, joining through an owned peer, or an
+    /// unreachable seed.
+    pub fn join(&mut self, seed: PeerId) -> Result<()> {
+        let speaker = *self
+            .peers
+            .keys()
+            .next()
+            .ok_or_else(|| TransportError::Protocol("join requires an owned peer".into()))?;
+        if self.peers.contains_key(&seed) {
+            return Err(TransportError::Protocol(format!(
+                "cannot join through own peer {seed}"
+            )));
+        }
+        self.view_gen += 1;
+        let gen = self.view_gen;
+        let announce = ViewDelta {
+            live: self.peers.keys().map(|&p| (p, gen)).collect(),
+            departed: Vec::new(),
+            // Interests subscribed before joining ride along, so the
+            // group learns them without a re-subscribe.
+            interests: self.interest_announcements(true),
+        };
+        // State changes only after the handshake is actually in flight —
+        // a failed join must not leave a phantom contact behind.
+        self.net
+            .send(speaker, seed, kinds::JOIN, announce.encode())?;
+        // The seed's generation is unknown until its VIEW arrives; stamp
+        // it at zero so any real announcement refreshes it.
+        self.contacts.insert(seed);
+        self.membership.add(seed, 0);
+        Ok(())
+    }
+
+    /// Leaves the group: announces every owned peer's departure to all
+    /// contacts, then drops everything learned from the group (contacts,
+    /// membership view, remote routing entries). Owned peers and their
+    /// local state survive — the swarm can [`join`](Self::join) again.
+    pub fn leave(&mut self) {
+        if let Some(&speaker) = self.peers.keys().next() {
+            if !self.contacts.is_empty() {
+                self.view_gen += 1;
+                let gen = self.view_gen;
+                let delta = ViewDelta {
+                    live: Vec::new(),
+                    departed: self.peers.keys().map(|&p| (p, gen)).collect(),
+                    interests: Vec::new(),
+                };
+                self.gossip(speaker, kinds::LEAVE, &delta.encode());
+            }
+        }
+        let remote: Vec<PeerId> = self.contacts.iter().copied().collect();
+        for peer in remote {
+            self.routes.remove_peer(peer);
+        }
+        self.contacts.clear();
+        self.membership = MembershipView::new();
+    }
+
+    /// Announces one owned peer's departure to the group and removes it
+    /// — what a shard does when a member migrates elsewhere. Receivers
+    /// retire the peer from their view *and* routing table together, so
+    /// no further traffic targets it; the member re-announces its
+    /// interests from its new home. Returns the removed peer's protocol
+    /// state, or `None` if the peer was not owned.
+    pub fn depart_peer(&mut self, peer: PeerId) -> Option<Peer> {
+        if !self.peers.contains_key(&peer) {
+            return None;
+        }
+        if !self.contacts.is_empty() {
+            self.view_gen += 1;
+            let delta = ViewDelta {
+                live: Vec::new(),
+                departed: vec![(peer, self.view_gen)],
+                interests: Vec::new(),
+            };
+            self.gossip(peer, kinds::LEAVE, &delta.encode());
+        }
+        self.remove_peer(peer)
+    }
+
+    /// Routing entries as announce triples — all of them for a VIEW
+    /// state transfer, only the *owned* peers' for a JOIN (so pre-join
+    /// subscriptions reach the group).
+    fn interest_announcements(&self, own_only: bool) -> Vec<InterestAnnounce> {
+        self.routes
+            .entries()
+            .filter(|(p, _, _)| !own_only || self.peers.contains_key(p))
+            .map(|(p, g, s)| InterestAnnounce {
+                subscriber: p,
+                interest: g,
+                signature: s.clone(),
+            })
+            .collect()
+    }
+
+    /// The full state a VIEW transfer carries: every live member (own
+    /// peers freshly stamped, remote ones under their recorded
+    /// generations), every tombstone, and every live interest in the
+    /// routing table.
+    fn full_view_delta(&mut self) -> ViewDelta {
+        self.view_gen += 1;
+        let gen = self.view_gen;
+        let mut live: Vec<(PeerId, u64)> = self.peers.keys().map(|&p| (p, gen)).collect();
+        live.extend(self.membership.members());
+        ViewDelta {
+            live,
+            departed: self.membership.tombstones().collect(),
+            interests: self.interest_announcements(false),
+        }
+    }
+
+    /// Merges a membership delta: newly live peers become contacts,
+    /// fresh departures retire contact + routes together, and interest
+    /// re-announcements feed the routing table (idempotently — gossip is
+    /// at-least-once). Entries about *owned* peers are skipped: this
+    /// swarm is the authority on its own members.
+    ///
+    /// Every *newly met* contact then receives a hello VIEW announcing
+    /// this swarm's members and their interests. This closes the
+    /// join-window hole: gossip emitted while the contact list was still
+    /// just the seed (a subscribe right after `join`, a peer added
+    /// before convergence) reached nobody else — introducing ourselves
+    /// to each peer we learn about repairs that without any re-relay
+    /// (an already-known member refreshes idempotently, so hellos
+    /// cannot echo back and forth).
+    fn apply_view_delta(&mut self, delta: &ViewDelta) {
+        let mut met: Vec<PeerId> = Vec::new();
+        for &(peer, gen) in &delta.live {
+            if self.peers.contains_key(&peer) {
+                continue;
+            }
+            if self.membership.add(peer, gen) {
+                self.contacts.insert(peer);
+                met.push(peer);
+            } else if self.membership.is_live(peer) {
+                self.contacts.insert(peer);
+            }
+        }
+        for &(peer, gen) in &delta.departed {
+            if self.peers.contains_key(&peer) {
+                continue;
+            }
+            let retired = self.membership.retire(peer, gen);
+            // A manually wired contact (`add_contact`) never entered the
+            // view, so `retire` reports nothing — the departure must
+            // still take it (and its routes) out. Only a *stale* LEAVE
+            // (the view knows a newer join) keeps the peer.
+            if retired || !self.membership.is_live(peer) {
+                self.contacts.remove(&peer);
+                self.routes.remove_peer(peer);
+            }
+        }
+        for a in &delta.interests {
+            if self.peers.contains_key(&a.subscriber) {
+                continue;
+            }
+            // Only live peers route; a tombstoned subscriber's interests
+            // arriving late must not resurrect its routes.
+            if !self.membership.is_live(a.subscriber) && !self.contacts.contains(&a.subscriber) {
+                continue;
+            }
+            // Same guard as `on_subscribe`: an unroutable empty
+            // signature is ignored rather than indexed.
+            if a.signature.is_catch_all() || !a.signature.tokens().is_empty() {
+                self.routes
+                    .insert(a.subscriber, a.interest, a.signature.clone());
+            }
+        }
+        if met.is_empty() {
+            return;
+        }
+        let Some(&speaker) = self.peers.keys().next() else {
+            return;
+        };
+        self.view_gen += 1;
+        let gen = self.view_gen;
+        let hello = ViewDelta {
+            live: self.peers.keys().map(|&p| (p, gen)).collect(),
+            departed: Vec::new(),
+            interests: self.interest_announcements(true),
+        }
+        .encode();
+        for to in met {
+            self.queue_frame(speaker, to, kinds::VIEW, hello.clone());
+        }
+    }
+
+    /// Handles a JOIN: merge the joiner's announcement, reply with the
+    /// full view (membership *and* every live interest — the late-join
+    /// re-announcement), and relay the announcement to the rest of the
+    /// group so established swarms learn the newcomer without their own
+    /// handshake. Replies and relays ride the wire queue, so a burst of
+    /// joins batches per link.
+    fn on_join(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
+        let delta = ViewDelta::decode(&msg.payload)?;
+        self.apply_view_delta(&delta);
+        let reply = self.full_view_delta();
+        self.queue_frame(at, msg.from, kinds::VIEW, reply.encode());
+        let newcomers: BTreeSet<PeerId> = delta.live.iter().map(|&(p, _)| p).collect();
+        let relay = delta.encode();
+        let targets: Vec<PeerId> = self
+            .contacts
+            .iter()
+            .copied()
+            .filter(|c| *c != msg.from && !newcomers.contains(c))
+            .collect();
+        for to in targets {
+            self.queue_frame(at, to, kinds::VIEW, relay.clone());
+        }
+        Ok(())
+    }
+
+    /// Handles a VIEW (state transfer or relay) or a LEAVE (departure
+    /// announcement): merge, no reply — neither kind propagates further,
+    /// so gossip storms cannot echo.
+    fn on_view_update(&mut self, _at: PeerId, msg: BusMessage) -> Result<()> {
+        let delta = ViewDelta::decode(&msg.payload)?;
+        self.apply_view_delta(&delta);
+        Ok(())
+    }
+
     /// The interest index this swarm routes by.
     pub fn routes(&self) -> &RoutingTable {
         &self.routes
@@ -373,6 +668,10 @@ impl<T: Transport> Swarm<T> {
     pub fn forget_peer(&mut self, peer: PeerId) {
         self.contacts.remove(&peer);
         self.routes.remove_peer(peer);
+        // Tombstone at the last announced generation so a stale gossip
+        // echo cannot resurrect the departed peer; a genuine re-join
+        // (fresh generation) still can.
+        self.membership.forget(peer);
     }
 
     /// Removes an *owned* peer entirely: its protocol state is dropped
@@ -383,6 +682,7 @@ impl<T: Transport> Swarm<T> {
         let removed = self.peers.remove(&peer);
         self.contacts.remove(&peer);
         self.routes.remove_peer(peer);
+        self.membership.forget(peer);
         removed
     }
 
@@ -483,28 +783,69 @@ impl<T: Transport> Swarm<T> {
         self.wire.values().map(Vec::len).sum()
     }
 
-    /// Flushes the wire queue: one message per `(from, to)` link — the
-    /// frame itself when a link holds a single frame, a coalesced
-    /// [`kinds::BATCH`] otherwise. Links to departed peers are pruned
-    /// (their frames dropped) instead of failing the flush.
+    /// Replaces the per-link wire-batch cap (defaults
+    /// [`DEFAULT_WIRE_MAX_FRAMES`]/[`DEFAULT_WIRE_MAX_BYTES`]): a flush
+    /// ships at most `max_frames` frames and `max_bytes` payload bytes
+    /// per batch message, splitting a larger burst into several bounded
+    /// batches. Zero values are treated as 1 — a batch always carries at
+    /// least one frame, and a single oversized frame still ships alone.
+    pub fn set_wire_cap(&mut self, max_frames: usize, max_bytes: usize) {
+        self.wire_max_frames = max_frames.max(1);
+        self.wire_max_bytes = max_bytes.max(1);
+    }
+
+    /// Flushes the wire queue. Each `(from, to)` link's frames ship in
+    /// queue order as the fewest messages the cap allows: a lone frame
+    /// as itself, up to `max_frames`/`max_bytes` per coalesced
+    /// [`kinds::BATCH`], a burst beyond the cap as several bounded
+    /// batches (counted per link in
+    /// [`NetMetrics::batch_splits`](pti_net::NetMetrics::batch_splits)).
+    /// Links to departed peers are pruned (their frames dropped) instead
+    /// of failing the flush.
     pub fn flush_wire(&mut self) {
         if self.wire.is_empty() {
             return;
         }
         let wire = std::mem::take(&mut self.wire);
-        for ((from, to), mut frames) in wire {
-            let sent = if frames.len() == 1 {
-                let (kind, payload) = frames.pop().expect("one frame");
-                self.net.send(from, to, kind, payload)
-            } else {
-                let mut batch = FrameBatch::new();
-                for (kind, payload) in frames {
-                    batch.push(kind, payload);
+        for ((from, to), frames) in wire {
+            // Chunk the burst: a chunk closes when one more frame would
+            // exceed either cap (but always holds at least one frame).
+            let mut chunks: Vec<Vec<QueuedFrame>> = Vec::new();
+            let mut chunk: Vec<QueuedFrame> = Vec::new();
+            let mut chunk_bytes = 0usize;
+            for frame in frames {
+                let over = chunk.len() >= self.wire_max_frames
+                    || chunk_bytes + frame.1.len() > self.wire_max_bytes;
+                if !chunk.is_empty() && over {
+                    chunks.push(std::mem::take(&mut chunk));
+                    chunk_bytes = 0;
                 }
-                self.net.send(from, to, kinds::BATCH, batch.encode())
-            };
-            if let Err(NetError::UnknownPeer(p)) = sent {
-                self.forget_peer(p);
+                chunk_bytes += frame.1.len();
+                chunk.push(frame);
+            }
+            chunks.push(chunk);
+            let mut shipped = 0u64;
+            for mut chunk in chunks {
+                let sent = if chunk.len() == 1 {
+                    let (kind, payload) = chunk.pop().expect("one frame");
+                    self.net.send(from, to, kind, payload)
+                } else {
+                    let mut batch = FrameBatch::new();
+                    for (kind, payload) in chunk {
+                        batch.push(kind, payload);
+                    }
+                    self.net.send(from, to, kinds::BATCH, batch.encode())
+                };
+                match sent {
+                    Ok(()) => shipped += 1,
+                    Err(NetError::UnknownPeer(p)) => {
+                        self.forget_peer(p);
+                        break;
+                    }
+                }
+            }
+            if shipped > 1 {
+                self.net.record_batch_splits(from, to, shipped - 1);
             }
         }
     }
@@ -670,9 +1011,24 @@ impl<T: Transport> Swarm<T> {
     /// (without consuming side effects) for unknown kinds so embedding
     /// protocols can claim them.
     ///
+    /// Any frames the message provoked — desc/asm responses, membership
+    /// view transfers — are queued per link and flushed before this
+    /// returns, so a batch of requests answers as a batch of responses
+    /// and manual drivers (`poll_message` + `dispatch` loops) never
+    /// strand replies in the queue.
+    ///
     /// # Errors
     /// Protocol violations or runtime failures.
     pub fn dispatch(&mut self, at: PeerId, msg: BusMessage) -> Result<bool> {
+        let handled = self.dispatch_inner(at, msg)?;
+        self.flush_wire();
+        Ok(handled)
+    }
+
+    /// [`dispatch`](Self::dispatch) minus the trailing flush — what
+    /// batch unpacking recurses through, so every frame of an inbound
+    /// batch contributes to one coalesced response flush.
+    fn dispatch_inner(&mut self, at: PeerId, msg: BusMessage) -> Result<bool> {
         match msg.kind {
             kinds::OBJECT => self.on_object(at, msg)?,
             kinds::DESC_REQUEST => self.on_desc_request(at, msg)?,
@@ -682,6 +1038,8 @@ impl<T: Transport> Swarm<T> {
             kinds::EAGER_OBJECT => self.on_eager_object(at, msg)?,
             kinds::SUBSCRIBE => self.on_subscribe(at, msg)?,
             kinds::UNSUBSCRIBE => self.on_unsubscribe(at, msg)?,
+            kinds::JOIN => self.on_join(at, msg)?,
+            kinds::LEAVE | kinds::VIEW => self.on_view_update(at, msg)?,
             kinds::BATCH => self.on_batch(at, msg)?,
             _ => return Ok(false),
         }
@@ -697,7 +1055,7 @@ impl<T: Transport> Swarm<T> {
             let kind = kinds::intern(&frame.kind).ok_or_else(|| {
                 TransportError::Protocol(format!("unknown batched kind `{}`", frame.kind))
             })?;
-            self.dispatch(
+            self.dispatch_inner(
                 at,
                 BusMessage {
                     from: msg.from,
@@ -816,8 +1174,10 @@ impl<T: Transport> Swarm<T> {
                 )));
             }
             for path in to_request {
-                self.net
-                    .send(at, from, kinds::DESC_REQUEST, path.into_bytes())?;
+                // Requests ride the wire queue: an envelope listing
+                // several assemblies asks for all of them in one batch
+                // (and the server answers with one batch of responses).
+                self.queue_frame(at, from, kinds::DESC_REQUEST, path.into_bytes());
             }
             // If nothing was newly requested but we're still waiting, a
             // response is already in flight for another pending object.
@@ -896,8 +1256,7 @@ impl<T: Transport> Swarm<T> {
                 }
             }
             for path in to_request {
-                self.net
-                    .send(at, from, kinds::ASM_REQUEST, path.into_bytes())?;
+                self.queue_frame(at, from, kinds::ASM_REQUEST, path.into_bytes());
             }
             return Ok(());
         }
@@ -950,12 +1309,14 @@ impl<T: Transport> Swarm<T> {
             .published_by_desc_path(&path)
             .ok_or_else(|| TransportError::UnknownPath(path.clone()))?;
         let doc = descriptions_document(&published.descriptions, &path);
-        self.net.send(
+        // Responses ride the wire queue like everything else: a batch of
+        // requests answers as one batched response per link.
+        self.queue_frame(
             at,
             msg.from,
             kinds::DESC_RESPONSE,
             doc.to_compact().into_bytes(),
-        )?;
+        );
         Ok(())
     }
 
@@ -1004,7 +1365,7 @@ impl<T: Transport> Swarm<T> {
         if payload.len() < size {
             payload.resize(size, 0);
         }
-        self.net.send(at, msg.from, kinds::ASM_RESPONSE, payload)?;
+        self.queue_frame(at, msg.from, kinds::ASM_RESPONSE, payload);
         Ok(())
     }
 

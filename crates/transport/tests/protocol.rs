@@ -384,8 +384,16 @@ fn nested_multi_assembly_object_travels_whole() {
         rt.get_field(home, "street").unwrap().as_str().unwrap(),
         "Main St 1"
     );
-    // Both assemblies were fetched.
-    assert_eq!(swarm.net().metrics().kind(kinds::ASM_REQUEST).messages, 2);
+    // Both assemblies were fetched — and since the envelope listed them
+    // together, the two requests crossed the wire as one coalesced
+    // batch, not two messages (responses batch the same way).
+    assert_eq!(swarm.peer(bob).stats.asm_requests, 2);
+    let m = swarm.net().metrics();
+    assert_eq!(m.kind(kinds::ASM_REQUEST).messages, 0, "requests batched");
+    assert!(
+        m.batched_frames() >= 4,
+        "2 requests + 2 responses in batches"
+    );
 }
 
 #[test]
