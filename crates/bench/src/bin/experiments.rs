@@ -733,6 +733,197 @@ fn r2_membership(report: &mut Report) -> String {
     )
 }
 
+/// R3 — the zero-copy binary wire path: the routed workload of R1 with
+/// three subscribers per topic (a real fan-out), run once with XML
+/// envelopes and once with the binary (`PTIB`) default. Measures object
+/// bytes/event (attributed across standalone and batched frames by the
+/// per-kind overlay `NetMetrics` keeps), publish throughput, and the
+/// encode counter proving one envelope encode per publish with the
+/// encoded bytes *shared* across destinations (payload fan-out is
+/// refcounted, a structural property of `Payload`). Emits
+/// `BENCH_wirepath.json`; CI fails if binary bytes/event exceed half the
+/// XML baseline.
+fn r3_wirepath(report: &mut Report) -> String {
+    use samples::{topic_event_assembly, topic_event_def};
+    use std::time::Duration;
+
+    const SHARDS: usize = 4;
+    const PER_SHARD: usize = 8;
+    const MEMBERS: usize = SHARDS * PER_SHARD;
+    const TOPICS: usize = 8;
+    const SUBS_PER_TOPIC: usize = 3;
+    const EVENTS: usize = 64;
+
+    fn pump(bus: &LiveBus, shards: &mut [Swarm<LiveBus>]) {
+        let mut last = u64::MAX;
+        loop {
+            for sw in shards.iter_mut() {
+                sw.run_for(Duration::from_millis(2)).unwrap();
+            }
+            let now = LiveBus::metrics(bus).messages;
+            if now == last {
+                return;
+            }
+            last = now;
+        }
+    }
+
+    struct ModeResult {
+        object_bytes: u64,
+        object_envelopes: u64,
+        bytes_per_event: f64,
+        events_per_sec: f64,
+        payload_encodes: u64,
+        delivered: u64,
+    }
+
+    // One peer holds several subscribers' worth of interests; ids 2..=25
+    // spread over all four shards.
+    let subscriber_of = |t: usize, k: usize| PeerId((2 + SUBS_PER_TOPIC * t + k) as u32);
+    let shard_of = |p: PeerId| ((p.0 - 1) / PER_SHARD as u32) as usize;
+
+    let run_mode = |wire: EnvelopeWireFormat| -> ModeResult {
+        let bus = LiveBus::new();
+        let code = CodeRegistry::new();
+        let mut shards: Vec<Swarm<LiveBus>> = (0..SHARDS)
+            .map(|s| {
+                let mut sw = Swarm::with_code_registry(bus.clone(), code.clone());
+                sw.set_envelope_wire_format(wire);
+                for i in 0..PER_SHARD {
+                    sw.add_peer_as(
+                        PeerId((s * PER_SHARD + i + 1) as u32),
+                        ConformanceConfig::pragmatic(),
+                    );
+                }
+                sw
+            })
+            .collect();
+        let publisher = PeerId(1);
+        for id in 1..=MEMBERS {
+            shards[0].add_contact(PeerId(id as u32));
+        }
+        for shard in shards.iter_mut().skip(1) {
+            shard.add_contact(publisher);
+        }
+        for t in 0..TOPICS {
+            shards[0]
+                .publish(publisher, topic_event_assembly(t))
+                .unwrap();
+        }
+        for t in 0..TOPICS {
+            for k in 0..SUBS_PER_TOPIC {
+                let sub = subscriber_of(t, k);
+                shards[shard_of(sub)]
+                    .subscribe(sub, TypeDescription::from_def(&topic_event_def(t, "sub")));
+            }
+        }
+        pump(&bus, &mut shards);
+        // Warm the exchange (desc/asm fetched once per subscriber peer),
+        // so the measured loop is the steady-state publish path.
+        for t in 0..TOPICS {
+            let h = shards[0]
+                .peer_mut(publisher)
+                .runtime
+                .instantiate_def(&topic_event_def(t, "pub"), &[])
+                .unwrap();
+            shards[0]
+                .route_object(publisher, &Value::Obj(h), PayloadFormat::Binary)
+                .unwrap();
+        }
+        pump(&bus, &mut shards);
+        let mut hub = bus.clone();
+        Transport::reset_metrics(&mut hub);
+
+        let start = Instant::now();
+        for i in 0..EVENTS {
+            let t = i % TOPICS;
+            let h = shards[0]
+                .peer_mut(publisher)
+                .runtime
+                .instantiate_def(&topic_event_def(t, "pub"), &[])
+                .unwrap();
+            shards[0]
+                .route_object(publisher, &Value::Obj(h), PayloadFormat::Binary)
+                .unwrap();
+        }
+        pump(&bus, &mut shards);
+        let wall = start.elapsed().as_secs_f64();
+
+        let delivered = (0..TOPICS)
+            .flat_map(|t| (0..SUBS_PER_TOPIC).map(move |k| subscriber_of(t, k)))
+            .map(|sub| shards[shard_of(sub)].peer(sub).stats.accepted)
+            .sum::<u64>()
+            - (TOPICS * SUBS_PER_TOPIC) as u64; // minus the warmup events
+        let m = LiveBus::metrics(&bus);
+        let object = m.attributed("object");
+        ModeResult {
+            object_bytes: object.bytes,
+            object_envelopes: object.messages,
+            bytes_per_event: object.bytes as f64 / EVENTS as f64,
+            events_per_sec: EVENTS as f64 / wall,
+            payload_encodes: m.payload_encodes,
+            delivered,
+        }
+    };
+
+    println!("\nR3  wire path — XML vs binary envelopes, shared-payload fan-out");
+    let xml = run_mode(EnvelopeWireFormat::Xml);
+    let bin = run_mode(EnvelopeWireFormat::Ptib);
+    let reduction = xml.bytes_per_event / bin.bytes_per_event.max(1.0);
+    let expected_delivered = (EVENTS * SUBS_PER_TOPIC) as u64;
+    report.push(
+        "R3",
+        &format!("XML envelope baseline ({MEMBERS} members, {SUBS_PER_TOPIC} subs/topic)"),
+        "verbose text + base64",
+        format!(
+            "{:.0} B/event over {} envelopes; {:.0} events/s; {} delivered",
+            xml.bytes_per_event, xml.object_envelopes, xml.events_per_sec, xml.delivered
+        ),
+        xml.delivered == expected_delivered,
+    );
+    report.push(
+        "R3",
+        "binary (PTIB) envelope default",
+        ">=2x fewer bytes/event",
+        format!(
+            "{:.0} B/event ({reduction:.1}x reduction); {:.0} events/s; {} delivered",
+            bin.bytes_per_event, bin.events_per_sec, bin.delivered
+        ),
+        reduction >= 2.0 && bin.delivered == expected_delivered,
+    );
+    report.push(
+        "R3",
+        "one encode per publish, zero per-destination copies",
+        "encodes == events",
+        format!(
+            "{} encodes / {EVENTS} events; {} envelopes shared the {} buffers",
+            bin.payload_encodes, bin.object_envelopes, bin.payload_encodes
+        ),
+        bin.payload_encodes == EVENTS as u64,
+    );
+
+    let json_mode = |r: &ModeResult| {
+        format!(
+            "{{\"object_bytes\": {}, \"object_envelopes\": {}, \"bytes_per_event\": {:.1}, \
+             \"events_per_sec\": {:.0}, \"payload_encodes\": {}, \"delivered\": {}}}",
+            r.object_bytes,
+            r.object_envelopes,
+            r.bytes_per_event,
+            r.events_per_sec,
+            r.payload_encodes,
+            r.delivered
+        )
+    };
+    format!(
+        "{{\n  \"members\": {MEMBERS},\n  \"topics\": {TOPICS},\n  \"subscribers_per_topic\": \
+         {SUBS_PER_TOPIC},\n  \"events\": {EVENTS},\n  \"xml\": {},\n  \"binary\": {},\n  \
+         \"bytes_per_event_reduction\": {reduction:.2},\n  \"encodes_per_publish\": {:.2}\n}}\n",
+        json_mode(&xml),
+        json_mode(&bin),
+        bin.payload_encodes as f64 / EVENTS as f64,
+    )
+}
+
 fn a1_name_matchers(report: &mut Report) {
     println!("\nA1  ablation D1 — name matcher strictness vs match rate & cost");
     let variants = samples::generate_population(3, 200, 0.5);
@@ -1002,6 +1193,7 @@ fn main() {
     f3_serializers(&mut report);
     let routing_json = r1_routing(&mut report);
     let membership_json = r2_membership(&mut report);
+    let wirepath_json = r3_wirepath(&mut report);
     a1_name_matchers(&mut report);
     a2_variance(&mut report);
     a3_cache(&mut report);
@@ -1019,4 +1211,6 @@ fn main() {
     println!("wrote BENCH_routing.json");
     std::fs::write("BENCH_membership.json", membership_json).expect("writable cwd");
     println!("wrote BENCH_membership.json");
+    std::fs::write("BENCH_wirepath.json", wirepath_json).expect("writable cwd");
+    println!("wrote BENCH_wirepath.json");
 }

@@ -93,14 +93,14 @@ pub mod prelude {
         TypeDescription, TypeName, TypeRegistry, Value,
     };
     pub use pti_net::{
-        BusMessage, Endpoint, LiveBus, NetConfig, NetMetrics, PeerId, SharedSimNet, SimNet,
-        Transport,
+        BusMessage, Endpoint, LiveBus, NetConfig, NetMetrics, Payload, PeerId, SharedSimNet,
+        SimNet, Transport,
     };
     pub use pti_proxy::{invoke_direct, DynamicProxy, ProxyError};
     pub use pti_remoting::{RemoteProxy, RemoteRef, RemotingFabric};
     pub use pti_serialize::{
         description_from_string, description_to_string, from_binary, from_soap_string, to_binary,
-        to_soap_string, ObjectEnvelope, PayloadFormat,
+        to_soap_string, EnvelopeWireFormat, ObjectEnvelope, PayloadFormat,
     };
     pub use pti_tps::{
         DeliveryMode, EventBuilder, EventNotification, Member, Publisher, Subscription, TypedPubSub,

@@ -23,6 +23,7 @@ use std::time::{Duration, Instant};
 
 use crate::frame::{kinds, FrameBatch};
 use crate::metrics::NetMetrics;
+use crate::payload::Payload;
 use crate::sim::{NetError, PeerId};
 use crate::transport::Transport;
 
@@ -36,8 +37,8 @@ pub struct BusMessage {
     /// Application-level kind tag. Always a constant — allocation never
     /// rides the send path.
     pub kind: &'static str,
-    /// Opaque payload.
-    pub payload: Vec<u8>,
+    /// Opaque payload — shared with the sender, never copied per hop.
+    pub payload: Payload,
 }
 
 /// Hub creating endpoints and carrying shared metrics.
@@ -192,7 +193,7 @@ impl Transport for LiveBus {
         from: PeerId,
         to: PeerId,
         kind: &'static str,
-        payload: Vec<u8>,
+        payload: Payload,
     ) -> Result<(), NetError> {
         self.send_msg(BusMessage {
             from,
@@ -234,6 +235,14 @@ impl Transport for LiveBus {
     fn record_batch_splits(&mut self, from: PeerId, to: PeerId, extra: u64) {
         self.lock().metrics.record_batch_splits(from, to, extra);
     }
+
+    fn record_batched_frame(&mut self, kind: &'static str, bytes: usize) {
+        self.lock().metrics.record_batched_frame(kind, bytes);
+    }
+
+    fn record_payload_encode(&mut self) {
+        self.lock().metrics.record_payload_encode();
+    }
 }
 
 impl Endpoint {
@@ -247,12 +256,17 @@ impl Endpoint {
     /// # Errors
     /// [`NetError::UnknownPeer`] when the destination never joined or
     /// already left.
-    pub fn send(&self, to: PeerId, kind: &'static str, payload: Vec<u8>) -> Result<(), NetError> {
+    pub fn send(
+        &self,
+        to: PeerId,
+        kind: &'static str,
+        payload: impl Into<Payload>,
+    ) -> Result<(), NetError> {
         self.bus.send_msg(BusMessage {
             from: self.id,
             to,
             kind,
-            payload,
+            payload: payload.into(),
         })
     }
 
@@ -368,7 +382,7 @@ mod tests {
         Transport::register(&mut right, PeerId(2));
         // A message sent through either handle reaches the peer attached
         // to the other handle...
-        Transport::send(&mut left, PeerId(1), PeerId(2), "k", vec![9]).unwrap();
+        Transport::send(&mut left, PeerId(1), PeerId(2), "k", vec![9].into()).unwrap();
         assert!(
             left.try_recv(PeerId(2)).is_none(),
             "inbox is right's, not left's"
@@ -399,7 +413,7 @@ mod tests {
         // The id is free again once the owning handle is gone.
         let mut next = hub.clone();
         Transport::register(&mut next, PeerId(7));
-        Transport::send(&mut next, PeerId(7), PeerId(7), "loop", vec![1]).unwrap();
+        Transport::send(&mut next, PeerId(7), PeerId(7), "loop", vec![1].into()).unwrap();
         assert_eq!(next.try_recv(PeerId(7)).unwrap().payload, vec![1]);
     }
 
@@ -442,7 +456,14 @@ mod tests {
         Transport::register(&mut sender_bus, PeerId(1));
         let t = thread::spawn(move || {
             thread::sleep(Duration::from_millis(5));
-            Transport::send(&mut sender_bus, PeerId(1), PeerId(2), "late", vec![]).unwrap();
+            Transport::send(
+                &mut sender_bus,
+                PeerId(1),
+                PeerId(2),
+                "late",
+                Payload::empty(),
+            )
+            .unwrap();
         });
         let m = receiver_bus
             .recv_deadline(&[PeerId(2)], Instant::now() + Duration::from_secs(5))

@@ -35,11 +35,13 @@
 mod bus;
 mod frame;
 mod metrics;
+mod payload;
 mod sim;
 mod transport;
 
 pub use bus::{BusMessage, Endpoint, LiveBus};
 pub use frame::{kinds, Frame, FrameBatch, FrameDecodeError};
 pub use metrics::{KindMetrics, LinkBatchMetrics, NetMetrics};
+pub use payload::Payload;
 pub use sim::{Message, NetConfig, NetError, PeerId, SharedSimNet, SimNet};
 pub use transport::Transport;

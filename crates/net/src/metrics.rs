@@ -25,9 +25,21 @@ pub struct NetMetrics {
     /// Counters per message kind (e.g. `object`, `desc-request`,
     /// `assembly`), keyed by the kind tag.
     pub per_kind: BTreeMap<&'static str, KindMetrics>,
+    /// Counters for frames that travelled *inside* batch messages, keyed
+    /// by the frame's own kind. A batched frame's bytes are part of the
+    /// `batch` entry in [`per_kind`](Self::per_kind); this map attributes
+    /// them back to the protocol kind (OBJECT vs control traffic), so it
+    /// is an attribution overlay — do not add it to
+    /// [`bytes`](Self::bytes).
+    pub per_batched_kind: BTreeMap<&'static str, KindMetrics>,
     /// Batching counters per `(from, to)` link — populated whenever a
     /// [`FrameBatch`](crate::FrameBatch) message crosses that link.
     pub per_link: BTreeMap<(PeerId, PeerId), LinkBatchMetrics>,
+    /// Payload encodes performed by the layer above (one per published
+    /// envelope). Compared against per-kind OBJECT counts, this proves
+    /// the fan-out path encodes once per publish and shares the bytes
+    /// across destinations instead of re-encoding or copying.
+    pub payload_encodes: u64,
 }
 
 /// Counters for one message kind.
@@ -86,9 +98,44 @@ impl NetMetrics {
         self.per_link.entry((from, to)).or_default().splits += extra;
     }
 
+    /// Attributes one frame shipped *inside* a batch message to its own
+    /// kind. Called by the batching layer through
+    /// [`Transport::record_batched_frame`](crate::Transport::record_batched_frame);
+    /// allocation-free like [`record`](Self::record).
+    pub fn record_batched_frame(&mut self, kind: &'static str, bytes: usize) {
+        let k = self.per_batched_kind.entry(kind).or_default();
+        k.messages += 1;
+        k.bytes += bytes as u64;
+    }
+
+    /// Records one payload encode performed by the layer above (see
+    /// [`Transport::record_payload_encode`](crate::Transport::record_payload_encode)).
+    pub fn record_payload_encode(&mut self) {
+        self.payload_encodes += 1;
+    }
+
     /// Counters for one kind (zero if the kind never appeared).
     pub fn kind(&self, kind: &str) -> KindMetrics {
         self.per_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// Counters for frames of one kind that travelled inside batches
+    /// (zero if none did).
+    pub fn batched_kind(&self, kind: &str) -> KindMetrics {
+        self.per_batched_kind.get(kind).copied().unwrap_or_default()
+    }
+
+    /// All wire bytes attributable to one kind: standalone messages of
+    /// that kind plus frames of that kind coalesced into batches. This is
+    /// what lets an experiment split total traffic into OBJECT vs control
+    /// bytes even when everything rides the batching path.
+    pub fn attributed(&self, kind: &str) -> KindMetrics {
+        let a = self.kind(kind);
+        let b = self.batched_kind(kind);
+        KindMetrics {
+            messages: a.messages + b.messages,
+            bytes: a.bytes + b.bytes,
+        }
     }
 
     /// Batching counters for one link (zero if no batch crossed it).
@@ -157,6 +204,29 @@ mod tests {
         assert_eq!(m.batches(), 3);
         assert_eq!(m.batched_frames(), 11);
         assert_eq!(m.link(PeerId(9), PeerId(9)), LinkBatchMetrics::default());
+    }
+
+    #[test]
+    fn batched_frames_attribute_to_their_kind() {
+        let mut m = NetMetrics::default();
+        // One batch message of 150 B carrying two object frames and a
+        // subscribe frame.
+        m.record("batch", 150);
+        m.record_batched_frame("object", 60);
+        m.record_batched_frame("object", 50);
+        m.record_batched_frame("subscribe", 20);
+        // Plus one standalone object message.
+        m.record("object", 40);
+        assert_eq!(m.batched_kind("object").messages, 2);
+        assert_eq!(m.batched_kind("object").bytes, 110);
+        assert_eq!(m.attributed("object").messages, 3);
+        assert_eq!(m.attributed("object").bytes, 150);
+        assert_eq!(m.attributed("subscribe").bytes, 20);
+        assert_eq!(m.batched_kind("never"), KindMetrics::default());
+        // The overlay does not inflate the totals.
+        assert_eq!(m.bytes, 190);
+        m.record_payload_encode();
+        assert_eq!(m.payload_encodes, 1);
     }
 
     #[test]

@@ -1,0 +1,152 @@
+//! Shared, immutable wire payloads.
+//!
+//! Fanning one publish out to N links used to cost N `Vec` clones of the
+//! full envelope. A [`Payload`] is the same bytes behind an `Arc<[u8]>`:
+//! building it costs one allocation, every further destination is a
+//! reference-count bump. The bytes are immutable once wrapped — exactly
+//! the invariant a wire message needs (senders must not see their buffer
+//! mutated after handing it to the fabric).
+
+use std::fmt;
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// An immutable, cheaply-cloneable byte buffer travelling on the wire.
+///
+/// `Clone` is a reference-count bump, never a byte copy — the structural
+/// guarantee behind the zero-copy fan-out path (`Swarm::route_object`
+/// clones one encoded envelope per destination link instead of copying
+/// it).
+#[derive(Clone, PartialEq, Eq, Hash, Default)]
+pub struct Payload(Arc<[u8]>);
+
+impl Payload {
+    /// Wraps a byte buffer. Prefer the `From` impls at call sites.
+    pub fn new(bytes: impl Into<Arc<[u8]>>) -> Payload {
+        Payload(bytes.into())
+    }
+
+    /// An empty payload.
+    pub fn empty() -> Payload {
+        Payload::default()
+    }
+
+    /// Length in bytes.
+    pub fn len(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Whether the payload holds no bytes.
+    pub fn is_empty(&self) -> bool {
+        self.0.is_empty()
+    }
+
+    /// The bytes as a slice.
+    pub fn as_slice(&self) -> &[u8] {
+        &self.0
+    }
+
+    /// Copies the bytes out into an owned vector (a deliberate deep
+    /// copy — the only way to get mutable bytes back).
+    pub fn to_vec(&self) -> Vec<u8> {
+        self.0.to_vec()
+    }
+
+    /// How many handles share these bytes (diagnostic; used by tests to
+    /// prove fan-out shares rather than copies).
+    pub fn ref_count(&self) -> usize {
+        Arc::strong_count(&self.0)
+    }
+}
+
+impl Deref for Payload {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl AsRef<[u8]> for Payload {
+    fn as_ref(&self) -> &[u8] {
+        &self.0
+    }
+}
+
+impl From<Vec<u8>> for Payload {
+    fn from(v: Vec<u8>) -> Payload {
+        Payload(v.into())
+    }
+}
+
+impl From<&[u8]> for Payload {
+    fn from(v: &[u8]) -> Payload {
+        Payload(v.into())
+    }
+}
+
+impl<const N: usize> From<[u8; N]> for Payload {
+    fn from(v: [u8; N]) -> Payload {
+        Payload(v.as_slice().into())
+    }
+}
+
+impl From<String> for Payload {
+    fn from(s: String) -> Payload {
+        Payload(s.into_bytes().into())
+    }
+}
+
+impl From<Arc<[u8]>> for Payload {
+    fn from(a: Arc<[u8]>) -> Payload {
+        Payload(a)
+    }
+}
+
+impl PartialEq<Vec<u8>> for Payload {
+    fn eq(&self, other: &Vec<u8>) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl PartialEq<&[u8]> for Payload {
+    fn eq(&self, other: &&[u8]) -> bool {
+        self.as_slice() == *other
+    }
+}
+
+impl<const N: usize> PartialEq<[u8; N]> for Payload {
+    fn eq(&self, other: &[u8; N]) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl fmt::Debug for Payload {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Payload({} B)", self.0.len())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn clone_shares_bytes() {
+        let p: Payload = vec![1u8, 2, 3].into();
+        let q = p.clone();
+        assert_eq!(p.ref_count(), 2);
+        assert_eq!(q, vec![1u8, 2, 3]);
+        assert_eq!(p.as_slice().as_ptr(), q.as_slice().as_ptr(), "no copy");
+    }
+
+    #[test]
+    fn conversions_and_views() {
+        assert_eq!(Payload::from("hi".to_string()).as_slice(), b"hi");
+        assert_eq!(Payload::from([9u8; 4]).len(), 4);
+        assert!(Payload::empty().is_empty());
+        let p = Payload::from(&b"abc"[..]);
+        assert_eq!(&p[1..], b"bc");
+        assert_eq!(p.to_vec(), b"abc".to_vec());
+    }
+}

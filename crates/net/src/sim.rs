@@ -17,6 +17,7 @@ use std::fmt;
 
 use crate::frame::{kinds, FrameBatch};
 use crate::metrics::NetMetrics;
+use crate::payload::Payload;
 
 /// Identifies a peer on the simulated network.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
@@ -75,8 +76,9 @@ pub struct Message {
     /// Application-level kind tag (used for metrics breakdowns). Always
     /// a constant — allocation never rides the send path.
     pub kind: &'static str,
-    /// Opaque payload bytes.
-    pub payload: Vec<u8>,
+    /// Opaque payload bytes — shared with the sender (and, on a fan-out,
+    /// with every sibling destination), never copied per hop.
+    pub payload: Payload,
     /// Virtual time (µs) the message was handed to the network.
     pub sent_at: u64,
     /// Virtual time (µs) the message becomes available at `to`.
@@ -154,7 +156,9 @@ impl SimNet {
         self.config
     }
 
-    /// Sends a message; returns its delivery time (µs, virtual).
+    /// Sends a message; returns its delivery time (µs, virtual). The
+    /// payload is shared, not copied — pass a [`Payload`] clone when
+    /// fanning the same bytes out to several destinations.
     ///
     /// # Errors
     /// [`NetError::UnknownPeer`] if `to` was never registered.
@@ -163,11 +167,12 @@ impl SimNet {
         from: PeerId,
         to: PeerId,
         kind: &'static str,
-        payload: Vec<u8>,
+        payload: impl Into<Payload>,
     ) -> Result<u64, NetError> {
         if !self.inboxes.contains_key(&to) {
             return Err(NetError::UnknownPeer(to));
         }
+        let payload = payload.into();
         let size = payload.len();
         // The link serializes transmissions: start after any in-flight
         // message on the same (from, to) pair finishes.
@@ -384,7 +389,7 @@ mod tests {
         Transport::register(&mut left, PeerId(1));
         Transport::register(&mut right, PeerId(2));
         // A send through one handle is received through the other...
-        Transport::send(&mut left, PeerId(1), PeerId(2), "k", vec![9]).unwrap();
+        Transport::send(&mut left, PeerId(1), PeerId(2), "k", vec![9].into()).unwrap();
         let m = right.try_recv(PeerId(2)).expect("shared inboxes");
         assert_eq!(m.from, PeerId(1));
         assert_eq!(m.payload, vec![9]);
@@ -394,7 +399,7 @@ mod tests {
         assert_eq!(SharedSimNet::metrics(&left).messages, 1);
         assert_eq!(SharedSimNet::metrics(&right).messages, 1);
         assert_eq!(
-            Transport::send(&mut left, PeerId(1), PeerId(9), "k", vec![]),
+            Transport::send(&mut left, PeerId(1), PeerId(9), "k", Payload::empty()),
             Err(NetError::UnknownPeer(PeerId(9)))
         );
     }

@@ -13,6 +13,7 @@ use std::time::Instant;
 
 use crate::bus::BusMessage;
 use crate::metrics::NetMetrics;
+use crate::payload::Payload;
 use crate::sim::{NetError, PeerId, SharedSimNet, SimNet};
 
 /// A message fabric connecting peers: registration, point-to-point send,
@@ -30,7 +31,9 @@ pub trait Transport {
     /// Registers a peer, creating its inbox. Idempotent.
     fn register(&mut self, peer: PeerId);
 
-    /// Sends a message from one peer to another.
+    /// Sends a message from one peer to another. The payload is a
+    /// shared buffer: fanning the same bytes out to N destinations is N
+    /// clones of the handle (refcount bumps), never N byte copies.
     ///
     /// # Errors
     /// [`NetError::UnknownPeer`] when the destination is not registered
@@ -40,7 +43,7 @@ pub trait Transport {
         from: PeerId,
         to: PeerId,
         kind: &'static str,
-        payload: Vec<u8>,
+        payload: Payload,
     ) -> Result<(), NetError>;
 
     /// Takes the next available message for `peer` without waiting.
@@ -71,6 +74,20 @@ pub trait Transport {
     fn record_batch_splits(&mut self, from: PeerId, to: PeerId, extra: u64) {
         let _ = (from, to, extra);
     }
+
+    /// Accounting hook: the batching layer above shipped one frame of
+    /// `kind` *inside* a batch message. Lets metrics attribute batch
+    /// bytes back to the protocol kinds they carry (OBJECT vs control);
+    /// the default is a no-op.
+    fn record_batched_frame(&mut self, kind: &'static str, bytes: usize) {
+        let _ = (kind, bytes);
+    }
+
+    /// Accounting hook: the layer above encoded one wire payload (e.g.
+    /// an object envelope). Comparing this against delivered OBJECT
+    /// counts proves the publish path encodes once and *shares* the
+    /// bytes across destinations. The default is a no-op.
+    fn record_payload_encode(&mut self) {}
 }
 
 impl Transport for SimNet {
@@ -83,7 +100,7 @@ impl Transport for SimNet {
         from: PeerId,
         to: PeerId,
         kind: &'static str,
-        payload: Vec<u8>,
+        payload: Payload,
     ) -> Result<(), NetError> {
         SimNet::send(self, from, to, kind, payload).map(|_deliver_at| ())
     }
@@ -108,6 +125,14 @@ impl Transport for SimNet {
     fn record_batch_splits(&mut self, from: PeerId, to: PeerId, extra: u64) {
         SimNet::metrics_mut(self).record_batch_splits(from, to, extra);
     }
+
+    fn record_batched_frame(&mut self, kind: &'static str, bytes: usize) {
+        SimNet::metrics_mut(self).record_batched_frame(kind, bytes);
+    }
+
+    fn record_payload_encode(&mut self) {
+        SimNet::metrics_mut(self).record_payload_encode();
+    }
 }
 
 /// Every clone drives the same underlying [`SimNet`]: registration,
@@ -124,7 +149,7 @@ impl Transport for SharedSimNet {
         from: PeerId,
         to: PeerId,
         kind: &'static str,
-        payload: Vec<u8>,
+        payload: Payload,
     ) -> Result<(), NetError> {
         self.with(|net| net.send(from, to, kind, payload).map(|_deliver_at| ()))
     }
@@ -144,6 +169,14 @@ impl Transport for SharedSimNet {
     fn record_batch_splits(&mut self, from: PeerId, to: PeerId, extra: u64) {
         self.with(|net| net.metrics_mut().record_batch_splits(from, to, extra));
     }
+
+    fn record_batched_frame(&mut self, kind: &'static str, bytes: usize) {
+        self.with(|net| net.metrics_mut().record_batched_frame(kind, bytes));
+    }
+
+    fn record_payload_encode(&mut self) {
+        self.with(|net| net.metrics_mut().record_payload_encode());
+    }
 }
 
 #[cfg(test)]
@@ -156,9 +189,9 @@ mod tests {
     fn exercise<T: Transport>(mut t: T) {
         t.register(PeerId(1));
         t.register(PeerId(2));
-        t.send(PeerId(1), PeerId(2), "k", vec![7]).unwrap();
+        t.send(PeerId(1), PeerId(2), "k", vec![7].into()).unwrap();
         assert_eq!(
-            t.send(PeerId(1), PeerId(9), "k", vec![]),
+            t.send(PeerId(1), PeerId(9), "k", Payload::empty()),
             Err(NetError::UnknownPeer(PeerId(9)))
         );
         let m = t.try_recv(PeerId(2)).expect("queued message");
@@ -190,7 +223,7 @@ mod tests {
         let mut t = SimNet::new(NetConfig::default());
         t.register(PeerId(1));
         t.register(PeerId(2));
-        t.send(PeerId(1), PeerId(2), "k", vec![]).unwrap();
+        t.send(PeerId(1), PeerId(2), "k", Payload::empty()).unwrap();
         let deadline = Instant::now() + Duration::from_millis(1);
         let m = t
             .recv_deadline(&[PeerId(1), PeerId(2)], deadline)

@@ -322,9 +322,9 @@ impl RemotingFabric {
     ) -> Result<()> {
         match msg.kind {
             kinds::REMOTE_REF => {
-                let text = String::from_utf8(msg.payload)
+                let text = std::str::from_utf8(&msg.payload)
                     .map_err(|_| TransportError::Protocol("ref not utf8".into()))?;
-                let el = pti_xml::parse(&text).map_err(pti_serialize::SerializeError::from)?;
+                let el = pti_xml::parse(text).map_err(pti_serialize::SerializeError::from)?;
                 let rref = RemoteRef::from_xml(&el)?;
                 // Fetch the description if unknown, then settle.
                 if !swarm.peer(at).knows_description(rref.type_guid) {
@@ -343,9 +343,9 @@ impl RemotingFabric {
                 Ok(())
             }
             kinds::INVOKE_REQUEST => {
-                let text = String::from_utf8(msg.payload)
+                let text = std::str::from_utf8(&msg.payload)
                     .map_err(|_| TransportError::Protocol("request not utf8".into()))?;
-                let el = pti_xml::parse(&text).map_err(pti_serialize::SerializeError::from)?;
+                let el = pti_xml::parse(text).map_err(pti_serialize::SerializeError::from)?;
                 let id: u64 = el
                     .get_attr("id")
                     .and_then(|s| s.parse().ok())
@@ -368,9 +368,9 @@ impl RemotingFabric {
                 Ok(())
             }
             kinds::INVOKE_RESPONSE => {
-                let text = String::from_utf8(msg.payload)
+                let text = std::str::from_utf8(&msg.payload)
                     .map_err(|_| TransportError::Protocol("response not utf8".into()))?;
-                let el = pti_xml::parse(&text).map_err(pti_serialize::SerializeError::from)?;
+                let el = pti_xml::parse(text).map_err(pti_serialize::SerializeError::from)?;
                 let id: u64 = el
                     .get_attr("id")
                     .and_then(|s| s.parse().ok())

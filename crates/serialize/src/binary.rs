@@ -43,7 +43,7 @@ mod tag {
     pub const OBJREF: u8 = 9;
 }
 
-fn put_varint(buf: &mut PutBuf, mut v: u64) {
+pub(crate) fn put_varint(buf: &mut PutBuf, mut v: u64) {
     loop {
         let byte = (v & 0x7f) as u8;
         v >>= 7;
@@ -55,7 +55,7 @@ fn put_varint(buf: &mut PutBuf, mut v: u64) {
     }
 }
 
-fn get_varint(buf: &mut GetBuf<'_>) -> Result<u64> {
+pub(crate) fn get_varint(buf: &mut GetBuf<'_>) -> Result<u64> {
     let mut v: u64 = 0;
     for shift in (0..64).step_by(7) {
         if !buf.has_remaining() {
@@ -78,12 +78,12 @@ fn unzigzag(v: u64) -> i64 {
     ((v >> 1) as i64) ^ -((v & 1) as i64)
 }
 
-fn put_str(buf: &mut PutBuf, s: &str) {
+pub(crate) fn put_str(buf: &mut PutBuf, s: &str) {
     put_varint(buf, s.len() as u64);
     buf.put_slice(s.as_bytes());
 }
 
-fn get_str(buf: &mut GetBuf<'_>) -> Result<String> {
+pub(crate) fn get_str(buf: &mut GetBuf<'_>) -> Result<String> {
     let len = get_varint(buf)? as usize;
     if buf.remaining() < len {
         return Err(SerializeError::Malformed("truncated string".into()));

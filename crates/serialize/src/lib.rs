@@ -51,7 +51,9 @@ mod soap;
 mod typedesc;
 
 pub use binary::{from_binary, to_binary};
-pub use envelope::{AssemblyRef, ObjectEnvelope, Payload, PayloadFormat};
+pub use envelope::{
+    AssemblyRef, EnvelopeWireFormat, ObjectEnvelope, Payload, PayloadFormat, PTIB_ENVELOPE_MAGIC,
+};
 pub use error::{Result, SerializeError};
 pub use soap::{from_soap, from_soap_string, to_soap, to_soap_string};
 pub use typedesc::{

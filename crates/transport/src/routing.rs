@@ -21,7 +21,9 @@
 //!
 //! [`NameMatcher::TokenSubsequence`]: pti_conformance::NameMatcher
 
+use std::cell::RefCell;
 use std::collections::{BTreeMap, BTreeSet, HashMap};
+use std::sync::Arc;
 
 use pti_metamodel::{split_ident_tokens, Guid, TypeDescription};
 use pti_net::PeerId;
@@ -116,6 +118,59 @@ fn subsequence(needle: &[String], hay: &[String]) -> bool {
     needle.iter().all(|t| it.any(|x| x == t))
 }
 
+/// Interns signature tokens to `u32` ids, so the inverted index hashes
+/// small integers instead of strings and an event token unknown to
+/// every interest is recognized (and skipped) with a single lookup.
+///
+/// Ids come from a monotonic counter (never reused), so evicting a
+/// token whose last interest retracted cannot collide with a live id —
+/// the table stays bounded by the *current* interests, not by every
+/// token ever seen.
+#[derive(Debug, Clone, Default)]
+struct TokenInterner {
+    ids: HashMap<String, u32>,
+    next_id: u32,
+}
+
+impl TokenInterner {
+    /// The id of `token`, minting one on first sight (insert path).
+    fn intern(&mut self, token: &str) -> u32 {
+        if let Some(&id) = self.ids.get(token) {
+            return id;
+        }
+        let id = self.next_id;
+        self.next_id += 1;
+        self.ids.insert(token.to_string(), id);
+        id
+    }
+
+    /// The id of `token` if any interest currently uses it (resolve
+    /// path — never allocates).
+    fn get(&self, token: &str) -> Option<u32> {
+        self.ids.get(token).copied()
+    }
+
+    /// Drops a token no interest uses anymore (its id retires with it).
+    fn evict(&mut self, token: &str) {
+        self.ids.remove(token);
+    }
+}
+
+/// The memoized results of [`RoutingTable::resolve_name`], valid for one
+/// table generation.
+#[derive(Debug, Clone, Default)]
+struct RouteCache {
+    generation: u64,
+    by_name: HashMap<String, Arc<[PeerId]>>,
+}
+
+/// Upper bound on memoized event names. A stable group (generation
+/// never moves) publishing many *distinct* type names — or fed
+/// attacker-chosen names — must not grow the memo without limit; at the
+/// cap the memo resets wholesale and rebuilds from the live working
+/// set. Steady-state workloads publish far fewer distinct names.
+const ROUTE_CACHE_MAX_NAMES: usize = 1024;
+
 /// The interest index a protocol engine routes by.
 ///
 /// Keyed by `(subscriber, interest identity)` so the same peer may hold
@@ -124,15 +179,33 @@ fn subsequence(needle: &[String], hay: &[String]) -> bool {
 /// [`resolve`](Self::resolve) proportional to the *candidate* interests
 /// (those sharing a token with the event) rather than every interest in
 /// the group — the publish hot path must not scan all subscribers.
+///
+/// Two further layers keep steady-state publishing cheap: signature
+/// tokens are interned to `u32` ids (the index hashes integers, not
+/// strings), and [`resolve_name`](Self::resolve_name) memoizes the full
+/// resolution per event type name behind a [`generation`] counter bumped
+/// on every subscribe/unsubscribe/prune — a publisher that keeps sending
+/// the same event types does one name lookup per event, no token
+/// splitting and no signature matching.
+///
+/// [`generation`]: Self::generation
 #[derive(Debug, Clone, Default)]
 pub struct RoutingTable {
     entries: BTreeMap<(PeerId, Guid), Signature>,
-    /// token → interests whose signature contains it. A match in either
-    /// subsequence direction shares at least one token with the event,
-    /// so the union over the event's tokens is a complete candidate set.
-    by_token: HashMap<String, BTreeSet<(PeerId, Guid)>>,
+    /// Token strings interned to the dense ids `by_token` is keyed by.
+    interner: TokenInterner,
+    /// token id → interests whose signature contains it. A match in
+    /// either subsequence direction shares at least one token with the
+    /// event, so the union over the event's tokens is a complete
+    /// candidate set.
+    by_token: HashMap<u32, BTreeSet<(PeerId, Guid)>>,
     /// Catch-all interests: candidates for every event.
     catch_all: BTreeSet<(PeerId, Guid)>,
+    /// Bumped on every mutation; invalidates the resolve cache.
+    generation: u64,
+    /// Per-event-name memo of resolved subscriber sets (interior
+    /// mutability: resolving is logically read-only).
+    cache: RefCell<RouteCache>,
 }
 
 impl PartialEq for RoutingTable {
@@ -149,33 +222,60 @@ impl RoutingTable {
         RoutingTable::default()
     }
 
+    /// The current table generation: bumped whenever a mutation could
+    /// change a resolution, so cached routing decisions (here and in
+    /// layers above) know when to refresh.
+    pub fn generation(&self) -> u64 {
+        self.generation
+    }
+
     /// Registers an interest. Returns `false` if the identical entry was
-    /// already present (gossip is at-least-once; inserts are idempotent).
+    /// already present (gossip is at-least-once; inserts are idempotent —
+    /// and an idempotent re-insert does not invalidate the route cache).
     pub fn insert(&mut self, subscriber: PeerId, interest: Guid, signature: Signature) -> bool {
         let key = (subscriber, interest);
-        let fresh = match self.entries.insert(key, signature.clone()) {
-            None => true,
-            Some(old) => {
+        let fresh = match self.entries.get(&key) {
+            // Identical re-announcement (at-least-once gossip): nothing
+            // changes, the route cache stays warm.
+            Some(old) if *old == signature => return false,
+            Some(_) => {
+                let old = self
+                    .entries
+                    .insert(key, signature.clone())
+                    .expect("present");
                 self.unindex(key, &old);
                 false
+            }
+            None => {
+                self.entries.insert(key, signature.clone());
+                true
             }
         };
         if signature.is_catch_all() {
             self.catch_all.insert(key);
         }
         for t in signature.tokens() {
-            self.by_token.entry(t.clone()).or_default().insert(key);
+            let id = self.interner.intern(t);
+            self.by_token.entry(id).or_default().insert(key);
         }
+        self.generation += 1;
         fresh
     }
 
     fn unindex(&mut self, key: (PeerId, Guid), signature: &Signature) {
         self.catch_all.remove(&key);
         for t in signature.tokens() {
-            if let Some(set) = self.by_token.get_mut(t) {
+            let Some(id) = self.interner.get(t) else {
+                continue;
+            };
+            if let Some(set) = self.by_token.get_mut(&id) {
                 set.remove(&key);
                 if set.is_empty() {
-                    self.by_token.remove(t);
+                    // Last interest using the token: index entry and
+                    // interned string retire together, keeping a
+                    // long-lived table bounded by current interests.
+                    self.by_token.remove(&id);
+                    self.interner.evict(t);
                 }
             }
         }
@@ -189,6 +289,7 @@ impl RoutingTable {
             return false;
         };
         self.unindex(key, &signature);
+        self.generation += 1;
         true
     }
 
@@ -209,10 +310,11 @@ impl RoutingTable {
     pub fn resolve(&self, event: &Signature) -> Vec<PeerId> {
         // Candidates: every catch-all interest, plus every interest
         // sharing at least one token with the event (a necessary
-        // condition for matching in either direction).
+        // condition for matching in either direction). Tokens no
+        // interest ever used miss the interner and are skipped outright.
         let mut candidates: BTreeSet<(PeerId, Guid)> = self.catch_all.clone();
         for t in event.tokens() {
-            if let Some(set) = self.by_token.get(t) {
+            if let Some(set) = self.interner.get(t).and_then(|id| self.by_token.get(&id)) {
                 candidates.extend(set.iter().copied());
             }
         }
@@ -228,9 +330,42 @@ impl RoutingTable {
         out
     }
 
+    /// Memoized [`resolve`](Self::resolve) keyed by the event's *type
+    /// name* — the publish hot path. The first event of a name pays the
+    /// full resolution (token split, index walk, signature matching);
+    /// every further event of that name, until the next table mutation,
+    /// is one map lookup returning a shared slice. The memo is
+    /// invalidated wholesale when [`generation`](Self::generation)
+    /// moves.
+    pub fn resolve_name(&self, name: &str) -> Arc<[PeerId]> {
+        let mut cache = self.cache.borrow_mut();
+        if cache.generation != self.generation {
+            cache.by_name.clear();
+            cache.generation = self.generation;
+        }
+        if let Some(hit) = cache.by_name.get(name) {
+            return Arc::clone(hit);
+        }
+        if cache.by_name.len() >= ROUTE_CACHE_MAX_NAMES {
+            cache.by_name.clear();
+        }
+        let resolved: Arc<[PeerId]> = self.resolve(&Signature::of_name(name)).into();
+        cache
+            .by_name
+            .insert(name.to_string(), Arc::clone(&resolved));
+        resolved
+    }
+
     /// Number of registered interests.
     pub fn len(&self) -> usize {
         self.entries.len()
+    }
+
+    /// Number of distinct tokens currently interned (bounded by live
+    /// interests — churn test hook).
+    #[cfg(test)]
+    fn interned_tokens(&self) -> usize {
+        self.interner.ids.len()
     }
 
     /// Whether no interest is registered.
@@ -342,6 +477,98 @@ mod tests {
         // Retraction drops it from the every-event candidate set too.
         assert!(t.remove(PeerId(2), gb));
         assert!(t.resolve(&sig("Unrelated")).is_empty());
+    }
+
+    #[test]
+    fn generation_moves_only_on_real_mutations() {
+        let mut t = RoutingTable::new();
+        let g = Guid::derive("A", "x");
+        let g0 = t.generation();
+        t.insert(PeerId(1), g, sig("StockQuote"));
+        let g1 = t.generation();
+        assert!(g1 > g0, "insert bumps");
+        // Idempotent re-announcement (at-least-once gossip) keeps the
+        // generation — and therefore the route cache — untouched.
+        t.insert(PeerId(1), g, sig("StockQuote"));
+        assert_eq!(t.generation(), g1);
+        // A changed signature under the same key is a real mutation.
+        t.insert(PeerId(1), g, sig("NewsFlash"));
+        assert!(t.generation() > g1);
+        let g2 = t.generation();
+        assert!(!t.remove(PeerId(9), g), "no-op remove");
+        assert_eq!(t.generation(), g2);
+        assert!(t.remove(PeerId(1), g));
+        assert!(t.generation() > g2);
+    }
+
+    #[test]
+    fn resolve_name_memoizes_until_the_table_changes() {
+        let mut t = RoutingTable::new();
+        let (ga, gb) = (Guid::derive("A", "x"), Guid::derive("B", "x"));
+        t.insert(PeerId(1), ga, sig("StockQuote"));
+        let first = t.resolve_name("StockQuote");
+        assert_eq!(&first[..], [PeerId(1)]);
+        // A repeat is the *same* shared slice, not a recomputation.
+        let again = t.resolve_name("StockQuote");
+        assert!(std::sync::Arc::ptr_eq(&first, &again));
+        // Namespaces resolve like the signature path does.
+        assert_eq!(&t.resolve_name("finance.StockQuote")[..], [PeerId(1)]);
+        // A mutation invalidates: the new subscriber appears.
+        t.insert(PeerId(2), gb, sig("StockQuote"));
+        assert_eq!(&t.resolve_name("StockQuote")[..], [PeerId(1), PeerId(2)]);
+        // And a retraction does too.
+        t.remove(PeerId(1), ga);
+        assert_eq!(&t.resolve_name("StockQuote")[..], [PeerId(2)]);
+        t.remove_peer(PeerId(2));
+        assert!(t.resolve_name("StockQuote").is_empty());
+    }
+
+    #[test]
+    fn interner_stays_bounded_under_interest_churn() {
+        let mut t = RoutingTable::new();
+        // Churn 100 uniquely-named interests through the table...
+        for i in 0..100 {
+            let g = Guid::derive(&format!("T{i}"), "x");
+            t.insert(PeerId(1), g, sig(&format!("Generated{i}Event")));
+            assert!(t.remove(PeerId(1), g));
+        }
+        // ...and only the *live* interests' tokens remain interned.
+        assert_eq!(t.interned_tokens(), 0, "evicted with their interests");
+        let ga = Guid::derive("A", "x");
+        t.insert(PeerId(1), ga, sig("StockQuote"));
+        assert_eq!(t.interned_tokens(), 2);
+        // Reintroducing an evicted token after other mints cannot
+        // collide with a live id: resolution stays exact.
+        let gb = Guid::derive("B", "x");
+        t.insert(PeerId(2), gb, sig("QuoteFlash"));
+        t.remove(PeerId(1), ga);
+        t.insert(PeerId(1), ga, sig("StockQuote"));
+        assert_eq!(t.resolve(&sig("StockQuote")), vec![PeerId(1)]);
+        assert_eq!(t.resolve(&sig("QuoteFlash")), vec![PeerId(2)]);
+    }
+
+    #[test]
+    fn resolve_name_memo_is_bounded_without_mutations() {
+        // A stable table (generation never moves) fed a stream of
+        // distinct names — the memo resets at the cap instead of
+        // growing forever, and stays correct afterwards.
+        let mut t = RoutingTable::new();
+        t.insert(PeerId(1), Guid::derive("A", "x"), sig("StockQuote"));
+        for i in 0..(super::ROUTE_CACHE_MAX_NAMES * 2 + 5) {
+            assert!(t.resolve_name(&format!("Unknown{i}Event")).is_empty());
+        }
+        assert!(t.cache.borrow().by_name.len() <= super::ROUTE_CACHE_MAX_NAMES);
+        assert_eq!(&t.resolve_name("StockQuote")[..], [PeerId(1)]);
+    }
+
+    #[test]
+    fn resolve_name_agrees_with_resolve() {
+        let mut t = RoutingTable::new();
+        t.insert(PeerId(3), Guid::derive("A", "x"), sig("StockQuote"));
+        t.insert(PeerId(1), Guid::derive("B", "x"), Signature::catch_all());
+        for name in ["StockQuote", "stock_quote", "Unrelated", "Quote"] {
+            assert_eq!(&t.resolve_name(name)[..], t.resolve(&sig(name)), "{name}");
+        }
     }
 
     #[test]

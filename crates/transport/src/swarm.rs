@@ -31,9 +31,13 @@ use std::time::{Duration, Instant};
 
 use pti_conformance::ConformanceConfig;
 use pti_metamodel::{Assembly, Guid, TypeDescription, Value};
-use pti_net::{BusMessage, FrameBatch, LiveBus, NetConfig, NetError, PeerId, SimNet, Transport};
+use pti_net::{
+    BusMessage, FrameBatch, LiveBus, NetConfig, NetError, Payload, PeerId, SimNet, Transport,
+};
 use pti_proxy::DynamicProxy;
-use pti_serialize::{description_from_xml, description_to_xml, ObjectEnvelope, PayloadFormat};
+use pti_serialize::{
+    description_from_xml, description_to_xml, EnvelopeWireFormat, ObjectEnvelope, PayloadFormat,
+};
 use pti_xml::Element;
 
 use crate::code::CodeRegistry;
@@ -105,8 +109,8 @@ pub mod kinds {
     }
 }
 
-/// A queued wire frame: the kind tag plus its payload.
-type QueuedFrame = (&'static str, Vec<u8>);
+/// A queued wire frame: the kind tag plus its (shared) payload.
+type QueuedFrame = (&'static str, Payload);
 
 /// Default per-link wire-batch cap: frames per batch message.
 pub const DEFAULT_WIRE_MAX_FRAMES: usize = 32;
@@ -160,6 +164,10 @@ pub struct Swarm<T: Transport = SimNet> {
     /// Wire-batch cap: at most this many payload bytes per batch message
     /// (a single oversized frame still ships, alone).
     wire_max_bytes: usize,
+    /// Which encoding object envelopes travel with (binary by default;
+    /// XML stays available for cross-language wires — receivers sniff
+    /// and accept either regardless of this setting).
+    wire_format: EnvelopeWireFormat,
 }
 
 /// The deterministic virtual-time swarm every experiment runs on.
@@ -213,6 +221,7 @@ impl<T: Transport> Swarm<T> {
             wire: BTreeMap::new(),
             wire_max_frames: DEFAULT_WIRE_MAX_FRAMES,
             wire_max_bytes: DEFAULT_WIRE_MAX_BYTES,
+            wire_format: EnvelopeWireFormat::default(),
         }
     }
 
@@ -246,7 +255,7 @@ impl<T: Transport> Swarm<T> {
                 departed: Vec::new(),
                 interests: Vec::new(),
             };
-            self.gossip(id, kinds::VIEW, &delta.encode());
+            self.gossip(id, kinds::VIEW, delta.encode());
         }
         id
     }
@@ -328,13 +337,31 @@ impl<T: Transport> Swarm<T> {
             .get(&from)
             .ok_or(TransportError::UnknownPeer(from))?;
         let envelope = sender.make_envelope(root, format)?;
-        self.net.send(
-            from,
-            to,
-            kinds::OBJECT,
-            envelope.to_string_compact().into_bytes(),
-        )?;
+        let payload = self.encode_envelope(&envelope);
+        self.net.send(from, to, kinds::OBJECT, payload)?;
         Ok(())
+    }
+
+    /// Replaces the envelope wire encoding ([`EnvelopeWireFormat::Ptib`]
+    /// by default). Receiving is format-agnostic either way — dispatch
+    /// sniffs the binary magic and falls back to XML, so mixed-format
+    /// groups interoperate.
+    pub fn set_envelope_wire_format(&mut self, wire: EnvelopeWireFormat) {
+        self.wire_format = wire;
+    }
+
+    /// The envelope encoding outbound objects travel with.
+    pub fn envelope_wire_format(&self) -> EnvelopeWireFormat {
+        self.wire_format
+    }
+
+    /// Encodes an envelope for the wire exactly once per publish (the
+    /// fabric's [`NetMetrics::payload_encodes`](pti_net::NetMetrics)
+    /// counter pins that), producing the shared buffer every destination
+    /// link reuses.
+    fn encode_envelope(&mut self, envelope: &ObjectEnvelope) -> Payload {
+        self.net.record_payload_encode();
+        Payload::from(envelope.encode_wire(self.wire_format))
     }
 
     /// Declares a remote contact: a peer owned by a sibling swarm on the
@@ -394,7 +421,7 @@ impl<T: Transport> Swarm<T> {
         // State changes only after the handshake is actually in flight —
         // a failed join must not leave a phantom contact behind.
         self.net
-            .send(speaker, seed, kinds::JOIN, announce.encode())?;
+            .send(speaker, seed, kinds::JOIN, announce.encode().into())?;
         // The seed's generation is unknown until its VIEW arrives; stamp
         // it at zero so any real announcement refreshes it.
         self.contacts.insert(seed);
@@ -416,7 +443,7 @@ impl<T: Transport> Swarm<T> {
                     departed: self.peers.keys().map(|&p| (p, gen)).collect(),
                     interests: Vec::new(),
                 };
-                self.gossip(speaker, kinds::LEAVE, &delta.encode());
+                self.gossip(speaker, kinds::LEAVE, delta.encode());
             }
         }
         let remote: Vec<PeerId> = self.contacts.iter().copied().collect();
@@ -444,7 +471,7 @@ impl<T: Transport> Swarm<T> {
                 departed: vec![(peer, self.view_gen)],
                 interests: Vec::new(),
             };
-            self.gossip(peer, kinds::LEAVE, &delta.encode());
+            self.gossip(peer, kinds::LEAVE, delta.encode());
         }
         self.remove_peer(peer)
     }
@@ -545,12 +572,13 @@ impl<T: Transport> Swarm<T> {
         };
         self.view_gen += 1;
         let gen = self.view_gen;
-        let hello = ViewDelta {
+        let hello: Payload = ViewDelta {
             live: self.peers.keys().map(|&p| (p, gen)).collect(),
             departed: Vec::new(),
             interests: self.interest_announcements(true),
         }
-        .encode();
+        .encode()
+        .into();
         for to in met {
             self.queue_frame(speaker, to, kinds::VIEW, hello.clone());
         }
@@ -568,7 +596,7 @@ impl<T: Transport> Swarm<T> {
         let reply = self.full_view_delta();
         self.queue_frame(at, msg.from, kinds::VIEW, reply.encode());
         let newcomers: BTreeSet<PeerId> = delta.live.iter().map(|&(p, _)| p).collect();
-        let relay = delta.encode();
+        let relay: Payload = delta.encode().into();
         let targets: Vec<PeerId> = self
             .contacts
             .iter()
@@ -629,7 +657,7 @@ impl<T: Transport> Swarm<T> {
         }
         self.routes.insert(peer, guid, signature.clone());
         let payload = format!("{guid}\n{}", signature.encode()).into_bytes();
-        self.gossip(peer, kinds::SUBSCRIBE, &payload);
+        self.gossip(peer, kinds::SUBSCRIBE, payload);
     }
 
     /// Retracts an interest by identity: the peer stops matching it, the
@@ -644,17 +672,19 @@ impl<T: Transport> Swarm<T> {
         self.routes.remove(peer, interest);
         if removed {
             let payload = interest.to_string().into_bytes();
-            self.gossip(peer, kinds::UNSUBSCRIBE, &payload);
+            self.gossip(peer, kinds::UNSUBSCRIBE, payload);
         }
         removed
     }
 
     /// Sends a control message from `peer` to every remote contact,
-    /// pruning contacts that are no longer reachable.
-    fn gossip(&mut self, peer: PeerId, kind: &'static str, payload: &[u8]) {
+    /// pruning contacts that are no longer reachable. The payload is
+    /// shared across the fan-out, not copied per contact.
+    fn gossip(&mut self, peer: PeerId, kind: &'static str, payload: impl Into<Payload>) {
+        let payload = payload.into();
         let contacts: Vec<PeerId> = self.contacts.iter().copied().collect();
         for to in contacts {
-            if let Err(NetError::UnknownPeer(p)) = self.net.send(peer, to, kind, payload.to_vec()) {
+            if let Err(NetError::UnknownPeer(p)) = self.net.send(peer, to, kind, payload.clone()) {
                 self.forget_peer(p);
             }
         }
@@ -707,22 +737,26 @@ impl<T: Transport> Swarm<T> {
             .peers
             .get(&from)
             .ok_or(TransportError::UnknownPeer(from))?;
+        // The envelope is built unconditionally so provenance and
+        // serialization errors surface even when nobody subscribes yet
+        // (a publish to nobody must not hide a developer error until
+        // the first subscriber arrives).
         let envelope = sender.make_envelope(root, format)?;
-        let signature = Signature::of_name(envelope.type_name.simple());
-        let targets: Vec<PeerId> = self
-            .routes
-            .resolve(&signature)
-            .into_iter()
-            .filter(|p| *p != from)
-            .collect();
-        if targets.is_empty() {
+        // Memoized resolution: steady-state publishing of a known event
+        // type is one name lookup, no token splitting or matching.
+        let resolved = self.routes.resolve_name(envelope.type_name.simple());
+        let targets = || resolved.iter().copied().filter(|&p| p != from);
+        let sent = targets().count();
+        if sent == 0 {
             return Ok(0);
         }
-        let payload = envelope.to_string_compact().into_bytes();
-        for to in &targets {
-            self.queue_frame(from, *to, kinds::OBJECT, payload.clone());
+        // One encode per publish; each destination link shares the same
+        // buffer (a Payload clone is a refcount bump, not a byte copy).
+        let payload = self.encode_envelope(&envelope);
+        for to in targets() {
+            self.queue_frame(from, to, kinds::OBJECT, payload.clone());
         }
-        Ok(targets.len())
+        Ok(sent)
     }
 
     /// Sends an object to *every* peer on the fabric this swarm can name
@@ -746,7 +780,7 @@ impl<T: Transport> Swarm<T> {
             .get(&from)
             .ok_or(TransportError::UnknownPeer(from))?;
         let envelope = sender.make_envelope(root, format)?;
-        let payload = envelope.to_string_compact().into_bytes();
+        let payload = self.encode_envelope(&envelope);
         let targets: Vec<PeerId> = self
             .peers
             .keys()
@@ -771,11 +805,17 @@ impl<T: Transport> Swarm<T> {
     /// [`flush_wire`](Self::flush_wire) ships each link's queue as one
     /// wire message (the frame itself if alone, a
     /// [`kinds::BATCH`] otherwise).
-    pub fn queue_frame(&mut self, from: PeerId, to: PeerId, kind: &'static str, payload: Vec<u8>) {
+    pub fn queue_frame(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        kind: &'static str,
+        payload: impl Into<Payload>,
+    ) {
         self.wire
             .entry((from, to))
             .or_default()
-            .push((kind, payload));
+            .push((kind, payload.into()));
     }
 
     /// Number of frames currently queued for the wire.
@@ -826,18 +866,31 @@ impl<T: Transport> Swarm<T> {
             chunks.push(chunk);
             let mut shipped = 0u64;
             for mut chunk in chunks {
+                // Frame metadata survives the move into the batch so a
+                // *successful* send can attribute the coalesced bytes to
+                // their protocol kinds (experiments split OBJECT from
+                // control traffic on the batched path). A failed send
+                // records nothing, matching the standalone path.
+                let mut batched: Vec<(&'static str, usize)> = Vec::new();
                 let sent = if chunk.len() == 1 {
                     let (kind, payload) = chunk.pop().expect("one frame");
                     self.net.send(from, to, kind, payload)
                 } else {
                     let mut batch = FrameBatch::new();
+                    batched.reserve(chunk.len());
                     for (kind, payload) in chunk {
+                        batched.push((kind, payload.len()));
                         batch.push(kind, payload);
                     }
-                    self.net.send(from, to, kinds::BATCH, batch.encode())
+                    self.net.send(from, to, kinds::BATCH, batch.encode().into())
                 };
                 match sent {
-                    Ok(()) => shipped += 1,
+                    Ok(()) => {
+                        shipped += 1;
+                        for (kind, bytes) in batched {
+                            self.net.record_batched_frame(kind, bytes);
+                        }
+                    }
                     Err(NetError::UnknownPeer(p)) => {
                         self.forget_peer(p);
                         break;
@@ -877,10 +930,18 @@ impl<T: Transport> Swarm<T> {
                 descriptions_document(&published.descriptions, &aref.description_path).wire_size();
             extra += published.assembly.byte_size();
         }
-        let mut payload = envelope.to_string_compact().into_bytes();
-        payload.push(0);
+        // Length-prefixed framing: the envelope may be binary (any byte
+        // value), so a sentinel separator cannot delimit it. An eager
+        // envelope is a payload encode like any other (the counter means
+        // "one per published envelope", whichever protocol ships it).
+        self.net.record_payload_encode();
+        let env_bytes = envelope.encode_wire(self.wire_format);
+        let mut payload = Vec::with_capacity(4 + env_bytes.len() + extra);
+        payload.extend_from_slice(&(env_bytes.len() as u32).to_le_bytes());
+        payload.extend_from_slice(&env_bytes);
         payload.extend(std::iter::repeat_n(0u8, extra));
-        self.net.send(from, to, kinds::EAGER_OBJECT, payload)?;
+        self.net
+            .send(from, to, kinds::EAGER_OBJECT, payload.into())?;
         Ok(())
     }
 
@@ -1001,9 +1062,9 @@ impl<T: Transport> Swarm<T> {
         from: PeerId,
         to: PeerId,
         kind: &'static str,
-        payload: Vec<u8>,
+        payload: impl Into<Payload>,
     ) -> Result<()> {
-        self.net.send(from, to, kind, payload)?;
+        self.net.send(from, to, kind, payload.into())?;
         Ok(())
     }
 
@@ -1049,12 +1110,20 @@ impl<T: Transport> Swarm<T> {
     /// Splits a coalesced wire batch back into its frames and dispatches
     /// each in queue order.
     fn on_batch(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
-        let batch = FrameBatch::decode(&msg.payload)
+        // Interned decode: every kind tag comes back as the receiver's
+        // `&'static str` constant — no per-frame String allocation —
+        // and an unknown kind fails the batch like it always did.
+        let batch = FrameBatch::decode_interned(&msg.payload, kinds::intern)
             .map_err(|e| TransportError::Protocol(e.to_string()))?;
         for frame in batch.frames {
-            let kind = kinds::intern(&frame.kind).ok_or_else(|| {
-                TransportError::Protocol(format!("unknown batched kind `{}`", frame.kind))
-            })?;
+            // decode_interned yields borrowed protocol constants; the
+            // defensive arm keeps a future divergence a protocol error,
+            // not a panic, without rescanning the kind table.
+            let std::borrow::Cow::Borrowed(kind) = frame.kind else {
+                return Err(TransportError::Protocol(
+                    "batch decode yielded an uninterned kind".into(),
+                ));
+            };
             self.dispatch_inner(
                 at,
                 BusMessage {
@@ -1087,9 +1156,7 @@ impl<T: Transport> Swarm<T> {
     }
 
     fn on_object(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
-        let text = String::from_utf8(msg.payload)
-            .map_err(|_| TransportError::Protocol("object payload not utf8".into()))?;
-        let envelope = ObjectEnvelope::from_string(&text)?;
+        let envelope = decode_envelope(&msg.payload)?;
         let peer = self
             .peers
             .get_mut(&at)
@@ -1302,8 +1369,9 @@ impl<T: Transport> Swarm<T> {
     }
 
     fn on_desc_request(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
-        let path = String::from_utf8(msg.payload)
-            .map_err(|_| TransportError::Protocol("desc path not utf8".into()))?;
+        let path = std::str::from_utf8(&msg.payload)
+            .map_err(|_| TransportError::Protocol("desc path not utf8".into()))?
+            .to_string();
         let peer = self.peers.get(&at).ok_or(TransportError::UnknownPeer(at))?;
         let published = peer
             .published_by_desc_path(&path)
@@ -1321,9 +1389,9 @@ impl<T: Transport> Swarm<T> {
     }
 
     fn on_desc_response(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
-        let text = String::from_utf8(msg.payload)
+        let text = std::str::from_utf8(&msg.payload)
             .map_err(|_| TransportError::Protocol("desc response not utf8".into()))?;
-        let doc = pti_xml::parse(&text).map_err(pti_serialize::SerializeError::from)?;
+        let doc = pti_xml::parse(text).map_err(pti_serialize::SerializeError::from)?;
         let path = doc
             .get_attr("path")
             .ok_or_else(|| TransportError::Protocol("desc response missing path".into()))?
@@ -1352,8 +1420,9 @@ impl<T: Transport> Swarm<T> {
     }
 
     fn on_asm_request(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
-        let path = String::from_utf8(msg.payload)
-            .map_err(|_| TransportError::Protocol("asm path not utf8".into()))?;
+        let path = std::str::from_utf8(&msg.payload)
+            .map_err(|_| TransportError::Protocol("asm path not utf8".into()))?
+            .to_string();
         let peer = self.peers.get(&at).ok_or(TransportError::UnknownPeer(at))?;
         let published = peer
             .published_by_asm_path(&path)
@@ -1407,14 +1476,17 @@ impl<T: Transport> Swarm<T> {
     }
 
     fn on_eager_object(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
-        let cut = msg
+        // Overflow-proof bounds check: compare against the bytes that
+        // actually remain after the prefix, never `4 + n` (which a
+        // hostile u32 could wrap on 32-bit targets).
+        let remaining = msg.payload.len().saturating_sub(4);
+        let len = msg
             .payload
-            .iter()
-            .position(|&b| b == 0)
-            .unwrap_or(msg.payload.len());
-        let text = String::from_utf8(msg.payload[..cut].to_vec())
-            .map_err(|_| TransportError::Protocol("eager payload not utf8".into()))?;
-        let envelope = ObjectEnvelope::from_string(&text)?;
+            .get(..4)
+            .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize)
+            .filter(|&n| n <= remaining)
+            .ok_or_else(|| TransportError::Protocol("eager payload missing envelope".into()))?;
+        let envelope = decode_envelope(&msg.payload[4..4 + len])?;
         // Code and descriptions came inline: install everything.
         let assemblies: Vec<Assembly> = envelope
             .assemblies
@@ -1464,6 +1536,22 @@ impl<T: Transport> Swarm<T> {
         });
         Ok(())
     }
+}
+
+/// Decodes an object envelope off the wire: binary (`PTIE` magic) or
+/// the XML fallback/cross-language form — senders pick, receivers sniff.
+///
+/// Deliberately *not* `ObjectEnvelope::decode_wire`: the protocol layer
+/// classifies a non-utf8 non-binary payload as a `Protocol` error (the
+/// error kind `tests/failure_injection.rs` pins), where the library
+/// decoder reports a `Serialize` malformation.
+fn decode_envelope(payload: &[u8]) -> Result<ObjectEnvelope> {
+    if ObjectEnvelope::is_ptib(payload) {
+        return Ok(ObjectEnvelope::from_ptib(payload)?);
+    }
+    let text = std::str::from_utf8(payload)
+        .map_err(|_| TransportError::Protocol("object payload not utf8".into()))?;
+    Ok(ObjectEnvelope::from_string(text)?)
 }
 
 /// Parses `subscribe`/`unsubscribe` gossip payloads: a GUID line,
