@@ -611,10 +611,24 @@ fn r2_membership(report: &mut Report) -> String {
     }
     let wire_us = wire_start.elapsed().as_secs_f64() * 1e6;
     let wire = LiveBus::metrics(&bus);
-    let control_messages =
-        wire.kind("join").messages + wire.kind("view").messages + wire.kind("leave").messages;
-    let control_bytes =
-        wire.kind("join").bytes + wire.kind("view").bytes + wire.kind("leave").bytes;
+    // Attributed across standalone *and* batched frames: JOIN-relayed
+    // VIEW announcements ride the wire-batching path, so plain per-kind
+    // counters undercount the membership traffic.
+    let control = wire.attributed_sum(&["join", "view", "leave"]);
+    let control_messages = control.messages;
+    let control_bytes = control.bytes;
+    let joins = (SHARDS - 1) as u64;
+    let control_bytes_per_join = control_bytes as f64 / joins as f64;
+    report.push(
+        "R2",
+        "control bytes per join (gossip wiring cost)",
+        "text-gossip baseline",
+        format!(
+            "{control_bytes_per_join:.0} B/join over {joins} joins \
+             ({control_messages} control msgs incl. batched)"
+        ),
+        control_bytes_per_join > 0.0,
+    );
 
     // Routed delivery over the gossip-wired tables.
     let mut hub = bus.clone();
@@ -725,7 +739,8 @@ fn r2_membership(report: &mut Report) -> String {
     format!(
         "{{\n  \"members\": {MEMBERS},\n  \"shards\": {SHARDS},\n  \"topics\": {TOPICS},\n  \
          \"wiring\": {{\"control_messages\": {control_messages}, \"control_bytes\": \
-         {control_bytes}, \"wall_us\": {wire_us:.0}, \"delivered\": {delivered}}},\n  \
+         {control_bytes}, \"joins\": {joins}, \"control_bytes_per_join\": \
+         {control_bytes_per_join:.1}, \"wall_us\": {wire_us:.0}, \"delivered\": {delivered}}},\n  \
          \"late_join\": {{\"convergence_us\": {converge_us:.0}, \"sweeps\": {sweeps}, \
          \"messages\": {}, \"routed_to\": {late_targets}, \"delivered\": {late_delivered}}},\n  \
          \"leave\": {{\"targets_before\": {before}, \"targets_after\": {after}}}\n}}\n",
@@ -742,8 +757,9 @@ fn r2_membership(report: &mut Report) -> String {
 /// encoded bytes *shared* across destinations (payload fan-out is
 /// refcounted, a structural property of `Payload`). Emits
 /// `BENCH_wirepath.json`; CI fails if binary bytes/event exceed half the
-/// XML baseline.
-fn r3_wirepath(report: &mut Report) -> String {
+/// XML baseline. Also returns the binary mode's events/s — the LiveBus
+/// throughput baseline the R4 reactor experiment is gated against.
+fn r3_wirepath(report: &mut Report) -> (String, f64) {
     use samples::{topic_event_assembly, topic_event_def};
     use std::time::Duration;
 
@@ -914,13 +930,152 @@ fn r3_wirepath(report: &mut Report) -> String {
             r.delivered
         )
     };
-    format!(
+    let json = format!(
         "{{\n  \"members\": {MEMBERS},\n  \"topics\": {TOPICS},\n  \"subscribers_per_topic\": \
          {SUBS_PER_TOPIC},\n  \"events\": {EVENTS},\n  \"xml\": {},\n  \"binary\": {},\n  \
          \"bytes_per_event_reduction\": {reduction:.2},\n  \"encodes_per_publish\": {:.2}\n}}\n",
         json_mode(&xml),
         json_mode(&bin),
         bin.payload_encodes as f64 / EVENTS as f64,
+    );
+    (json, bin.events_per_sec)
+}
+
+/// R4 — the reactor fabric at scale: 1024 single-peer member swarms plus
+/// one publisher swarm, all mounted on one `ReactorHost` and driven by a
+/// **single thread**. Subscribers spread over 64 topics (fan-out 16 per
+/// event) and every event crosses the interest router, the wire-batching
+/// path and the full optimistic exchange — the same machinery as R3's
+/// LiveBus run, minus the thread-per-driver limit the reactor exists to
+/// remove. Emits `BENCH_reactor.json`; CI fails if fewer than 1k members
+/// ran on one thread or events/s fall below 0.5x the R3 LiveBus
+/// baseline.
+fn r4_reactor(report: &mut Report, livebus_events_per_sec: f64) -> String {
+    use samples::{topic_event_assembly, topic_event_def};
+
+    const MEMBERS: usize = 1024;
+    const TOPICS: usize = 64;
+    const EVENTS: usize = 256;
+    const FANOUT: usize = MEMBERS / TOPICS;
+
+    let mut host = ReactorHost::new();
+    let code = CodeRegistry::new();
+    let mk = |code: &CodeRegistry| {
+        let code = code.clone();
+        move |net| Swarm::with_code_registry(net, code)
+    };
+
+    let pub_slot = host.mount(mk(&code));
+    let publisher = host.with_swarm(pub_slot, |s| {
+        s.add_peer_as(PeerId(1), ConformanceConfig::pragmatic())
+    });
+    host.with_swarm(pub_slot, |s| {
+        for t in 0..TOPICS {
+            s.publish(publisher, topic_event_assembly(t)).unwrap();
+        }
+    });
+    // Interest wiring: each member swarm knows only the publisher; its
+    // SUBSCRIBE gossip builds the publisher's routing table.
+    let setup_start = Instant::now();
+    for i in 0..MEMBERS {
+        let slot = host.mount(mk(&code));
+        host.with_swarm(slot, |s| {
+            let p = s.add_peer_as(PeerId(2 + i as u32), ConformanceConfig::pragmatic());
+            s.add_contact(publisher);
+            s.subscribe(
+                p,
+                TypeDescription::from_def(&topic_event_def(i % TOPICS, "sub")),
+            );
+        });
+    }
+    host.run_until_quiescent().unwrap();
+    let setup_ms = setup_start.elapsed().as_secs_f64() * 1e3;
+
+    // Warm the exchange: one event per topic settles every member's
+    // desc/asm fetch, so the measured loop is the steady-state path.
+    host.with_swarm(pub_slot, |s| {
+        for t in 0..TOPICS {
+            let h = s
+                .peer_mut(publisher)
+                .runtime
+                .instantiate_def(&topic_event_def(t, "pub"), &[])
+                .unwrap();
+            s.route_object(publisher, &Value::Obj(h), PayloadFormat::Binary)
+                .unwrap();
+        }
+    });
+    host.run_until_quiescent().unwrap();
+
+    let hub = host.reactor();
+    {
+        let mut net = hub.clone();
+        Transport::reset_metrics(&mut net);
+    }
+    let stats_before = hub.stats();
+
+    let start = Instant::now();
+    host.with_swarm(pub_slot, |s| {
+        for i in 0..EVENTS {
+            let h = s
+                .peer_mut(publisher)
+                .runtime
+                .instantiate_def(&topic_event_def(i % TOPICS, "pub"), &[])
+                .unwrap();
+            s.route_object(publisher, &Value::Obj(h), PayloadFormat::Binary)
+                .unwrap();
+        }
+    });
+    host.run_until_quiescent().unwrap();
+    let wall = start.elapsed().as_secs_f64();
+
+    let expected = (EVENTS * FANOUT) as u64;
+    let delivered: u64 = (0..MEMBERS)
+        .map(|i| host.with_swarm(1 + i, |s| s.peer(PeerId(2 + i as u32)).stats.accepted))
+        .sum::<u64>()
+        - MEMBERS as u64; // minus the warmup event each member accepted
+    let events_per_sec = EVENTS as f64 / wall;
+    let deliveries_per_sec = delivered as f64 / wall;
+    let baseline_ratio = events_per_sec / livebus_events_per_sec.max(1e-9);
+    let stats = hub.stats();
+    let wakeups = stats.wakeups - stats_before.wakeups;
+
+    println!("\nR4  reactor — {MEMBERS} member swarms, one thread, readiness-driven");
+    report.push(
+        "R4",
+        &format!(
+            "{MEMBERS} members / {} swarms on one reactor thread",
+            host.len()
+        ),
+        ">=1k members, 1 thread",
+        format!(
+            "wired in {setup_ms:.0} ms; {delivered}/{expected} routed events delivered \
+             ({} wakeups)",
+            wakeups
+        ),
+        delivered == expected && MEMBERS >= 1000,
+    );
+    report.push(
+        "R4",
+        &format!("throughput vs R3 LiveBus baseline (fan-out {FANOUT})"),
+        ">=0.5x events/s",
+        format!(
+            "{events_per_sec:.0} events/s ({deliveries_per_sec:.0} deliveries/s) vs \
+             {livebus_events_per_sec:.0} = {baseline_ratio:.2}x"
+        ),
+        baseline_ratio >= 0.5,
+    );
+
+    format!(
+        "{{\n  \"members\": {MEMBERS},\n  \"swarms\": {},\n  \"threads\": 1,\n  \"topics\": \
+         {TOPICS},\n  \"fanout\": {FANOUT},\n  \"events\": {EVENTS},\n  \"deliveries\": \
+         {delivered},\n  \"setup_ms\": {setup_ms:.1},\n  \"events_per_sec\": \
+         {events_per_sec:.0},\n  \"deliveries_per_sec\": {deliveries_per_sec:.0},\n  \
+         \"livebus_events_per_sec\": {livebus_events_per_sec:.0},\n  \"baseline_ratio\": \
+         {baseline_ratio:.2},\n  \"wakeups\": {wakeups},\n  \"reactor_sends\": {},\n  \
+         \"reactor_recvs\": {}\n}}\n",
+        host.len(),
+        stats.sends,
+        stats.recvs,
     )
 }
 
@@ -1193,7 +1348,8 @@ fn main() {
     f3_serializers(&mut report);
     let routing_json = r1_routing(&mut report);
     let membership_json = r2_membership(&mut report);
-    let wirepath_json = r3_wirepath(&mut report);
+    let (wirepath_json, livebus_eps) = r3_wirepath(&mut report);
+    let reactor_json = r4_reactor(&mut report, livebus_eps);
     a1_name_matchers(&mut report);
     a2_variance(&mut report);
     a3_cache(&mut report);
@@ -1213,4 +1369,6 @@ fn main() {
     println!("wrote BENCH_membership.json");
     std::fs::write("BENCH_wirepath.json", wirepath_json).expect("writable cwd");
     println!("wrote BENCH_wirepath.json");
+    std::fs::write("BENCH_reactor.json", reactor_json).expect("writable cwd");
+    println!("wrote BENCH_reactor.json");
 }

@@ -15,7 +15,7 @@
 //! | implicit structural conformance | [`conformance`] | §4, Figure 2 |
 //! | type-description + object serializers | [`serialize`] | §5–6, Figure 3 |
 //! | dynamic proxies | [`proxy`] | §6, §7.1 |
-//! | transport fabrics (SimNet, LiveBus) | [`net`] | testbed substitute |
+//! | transport fabrics (SimNet, LiveBus, ReactorNet) | [`net`] | testbed substitute |
 //! | optimistic transport protocol | [`transport`] | §3, Figure 1 |
 //! | pass-by-reference remoting | [`remoting`] | §6.2 |
 //! | type-based publish/subscribe | [`tps`] | §8 |
@@ -93,8 +93,8 @@ pub mod prelude {
         TypeDescription, TypeName, TypeRegistry, Value,
     };
     pub use pti_net::{
-        BusMessage, Endpoint, LiveBus, NetConfig, NetMetrics, Payload, PeerId, SharedSimNet,
-        SimNet, Transport,
+        BusMessage, Endpoint, LiveBus, NetConfig, NetMetrics, Payload, PeerId, ReactorNet,
+        ReactorStats, SessionId, SharedSimNet, SimNet, Transport,
     };
     pub use pti_proxy::{invoke_direct, DynamicProxy, ProxyError};
     pub use pti_remoting::{RemoteProxy, RemoteRef, RemotingFabric};
@@ -106,7 +106,8 @@ pub mod prelude {
         DeliveryMode, EventBuilder, EventNotification, Member, Publisher, Subscription, TypedPubSub,
     };
     pub use pti_transport::{
-        CodeRegistry, Delivery, LiveSwarm, MembershipView, Peer, ProtocolStats, RoutingTable,
-        Signature, SimSwarm, Swarm, TransportError, ViewDelta,
+        CodeRegistry, Delivery, LiveSwarm, MembershipView, MountedSwarm, Peer, ProtocolStats,
+        ReactorHost, ReactorSwarm, RoutingTable, Signature, SimSwarm, Swarm, TransportError,
+        ViewDelta,
     };
 }

@@ -9,6 +9,9 @@
 //!   reproducible and expressed in bytes + virtual microseconds.
 //! * [`LiveBus`] — a std-channel bus for **actually concurrent** peers,
 //!   used by stress tests and examples that want real threads.
+//! * [`ReactorNet`] — a single-threaded, readiness-driven fabric
+//!   (inbound rings, a wakeup queue and a timer wheel) that lets one
+//!   thread drive thousands of swarms; see the [`reactor`] module docs.
 //!
 //! Both implement the [`Transport`] trait — the seam the protocol
 //! engine (`pti-transport`'s `Swarm<T: Transport>`) is generic over, so
@@ -36,6 +39,7 @@ mod bus;
 mod frame;
 mod metrics;
 mod payload;
+pub mod reactor;
 mod sim;
 mod transport;
 
@@ -43,5 +47,6 @@ pub use bus::{BusMessage, Endpoint, LiveBus};
 pub use frame::{kinds, Frame, FrameBatch, FrameDecodeError};
 pub use metrics::{KindMetrics, LinkBatchMetrics, NetMetrics};
 pub use payload::Payload;
+pub use reactor::{ReactorNet, ReactorStats, SessionId};
 pub use sim::{Message, NetConfig, NetError, PeerId, SharedSimNet, SimNet};
 pub use transport::Transport;

@@ -138,6 +138,20 @@ impl NetMetrics {
         }
     }
 
+    /// Attributed counters summed over several kinds — the one-call way
+    /// to total a traffic *class* (e.g. the membership control kinds
+    /// `join`/`view`/`leave`) whether its messages travelled standalone
+    /// or coalesced into batches.
+    pub fn attributed_sum(&self, kinds: &[&str]) -> KindMetrics {
+        let mut total = KindMetrics::default();
+        for kind in kinds {
+            let k = self.attributed(kind);
+            total.messages += k.messages;
+            total.bytes += k.bytes;
+        }
+        total
+    }
+
     /// Batching counters for one link (zero if no batch crossed it).
     pub fn link(&self, from: PeerId, to: PeerId) -> LinkBatchMetrics {
         self.per_link.get(&(from, to)).copied().unwrap_or_default()
@@ -222,6 +236,10 @@ mod tests {
         assert_eq!(m.attributed("object").messages, 3);
         assert_eq!(m.attributed("object").bytes, 150);
         assert_eq!(m.attributed("subscribe").bytes, 20);
+        let class = m.attributed_sum(&["object", "subscribe"]);
+        assert_eq!(class.messages, 4);
+        assert_eq!(class.bytes, 170);
+        assert_eq!(m.attributed_sum(&["never"]), KindMetrics::default());
         assert_eq!(m.batched_kind("never"), KindMetrics::default());
         // The overlay does not inflate the totals.
         assert_eq!(m.bytes, 190);

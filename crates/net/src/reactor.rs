@@ -1,0 +1,542 @@
+//! The reactor fabric: a hand-rolled, readiness-driven event core that
+//! lets one thread drive thousands of swarms.
+//!
+//! [`LiveBus`](crate::LiveBus) scales by threads — every driver parks in
+//! `recv_deadline` sleeps, so a box tops out at hundreds of members. The
+//! [`ReactorNet`] keeps the same [`Transport`] contract but replaces
+//! blocking with *readiness*: every endpoint has an inbound ring, every
+//! ring belongs to a **session** (one swarm's worth of endpoints), and a
+//! send marks the destination's session ready on a wakeup queue. A host
+//! (see `pti-transport`'s `ReactorHost`) pops ready sessions and pumps
+//! only those, with a fairness budget per wakeup, so idle swarms cost
+//! nothing — no polling, no per-endpoint thread.
+//!
+//! Deadlines are served by a hashed **timer wheel** in virtual time:
+//! when no session is ready, the loop jumps the clock straight to the
+//! next timer deadline and fires it (idle *parking*, never a busy-wait
+//! or an OS sleep). Like [`SharedSimNet`](crate::SharedSimNet), the
+//! fabric is single-threaded by design (`Rc`, hence `!Send`) and fully
+//! deterministic: the same script of sends produces the same wakeup
+//! order, which is what lets `tests/transport_parity.rs` pin identical
+//! protocol decisions across all three fabrics.
+
+use std::cell::RefCell;
+use std::collections::{HashMap, HashSet, VecDeque};
+use std::rc::Rc;
+
+use crate::bus::BusMessage;
+use crate::frame::{kinds, FrameBatch};
+use crate::metrics::NetMetrics;
+use crate::payload::Payload;
+use crate::sim::{NetError, PeerId};
+use crate::transport::Transport;
+
+/// One session on a reactor: the unit of readiness and scheduling. Each
+/// swarm mounted on the fabric gets its own session; all endpoints the
+/// swarm registers belong to it, and a message for any of them marks the
+/// whole session ready.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, PartialOrd, Ord)]
+pub struct SessionId(pub u32);
+
+impl std::fmt::Display for SessionId {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "session-{}", self.0)
+    }
+}
+
+/// Scheduling counters of a reactor — the event loop's own accounting,
+/// separate from the traffic counters in [`NetMetrics`].
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct ReactorStats {
+    /// Messages accepted by the fabric.
+    pub sends: u64,
+    /// Messages popped from inbound rings.
+    pub recvs: u64,
+    /// Sessions popped from the ready queue (host wakeups).
+    pub wakeups: u64,
+    /// Timers fired by the wheel.
+    pub timer_fires: u64,
+    /// Idle clock jumps straight to the next timer deadline — each one
+    /// replaces what a polling loop would spend spinning.
+    pub idle_advances: u64,
+}
+
+/// Slots in the timer wheel; deadlines hash in by tick modulo this.
+const WHEEL_SLOTS: usize = 256;
+/// Virtual microseconds per wheel tick.
+const WHEEL_TICK_US: u64 = 1 << 10;
+
+/// A single-level hashed timer wheel over virtual microseconds. Entries
+/// keep their absolute deadline, so a slot can hold timers several laps
+/// apart: advancing fires only those whose deadline has passed and
+/// leaves future laps in place.
+#[derive(Debug)]
+struct TimerWheel {
+    slots: Vec<Vec<(u64, SessionId)>>,
+    /// Last tick the wheel was advanced to (slots up to and including it
+    /// have been serviced for the current clock value).
+    cursor_tick: u64,
+    len: usize,
+}
+
+impl TimerWheel {
+    fn new() -> TimerWheel {
+        TimerWheel {
+            slots: vec![Vec::new(); WHEEL_SLOTS],
+            cursor_tick: 0,
+            len: 0,
+        }
+    }
+
+    fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    fn schedule(&mut self, deadline_us: u64, session: SessionId) {
+        let slot = ((deadline_us / WHEEL_TICK_US) as usize) % WHEEL_SLOTS;
+        self.slots[slot].push((deadline_us, session));
+        self.len += 1;
+    }
+
+    /// Earliest pending deadline — the parking target when nothing is
+    /// ready.
+    fn next_deadline(&self) -> Option<u64> {
+        self.slots.iter().flatten().map(|&(d, _)| d).min()
+    }
+
+    /// Advances the wheel to `now_us`, removing and returning every
+    /// timer whose deadline has passed, earliest first.
+    fn advance_to(&mut self, now_us: u64) -> Vec<(u64, SessionId)> {
+        let target_tick = now_us / WHEEL_TICK_US;
+        let mut due = Vec::new();
+        if self.len > 0 {
+            // Scan each slot the cursor crosses; a jump of a full lap or
+            // more visits every slot exactly once.
+            let span = (target_tick.saturating_sub(self.cursor_tick) as usize + 1).min(WHEEL_SLOTS);
+            for i in 0..span {
+                let slot = ((self.cursor_tick + i as u64) as usize) % WHEEL_SLOTS;
+                let entries = &mut self.slots[slot];
+                let mut k = 0;
+                while k < entries.len() {
+                    if entries[k].0 <= now_us {
+                        due.push(entries.swap_remove(k));
+                    } else {
+                        k += 1;
+                    }
+                }
+            }
+            self.len -= due.len();
+            // Deterministic fire order regardless of slot hashing.
+            due.sort_unstable();
+        }
+        self.cursor_tick = self.cursor_tick.max(target_tick);
+        due
+    }
+}
+
+#[derive(Debug)]
+struct Core {
+    /// Per-endpoint inbound rings.
+    rings: HashMap<PeerId, VecDeque<BusMessage>>,
+    /// Which session each endpoint belongs to.
+    owner: HashMap<PeerId, SessionId>,
+    /// Undelivered messages per session (sum of its rings' lengths).
+    backlog: HashMap<SessionId, usize>,
+    /// The wakeup queue: sessions with work, in readiness order.
+    ready: VecDeque<SessionId>,
+    /// Guards `ready` against duplicate entries.
+    enqueued: HashSet<SessionId>,
+    timers: TimerWheel,
+    now_us: u64,
+    next_session: u32,
+    metrics: NetMetrics,
+    stats: ReactorStats,
+}
+
+impl Core {
+    fn mark_ready(&mut self, session: SessionId) {
+        if self.enqueued.insert(session) {
+            self.ready.push_back(session);
+        }
+    }
+}
+
+/// A handle onto a shared reactor fabric, bound to one [`SessionId`].
+///
+/// Cloning shares both the fabric *and* the session (the shape a
+/// `Swarm` needs: its transport is moved in by value, yet the host keeps
+/// a handle to the same session). Fresh sessions come from
+/// [`session`](Self::session). Like [`SharedSimNet`](crate::SharedSimNet)
+/// the handle is `!Send`: one reactor, one thread — that is the point.
+#[derive(Debug, Clone)]
+pub struct ReactorNet {
+    core: Rc<RefCell<Core>>,
+    session: SessionId,
+}
+
+impl Default for ReactorNet {
+    fn default() -> ReactorNet {
+        ReactorNet::new()
+    }
+}
+
+impl ReactorNet {
+    /// Creates a fresh reactor fabric; the returned handle is the root
+    /// session (fine for a standalone swarm — a host allocates one
+    /// session per mounted swarm via [`session`](Self::session)).
+    pub fn new() -> ReactorNet {
+        ReactorNet {
+            core: Rc::new(RefCell::new(Core {
+                rings: HashMap::new(),
+                owner: HashMap::new(),
+                backlog: HashMap::new(),
+                ready: VecDeque::new(),
+                enqueued: HashSet::new(),
+                timers: TimerWheel::new(),
+                now_us: 0,
+                next_session: 1,
+                metrics: NetMetrics::default(),
+                stats: ReactorStats::default(),
+            })),
+            session: SessionId(0),
+        }
+    }
+
+    /// A new handle onto the same fabric under a fresh session — what a
+    /// host hands each swarm it mounts, so their readiness is tracked
+    /// independently.
+    pub fn session(&self) -> ReactorNet {
+        let mut core = self.core.borrow_mut();
+        let id = SessionId(core.next_session);
+        core.next_session += 1;
+        ReactorNet {
+            core: Rc::clone(&self.core),
+            session: id,
+        }
+    }
+
+    /// The session this handle registers endpoints under.
+    pub fn session_id(&self) -> SessionId {
+        self.session
+    }
+
+    /// The reactor's virtual clock, advanced only by idle parking.
+    pub fn now_us(&self) -> u64 {
+        self.core.borrow().now_us
+    }
+
+    /// Scheduling counters (wakeups, timer fires, idle jumps).
+    pub fn stats(&self) -> ReactorStats {
+        self.core.borrow().stats
+    }
+
+    /// Undelivered messages queued for `session`'s endpoints.
+    pub fn backlog(&self, session: SessionId) -> usize {
+        self.core
+            .borrow()
+            .backlog
+            .get(&session)
+            .copied()
+            .unwrap_or(0)
+    }
+
+    /// Pops the next ready session off the wakeup queue. The session's
+    /// queue slot is released before the host pumps it, so traffic
+    /// arriving *during* the pump re-enqueues it at the back — that plus
+    /// the host's per-wakeup budget is the fairness guarantee.
+    pub fn next_ready(&self) -> Option<SessionId> {
+        let mut core = self.core.borrow_mut();
+        let session = core.ready.pop_front()?;
+        core.enqueued.remove(&session);
+        core.stats.wakeups += 1;
+        Some(session)
+    }
+
+    /// Whether any session is on the wakeup queue.
+    pub fn has_ready(&self) -> bool {
+        !self.core.borrow().ready.is_empty()
+    }
+
+    /// Re-enqueues a session that still has backlog (or that the caller
+    /// wants revisited). Duplicate marks are coalesced.
+    pub fn mark_ready(&self, session: SessionId) {
+        self.core.borrow_mut().mark_ready(session);
+    }
+
+    /// Schedules a wakeup for `session` at `delay_us` of virtual time
+    /// from now — the timer-wheel half of `recv_deadline`-style waiting:
+    /// instead of blocking, a session parks and the wheel makes it ready
+    /// when the clock reaches the deadline.
+    pub fn schedule_wake(&self, session: SessionId, delay_us: u64) {
+        let mut core = self.core.borrow_mut();
+        let deadline = core.now_us.saturating_add(delay_us.max(1));
+        core.timers.schedule(deadline, session);
+    }
+
+    /// Whether any timer is pending on the wheel.
+    pub fn timers_pending(&self) -> bool {
+        !self.core.borrow().timers.is_empty()
+    }
+
+    /// Idle parking: with nothing ready, jump the clock to the next
+    /// timer deadline at or before `deadline_us` and fire every timer
+    /// that came due (their sessions join the wakeup queue). Returns
+    /// `true` if timers fired; `false` when no timer lies within the
+    /// window — the clock then rests at `deadline_us` and the caller's
+    /// loop is done waiting. Never spins: one call, one jump.
+    pub fn advance_idle_until(&self, deadline_us: u64) -> bool {
+        let mut core = self.core.borrow_mut();
+        match core.timers.next_deadline() {
+            Some(next) if next <= deadline_us => {
+                core.now_us = core.now_us.max(next);
+                let now = core.now_us;
+                let due = core.timers.advance_to(now);
+                core.stats.idle_advances += 1;
+                core.stats.timer_fires += due.len() as u64;
+                for (_, session) in due {
+                    core.mark_ready(session);
+                }
+                true
+            }
+            _ => {
+                core.now_us = core.now_us.max(deadline_us);
+                let now = core.now_us;
+                core.timers.advance_to(now);
+                false
+            }
+        }
+    }
+}
+
+impl Transport for ReactorNet {
+    /// Creates `peer`'s inbound ring under this handle's session.
+    /// Re-registering within the same session is a no-op.
+    ///
+    /// # Panics
+    /// If the id is already registered under *another* session of this
+    /// fabric — silently rebinding would hijack the other swarm's
+    /// traffic (same contract as [`LiveBus`](crate::LiveBus)).
+    fn register(&mut self, peer: PeerId) {
+        let mut core = self.core.borrow_mut();
+        match core.owner.get(&peer) {
+            Some(owner) if *owner == self.session => return,
+            Some(_) => panic!("{peer} is already registered on this reactor fabric"),
+            None => {}
+        }
+        core.owner.insert(peer, self.session);
+        core.rings.insert(peer, VecDeque::new());
+    }
+
+    fn send(
+        &mut self,
+        from: PeerId,
+        to: PeerId,
+        kind: &'static str,
+        payload: Payload,
+    ) -> Result<(), NetError> {
+        let mut core = self.core.borrow_mut();
+        let Some(owner) = core.owner.get(&to).copied() else {
+            return Err(NetError::UnknownPeer(to));
+        };
+        let size = payload.len();
+        core.metrics.record(kind, size);
+        if kind == kinds::BATCH {
+            let frames = FrameBatch::peek_count(&payload).unwrap_or(0);
+            core.metrics.record_batch(from, to, frames, size);
+        }
+        core.rings
+            .get_mut(&to)
+            .expect("registered peer has a ring")
+            .push_back(BusMessage {
+                from,
+                to,
+                kind,
+                payload,
+            });
+        *core.backlog.entry(owner).or_insert(0) += 1;
+        core.stats.sends += 1;
+        core.mark_ready(owner);
+        Ok(())
+    }
+
+    fn try_recv(&mut self, peer: PeerId) -> Option<BusMessage> {
+        let mut core = self.core.borrow_mut();
+        let msg = core.rings.get_mut(&peer)?.pop_front()?;
+        if let Some(owner) = core.owner.get(&peer).copied() {
+            if let Some(n) = core.backlog.get_mut(&owner) {
+                *n = n.saturating_sub(1);
+            }
+        }
+        core.stats.recvs += 1;
+        Some(msg)
+    }
+
+    fn metrics(&self) -> NetMetrics {
+        self.core.borrow().metrics.clone()
+    }
+
+    fn reset_metrics(&mut self) {
+        self.core.borrow_mut().metrics.reset();
+    }
+
+    fn record_batch_splits(&mut self, from: PeerId, to: PeerId, extra: u64) {
+        self.core
+            .borrow_mut()
+            .metrics
+            .record_batch_splits(from, to, extra);
+    }
+
+    fn record_batched_frame(&mut self, kind: &'static str, bytes: usize) {
+        self.core
+            .borrow_mut()
+            .metrics
+            .record_batched_frame(kind, bytes);
+    }
+
+    fn record_payload_encode(&mut self) {
+        self.core.borrow_mut().metrics.record_payload_encode();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn implements_the_transport_contract() {
+        let mut t = ReactorNet::new();
+        t.register(PeerId(1));
+        t.register(PeerId(2));
+        t.send(PeerId(1), PeerId(2), "k", vec![7].into()).unwrap();
+        assert_eq!(
+            t.send(PeerId(1), PeerId(9), "k", Payload::empty()),
+            Err(NetError::UnknownPeer(PeerId(9)))
+        );
+        let m = t.try_recv(PeerId(2)).expect("queued message");
+        assert_eq!(m.from, PeerId(1));
+        assert_eq!(m.kind, "k");
+        assert_eq!(m.payload, vec![7]);
+        assert!(t.try_recv(PeerId(2)).is_none());
+        assert_eq!(
+            Transport::metrics(&t).messages,
+            1,
+            "failed send not recorded"
+        );
+        t.reset_metrics();
+        assert_eq!(Transport::metrics(&t).messages, 0);
+    }
+
+    #[test]
+    fn sends_mark_owning_sessions_ready_in_order_without_duplicates() {
+        let hub = ReactorNet::new();
+        let mut a = hub.session();
+        let mut b = hub.session();
+        a.register(PeerId(1));
+        b.register(PeerId(2));
+        assert!(hub.next_ready().is_none());
+        a.send(PeerId(1), PeerId(2), "k", vec![1].into()).unwrap();
+        b.send(PeerId(2), PeerId(1), "k", vec![2].into()).unwrap();
+        a.send(PeerId(1), PeerId(2), "k", vec![3].into()).unwrap();
+        // b's session became ready first... no wait: a's first send marks
+        // b's session, then b's send marks a's, and the repeat coalesces.
+        assert_eq!(hub.next_ready(), Some(b.session_id()));
+        assert_eq!(hub.next_ready(), Some(a.session_id()));
+        assert_eq!(hub.next_ready(), None);
+        assert_eq!(hub.backlog(b.session_id()), 2);
+        // Draining decrements the backlog; re-marking re-queues once.
+        let _ = b.try_recv(PeerId(2)).unwrap();
+        assert_eq!(hub.backlog(b.session_id()), 1);
+        hub.mark_ready(b.session_id());
+        hub.mark_ready(b.session_id());
+        assert_eq!(hub.next_ready(), Some(b.session_id()));
+        assert_eq!(hub.next_ready(), None);
+        assert_eq!(hub.stats().sends, 3);
+        assert_eq!(hub.stats().recvs, 1);
+        assert_eq!(hub.stats().wakeups, 3);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered")]
+    fn cross_session_id_collision_panics_instead_of_hijacking() {
+        let hub = ReactorNet::new();
+        let mut a = hub.session();
+        let mut b = hub.session();
+        a.register(PeerId(1));
+        b.register(PeerId(1));
+    }
+
+    #[test]
+    fn clone_keeps_the_session_fresh_sessions_are_distinct() {
+        let hub = ReactorNet::new();
+        let a = hub.session();
+        assert_eq!(a.clone().session_id(), a.session_id());
+        assert_ne!(hub.session().session_id(), a.session_id());
+        assert_ne!(hub.session_id(), a.session_id());
+    }
+
+    #[test]
+    fn idle_parking_jumps_to_deadlines_and_fires_in_order() {
+        let hub = ReactorNet::new();
+        let a = hub.session();
+        let b = hub.session();
+        let c = hub.session();
+        // Out-of-order scheduling; the wheel fires by deadline.
+        hub.schedule_wake(c.session_id(), 50_000);
+        hub.schedule_wake(a.session_id(), 10_000);
+        hub.schedule_wake(b.session_id(), 30_000);
+        let mut fired = Vec::new();
+        while hub.advance_idle_until(100_000) {
+            while let Some(s) = hub.next_ready() {
+                fired.push(s);
+            }
+        }
+        assert_eq!(fired, vec![a.session_id(), b.session_id(), c.session_id()]);
+        assert_eq!(hub.now_us(), 100_000, "clock rests at the window end");
+        let stats = hub.stats();
+        assert_eq!(stats.timer_fires, 3);
+        assert_eq!(
+            stats.idle_advances, 3,
+            "one jump per deadline, never a spin"
+        );
+        assert!(!hub.timers_pending());
+    }
+
+    #[test]
+    fn far_future_timers_survive_full_wheel_laps() {
+        let hub = ReactorNet::new();
+        let a = hub.session();
+        let b = hub.session();
+        let lap_us = WHEEL_SLOTS as u64 * WHEEL_TICK_US;
+        // Same slot, different laps: b's deadline is exactly one lap
+        // after a's, so both hash to the same wheel slot.
+        hub.schedule_wake(a.session_id(), 5_000);
+        hub.schedule_wake(b.session_id(), 5_000 + lap_us);
+        assert!(hub.advance_idle_until(u64::MAX));
+        assert_eq!(hub.next_ready(), Some(a.session_id()));
+        assert_eq!(hub.next_ready(), None, "b's lap has not come");
+        assert!(hub.timers_pending());
+        assert!(hub.advance_idle_until(u64::MAX));
+        assert_eq!(hub.next_ready(), Some(b.session_id()));
+        assert_eq!(hub.now_us(), 5_000 + lap_us);
+        // A window that ends before the next deadline does not fire it.
+        hub.schedule_wake(a.session_id(), 10_000);
+        assert!(!hub.advance_idle_until(hub.now_us() + 1_000));
+        assert!(hub.timers_pending());
+    }
+
+    #[test]
+    fn batch_messages_count_frames_like_the_other_fabrics() {
+        let mut t = ReactorNet::new();
+        t.register(PeerId(1));
+        t.register(PeerId(2));
+        let mut batch = FrameBatch::new();
+        batch.push("object", vec![1, 2, 3]);
+        batch.push("subscribe", vec![4]);
+        t.send(PeerId(1), PeerId(2), kinds::BATCH, batch.encode().into())
+            .unwrap();
+        let m = Transport::metrics(&t);
+        assert_eq!(m.batches(), 1);
+        assert_eq!(m.batched_frames(), 2);
+        assert_eq!(m.link(PeerId(1), PeerId(2)).frames, 2);
+    }
+}

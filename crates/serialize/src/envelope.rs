@@ -22,7 +22,32 @@ use crate::error::{Result, SerializeError};
 
 /// Magic prefix of the compact binary (`PTIB`-family) envelope encoding.
 pub const PTIB_ENVELOPE_MAGIC: &[u8; 4] = b"PTIE";
-const PTIB_ENVELOPE_VERSION: u8 = 1;
+/// Version 2 prefix-compresses the assembly download table; decoders
+/// still accept version-1 bytes (full paths per entry).
+const PTIB_ENVELOPE_VERSION: u8 = 2;
+
+/// Longest common prefix of a set of strings, shrunk to a UTF-8 char
+/// boundary so the suffixes stay valid `&str` slices. Download paths in
+/// one envelope repeat the publisher's `pti://peer-N/` stem, so this is
+/// typically the whole stem.
+fn common_prefix_len<'a>(paths: impl Iterator<Item = &'a str>) -> usize {
+    let mut paths = paths.peekable();
+    let Some(first) = paths.next() else { return 0 };
+    let mut len = first.len();
+    for p in paths {
+        len = len.min(
+            first
+                .bytes()
+                .zip(p.bytes())
+                .take_while(|(a, b)| a == b)
+                .count(),
+        );
+    }
+    while !first.is_char_boundary(len) {
+        len -= 1;
+    }
+    len
+}
 
 /// Which encoding an envelope travels with on the wire.
 ///
@@ -274,6 +299,12 @@ impl ObjectEnvelope {
     /// payload — SOAP payloads as inline XML text, binary payloads as
     /// raw `PTIB` bytes (no base64 expansion, the big win over the XML
     /// envelope). All lengths are varints.
+    ///
+    /// The download table is prefix-compressed (version 2): the longest
+    /// common prefix of every description/assembly path is written once
+    /// and each entry carries only its suffixes — the `pti://peer-N/`
+    /// stem every path repeats is thus paid for once per envelope, not
+    /// once per path.
     pub fn to_ptib(&self) -> Vec<u8> {
         let mut buf = PutBuf::with_capacity(64 + self.payload.wire_size());
         buf.put_slice(PTIB_ENVELOPE_MAGIC);
@@ -281,11 +312,20 @@ impl ObjectEnvelope {
         put_str(&mut buf, self.type_name.full());
         buf.put_slice(&self.type_guid.to_bytes());
         put_varint(&mut buf, self.assemblies.len() as u64);
-        for a in &self.assemblies {
-            put_str(&mut buf, &a.name);
-            put_str(&mut buf, &a.description_path);
-            put_str(&mut buf, &a.assembly_path);
-            put_str(&mut buf, &a.content_hash);
+        if !self.assemblies.is_empty() {
+            let plen = common_prefix_len(
+                self.assemblies
+                    .iter()
+                    .flat_map(|a| [a.description_path.as_str(), a.assembly_path.as_str()]),
+            );
+            let prefix = &self.assemblies[0].description_path[..plen];
+            put_str(&mut buf, prefix);
+            for a in &self.assemblies {
+                put_str(&mut buf, &a.name);
+                put_str(&mut buf, &a.description_path[plen..]);
+                put_str(&mut buf, &a.assembly_path[plen..]);
+                put_str(&mut buf, &a.content_hash);
+            }
         }
         match &self.payload {
             Payload::Soap(el) => {
@@ -321,7 +361,7 @@ impl ObjectEnvelope {
             ));
         }
         let version = buf.get_u8();
-        if version != PTIB_ENVELOPE_VERSION {
+        if version != 1 && version != PTIB_ENVELOPE_VERSION {
             return Err(SerializeError::UnsupportedFormat(format!(
                 "envelope version {version}"
             )));
@@ -340,11 +380,18 @@ impl ObjectEnvelope {
             return Err(SerializeError::Malformed("assembly count too large".into()));
         }
         let mut assemblies = Vec::with_capacity(count);
+        // Version 2 hoists the paths' longest common prefix before the
+        // table; version 1 entries carry full paths (empty prefix).
+        let prefix = if version >= 2 && count > 0 {
+            get_str(&mut buf)?
+        } else {
+            String::new()
+        };
         for _ in 0..count {
             assemblies.push(AssemblyRef {
                 name: get_str(&mut buf)?,
-                description_path: get_str(&mut buf)?,
-                assembly_path: get_str(&mut buf)?,
+                description_path: format!("{prefix}{}", get_str(&mut buf)?),
+                assembly_path: format!("{prefix}{}", get_str(&mut buf)?),
                 content_hash: get_str(&mut buf)?,
             });
         }
@@ -511,6 +558,73 @@ mod tests {
         evil.extend_from_slice(&[0u8; 16]);
         evil.extend([0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0xff, 0x01]);
         assert!(ObjectEnvelope::from_ptib(&evil).is_err());
+    }
+
+    #[test]
+    fn ptib_prefix_compression_shares_the_download_stem() {
+        // The sample's four paths all repeat `pti://peer-1/`; version 2
+        // writes that stem once. Compare against a hand-built version-1
+        // encoding of the same envelope (full paths per entry).
+        let env = sample(Payload::Binary(vec![7; 16]));
+        let v2 = env.to_ptib();
+
+        let mut v1 = PutBuf::with_capacity(256);
+        v1.put_slice(PTIB_ENVELOPE_MAGIC);
+        v1.put_u8(1);
+        put_str(&mut v1, env.type_name.full());
+        v1.put_slice(&env.type_guid.to_bytes());
+        put_varint(&mut v1, env.assemblies.len() as u64);
+        for a in &env.assemblies {
+            put_str(&mut v1, &a.name);
+            put_str(&mut v1, &a.description_path);
+            put_str(&mut v1, &a.assembly_path);
+            put_str(&mut v1, &a.content_hash);
+        }
+        let Payload::Binary(b) = &env.payload else {
+            unreachable!()
+        };
+        v1.put_u8(1);
+        put_varint(&mut v1, b.len() as u64);
+        v1.put_slice(b);
+        let v1 = v1.into_vec();
+
+        // Old bytes still decode to the same envelope (wire compat)...
+        assert_eq!(ObjectEnvelope::from_ptib(&v1).unwrap(), env);
+        // ...and the new encoding strictly beats them: 4 paths share a
+        // 13-byte stem written once instead of 4 times.
+        let stem = "pti://peer-1/".len();
+        assert!(
+            v1.len() - v2.len() >= (3 * stem) - 2,
+            "v1 {} B vs v2 {} B",
+            v1.len(),
+            v2.len()
+        );
+    }
+
+    #[test]
+    fn ptib_prefix_compression_handles_disjoint_and_multibyte_paths() {
+        // No shared stem: the prefix degenerates to empty and everything
+        // round-trips.
+        let mut env = sample(Payload::Binary(vec![1]));
+        env.assemblies[0].description_path = "alpha/desc".into();
+        env.assemblies[0].assembly_path = "beta/asm".into();
+        env.assemblies[1].description_path = "gamma/desc".into();
+        env.assemblies[1].assembly_path = "delta/asm".into();
+        assert_eq!(ObjectEnvelope::from_ptib(&env.to_ptib()).unwrap(), env);
+
+        // A multi-byte char straddling the common run: the prefix must
+        // retreat to a char boundary, not split the codepoint.
+        let mut env = sample(Payload::Binary(vec![1]));
+        env.assemblies[0].description_path = "päth/a".into();
+        env.assemblies[0].assembly_path = "päth/b".into();
+        env.assemblies[1].description_path = "pâth/c".into();
+        env.assemblies[1].assembly_path = "pâth/d".into();
+        assert_eq!(ObjectEnvelope::from_ptib(&env.to_ptib()).unwrap(), env);
+
+        // An envelope with no assemblies at all writes no prefix.
+        let mut env = sample(Payload::Binary(vec![1]));
+        env.assemblies.clear();
+        assert_eq!(ObjectEnvelope::from_ptib(&env.to_ptib()).unwrap(), env);
     }
 
     #[test]

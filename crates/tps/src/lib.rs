@@ -80,10 +80,12 @@ use std::time::Duration;
 
 use pti_conformance::ConformanceConfig;
 use pti_metamodel::{Assembly, Guid, ObjHandle, TypeDef, TypeDescription, TypeName, Value};
-use pti_net::{NetConfig, NetMetrics, PeerId, SimNet, Transport};
+use pti_net::{NetConfig, NetMetrics, PeerId, ReactorNet, SimNet, Transport};
 use pti_proxy::DynamicProxy;
 use pti_serialize::PayloadFormat;
-use pti_transport::{CodeRegistry, Delivery, ProtocolStats, Result, Swarm, TransportError};
+use pti_transport::{
+    CodeRegistry, Delivery, MountedSwarm, ProtocolStats, ReactorHost, Result, Swarm, TransportError,
+};
 
 /// How published events reach the other members.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -314,6 +316,25 @@ impl Builder {
         self.over(net)
     }
 
+    /// Builds the group over a fresh session of `host`'s shared reactor
+    /// fabric and mounts it, so the host's event loop pumps the group's
+    /// swarm whenever traffic makes it ready. The returned handle is the
+    /// usual cheaply-cloneable session handle — `add_member_as`,
+    /// `publisher_for`, `subscribe` and `drain` all work unchanged; only
+    /// the *driving* moves to [`ReactorHost::run_until_quiescent`] /
+    /// [`ReactorHost::run_for`]. Use [`code_registry`](Self::code_registry)
+    /// and explicit peer ids to coexist with sibling groups, exactly as
+    /// on a shared `LiveBus`.
+    pub fn mount_on(self, host: &mut ReactorHost) -> TypedPubSub<ReactorNet> {
+        let mut handle = None;
+        host.mount(|net| {
+            let tps = self.over(net);
+            handle = Some(tps.clone());
+            tps
+        });
+        handle.expect("mount invokes its builder")
+    }
+
     /// Builds the group over an existing transport — e.g. a
     /// [`LiveBus`](pti_net::LiveBus) handle for concurrent members.
     pub fn over<T: Transport>(self, transport: T) -> TypedPubSub<T> {
@@ -483,6 +504,15 @@ impl<T: Transport> TypedPubSub<T> {
             .get_mut(&member)
             .map(std::mem::take)
             .unwrap_or_default()
+    }
+}
+
+/// Lets a [`ReactorHost`] pump a mounted group's swarm directly; events
+/// surface on the next [`Subscription::drain`] (collection is lazy at
+/// read time), so no extra notification plumbing is needed.
+impl MountedSwarm for TypedPubSub<ReactorNet> {
+    fn with_swarm_mut(&mut self, f: &mut dyn FnMut(&mut Swarm<ReactorNet>)) {
+        f(&mut self.lock().swarm);
     }
 }
 

@@ -77,6 +77,7 @@ mod code;
 mod error;
 mod membership;
 mod peer;
+pub mod reactor_host;
 mod routing;
 mod swarm;
 
@@ -84,8 +85,9 @@ pub use code::CodeRegistry;
 pub use error::{Result, TransportError};
 pub use membership::{InterestAnnounce, MembershipView, ViewDelta};
 pub use peer::{Delivery, Peer, PeerProvider, ProtocolStats, Published};
+pub use reactor_host::{MountedSwarm, ReactorHost, DEFAULT_FAIRNESS_BUDGET};
 pub use routing::{RoutingTable, Signature};
 pub use swarm::{
-    kinds, FloodOutcome, LiveSwarm, SimSwarm, Swarm, DEFAULT_WIRE_MAX_BYTES,
+    kinds, FloodOutcome, LiveSwarm, ReactorSwarm, SimSwarm, Swarm, DEFAULT_WIRE_MAX_BYTES,
     DEFAULT_WIRE_MAX_FRAMES,
 };

@@ -32,7 +32,8 @@ use std::time::{Duration, Instant};
 use pti_conformance::ConformanceConfig;
 use pti_metamodel::{Assembly, Guid, TypeDescription, Value};
 use pti_net::{
-    BusMessage, FrameBatch, LiveBus, NetConfig, NetError, Payload, PeerId, SimNet, Transport,
+    BusMessage, FrameBatch, LiveBus, NetConfig, NetError, Payload, PeerId, ReactorNet, SimNet,
+    Transport,
 };
 use pti_proxy::DynamicProxy;
 use pti_serialize::{
@@ -176,6 +177,11 @@ pub type SimSwarm = Swarm<SimNet>;
 /// A swarm over the threaded bus: genuinely concurrent peers, same
 /// protocol.
 pub type LiveSwarm = Swarm<LiveBus>;
+
+/// A swarm over the readiness-driven reactor fabric: thousands of these
+/// share one thread under a
+/// [`ReactorHost`](crate::reactor_host::ReactorHost), same protocol.
+pub type ReactorSwarm = Swarm<ReactorNet>;
 
 impl<T: Transport> std::fmt::Debug for Swarm<T> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
@@ -982,6 +988,30 @@ impl<T: Transport> Swarm<T> {
             };
             self.dispatch_required(at, msg)?;
         }
+    }
+
+    /// Pumps at most `max` pending messages through the protocol, then
+    /// returns how many were handled — the cooperative-scheduling
+    /// primitive: a [`ReactorHost`](crate::reactor_host::ReactorHost)
+    /// calls this with its fairness budget so no busy swarm can starve
+    /// its neighbours, where [`run`](Self::run) would drain to
+    /// quiescence in one go. Queued wire frames are flushed first so
+    /// responses produced by a previous pump reach the fabric.
+    ///
+    /// # Errors
+    /// Same conditions as [`run`](Self::run).
+    pub fn pump(&mut self, max: usize) -> Result<usize> {
+        let mut handled = 0;
+        while handled < max {
+            self.flush_wire();
+            let Some((at, msg)) = self.poll_message()? else {
+                break;
+            };
+            self.dispatch_required(at, msg)?;
+            handled += 1;
+        }
+        self.flush_wire();
+        Ok(handled)
     }
 
     fn dispatch_required(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {

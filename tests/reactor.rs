@@ -1,0 +1,305 @@
+//! Reactor acceptance: a `ReactorHost` drives many `Swarm<ReactorNet>`
+//! instances on one thread through the full optimistic protocol —
+//! readiness-driven stepping (no polling of idle swarms), a fairness
+//! budget that round-robins busy swarms, timer-wheel parking in place of
+//! `recv_deadline` sleeps, and the `pti-tps` `mount_on` hook for session
+//! groups.
+
+use pti_core::prelude::*;
+use pti_core::samples;
+
+/// A publisher swarm and a subscriber swarm on one host: the join
+/// handshake, interest gossip, routed publish and desc/asm exchange all
+/// converge through `run_until_quiescent` alone.
+#[test]
+fn host_drives_the_cross_swarm_protocol_to_quiescence() {
+    let mut host = ReactorHost::new();
+    let code = CodeRegistry::new();
+    let pub_slot = {
+        let code = code.clone();
+        host.mount(move |net| Swarm::with_code_registry(net, code))
+    };
+    let sub_slot = {
+        let code = code.clone();
+        host.mount(move |net| Swarm::with_code_registry(net, code))
+    };
+
+    let p1 = host.with_swarm(pub_slot, |s| {
+        s.add_peer_as(PeerId(1), ConformanceConfig::pragmatic())
+    });
+    let p2 = host.with_swarm(sub_slot, |s| {
+        s.add_peer_as(PeerId(2), ConformanceConfig::pragmatic())
+    });
+    host.with_swarm(sub_slot, |s| {
+        s.subscribe(
+            p2,
+            TypeDescription::from_def(&samples::sensor_interest("sub")),
+        );
+        s.join(p1).unwrap();
+    });
+    host.run_until_quiescent().unwrap();
+
+    let event = samples::generate_population(3, 1, 1.0).remove(0);
+    let routed = host.with_swarm(pub_slot, |s| {
+        s.publish(p1, event.assembly.clone()).unwrap();
+        let h = s
+            .peer_mut(p1)
+            .runtime
+            .instantiate_def(&event.def, &[])
+            .unwrap();
+        s.route_object(p1, &Value::Obj(h), PayloadFormat::Binary)
+            .unwrap()
+    });
+    assert_eq!(routed, 1, "interest gossip reached the publisher");
+    host.run_until_quiescent().unwrap();
+
+    let stats = host.with_swarm(sub_slot, |s| s.peer(p2).stats);
+    assert_eq!(stats.accepted, 1);
+    assert!(stats.desc_requests > 0 && stats.asm_requests > 0);
+
+    // Readiness means no idle stepping: every wakeup the fabric counted
+    // was a session with actual traffic (or a host kick), and nothing is
+    // left ready or backlogged afterwards.
+    let hub = host.reactor();
+    assert!(!hub.has_ready());
+    assert!(hub.stats().sends > 0);
+    assert_eq!(hub.stats().recvs, hub.stats().sends, "every ring drained");
+}
+
+/// Two flooded subscribers must share the thread: with a budget of 2
+/// messages per wakeup and 8 standalone events queued per subscriber,
+/// the pump trace must strictly alternate between them — neither swarm
+/// may monopolise the loop until its ring is dry.
+#[test]
+fn fairness_budget_round_robins_flooded_swarms() {
+    let mut host = ReactorHost::new();
+    let code = CodeRegistry::new();
+    let mk = |code: &CodeRegistry| {
+        let code = code.clone();
+        move |net| Swarm::with_code_registry(net, code)
+    };
+    let pub_slot = host.mount(mk(&code));
+    let s1_slot = host.mount(mk(&code));
+    let s2_slot = host.mount(mk(&code));
+
+    let p1 = host.with_swarm(pub_slot, |s| {
+        s.add_peer_as(PeerId(1), ConformanceConfig::pragmatic())
+    });
+    for (slot, id, salt) in [(s1_slot, 2, "s1"), (s2_slot, 3, "s2")] {
+        host.with_swarm(slot, |s| {
+            let p = s.add_peer_as(PeerId(id), ConformanceConfig::pragmatic());
+            s.subscribe(
+                p,
+                TypeDescription::from_def(&samples::sensor_interest(salt)),
+            );
+            s.join(p1).unwrap();
+        });
+    }
+    host.run_until_quiescent().unwrap();
+
+    // Warmup: one event settles the desc/asm exchange so the flood below
+    // is pure OBJECT traffic.
+    let event = samples::generate_population(3, 1, 1.0).remove(0);
+    host.with_swarm(pub_slot, |s| {
+        s.publish(p1, event.assembly.clone()).unwrap();
+        // One frame per wire message: each event reaches each subscriber
+        // as its own standalone OBJECT, so the budget counts events.
+        s.set_wire_cap(1, usize::MAX);
+        let h = s
+            .peer_mut(p1)
+            .runtime
+            .instantiate_def(&event.def, &[])
+            .unwrap();
+        s.route_object(p1, &Value::Obj(h), PayloadFormat::Binary)
+            .unwrap();
+    });
+    host.run_until_quiescent().unwrap();
+
+    host.set_fairness_budget(2);
+    host.set_pump_trace(true);
+    host.with_swarm(pub_slot, |s| {
+        for _ in 0..8 {
+            let h = s
+                .peer_mut(p1)
+                .runtime
+                .instantiate_def(&event.def, &[])
+                .unwrap();
+            s.route_object(p1, &Value::Obj(h), PayloadFormat::Binary)
+                .unwrap();
+        }
+    });
+    host.run_until_quiescent().unwrap();
+
+    let turns: Vec<(usize, usize)> = host
+        .take_pump_trace()
+        .into_iter()
+        .filter(|&(slot, handled)| (slot == s1_slot || slot == s2_slot) && handled > 0)
+        .collect();
+    // 8 events / 2 per turn = 4 full turns each, strictly interleaved.
+    assert_eq!(turns.len(), 8, "turns: {turns:?}");
+    for pair in turns.chunks(2) {
+        assert_eq!(
+            (pair[0].0, pair[1].0),
+            (s1_slot, s2_slot),
+            "round-robin order violated: {turns:?}"
+        );
+    }
+    assert!(
+        turns.iter().all(|&(_, handled)| handled == 2),
+        "budget respected: {turns:?}"
+    );
+
+    let accepted = (
+        host.with_swarm(s1_slot, |s| s.peer(PeerId(2)).stats.accepted),
+        host.with_swarm(s2_slot, |s| s.peer(PeerId(3)).stats.accepted),
+    );
+    assert_eq!(accepted, (9, 9), "warmup + 8 flooded events each");
+}
+
+/// Timer-wheel parking: with nothing ready, `run_for` jumps the virtual
+/// clock straight to each deadline — firing parked slots in deadline
+/// order with exactly one idle advance per jump, never a spin — and a
+/// window that ends before the next deadline leaves it pending.
+#[test]
+fn run_for_parks_on_the_timer_wheel_instead_of_polling() {
+    let mut host = ReactorHost::new();
+    let a = host.mount(Swarm::over);
+    let b = host.mount(Swarm::over);
+    let c = host.mount(Swarm::over);
+    let hub = host.reactor();
+
+    host.wake_after(a, 30_000);
+    host.wake_after(b, 10_000);
+    host.wake_after(c, 20_000);
+    host.set_pump_trace(true);
+    host.run_for(50_000).unwrap();
+
+    // First three trace entries are the unconditional kick; the rest are
+    // timer wakeups, in deadline order (b, c, a), not mount order.
+    let woken: Vec<usize> = host
+        .take_pump_trace()
+        .into_iter()
+        .skip(3)
+        .map(|(slot, _)| slot)
+        .collect();
+    assert_eq!(woken, vec![b, c, a]);
+    let stats = hub.stats();
+    assert_eq!(stats.timer_fires, 3);
+    assert_eq!(stats.idle_advances, 3, "one clock jump per deadline");
+    assert_eq!(hub.now_us(), 50_000, "window fully consumed");
+
+    // A deadline beyond the window stays parked.
+    host.wake_after(a, 100_000);
+    host.run_for(10_000).unwrap();
+    assert_eq!(hub.now_us(), 60_000);
+    assert!(hub.timers_pending());
+}
+
+/// The `pti-tps` hook: two session groups mounted on one host, joined
+/// through a seed member, publishing and draining through the typed
+/// handles — with the host's event loop as the only driver.
+#[test]
+fn typed_pubsub_groups_mount_on_a_shared_reactor() {
+    let mut host = ReactorHost::new();
+    let code = CodeRegistry::new();
+    let group_a = TypedPubSub::builder()
+        .code_registry(code.clone())
+        .mount_on(&mut host);
+    let group_b = TypedPubSub::builder()
+        .code_registry(code)
+        .join(PeerId(1))
+        .mount_on(&mut host);
+
+    let exchange = group_a.add_member_as(PeerId(1));
+    let trader = group_b.add_member_as(PeerId(2));
+    host.run_until_quiescent().unwrap();
+
+    let quote = TypeDef::class("StockQuote", "pub")
+        .field("symbol", primitives::STRING)
+        .field("price", primitives::FLOAT64)
+        .ctor(vec![])
+        .build();
+    let g = quote.guid;
+    let quotes = exchange
+        .publisher_for(
+            Assembly::builder("quotes")
+                .ty(quote)
+                .ctor_body(g, 0, bodies::ctor_assign(&[]))
+                .build(),
+        )
+        .unwrap();
+
+    let my_quote = TypeDef::class("StockQuote", "sub")
+        .field("symbol", primitives::STRING)
+        .field("price", primitives::FLOAT64)
+        .build();
+    let sub = trader.subscribe(TypeDescription::from_def(&my_quote));
+    host.run_until_quiescent().unwrap();
+
+    quotes
+        .publish_with(|e| {
+            e.set("symbol", "ACME")?.set("price", 42.5)?;
+            Ok(())
+        })
+        .unwrap();
+    host.run_until_quiescent().unwrap();
+
+    let events = sub.drain();
+    assert_eq!(events.len(), 1);
+    assert_eq!(events[0].interest.full(), "StockQuote");
+    assert_eq!(events[0].from, PeerId(1));
+}
+
+/// Scale smoke: 64 single-peer swarms (one publisher, 63 subscribers)
+/// converge and exchange a routed publish on one host — the shape the
+/// R4 experiment runs at 1k+ members.
+#[test]
+fn a_mid_sized_fleet_converges_on_one_host() {
+    const FLEET: usize = 64;
+    let mut host = ReactorHost::new();
+    let code = CodeRegistry::new();
+
+    let mk = |code: &CodeRegistry| {
+        let code = code.clone();
+        move |net| Swarm::with_code_registry(net, code)
+    };
+    let pub_slot = host.mount(mk(&code));
+    let p1 = host.with_swarm(pub_slot, |s| {
+        s.add_peer_as(PeerId(1), ConformanceConfig::pragmatic())
+    });
+    let mut sub_slots = Vec::new();
+    for i in 0..FLEET - 1 {
+        let slot = host.mount(mk(&code));
+        host.with_swarm(slot, |s| {
+            let p = s.add_peer_as(PeerId(2 + i as u32), ConformanceConfig::pragmatic());
+            s.subscribe(
+                p,
+                TypeDescription::from_def(&samples::sensor_interest("fleet")),
+            );
+            s.join(p1).unwrap();
+        });
+        sub_slots.push(slot);
+    }
+    host.run_until_quiescent().unwrap();
+
+    let event = samples::generate_population(3, 1, 1.0).remove(0);
+    let routed = host.with_swarm(pub_slot, |s| {
+        s.publish(p1, event.assembly.clone()).unwrap();
+        let h = s
+            .peer_mut(p1)
+            .runtime
+            .instantiate_def(&event.def, &[])
+            .unwrap();
+        s.route_object(p1, &Value::Obj(h), PayloadFormat::Binary)
+            .unwrap()
+    });
+    assert_eq!(routed, FLEET - 1);
+    host.run_until_quiescent().unwrap();
+
+    let accepted: u64 = sub_slots
+        .iter()
+        .enumerate()
+        .map(|(i, &slot)| host.with_swarm(slot, |s| s.peer(PeerId(2 + i as u32)).stats.accepted))
+        .sum();
+    assert_eq!(accepted, (FLEET - 1) as u64);
+}

@@ -268,3 +268,54 @@ fn adversarial_payloads_do_not_panic() {
     }
     let _ = ObjectEnvelope::from_string("<ptiMessage version=\"1\"/>");
 }
+
+#[test]
+fn ptib_assembly_table_prefix_compression_saves_bytes() {
+    // A routed event's download table repeats the publisher's
+    // `pti://peer-N/` stem in every path; the PTIB encoding hoists the
+    // shared prefix so the stem is paid for once per envelope. Compare
+    // against the same table rewritten with equal-length but disjoint
+    // stems (no shared prefix to hoist) — byte-identical content size,
+    // so any wire difference is pure prefix compression.
+    let mut rt = runtime_with_person();
+    let v = samples::make_person(&mut rt, "prefixed");
+    let table = |stems: [&str; 4]| -> ObjectEnvelope {
+        ObjectEnvelope {
+            type_name: "Person".into(),
+            type_guid: samples::person_vendor_a().guid,
+            assemblies: (0..4)
+                .map(|i| pti_serialize::AssemblyRef {
+                    name: format!("bundle-{i}"),
+                    description_path: format!("{}desc/bundle-{i}", stems[i]),
+                    assembly_path: format!("{}asm/bundle-{i}", stems[i]),
+                    content_hash: format!("{i:08x}"),
+                })
+                .collect(),
+            payload: pti_serialize::Payload::Binary(to_binary(&rt, &v).unwrap()),
+        }
+    };
+    let stem = "pti://peer-7/";
+    let shared = table([stem; 4]);
+    let disjoint = table([
+        "ati://peer-1/",
+        "bti://peer-2/",
+        "cti://peer-3/",
+        "dti://peer-4/",
+    ]);
+
+    // Both round-trip exactly...
+    let shared_wire = shared.to_ptib();
+    let disjoint_wire = disjoint.to_ptib();
+    assert_eq!(ObjectEnvelope::from_ptib(&shared_wire).unwrap(), shared);
+    assert_eq!(ObjectEnvelope::from_ptib(&disjoint_wire).unwrap(), disjoint);
+
+    // ...but the shared-stem table ships 7 copies of the stem fewer (8
+    // paths collapse onto one hoisted prefix).
+    let saved = disjoint_wire.len() - shared_wire.len();
+    assert!(
+        saved >= 7 * stem.len() - 2,
+        "prefix compression saved only {saved} B (shared {} B, disjoint {} B)",
+        shared_wire.len(),
+        disjoint_wire.len()
+    );
+}

@@ -1,0 +1,149 @@
+//! `SharedSimNet` multi-swarm determinism: the virtual-time fabric's
+//! whole value is reproducibility, so a seeded churn script — joins,
+//! leaves, routed publishes — must produce a **byte-identical** delivery
+//! log across two runs. Any hidden iteration-order or timing
+//! nondeterminism in the shared fabric, the membership gossip, or the
+//! interest router would scramble the log and fail the comparison.
+
+use pti_core::prelude::*;
+use pti_core::samples;
+
+/// The tiny deterministic PRNG driving the churn script (SplitMix64).
+struct SplitMix64(u64);
+
+impl SplitMix64 {
+    fn next_u64(&mut self) -> u64 {
+        self.0 = self.0.wrapping_add(0x9E37_79B9_7F4A_7C15);
+        let mut z = self.0;
+        z = (z ^ (z >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+        z = (z ^ (z >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+        z ^ (z >> 31)
+    }
+}
+
+/// Sweeps every swarm until a full pass moves no traffic.
+fn pump(swarms: &mut [Swarm<SharedSimNet>]) {
+    let mut last = u64::MAX;
+    loop {
+        for s in swarms.iter_mut() {
+            s.run().unwrap();
+        }
+        let now = swarms[0].metrics().messages;
+        if now == last {
+            return;
+        }
+        last = now;
+    }
+}
+
+/// Runs the seeded churn script and returns its full observable log:
+/// every delivery (in swarm order after every step) plus the final
+/// traffic counters.
+fn churn_run(seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64(seed);
+    let fabric = SharedSimNet::new(NetConfig::default());
+    let code = CodeRegistry::new();
+    let mut log = Vec::new();
+
+    // The founder publishes the event type every routed publish uses.
+    let mut founder: Swarm<SharedSimNet> = Swarm::with_code_registry(fabric.clone(), code.clone());
+    let p1 = founder.add_peer_as(PeerId(1), ConformanceConfig::pragmatic());
+    let event = samples::generate_population(7, 1, 1.0).remove(0);
+    founder.publish(p1, event.assembly.clone()).unwrap();
+
+    // `swarms[0]` stays the founder; later entries churn in and out.
+    let mut swarms = vec![founder];
+    let mut peer_of = vec![p1];
+    let mut next_id = 2u32;
+
+    for step in 0..24 {
+        match rng.next_u64() % 3 {
+            // Join: a fresh single-peer swarm subscribes, then joins
+            // through the founder.
+            0 => {
+                let mut s: Swarm<SharedSimNet> =
+                    Swarm::with_code_registry(fabric.clone(), code.clone());
+                let p = s.add_peer_as(PeerId(next_id), ConformanceConfig::pragmatic());
+                next_id += 1;
+                s.subscribe(
+                    p,
+                    TypeDescription::from_def(&samples::sensor_interest("churn")),
+                );
+                s.join(p1).unwrap();
+                swarms.push(s);
+                peer_of.push(p);
+            }
+            // Leave: a non-founder swarm departs (if any).
+            1 if swarms.len() > 1 => {
+                let victim = 1 + (rng.next_u64() as usize) % (swarms.len() - 1);
+                let mut s = swarms.remove(victim);
+                peer_of.remove(victim);
+                s.leave();
+            }
+            // Publish: the founder routes one event to every live
+            // subscriber.
+            _ => {
+                let h = swarms[0]
+                    .peer_mut(p1)
+                    .runtime
+                    .instantiate_def(&event.def, &[])
+                    .unwrap();
+                let routed = swarms[0]
+                    .route_object(p1, &Value::Obj(h), PayloadFormat::Binary)
+                    .unwrap();
+                log.extend_from_slice(&(routed as u64).to_le_bytes());
+            }
+        }
+        pump(&mut swarms);
+
+        // Record every delivery in fixed swarm order — the byte log any
+        // reordering would corrupt.
+        log.push(0xFE);
+        log.push(step);
+        for (i, s) in swarms.iter_mut().enumerate() {
+            let p = peer_of[i];
+            for d in s.peer_mut(p).take_deliveries() {
+                match d {
+                    Delivery::Accepted { from, interest, .. } => {
+                        log.push(b'A');
+                        log.extend_from_slice(&p.0.to_le_bytes());
+                        log.extend_from_slice(&from.0.to_le_bytes());
+                        if let Some(name) = interest {
+                            log.extend_from_slice(name.full().as_bytes());
+                        }
+                    }
+                    Delivery::Rejected { from, type_name } => {
+                        log.push(b'R');
+                        log.extend_from_slice(&p.0.to_le_bytes());
+                        log.extend_from_slice(&from.0.to_le_bytes());
+                        log.extend_from_slice(type_name.full().as_bytes());
+                    }
+                }
+            }
+        }
+    }
+
+    // Fold the fabric-wide counters in: identical scripts must also cost
+    // identical traffic, message by message and byte by byte.
+    let m = fabric.metrics();
+    log.extend_from_slice(&m.messages.to_le_bytes());
+    log.extend_from_slice(&m.bytes.to_le_bytes());
+    log.extend_from_slice(&m.batched_frames().to_le_bytes());
+    log
+}
+
+#[test]
+fn seeded_churn_is_byte_identical_across_runs() {
+    let first = churn_run(42);
+    let second = churn_run(42);
+    assert!(!first.is_empty());
+    assert_eq!(first, second, "same seed, same fabric, same bytes");
+}
+
+#[test]
+fn different_seeds_take_different_trajectories() {
+    // Not a determinism requirement per se, but it proves the script is
+    // actually seed-sensitive (a constant log would vacuously pass the
+    // identity check above).
+    assert_ne!(churn_run(42), churn_run(1234));
+}

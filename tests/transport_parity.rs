@@ -1,10 +1,10 @@
-//! SimNet/LiveBus parity: the generic `Swarm<T: Transport>` must make
-//! identical protocol decisions on both fabrics.
+//! SimNet/LiveBus/ReactorNet parity: the generic `Swarm<T: Transport>`
+//! must make identical protocol decisions on every fabric.
 //!
 //! The same publish/subscribe scenario — a publisher with a mixed
 //! population of conformant and non-conformant event types, a subscriber
-//! with one interest — runs once over `Swarm<SimNet>` and once over
-//! `Swarm<LiveBus>` *through the same generic function*, and every
+//! with one interest — runs over `Swarm<SimNet>`, `Swarm<LiveBus>` and
+//! `Swarm<ReactorNet>` *through the same generic function*, and every
 //! observable decision (accept/reject sequence, desc/asm request
 //! counts, per-kind message counts) must agree.
 
@@ -95,10 +95,15 @@ fn run_scenario<T: Transport>(mut swarm: Swarm<T>) -> Outcome {
 fn same_scenario_same_decisions_on_both_fabrics() {
     let sim = run_scenario(Swarm::new(NetConfig::default()));
     let live = run_scenario(Swarm::over(LiveBus::new()));
+    let reactor = run_scenario(Swarm::over(ReactorNet::new()));
 
     assert_eq!(
         sim, live,
         "SimNet and LiveBus runs must agree on every decision"
+    );
+    assert_eq!(
+        sim, reactor,
+        "the reactor fabric must agree with SimNet on every decision"
     );
     // Sanity: the scenario actually exercised both paths.
     assert!(sim.accepted > 0, "some variants conform: {sim:?}");
@@ -213,10 +218,15 @@ fn run_routed_scenario<T: Transport>(mut swarm: Swarm<T>) -> RoutedOutcome {
 fn routing_decisions_agree_on_both_fabrics_including_after_unsubscribe() {
     let sim = run_routed_scenario(Swarm::new(NetConfig::default()));
     let live = run_routed_scenario(Swarm::over(LiveBus::new()));
+    let reactor = run_routed_scenario(Swarm::over(ReactorNet::new()));
 
     assert_eq!(
         sim, live,
         "SimNet and LiveBus must make identical routing decisions"
+    );
+    assert_eq!(
+        sim, reactor,
+        "the reactor fabric must make identical routing decisions"
     );
     // Each publish resolved exactly the two sensor subscribers...
     assert_eq!(sim.routed_to, vec![2, 2, 2]);
@@ -238,8 +248,9 @@ fn routing_decisions_agree_on_both_fabrics_including_after_unsubscribe() {
 }
 
 #[test]
-fn aliases_name_the_two_canonical_swarms() {
+fn aliases_name_the_canonical_swarms() {
     // Type-level check: the aliases stay wired to the right fabrics.
     let _sim: SimSwarm = Swarm::new(NetConfig::default());
     let _live: LiveSwarm = Swarm::over(LiveBus::new());
+    let _reactor: ReactorSwarm = Swarm::over(ReactorNet::new());
 }
