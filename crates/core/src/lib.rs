@@ -93,8 +93,9 @@ pub mod prelude {
         TypeDescription, TypeName, TypeRegistry, Value,
     };
     pub use pti_net::{
-        BusMessage, Endpoint, LiveBus, NetConfig, NetMetrics, Payload, PeerId, ReactorNet,
-        ReactorStats, SessionId, SharedSimNet, SimNet, Transport,
+        BridgeLink, BridgeRx, BridgeStats, BridgeTx, BusMessage, Endpoint, LiveBus, NetConfig,
+        NetMetrics, Payload, PeerId, ReactorNet, ReactorStats, SessionId, SharedSimNet, SimNet,
+        Transport,
     };
     pub use pti_proxy::{invoke_direct, DynamicProxy, ProxyError};
     pub use pti_remoting::{RemoteProxy, RemoteRef, RemotingFabric};
@@ -103,11 +104,12 @@ pub mod prelude {
         to_soap_string, EnvelopeWireFormat, ObjectEnvelope, PayloadFormat,
     };
     pub use pti_tps::{
-        DeliveryMode, EventBuilder, EventNotification, Member, Publisher, Subscription, TypedPubSub,
+        DeliveryMode, EventBuilder, EventNotification, Member, Publisher, ShardedGroup,
+        Subscription, TypedPubSub,
     };
     pub use pti_transport::{
         CodeRegistry, Delivery, LiveSwarm, MembershipView, MountedSwarm, Peer, ProtocolStats,
-        ReactorHost, ReactorSwarm, RoutingTable, Signature, SimSwarm, Swarm, TransportError,
-        ViewDelta,
+        ReactorHost, ReactorSwarm, RoutingTable, ShardedHost, Signature, SimSwarm, Swarm,
+        TransportError, ViewDelta,
     };
 }

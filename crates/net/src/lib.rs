@@ -12,6 +12,9 @@
 //! * [`ReactorNet`] — a single-threaded, readiness-driven fabric
 //!   (inbound rings, a wakeup queue and a timer wheel) that lets one
 //!   thread drive thousands of swarms; see the [`reactor`] module docs.
+//!   Multiple reactors on separate threads link up through
+//!   [`BridgeLink`] channel pairs (see the [`bridge`] module docs) —
+//!   the only cross-thread surface in the crate.
 //!
 //! Both implement the [`Transport`] trait — the seam the protocol
 //! engine (`pti-transport`'s `Swarm<T: Transport>`) is generic over, so
@@ -35,6 +38,7 @@
 
 #![warn(missing_docs)]
 
+pub mod bridge;
 mod bus;
 mod frame;
 mod metrics;
@@ -43,6 +47,7 @@ pub mod reactor;
 mod sim;
 mod transport;
 
+pub use bridge::{BridgeLink, BridgeRx, BridgeStats, BridgeTx};
 pub use bus::{BusMessage, Endpoint, LiveBus};
 pub use frame::{kinds, Frame, FrameBatch, FrameDecodeError};
 pub use metrics::{KindMetrics, LinkBatchMetrics, NetMetrics};

@@ -40,6 +40,15 @@ pub struct NetMetrics {
     /// the fan-out path encodes once per publish and shares the bytes
     /// across destinations instead of re-encoding or copying.
     pub payload_encodes: u64,
+    /// Messages this fabric forwarded onto a cross-shard bridge (their
+    /// kind/byte counters are also in the totals above — this counts how
+    /// much of the traffic left the shard).
+    pub bridge_crossings: u64,
+    /// Payload bytes those bridged messages carried.
+    pub bridge_bytes: u64,
+    /// Bridged sends that actually delivered a wake signal to the owning
+    /// shard's parked thread (vs. finding it already running).
+    pub bridge_wakes: u64,
 }
 
 /// Counters for one message kind.
@@ -112,6 +121,48 @@ impl NetMetrics {
     /// [`Transport::record_payload_encode`](crate::Transport::record_payload_encode)).
     pub fn record_payload_encode(&mut self) {
         self.payload_encodes += 1;
+    }
+
+    /// Records one message forwarded onto a cross-shard bridge; `woke`
+    /// is whether the send delivered a wake signal to the owning shard.
+    /// Called *in addition to* [`record`](Self::record) — the message's
+    /// kind/byte counters stay in the totals, this measures how much of
+    /// the traffic was cross-shard.
+    pub fn record_bridge_crossing(&mut self, bytes: usize, woke: bool) {
+        self.bridge_crossings += 1;
+        self.bridge_bytes += bytes as u64;
+        if woke {
+            self.bridge_wakes += 1;
+        }
+    }
+
+    /// Folds another fabric's counters into this one — how a sharded
+    /// host aggregates its per-shard `NetMetrics` into one fabric-wide
+    /// view. Every counter sums, including the per-kind / per-link maps.
+    pub fn merge(&mut self, other: &NetMetrics) {
+        self.messages += other.messages;
+        self.bytes += other.bytes;
+        self.payload_encodes += other.payload_encodes;
+        self.bridge_crossings += other.bridge_crossings;
+        self.bridge_bytes += other.bridge_bytes;
+        self.bridge_wakes += other.bridge_wakes;
+        for (kind, k) in &other.per_kind {
+            let e = self.per_kind.entry(kind).or_default();
+            e.messages += k.messages;
+            e.bytes += k.bytes;
+        }
+        for (kind, k) in &other.per_batched_kind {
+            let e = self.per_batched_kind.entry(kind).or_default();
+            e.messages += k.messages;
+            e.bytes += k.bytes;
+        }
+        for (link, l) in &other.per_link {
+            let e = self.per_link.entry(*link).or_default();
+            e.batches += l.batches;
+            e.frames += l.frames;
+            e.bytes += l.bytes;
+            e.splits += l.splits;
+        }
     }
 
     /// Counters for one kind (zero if the kind never appeared).
@@ -245,6 +296,40 @@ mod tests {
         assert_eq!(m.bytes, 190);
         m.record_payload_encode();
         assert_eq!(m.payload_encodes, 1);
+    }
+
+    #[test]
+    fn merge_sums_every_counter_including_the_maps() {
+        let mut a = NetMetrics::default();
+        a.record("object", 100);
+        a.record_batch(PeerId(1), PeerId(2), 2, 100);
+        a.record_batched_frame("object", 60);
+        a.record_payload_encode();
+        a.record_bridge_crossing(40, true);
+        let mut b = NetMetrics::default();
+        b.record("object", 50);
+        b.record("view", 10);
+        b.record_batch(PeerId(1), PeerId(2), 3, 50);
+        b.record_batch_splits(PeerId(3), PeerId(4), 2);
+        b.record_bridge_crossing(10, false);
+        a.merge(&b);
+        assert_eq!(a.messages, 3);
+        assert_eq!(a.bytes, 160);
+        assert_eq!(a.kind("object").messages, 2);
+        assert_eq!(a.kind("view").bytes, 10);
+        assert_eq!(a.batched_kind("object").bytes, 60);
+        let l = a.link(PeerId(1), PeerId(2));
+        assert_eq!((l.batches, l.frames, l.bytes), (2, 5, 150));
+        assert_eq!(a.link(PeerId(3), PeerId(4)).splits, 2);
+        assert_eq!(a.payload_encodes, 1);
+        assert_eq!(
+            (a.bridge_crossings, a.bridge_bytes, a.bridge_wakes),
+            (2, 50, 1)
+        );
+        // Merging an empty fabric is the identity.
+        let before = a.clone();
+        a.merge(&NetMetrics::default());
+        assert_eq!(a, before);
     }
 
     #[test]

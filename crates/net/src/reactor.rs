@@ -24,6 +24,7 @@ use std::cell::RefCell;
 use std::collections::{HashMap, HashSet, VecDeque};
 use std::rc::Rc;
 
+use crate::bridge::BridgeTx;
 use crate::bus::BusMessage;
 use crate::frame::{kinds, FrameBatch};
 use crate::metrics::NetMetrics;
@@ -140,12 +141,21 @@ struct Core {
     rings: HashMap<PeerId, VecDeque<BusMessage>>,
     /// Which session each endpoint belongs to.
     owner: HashMap<PeerId, SessionId>,
+    /// Peers owned by *another shard*: sends to them forward over the
+    /// bridge to the shard that owns their ring.
+    proxies: HashMap<PeerId, BridgeTx>,
     /// Undelivered messages per session (sum of its rings' lengths).
     backlog: HashMap<SessionId, usize>,
     /// The wakeup queue: sessions with work, in readiness order.
     ready: VecDeque<SessionId>,
     /// Guards `ready` against duplicate entries.
     enqueued: HashSet<SessionId>,
+    /// Sessions whose queue entry is an *explicit* signal (timer fire or
+    /// host mark) rather than inbound traffic. Explicit signals always
+    /// wake; traffic signals are skipped once the ring is already dry —
+    /// the burst-coalescing rule that keeps a kick-sweep drain from
+    /// turning into a pile of idle wakeups.
+    explicit: HashSet<SessionId>,
     timers: TimerWheel,
     now_us: u64,
     next_session: u32,
@@ -158,6 +168,13 @@ impl Core {
         if self.enqueued.insert(session) {
             self.ready.push_back(session);
         }
+    }
+
+    /// An explicit signal: enqueue and remember that this wakeup must
+    /// fire even if the session has no backlog when popped.
+    fn mark_ready_explicit(&mut self, session: SessionId) {
+        self.explicit.insert(session);
+        self.mark_ready(session);
     }
 }
 
@@ -189,9 +206,11 @@ impl ReactorNet {
             core: Rc::new(RefCell::new(Core {
                 rings: HashMap::new(),
                 owner: HashMap::new(),
+                proxies: HashMap::new(),
                 backlog: HashMap::new(),
                 ready: VecDeque::new(),
                 enqueued: HashSet::new(),
+                explicit: HashSet::new(),
                 timers: TimerWheel::new(),
                 now_us: 0,
                 next_session: 1,
@@ -244,12 +263,25 @@ impl ReactorNet {
     /// queue slot is released before the host pumps it, so traffic
     /// arriving *during* the pump re-enqueues it at the back — that plus
     /// the host's per-wakeup budget is the fairness guarantee.
+    ///
+    /// A queued **traffic** signal whose ring was already drained (a
+    /// burst absorbed by an earlier pump of the same session) is *stale*:
+    /// it is discarded without counting a wakeup, so a 1k-session burst
+    /// costs each session at most one real wakeup. **Explicit** signals
+    /// ([`mark_ready`](Self::mark_ready), timer fires) always wake —
+    /// a parked session expects its turn even with an empty ring.
     pub fn next_ready(&self) -> Option<SessionId> {
         let mut core = self.core.borrow_mut();
-        let session = core.ready.pop_front()?;
-        core.enqueued.remove(&session);
-        core.stats.wakeups += 1;
-        Some(session)
+        loop {
+            let session = core.ready.pop_front()?;
+            core.enqueued.remove(&session);
+            let explicit = core.explicit.remove(&session);
+            let has_backlog = core.backlog.get(&session).is_some_and(|n| *n > 0);
+            if explicit || has_backlog {
+                core.stats.wakeups += 1;
+                return Some(session);
+            }
+        }
     }
 
     /// Whether any session is on the wakeup queue.
@@ -258,9 +290,12 @@ impl ReactorNet {
     }
 
     /// Re-enqueues a session that still has backlog (or that the caller
-    /// wants revisited). Duplicate marks are coalesced.
+    /// wants revisited). Duplicate marks are coalesced. This is an
+    /// *explicit* signal: the wakeup fires even if the session's rings
+    /// are empty by then (unlike a traffic signal — see
+    /// [`next_ready`](Self::next_ready)).
     pub fn mark_ready(&self, session: SessionId) {
-        self.core.borrow_mut().mark_ready(session);
+        self.core.borrow_mut().mark_ready_explicit(session);
     }
 
     /// Schedules a wakeup for `session` at `delay_us` of virtual time
@@ -294,7 +329,7 @@ impl ReactorNet {
                 core.stats.idle_advances += 1;
                 core.stats.timer_fires += due.len() as u64;
                 for (_, session) in due {
-                    core.mark_ready(session);
+                    core.mark_ready_explicit(session);
                 }
                 true
             }
@@ -305,6 +340,89 @@ impl ReactorNet {
                 false
             }
         }
+    }
+
+    /// Registers `peer` as a **remote-shard proxy**: sends to it succeed
+    /// locally (metrics recorded on this shard) and forward over
+    /// `bridge` to the shard that owns the peer's ring. Re-registering
+    /// replaces the bridge (the peer migrated).
+    ///
+    /// # Panics
+    /// If `peer` owns a *local* ring — a shard directory bug: the same
+    /// id cannot be both local and remote.
+    pub fn register_proxy(&self, peer: PeerId, bridge: BridgeTx) {
+        let mut core = self.core.borrow_mut();
+        assert!(
+            !core.owner.contains_key(&peer),
+            "{peer} is registered locally on this shard; it cannot also be a remote proxy"
+        );
+        core.proxies.insert(peer, bridge);
+    }
+
+    /// Removes a remote-shard proxy (the peer departed or migrated).
+    /// Unknown ids are a no-op.
+    pub fn unregister_proxy(&self, peer: PeerId) {
+        self.core.borrow_mut().proxies.remove(&peer);
+    }
+
+    /// Whether `peer` currently resolves to a remote-shard proxy.
+    pub fn is_proxy(&self, peer: PeerId) -> bool {
+        self.core.borrow().proxies.contains_key(&peer)
+    }
+
+    /// Delivers a message that arrived over a bridge into the owning
+    /// ring, exactly as a local send would (backlog, readiness signal) —
+    /// but *without* re-recording traffic metrics: the origin shard
+    /// already counted the send. Returns `false` when no local ring owns
+    /// `msg.to` (the peer unmounted mid-flight; the message is dropped).
+    pub fn inject(&self, msg: BusMessage) -> bool {
+        let mut core = self.core.borrow_mut();
+        let Some(owner) = core.owner.get(&msg.to).copied() else {
+            return false;
+        };
+        core.rings
+            .get_mut(&msg.to)
+            .expect("registered peer has a ring")
+            .push_back(msg);
+        *core.backlog.entry(owner).or_insert(0) += 1;
+        core.mark_ready(owner);
+        true
+    }
+
+    /// Tears down `peer`'s endpoint regardless of which session owns it:
+    /// the ring is dropped (its undelivered messages are discarded and
+    /// returned as a count) and the owning session's backlog shrinks to
+    /// match. The host-side half of unmounting a swarm.
+    pub fn unregister(&self, peer: PeerId) -> usize {
+        let mut core = self.core.borrow_mut();
+        let Some(owner) = core.owner.remove(&peer) else {
+            return 0;
+        };
+        let dropped = core.rings.remove(&peer).map_or(0, |ring| ring.len());
+        if let Some(n) = core.backlog.get_mut(&owner) {
+            *n = n.saturating_sub(dropped);
+        }
+        dropped
+    }
+
+    /// Releases a whole session: its backlog entry and any pending
+    /// signals go away (queued entries are skipped lazily by
+    /// [`next_ready`](Self::next_ready)). Endpoints must already be
+    /// [`unregister`](Self::unregister)ed.
+    pub fn release_session(&self, session: SessionId) {
+        let mut core = self.core.borrow_mut();
+        core.backlog.remove(&session);
+        core.explicit.remove(&session);
+    }
+
+    /// Every peer with a *local* ring on this fabric, sorted by id —
+    /// what a shard directory diffs after a mutation to learn which
+    /// peers appeared or vanished (proxies are not included).
+    pub fn registered_peers(&self) -> Vec<PeerId> {
+        let core = self.core.borrow();
+        let mut peers: Vec<PeerId> = core.owner.keys().copied().collect();
+        peers.sort_unstable();
+        peers
     }
 }
 
@@ -323,6 +441,10 @@ impl Transport for ReactorNet {
             Some(_) => panic!("{peer} is already registered on this reactor fabric"),
             None => {}
         }
+        assert!(
+            !core.proxies.contains_key(&peer),
+            "{peer} is already registered on another shard of this fabric"
+        );
         core.owner.insert(peer, self.session);
         core.rings.insert(peer, VecDeque::new());
     }
@@ -336,7 +458,30 @@ impl Transport for ReactorNet {
     ) -> Result<(), NetError> {
         let mut core = self.core.borrow_mut();
         let Some(owner) = core.owner.get(&to).copied() else {
-            return Err(NetError::UnknownPeer(to));
+            // No local ring: a remote-shard proxy forwards over its
+            // bridge; the send is recorded here (origin-side accounting)
+            // and the owning shard injects it without re-counting.
+            let Some(bridge) = core.proxies.get(&to).cloned() else {
+                return Err(NetError::UnknownPeer(to));
+            };
+            let size = payload.len();
+            let batch_frames =
+                (kind == kinds::BATCH).then(|| FrameBatch::peek_count(&payload).unwrap_or(0));
+            let woke = bridge.send(BusMessage {
+                from,
+                to,
+                kind,
+                payload,
+            })?;
+            // Recorded only after the bridge accepted it — a failed send
+            // stays uncounted, same as the local path.
+            core.metrics.record(kind, size);
+            if let Some(frames) = batch_frames {
+                core.metrics.record_batch(from, to, frames, size);
+            }
+            core.stats.sends += 1;
+            core.metrics.record_bridge_crossing(size, woke);
+            return Ok(());
         };
         let size = payload.len();
         core.metrics.record(kind, size);
@@ -453,6 +598,115 @@ mod tests {
         assert_eq!(hub.stats().sends, 3);
         assert_eq!(hub.stats().recvs, 1);
         assert_eq!(hub.stats().wakeups, 3);
+    }
+
+    #[test]
+    fn a_drained_burst_does_not_resignal_its_session() {
+        let hub = ReactorNet::new();
+        let mut a = hub.session();
+        let mut b = hub.session();
+        a.register(PeerId(1));
+        b.register(PeerId(2));
+        // A three-message burst to one session: the traffic signal
+        // coalesces to a single queue entry...
+        for i in 0..3u8 {
+            a.send(PeerId(1), PeerId(2), "k", vec![i].into()).unwrap();
+        }
+        // ...and when the ring is drained outside a wakeup (the host's
+        // kick sweep does exactly this), the queued entry is stale:
+        // popping it must not produce an idle wakeup.
+        while b.try_recv(PeerId(2)).is_some() {}
+        assert_eq!(hub.next_ready(), None, "stale traffic signal skipped");
+        assert_eq!(hub.stats().wakeups, 0, "no wakeup for a drained burst");
+        // Explicit marks still fire on an empty ring — the timer path
+        // and host re-marks depend on that.
+        hub.mark_ready(b.session_id());
+        assert_eq!(hub.next_ready(), Some(b.session_id()));
+        assert_eq!(hub.stats().wakeups, 1);
+        // A partially-drained burst is a *live* signal: backlog remains,
+        // so the wakeup fires.
+        for i in 0..2u8 {
+            a.send(PeerId(1), PeerId(2), "k", vec![i].into()).unwrap();
+        }
+        let _ = b.try_recv(PeerId(2)).unwrap();
+        assert_eq!(hub.next_ready(), Some(b.session_id()));
+        assert_eq!(hub.stats().wakeups, 2);
+    }
+
+    #[test]
+    fn proxied_sends_cross_the_bridge_with_origin_side_accounting() {
+        use crate::bridge::BridgeLink;
+
+        let origin = ReactorNet::new();
+        let remote = ReactorNet::new();
+        let mut o = origin.session();
+        let mut r = remote.session();
+        o.register(PeerId(1));
+        r.register(PeerId(9));
+        let (tx, rx) = BridgeLink::pair();
+        origin.register_proxy(PeerId(9), tx.clone());
+        assert!(origin.is_proxy(PeerId(9)));
+
+        o.send(PeerId(1), PeerId(9), "object", vec![1, 2, 3].into())
+            .unwrap();
+        // Origin shard: send recorded locally, bridge counters ticked.
+        let m = Transport::metrics(&o);
+        assert_eq!(m.kind("object").messages, 1);
+        assert_eq!((m.bridge_crossings, m.bridge_bytes), (1, 3));
+        assert_eq!(origin.stats().sends, 1);
+        assert_eq!(tx.pending(), 1);
+
+        // Owning shard: inject delivers into the ring and marks the
+        // session ready, without double-counting the traffic.
+        let msg = rx.try_drain().unwrap();
+        assert!(remote.inject(msg));
+        assert_eq!(remote.backlog(r.session_id()), 1);
+        assert_eq!(remote.next_ready(), Some(r.session_id()));
+        assert_eq!(r.try_recv(PeerId(9)).unwrap().payload, vec![1, 2, 3]);
+        assert_eq!(Transport::metrics(&r).messages, 0, "no origin recount");
+        assert_eq!(remote.stats().recvs, 1);
+
+        // An inject for an unmounted peer is dropped, not misdelivered.
+        o.send(PeerId(1), PeerId(9), "object", vec![4].into())
+            .unwrap();
+        assert_eq!(remote.unregister(PeerId(9)), 0);
+        assert!(!remote.inject(rx.try_drain().unwrap()));
+        remote.release_session(r.session_id());
+        assert_eq!(remote.backlog(r.session_id()), 0);
+    }
+
+    #[test]
+    #[should_panic(expected = "already registered on another shard")]
+    fn proxy_collision_panics_instead_of_shadowing_a_remote_peer() {
+        let hub = ReactorNet::new();
+        let (tx, _rx) = crate::bridge::BridgeLink::pair();
+        hub.register_proxy(PeerId(7), tx);
+        let mut s = hub.session();
+        s.register(PeerId(7));
+    }
+
+    #[test]
+    fn unregister_drops_the_ring_and_shrinks_the_backlog() {
+        let hub = ReactorNet::new();
+        let mut a = hub.session();
+        let mut b = hub.session();
+        a.register(PeerId(1));
+        b.register(PeerId(2));
+        b.register(PeerId(3));
+        a.send(PeerId(1), PeerId(2), "k", vec![1].into()).unwrap();
+        a.send(PeerId(1), PeerId(2), "k", vec![2].into()).unwrap();
+        a.send(PeerId(1), PeerId(3), "k", vec![3].into()).unwrap();
+        assert_eq!(hub.backlog(b.session_id()), 3);
+        assert_eq!(hub.unregister(PeerId(2)), 2, "two undelivered dropped");
+        assert_eq!(hub.backlog(b.session_id()), 1);
+        assert_eq!(
+            a.send(PeerId(1), PeerId(2), "k", vec![4].into()),
+            Err(NetError::UnknownPeer(PeerId(2))),
+            "the endpoint is gone"
+        );
+        // The surviving endpoint still delivers.
+        assert_eq!(b.try_recv(PeerId(3)).unwrap().payload, vec![3]);
+        assert_eq!(hub.unregister(PeerId(2)), 0, "double unregister no-op");
     }
 
     #[test]

@@ -84,7 +84,8 @@ use pti_net::{NetConfig, NetMetrics, PeerId, ReactorNet, SimNet, Transport};
 use pti_proxy::DynamicProxy;
 use pti_serialize::PayloadFormat;
 use pti_transport::{
-    CodeRegistry, Delivery, MountedSwarm, ProtocolStats, ReactorHost, Result, Swarm, TransportError,
+    CodeRegistry, Delivery, MountedSwarm, ProtocolStats, ReactorHost, Result, ShardedHost, Swarm,
+    TransportError,
 };
 
 /// How published events reach the other members.
@@ -335,6 +336,27 @@ impl Builder {
         handle.expect("mount invokes its builder")
     }
 
+    /// Builds the group on the shard of `host` that `primary`
+    /// hash-pins to — the sharded counterpart of
+    /// [`mount_on`](Self::mount_on). The group's swarm lives on that
+    /// shard's worker thread and never leaves it; the returned
+    /// [`ShardedGroup`] token accesses it through
+    /// [`ShardedGroup::with`] closures. Share a
+    /// [`code_registry`](Self::code_registry) across groups so members
+    /// of different shards resolve each other's assemblies.
+    pub fn mount_sharded(self, host: &mut ShardedHost, primary: PeerId) -> ShardedGroup {
+        let shard = host.shard_for(primary);
+        self.mount_sharded_pinned(host, shard)
+    }
+
+    /// Like [`mount_sharded`](Self::mount_sharded) with an explicit
+    /// shard — the placement override for experiments that pin a
+    /// publisher and its subscribers to different shards on purpose.
+    pub fn mount_sharded_pinned(self, host: &mut ShardedHost, shard: usize) -> ShardedGroup {
+        let slot = host.mount_pinned(shard, move |net| self.over(net));
+        ShardedGroup { slot }
+    }
+
     /// Builds the group over an existing transport — e.g. a
     /// [`LiveBus`](pti_net::LiveBus) handle for concurrent members.
     pub fn over<T: Transport>(self, transport: T) -> TypedPubSub<T> {
@@ -413,6 +435,22 @@ impl<T: Transport> TypedPubSub<T> {
             group: self.clone(),
             id,
         }
+    }
+
+    /// A fresh handle for an existing live member, `None` once it
+    /// departed. This is how sharded callers re-acquire a handle inside
+    /// each [`ShardedGroup::with`] closure — reactor-backed handles are
+    /// not `Send` and cannot leave their shard's thread between calls.
+    pub fn member(&self, id: PeerId) -> Option<Member<T>> {
+        let g = self.lock();
+        if !g.members.contains(&id) {
+            return None;
+        }
+        drop(g);
+        Some(Member {
+            group: self.clone(),
+            id,
+        })
     }
 
     /// Joins an established group through `seed` right now (the explicit
@@ -513,6 +551,84 @@ impl<T: Transport> TypedPubSub<T> {
 impl MountedSwarm for TypedPubSub<ReactorNet> {
     fn with_swarm_mut(&mut self, f: &mut dyn FnMut(&mut Swarm<ReactorNet>)) {
         f(&mut self.lock().swarm);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
+    }
+}
+
+/// A typed group mounted on a [`ShardedHost`] — a `Send` token, not a
+/// handle: the group itself (and every `Member`/`Publisher`/
+/// `Subscription` obtained from it) is reactor-backed and must stay on
+/// its owning shard's thread, so all access goes through
+/// [`with`](Self::with) closures executed over there.
+#[derive(Debug, Clone, Copy)]
+pub struct ShardedGroup {
+    slot: usize,
+}
+
+impl ShardedGroup {
+    /// The group's global slot on the sharded host.
+    pub fn slot(&self) -> usize {
+        self.slot
+    }
+
+    /// The shard that owns the group.
+    pub fn shard(&self, host: &ShardedHost) -> usize {
+        host.shard_of(self.slot)
+    }
+
+    /// Runs `f` with the group on its owning shard's worker thread and
+    /// returns the result. Handles created inside (`Member`s,
+    /// `Subscription`s) must not escape the closure — they are not
+    /// `Send`; return plain data (ids, drained events, counters)
+    /// instead. Membership changes propagate to every other shard's
+    /// proxy table before this returns.
+    pub fn with<R: Send + 'static>(
+        &self,
+        host: &mut ShardedHost,
+        f: impl FnOnce(&TypedPubSub<ReactorNet>) -> R + Send + 'static,
+    ) -> R {
+        host.with_mounted::<TypedPubSub<ReactorNet>, R>(self.slot, move |tps| f(tps))
+    }
+
+    /// Migrates `member` to `target` (possibly on another shard) under
+    /// the fresh id `new_id` — the sharded counterpart of
+    /// [`Member::migrate_to`], split into a detach on the source shard
+    /// and a re-subscribe on the target's, each on its owning thread.
+    /// Returns how many interests moved. Drive the host to quiescence
+    /// afterwards so the departure gossip and re-announcements converge.
+    pub fn migrate_member(
+        &self,
+        host: &mut ShardedHost,
+        member: PeerId,
+        target: &ShardedGroup,
+        new_id: PeerId,
+    ) -> usize {
+        let interests = host.with_mounted::<TypedPubSub<ReactorNet>, Vec<TypeDescription>>(
+            self.slot,
+            move |tps| {
+                let interests = tps.detach_member(member);
+                // Unlike a same-fabric `migrate_to`, the sharded
+                // path also drops the departed id's fabric ring:
+                // the directory then revokes its proxies on every
+                // shard, and stray in-flight traffic is dropped
+                // instead of piling into a ring nobody reads.
+                tps.with_swarm(|s| {
+                    s.net_mut().unregister(member);
+                });
+                interests
+            },
+        );
+        let moved = interests.len();
+        host.with_mounted::<TypedPubSub<ReactorNet>, ()>(target.slot, move |tps| {
+            let m = tps.add_member_as(new_id);
+            for interest in interests {
+                m.subscribe(interest);
+            }
+        });
+        moved
     }
 }
 

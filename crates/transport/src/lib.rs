@@ -79,6 +79,7 @@ mod membership;
 mod peer;
 pub mod reactor_host;
 mod routing;
+pub mod sharded;
 mod swarm;
 
 pub use code::CodeRegistry;
@@ -87,6 +88,7 @@ pub use membership::{InterestAnnounce, MembershipView, ViewDelta};
 pub use peer::{Delivery, Peer, PeerProvider, ProtocolStats, Published};
 pub use reactor_host::{MountedSwarm, ReactorHost, DEFAULT_FAIRNESS_BUDGET};
 pub use routing::{RoutingTable, Signature};
+pub use sharded::ShardedHost;
 pub use swarm::{
     kinds, FloodOutcome, LiveSwarm, ReactorSwarm, SimSwarm, Swarm, DEFAULT_WIRE_MAX_BYTES,
     DEFAULT_WIRE_MAX_FRAMES,

@@ -20,6 +20,7 @@
 //! zero cycles between events, which is what lets the R4 experiment
 //! drive 1k+ members through the interest router on a single thread.
 
+use pti_net::bridge::BridgeRx;
 use pti_net::{ReactorNet, SessionId};
 
 use crate::error::Result;
@@ -36,11 +37,20 @@ pub trait MountedSwarm {
     /// Runs `f` with the member's swarm. Implementations that guard the
     /// swarm behind a lock acquire it for the duration of the call.
     fn with_swarm_mut(&mut self, f: &mut dyn FnMut(&mut Swarm<ReactorNet>));
+
+    /// The member as `Any`, so callers that know the concrete mounted
+    /// type (e.g. a `TypedPubSub` group on a sharded host) can get it
+    /// back via [`ReactorHost::with_mounted`].
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any;
 }
 
 impl MountedSwarm for Swarm<ReactorNet> {
     fn with_swarm_mut(&mut self, f: &mut dyn FnMut(&mut Swarm<ReactorNet>)) {
         f(self);
+    }
+
+    fn as_any_mut(&mut self) -> &mut dyn std::any::Any {
+        self
     }
 }
 
@@ -55,16 +65,23 @@ struct Slot {
 /// addressed by the `usize` index [`mount`](Self::mount) returns.
 pub struct ReactorHost {
     hub: ReactorNet,
-    slots: Vec<Slot>,
+    /// Tombstoned slot table: [`unmount`](Self::unmount) leaves a `None`
+    /// behind so every other slot index stays stable.
+    slots: Vec<Option<Slot>>,
     budget: usize,
     /// When tracing, every pump is recorded as `(slot, handled)`.
     trace: Option<Vec<(usize, usize)>>,
+    /// Cross-shard injector: messages other shards bridged over, drained
+    /// into the fabric at the top of each run-loop turn.
+    injector: Option<BridgeRx>,
+    /// Cumulative messages drained off the injector.
+    injected: u64,
 }
 
 impl std::fmt::Debug for ReactorHost {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("ReactorHost")
-            .field("swarms", &self.slots.len())
+            .field("swarms", &self.len())
             .field("budget", &self.budget)
             .finish()
     }
@@ -84,6 +101,8 @@ impl ReactorHost {
             slots: Vec::new(),
             budget: DEFAULT_FAIRNESS_BUDGET,
             trace: None,
+            injector: None,
+            injected: 0,
         }
     }
 
@@ -93,14 +112,14 @@ impl ReactorHost {
         self.hub.clone()
     }
 
-    /// Mounted swarm count.
+    /// Mounted swarm count (tombstoned slots excluded).
     pub fn len(&self) -> usize {
-        self.slots.len()
+        self.slots.iter().filter(|s| s.is_some()).count()
     }
 
     /// Whether no swarm is mounted.
     pub fn is_empty(&self) -> bool {
-        self.slots.is_empty()
+        self.len() == 0
     }
 
     /// Replaces the per-wakeup fairness budget: how many messages one
@@ -120,21 +139,76 @@ impl ReactorHost {
         let session = self.hub.session();
         let id = session.session_id();
         let member = Box::new(build(session));
-        self.slots.push(Slot {
+        self.slots.push(Some(Slot {
             session: id,
             member,
-        });
+        }));
         self.slots.len() - 1
+    }
+
+    /// Unmounts the swarm at `slot`: unregisters every endpoint its
+    /// swarm owns (dropping whatever sat undelivered in their rings),
+    /// releases the session's readiness state, and tombstones the slot
+    /// so other slot indices stay stable. Returns the number of
+    /// undelivered messages dropped. A later [`mount`](Self::mount)
+    /// reuses the fabric, not the slot.
+    ///
+    /// # Panics
+    /// If `slot` is out of range or already unmounted.
+    pub fn unmount(&mut self, slot: usize) -> usize {
+        let mut taken = self.slots[slot].take().expect("slot is already unmounted");
+        let mut peers = Vec::new();
+        taken
+            .member
+            .with_swarm_mut(&mut |swarm| peers = swarm.peer_ids());
+        let mut dropped = 0;
+        for peer in peers {
+            dropped += self.hub.unregister(peer);
+        }
+        self.hub.release_session(taken.session);
+        dropped
+    }
+
+    /// Attaches a cross-shard injector: a bridge receiver whose messages
+    /// are drained into the fabric at the top of each run-loop turn.
+    /// The sharded host gives every shard one.
+    pub fn set_injector(&mut self, rx: BridgeRx) {
+        self.injector = Some(rx);
+    }
+
+    /// Drains the injector into the fabric's inbound rings, marking the
+    /// owning sessions ready. Returns how many messages were drained
+    /// (injects for unknown peers are drained — and counted — but
+    /// dropped by the fabric). The run loops call this each turn; it is
+    /// public so a shard's outer driver can pump between loops.
+    pub fn drain_injector(&mut self) -> usize {
+        let Some(rx) = self.injector.as_ref() else {
+            return 0;
+        };
+        let mut drained = 0;
+        while let Some(msg) = rx.try_drain() {
+            self.hub.inject(msg);
+            drained += 1;
+        }
+        self.injected += drained as u64;
+        drained
+    }
+
+    /// Cumulative messages drained off the injector since the host was
+    /// created — part of the work delta the sharded drain barrier sums.
+    pub fn injected_total(&self) -> u64 {
+        self.injected
     }
 
     /// Runs `f` with the swarm mounted at `slot`.
     ///
     /// # Panics
-    /// If `slot` is out of range.
+    /// If `slot` is out of range or unmounted.
     pub fn with_swarm<R>(&mut self, slot: usize, f: impl FnOnce(&mut Swarm<ReactorNet>) -> R) -> R {
         let mut f = Some(f);
         let mut out = None;
-        self.slots[slot].member.with_swarm_mut(&mut |swarm| {
+        let s = self.slots[slot].as_mut().expect("slot is unmounted");
+        s.member.with_swarm_mut(&mut |swarm| {
             if let Some(f) = f.take() {
                 out = Some(f(swarm));
             }
@@ -142,12 +216,29 @@ impl ReactorHost {
         out.expect("with_swarm_mut must invoke its callback")
     }
 
+    /// Runs `f` with the concretely-typed member mounted at `slot` —
+    /// how a caller that mounted a wrapper (e.g. a `TypedPubSub` group)
+    /// gets the wrapper itself back rather than the inner swarm.
+    ///
+    /// # Panics
+    /// If `slot` is out of range, unmounted, or holds a different type.
+    pub fn with_mounted<M: 'static, R>(&mut self, slot: usize, f: impl FnOnce(&mut M) -> R) -> R {
+        let s = self.slots[slot].as_mut().expect("slot is unmounted");
+        let m = s
+            .member
+            .as_any_mut()
+            .downcast_mut::<M>()
+            .expect("mounted member has a different concrete type");
+        f(m)
+    }
+
     /// Schedules a timer wakeup for the swarm at `slot` after `delay_us`
     /// of virtual time — the reactor-side replacement for a
     /// `recv_deadline` timeout: the slot parks for free and
     /// [`run_for`](Self::run_for) pumps it when the clock arrives.
     pub fn wake_after(&self, slot: usize, delay_us: u64) {
-        self.hub.schedule_wake(self.slots[slot].session, delay_us);
+        let s = self.slots[slot].as_ref().expect("slot is unmounted");
+        self.hub.schedule_wake(s.session, delay_us);
     }
 
     /// Starts recording `(slot, handled)` per pump — how tests assert
@@ -161,8 +252,21 @@ impl ReactorHost {
         self.trace.as_mut().map(std::mem::take).unwrap_or_default()
     }
 
+    /// The fabric session backing `slot`.
+    ///
+    /// # Panics
+    /// If `slot` is out of range or unmounted.
+    pub fn session_of(&self, slot: usize) -> SessionId {
+        self.slots[slot]
+            .as_ref()
+            .expect("slot is unmounted")
+            .session
+    }
+
     fn slot_of(&self, session: SessionId) -> Option<usize> {
-        self.slots.iter().position(|s| s.session == session)
+        self.slots
+            .iter()
+            .position(|s| s.as_ref().is_some_and(|s| s.session == session))
     }
 
     /// One scheduling turn: pump the slot's swarm with the fairness
@@ -173,7 +277,10 @@ impl ReactorHost {
         if let Some(trace) = self.trace.as_mut() {
             trace.push((idx, handled));
         }
-        let session = self.slots[idx].session;
+        let session = self.slots[idx]
+            .as_ref()
+            .expect("pumped slot exists")
+            .session;
         if self.hub.backlog(session) > 0 {
             self.hub.mark_ready(session);
         }
@@ -185,7 +292,9 @@ impl ReactorHost {
     /// with un-flushed joins enter the readiness loop.
     fn kick_all(&mut self) -> Result<()> {
         for idx in 0..self.slots.len() {
-            self.pump_slot(idx)?;
+            if self.slots[idx].is_some() {
+                self.pump_slot(idx)?;
+            }
         }
         Ok(())
     }
@@ -198,13 +307,21 @@ impl ReactorHost {
     /// # Errors
     /// Protocol violations or runtime failures inside any swarm.
     pub fn run_until_quiescent(&mut self) -> Result<()> {
+        self.drain_injector();
         self.kick_all()?;
-        while let Some(session) = self.hub.next_ready() {
-            if let Some(idx) = self.slot_of(session) {
-                self.pump_slot(idx)?;
+        loop {
+            while let Some(session) = self.hub.next_ready() {
+                if let Some(idx) = self.slot_of(session) {
+                    self.pump_slot(idx)?;
+                }
+            }
+            // Bridged traffic may have landed while we pumped; a turn
+            // that drains nothing new means this shard is quiescent
+            // (the *fabric-wide* barrier is the sharded host's job).
+            if self.drain_injector() == 0 {
+                return Ok(());
             }
         }
-        Ok(())
     }
 
     /// Runs for `virtual_us` of virtual time: drains ready swarms, then
@@ -217,12 +334,16 @@ impl ReactorHost {
     /// Same conditions as [`run_until_quiescent`](Self::run_until_quiescent).
     pub fn run_for(&mut self, virtual_us: u64) -> Result<()> {
         let deadline = self.hub.now_us().saturating_add(virtual_us);
+        self.drain_injector();
         self.kick_all()?;
         loop {
             while let Some(session) = self.hub.next_ready() {
                 if let Some(idx) = self.slot_of(session) {
                     self.pump_slot(idx)?;
                 }
+            }
+            if self.drain_injector() > 0 {
+                continue;
             }
             if !self.hub.advance_idle_until(deadline) {
                 return Ok(());
@@ -245,7 +366,7 @@ mod tests {
         let b = host.mount(Swarm::over);
         assert_eq!((a, b), (0, 1));
         assert_eq!(host.len(), 2);
-        assert_ne!(host.slots[a].session, host.slots[b].session);
+        assert_ne!(host.session_of(a), host.session_of(b));
     }
 
     #[test]
@@ -281,10 +402,10 @@ mod tests {
                 .unwrap();
         });
         assert!(hub.has_ready());
-        assert_eq!(hub.backlog(host.slots[b].session), 1);
-        assert_eq!(hub.backlog(host.slots[a].session), 0);
+        assert_eq!(hub.backlog(host.session_of(b)), 1);
+        assert_eq!(hub.backlog(host.session_of(a)), 0);
         let got = host.with_swarm(b, |s| s.poll_message().unwrap());
         assert_eq!(got.map(|(at, m)| (at, m.from)), Some((pb, pa)));
-        assert_eq!(hub.backlog(host.slots[b].session), 0);
+        assert_eq!(hub.backlog(host.session_of(b)), 0);
     }
 }

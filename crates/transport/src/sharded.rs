@@ -1,0 +1,582 @@
+//! The sharded host: M reactor threads, hash-pinned swarms, bridged
+//! cross-shard links.
+//!
+//! A [`ShardedHost`] runs one [`ReactorHost`] per **shard**, each on its
+//! own worker thread. The reactor world is `Rc`-based and must never
+//! cross threads, so the control thread never touches a shard's host
+//! directly: every operation ships as a boxed `FnOnce(&mut ReactorHost)`
+//! command over the shard's mpsc channel and runs **on** the owning
+//! thread (the run-to-completion sharding idiom — one event loop per
+//! core, explicit message passing between them).
+//!
+//! **Ownership rules.** A peer id lives on exactly one shard: the shard
+//! its ring was registered on. [`mount`](ShardedHost::mount) pins a
+//! swarm by hashing the caller-chosen primary peer id;
+//! [`mount_pinned`](ShardedHost::mount_pinned) overrides the hash for
+//! placement experiments. After every mutating operation the control
+//! thread diffs the shard's registered peers against its directory and
+//! broadcasts the change: new peers become [`BridgeTx`] **proxies** on
+//! every other shard, vanished peers have their proxies revoked. A send
+//! to a remote peer therefore resolves locally (metrics recorded on the
+//! origin shard), crosses the owning shard's bridge, and wakes its
+//! thread — no shard ever blocks on another.
+//!
+//! **Quiescence is a two-phase barrier.** One shard looking idle means
+//! nothing: a message can be in flight on a bridge between two shards
+//! that both report empty queues. [`run_until_quiescent`](ShardedHost::run_until_quiescent)
+//! repeats rounds of per-shard drains and only stops when a full round
+//! does zero work **and** every bridge reports `pending() == 0`.
+
+use std::collections::HashMap;
+use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
+use std::sync::Arc;
+use std::thread::JoinHandle;
+use std::time::Instant;
+
+use pti_net::bridge::{BridgeRx, BridgeStats, BridgeTx};
+use pti_net::{BridgeLink, NetMetrics, PeerId, ReactorNet, ReactorStats, Transport};
+
+use crate::error::Result;
+use crate::reactor_host::{MountedSwarm, ReactorHost};
+use crate::swarm::Swarm;
+
+/// A command executed on a shard's worker thread, with exclusive access
+/// to its `ReactorHost`.
+type Cmd = Box<dyn FnOnce(&mut ReactorHost) + Send>;
+
+struct ShardHandle {
+    /// Command channel into the worker; dropping it shuts the worker
+    /// down (after it drains what's queued).
+    cmds: Option<Sender<Cmd>>,
+    join: Option<JoinHandle<()>>,
+    /// Send half of the shard's injector bridge — cloned into every
+    /// other shard as the proxy route for this shard's peers.
+    bridge: BridgeTx,
+    /// Nanoseconds the worker spent executing commands and autonomous
+    /// pumps — the per-shard busy time R5's critical-path metric uses.
+    busy_ns: Arc<AtomicU64>,
+}
+
+/// M single-threaded reactor shards behind one control-side facade.
+///
+/// See the [module docs](self) for the ownership rules and the drain
+/// barrier. Mounted swarms are addressed by a *global* slot index; the
+/// host maps it to `(shard, local slot)` internally.
+pub struct ShardedHost {
+    shards: Vec<ShardHandle>,
+    /// Which shard owns each registered peer id.
+    directory: HashMap<PeerId, usize>,
+    /// Global slot → (shard, local slot); tombstoned like the per-shard
+    /// tables so indices survive unmounts.
+    slots: Vec<Option<(usize, usize)>>,
+    /// When set, idle workers pump their own injector backlog without
+    /// waiting for the control thread (wake → drain → quiesce). Cleared
+    /// for experiments that want strictly serialized rounds.
+    autonomous: Arc<AtomicBool>,
+}
+
+impl std::fmt::Debug for ShardedHost {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("ShardedHost")
+            .field("shards", &self.shards.len())
+            .field("swarms", &self.slots.iter().filter(|s| s.is_some()).count())
+            .finish()
+    }
+}
+
+/// The work a shard has performed, as a monotone counter: fabric sends +
+/// ring pops + bridged messages drained. A drain round that moves this
+/// by zero on every shard did nothing.
+fn work_of(host: &ReactorHost) -> u64 {
+    let stats = host.reactor().stats();
+    stats.sends + stats.recvs + host.injected_total()
+}
+
+fn worker(
+    cmds: Receiver<Cmd>,
+    injector: BridgeRx,
+    autonomous: Arc<AtomicBool>,
+    busy_ns: Arc<AtomicU64>,
+) {
+    let mut host = ReactorHost::new();
+    injector.bind_current_thread();
+    host.set_injector(injector);
+    loop {
+        match cmds.try_recv() {
+            Ok(cmd) => {
+                let start = Instant::now();
+                cmd(&mut host);
+                busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+                continue;
+            }
+            Err(TryRecvError::Disconnected) => return,
+            Err(TryRecvError::Empty) => {}
+        }
+        if autonomous.load(Ordering::Relaxed) {
+            let start = Instant::now();
+            let before = work_of(&host);
+            host.run_until_quiescent()
+                .expect("autonomous shard pump failed");
+            let worked = work_of(&host) != before;
+            busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
+            if worked {
+                continue;
+            }
+        }
+        // Nothing queued, nothing to pump: sleep until a command send or
+        // a bridge crossing unparks us. Unpark tokens are sticky, so a
+        // signal racing this park is not lost.
+        std::thread::park();
+    }
+}
+
+impl ShardedHost {
+    /// Spins up `shards` worker threads (at least one), each owning a
+    /// private reactor fabric plus the receive half of its bridge.
+    pub fn new(shards: usize) -> ShardedHost {
+        let autonomous = Arc::new(AtomicBool::new(true));
+        let shards = (0..shards.max(1))
+            .map(|i| {
+                let (cmd_tx, cmd_rx) = channel();
+                let (bridge_tx, bridge_rx) = BridgeLink::pair();
+                let busy_ns = Arc::new(AtomicU64::new(0));
+                let auto = Arc::clone(&autonomous);
+                let busy = Arc::clone(&busy_ns);
+                let join = std::thread::Builder::new()
+                    .name(format!("pti-shard-{i}"))
+                    .spawn(move || worker(cmd_rx, bridge_rx, auto, busy))
+                    .expect("spawn shard thread");
+                ShardHandle {
+                    cmds: Some(cmd_tx),
+                    join: Some(join),
+                    bridge: bridge_tx,
+                    busy_ns,
+                }
+            })
+            .collect();
+        ShardedHost {
+            shards,
+            directory: HashMap::new(),
+            slots: Vec::new(),
+            autonomous,
+        }
+    }
+
+    /// Number of shards (== worker threads).
+    pub fn shards(&self) -> usize {
+        self.shards.len()
+    }
+
+    /// Mounted swarm count (tombstoned slots excluded).
+    pub fn len(&self) -> usize {
+        self.slots.iter().filter(|s| s.is_some()).count()
+    }
+
+    /// Whether no swarm is mounted.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Toggles autonomous pumping. On (the default), an idle worker
+    /// drains bridged traffic the moment a crossing wakes it. Off, a
+    /// shard only works inside explicit commands — what the determinism
+    /// tests and the R5 barrier rounds use, because it makes cross-shard
+    /// arrival interleaving a function of the (serialized) round order
+    /// alone.
+    pub fn set_autonomous(&self, on: bool) {
+        self.autonomous.store(on, Ordering::Relaxed);
+        for shard in &self.shards {
+            if let Some(join) = shard.join.as_ref() {
+                join.thread().unpark();
+            }
+        }
+    }
+
+    /// The shard a peer id hash-pins to: `FxHash`-free, allocation-free
+    /// multiplicative hashing — stable across runs and platforms, which
+    /// the determinism tests rely on.
+    pub fn shard_for(&self, peer: PeerId) -> usize {
+        let h = (u64::from(peer.0)).wrapping_mul(0x9E37_79B9_7F4A_7C15);
+        ((h >> 32) as usize) % self.shards.len()
+    }
+
+    /// Runs `f` on `shard`'s worker thread with its `ReactorHost`, and
+    /// waits for the result. A panic inside `f` resurfaces here.
+    pub fn exec<R: Send + 'static>(
+        &self,
+        shard: usize,
+        f: impl FnOnce(&mut ReactorHost) -> R + Send + 'static,
+    ) -> R {
+        let (tx, rx) = channel();
+        self.post(shard, move |host| {
+            let result = catch_unwind(AssertUnwindSafe(|| f(host)));
+            let _ = tx.send(result);
+        });
+        match rx.recv().expect("shard thread alive") {
+            Ok(r) => r,
+            Err(panic) => resume_unwind(panic),
+        }
+    }
+
+    /// Fire-and-forget command: queued in FIFO order with everything
+    /// else on the shard, no reply. Proxy broadcasts use this.
+    fn post(&self, shard: usize, f: impl FnOnce(&mut ReactorHost) + Send + 'static) {
+        let handle = &self.shards[shard];
+        handle
+            .cmds
+            .as_ref()
+            .expect("host not shut down")
+            .send(Box::new(f))
+            .expect("shard thread alive");
+        if let Some(join) = handle.join.as_ref() {
+            join.thread().unpark();
+        }
+    }
+
+    /// Re-scans `shard`'s registered peers and reconciles the directory:
+    /// new peers are proxied onto every other shard, vanished peers have
+    /// their proxies revoked everywhere.
+    fn sync_directory(&mut self, shard: usize) {
+        let current = self.exec(shard, |host| host.reactor().registered_peers());
+        let known: Vec<PeerId> = self
+            .directory
+            .iter()
+            .filter(|(_, s)| **s == shard)
+            .map(|(p, _)| *p)
+            .collect();
+        for &peer in &current {
+            if self.directory.insert(peer, shard) != Some(shard) {
+                let bridge = self.shards[shard].bridge.clone();
+                for other in 0..self.shards.len() {
+                    if other != shard {
+                        let b = bridge.clone();
+                        self.post(other, move |host| host.reactor().register_proxy(peer, b));
+                    }
+                }
+            }
+        }
+        for peer in known {
+            if !current.contains(&peer) {
+                self.directory.remove(&peer);
+                for other in 0..self.shards.len() {
+                    if other != shard {
+                        self.post(other, move |host| host.reactor().unregister_proxy(peer));
+                    }
+                }
+            }
+        }
+    }
+
+    /// Mounts a member on the shard `primary` hash-pins to. The builder
+    /// runs on the worker thread; the member never leaves it. Returns
+    /// the global slot index.
+    pub fn mount<M: MountedSwarm + 'static>(
+        &mut self,
+        primary: PeerId,
+        build: impl FnOnce(ReactorNet) -> M + Send + 'static,
+    ) -> usize {
+        self.mount_pinned(self.shard_for(primary), build)
+    }
+
+    /// Mounts a member on an explicitly chosen shard — the placement
+    /// override for experiments that want to control cross-shard edges.
+    pub fn mount_pinned<M: MountedSwarm + 'static>(
+        &mut self,
+        shard: usize,
+        build: impl FnOnce(ReactorNet) -> M + Send + 'static,
+    ) -> usize {
+        let local = self.exec(shard, move |host| host.mount(build));
+        self.slots.push(Some((shard, local)));
+        self.sync_directory(shard);
+        self.slots.len() - 1
+    }
+
+    /// Unmounts the member at global `slot` (see
+    /// [`ReactorHost::unmount`]); its peers' proxies are revoked on
+    /// every other shard. Returns the undelivered messages dropped.
+    pub fn unmount(&mut self, slot: usize) -> usize {
+        let (shard, local) = self.slots[slot].take().expect("slot is already unmounted");
+        let dropped = self.exec(shard, move |host| host.unmount(local));
+        self.sync_directory(shard);
+        dropped
+    }
+
+    /// The shard that owns global `slot`.
+    ///
+    /// # Panics
+    /// If `slot` is out of range or unmounted.
+    pub fn shard_of(&self, slot: usize) -> usize {
+        self.slots[slot].expect("slot is unmounted").0
+    }
+
+    /// The shard that owns `peer`, if it is mounted anywhere.
+    pub fn owner_of(&self, peer: PeerId) -> Option<usize> {
+        self.directory.get(&peer).copied()
+    }
+
+    /// Runs `f` with the swarm at global `slot`, on its owning shard's
+    /// thread. Membership changes `f` makes (peers added or removed)
+    /// propagate to every other shard's proxy table before this returns.
+    pub fn with_swarm<R: Send + 'static>(
+        &mut self,
+        slot: usize,
+        f: impl FnOnce(&mut Swarm<ReactorNet>) -> R + Send + 'static,
+    ) -> R {
+        let (shard, local) = self.slots[slot].expect("slot is unmounted");
+        let out = self.exec(shard, move |host| host.with_swarm(local, f));
+        self.sync_directory(shard);
+        out
+    }
+
+    /// Runs `f` with the concretely-typed member at global `slot` on its
+    /// owning shard's thread (see [`ReactorHost::with_mounted`]), then
+    /// reconciles the proxy directory like
+    /// [`with_swarm`](Self::with_swarm).
+    pub fn with_mounted<M: 'static, R: Send + 'static>(
+        &mut self,
+        slot: usize,
+        f: impl FnOnce(&mut M) -> R + Send + 'static,
+    ) -> R {
+        let (shard, local) = self.slots[slot].expect("slot is unmounted");
+        let out = self.exec(shard, move |host| host.with_mounted::<M, R>(local, f));
+        self.sync_directory(shard);
+        out
+    }
+
+    /// Drains every shard and every bridge: rounds of serialized
+    /// per-shard `run_until_quiescent` commands, stopping only when a
+    /// full round performs zero work **and** all bridges report zero
+    /// pending — the two-phase barrier (a message in flight between two
+    /// idle-looking shards keeps the loop alive). Reading the bridge
+    /// counters between rounds is sound because the rounds themselves
+    /// serialize every worker.
+    ///
+    /// # Errors
+    /// The first protocol error any shard's swarm raises.
+    pub fn run_until_quiescent(&mut self) -> Result<()> {
+        loop {
+            let mut work = 0u64;
+            for shard in 0..self.shards.len() {
+                work += self.exec(shard, |host| -> Result<u64> {
+                    let before = work_of(host);
+                    host.run_until_quiescent()?;
+                    Ok(work_of(host) - before)
+                })?;
+            }
+            let in_flight: u64 = self.shards.iter().map(|s| s.bridge.pending()).sum();
+            if work == 0 && in_flight == 0 {
+                return Ok(());
+            }
+        }
+    }
+
+    /// Per-shard reactor scheduling stats, indexed by shard.
+    pub fn shard_stats(&self) -> Vec<ReactorStats> {
+        (0..self.shards.len())
+            .map(|shard| self.exec(shard, |host| host.reactor().stats()))
+            .collect()
+    }
+
+    /// Per-shard injector-bridge counters, indexed by owning shard.
+    pub fn bridge_stats(&self) -> Vec<BridgeStats> {
+        self.shards.iter().map(|s| s.bridge.stats()).collect()
+    }
+
+    /// Fabric-wide traffic metrics: every shard's [`NetMetrics`] merged,
+    /// bridge crossings included.
+    pub fn metrics(&self) -> NetMetrics {
+        let mut total = NetMetrics::default();
+        for shard in 0..self.shards.len() {
+            let m = self.exec(shard, |host| Transport::metrics(&host.reactor()));
+            total.merge(&m);
+        }
+        total
+    }
+
+    /// Resets every shard's traffic metrics (scheduling stats and bridge
+    /// counters are monotone and stay).
+    pub fn reset_metrics(&mut self) {
+        for shard in 0..self.shards.len() {
+            self.exec(shard, |host| host.reactor().reset_metrics());
+        }
+    }
+
+    /// Per-shard busy nanoseconds: time the workers spent executing
+    /// commands and autonomous pumps. Under serialized barrier rounds
+    /// the per-shard maximum is the critical path of the round sequence.
+    pub fn busy_ns(&self) -> Vec<u64> {
+        self.shards
+            .iter()
+            .map(|s| s.busy_ns.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Zeroes the busy-time counters (e.g. after setup, before the
+    /// measured phase of an experiment).
+    pub fn reset_busy(&self) {
+        for shard in &self.shards {
+            shard.busy_ns.store(0, Ordering::Relaxed);
+        }
+    }
+}
+
+impl Drop for ShardedHost {
+    fn drop(&mut self) {
+        for shard in &mut self.shards {
+            shard.cmds = None;
+        }
+        for shard in &mut self.shards {
+            if let Some(join) = shard.join.take() {
+                join.thread().unpark();
+                let _ = join.join();
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::swarm::kinds;
+    use pti_conformance::ConformanceConfig;
+
+    #[test]
+    fn hash_pinning_is_stable_and_in_range() {
+        let host = ShardedHost::new(4);
+        for id in 0..256 {
+            let s = host.shard_for(PeerId(id));
+            assert!(s < 4);
+            assert_eq!(s, host.shard_for(PeerId(id)), "same id, same shard");
+        }
+        // The multiplicative hash actually spreads ids around.
+        let hit: std::collections::HashSet<usize> =
+            (0..256).map(|id| host.shard_for(PeerId(id))).collect();
+        assert_eq!(hit.len(), 4, "all shards receive some ids");
+    }
+
+    #[test]
+    fn exec_runs_on_the_owning_worker_thread() {
+        let host = ShardedHost::new(2);
+        let name0 = host.exec(0, |_| std::thread::current().name().map(String::from));
+        let name1 = host.exec(1, |_| std::thread::current().name().map(String::from));
+        assert_eq!(name0.as_deref(), Some("pti-shard-0"));
+        assert_eq!(name1.as_deref(), Some("pti-shard-1"));
+    }
+
+    #[test]
+    fn exec_resurfaces_worker_panics_on_the_control_thread() {
+        let host = ShardedHost::new(1);
+        let caught = catch_unwind(AssertUnwindSafe(|| {
+            host.exec(0, |_| panic!("boom from the shard"));
+        }));
+        let payload = caught.unwrap_err();
+        let text = payload.downcast_ref::<&str>().copied().unwrap_or_default();
+        assert_eq!(text, "boom from the shard");
+        // The worker survives a panicking command.
+        assert_eq!(host.exec(0, |host| host.len()), 0);
+    }
+
+    #[test]
+    fn cross_shard_sends_resolve_through_proxies_and_arrive() {
+        let mut host = ShardedHost::new(2);
+        host.set_autonomous(false);
+        let a = host.mount_pinned(0, Swarm::over);
+        let b = host.mount_pinned(1, Swarm::over);
+        let pa = host.with_swarm(a, |s| {
+            s.add_peer_as(PeerId(1), ConformanceConfig::pragmatic())
+        });
+        let pb = host.with_swarm(b, |s| {
+            s.add_peer_as(PeerId(2), ConformanceConfig::pragmatic())
+        });
+        assert_eq!(host.owner_of(pa), Some(0));
+        assert_eq!(host.owner_of(pb), Some(1));
+
+        // A raw fabric send from shard 0 to shard 1 crosses the bridge...
+        host.with_swarm(a, move |s| {
+            s.net_mut()
+                .send(pa, pb, kinds::OBJECT, vec![9u8, 9, 9].into())
+                .unwrap();
+        });
+        assert_eq!(host.bridge_stats()[1].crossings, 1);
+        // ...and lands in the remote ring once shard 1 drains its
+        // injector (poll_message reads the raw ring — the payload here
+        // is not a real protocol envelope, so we bypass the pump).
+        assert_eq!(host.exec(1, |h| h.drain_injector()), 1);
+        assert_eq!(host.bridge_stats()[1].drained, 1);
+        let got = host.with_swarm(b, move |s| s.poll_message().unwrap());
+        assert_eq!(got.map(|(at, m)| (at, m.from)), Some((pb, pa)));
+        let m = host.metrics();
+        assert_eq!(m.bridge_crossings, 1, "merged metrics count the crossing");
+        assert_eq!(m.bridge_bytes, 3);
+        assert_eq!(m.kind(kinds::OBJECT).messages, 1, "no double count");
+    }
+
+    #[test]
+    fn unmount_revokes_proxies_everywhere() {
+        let mut host = ShardedHost::new(2);
+        host.set_autonomous(false);
+        let a = host.mount_pinned(0, Swarm::over);
+        let b = host.mount_pinned(1, Swarm::over);
+        let pa = host.with_swarm(a, |s| {
+            s.add_peer_as(PeerId(1), ConformanceConfig::pragmatic())
+        });
+        let pb = host.with_swarm(b, |s| {
+            s.add_peer_as(PeerId(2), ConformanceConfig::pragmatic())
+        });
+        assert_eq!(host.len(), 2);
+        assert_eq!(host.unmount(b), 0);
+        assert_eq!(host.len(), 1);
+        assert_eq!(host.owner_of(pb), None);
+        // The proxy on shard 0 is gone: the send now fails like any
+        // vanished peer, so swarms prune the route.
+        let err = host.with_swarm(a, move |s| {
+            s.net_mut().send(pa, pb, kinds::OBJECT, vec![1u8].into())
+        });
+        assert!(err.is_err(), "no proxy, no local ring: unknown peer");
+        // Remount reuses the fabric and re-announces the peer.
+        let b2 = host.mount_pinned(1, Swarm::over);
+        let pb2 = host.with_swarm(b2, |s| {
+            s.add_peer_as(PeerId(2), ConformanceConfig::pragmatic())
+        });
+        assert_eq!(host.owner_of(pb2), Some(1));
+        host.with_swarm(a, move |s| {
+            s.net_mut()
+                .send(pa, pb2, kinds::OBJECT, vec![2u8].into())
+                .unwrap();
+        });
+        assert_eq!(host.exec(1, |h| h.drain_injector()), 1);
+        let got = host.with_swarm(b2, move |s| s.poll_message().unwrap());
+        assert_eq!(got.map(|(_, m)| m.payload[0]), Some(2));
+    }
+
+    #[test]
+    fn autonomous_workers_drain_bridged_traffic_without_the_barrier() {
+        let host = ShardedHost::new(2);
+        // Bare fabric endpoints (no mounted swarm): shard 1 owns peer 2,
+        // shard 0 routes to it through a hand-registered proxy.
+        host.exec(1, |h| {
+            let mut hub = h.reactor();
+            hub.register(PeerId(2));
+        });
+        let bridge = host.shards[1].bridge.clone();
+        host.exec(0, move |h| {
+            let mut hub = h.reactor();
+            hub.register(PeerId(1));
+            hub.register_proxy(PeerId(2), bridge);
+            hub.send(PeerId(1), PeerId(2), kinds::OBJECT, vec![5u8].into())
+                .unwrap();
+        });
+        // No barrier ran: shard 1's worker is woken by the crossing
+        // itself and drains the injector on its own. Poll until the
+        // drain shows up (the worker runs concurrently).
+        let deadline = Instant::now() + std::time::Duration::from_secs(5);
+        while host.bridge_stats()[1].drained != 1 {
+            assert!(Instant::now() < deadline, "worker never drained");
+            std::thread::yield_now();
+        }
+        let got = host.exec(1, |h| h.reactor().try_recv(PeerId(2)));
+        assert_eq!(got.map(|m| (m.from, m.payload[0])), Some((PeerId(1), 5)));
+    }
+}

@@ -250,6 +250,191 @@ fn typed_pubsub_groups_mount_on_a_shared_reactor() {
     assert_eq!(events[0].from, PeerId(1));
 }
 
+/// Unmount tears a swarm down without leaking sessions: its endpoint
+/// vanishes from the fabric (senders prune the route), its undelivered
+/// backlog is dropped and accounted, other slots keep their indices,
+/// and a remount under the same peer id rejoins cleanly.
+#[test]
+fn unmount_drains_the_slot_and_a_remount_rejoins() {
+    let mut host = ReactorHost::new();
+    let code = CodeRegistry::new();
+    let mk = |code: &CodeRegistry| {
+        let code = code.clone();
+        move |net| Swarm::with_code_registry(net, code)
+    };
+    let pub_slot = host.mount(mk(&code));
+    let sub_slot = host.mount(mk(&code));
+    let p1 = host.with_swarm(pub_slot, |s| {
+        s.add_peer_as(PeerId(1), ConformanceConfig::pragmatic())
+    });
+    host.with_swarm(sub_slot, |s| {
+        let p = s.add_peer_as(PeerId(2), ConformanceConfig::pragmatic());
+        s.subscribe(
+            p,
+            TypeDescription::from_def(&samples::sensor_interest("sub")),
+        );
+        s.join(p1).unwrap();
+    });
+    host.run_until_quiescent().unwrap();
+
+    let event = samples::generate_population(3, 1, 1.0).remove(0);
+    let publish = |host: &mut ReactorHost| {
+        host.with_swarm(pub_slot, |s| {
+            s.publish(p1, event.assembly.clone()).unwrap();
+            let h = s
+                .peer_mut(p1)
+                .runtime
+                .instantiate_def(&event.def, &[])
+                .unwrap();
+            s.route_object(p1, &Value::Obj(h), PayloadFormat::Binary)
+                .unwrap()
+        })
+    };
+    assert_eq!(publish(&mut host), 1);
+    // Flush the publisher's wire batch so the event lands in the
+    // subscriber's ring — then leave it *undelivered* there: unmount
+    // must drop it, not deliver it to a corpse.
+    host.with_swarm(pub_slot, |s| s.flush_wire());
+    let hub = host.reactor();
+    let sub_session = host.session_of(sub_slot);
+    assert!(hub.backlog(sub_session) > 0);
+    assert_eq!(host.len(), 2);
+    let dropped = host.unmount(sub_slot);
+    assert!(dropped > 0, "undelivered backlog was dropped, not leaked");
+    assert_eq!(host.len(), 1);
+    assert_eq!(hub.backlog(sub_session), 0);
+
+    // The fabric forgot the endpoint. The publisher's routing table
+    // still holds the stale interest, so the next publish routes — but
+    // the wire flush finds the peer gone and prunes the route (no
+    // error, no ghost wakeups for the tombstoned slot), and the publish
+    // after that routes to nobody.
+    host.run_until_quiescent().unwrap();
+    let wakeups_before = hub.stats().wakeups;
+    assert_eq!(publish(&mut host), 1, "stale route until the flush prunes");
+    host.run_until_quiescent().unwrap();
+    assert_eq!(
+        hub.stats().wakeups,
+        wakeups_before,
+        "a tombstoned slot never wakes"
+    );
+    assert_eq!(publish(&mut host), 0, "dead route pruned");
+    host.run_until_quiescent().unwrap();
+
+    // Remount: a fresh swarm joins under a fresh id (the old id's
+    // membership tombstone outlives the endpoint, same as any departed
+    // peer), re-announces the interest, and deliveries resume.
+    let re_slot = host.mount(mk(&code));
+    assert_ne!(re_slot, sub_slot, "tombstoned slots are not recycled");
+    host.with_swarm(re_slot, |s| {
+        let p = s.add_peer_as(PeerId(3), ConformanceConfig::pragmatic());
+        s.subscribe(
+            p,
+            TypeDescription::from_def(&samples::sensor_interest("sub")),
+        );
+        s.join(p1).unwrap();
+    });
+    host.run_until_quiescent().unwrap();
+    assert_eq!(publish(&mut host), 1, "remounted subscriber is routed");
+    host.run_until_quiescent().unwrap();
+    let accepted = host.with_swarm(re_slot, |s| s.peer(PeerId(3)).stats.accepted);
+    assert_eq!(accepted, 1);
+}
+
+/// The sharded host end-to-end: typed groups pinned to *different*
+/// shards exchange a routed publish across the bridge, and
+/// `migrate_member` moves a subscriber to another shard with its
+/// interests intact.
+#[test]
+fn sharded_groups_publish_and_migrate_across_shards() {
+    let mut host = ShardedHost::new(2);
+    let code = CodeRegistry::new();
+    let group_a = TypedPubSub::builder()
+        .code_registry(code.clone())
+        .mount_sharded_pinned(&mut host, 0);
+    let group_b = TypedPubSub::builder()
+        .code_registry(code)
+        .join(PeerId(1))
+        .mount_sharded_pinned(&mut host, 1);
+    assert_eq!(group_a.shard(&host), 0);
+    assert_eq!(group_b.shard(&host), 1);
+
+    group_a.with(&mut host, |g| {
+        g.add_member_as(PeerId(1));
+    });
+    group_b.with(&mut host, |g| {
+        g.add_member_as(PeerId(2));
+    });
+    host.run_until_quiescent().unwrap();
+
+    // Publisher on shard 0, subscriber on shard 1.
+    group_b.with(&mut host, |g| {
+        let trader = g.member(PeerId(2)).expect("member is live");
+        let my_quote = TypeDef::class("StockQuote", "sub")
+            .field("symbol", primitives::STRING)
+            .field("price", primitives::FLOAT64)
+            .build();
+        trader.subscribe(TypeDescription::from_def(&my_quote));
+    });
+    host.run_until_quiescent().unwrap();
+
+    let publish = |host: &mut ShardedHost| {
+        group_a.with(host, |g| {
+            let exchange = g.member(PeerId(1)).expect("member is live");
+            let quote = TypeDef::class("StockQuote", "pub")
+                .field("symbol", primitives::STRING)
+                .field("price", primitives::FLOAT64)
+                .ctor(vec![])
+                .build();
+            let guid = quote.guid;
+            let quotes = exchange
+                .publisher_for(
+                    Assembly::builder("quotes")
+                        .ty(quote)
+                        .ctor_body(guid, 0, bodies::ctor_assign(&[]))
+                        .build(),
+                )
+                .unwrap();
+            quotes
+                .publish_with(|e| {
+                    e.set("symbol", "ACME")?.set("price", 42.5)?;
+                    Ok(())
+                })
+                .unwrap();
+        })
+    };
+    publish(&mut host);
+    host.run_until_quiescent().unwrap();
+
+    let drained = group_b.with(&mut host, |g| {
+        g.notifications(PeerId(2))
+            .into_iter()
+            .map(|ev| (ev.from, ev.interest.full().to_string()))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(drained, vec![(PeerId(1), "StockQuote".to_string())]);
+    let m = host.metrics();
+    assert!(m.bridge_crossings > 0, "the publish crossed shards");
+
+    // Migrate the subscriber from shard 1's group to shard 0's: the
+    // interest moves with it and the next publish is shard-local.
+    let moved = group_b.migrate_member(&mut host, PeerId(2), &group_a, PeerId(3));
+    assert_eq!(moved, 1, "one interest migrated");
+    host.run_until_quiescent().unwrap();
+    assert_eq!(host.owner_of(PeerId(3)), Some(0));
+    assert_eq!(host.owner_of(PeerId(2)), None, "old id departed");
+
+    publish(&mut host);
+    host.run_until_quiescent().unwrap();
+    let drained = group_a.with(&mut host, |g| {
+        g.notifications(PeerId(3))
+            .into_iter()
+            .map(|ev| (ev.from, ev.interest.full().to_string()))
+            .collect::<Vec<_>>()
+    });
+    assert_eq!(drained, vec![(PeerId(1), "StockQuote".to_string())]);
+}
+
 /// Scale smoke: 64 single-peer swarms (one publisher, 63 subscribers)
 /// converge and exchange a routed publish on one host — the shape the
 /// R4 experiment runs at 1k+ members.

@@ -132,12 +132,151 @@ fn churn_run(seed: u64) -> Vec<u8> {
     log
 }
 
+/// The sharded analogue: the same seeded churn script on a 2-shard
+/// `ShardedHost` with autonomy off, every joiner explicitly pinned by
+/// id. Returns one byte log **per shard** — deliveries recorded on the
+/// shard that owns the member, plus that shard's own traffic counters.
+/// The serialized two-phase barrier is what makes this reproducible:
+/// with autonomy off, shards only run inside `run_until_quiescent`'s
+/// round-robin, so bridge interleavings are a pure function of the
+/// script.
+fn sharded_churn_run(seed: u64) -> Vec<Vec<u8>> {
+    let mut rng = SplitMix64(seed);
+    let mut host = ShardedHost::new(2);
+    host.set_autonomous(false);
+    let code = CodeRegistry::new();
+    let mut logs = vec![Vec::new(), Vec::new()];
+
+    // The founder lives on shard 0 and publishes the event type.
+    let founder_slot = {
+        let code = code.clone();
+        host.mount_pinned(0, move |net| Swarm::with_code_registry(net, code))
+    };
+    let p1 = host.with_swarm(founder_slot, |s| {
+        let p = s.add_peer_as(PeerId(1), ConformanceConfig::pragmatic());
+        let event = samples::generate_population(7, 1, 1.0).remove(0);
+        s.publish(p, event.assembly.clone()).unwrap();
+        p
+    });
+
+    // `members[0]` stays the founder; later entries churn in and out.
+    let mut members = vec![(founder_slot, p1)];
+    let mut next_id = 2u32;
+
+    for step in 0..24 {
+        match rng.next_u64() % 3 {
+            // Join: a fresh single-peer swarm, pinned by id parity so
+            // the placement is a pure function of the script.
+            0 => {
+                let id = next_id;
+                next_id += 1;
+                let slot = {
+                    let code = code.clone();
+                    host.mount_pinned((id as usize) % 2, move |net| {
+                        Swarm::with_code_registry(net, code)
+                    })
+                };
+                let p = host.with_swarm(slot, move |s| {
+                    let p = s.add_peer_as(PeerId(id), ConformanceConfig::pragmatic());
+                    s.subscribe(
+                        p,
+                        TypeDescription::from_def(&samples::sensor_interest("churn")),
+                    );
+                    s.join(PeerId(1)).unwrap();
+                    p
+                });
+                members.push((slot, p));
+            }
+            // Leave: a non-founder departs (gossip first, then the
+            // slot is unmounted so its proxies are revoked fabric-wide).
+            1 if members.len() > 1 => {
+                let victim = 1 + (rng.next_u64() as usize) % (members.len() - 1);
+                let (slot, _) = members.remove(victim);
+                host.with_swarm(slot, |s| s.leave());
+                host.unmount(slot);
+            }
+            // Publish: the founder routes one event to every live
+            // subscriber, local or across the bridge.
+            _ => {
+                let routed = host.with_swarm(founder_slot, move |s| {
+                    let event = samples::generate_population(7, 1, 1.0).remove(0);
+                    let h = s
+                        .peer_mut(p1)
+                        .runtime
+                        .instantiate_def(&event.def, &[])
+                        .unwrap();
+                    s.route_object(p1, &Value::Obj(h), PayloadFormat::Binary)
+                        .unwrap()
+                });
+                logs[0].extend_from_slice(&(routed as u64).to_le_bytes());
+            }
+        }
+        host.run_until_quiescent().unwrap();
+
+        // Record every delivery on the shard that owns the member, in
+        // fixed member order.
+        for log in &mut logs {
+            log.push(0xFE);
+            log.push(step);
+        }
+        for &(slot, p) in &members {
+            let shard = host.shard_of(slot);
+            let chunk = host.with_swarm(slot, move |s| {
+                let mut b = Vec::new();
+                for d in s.peer_mut(p).take_deliveries() {
+                    match d {
+                        Delivery::Accepted { from, interest, .. } => {
+                            b.push(b'A');
+                            b.extend_from_slice(&p.0.to_le_bytes());
+                            b.extend_from_slice(&from.0.to_le_bytes());
+                            if let Some(name) = interest {
+                                b.extend_from_slice(name.full().as_bytes());
+                            }
+                        }
+                        Delivery::Rejected { from, type_name } => {
+                            b.push(b'R');
+                            b.extend_from_slice(&p.0.to_le_bytes());
+                            b.extend_from_slice(&from.0.to_le_bytes());
+                            b.extend_from_slice(type_name.full().as_bytes());
+                        }
+                    }
+                }
+                b
+            });
+            logs[shard].extend_from_slice(&chunk);
+        }
+    }
+
+    // Fold each shard's own traffic counters in (messages and bytes —
+    // not wakeups or busy time, which are scheduling detail, not
+    // protocol observables).
+    for (shard, log) in logs.iter_mut().enumerate() {
+        let m = host.exec(shard, |h| Transport::metrics(&h.reactor()));
+        log.extend_from_slice(&m.messages.to_le_bytes());
+        log.extend_from_slice(&m.bytes.to_le_bytes());
+    }
+    logs
+}
+
 #[test]
 fn seeded_churn_is_byte_identical_across_runs() {
     let first = churn_run(42);
     let second = churn_run(42);
     assert!(!first.is_empty());
     assert_eq!(first, second, "same seed, same fabric, same bytes");
+}
+
+#[test]
+fn sharded_churn_is_byte_identical_per_shard_across_runs() {
+    let first = sharded_churn_run(42);
+    let second = sharded_churn_run(42);
+    assert!(first.iter().all(|log| !log.is_empty()));
+    assert_eq!(
+        first, second,
+        "same seed, same pinning, same per-shard bytes"
+    );
+    // And the script is actually shard-sensitive: both shards saw work.
+    assert_ne!(first[0], first[1]);
 }
 
 #[test]

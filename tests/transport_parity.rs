@@ -91,11 +91,106 @@ fn run_scenario<T: Transport>(mut swarm: Swarm<T>) -> Outcome {
     }
 }
 
+/// The same scenario split across **two shards** of a `ShardedHost`:
+/// the publisher's swarm pinned to shard 0, the subscriber's to shard 1,
+/// so every object, desc and asm exchange crosses a bridge. The
+/// decisions and the merged traffic counters must match the
+/// single-fabric runs exactly.
+fn run_scenario_sharded() -> Outcome {
+    let mut host = ShardedHost::new(2);
+    host.set_autonomous(false);
+    let code = CodeRegistry::new();
+    let pub_slot = {
+        let code = code.clone();
+        host.mount_pinned(0, move |net| Swarm::with_code_registry(net, code))
+    };
+    let sub_slot = {
+        let code = code.clone();
+        host.mount_pinned(1, move |net| Swarm::with_code_registry(net, code))
+    };
+    let publisher = host.with_swarm(pub_slot, |s| {
+        s.add_peer_as(PeerId(1), ConformanceConfig::pragmatic())
+    });
+    let subscriber = host.with_swarm(sub_slot, |s| {
+        s.add_peer_as(PeerId(2), ConformanceConfig::pragmatic())
+    });
+    assert_eq!(host.owner_of(publisher), Some(0));
+    assert_eq!(host.owner_of(subscriber), Some(1));
+    host.with_swarm(sub_slot, move |s| {
+        let interest = samples::sensor_interest("subscriber");
+        s.peer_mut(subscriber)
+            .subscribe(TypeDescription::from_def(&interest));
+    });
+
+    // Same deterministic population as `run_scenario` (the generator is
+    // seed-free), regenerated inside each closure: the samples stay on
+    // the shard that uses them.
+    host.with_swarm(pub_slot, move |s| {
+        for v in &samples::generate_population(11, 6, 0.5) {
+            s.publish(publisher, v.assembly.clone()).unwrap();
+        }
+    });
+    for _round in 0..2 {
+        host.with_swarm(pub_slot, move |s| {
+            for v in &samples::generate_population(11, 6, 0.5) {
+                let h = s
+                    .peer_mut(publisher)
+                    .runtime
+                    .instantiate_def(&v.def, &[])
+                    .unwrap();
+                s.send_object(publisher, subscriber, &Value::Obj(h), PayloadFormat::Binary)
+                    .unwrap();
+            }
+        });
+        // Drain after each round so decisions interleave identically.
+        host.run_until_quiescent().unwrap();
+    }
+
+    let (decisions, stats) = host.with_swarm(sub_slot, move |s| {
+        let decisions: Vec<(String, bool)> = s
+            .peer_mut(subscriber)
+            .take_deliveries()
+            .into_iter()
+            .map(|d| match d {
+                Delivery::Accepted { value, .. } => {
+                    let name = match value {
+                        Value::Obj(h) => {
+                            let peer = s.peer(subscriber);
+                            peer.runtime.type_of(h).unwrap().name.full().to_string()
+                        }
+                        other => other.kind_name().to_string(),
+                    };
+                    (name, true)
+                }
+                Delivery::Rejected { type_name, .. } => (type_name.full().to_string(), false),
+            })
+            .collect();
+        (decisions, s.peer(subscriber).stats)
+    });
+
+    let m = host.metrics();
+    assert!(
+        m.bridge_crossings > 0,
+        "a split-shard run must actually cross the bridge"
+    );
+    Outcome {
+        decisions,
+        desc_requests: stats.desc_requests,
+        asm_requests: stats.asm_requests,
+        accepted: stats.accepted,
+        rejected: stats.rejected,
+        object_messages: m.kind("object").messages,
+        desc_response_messages: m.kind("desc-response").messages,
+        asm_response_messages: m.kind("asm-response").messages,
+    }
+}
+
 #[test]
 fn same_scenario_same_decisions_on_both_fabrics() {
     let sim = run_scenario(Swarm::new(NetConfig::default()));
     let live = run_scenario(Swarm::over(LiveBus::new()));
     let reactor = run_scenario(Swarm::over(ReactorNet::new()));
+    let sharded = run_scenario_sharded();
 
     assert_eq!(
         sim, live,
@@ -104,6 +199,10 @@ fn same_scenario_same_decisions_on_both_fabrics() {
     assert_eq!(
         sim, reactor,
         "the reactor fabric must agree with SimNet on every decision"
+    );
+    assert_eq!(
+        sim, sharded,
+        "two bridged shards must agree with SimNet on every decision"
     );
     // Sanity: the scenario actually exercised both paths.
     assert!(sim.accepted > 0, "some variants conform: {sim:?}");
