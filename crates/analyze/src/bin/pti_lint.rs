@@ -1,0 +1,78 @@
+//! `pti-lint`: runs the workspace lint pass and reports findings as
+//! `file:line rule [tier] message`. Exits nonzero when any deny-tier
+//! finding survives. Advisory findings print as a per-rule summary by
+//! default; pass `--advisory` for every line.
+//!
+//! Usage: `pti-lint [--advisory] [ROOT]` (ROOT defaults to the current
+//! directory — `cargo run -p pti-analyze --bin pti-lint` from the
+//! workspace root just works).
+
+use std::collections::BTreeMap;
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use pti_analyze::{analyze_workspace, Severity};
+
+fn main() -> ExitCode {
+    let mut show_advisory = false;
+    let mut root: Option<PathBuf> = None;
+    for arg in std::env::args().skip(1) {
+        match arg.as_str() {
+            "--advisory" => show_advisory = true,
+            "--help" | "-h" => {
+                println!("usage: pti-lint [--advisory] [ROOT]");
+                return ExitCode::SUCCESS;
+            }
+            other => root = Some(PathBuf::from(other)),
+        }
+    }
+    let root = root.unwrap_or_else(|| PathBuf::from("."));
+
+    let findings = match analyze_workspace(&root) {
+        Ok(f) => f,
+        Err(e) => {
+            eprintln!("pti-lint: cannot walk {}: {e}", root.display());
+            return ExitCode::FAILURE;
+        }
+    };
+
+    let mut denies = 0usize;
+    let mut advisory_by_rule: BTreeMap<&'static str, usize> = BTreeMap::new();
+    for f in &findings {
+        match f.severity {
+            Severity::Deny => {
+                denies += 1;
+                println!("{f}");
+            }
+            Severity::Advisory => {
+                *advisory_by_rule.entry(f.rule).or_default() += 1;
+                if show_advisory {
+                    println!("{f}");
+                }
+            }
+        }
+    }
+
+    if !show_advisory && !advisory_by_rule.is_empty() {
+        let total: usize = advisory_by_rule.values().sum();
+        let detail: Vec<String> = advisory_by_rule
+            .iter()
+            .map(|(rule, n)| format!("{rule}: {n}"))
+            .collect();
+        println!(
+            "advisory: {total} finding(s) ({}) — rerun with --advisory for detail",
+            detail.join(", ")
+        );
+    }
+
+    if denies > 0 {
+        println!("pti-lint: {denies} deny finding(s)");
+        ExitCode::FAILURE
+    } else {
+        println!(
+            "pti-lint: clean ({} file-scoped rules enforced)",
+            pti_analyze::RULES.len()
+        );
+        ExitCode::SUCCESS
+    }
+}

@@ -1,0 +1,231 @@
+//! Drives the [rule table](crate::rules::RULES) over source text and a
+//! workspace tree: lex, check, apply `pti-allow` suppressions, report.
+
+use std::fs;
+use std::path::{Path, PathBuf};
+
+use crate::lexer::{lex, Line};
+use crate::rules::{
+    classify, code_is_blank, parse_allows, rule_by_id, AllowParse, Check, Severity, RULES,
+};
+
+/// One reported violation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Workspace-relative path (forward slashes).
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// Rule id (`wall-clock`, …, or the engine's own `allow-syntax` /
+    /// `unused-allow`).
+    pub rule: &'static str,
+    /// Whether it fails the run.
+    pub severity: Severity,
+    /// Human-readable explanation.
+    pub message: String,
+}
+
+impl std::fmt::Display for Finding {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        let tier = match self.severity {
+            Severity::Deny => "deny",
+            Severity::Advisory => "advisory",
+        };
+        write!(
+            f,
+            "{}:{} {} [{}] {}",
+            self.path, self.line, self.rule, tier, self.message
+        )
+    }
+}
+
+/// The allows in force for each line: an allow on a code line binds to
+/// that line; an allow on a comment-only line binds to the next
+/// non-comment-only line (runs of comment-only lines accumulate).
+/// Returns per-line `(rule, allow-line)` bindings plus any syntax
+/// findings.
+fn bind_allows(path: &str, lines: &[Line]) -> (Vec<Vec<(String, usize)>>, Vec<Finding>) {
+    let mut bound: Vec<Vec<(String, usize)>> = vec![Vec::new(); lines.len()];
+    let mut findings = Vec::new();
+    let mut carried: Vec<(String, usize)> = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        match parse_allows(&line.comment) {
+            AllowParse::None => {}
+            AllowParse::Malformed(msg) => findings.push(Finding {
+                path: path.to_string(),
+                line: idx + 1,
+                rule: "allow-syntax",
+                severity: Severity::Deny,
+                message: msg,
+            }),
+            AllowParse::Allows(allows) => {
+                for a in allows {
+                    if code_is_blank(line) {
+                        carried.push((a.rule, idx));
+                    } else {
+                        bound[idx].push((a.rule, idx));
+                    }
+                }
+            }
+        }
+        if !code_is_blank(line) && !carried.is_empty() {
+            bound[idx].append(&mut carried);
+        }
+    }
+    // Allows still carried at EOF bind nowhere; they surface as unused.
+    for (rule, at) in carried {
+        bound.push(Vec::new());
+        let last = bound.len() - 1;
+        bound[last].push((rule, at));
+    }
+    (bound, findings)
+}
+
+/// Lints one file's source text. `relpath` chooses rule scopes (use the
+/// workspace-relative path with forward slashes).
+pub fn analyze_source(relpath: &str, src: &str) -> Vec<Finding> {
+    let class = classify(relpath);
+    let lines = lex(src);
+    let (bound, mut findings) = bind_allows(relpath, &lines);
+    let mut used: Vec<(usize, &str)> = Vec::new(); // (allow-line, rule)
+
+    for rule in RULES {
+        let Some(severity) = (rule.severity_for)(relpath, class) else {
+            continue;
+        };
+        let raw: Vec<(usize, String)> = match rule.check {
+            Check::Line(f) => lines
+                .iter()
+                .enumerate()
+                .filter_map(|(i, l)| f(&l.code).map(|m| (i, m)))
+                .collect(),
+            Check::File(f) => f(&lines),
+        };
+        for (idx, message) in raw {
+            if rule.exempt_tests && lines[idx].in_test {
+                continue;
+            }
+            let allow = bound
+                .get(idx)
+                .and_then(|b| b.iter().find(|(r, _)| r == rule.id));
+            if let Some((_, allow_line)) = allow {
+                used.push((*allow_line, rule.id));
+                continue;
+            }
+            findings.push(Finding {
+                path: relpath.to_string(),
+                line: idx + 1,
+                rule: rule.id,
+                severity,
+                message,
+            });
+        }
+    }
+
+    // Advisory hygiene: an allow that suppressed nothing is stale —
+    // either the violation was fixed (drop the comment) or the allow is
+    // bound to the wrong line.
+    for binds in &bound {
+        for (rule, allow_line) in binds {
+            let consumed = used.iter().any(|&(l, r)| l == *allow_line && r == rule);
+            if !consumed && rule_by_id(rule).is_some() {
+                findings.push(Finding {
+                    path: relpath.to_string(),
+                    line: allow_line + 1,
+                    rule: "unused-allow",
+                    severity: Severity::Advisory,
+                    message: format!("pti-allow({rule}) suppresses nothing on its target line"),
+                });
+            }
+        }
+    }
+
+    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings.dedup();
+    findings
+}
+
+/// Recursively collects `.rs` files under `dir` (skipping `target`).
+fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
+    let Ok(entries) = fs::read_dir(dir) else {
+        return;
+    };
+    let mut paths: Vec<PathBuf> = entries.filter_map(|e| e.ok().map(|e| e.path())).collect();
+    paths.sort();
+    for path in paths {
+        if path.is_dir() {
+            if path
+                .file_name()
+                .is_some_and(|n| n == "target" || n == ".git")
+            {
+                continue;
+            }
+            collect_rs(&path, out);
+        } else if path.extension().is_some_and(|e| e == "rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Lints the whole workspace rooted at `root` (the directory holding
+/// the top-level `Cargo.toml`): `crates/`, `tests/`, `examples/`.
+/// Returns findings sorted by path and line.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+    let mut files = Vec::new();
+    for sub in ["crates", "tests", "examples"] {
+        collect_rs(&root.join(sub), &mut files);
+    }
+    let mut findings = Vec::new();
+    for file in files {
+        let rel = file
+            .strip_prefix(root)
+            .unwrap_or(&file)
+            .to_string_lossy()
+            .replace('\\', "/");
+        let src = fs::read_to_string(&file)?;
+        findings.extend(analyze_source(&rel, &src));
+    }
+    findings
+        .sort_by(|a, b| (a.path.clone(), a.line, a.rule).cmp(&(b.path.clone(), b.line, b.rule)));
+    Ok(findings)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn allow_on_comment_line_binds_to_next_code_line() {
+        let src = "\
+// pti-allow(wall-clock): prose explains why this is fine
+let deadline = Instant::now();
+";
+        let f = analyze_source("crates/net/src/sim.rs", src);
+        assert!(f.iter().all(|f| f.rule != "wall-clock"), "{f:?}");
+    }
+
+    #[test]
+    fn malformed_allow_is_a_deny_finding() {
+        let src = "let x = 1; // pti-allow(wall-clock)\n";
+        let f = analyze_source("crates/net/src/sim.rs", src);
+        assert!(f
+            .iter()
+            .any(|f| f.rule == "allow-syntax" && f.severity == Severity::Deny));
+    }
+
+    #[test]
+    fn unknown_rule_in_allow_is_rejected() {
+        let src = "let x = 1; // pti-allow(wallclock): typo\n";
+        let f = analyze_source("crates/net/src/sim.rs", src);
+        assert!(f.iter().any(|f| f.rule == "allow-syntax"));
+    }
+
+    #[test]
+    fn unused_allow_is_advisory() {
+        let src = "let x = 1; // pti-allow(wall-clock): nothing here trips it\n";
+        let f = analyze_source("crates/net/src/sim.rs", src);
+        assert!(f
+            .iter()
+            .any(|f| f.rule == "unused-allow" && f.severity == Severity::Advisory));
+    }
+}

@@ -1,0 +1,425 @@
+//! A hand-rolled Rust source lexer, just deep enough for line-oriented
+//! lint rules: it blanks out everything a textual pattern must never
+//! match inside (string and char literal interiors, comment bodies) and
+//! tracks which lines sit inside a `#[cfg(test)]` region.
+//!
+//! This is deliberately **not** a token-stream lexer. The rules in
+//! [`crate::rules`] are substring matchers over code text, so all the
+//! lexer owes them is:
+//!
+//! * `code`: the line with comments removed and literal interiors
+//!   replaced by spaces (delimiters are kept, so `"x"` becomes `" "`).
+//!   `Instant::now` inside a string or a doc comment can no longer trip
+//!   the wall-clock rule.
+//! * `comment`: the text of any `//` line comment on the line — where
+//!   `pti-allow(rule): reason` suppressions live.
+//! * `in_test`: whether the line is inside a `#[cfg(test)]`-gated item
+//!   (attribute line included), tracked by brace depth.
+//!
+//! The tricky corners it gets right, each pinned by a unit test:
+//! raw strings (`r"…"`, `r#"…"#`, any hash depth, `b`/`br` prefixes)
+//! whose bodies may contain `//` or `"`; char literals (`'a'`, `'\n'`,
+//! `'\u{1F600}'`) vs lifetimes (`'a`, `'static`); nested block comments
+//! (`/* /* */ */`); and strings spanning multiple lines.
+
+/// One source line, classified for rule matching.
+#[derive(Debug, Clone, Default)]
+pub struct Line {
+    /// Code text with comment bodies removed and literal interiors
+    /// blanked to spaces. Column positions of surviving code are
+    /// preserved.
+    pub code: String,
+    /// Concatenated text of `//` comments on this line (without the
+    /// slashes), used to parse `pti-allow` suppressions.
+    pub comment: String,
+    /// Whether the line belongs to a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// Lexer state carried across characters (and lines, for multi-line
+/// constructs).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum State {
+    /// Plain code.
+    Code,
+    /// Inside a `/* … */` comment, at the given nesting depth.
+    Block(u32),
+    /// Inside a `"…"` string; `true` when the previous char was an
+    /// unconsumed backslash.
+    Str(bool),
+    /// Inside a raw string closed by `"` followed by this many `#`s.
+    Raw(u32),
+}
+
+/// Splits source text into classified [`Line`]s.
+pub fn lex(src: &str) -> Vec<Line> {
+    let mut lines: Vec<Line> = Vec::new();
+    let mut state = State::Code;
+
+    for raw in src.lines() {
+        let mut line = Line {
+            in_test: false, // filled in by the cfg(test) pass below
+            ..Line::default()
+        };
+        let chars: Vec<char> = raw.chars().collect();
+        let mut i = 0usize;
+        while i < chars.len() {
+            let c = chars[i];
+            match state {
+                State::Code => {
+                    if c == '/' && chars.get(i + 1) == Some(&'/') {
+                        // Line comment: capture the body (plain `//`
+                        // comments only — doc text in `///` and `//!`
+                        // is never parsed for allow suppressions),
+                        // dropping the rest of the line from code.
+                        let is_doc = matches!(chars.get(i + 2), Some(&'/') | Some(&'!'));
+                        if !is_doc {
+                            line.comment
+                                .push_str(&chars[i + 2..].iter().collect::<String>());
+                        }
+                        break;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(1);
+                        line.code.push(' ');
+                        line.code.push(' ');
+                        i += 2;
+                    } else if c == '"' {
+                        line.code.push('"');
+                        state = State::Str(false);
+                        i += 1;
+                    } else if let Some(hashes) = raw_string_open(&chars, i) {
+                        // `r"`, `r#"`, `br##"` … — emit the opener
+                        // verbatim, then blank the body.
+                        let opener_len = raw_opener_len(&chars, i, hashes);
+                        for &oc in &chars[i..i + opener_len] {
+                            line.code.push(oc);
+                        }
+                        i += opener_len;
+                        state = State::Raw(hashes);
+                    } else if c == '\'' {
+                        if let Some(end) = char_literal_end(&chars, i) {
+                            // Char literal: keep the quotes, blank the
+                            // interior.
+                            line.code.push('\'');
+                            for _ in i + 1..end {
+                                line.code.push(' ');
+                            }
+                            line.code.push('\'');
+                            i = end + 1;
+                        } else {
+                            // Lifetime — plain code.
+                            line.code.push('\'');
+                            i += 1;
+                        }
+                    } else {
+                        line.code.push(c);
+                        i += 1;
+                    }
+                }
+                State::Block(depth) => {
+                    if c == '*' && chars.get(i + 1) == Some(&'/') {
+                        state = if depth == 1 {
+                            State::Code
+                        } else {
+                            State::Block(depth - 1)
+                        };
+                        line.code.push(' ');
+                        line.code.push(' ');
+                        i += 2;
+                    } else if c == '/' && chars.get(i + 1) == Some(&'*') {
+                        state = State::Block(depth + 1);
+                        line.code.push(' ');
+                        line.code.push(' ');
+                        i += 2;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Str(escaped) => {
+                    if escaped {
+                        state = State::Str(false);
+                        line.code.push(' ');
+                        i += 1;
+                    } else if c == '\\' {
+                        state = State::Str(true);
+                        line.code.push(' ');
+                        i += 1;
+                    } else if c == '"' {
+                        state = State::Code;
+                        line.code.push('"');
+                        i += 1;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+                State::Raw(hashes) => {
+                    if c == '"' && closes_raw(&chars, i, hashes) {
+                        line.code.push('"');
+                        for _ in 0..hashes {
+                            line.code.push('#');
+                        }
+                        i += 1 + hashes as usize;
+                        state = State::Code;
+                    } else {
+                        line.code.push(' ');
+                        i += 1;
+                    }
+                }
+            }
+        }
+        // A backslash escape at end of line continues the string with
+        // the escape consumed by the newline.
+        if let State::Str(true) = state {
+            state = State::Str(false);
+        }
+        lines.push(line);
+    }
+
+    mark_cfg_test(&mut lines);
+    lines
+}
+
+/// Whether position `i` starts a raw-string opener (`r`, `br`, or `b`
+/// then `r`, followed by zero or more `#` and a quote), with the
+/// preceding char not part of an identifier. Returns the hash count.
+fn raw_string_open(chars: &[char], i: usize) -> Option<u32> {
+    let prev_is_ident = i > 0 && (chars[i - 1].is_alphanumeric() || chars[i - 1] == '_');
+    if prev_is_ident {
+        return None;
+    }
+    let mut j = i;
+    if chars.get(j) == Some(&'b') {
+        j += 1;
+    }
+    if chars.get(j) != Some(&'r') {
+        return None;
+    }
+    j += 1;
+    let mut hashes = 0u32;
+    while chars.get(j) == Some(&'#') {
+        hashes += 1;
+        j += 1;
+    }
+    (chars.get(j) == Some(&'"')).then_some(hashes)
+}
+
+/// Length in chars of the raw-string opener at `i` (prefix + hashes +
+/// quote).
+fn raw_opener_len(chars: &[char], i: usize, hashes: u32) -> usize {
+    let prefix = if chars[i] == 'b' { 2 } else { 1 };
+    prefix + hashes as usize + 1
+}
+
+/// Whether the quote at `i` is followed by enough `#`s to close a raw
+/// string of the given hash depth.
+fn closes_raw(chars: &[char], i: usize, hashes: u32) -> bool {
+    (1..=hashes as usize).all(|k| chars.get(i + k) == Some(&'#'))
+}
+
+/// Decides whether the `'` at position `i` opens a char literal, and if
+/// so returns the index of its closing quote. A lifetime (`'a`,
+/// `'static`, `'_`) returns `None`.
+fn char_literal_end(chars: &[char], i: usize) -> Option<usize> {
+    match chars.get(i + 1)? {
+        '\\' => {
+            // Escaped char: scan to the closing quote.
+            let mut j = i + 2;
+            // Skip the escaped character itself (it may be `'`).
+            j += 1;
+            while j < chars.len() && chars[j] != '\'' {
+                j += 1;
+            }
+            (j < chars.len()).then_some(j)
+        }
+        // `'x'` — exactly one char then a quote is a literal; anything
+        // else (`'a>`, `'static`) is a lifetime.
+        _ => (chars.get(i + 2) == Some(&'\'')).then_some(i + 2),
+    }
+}
+
+/// Marks lines inside `#[cfg(test)]` regions by tracking brace depth in
+/// blanked code. The attribute line itself counts; stacked attributes
+/// between it and the item body are covered by the "pending" flag; an
+/// attribute gating a braceless item (`#[cfg(test)] use x;`) ends at
+/// the `;` on the attribute's depth.
+fn mark_cfg_test(lines: &mut [Line]) {
+    let mut depth = 0i32;
+    let mut region_floor: Option<i32> = None; // depth the region's `{` sits at
+    let mut pending: Option<i32> = None; // depth where the attribute appeared
+
+    for line in lines.iter_mut() {
+        let attr_at = find_cfg_test(&line.code);
+        let mut in_test_here = region_floor.is_some() || pending.is_some();
+        for (col, c) in line.code.char_indices() {
+            if let Some(a) = attr_at {
+                if col == a {
+                    pending = pending.or(Some(depth));
+                    in_test_here = true;
+                }
+            }
+            match c {
+                '{' => {
+                    depth += 1;
+                    if let Some(p) = pending {
+                        if depth == p + 1 && region_floor.is_none() {
+                            region_floor = Some(depth);
+                            pending = None;
+                        }
+                    }
+                }
+                '}' => {
+                    if region_floor == Some(depth) {
+                        region_floor = None;
+                        in_test_here = true; // closing brace still in region
+                    }
+                    depth -= 1;
+                }
+                ';' if pending == Some(depth) => {
+                    pending = None;
+                    in_test_here = true;
+                }
+                _ => {}
+            }
+        }
+        line.in_test = in_test_here || region_floor.is_some() || pending.is_some();
+    }
+}
+
+/// Byte offset of a `#[cfg(test)]` attribute in blanked code, if any.
+/// Rustfmt normalises the attribute to exactly this spelling; the
+/// `cfg(all(test, …))` form is matched too.
+fn find_cfg_test(code: &str) -> Option<usize> {
+    code.find("#[cfg(test)]")
+        .or_else(|| code.find("#[cfg(all(test"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn codes(src: &str) -> Vec<String> {
+        lex(src).into_iter().map(|l| l.code).collect()
+    }
+
+    #[test]
+    fn line_comments_are_stripped_and_captured() {
+        let lines = lex("let x = 1; // Instant::now() here is prose\n");
+        assert_eq!(lines[0].code, "let x = 1; ");
+        assert!(lines[0].comment.contains("Instant::now"));
+    }
+
+    #[test]
+    fn string_interiors_are_blanked() {
+        let lines = lex("let s = \"Instant::now()\";\n");
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[0].code.contains('"'));
+    }
+
+    #[test]
+    fn raw_string_containing_line_comment_stays_a_string() {
+        // The `//` inside the raw string must not start a comment and
+        // the body must not leak into code.
+        let src = "let s = r#\"no // comment \"quote\" Instant::now\"#; let y = 2;\n";
+        let lines = lex(src);
+        assert!(!lines[0].code.contains("Instant"));
+        assert!(lines[0].code.contains("let y = 2;"), "{}", lines[0].code);
+        assert!(lines[0].comment.is_empty());
+    }
+
+    #[test]
+    fn raw_string_hash_depths_and_byte_prefix() {
+        let src = "let a = br##\"body \"# still in\"##; let b = r\"x\"; done();\n";
+        let lines = lex(src);
+        assert!(lines[0].code.contains("done();"), "{}", lines[0].code);
+        assert!(!lines[0].code.contains("body"));
+        assert!(!lines[0].code.contains("still in"));
+    }
+
+    #[test]
+    fn char_literal_vs_lifetime() {
+        // `'a'` is a literal (interior blanked); `'a` in a generic
+        // bound is a lifetime (kept as code, no string state entered).
+        let src = "fn f<'a>(x: &'a str) { let q = 'a'; let nl = '\\n'; g(x) }\n";
+        let lines = lex(src);
+        assert!(lines[0].code.contains("fn f<'a>(x: &'a str)"));
+        assert!(lines[0].code.contains("g(x)"), "{}", lines[0].code);
+        assert!(!lines[0].code.contains("'a'"), "literal interior blanked");
+    }
+
+    #[test]
+    fn quote_char_literal_does_not_open_a_string() {
+        let src = "let q = '\\''; let s = \"x\"; done();\n";
+        let lines = lex(src);
+        assert!(lines[0].code.contains("done();"), "{}", lines[0].code);
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let src = "a(); /* outer /* inner */ still comment */ b();\n";
+        let lines = lex(src);
+        assert!(lines[0].code.contains("a();"));
+        assert!(lines[0].code.contains("b();"));
+        assert!(!lines[0].code.contains("still"));
+    }
+
+    #[test]
+    fn multi_line_constructs_carry_state() {
+        let src = "let s = \"spans\nlines\"; a();\n/* spans\nlines too */ b();\n";
+        let c = codes(src);
+        assert!(!c[0].contains("spans"));
+        assert!(!c[1].contains("lines"));
+        assert!(c[1].contains("a();"));
+        assert!(!c[2].contains("spans"));
+        assert!(c[3].contains("b();"));
+        assert!(!c[3].contains("too"));
+    }
+
+    #[test]
+    fn cfg_test_region_tracking() {
+        let src = "\
+fn lib_code() {}
+#[cfg(test)]
+mod tests {
+    use super::*;
+    #[test]
+    fn t() { inner(); }
+}
+fn more_lib() {}
+";
+        let lines = lex(src);
+        assert!(!lines[0].in_test);
+        assert!(lines[1].in_test, "attribute line is in the region");
+        assert!(lines[2].in_test);
+        assert!(lines[5].in_test);
+        assert!(lines[6].in_test, "closing brace line");
+        assert!(!lines[7].in_test, "region ends at its brace");
+    }
+
+    #[test]
+    fn cfg_test_on_braceless_item_ends_at_semicolon() {
+        let src = "#[cfg(test)]\nuse std::collections::HashMap;\nfn lib() {}\n";
+        let lines = lex(src);
+        assert!(lines[0].in_test);
+        assert!(lines[1].in_test);
+        assert!(!lines[2].in_test);
+    }
+
+    #[test]
+    fn stacked_attributes_stay_pending_until_the_item_brace() {
+        let src = "#[cfg(test)]\n#[allow(dead_code)]\nmod t {\n    x();\n}\nfn lib() {}\n";
+        let lines = lex(src);
+        assert!(lines[1].in_test);
+        assert!(lines[3].in_test);
+        assert!(!lines[5].in_test);
+    }
+
+    #[test]
+    fn braces_in_strings_do_not_move_the_depth() {
+        let src = "#[cfg(test)]\nmod t {\n    let s = \"}\";\n    y();\n}\nfn lib() {}\n";
+        let lines = lex(src);
+        assert!(lines[3].in_test, "string brace must not close the region");
+        assert!(!lines[5].in_test);
+    }
+}

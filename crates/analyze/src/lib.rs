@@ -1,0 +1,33 @@
+//! `pti-analyze`: a zero-dependency workspace lint pass enforcing the
+//! invariants no compiler checks.
+//!
+//! The fabric stack rests on three promises the type system cannot
+//! state: deterministic fabrics never read the wall clock, the
+//! `Rc`-based reactor state never leaves its owning shard thread, and
+//! nothing whose iteration order reaches the wire (or a byte-identical
+//! determinism log) iterates a hash container. This crate encodes them
+//! — plus the panic and print policies — as five lint rules over a
+//! [hand-rolled lexer](lexer) and runs them from the `pti-lint` binary
+//! (`cargo run -p pti-analyze --bin pti-lint`), which exits nonzero on
+//! any deny-tier finding.
+//!
+//! | rule | tier | scope |
+//! |------|------|-------|
+//! | `wall-clock` | deny | `crates/net/src` (minus `bus.rs`/`bridge.rs`), `crates/serialize/src`, `crates/transport/src` |
+//! | `unordered-iter` | deny | wire-encode / gossip-codec / metrics files + `crates/serialize/src` |
+//! | `thread-confinement` | deny | everywhere except `bus.rs`, `bridge.rs`, `sharded.rs` |
+//! | `panic-policy` | deny on `pti-net`/`pti-transport`, advisory elsewhere | library + bin code |
+//! | `print-discipline` | advisory | library code (bins, bench, examples, tests exempt) |
+//!
+//! A finding is suppressed by `// pti-allow(rule): reason` on the same
+//! line, or on a comment-only line directly above it. The reason is
+//! mandatory; a malformed allow is itself a deny finding
+//! (`allow-syntax`), and an allow that suppresses nothing is reported
+//! as advisory `unused-allow`.
+
+pub mod engine;
+pub mod lexer;
+pub mod rules;
+
+pub use engine::{analyze_source, analyze_workspace, Finding};
+pub use rules::{classify, FileClass, Severity, RULES};

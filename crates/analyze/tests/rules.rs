@@ -1,0 +1,289 @@
+//! Fixture tests: every rule in the table is proven by one firing case
+//! and one suppressed case, against the real engine and real scope
+//! decisions (fake workspace paths pick the scope).
+//!
+//! The fixture sources live in raw strings; the outer lexer blanks
+//! string interiors, so the violations (and the allow comments) inside
+//! them are invisible when `pti-lint` scans this file itself.
+
+use pti_analyze::engine::{analyze_source, Finding};
+use pti_analyze::rules::Severity;
+
+fn deny_hits<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && f.severity == Severity::Deny)
+        .collect()
+}
+
+fn advisory_hits<'a>(findings: &'a [Finding], rule: &str) -> Vec<&'a Finding> {
+    findings
+        .iter()
+        .filter(|f| f.rule == rule && f.severity == Severity::Advisory)
+        .collect()
+}
+
+// ---------------------------------------------------------------- wall-clock
+
+#[test]
+fn wall_clock_fires_in_fabric_code() {
+    let src = r#"
+fn deadline() -> Instant {
+    Instant::now() + Duration::from_millis(5)
+}
+"#;
+    let f = analyze_source("crates/net/src/sim.rs", src);
+    let hits = deny_hits(&f, "wall-clock");
+    assert_eq!(hits.len(), 1, "{f:?}");
+    assert_eq!(hits[0].line, 3);
+    assert!(hits[0].message.contains("Instant::now"));
+}
+
+#[test]
+fn wall_clock_suppressed_by_allow() {
+    let src = r#"
+// pti-allow(wall-clock): live-bus driver owns real time by design
+fn deadline() -> Instant {
+    Instant::now() + Duration::from_millis(5)
+}
+"#;
+    // The allow on line 2 binds to line 3 (next code line) — move it
+    // onto the violating line's predecessor instead:
+    let src2 = r#"
+fn deadline() -> Instant {
+    // pti-allow(wall-clock): live-bus driver owns real time by design
+    Instant::now() + Duration::from_millis(5)
+}
+"#;
+    let f = analyze_source("crates/net/src/sim.rs", src2);
+    assert!(deny_hits(&f, "wall-clock").is_empty(), "{f:?}");
+    assert!(advisory_hits(&f, "unused-allow").is_empty(), "{f:?}");
+    // The mis-bound variant still fires (allow bound to `fn deadline`).
+    let f = analyze_source("crates/net/src/sim.rs", src);
+    assert_eq!(deny_hits(&f, "wall-clock").len(), 1);
+}
+
+#[test]
+fn wall_clock_exempts_bus_and_tests() {
+    let src = "fn x() { let t = Instant::now(); }\n";
+    assert!(deny_hits(&analyze_source("crates/net/src/bus.rs", src), "wall-clock").is_empty());
+    assert!(deny_hits(&analyze_source("tests/live_bus.rs", src), "wall-clock").is_empty());
+    let in_test = "#[cfg(test)]\nmod tests {\n    fn x() { let t = Instant::now(); }\n}\n";
+    assert!(deny_hits(
+        &analyze_source("crates/net/src/sim.rs", in_test),
+        "wall-clock"
+    )
+    .is_empty());
+}
+
+// ------------------------------------------------------------ unordered-iter
+
+#[test]
+fn unordered_iter_fires_on_declared_hash_field() {
+    let src = r#"
+struct Directory {
+    routes: HashMap<PeerId, usize>,
+}
+impl Directory {
+    fn dump(&self) -> Vec<usize> {
+        self.routes.values().copied().collect()
+    }
+}
+"#;
+    let f = analyze_source("crates/transport/src/sharded.rs", src);
+    let hits = deny_hits(&f, "unordered-iter");
+    assert_eq!(hits.len(), 1, "{f:?}");
+    assert_eq!(hits[0].line, 7);
+    assert!(hits[0].message.contains("routes"));
+}
+
+#[test]
+fn unordered_iter_sees_through_rustfmt_chain_breaks() {
+    let src = r#"
+struct Directory {
+    routes: HashMap<PeerId, usize>,
+}
+impl Directory {
+    fn dump(&self) -> Vec<(PeerId, usize)> {
+        self.routes
+            .iter()
+            .map(|(k, v)| (*k, *v))
+            .collect()
+    }
+}
+"#;
+    let f = analyze_source("crates/transport/src/sharded.rs", src);
+    assert_eq!(deny_hits(&f, "unordered-iter").len(), 1, "{f:?}");
+}
+
+#[test]
+fn unordered_iter_suppressed_by_allow() {
+    let src = r#"
+struct Directory {
+    routes: HashMap<PeerId, usize>,
+}
+impl Directory {
+    fn dump(&self) -> Vec<usize> {
+        // pti-allow(unordered-iter): sorted on the next line before use
+        let mut v: Vec<usize> = self.routes.values().copied().collect();
+        v.sort();
+        v
+    }
+}
+"#;
+    let f = analyze_source("crates/transport/src/sharded.rs", src);
+    assert!(deny_hits(&f, "unordered-iter").is_empty(), "{f:?}");
+}
+
+#[test]
+fn unordered_iter_ignores_btree_and_out_of_scope_files() {
+    let btree = r#"
+struct Directory {
+    routes: BTreeMap<PeerId, usize>,
+}
+impl Directory {
+    fn dump(&self) -> Vec<usize> {
+        self.routes.values().copied().collect()
+    }
+}
+"#;
+    let f = analyze_source("crates/transport/src/sharded.rs", btree);
+    assert!(deny_hits(&f, "unordered-iter").is_empty(), "{f:?}");
+    // Same hash-iterating source in a file whose order never reaches a
+    // byte-compared log is out of scope.
+    let hash = btree.replace("BTreeMap", "HashMap");
+    let f = analyze_source("crates/tps/src/lib.rs", &hash);
+    assert!(deny_hits(&f, "unordered-iter").is_empty(), "{f:?}");
+}
+
+// -------------------------------------------------------- thread-confinement
+
+#[test]
+fn thread_confinement_fires_outside_the_threaded_files() {
+    let src = r#"
+fn go() {
+    std::thread::spawn(move || run());
+}
+"#;
+    let f = analyze_source("crates/net/src/reactor.rs", src);
+    let hits = deny_hits(&f, "thread-confinement");
+    assert_eq!(hits.len(), 1, "{f:?}");
+    assert_eq!(hits[0].line, 3);
+}
+
+#[test]
+fn thread_confinement_suppressed_by_allow() {
+    let src = r#"
+fn go() {
+    // pti-allow(thread-confinement): integration test drives one swarm per OS thread
+    std::thread::spawn(move || run());
+}
+"#;
+    let f = analyze_source("crates/net/src/reactor.rs", src);
+    assert!(deny_hits(&f, "thread-confinement").is_empty(), "{f:?}");
+}
+
+#[test]
+fn thread_confinement_exempts_the_threaded_files_only() {
+    let src = "fn go() { std::thread::spawn(move || run()); }\n";
+    for ok in [
+        "crates/net/src/bus.rs",
+        "crates/net/src/bridge.rs",
+        "crates/transport/src/sharded.rs",
+    ] {
+        assert!(
+            deny_hits(&analyze_source(ok, src), "thread-confinement").is_empty(),
+            "{ok} should be exempt"
+        );
+    }
+    // The rule is not test-exempt: a spawn in a #[cfg(test)] module of a
+    // non-threaded file still fires.
+    let in_test = "#[cfg(test)]\nmod tests {\n    fn go() { std::thread::spawn(|| ()); }\n}\n";
+    assert_eq!(
+        deny_hits(
+            &analyze_source("crates/net/src/sim.rs", in_test),
+            "thread-confinement"
+        )
+        .len(),
+        1
+    );
+}
+
+// -------------------------------------------------------------- panic-policy
+
+#[test]
+fn panic_policy_is_deny_on_fabric_crates_advisory_elsewhere() {
+    let src = "fn take(o: Option<u32>) -> u32 { o.unwrap() }\n";
+    let f = analyze_source("crates/net/src/sim.rs", src);
+    assert_eq!(deny_hits(&f, "panic-policy").len(), 1, "{f:?}");
+    let f = analyze_source("crates/tps/src/lib.rs", src);
+    assert!(deny_hits(&f, "panic-policy").is_empty());
+    assert_eq!(advisory_hits(&f, "panic-policy").len(), 1, "{f:?}");
+    // Tests unwrap freely.
+    let f = analyze_source("crates/net/tests/it.rs", src);
+    assert!(f.iter().all(|f| f.rule != "panic-policy"), "{f:?}");
+}
+
+#[test]
+fn panic_policy_suppressed_by_allow() {
+    let src = r#"
+fn take(o: Option<u32>) -> u32 {
+    // pti-allow(panic-policy): caller checked is_some() on the line above
+    o.unwrap()
+}
+"#;
+    let f = analyze_source("crates/net/src/sim.rs", src);
+    assert!(deny_hits(&f, "panic-policy").is_empty(), "{f:?}");
+}
+
+// ---------------------------------------------------------- print-discipline
+
+#[test]
+fn print_discipline_fires_in_library_code_only() {
+    let src = "fn log(n: u64) { println!(\"sent {n}\"); }\n";
+    let f = analyze_source("crates/transport/src/swarm.rs", src);
+    assert_eq!(advisory_hits(&f, "print-discipline").len(), 1, "{f:?}");
+    // Binaries, bench and examples may print.
+    for ok in [
+        "crates/analyze/src/bin/pti_lint.rs",
+        "crates/bench/src/main.rs",
+        "examples/demo.rs",
+    ] {
+        assert!(
+            analyze_source(ok, src)
+                .iter()
+                .all(|f| f.rule != "print-discipline"),
+            "{ok} may print"
+        );
+    }
+}
+
+#[test]
+fn print_discipline_suppressed_by_allow() {
+    let src = r#"
+fn log(n: u64) {
+    // pti-allow(print-discipline): one-shot startup banner requested by operators
+    println!("sent {n}");
+}
+"#;
+    let f = analyze_source("crates/transport/src/swarm.rs", src);
+    assert!(f.iter().all(|f| f.rule != "print-discipline"), "{f:?}");
+}
+
+// -------------------------------------------------------- violations in text
+
+#[test]
+fn violations_inside_strings_and_comments_do_not_fire() {
+    let src = r##"
+fn doc() -> &'static str {
+    // Instant::now() in a comment is prose, not code.
+    r"Instant::now() and thread::spawn in a string are data"
+}
+"##;
+    let f = analyze_source("crates/net/src/sim.rs", src);
+    assert!(
+        f.iter()
+            .all(|f| f.rule != "wall-clock" && f.rule != "thread-confinement"),
+        "{f:?}"
+    );
+}

@@ -105,6 +105,7 @@ impl BridgeTx {
         self.counters.crossings.fetch_add(1, Ordering::Relaxed);
         self.counters.bytes.fetch_add(bytes, Ordering::Relaxed);
         let woke = {
+            // pti-allow(panic-policy): waker lock is poisoned only if a holder panicked; propagating keeps the fabric fail-fast
             let waker = self.waker.lock().expect("bridge waker lock");
             if let Some(thread) = waker.as_ref() {
                 thread.unpark();
@@ -154,6 +155,7 @@ impl BridgeRx {
     /// `unpark` it on every enqueue. Call once from the shard thread's
     /// run loop before it first parks.
     pub fn bind_current_thread(&self) {
+        // pti-allow(panic-policy): waker lock is poisoned only if a holder panicked; propagating keeps the fabric fail-fast
         *self.waker.lock().expect("bridge waker lock") = Some(std::thread::current());
     }
 

@@ -105,6 +105,7 @@ impl LiveBus {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, BusInner> {
+        // pti-allow(panic-policy): a poisoned bus lock means a sender panicked mid-send; every later operation would see torn state
         self.inner.lock().expect("bus lock poisoned")
     }
 

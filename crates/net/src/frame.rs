@@ -171,11 +171,13 @@ impl FrameBatch {
         let plausible = bytes.len().saturating_sub(4) / MIN_FRAME_BYTES;
         let mut frames = Vec::with_capacity(count.min(plausible));
         for _ in 0..count {
+            // pti-allow(panic-policy): take() returned exactly 2 bytes, so the slice-to-array conversion is infallible
             let klen = u16::from_le_bytes(take(&mut at, 2)?.try_into().expect("2 bytes")) as usize;
             let kind = map_kind(
                 std::str::from_utf8(take(&mut at, klen)?)
                     .map_err(|_| FrameDecodeError::new("kind not utf8"))?,
             )?;
+            // pti-allow(panic-policy): take() returned exactly 4 bytes, so the slice-to-array conversion is infallible
             let plen = u32::from_le_bytes(take(&mut at, 4)?.try_into().expect("4 bytes")) as usize;
             let payload = Payload::from(take(&mut at, plen)?);
             frames.push(Frame { kind, payload });

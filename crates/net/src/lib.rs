@@ -21,6 +21,17 @@
 //! the same optimistic protocol drives either fabric — and share the
 //! [`NetMetrics`] accounting shape.
 //!
+//! ## Lint conventions
+//!
+//! This crate is deny-tier for the `pti-lint` fabric rules (see
+//! `crates/analyze` and the "Static analysis" section of
+//! ARCHITECTURE.md): no wall-clock reads outside `bus`/`bridge`, no
+//! thread primitives outside `bus`/`bridge`, and every
+//! `unwrap`/`expect`/`panic!` must state its invariant in a
+//! `pti-allow(panic-policy): reason` comment on or directly above the
+//! line. The reason is the documentation — write the invariant that
+//! makes the panic unreachable, not a restatement of the code.
+//!
 //! ## Example
 //!
 //! ```

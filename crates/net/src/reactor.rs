@@ -185,10 +185,30 @@ impl Core {
 /// a handle to the same session). Fresh sessions come from
 /// [`session`](Self::session). Like [`SharedSimNet`](crate::SharedSimNet)
 /// the handle is `!Send`: one reactor, one thread — that is the point.
-#[derive(Debug, Clone)]
+#[derive(Debug)]
 pub struct ReactorNet {
     core: Rc<RefCell<Core>>,
     session: SessionId,
+    /// Thread the fabric was created on. `Rc` already makes the handle
+    /// `!Send`, but an `unsafe impl Send` wrapper (or a future refactor
+    /// to `Arc`) would compile and then corrupt the un-synchronized
+    /// core; debug builds catch that crossing at the first touch.
+    #[cfg(debug_assertions)]
+    owner_thread: std::thread::ThreadId,
+}
+
+impl Clone for ReactorNet {
+    /// Clones share fabric and session; debug builds refuse to mint a
+    /// clone from a foreign thread.
+    fn clone(&self) -> ReactorNet {
+        self.assert_owner_thread();
+        ReactorNet {
+            core: Rc::clone(&self.core),
+            session: self.session,
+            #[cfg(debug_assertions)]
+            owner_thread: self.owner_thread,
+        }
+    }
 }
 
 impl Default for ReactorNet {
@@ -218,6 +238,31 @@ impl ReactorNet {
                 stats: ReactorStats::default(),
             })),
             session: SessionId(0),
+            #[cfg(debug_assertions)]
+            owner_thread: std::thread::current().id(),
+        }
+    }
+
+    /// Debug-only ownership guard: every handle operation must happen on
+    /// the thread that created the fabric. Release builds compile this
+    /// to nothing — the `Rc` core already refuses to cross threads in
+    /// safe code, so the check only exists to catch unsafe wrappers.
+    ///
+    /// # Panics
+    /// In debug builds, when called from any thread other than the one
+    /// that created the fabric.
+    #[inline]
+    fn assert_owner_thread(&self) {
+        #[cfg(debug_assertions)]
+        {
+            let here = std::thread::current().id();
+            assert!(
+                here == self.owner_thread,
+                "ReactorNet handle touched from {here:?} but its fabric lives on \
+                 {:?}; reactor state is single-thread — cross-shard traffic must \
+                 ride a BridgeLink",
+                self.owner_thread
+            );
         }
     }
 
@@ -225,12 +270,15 @@ impl ReactorNet {
     /// host hands each swarm it mounts, so their readiness is tracked
     /// independently.
     pub fn session(&self) -> ReactorNet {
+        self.assert_owner_thread();
         let mut core = self.core.borrow_mut();
         let id = SessionId(core.next_session);
         core.next_session += 1;
         ReactorNet {
             core: Rc::clone(&self.core),
             session: id,
+            #[cfg(debug_assertions)]
+            owner_thread: self.owner_thread,
         }
     }
 
@@ -271,6 +319,7 @@ impl ReactorNet {
     /// ([`mark_ready`](Self::mark_ready), timer fires) always wake —
     /// a parked session expects its turn even with an empty ring.
     pub fn next_ready(&self) -> Option<SessionId> {
+        self.assert_owner_thread();
         let mut core = self.core.borrow_mut();
         loop {
             let session = core.ready.pop_front()?;
@@ -382,6 +431,7 @@ impl ReactorNet {
         };
         core.rings
             .get_mut(&msg.to)
+            // pti-allow(panic-policy): owner and rings are mutated together, so an owned peer always has a ring
             .expect("registered peer has a ring")
             .push_back(msg);
         *core.backlog.entry(owner).or_insert(0) += 1;
@@ -420,6 +470,7 @@ impl ReactorNet {
     /// peers appeared or vanished (proxies are not included).
     pub fn registered_peers(&self) -> Vec<PeerId> {
         let core = self.core.borrow();
+        // pti-allow(unordered-iter): collected then sorted on the next line — callers only ever see id order
         let mut peers: Vec<PeerId> = core.owner.keys().copied().collect();
         peers.sort_unstable();
         peers
@@ -435,9 +486,11 @@ impl Transport for ReactorNet {
     /// fabric — silently rebinding would hijack the other swarm's
     /// traffic (same contract as [`LiveBus`](crate::LiveBus)).
     fn register(&mut self, peer: PeerId) {
+        self.assert_owner_thread();
         let mut core = self.core.borrow_mut();
         match core.owner.get(&peer) {
             Some(owner) if *owner == self.session => return,
+            // pti-allow(panic-policy): peer-id collision across sessions is a wiring bug, same contract as LiveBus::attach
             Some(_) => panic!("{peer} is already registered on this reactor fabric"),
             None => {}
         }
@@ -456,6 +509,7 @@ impl Transport for ReactorNet {
         kind: &'static str,
         payload: Payload,
     ) -> Result<(), NetError> {
+        self.assert_owner_thread();
         let mut core = self.core.borrow_mut();
         let Some(owner) = core.owner.get(&to).copied() else {
             // No local ring: a remote-shard proxy forwards over its
@@ -491,6 +545,7 @@ impl Transport for ReactorNet {
         }
         core.rings
             .get_mut(&to)
+            // pti-allow(panic-policy): owner and rings are mutated together, so an owned peer always has a ring
             .expect("registered peer has a ring")
             .push_back(BusMessage {
                 from,
@@ -505,6 +560,7 @@ impl Transport for ReactorNet {
     }
 
     fn try_recv(&mut self, peer: PeerId) -> Option<BusMessage> {
+        self.assert_owner_thread();
         let mut core = self.core.borrow_mut();
         let msg = core.rings.get_mut(&peer)?.pop_front()?;
         if let Some(owner) = core.owner.get(&peer).copied() {
@@ -717,6 +773,31 @@ mod tests {
         let mut b = hub.session();
         a.register(PeerId(1));
         b.register(PeerId(1));
+    }
+
+    /// The ownership guard only exists in debug builds, and the only way
+    /// to get a handle across a thread at all is to lie about `Send` —
+    /// exactly the wrapper a buggy refactor might introduce.
+    #[test]
+    #[should_panic(expected = "reactor state is single-thread")]
+    #[cfg(debug_assertions)]
+    fn a_handle_smuggled_across_a_thread_panics_in_debug_builds() {
+        #[allow(unsafe_code)]
+        mod smuggle {
+            pub(super) struct ForceSend<T>(pub(super) T);
+            // SAFETY: deliberately unsound — this test exists to prove
+            // the debug guard catches exactly this lie.
+            unsafe impl<T> Send for ForceSend<T> {}
+        }
+        let hub = ReactorNet::new();
+        let contraband = smuggle::ForceSend(hub.clone());
+        // pti-allow(thread-confinement): this test proves the ownership guard fires off-thread
+        let worker = std::thread::spawn(move || {
+            let smuggled = contraband;
+            let _clone = smuggled.0.clone(); // guard fires here
+        });
+        let payload = worker.join().expect_err("guard must have fired");
+        std::panic::resume_unwind(payload);
     }
 
     #[test]

@@ -193,6 +193,7 @@ impl SimNet {
             sent_at: self.clock_us,
             deliver_at,
         };
+        // pti-allow(panic-policy): `to` was validated against inboxes at the top of send()
         self.inboxes.get_mut(&to).expect("checked").push_back(msg);
         Ok(deliver_at)
     }
@@ -208,6 +209,7 @@ impl SimNet {
             .enumerate()
             .min_by_key(|(i, m)| (m.deliver_at, *i))
             .map(|(i, _)| i)?;
+        // pti-allow(panic-policy): idx came from enumerate() over this same inbox
         let msg = inbox.remove(idx).expect("index valid");
         self.clock_us = self.clock_us.max(msg.deliver_at);
         Some(msg)
@@ -222,6 +224,7 @@ impl SimNet {
             .filter(|(_, m)| m.kind == kind)
             .min_by_key(|(i, m)| (m.deliver_at, *i))
             .map(|(i, _)| i)?;
+        // pti-allow(panic-policy): idx came from enumerate() over this same inbox
         let msg = inbox.remove(idx).expect("index valid");
         self.clock_us = self.clock_us.max(msg.deliver_at);
         Some(msg)

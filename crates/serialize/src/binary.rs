@@ -31,16 +31,16 @@ const MAGIC: &[u8; 4] = b"PTIB";
 const VERSION: u8 = 1;
 
 mod tag {
-    pub const NULL: u8 = 0;
-    pub const FALSE: u8 = 1;
-    pub const TRUE: u8 = 2;
-    pub const I32: u8 = 3;
-    pub const I64: u8 = 4;
-    pub const F64: u8 = 5;
-    pub const STR: u8 = 6;
-    pub const ARRAY: u8 = 7;
-    pub const OBJDEF: u8 = 8;
-    pub const OBJREF: u8 = 9;
+    pub(super) const NULL: u8 = 0;
+    pub(super) const FALSE: u8 = 1;
+    pub(super) const TRUE: u8 = 2;
+    pub(super) const I32: u8 = 3;
+    pub(super) const I64: u8 = 4;
+    pub(super) const F64: u8 = 5;
+    pub(super) const STR: u8 = 6;
+    pub(super) const ARRAY: u8 = 7;
+    pub(super) const OBJDEF: u8 = 8;
+    pub(super) const OBJREF: u8 = 9;
 }
 
 pub(crate) fn put_varint(buf: &mut PutBuf, mut v: u64) {

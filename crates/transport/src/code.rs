@@ -46,6 +46,7 @@ impl CodeRegistry {
     }
 
     fn lock(&self) -> std::sync::MutexGuard<'_, HashMap<String, Assembly>> {
+        // pti-allow(panic-policy): a poisoned registry lock means an installer panicked; the shared code cache is unrecoverable
         self.inner.lock().expect("code registry lock poisoned")
     }
 }

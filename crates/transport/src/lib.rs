@@ -25,6 +25,18 @@
 //! ship-everything baseline the protocol is measured against
 //! (experiment F1).
 //!
+//! ## Lint conventions
+//!
+//! This crate is deny-tier for the `pti-lint` fabric rules (see
+//! `crates/analyze` and the "Static analysis" section of
+//! ARCHITECTURE.md): no wall-clock reads on the protocol or codec
+//! paths, hash-map iteration is banned in the files whose order reaches
+//! the wire or a compared log (`membership`, `routing`, `swarm`,
+//! `sharded`, `peer`), thread primitives live only in `sharded`, and
+//! every `unwrap`/`expect`/`panic!` needs a
+//! `pti-allow(panic-policy): reason` comment stating the invariant that
+//! makes it unreachable.
+//!
 //! ## Example
 //!
 //! ```

@@ -156,6 +156,7 @@ impl ReactorHost {
     /// # Panics
     /// If `slot` is out of range or already unmounted.
     pub fn unmount(&mut self, slot: usize) -> usize {
+        // pti-allow(panic-policy): documented `# Panics` contract — slot handles are caller-owned
         let mut taken = self.slots[slot].take().expect("slot is already unmounted");
         let mut peers = Vec::new();
         taken
@@ -207,12 +208,14 @@ impl ReactorHost {
     pub fn with_swarm<R>(&mut self, slot: usize, f: impl FnOnce(&mut Swarm<ReactorNet>) -> R) -> R {
         let mut f = Some(f);
         let mut out = None;
+        // pti-allow(panic-policy): documented `# Panics` contract — slot handles are caller-owned
         let s = self.slots[slot].as_mut().expect("slot is unmounted");
         s.member.with_swarm_mut(&mut |swarm| {
             if let Some(f) = f.take() {
                 out = Some(f(swarm));
             }
         });
+        // pti-allow(panic-policy): MountedSwarm implementations always invoke the callback exactly once
         out.expect("with_swarm_mut must invoke its callback")
     }
 
@@ -223,11 +226,13 @@ impl ReactorHost {
     /// # Panics
     /// If `slot` is out of range, unmounted, or holds a different type.
     pub fn with_mounted<M: 'static, R>(&mut self, slot: usize, f: impl FnOnce(&mut M) -> R) -> R {
+        // pti-allow(panic-policy): documented `# Panics` contract — slot handles are caller-owned
         let s = self.slots[slot].as_mut().expect("slot is unmounted");
         let m = s
             .member
             .as_any_mut()
             .downcast_mut::<M>()
+            // pti-allow(panic-policy): documented `# Panics` contract — the caller names the concrete mounted type
             .expect("mounted member has a different concrete type");
         f(m)
     }
@@ -237,6 +242,7 @@ impl ReactorHost {
     /// `recv_deadline` timeout: the slot parks for free and
     /// [`run_for`](Self::run_for) pumps it when the clock arrives.
     pub fn wake_after(&self, slot: usize, delay_us: u64) {
+        // pti-allow(panic-policy): documented `# Panics` contract — slot handles are caller-owned
         let s = self.slots[slot].as_ref().expect("slot is unmounted");
         self.hub.schedule_wake(s.session, delay_us);
     }
@@ -259,6 +265,7 @@ impl ReactorHost {
     pub fn session_of(&self, slot: usize) -> SessionId {
         self.slots[slot]
             .as_ref()
+            // pti-allow(panic-policy): documented `# Panics` contract — slot handles are caller-owned
             .expect("slot is unmounted")
             .session
     }
@@ -279,6 +286,7 @@ impl ReactorHost {
         }
         let session = self.slots[idx]
             .as_ref()
+            // pti-allow(panic-policy): the pump queue only holds indices of slots that are still mounted
             .expect("pumped slot exists")
             .session;
         if self.hub.backlog(session) > 0 {

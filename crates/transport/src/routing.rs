@@ -242,6 +242,7 @@ impl RoutingTable {
                 let old = self
                     .entries
                     .insert(key, signature.clone())
+                    // pti-allow(panic-policy): insert over a key that was just looked up returns the old value
                     .expect("present");
                 self.unindex(key, &old);
                 false

@@ -27,7 +27,7 @@
 //! repeats rounds of per-shard drains and only stops when a full round
 //! does zero work **and** every bridge reports `pending() == 0`.
 
-use std::collections::HashMap;
+use std::collections::BTreeMap;
 use std::panic::{catch_unwind, resume_unwind, AssertUnwindSafe};
 use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::mpsc::{channel, Receiver, Sender, TryRecvError};
@@ -66,8 +66,11 @@ struct ShardHandle {
 /// host maps it to `(shard, local slot)` internally.
 pub struct ShardedHost {
     shards: Vec<ShardHandle>,
-    /// Which shard owns each registered peer id.
-    directory: HashMap<PeerId, usize>,
+    /// Which shard owns each registered peer id. Ordered so directory
+    /// reconciliation walks peers in id order — proxy registration and
+    /// revocation then hit every shard in the same deterministic
+    /// sequence on every run (`pti-lint`'s unordered-iter rule).
+    directory: BTreeMap<PeerId, usize>,
     /// Global slot → (shard, local slot); tombstoned like the per-shard
     /// tables so indices survive unmounts.
     slots: Vec<Option<(usize, usize)>>,
@@ -106,6 +109,7 @@ fn worker(
     loop {
         match cmds.try_recv() {
             Ok(cmd) => {
+                // pti-allow(wall-clock): busy-ns accounting only — the timings feed ShardStats, never protocol decisions
                 let start = Instant::now();
                 cmd(&mut host);
                 busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -115,9 +119,11 @@ fn worker(
             Err(TryRecvError::Empty) => {}
         }
         if autonomous.load(Ordering::Relaxed) {
+            // pti-allow(wall-clock): busy-ns accounting only — the timings feed ShardStats, never protocol decisions
             let start = Instant::now();
             let before = work_of(&host);
             host.run_until_quiescent()
+                // pti-allow(panic-policy): a failed autonomous pump means a poisoned shard; the panic resurfaces on the owner via exec
                 .expect("autonomous shard pump failed");
             let worked = work_of(&host) != before;
             busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -147,6 +153,7 @@ impl ShardedHost {
                 let join = std::thread::Builder::new()
                     .name(format!("pti-shard-{i}"))
                     .spawn(move || worker(cmd_rx, bridge_rx, auto, busy))
+                    // pti-allow(panic-policy): thread spawn fails only on resource exhaustion at host construction, before any traffic
                     .expect("spawn shard thread");
                 ShardHandle {
                     cmds: Some(cmd_tx),
@@ -158,7 +165,7 @@ impl ShardedHost {
             .collect();
         ShardedHost {
             shards,
-            directory: HashMap::new(),
+            directory: BTreeMap::new(),
             slots: Vec::new(),
             autonomous,
         }
@@ -214,6 +221,7 @@ impl ShardedHost {
             let result = catch_unwind(AssertUnwindSafe(|| f(host)));
             let _ = tx.send(result);
         });
+        // pti-allow(panic-policy): the worker loop only exits when this host drops its sender, so a dead shard here is unrecoverable
         match rx.recv().expect("shard thread alive") {
             Ok(r) => r,
             Err(panic) => resume_unwind(panic),
@@ -227,8 +235,10 @@ impl ShardedHost {
         handle
             .cmds
             .as_ref()
+            // pti-allow(panic-policy): cmds is only taken in shutdown(); posting after that is a stated API misuse
             .expect("host not shut down")
             .send(Box::new(f))
+            // pti-allow(panic-policy): the worker loop only exits when this host drops its sender, so a dead shard here is unrecoverable
             .expect("shard thread alive");
         if let Some(join) = handle.join.as_ref() {
             join.thread().unpark();
@@ -297,6 +307,7 @@ impl ShardedHost {
     /// [`ReactorHost::unmount`]); its peers' proxies are revoked on
     /// every other shard. Returns the undelivered messages dropped.
     pub fn unmount(&mut self, slot: usize) -> usize {
+        // pti-allow(panic-policy): documented `# Panics` contract — slot handles are caller-owned
         let (shard, local) = self.slots[slot].take().expect("slot is already unmounted");
         let dropped = self.exec(shard, move |host| host.unmount(local));
         self.sync_directory(shard);
@@ -308,6 +319,7 @@ impl ShardedHost {
     /// # Panics
     /// If `slot` is out of range or unmounted.
     pub fn shard_of(&self, slot: usize) -> usize {
+        // pti-allow(panic-policy): documented `# Panics` contract — slot handles are caller-owned
         self.slots[slot].expect("slot is unmounted").0
     }
 
@@ -324,6 +336,7 @@ impl ShardedHost {
         slot: usize,
         f: impl FnOnce(&mut Swarm<ReactorNet>) -> R + Send + 'static,
     ) -> R {
+        // pti-allow(panic-policy): documented `# Panics` contract — slot handles are caller-owned
         let (shard, local) = self.slots[slot].expect("slot is unmounted");
         let out = self.exec(shard, move |host| host.with_swarm(local, f));
         self.sync_directory(shard);
@@ -339,6 +352,7 @@ impl ShardedHost {
         slot: usize,
         f: impl FnOnce(&mut M) -> R + Send + 'static,
     ) -> R {
+        // pti-allow(panic-policy): documented `# Panics` contract — slot handles are caller-owned
         let (shard, local) = self.slots[slot].expect("slot is unmounted");
         let out = self.exec(shard, move |host| host.with_mounted::<M, R>(local, f));
         self.sync_directory(shard);

@@ -283,6 +283,7 @@ impl<T: Transport> Swarm<T> {
 
     /// Mutable access to a peer.
     pub fn peer_mut(&mut self, id: PeerId) -> &mut Peer {
+        // pti-allow(panic-policy): documented `# Panics` contract — peer handles come from add_peer on this swarm
         self.peers.get_mut(&id).expect("unknown peer")
     }
 
@@ -879,6 +880,7 @@ impl<T: Transport> Swarm<T> {
                 // records nothing, matching the standalone path.
                 let mut batched: Vec<(&'static str, usize)> = Vec::new();
                 let sent = if chunk.len() == 1 {
+                    // pti-allow(panic-policy): len()==1 was just checked on this chunk
                     let (kind, payload) = chunk.pop().expect("one frame");
                     self.net.send(from, to, kind, payload)
                 } else {
@@ -983,6 +985,7 @@ impl<T: Transport> Swarm<T> {
     pub fn run_for(&mut self, idle: Duration) -> Result<()> {
         loop {
             self.flush_wire();
+            // pti-allow(wall-clock): live-fabric idle window — run_for is the LiveBus driver; virtual fabrics use run()/pump()
             let Some((at, msg)) = self.poll_deadline(Instant::now() + idle)? else {
                 return Ok(());
             };
@@ -1247,6 +1250,7 @@ impl<T: Transport> Swarm<T> {
             // awaited — only in-flight or fresh requests can unblock us.
             let mut to_request = Vec::new();
             let all_answered = {
+                // pti-allow(panic-policy): `at` owns the pending exchange being advanced, so the peer entry exists
                 let peer = self.peers.get_mut(&at).expect("checked");
                 for (desc_path, _) in &desc_paths {
                     if peer.received_descs.contains(desc_path) {
@@ -1263,6 +1267,7 @@ impl<T: Transport> Swarm<T> {
             if all_answered {
                 // Every listed description arrived earlier and still does
                 // not cover the root type: the envelope is unservable.
+                // pti-allow(panic-policy): `at` owns the pending exchange being advanced, so the peer entry exists
                 let peer = self.peers.get_mut(&at).expect("checked");
                 let p = peer.pending.remove(idx);
                 return Err(TransportError::Protocol(format!(
@@ -1283,10 +1288,12 @@ impl<T: Transport> Swarm<T> {
 
         // Stage 2: conformance check against interests (step 3).
         let matched_needed = {
+            // pti-allow(panic-policy): `at` owns the pending exchange being advanced, so the peer entry exists
             let peer = self.peers.get(&at).expect("checked");
             peer.pending[idx].matched.is_none()
         };
         if matched_needed {
+            // pti-allow(panic-policy): `at` owns the pending exchange being advanced, so the peer entry exists
             let peer = self.peers.get_mut(&at).expect("checked");
             let guid = peer.pending[idx].envelope.type_guid;
             if guid.is_nil() {
@@ -1325,6 +1332,7 @@ impl<T: Transport> Swarm<T> {
 
         // Stage 3: code download (steps 4-5).
         let missing: Vec<String> = {
+            // pti-allow(panic-policy): `at` owns the pending exchange being advanced, so the peer entry exists
             let peer = self.peers.get(&at).expect("checked");
             let p = &peer.pending[idx];
             p.envelope
@@ -1337,6 +1345,7 @@ impl<T: Transport> Swarm<T> {
         if !missing.is_empty() {
             let mut to_request = Vec::new();
             {
+                // pti-allow(panic-policy): `at` owns the pending exchange being advanced, so the peer entry exists
                 let peer = self.peers.get_mut(&at).expect("checked");
                 let p = &mut peer.pending[idx];
                 if p.awaiting_asms.is_some() {
@@ -1513,6 +1522,7 @@ impl<T: Transport> Swarm<T> {
         let len = msg
             .payload
             .get(..4)
+            // pti-allow(panic-policy): get(..4) returned exactly 4 bytes, so the slice-to-array conversion is infallible
             .map(|b| u32::from_le_bytes(b.try_into().expect("4 bytes")) as usize)
             .filter(|&n| n <= remaining)
             .ok_or_else(|| TransportError::Protocol("eager payload missing envelope".into()))?;

@@ -36,6 +36,7 @@ fn two_threads_exchange_conformant_objects() {
     // Producer thread: publishes vendor-a Person, sends N objects, then
     // serves description/assembly fetches until the consumer says done.
     let producer_code = code.clone();
+    // pti-allow(thread-confinement): LiveBus integration test — one swarm per OS thread is the workload under test
     let producer = thread::spawn(move || {
         let mut swarm: Swarm<LiveBus> = Swarm::with_code_registry(producer_bus, producer_code);
         swarm.add_peer_as(producer_id, ConformanceConfig::pragmatic());
@@ -70,6 +71,7 @@ fn two_threads_exchange_conformant_objects() {
     // fetches the description, checks conformance, downloads the code
     // from the shared registry, and delivers proxied events.
     let consumer_code = code.clone();
+    // pti-allow(thread-confinement): LiveBus integration test — one swarm per OS thread is the workload under test
     let consumer = thread::spawn(move || {
         let mut swarm: Swarm<LiveBus> = Swarm::with_code_registry(consumer_bus, consumer_code);
         swarm.add_peer_as(consumer_id, ConformanceConfig::pragmatic());
@@ -158,6 +160,7 @@ fn many_concurrent_publishers_fan_into_one_consumer() {
     for p in 0..PUBS {
         let pub_bus = bus.clone();
         let pub_code = code.clone();
+        // pti-allow(thread-confinement): LiveBus integration test — one swarm per OS thread is the workload under test
         handles.push(thread::spawn(move || {
             let id = PeerId(p as u32 + 1);
             let mut swarm: Swarm<LiveBus> = Swarm::with_code_registry(pub_bus, pub_code);
