@@ -119,6 +119,13 @@ pub const RULES: &[Rule] = &[
         severity_for: print_discipline_scope,
         check: Check::Line(print_discipline_check),
     },
+    Rule {
+        id: "unbounded-queue",
+        summary: "wire/inbox queue pushes need a visible bound or a stated reason",
+        exempt_tests: true,
+        severity_for: unbounded_queue_scope,
+        check: Check::File(unbounded_queue_file),
+    },
 ];
 
 /// Looks a rule up by id (for allow-comment validation).
@@ -419,6 +426,95 @@ fn print_discipline_check(code: &str) -> Option<String> {
         }
     }
     None
+}
+
+// ------------------------------------------------------------ unbounded-queue
+
+/// The wire-queue and inbox paths of the fabrics and the delivery
+/// layer: the files where an uncapped `push` is how a slow consumer or
+/// a fault storm turns into unbounded memory growth. Advisory-tier —
+/// the heuristic is lexical, so it asks for a justification rather than
+/// failing the build.
+const UNBOUNDED_QUEUE_FILES: &[&str] = &[
+    "crates/net/src/sim.rs",
+    "crates/net/src/bus.rs",
+    "crates/net/src/reactor.rs",
+    "crates/net/src/bridge.rs",
+    "crates/transport/src/swarm.rs",
+    "crates/transport/src/delivery.rs",
+];
+
+fn unbounded_queue_scope(relpath: &str, _class: FileClass) -> Option<Severity> {
+    UNBOUNDED_QUEUE_FILES
+        .contains(&relpath)
+        .then_some(Severity::Advisory)
+}
+
+/// Tokens that mark a push as visibly bounded when they appear in the
+/// push statement or the few code lines leading up to it: an explicit
+/// capacity/depth check, or a drain on the same structure.
+const CAP_TOKENS: &[&str] = &[
+    "cap",
+    "limit",
+    "bound",
+    "depth",
+    "pop_front",
+    "truncate",
+    "drain",
+];
+
+fn has_cap_token(code: &str) -> bool {
+    let lower = code.to_ascii_lowercase();
+    CAP_TOKENS.iter().any(|t| lower.contains(t))
+}
+
+/// Flags `.push(…)`/`.push_back(…)` onto queue-like state — any
+/// `push_back` (the VecDeque idiom), and `push` when the statement's
+/// receiver is a field (`self.…`) rather than a local scratch Vec —
+/// unless a cap token is visible in the statement or the six preceding
+/// code lines. Chained calls are attributed to the statement's first
+/// line, where the receiver (and any `pti-allow`) lives.
+fn unbounded_queue_file(lines: &[Line]) -> Vec<(usize, String)> {
+    let mut out = Vec::new();
+    for (idx, line) in lines.iter().enumerate() {
+        let code = &line.code;
+        let is_push_back = code.contains(".push_back(");
+        let is_push = code.contains(".push(");
+        if !is_push_back && !is_push {
+            continue;
+        }
+        // Walk chained calls back to the statement's first line.
+        let mut at = idx;
+        while at > 0 && lines[at].code.trim_start().starts_with('.') {
+            match lines[..at].iter().rposition(|l| !l.code.trim().is_empty()) {
+                Some(prev) => at = prev,
+                None => break,
+            }
+        }
+        if !is_push_back && !lines[at].code.contains("self.") {
+            continue;
+        }
+        let bounded = (at..=idx).any(|i| has_cap_token(&lines[i].code))
+            || lines[..at]
+                .iter()
+                .rev()
+                .filter(|l| !l.code.trim().is_empty())
+                .take(6)
+                .any(|l| has_cap_token(&l.code));
+        if bounded {
+            continue;
+        }
+        let what = if is_push_back { "push_back" } else { "push" };
+        out.push((
+            at,
+            format!(
+                "`.{what}(…)` grows a wire/inbox queue with no visible cap or drain \
+                 nearby; bound it (credit window, capacity check) or justify with \
+                 pti-allow(unbounded-queue)"
+            ),
+        ));
+    }
+    out
 }
 
 // -------------------------------------------------------------- allow parser

@@ -270,6 +270,108 @@ fn log(n: u64) {
     assert!(f.iter().all(|f| f.rule != "print-discipline"), "{f:?}");
 }
 
+// ------------------------------------------------------------ unbounded-queue
+
+#[test]
+fn unbounded_queue_fires_on_uncapped_field_pushes() {
+    let src = r#"
+impl Wire {
+    fn enqueue(&mut self, msg: Msg) {
+        self.outbox.push_back(msg);
+    }
+    fn record(&mut self, err: Error) {
+        self.errors.push(err);
+    }
+}
+"#;
+    let f = analyze_source("crates/transport/src/swarm.rs", src);
+    let hits = advisory_hits(&f, "unbounded-queue");
+    assert_eq!(hits.len(), 2, "{f:?}");
+    assert_eq!(hits[0].line, 4);
+    assert_eq!(hits[1].line, 7);
+}
+
+#[test]
+fn unbounded_queue_attributes_chained_pushes_to_the_statement_head() {
+    let src = r#"
+impl Wire {
+    fn enqueue(&mut self, to: PeerId, msg: Msg) {
+        self.outbox
+            .entry(to)
+            .or_default()
+            .push(msg);
+    }
+}
+"#;
+    let f = analyze_source("crates/transport/src/swarm.rs", src);
+    let hits = advisory_hits(&f, "unbounded-queue");
+    assert_eq!(hits.len(), 1, "{f:?}");
+    assert_eq!(hits[0].line, 4, "reported where the receiver lives");
+}
+
+#[test]
+fn unbounded_queue_cleared_by_a_visible_cap_check() {
+    let src = r#"
+impl Wire {
+    fn enqueue(&mut self, msg: Msg) {
+        if self.outbox.len() >= self.cap {
+            return;
+        }
+        self.outbox.push_back(msg);
+    }
+    fn retain_ring(&mut self, msg: Msg) {
+        self.ring.push_back(msg);
+        while self.ring.len() > self.depth {
+            self.ring.pop_front();
+        }
+    }
+}
+"#;
+    let f = analyze_source("crates/transport/src/delivery.rs", src);
+    assert!(advisory_hits(&f, "unbounded-queue").is_empty(), "{f:?}");
+}
+
+#[test]
+fn unbounded_queue_suppressed_by_allow_and_ignores_scratch_vecs() {
+    let src = r#"
+impl Wire {
+    fn enqueue(&mut self, msg: Msg) {
+        // pti-allow(unbounded-queue): drained fully at every flush
+        self.outbox.push_back(msg);
+    }
+    fn collect(&self) -> Vec<u64> {
+        let mut out = Vec::new();
+        out.push(1);
+        out
+    }
+}
+"#;
+    let f = analyze_source("crates/net/src/sim.rs", src);
+    assert!(
+        f.iter().all(|f| f.rule != "unbounded-queue"),
+        "allowed + local scratch Vec: {f:?}"
+    );
+    assert!(advisory_hits(&f, "unused-allow").is_empty(), "{f:?}");
+}
+
+#[test]
+fn unbounded_queue_scoped_to_queue_paths_and_exempts_tests() {
+    let src = "fn f(&mut self) { self.q.push_back(1); }\n";
+    assert!(
+        analyze_source("crates/tps/src/lib.rs", src)
+            .iter()
+            .all(|f| f.rule != "unbounded-queue"),
+        "out of scope"
+    );
+    let in_test = "#[cfg(test)]\nmod tests {\n    fn f(q: &mut Q) { q.inner.push_back(1); }\n}\n";
+    assert!(
+        analyze_source("crates/net/src/sim.rs", in_test)
+            .iter()
+            .all(|f| f.rule != "unbounded-queue"),
+        "tests exempt"
+    );
+}
+
 // -------------------------------------------------------- violations in text
 
 #[test]

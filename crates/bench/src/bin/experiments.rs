@@ -17,6 +17,21 @@ use pti_serialize::{
     description_from_string, description_to_string, from_binary, from_soap_string, to_binary,
     to_soap_string,
 };
+/// Version of the `BENCH_*.json` contract the CI gates parse. Bump it
+/// whenever a gated field is renamed, removed, or changes meaning, and
+/// update `.github/workflows/ci.yml` in the same change.
+const BENCH_SCHEMA_VERSION: u32 = 1;
+
+/// Stamps the shared schema version as the first field of a BENCH dump,
+/// so every emitter carries it without repeating the literal.
+fn stamp_schema(json: &str) -> String {
+    json.replacen(
+        "{\n",
+        &format!("{{\n  \"schema_version\": {BENCH_SCHEMA_VERSION},\n"),
+        1,
+    )
+}
+
 struct Row {
     id: String,
     name: String,
@@ -1279,6 +1294,141 @@ fn r5_shards(report: &mut Report) -> String {
     )
 }
 
+/// R6 — durable delivery under seeded faults: an `AtLeastOnce`
+/// publisher/subscriber pair on the virtual-time `SimNet`, swept over
+/// fabric loss rates (0%, 2%, 5%). The desc/asm exchange is warmed up
+/// losslessly — only the reliable OBJECT path is repaired by
+/// retransmission — then each loss level publishes `EVENTS` events,
+/// interleaved with pumps so every event rides its own fabric send, and
+/// drives the swarm through its retransmit deadlines with
+/// `run_durable`. Measures eventual delivery, duplicates surfaced above
+/// the dedup watermark (must be zero), repair work (retransmits), and
+/// the high-water queue depths against the credit window. Emits
+/// `BENCH_durability.json`; CI fails unless delivery is 100% at 5% loss
+/// with zero surfaced duplicates and `max_inflight` within the credit
+/// window.
+fn r6_durability(report: &mut Report) -> String {
+    let bench_start = Instant::now();
+    const EVENTS: u64 = 200;
+    const WINDOW: usize = 16;
+
+    struct LossRun {
+        loss_permille: u16,
+        delivered: u64,
+        dup_surfaced: u64,
+        dup_suppressed: u64,
+        retransmits: u64,
+        frames_sent: u64,
+        max_inflight: usize,
+        max_pending: usize,
+        faults_dropped: u64,
+        wall_ms: f64,
+    }
+
+    let run = |loss: u16| -> LossRun {
+        let start = Instant::now();
+        let mut swarm = Swarm::new(NetConfig::default());
+        let alice = swarm.add_peer(ConformanceConfig::pragmatic());
+        let bob = swarm.add_peer(ConformanceConfig::pragmatic());
+        let a = samples::person_vendor_a();
+        swarm.publish(alice, samples::person_assembly(&a)).unwrap();
+        swarm.set_qos(QoS::AtLeastOnce);
+        swarm.set_credit_window(WINDOW);
+        swarm.subscribe(bob, TypeDescription::from_def(&samples::person_vendor_b()));
+        let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, "warmup");
+        swarm
+            .route_object(alice, &v, PayloadFormat::Binary)
+            .unwrap();
+        swarm.run_durable().unwrap();
+        assert_eq!(swarm.peer(bob).stats.accepted, 1, "warm-up delivered");
+
+        swarm
+            .net_mut()
+            .install_fault_plan(FaultPlan::new(0xD00D ^ loss as u64).with_loss(loss));
+        for i in 0..EVENTS {
+            let v = samples::make_person(&mut swarm.peer_mut(alice).runtime, &format!("e{i}"));
+            swarm
+                .route_object(alice, &v, PayloadFormat::Binary)
+                .unwrap();
+            swarm.run().unwrap();
+        }
+        swarm.run_durable().unwrap();
+        assert!(
+            swarm.take_dispatch_errors().is_empty(),
+            "no link shed at {loss} permille"
+        );
+
+        let st = swarm.delivery_stats();
+        let accepted = swarm.peer(bob).stats.accepted - 1; // minus warm-up
+        LossRun {
+            loss_permille: loss,
+            delivered: accepted.min(EVENTS),
+            dup_surfaced: accepted.saturating_sub(EVENTS),
+            dup_suppressed: st.duplicates_suppressed,
+            retransmits: st.retransmits,
+            frames_sent: st.frames_sent,
+            max_inflight: st.max_inflight,
+            max_pending: st.max_pending,
+            faults_dropped: swarm.metrics().faults_dropped,
+            wall_ms: start.elapsed().as_secs_f64() * 1e3,
+        }
+    };
+
+    println!("\nR6  durability — at-least-once delivery under seeded loss");
+    let runs: Vec<LossRun> = [0u16, 20, 50].iter().map(|&l| run(l)).collect();
+    for r in &runs {
+        report.push(
+            "R6",
+            &format!(
+                "{EVENTS} events at {:.0}% seeded loss",
+                r.loss_permille as f64 / 10.0
+            ),
+            "100% delivery, 0 dup",
+            format!(
+                "{}/{EVENTS} delivered, {} dup surfaced ({} suppressed), {} retransmits \
+                 ({} dropped), queue depth {}/{} inflight, {} pending",
+                r.delivered,
+                r.dup_surfaced,
+                r.dup_suppressed,
+                r.retransmits,
+                r.faults_dropped,
+                r.max_inflight,
+                WINDOW,
+                r.max_pending,
+            ),
+            r.delivered == EVENTS && r.dup_surfaced == 0 && r.max_inflight <= WINDOW,
+        );
+    }
+
+    let json_run = |r: &LossRun| {
+        format!(
+            "    {{\"loss_permille\": {}, \"published\": {EVENTS}, \"delivered\": {}, \
+             \"delivery_ratio\": {:.3}, \"duplicates_surfaced\": {}, \
+             \"duplicates_suppressed\": {}, \"retransmits\": {}, \"frames_sent\": {}, \
+             \"max_inflight\": {}, \"max_pending\": {}, \"faults_dropped\": {}, \
+             \"wall_ms\": {:.1}}}",
+            r.loss_permille,
+            r.delivered,
+            r.delivered as f64 / EVENTS as f64,
+            r.dup_surfaced,
+            r.dup_suppressed,
+            r.retransmits,
+            r.frames_sent,
+            r.max_inflight,
+            r.max_pending,
+            r.faults_dropped,
+            r.wall_ms,
+        )
+    };
+    format!(
+        "{{\n  \"events\": {EVENTS},\n  \"credit_window\": {WINDOW},\n  \
+         \"qos\": \"at-least-once\",\n  \"threads\": 1,\n  \"runs\": [\n{}\n  ],\n  \
+         \"elapsed_ms\": {:.1}\n}}\n",
+        runs.iter().map(json_run).collect::<Vec<_>>().join(",\n"),
+        bench_start.elapsed().as_secs_f64() * 1e3,
+    )
+}
+
 fn a1_name_matchers(report: &mut Report) {
     println!("\nA1  ablation D1 — name matcher strictness vs match rate & cost");
     let variants = samples::generate_population(3, 200, 0.5);
@@ -1551,6 +1701,7 @@ fn main() {
     let (wirepath_json, livebus_eps) = r3_wirepath(&mut report);
     let reactor_json = r4_reactor(&mut report, livebus_eps);
     let shards_json = r5_shards(&mut report);
+    let durability_json = r6_durability(&mut report);
     a1_name_matchers(&mut report);
     a2_variance(&mut report);
     a3_cache(&mut report);
@@ -1564,14 +1715,16 @@ fn main() {
     );
     std::fs::write("experiments.json", rows_to_json(&report.rows)).expect("writable cwd");
     println!("wrote experiments.json");
-    std::fs::write("BENCH_routing.json", routing_json).expect("writable cwd");
+    std::fs::write("BENCH_routing.json", stamp_schema(&routing_json)).expect("writable cwd");
     println!("wrote BENCH_routing.json");
-    std::fs::write("BENCH_membership.json", membership_json).expect("writable cwd");
+    std::fs::write("BENCH_membership.json", stamp_schema(&membership_json)).expect("writable cwd");
     println!("wrote BENCH_membership.json");
-    std::fs::write("BENCH_wirepath.json", wirepath_json).expect("writable cwd");
+    std::fs::write("BENCH_wirepath.json", stamp_schema(&wirepath_json)).expect("writable cwd");
     println!("wrote BENCH_wirepath.json");
-    std::fs::write("BENCH_reactor.json", reactor_json).expect("writable cwd");
+    std::fs::write("BENCH_reactor.json", stamp_schema(&reactor_json)).expect("writable cwd");
     println!("wrote BENCH_reactor.json");
-    std::fs::write("BENCH_shards.json", shards_json).expect("writable cwd");
+    std::fs::write("BENCH_shards.json", stamp_schema(&shards_json)).expect("writable cwd");
     println!("wrote BENCH_shards.json");
+    std::fs::write("BENCH_durability.json", stamp_schema(&durability_json)).expect("writable cwd");
+    println!("wrote BENCH_durability.json");
 }

@@ -93,9 +93,9 @@ pub mod prelude {
         TypeDescription, TypeName, TypeRegistry, Value,
     };
     pub use pti_net::{
-        BridgeLink, BridgeRx, BridgeStats, BridgeTx, BusMessage, Endpoint, LiveBus, NetConfig,
-        NetMetrics, Payload, PeerId, ReactorNet, ReactorStats, SessionId, SharedSimNet, SimNet,
-        Transport,
+        BridgeLink, BridgeRx, BridgeStats, BridgeTx, BusMessage, Endpoint, FaultDecision,
+        FaultPlan, LiveBus, NetConfig, NetMetrics, Partition, Payload, PeerId, ReactorNet,
+        ReactorStats, SessionId, SharedSimNet, SimNet, Transport,
     };
     pub use pti_proxy::{invoke_direct, DynamicProxy, ProxyError};
     pub use pti_remoting::{RemoteProxy, RemoteRef, RemotingFabric};
@@ -108,8 +108,8 @@ pub mod prelude {
         Subscription, TypedPubSub,
     };
     pub use pti_transport::{
-        CodeRegistry, Delivery, LiveSwarm, MembershipView, MountedSwarm, Peer, ProtocolStats,
-        ReactorHost, ReactorSwarm, RoutingTable, ShardedHost, Signature, SimSwarm, Swarm,
-        TransportError, ViewDelta,
+        CodeRegistry, Delivery, DeliveryConfig, DeliveryStats, LiveSwarm, MembershipView,
+        MountedSwarm, Peer, ProtocolStats, QoS, ReactorHost, ReactorSwarm, RoutingTable,
+        ShardedHost, Signature, SimSwarm, Swarm, TransportError, ViewDelta,
     };
 }

@@ -42,22 +42,38 @@ pub struct BusMessage {
 }
 
 /// Hub creating endpoints and carrying shared metrics.
-#[derive(Debug, Default)]
+#[derive(Debug)]
 pub struct LiveBus {
     inner: Arc<Mutex<BusInner>>,
     /// Inboxes attached to this handle via [`Transport::register`] —
     /// deliberately not shared between clones: each protocol driver owns
     /// the receive side of its own peers.
     attached: HashMap<PeerId, Receiver<BusMessage>>,
+    /// When this fabric was created — `Transport::now_us` reports time
+    /// since then, giving the live fabric a monotonic µs clock shaped
+    /// like the virtual ones.
+    epoch: Instant,
+}
+
+impl Default for LiveBus {
+    fn default() -> LiveBus {
+        LiveBus {
+            inner: Arc::default(),
+            attached: HashMap::new(),
+            epoch: Instant::now(),
+        }
+    }
 }
 
 impl Clone for LiveBus {
-    /// Clones the *fabric handle*: the new value shares senders and
-    /// metrics with the original but has no attached inboxes of its own.
+    /// Clones the *fabric handle*: the new value shares senders, metrics
+    /// and the clock epoch with the original but has no attached inboxes
+    /// of its own.
     fn clone(&self) -> LiveBus {
         LiveBus {
             inner: Arc::clone(&self.inner),
             attached: HashMap::new(),
+            epoch: self.epoch,
         }
     }
 }
@@ -243,6 +259,10 @@ impl Transport for LiveBus {
 
     fn record_payload_encode(&mut self) {
         self.lock().metrics.record_payload_encode();
+    }
+
+    fn now_us(&self) -> u64 {
+        self.epoch.elapsed().as_micros() as u64
     }
 }
 

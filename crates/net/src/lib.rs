@@ -51,6 +51,7 @@
 
 pub mod bridge;
 mod bus;
+mod fault;
 mod frame;
 mod metrics;
 mod payload;
@@ -60,6 +61,7 @@ mod transport;
 
 pub use bridge::{BridgeLink, BridgeRx, BridgeStats, BridgeTx};
 pub use bus::{BusMessage, Endpoint, LiveBus};
+pub use fault::{FaultDecision, FaultPlan, Partition};
 pub use frame::{kinds, Frame, FrameBatch, FrameDecodeError};
 pub use metrics::{KindMetrics, LinkBatchMetrics, NetMetrics};
 pub use payload::Payload;

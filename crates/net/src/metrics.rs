@@ -49,6 +49,14 @@ pub struct NetMetrics {
     /// Bridged sends that actually delivered a wake signal to the owning
     /// shard's parked thread (vs. finding it already running).
     pub bridge_wakes: u64,
+    /// Messages an installed [`FaultPlan`](crate::FaultPlan) silently
+    /// dropped (their send was still recorded in the counters above —
+    /// the bytes hit the wire, then were lost).
+    pub faults_dropped: u64,
+    /// Messages a fault plan delivered twice.
+    pub faults_duplicated: u64,
+    /// Messages blocked by an active fault-plan partition.
+    pub faults_partitioned: u64,
 }
 
 /// Counters for one message kind.
@@ -136,6 +144,17 @@ impl NetMetrics {
         }
     }
 
+    /// Records the outcome of one fault-plan decision (no-op for
+    /// [`FaultDecision::Deliver`](crate::FaultDecision::Deliver)).
+    pub fn record_fault(&mut self, decision: crate::FaultDecision) {
+        match decision {
+            crate::FaultDecision::Deliver => {}
+            crate::FaultDecision::Drop => self.faults_dropped += 1,
+            crate::FaultDecision::Duplicate => self.faults_duplicated += 1,
+            crate::FaultDecision::Partitioned => self.faults_partitioned += 1,
+        }
+    }
+
     /// Folds another fabric's counters into this one — how a sharded
     /// host aggregates its per-shard `NetMetrics` into one fabric-wide
     /// view. Every counter sums, including the per-kind / per-link maps.
@@ -146,6 +165,9 @@ impl NetMetrics {
         self.bridge_crossings += other.bridge_crossings;
         self.bridge_bytes += other.bridge_bytes;
         self.bridge_wakes += other.bridge_wakes;
+        self.faults_dropped += other.faults_dropped;
+        self.faults_duplicated += other.faults_duplicated;
+        self.faults_partitioned += other.faults_partitioned;
         for (kind, k) in &other.per_kind {
             let e = self.per_kind.entry(kind).or_default();
             e.messages += k.messages;
@@ -312,6 +334,10 @@ mod tests {
         b.record_batch(PeerId(1), PeerId(2), 3, 50);
         b.record_batch_splits(PeerId(3), PeerId(4), 2);
         b.record_bridge_crossing(10, false);
+        b.record_fault(crate::FaultDecision::Drop);
+        b.record_fault(crate::FaultDecision::Duplicate);
+        b.record_fault(crate::FaultDecision::Partitioned);
+        b.record_fault(crate::FaultDecision::Deliver);
         a.merge(&b);
         assert_eq!(a.messages, 3);
         assert_eq!(a.bytes, 160);
@@ -325,6 +351,10 @@ mod tests {
         assert_eq!(
             (a.bridge_crossings, a.bridge_bytes, a.bridge_wakes),
             (2, 50, 1)
+        );
+        assert_eq!(
+            (a.faults_dropped, a.faults_duplicated, a.faults_partitioned),
+            (1, 1, 1)
         );
         // Merging an empty fabric is the identity.
         let before = a.clone();

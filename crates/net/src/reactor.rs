@@ -26,6 +26,7 @@ use std::rc::Rc;
 
 use crate::bridge::BridgeTx;
 use crate::bus::BusMessage;
+use crate::fault::{FaultDecision, FaultPlan};
 use crate::frame::{kinds, FrameBatch};
 use crate::metrics::NetMetrics;
 use crate::payload::Payload;
@@ -95,6 +96,7 @@ impl TimerWheel {
 
     fn schedule(&mut self, deadline_us: u64, session: SessionId) {
         let slot = ((deadline_us / WHEEL_TICK_US) as usize) % WHEEL_SLOTS;
+        // pti-allow(unbounded-queue): one wheel entry per scheduled wake; bounded by live sessions
         self.slots[slot].push((deadline_us, session));
         self.len += 1;
     }
@@ -161,11 +163,13 @@ struct Core {
     next_session: u32,
     metrics: NetMetrics,
     stats: ReactorStats,
+    fault: Option<FaultPlan>,
 }
 
 impl Core {
     fn mark_ready(&mut self, session: SessionId) {
         if self.enqueued.insert(session) {
+            // pti-allow(unbounded-queue): deduplicated by `enqueued`, so at most one entry per session
             self.ready.push_back(session);
         }
     }
@@ -236,6 +240,7 @@ impl ReactorNet {
                 next_session: 1,
                 metrics: NetMetrics::default(),
                 stats: ReactorStats::default(),
+                fault: None,
             })),
             session: SessionId(0),
             #[cfg(debug_assertions)]
@@ -429,6 +434,7 @@ impl ReactorNet {
         let Some(owner) = core.owner.get(&msg.to).copied() else {
             return false;
         };
+        // pti-allow(unbounded-queue): inbound rings model the network; the delivery layer bounds senders via credit
         core.rings
             .get_mut(&msg.to)
             // pti-allow(panic-policy): owner and rings are mutated together, so an owned peer always has a ring
@@ -511,22 +517,53 @@ impl Transport for ReactorNet {
     ) -> Result<(), NetError> {
         self.assert_owner_thread();
         let mut core = self.core.borrow_mut();
-        let Some(owner) = core.owner.get(&to).copied() else {
+        let local_owner = core.owner.get(&to).copied();
+        if local_owner.is_none() && !core.proxies.contains_key(&to) {
+            return Err(NetError::UnknownPeer(to));
+        }
+        // The fault plan adjudicates before delivery: a dropped message
+        // is still accounted as sent (the bytes hit the wire), it just
+        // never reaches a ring or the bridge.
+        let decision = match core.fault.as_mut() {
+            Some(plan) => plan.decide(from, to),
+            None => FaultDecision::Deliver,
+        };
+        core.metrics.record_fault(decision);
+        if matches!(decision, FaultDecision::Drop | FaultDecision::Partitioned) {
+            let size = payload.len();
+            core.metrics.record(kind, size);
+            if kind == kinds::BATCH {
+                let frames = FrameBatch::peek_count(&payload).unwrap_or(0);
+                core.metrics.record_batch(from, to, frames, size);
+            }
+            core.stats.sends += 1;
+            return Ok(());
+        }
+        let copies = if decision == FaultDecision::Duplicate {
+            2
+        } else {
+            1
+        };
+        let Some(owner) = local_owner else {
             // No local ring: a remote-shard proxy forwards over its
             // bridge; the send is recorded here (origin-side accounting)
             // and the owning shard injects it without re-counting.
-            let Some(bridge) = core.proxies.get(&to).cloned() else {
-                return Err(NetError::UnknownPeer(to));
-            };
+            // pti-allow(panic-policy): proxy membership was checked before adjudicating the fault
+            let bridge = core.proxies.get(&to).cloned().expect("checked proxy");
             let size = payload.len();
             let batch_frames =
                 (kind == kinds::BATCH).then(|| FrameBatch::peek_count(&payload).unwrap_or(0));
-            let woke = bridge.send(BusMessage {
+            let msg = BusMessage {
                 from,
                 to,
                 kind,
                 payload,
-            })?;
+            };
+            let mut woke = false;
+            for _ in 1..copies {
+                woke |= bridge.send(msg.clone())?;
+            }
+            woke |= bridge.send(msg)?;
             // Recorded only after the bridge accepted it — a failed send
             // stays uncounted, same as the local path.
             core.metrics.record(kind, size);
@@ -543,17 +580,24 @@ impl Transport for ReactorNet {
             let frames = FrameBatch::peek_count(&payload).unwrap_or(0);
             core.metrics.record_batch(from, to, frames, size);
         }
-        core.rings
+        let msg = BusMessage {
+            from,
+            to,
+            kind,
+            payload,
+        };
+        let ring = core
+            .rings
             .get_mut(&to)
             // pti-allow(panic-policy): owner and rings are mutated together, so an owned peer always has a ring
-            .expect("registered peer has a ring")
-            .push_back(BusMessage {
-                from,
-                to,
-                kind,
-                payload,
-            });
-        *core.backlog.entry(owner).or_insert(0) += 1;
+            .expect("registered peer has a ring");
+        for _ in 1..copies {
+            // pti-allow(unbounded-queue): inbound rings model the network; the delivery layer bounds senders via credit
+            ring.push_back(msg.clone());
+        }
+        // pti-allow(unbounded-queue): inbound rings model the network; the delivery layer bounds senders via credit
+        ring.push_back(msg);
+        *core.backlog.entry(owner).or_insert(0) += copies;
         core.stats.sends += 1;
         core.mark_ready(owner);
         Ok(())
@@ -596,6 +640,14 @@ impl Transport for ReactorNet {
 
     fn record_payload_encode(&mut self) {
         self.core.borrow_mut().metrics.record_payload_encode();
+    }
+
+    fn now_us(&self) -> u64 {
+        ReactorNet::now_us(self)
+    }
+
+    fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.core.borrow_mut().fault = Some(plan);
     }
 }
 
@@ -857,6 +909,29 @@ mod tests {
         hub.schedule_wake(a.session_id(), 10_000);
         assert!(!hub.advance_idle_until(hub.now_us() + 1_000));
         assert!(hub.timers_pending());
+    }
+
+    #[test]
+    fn fault_plan_is_honoured_on_the_local_path() {
+        let mut t = ReactorNet::new();
+        t.register(PeerId(1));
+        t.register(PeerId(2));
+        t.install_fault_plan(FaultPlan::new(1).with_loss(1000));
+        t.send(PeerId(1), PeerId(2), "k", vec![1].into()).unwrap();
+        assert!(t.try_recv(PeerId(2)).is_none(), "dropped before the ring");
+        let m = Transport::metrics(&t);
+        assert_eq!(m.faults_dropped, 1);
+        assert_eq!(m.messages, 1, "the send itself is accounted");
+        t.install_fault_plan(FaultPlan::new(1).with_duplication(1000));
+        t.send(PeerId(1), PeerId(2), "k", vec![2].into()).unwrap();
+        assert_eq!(t.try_recv(PeerId(2)).unwrap().payload, vec![2]);
+        assert_eq!(t.try_recv(PeerId(2)).unwrap().payload, vec![2]);
+        assert_eq!(Transport::metrics(&t).faults_duplicated, 1);
+        assert_eq!(
+            t.send(PeerId(1), PeerId(9), "k", Payload::empty()),
+            Err(NetError::UnknownPeer(PeerId(9))),
+            "unknown peers are rejected before adjudication"
+        );
     }
 
     #[test]

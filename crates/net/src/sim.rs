@@ -15,6 +15,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::fmt;
 
+use crate::fault::{FaultDecision, FaultPlan};
 use crate::frame::{kinds, FrameBatch};
 use crate::metrics::NetMetrics;
 use crate::payload::Payload;
@@ -111,6 +112,7 @@ pub struct SimNet {
     inboxes: HashMap<PeerId, VecDeque<Message>>,
     link_free: HashMap<(PeerId, PeerId), u64>,
     metrics: NetMetrics,
+    fault: Option<FaultPlan>,
 }
 
 impl SimNet {
@@ -122,7 +124,28 @@ impl SimNet {
             inboxes: HashMap::new(),
             link_free: HashMap::new(),
             metrics: NetMetrics::default(),
+            fault: None,
         }
+    }
+
+    /// Installs (or replaces) a seeded fault plan; subsequent sends are
+    /// adjudicated by it. Pass-through of control traffic before the
+    /// plan is installed is the usual way to fault only steady-state
+    /// traffic.
+    pub fn install_fault_plan(&mut self, plan: FaultPlan) {
+        self.fault = Some(plan);
+    }
+
+    /// Removes any installed fault plan.
+    pub fn clear_fault_plan(&mut self) {
+        self.fault = None;
+    }
+
+    /// Advances the virtual clock to `deadline_us` if it is ahead of the
+    /// current time — how a durable-delivery driver reaches its next
+    /// retransmit deadline when the fabric is otherwise quiet.
+    pub fn advance_clock_to(&mut self, deadline_us: u64) {
+        self.clock_us = self.clock_us.max(deadline_us);
     }
 
     /// Registers a peer, creating its inbox.
@@ -193,8 +216,30 @@ impl SimNet {
             sent_at: self.clock_us,
             deliver_at,
         };
-        // pti-allow(panic-policy): `to` was validated against inboxes at the top of send()
-        self.inboxes.get_mut(&to).expect("checked").push_back(msg);
+        // The fault plan adjudicates after accounting: a dropped message
+        // still spent the sender's bandwidth, it just never arrives.
+        let decision = match self.fault.as_mut() {
+            Some(plan) => plan.decide(from, to),
+            None => FaultDecision::Deliver,
+        };
+        self.metrics.record_fault(decision);
+        match decision {
+            FaultDecision::Drop | FaultDecision::Partitioned => return Ok(deliver_at),
+            FaultDecision::Duplicate => {
+                // pti-allow(panic-policy): `to` was validated against inboxes at the top of send()
+                let inbox = self.inboxes.get_mut(&to).expect("checked");
+                // pti-allow(unbounded-queue): sim inboxes model the network, not a bounded buffer
+                inbox.push_back(msg.clone());
+                // pti-allow(unbounded-queue): second copy of the duplicated delivery, same modelling rationale
+                inbox.push_back(msg);
+            }
+            FaultDecision::Deliver => {
+                // pti-allow(panic-policy): `to` was validated against inboxes at the top of send()
+                let inbox = self.inboxes.get_mut(&to).expect("checked");
+                // pti-allow(unbounded-queue): sim inboxes model the network, not a bounded buffer
+                inbox.push_back(msg);
+            }
+        }
         Ok(deliver_at)
     }
 
@@ -284,6 +329,17 @@ impl SharedSimNet {
     /// Number of undelivered messages queued for `peer`.
     pub fn pending(&self, peer: PeerId) -> usize {
         self.inner.borrow().pending(peer)
+    }
+
+    /// Installs a seeded fault plan on the shared fabric (every handle
+    /// sees it).
+    pub fn install_fault_plan(&self, plan: FaultPlan) {
+        self.inner.borrow_mut().install_fault_plan(plan);
+    }
+
+    /// Advances the shared virtual clock to `deadline_us` if ahead.
+    pub fn advance_clock_to(&self, deadline_us: u64) {
+        self.inner.borrow_mut().advance_clock_to(deadline_us);
     }
 }
 
@@ -405,6 +461,48 @@ mod tests {
             Transport::send(&mut left, PeerId(1), PeerId(9), "k", Payload::empty()),
             Err(NetError::UnknownPeer(PeerId(9)))
         );
+    }
+
+    #[test]
+    fn fault_plan_drops_and_duplicates_deterministically() {
+        use crate::fault::FaultPlan;
+        let mut n = net();
+        n.install_fault_plan(FaultPlan::new(1).with_loss(1000));
+        n.send(PeerId(1), PeerId(2), "x", vec![1]).unwrap();
+        assert_eq!(n.pending(PeerId(2)), 0, "dropped before the inbox");
+        assert_eq!(n.metrics().faults_dropped, 1);
+        assert_eq!(n.metrics().messages, 1, "the send itself is accounted");
+        n.install_fault_plan(FaultPlan::new(1).with_duplication(1000));
+        n.send(PeerId(1), PeerId(2), "x", vec![2]).unwrap();
+        assert_eq!(n.pending(PeerId(2)), 2, "duplicated into the inbox");
+        assert_eq!(n.metrics().faults_duplicated, 1);
+        n.clear_fault_plan();
+        n.send(PeerId(1), PeerId(2), "x", vec![3]).unwrap();
+        assert_eq!(n.pending(PeerId(2)), 3);
+    }
+
+    #[test]
+    fn fault_partition_blocks_then_heals() {
+        use crate::fault::FaultPlan;
+        let mut n = net();
+        n.install_fault_plan(FaultPlan::new(1).with_partition([PeerId(2)], 0, 2));
+        n.send(PeerId(1), PeerId(2), "x", vec![1]).unwrap();
+        n.send(PeerId(2), PeerId(1), "x", vec![2]).unwrap();
+        assert_eq!(n.pending(PeerId(2)), 0);
+        assert_eq!(n.pending(PeerId(1)), 0);
+        assert_eq!(n.metrics().faults_partitioned, 2);
+        // Step 2: healed.
+        n.send(PeerId(1), PeerId(2), "x", vec![3]).unwrap();
+        assert_eq!(n.pending(PeerId(2)), 1);
+    }
+
+    #[test]
+    fn advance_clock_only_moves_forward() {
+        let mut n = net();
+        n.advance_clock_to(5000);
+        assert_eq!(n.now_us(), 5000);
+        n.advance_clock_to(100);
+        assert_eq!(n.now_us(), 5000, "never rewinds");
     }
 
     #[test]

@@ -12,6 +12,7 @@
 use std::time::Instant;
 
 use crate::bus::BusMessage;
+use crate::fault::FaultPlan;
 use crate::metrics::NetMetrics;
 use crate::payload::Payload;
 use crate::sim::{NetError, PeerId, SharedSimNet, SimNet};
@@ -88,6 +89,30 @@ pub trait Transport {
     /// counts proves the publish path encodes once and *shares* the
     /// bytes across destinations. The default is a no-op.
     fn record_payload_encode(&mut self) {}
+
+    /// The fabric's notion of "now" in microseconds — virtual time on
+    /// the simulated fabrics, time since fabric creation on the live
+    /// ones. The durability layer stamps retransmit deadlines with it.
+    /// The default (a frozen clock) disables time-based retries.
+    fn now_us(&self) -> u64 {
+        0
+    }
+
+    /// Installs a seeded [`FaultPlan`] that adjudicates every subsequent
+    /// send (drop / duplicate / partition). Fabrics without fault
+    /// support ignore the plan — the default is a no-op.
+    fn install_fault_plan(&mut self, plan: FaultPlan) {
+        let _ = plan;
+    }
+
+    /// Advances a *virtual* clock to `deadline_us`, returning whether
+    /// the fabric did so. Virtual-time fabrics use this to reach the
+    /// next retransmit deadline when no traffic is in flight; wall-clock
+    /// fabrics return `false` (time passes on its own).
+    fn advance_virtual_time(&mut self, deadline_us: u64) -> bool {
+        let _ = deadline_us;
+        false
+    }
 }
 
 impl Transport for SimNet {
@@ -133,6 +158,19 @@ impl Transport for SimNet {
     fn record_payload_encode(&mut self) {
         SimNet::metrics_mut(self).record_payload_encode();
     }
+
+    fn now_us(&self) -> u64 {
+        SimNet::now_us(self)
+    }
+
+    fn install_fault_plan(&mut self, plan: FaultPlan) {
+        SimNet::install_fault_plan(self, plan);
+    }
+
+    fn advance_virtual_time(&mut self, deadline_us: u64) -> bool {
+        SimNet::advance_clock_to(self, deadline_us);
+        true
+    }
 }
 
 /// Every clone drives the same underlying [`SimNet`]: registration,
@@ -176,6 +214,19 @@ impl Transport for SharedSimNet {
 
     fn record_payload_encode(&mut self) {
         self.with(|net| net.metrics_mut().record_payload_encode());
+    }
+
+    fn now_us(&self) -> u64 {
+        SharedSimNet::now_us(self)
+    }
+
+    fn install_fault_plan(&mut self, plan: FaultPlan) {
+        SharedSimNet::install_fault_plan(self, plan);
+    }
+
+    fn advance_virtual_time(&mut self, deadline_us: u64) -> bool {
+        SharedSimNet::advance_clock_to(self, deadline_us);
+        true
     }
 }
 

@@ -84,9 +84,11 @@ use pti_net::{NetConfig, NetMetrics, PeerId, ReactorNet, SimNet, Transport};
 use pti_proxy::DynamicProxy;
 use pti_serialize::PayloadFormat;
 use pti_transport::{
-    CodeRegistry, Delivery, MountedSwarm, ProtocolStats, ReactorHost, Result, ShardedHost, Swarm,
-    TransportError,
+    CodeRegistry, Delivery, DeliveryConfig, DeliveryStats, MountedSwarm, ProtocolStats,
+    ReactorHost, Result, ShardedHost, Swarm, TransportError,
 };
+
+pub use pti_transport::QoS;
 
 /// How published events reach the other members.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -239,6 +241,7 @@ pub struct Builder {
     mode: DeliveryMode,
     join_seed: Option<PeerId>,
     code: Option<CodeRegistry>,
+    delivery: DeliveryConfig,
 }
 
 impl Default for Builder {
@@ -250,6 +253,7 @@ impl Default for Builder {
             mode: DeliveryMode::Routed,
             join_seed: None,
             code: None,
+            delivery: DeliveryConfig::default(),
         }
     }
 }
@@ -299,6 +303,42 @@ impl Builder {
     /// [`TypedPubSub::join`] once the seed is known to be up.
     pub fn join(mut self, seed: PeerId) -> Builder {
         self.join_seed = Some(seed);
+        self
+    }
+
+    /// Delivery guarantee for routed events. The default,
+    /// [`QoS::FireAndForget`], ships each event once and trusts the
+    /// fabric; [`QoS::AtLeastOnce`] adds per-link sequencing, cumulative
+    /// acknowledgements, bounded retransmission and duplicate
+    /// suppression — pair it with `Swarm::run_durable` (via
+    /// [`TypedPubSub::run_durable`]) on virtual-time fabrics so the
+    /// clock reaches the retransmit deadlines.
+    pub fn qos(mut self, qos: QoS) -> Builder {
+        self.delivery.qos = qos;
+        self
+    }
+
+    /// At-least-once flow control: how many unacknowledged reliable
+    /// frames one `(publisher, subscriber)` link may hold before further
+    /// events buffer at the sender. Defaults to 32; clamped to ≥ 1.
+    pub fn credit_window(mut self, window: usize) -> Builder {
+        self.delivery.credit_window = window.max(1);
+        self
+    }
+
+    /// How many recent events per topic the group retains for replay to
+    /// late or resumed subscribers. Defaults to 0 (no replay).
+    pub fn replay_depth(mut self, depth: usize) -> Builder {
+        self.delivery.replay_depth = depth;
+        self
+    }
+
+    /// At-least-once retransmit schedule: the base backoff in virtual
+    /// microseconds (doubles each round) and the retry budget after
+    /// which a link is declared unreachable.
+    pub fn retransmit(mut self, base_us: u64, max_retries: u32) -> Builder {
+        self.delivery.retransmit_base_us = base_us.max(1);
+        self.delivery.max_retries = max_retries;
         self
     }
 
@@ -361,9 +401,14 @@ impl Builder {
     /// [`LiveBus`](pti_net::LiveBus) handle for concurrent members.
     pub fn over<T: Transport>(self, transport: T) -> TypedPubSub<T> {
         let code = self.code.unwrap_or_default();
+        let mut swarm = Swarm::with_code_registry(transport, code);
+        swarm.set_qos(self.delivery.qos);
+        swarm.set_credit_window(self.delivery.credit_window);
+        swarm.set_replay_depth(self.delivery.replay_depth);
+        swarm.set_retransmit(self.delivery.retransmit_base_us, self.delivery.max_retries);
         TypedPubSub {
             inner: Arc::new(Mutex::new(Group {
-                swarm: Swarm::with_code_registry(transport, code),
+                swarm,
                 members: Vec::new(),
                 default_conformance: self.conformance,
                 format: self.format,
@@ -509,6 +554,36 @@ impl<T: Transport> TypedPubSub<T> {
     /// Protocol violations.
     pub fn run_for(&self, idle: Duration) -> Result<()> {
         self.lock().swarm.run_for(idle)
+    }
+
+    /// Like [`run`](Self::run), but additionally advances a
+    /// virtual-time fabric through at-least-once retransmit deadlines
+    /// until every reliable link is settled (all events acknowledged) or
+    /// shed (retry budget exhausted — surfaced via
+    /// [`take_dispatch_errors`](Self::take_dispatch_errors)). The right
+    /// pump for groups built with [`Builder::qos`]`(QoS::AtLeastOnce)`
+    /// on a `SimNet`.
+    ///
+    /// # Errors
+    /// Pump-budget exhaustion; per-message protocol errors are isolated,
+    /// not returned.
+    pub fn run_durable(&self) -> Result<()> {
+        self.lock().swarm.run_durable()
+    }
+
+    /// At-least-once delivery counters: frames sent and retransmitted,
+    /// acknowledgements, duplicates suppressed, replay activity, and the
+    /// high-water queue depths.
+    pub fn delivery_stats(&self) -> DeliveryStats {
+        self.lock().swarm.delivery_stats()
+    }
+
+    /// Drains the per-message errors the pumps isolated instead of
+    /// aborting on — malformed frames, unknown artifacts, unreachable
+    /// at-least-once peers — each tagged with the owned peer that
+    /// reported it.
+    pub fn take_dispatch_errors(&self) -> Vec<(PeerId, TransportError)> {
+        self.lock().swarm.take_dispatch_errors()
     }
 
     /// Network traffic counters.
@@ -1380,6 +1455,56 @@ mod tests {
         let got = x_sub.drain();
         assert_eq!(got.len(), 1);
         assert_eq!(got[0].interest_guid, vendor_x.guid);
+    }
+
+    #[test]
+    fn at_least_once_group_survives_seeded_loss() {
+        use pti_net::FaultPlan;
+        let tps = TypedPubSub::builder()
+            .qos(QoS::AtLeastOnce)
+            .credit_window(8)
+            .retransmit(2_000, 8)
+            .build();
+        let publisher = tps.add_member();
+        let subscriber = tps.add_member();
+        let (asm, _) = quote_assembly("pub");
+        let quotes = publisher.publisher_for(asm).unwrap();
+        let (_, sub_def) = quote_assembly("sub");
+        let sub = subscriber.subscribe(TypeDescription::from_def(&sub_def));
+
+        // Warm up the desc/asm exchange losslessly, then turn on loss:
+        // only the reliable OBJECT path is repaired by retransmission.
+        quotes
+            .publish_with(|e| {
+                e.set("symbol", "WARM")?;
+                Ok(())
+            })
+            .unwrap();
+        tps.run_durable().unwrap();
+        assert_eq!(sub.drain().len(), 1);
+
+        tps.with_swarm(|s| {
+            s.net_mut()
+                .install_fault_plan(FaultPlan::new(11).with_loss(100))
+        });
+        for i in 0..20 {
+            let symbol = format!("L{i}");
+            quotes
+                .publish_with(|e| {
+                    e.set("symbol", symbol.as_str())?;
+                    Ok(())
+                })
+                .unwrap();
+            tps.run().unwrap();
+        }
+        tps.run_durable().unwrap();
+
+        assert_eq!(sub.drain().len(), 20, "100% delivery despite loss");
+        assert!(tps.take_dispatch_errors().is_empty());
+        let st = tps.delivery_stats();
+        assert_eq!(st.delivered, 21, "each event surfaced exactly once");
+        assert!(st.max_inflight <= 8, "credit window bounds queue depth");
+        assert!(tps.metrics().faults_dropped > 0, "the plan did drop frames");
     }
 
     #[test]

@@ -25,6 +25,10 @@ pub enum TransportError {
     /// Only objects (not bare primitives containing objects) may carry
     /// assembly provenance; malformed protocol payloads land here too.
     Protocol(String),
+    /// A reliable (at-least-once) link exhausted its retransmit budget:
+    /// the peer never acknowledged within `max_retries` exponential
+    /// backoff rounds and is presumed gone.
+    Unreachable(PeerId),
 }
 
 impl fmt::Display for TransportError {
@@ -42,6 +46,9 @@ impl fmt::Display for TransportError {
             }
             Self::UnknownPath(p) => write!(f, "no artifact published at `{p}`"),
             Self::Protocol(m) => write!(f, "protocol violation: {m}"),
+            Self::Unreachable(p) => {
+                write!(f, "peer {p} unreachable (retransmit retries exhausted)")
+            }
         }
     }
 }

@@ -86,6 +86,7 @@
 #![warn(missing_docs)]
 
 mod code;
+mod delivery;
 mod error;
 mod membership;
 mod peer;
@@ -95,6 +96,10 @@ pub mod sharded;
 mod swarm;
 
 pub use code::CodeRegistry;
+pub use delivery::{
+    decode_reliable_header, DeliveryConfig, DeliveryEngine, DeliveryStats, Inbound, PollOutcome,
+    QoS, RetainedEvent, RELIABLE_HEADER_LEN,
+};
 pub use error::{Result, TransportError};
 pub use membership::{InterestAnnounce, MembershipView, ViewDelta};
 pub use peer::{Delivery, Peer, PeerProvider, ProtocolStats, Published};

@@ -280,7 +280,10 @@ impl ReactorHost {
     /// budget; if backlog remains it rejoins the queue at the back.
     fn pump_slot(&mut self, idx: usize) -> Result<()> {
         let budget = self.budget;
-        let handled = self.with_swarm(idx, |swarm| swarm.pump(budget))?;
+        let (handled, retransmit_deadline) = self.with_swarm(idx, |swarm| -> Result<_> {
+            let handled = swarm.pump(budget)?;
+            Ok((handled, swarm.next_delivery_deadline_us()))
+        })?;
         if let Some(trace) = self.trace.as_mut() {
             trace.push((idx, handled));
         }
@@ -291,6 +294,13 @@ impl ReactorHost {
             .session;
         if self.hub.backlog(session) > 0 {
             self.hub.mark_ready(session);
+        }
+        // A swarm with unacknowledged reliable traffic parks on the
+        // timer wheel until its earliest retransmit deadline, so
+        // run_for's clock jumps land exactly on the backoff schedule.
+        if let Some(deadline) = retransmit_deadline {
+            let delay = deadline.saturating_sub(self.hub.now_us());
+            self.hub.schedule_wake(session, delay);
         }
         Ok(())
     }

@@ -42,6 +42,7 @@ use pti_serialize::{
 use pti_xml::Element;
 
 use crate::code::CodeRegistry;
+use crate::delivery::{DeliveryEngine, DeliveryStats, Inbound, QoS, RELIABLE_HEADER_LEN};
 use crate::error::{Result, TransportError};
 use crate::membership::{InterestAnnounce, MembershipView, ViewDelta};
 use crate::peer::{Delivery, Peer, PendingObject};
@@ -78,11 +79,17 @@ pub mod kinds {
     /// re-announcement of every live interest in the sender's routing
     /// table.
     pub const VIEW: &str = "view";
+    /// At-least-once object envelope: a 20-byte reliability header
+    /// (link seq, publisher, event seq) followed by the ordinary
+    /// envelope bytes. See `crate::delivery`.
+    pub const OBJECT_R: &str = "object-r";
+    /// Cumulative acknowledgement for one link's reliable frames.
+    pub const ACK: &str = "ack";
 
     /// Every protocol kind that may travel *inside* a frame batch —
     /// the single source of truth [`intern`] and [`is_protocol`] share
     /// (nested batches are deliberately absent).
-    const BATCHABLE: [&str; 11] = [
+    const BATCHABLE: [&str; 13] = [
         OBJECT,
         DESC_REQUEST,
         DESC_RESPONSE,
@@ -94,6 +101,8 @@ pub mod kinds {
         JOIN,
         LEAVE,
         VIEW,
+        OBJECT_R,
+        ACK,
     ];
 
     /// Whether a kind tag belongs to the core transport protocol (as
@@ -169,6 +178,13 @@ pub struct Swarm<T: Transport = SimNet> {
     /// XML stays available for cross-language wires — receivers sniff
     /// and accept either regardless of this setting).
     wire_format: EnvelopeWireFormat,
+    /// The at-least-once machinery: link sequencing, ACK/retransmit
+    /// state, credit windows, dedup watermarks, replay rings.
+    delivery: DeliveryEngine,
+    /// Per-message dispatch failures the pump loops isolated instead of
+    /// aborting on — one malformed frame must not wedge a healthy
+    /// swarm. Drained by [`take_dispatch_errors`](Self::take_dispatch_errors).
+    dispatch_errors: Vec<(PeerId, TransportError)>,
 }
 
 /// The deterministic virtual-time swarm every experiment runs on.
@@ -228,6 +244,8 @@ impl<T: Transport> Swarm<T> {
             wire_max_frames: DEFAULT_WIRE_MAX_FRAMES,
             wire_max_bytes: DEFAULT_WIRE_MAX_BYTES,
             wire_format: EnvelopeWireFormat::default(),
+            delivery: DeliveryEngine::default(),
+            dispatch_errors: Vec::new(),
         }
     }
 
@@ -362,6 +380,69 @@ impl<T: Transport> Swarm<T> {
         self.wire_format
     }
 
+    /// Selects the delivery guarantee for routed objects
+    /// ([`QoS::FireAndForget`] by default — the pre-durability
+    /// behavior). Under [`QoS::AtLeastOnce`],
+    /// [`route_object`](Self::route_object) sequences, acknowledges,
+    /// and retransmits until delivered or the retry budget surfaces
+    /// [`TransportError::Unreachable`].
+    pub fn set_qos(&mut self, qos: QoS) {
+        self.delivery.config_mut().qos = qos;
+    }
+
+    /// The delivery guarantee routed objects currently travel with.
+    pub fn qos(&self) -> QoS {
+        self.delivery.config().qos
+    }
+
+    /// Replaces the per-link credit window: the number of
+    /// unacknowledged reliable frames a sender keeps in flight before
+    /// buffering (zero is treated as 1).
+    pub fn set_credit_window(&mut self, window: usize) {
+        self.delivery.config_mut().credit_window = window.max(1);
+    }
+
+    /// Replaces the per-topic replay-ring depth: how many routed events
+    /// each topic retains for catch-up replay to late joiners (0 — the
+    /// default — disables replay).
+    pub fn set_replay_depth(&mut self, depth: usize) {
+        self.delivery.config_mut().replay_depth = depth;
+    }
+
+    /// Replaces the retransmit schedule: the initial backoff in fabric
+    /// microseconds (doubling each round) and how many rounds to try
+    /// before declaring a link's peer unreachable.
+    pub fn set_retransmit(&mut self, base_us: u64, max_retries: u32) {
+        let cfg = self.delivery.config_mut();
+        cfg.retransmit_base_us = base_us.max(1);
+        cfg.max_retries = max_retries;
+    }
+
+    /// A snapshot of the at-least-once delivery counters.
+    pub fn delivery_stats(&self) -> DeliveryStats {
+        self.delivery.stats()
+    }
+
+    /// The earliest armed retransmit deadline (fabric microseconds), if
+    /// any reliable link is waiting on an ACK — what a host schedules
+    /// its timer wheel by.
+    pub fn next_delivery_deadline_us(&self) -> Option<u64> {
+        self.delivery.next_deadline_us()
+    }
+
+    /// Whether any reliable link still has unacknowledged or
+    /// credit-blocked traffic.
+    pub fn delivery_unsettled(&self) -> bool {
+        self.delivery.has_unsettled()
+    }
+
+    /// Drains the per-message dispatch failures the pump loops isolated
+    /// (keyed by the owned peer whose inbox produced the message). A
+    /// clean pump leaves this empty.
+    pub fn take_dispatch_errors(&mut self) -> Vec<(PeerId, TransportError)> {
+        std::mem::take(&mut self.dispatch_errors)
+    }
+
     /// Encodes an envelope for the wire exactly once per publish (the
     /// fabric's [`NetMetrics::payload_encodes`](pti_net::NetMetrics)
     /// counter pins that), producing the shared buffer every destination
@@ -456,6 +537,7 @@ impl<T: Transport> Swarm<T> {
         let remote: Vec<PeerId> = self.contacts.iter().copied().collect();
         for peer in remote {
             self.routes.remove_peer(peer);
+            self.delivery.shed_peer(peer);
         }
         self.contacts.clear();
         self.membership = MembershipView::new();
@@ -586,8 +668,50 @@ impl<T: Transport> Swarm<T> {
         }
         .encode()
         .into();
-        for to in met {
+        for &to in &met {
             self.queue_frame(speaker, to, kinds::VIEW, hello.clone());
+        }
+        self.replay_retained_to(&met);
+    }
+
+    /// Catch-up replay: offers every retained event whose topic matches
+    /// a newly met peer's interests, as reliable frames from the
+    /// original publisher with the original event sequence — the
+    /// (publisher, event_seq) watermark on the receiving side keeps a
+    /// rejoining subscriber that already saw part of the ring from
+    /// seeing it twice.
+    fn replay_retained_to(&mut self, met: &[PeerId]) {
+        if met.is_empty() || self.delivery.config().replay_depth == 0 {
+            return;
+        }
+        let now = self.net.now_us();
+        for (topic, events) in self.delivery.replay_snapshot() {
+            let resolved = self.routes.resolve_name(&topic);
+            let targets: Vec<PeerId> = resolved
+                .iter()
+                .copied()
+                .filter(|p| met.contains(p))
+                .collect();
+            for to in targets {
+                for ev in &events {
+                    // Rings only ever hold locally published events, but
+                    // the publisher may have been removed since.
+                    if !self.peers.contains_key(&ev.publisher) {
+                        continue;
+                    }
+                    self.delivery.stats_mut().replayed += 1;
+                    if let Some(frame) = self.delivery.offer(
+                        ev.publisher,
+                        to,
+                        ev.publisher,
+                        ev.event_seq,
+                        &ev.bytes,
+                        now,
+                    ) {
+                        self.queue_frame(ev.publisher, to, kinds::OBJECT_R, frame);
+                    }
+                }
+            }
         }
     }
 
@@ -709,6 +833,9 @@ impl<T: Transport> Swarm<T> {
         // echo cannot resurrect the departed peer; a genuine re-join
         // (fresh generation) still can.
         self.membership.forget(peer);
+        // Sequencing, watermark, and retransmit state for the departed
+        // peer is shed with it — a rejoin starts clean links.
+        self.delivery.shed_peer(peer);
     }
 
     /// Removes an *owned* peer entirely: its protocol state is dropped
@@ -720,6 +847,7 @@ impl<T: Transport> Swarm<T> {
         self.contacts.remove(&peer);
         self.routes.remove_peer(peer);
         self.membership.forget(peer);
+        self.delivery.shed_peer(peer);
         removed
     }
 
@@ -760,8 +888,26 @@ impl<T: Transport> Swarm<T> {
         // One encode per publish; each destination link shares the same
         // buffer (a Payload clone is a refcount bump, not a byte copy).
         let payload = self.encode_envelope(&envelope);
-        for to in targets() {
-            self.queue_frame(from, to, kinds::OBJECT, payload.clone());
+        if self.delivery.config().qos == QoS::AtLeastOnce {
+            let topic = envelope.type_name.simple().to_string();
+            let event_seq = self.delivery.next_event_seq(from);
+            self.delivery
+                .retain(&topic, from, event_seq, payload.clone());
+            let now = self.net.now_us();
+            for to in targets() {
+                // Credit-gated: a zero-credit link buffers inside the
+                // engine and the refill rides the next ACK.
+                if let Some(frame) = self
+                    .delivery
+                    .offer(from, to, from, event_seq, &payload, now)
+                {
+                    self.queue_frame(from, to, kinds::OBJECT_R, frame);
+                }
+            }
+        } else {
+            for to in targets() {
+                self.queue_frame(from, to, kinds::OBJECT, payload.clone());
+            }
         }
         Ok(sent)
     }
@@ -819,6 +965,9 @@ impl<T: Transport> Swarm<T> {
         kind: &'static str,
         payload: impl Into<Payload>,
     ) {
+        // pti-allow(unbounded-queue): the wire queue drains fully at
+        // every flush; sustained growth is bounded by the credit window
+        // on reliable links and by the caller's publish rate otherwise.
         self.wire
             .entry((from, to))
             .or_default()
@@ -850,6 +999,7 @@ impl<T: Transport> Swarm<T> {
     /// Links to departed peers are pruned (their frames dropped) instead
     /// of failing the flush.
     pub fn flush_wire(&mut self) {
+        self.service_delivery();
         if self.wire.is_empty() {
             return;
         }
@@ -911,6 +1061,30 @@ impl<T: Transport> Swarm<T> {
         }
     }
 
+    /// Fires every due retransmit timer against the fabric clock:
+    /// overdue reliable links re-queue their in-flight window
+    /// (Go-Back-N), and links past the retry budget surface
+    /// [`TransportError::Unreachable`] through
+    /// [`take_dispatch_errors`](Self::take_dispatch_errors) instead of
+    /// hanging, with the dead peer retired from routing.
+    fn service_delivery(&mut self) {
+        if !self.delivery.has_unsettled() {
+            return;
+        }
+        let out = self.delivery.poll(self.net.now_us());
+        for (from, to, frame) in out.retransmits {
+            self.queue_frame(from, to, kinds::OBJECT_R, frame);
+        }
+        for (from, to) in out.unreachable {
+            // pti-allow(unbounded-queue): drained by take_dispatch_errors; at most one entry per shed link
+            self.dispatch_errors
+                .push((from, TransportError::Unreachable(to)));
+            if !self.peers.contains_key(&to) {
+                self.forget_peer(to);
+            }
+        }
+    }
+
     /// Sends an object with the eager baseline: descriptions + code of
     /// every involved assembly travel inline with the object.
     ///
@@ -961,18 +1135,51 @@ impl<T: Transport> Swarm<T> {
     /// [`run_for`](Self::run_for) there to keep serving until an idle
     /// period passes.
     ///
+    /// Per-message failures — malformed frames, unknown kinds, runtime
+    /// errors inside one exchange — are *isolated*: the offending
+    /// message is recorded in
+    /// [`take_dispatch_errors`](Self::take_dispatch_errors) and the
+    /// pump keeps serving, so one hostile frame cannot wedge a healthy
+    /// swarm. Only engine-level failures (budget exhaustion) abort.
+    ///
     /// # Errors
-    /// Protocol violations (including unknown message kinds — use
-    /// [`poll_message`](Self::poll_message)/[`dispatch`](Self::dispatch)
-    /// to layer extra protocols like remoting on top) or runtime failures
-    /// inside any peer.
+    /// Budget exhaustion — the hard bound converting livelock bugs into
+    /// errors.
     pub fn run(&mut self) -> Result<()> {
         loop {
             self.flush_wire();
             let Some((at, msg)) = self.poll_message()? else {
                 return Ok(());
             };
-            self.dispatch_required(at, msg)?;
+            if let Err(e) = self.dispatch_required(at, msg) {
+                // pti-allow(unbounded-queue): drained by take_dispatch_errors; growth is bounded by messages handled this pump
+                self.dispatch_errors.push((at, e));
+            }
+        }
+    }
+
+    /// Runs the protocol to quiescence *and through every pending
+    /// retransmit*: when [`run`](Self::run) drains the fabric but
+    /// reliable links still await ACKs, the virtual clock is advanced to
+    /// the next retransmit deadline and the pump resumes — the way a
+    /// lossy [`SimNet`](pti_net::SimNet) workload reaches 100% delivery
+    /// without wall-clock sleeps. Returns once every link is settled or
+    /// shed (unreachable peers surface through
+    /// [`take_dispatch_errors`](Self::take_dispatch_errors)); on a
+    /// wall-clock fabric (which cannot jump time) it behaves like
+    /// [`run`](Self::run).
+    ///
+    /// # Errors
+    /// Budget exhaustion.
+    pub fn run_durable(&mut self) -> Result<()> {
+        loop {
+            self.run()?;
+            let Some(deadline) = self.delivery.next_deadline_us() else {
+                return Ok(());
+            };
+            if !self.net.advance_virtual_time(deadline) {
+                return Ok(());
+            }
         }
     }
 
@@ -981,7 +1188,8 @@ impl<T: Transport> Swarm<T> {
     /// senders may take real time to produce the next message.
     ///
     /// # Errors
-    /// Same conditions as [`run`](Self::run).
+    /// Same conditions as [`run`](Self::run) — per-message failures are
+    /// isolated into [`take_dispatch_errors`](Self::take_dispatch_errors).
     pub fn run_for(&mut self, idle: Duration) -> Result<()> {
         loop {
             self.flush_wire();
@@ -989,7 +1197,10 @@ impl<T: Transport> Swarm<T> {
             let Some((at, msg)) = self.poll_deadline(Instant::now() + idle)? else {
                 return Ok(());
             };
-            self.dispatch_required(at, msg)?;
+            if let Err(e) = self.dispatch_required(at, msg) {
+                // pti-allow(unbounded-queue): drained by take_dispatch_errors; growth is bounded by messages handled this pump
+                self.dispatch_errors.push((at, e));
+            }
         }
     }
 
@@ -1002,7 +1213,8 @@ impl<T: Transport> Swarm<T> {
     /// responses produced by a previous pump reach the fabric.
     ///
     /// # Errors
-    /// Same conditions as [`run`](Self::run).
+    /// Same conditions as [`run`](Self::run) — per-message failures are
+    /// isolated into [`take_dispatch_errors`](Self::take_dispatch_errors).
     pub fn pump(&mut self, max: usize) -> Result<usize> {
         let mut handled = 0;
         while handled < max {
@@ -1010,7 +1222,10 @@ impl<T: Transport> Swarm<T> {
             let Some((at, msg)) = self.poll_message()? else {
                 break;
             };
-            self.dispatch_required(at, msg)?;
+            if let Err(e) = self.dispatch_required(at, msg) {
+                // pti-allow(unbounded-queue): drained by take_dispatch_errors; growth is bounded by messages handled this pump
+                self.dispatch_errors.push((at, e));
+            }
             handled += 1;
         }
         self.flush_wire();
@@ -1134,6 +1349,8 @@ impl<T: Transport> Swarm<T> {
             kinds::UNSUBSCRIBE => self.on_unsubscribe(at, msg)?,
             kinds::JOIN => self.on_join(at, msg)?,
             kinds::LEAVE | kinds::VIEW => self.on_view_update(at, msg)?,
+            kinds::OBJECT_R => self.on_object_r(at, msg)?,
+            kinds::ACK => self.on_ack_frame(at, msg)?,
             kinds::BATCH => self.on_batch(at, msg)?,
             _ => return Ok(false),
         }
@@ -1189,7 +1406,53 @@ impl<T: Transport> Swarm<T> {
     }
 
     fn on_object(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
-        let envelope = decode_envelope(&msg.payload)?;
+        self.on_object_bytes(at, msg.from, &msg.payload)
+    }
+
+    /// Handles one inbound reliable object frame: the engine adjudicates
+    /// the link sequence (accept / duplicate / gap), a cumulative ACK
+    /// rides the wire queue back, and only in-order novel events reach
+    /// the typed exchange — so retransmits and replays never
+    /// double-deliver.
+    fn on_object_r(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
+        if !self.peers.contains_key(&at) {
+            return Err(TransportError::UnknownPeer(at));
+        }
+        let (verdict, ack) = self.delivery.on_object_r(at, msg.from, &msg.payload);
+        if let Some(ack) = ack {
+            self.queue_frame(at, msg.from, kinds::ACK, ack);
+        }
+        match verdict {
+            Inbound::Deliver { .. } => {
+                self.on_object_bytes(at, msg.from, &msg.payload[RELIABLE_HEADER_LEN..])
+            }
+            Inbound::Malformed => Err(TransportError::Protocol(
+                "reliable object frame shorter than its header".into(),
+            )),
+            Inbound::Suppressed | Inbound::LinkDuplicate | Inbound::GapDiscard => Ok(()),
+        }
+    }
+
+    /// Handles one cumulative ACK: settled frames leave the in-flight
+    /// window and any events the replenished credit admits are framed
+    /// and queued.
+    fn on_ack_frame(&mut self, at: PeerId, msg: BusMessage) -> Result<()> {
+        let now = self.net.now_us();
+        let refilled = self
+            .delivery
+            .on_ack(at, msg.from, &msg.payload, now)
+            .ok_or_else(|| TransportError::Protocol("malformed ack payload".into()))?;
+        for frame in refilled {
+            self.queue_frame(at, msg.from, kinds::OBJECT_R, frame);
+        }
+        Ok(())
+    }
+
+    /// The shared tail of [`on_object`](Self::on_object) and the
+    /// reliable path: decode the envelope bytes and open a pending
+    /// exchange at the receiving peer.
+    fn on_object_bytes(&mut self, at: PeerId, from: PeerId, bytes: &[u8]) -> Result<()> {
+        let envelope = decode_envelope(bytes)?;
         let peer = self
             .peers
             .get_mut(&at)
@@ -1199,7 +1462,7 @@ impl<T: Transport> Swarm<T> {
         let seq = peer.next_seq;
         let pending = PendingObject {
             seq,
-            from: msg.from,
+            from,
             envelope,
             awaiting_descs: HashSet::new(),
             awaiting_asms: None,

@@ -132,6 +132,151 @@ fn churn_run(seed: u64) -> Vec<u8> {
     log
 }
 
+/// Sweeps every swarm to quiescence *through* at-least-once retransmit
+/// deadlines: drain, then jump the shared virtual clock to the earliest
+/// armed deadline, until every reliable link is settled or shed.
+fn pump_durable(swarms: &mut [Swarm<SharedSimNet>]) {
+    loop {
+        pump(swarms);
+        let Some(deadline) = swarms
+            .iter()
+            .filter_map(Swarm::next_delivery_deadline_us)
+            .min()
+        else {
+            return;
+        };
+        if !swarms[0].net_mut().advance_virtual_time(deadline) {
+            return;
+        }
+    }
+}
+
+/// The faulty analogue of [`churn_run`]: the same churn shapes under an
+/// `AtLeastOnce` group with a seeded [`FaultPlan`] — probabilistic loss
+/// and duplication plus one partition that heals — installed on the
+/// shared fabric. The log additionally folds in the isolated dispatch
+/// errors, the founder's delivery-repair counters, and the fabric's
+/// fault counters: *everything* observable about the fault handling
+/// must be a pure function of the seed.
+fn faulty_churn_run(seed: u64) -> Vec<u8> {
+    let mut rng = SplitMix64(seed);
+    let fabric = SharedSimNet::new(NetConfig::default());
+    let code = CodeRegistry::new();
+    let mut log = Vec::new();
+
+    let mut founder: Swarm<SharedSimNet> = Swarm::with_code_registry(fabric.clone(), code.clone());
+    founder.set_qos(QoS::AtLeastOnce);
+    founder.set_retransmit(2_000, 6);
+    let p1 = founder.add_peer_as(PeerId(1), ConformanceConfig::pragmatic());
+    let event = samples::generate_population(7, 1, 1.0).remove(0);
+    founder.publish(p1, event.assembly.clone()).unwrap();
+
+    // Loss + duplication from the first send, and one partition that
+    // isolates the founder for a window of fabric sends before healing
+    // — all decided by the plan's own seeded stream.
+    fabric.install_fault_plan(
+        FaultPlan::new(seed ^ 0xFA17)
+            .with_loss(40)
+            .with_duplication(25)
+            .with_partition([p1], 30, 60),
+    );
+
+    let mut swarms = vec![founder];
+    let mut peer_of = vec![p1];
+    let mut next_id = 2u32;
+
+    for step in 0..24 {
+        match rng.next_u64() % 3 {
+            0 => {
+                let mut s: Swarm<SharedSimNet> =
+                    Swarm::with_code_registry(fabric.clone(), code.clone());
+                s.set_qos(QoS::AtLeastOnce);
+                s.set_retransmit(2_000, 6);
+                let p = s.add_peer_as(PeerId(next_id), ConformanceConfig::pragmatic());
+                next_id += 1;
+                s.subscribe(
+                    p,
+                    TypeDescription::from_def(&samples::sensor_interest("churn")),
+                );
+                s.join(p1).unwrap();
+                swarms.push(s);
+                peer_of.push(p);
+            }
+            1 if swarms.len() > 1 => {
+                let victim = 1 + (rng.next_u64() as usize) % (swarms.len() - 1);
+                let mut s = swarms.remove(victim);
+                peer_of.remove(victim);
+                s.leave();
+            }
+            _ => {
+                let h = swarms[0]
+                    .peer_mut(p1)
+                    .runtime
+                    .instantiate_def(&event.def, &[])
+                    .unwrap();
+                let routed = swarms[0]
+                    .route_object(p1, &Value::Obj(h), PayloadFormat::Binary)
+                    .unwrap();
+                log.extend_from_slice(&(routed as u64).to_le_bytes());
+            }
+        }
+        pump_durable(&mut swarms);
+
+        log.push(0xFE);
+        log.push(step);
+        for (i, s) in swarms.iter_mut().enumerate() {
+            let p = peer_of[i];
+            for d in s.peer_mut(p).take_deliveries() {
+                match d {
+                    Delivery::Accepted { from, interest, .. } => {
+                        log.push(b'A');
+                        log.extend_from_slice(&p.0.to_le_bytes());
+                        log.extend_from_slice(&from.0.to_le_bytes());
+                        if let Some(name) = interest {
+                            log.extend_from_slice(name.full().as_bytes());
+                        }
+                    }
+                    Delivery::Rejected { from, type_name } => {
+                        log.push(b'R');
+                        log.extend_from_slice(&p.0.to_le_bytes());
+                        log.extend_from_slice(&from.0.to_le_bytes());
+                        log.extend_from_slice(type_name.full().as_bytes());
+                    }
+                }
+            }
+            // Isolated errors (lost control gossip, shed links) are part
+            // of the observable outcome too.
+            for (at, e) in s.take_dispatch_errors() {
+                log.push(b'E');
+                log.extend_from_slice(&at.0.to_le_bytes());
+                log.extend_from_slice(e.to_string().as_bytes());
+            }
+        }
+    }
+
+    // The founder's repair counters: the *work* the faults caused must
+    // replay identically, not just the deliveries.
+    let st = swarms[0].delivery_stats();
+    for v in [
+        st.frames_sent,
+        st.retransmits,
+        st.delivered,
+        st.link_duplicates,
+        st.duplicates_suppressed,
+        st.unreachable,
+    ] {
+        log.extend_from_slice(&v.to_le_bytes());
+    }
+    let m = fabric.metrics();
+    log.extend_from_slice(&m.messages.to_le_bytes());
+    log.extend_from_slice(&m.bytes.to_le_bytes());
+    log.extend_from_slice(&m.batched_frames().to_le_bytes());
+    log.extend_from_slice(&m.faults_dropped.to_le_bytes());
+    log.extend_from_slice(&m.faults_duplicated.to_le_bytes());
+    log.extend_from_slice(&m.faults_partitioned.to_le_bytes());
+    log
+}
+
 /// The sharded analogue: the same seeded churn script on a 2-shard
 /// `ShardedHost` with autonomy off, every joiner explicitly pinned by
 /// id. Returns one byte log **per shard** — deliveries recorded on the
@@ -277,6 +422,38 @@ fn sharded_churn_is_byte_identical_per_shard_across_runs() {
     );
     // And the script is actually shard-sensitive: both shards saw work.
     assert_ne!(first[0], first[1]);
+}
+
+#[test]
+fn faulty_churn_is_byte_identical_across_runs() {
+    let first = faulty_churn_run(42);
+    let second = faulty_churn_run(42);
+    assert!(!first.is_empty());
+    assert_eq!(
+        first, second,
+        "same seed, same fault plan, same bytes — deliveries, repairs and fault counters included"
+    );
+}
+
+#[test]
+fn faulty_churn_actually_exercises_the_fault_plan() {
+    // Guard against a vacuous determinism check: the chosen seed must
+    // really drop, duplicate and partition traffic, and the reliable
+    // layer must really repair some of it.
+    let log = faulty_churn_run(42);
+    assert!(!log.is_empty());
+    let tail = &log[log.len() - 48..];
+    let dropped = u64::from_le_bytes(tail[24..32].try_into().unwrap());
+    let duplicated = u64::from_le_bytes(tail[32..40].try_into().unwrap());
+    let partitioned = u64::from_le_bytes(tail[40..48].try_into().unwrap());
+    assert!(dropped > 0, "plan dropped nothing");
+    assert!(duplicated > 0, "plan duplicated nothing");
+    assert!(partitioned > 0, "partition never severed a send");
+}
+
+#[test]
+fn faulty_churn_is_seed_sensitive() {
+    assert_ne!(faulty_churn_run(42), faulty_churn_run(1234));
 }
 
 #[test]
