@@ -3,24 +3,49 @@
 //! finding survives. Advisory findings print as a per-rule summary by
 //! default; pass `--advisory` for every line.
 //!
-//! Usage: `pti-lint [--advisory] [ROOT]` (ROOT defaults to the current
-//! directory — `cargo run -p pti-analyze --bin pti-lint` from the
-//! workspace root just works).
+//! `--json` emits the whole analysis (findings, allow count, the
+//! panic-reachability report) as machine-readable JSON on stdout — CI
+//! gates the allow count and panic ceiling from it. `--graph` dumps the
+//! workspace call graph in Graphviz DOT for inspection.
+//!
+//! Usage: `pti-lint [--advisory|--json|--graph] [ROOT]` (ROOT defaults
+//! to the current directory — `cargo run -p pti-analyze --bin pti-lint`
+//! from the workspace root just works).
 
 use std::collections::BTreeMap;
 use std::path::PathBuf;
 use std::process::ExitCode;
 
-use pti_analyze::{analyze_workspace, Severity};
+use pti_analyze::engine::read_workspace;
+use pti_analyze::lexer::lex;
+use pti_analyze::{analyze_files, parse_file, Analysis, CallGraph, Severity};
+
+/// Output schema version stamped into `--json`; bump on shape changes
+/// so CI gates fail loudly instead of reading absent fields.
+const SCHEMA_VERSION: u32 = 1;
+
+enum Mode {
+    Text { show_advisory: bool },
+    Json,
+    Graph,
+}
 
 fn main() -> ExitCode {
-    let mut show_advisory = false;
+    let mut mode = Mode::Text {
+        show_advisory: false,
+    };
     let mut root: Option<PathBuf> = None;
     for arg in std::env::args().skip(1) {
         match arg.as_str() {
-            "--advisory" => show_advisory = true,
+            "--advisory" => {
+                mode = Mode::Text {
+                    show_advisory: true,
+                }
+            }
+            "--json" => mode = Mode::Json,
+            "--graph" => mode = Mode::Graph,
             "--help" | "-h" => {
-                println!("usage: pti-lint [--advisory] [ROOT]");
+                println!("usage: pti-lint [--advisory|--json|--graph] [ROOT]");
                 return ExitCode::SUCCESS;
             }
             other => root = Some(PathBuf::from(other)),
@@ -28,17 +53,43 @@ fn main() -> ExitCode {
     }
     let root = root.unwrap_or_else(|| PathBuf::from("."));
 
-    let findings = match analyze_workspace(&root) {
-        Ok(f) => f,
+    let inputs = match read_workspace(&root) {
+        Ok(i) => i,
         Err(e) => {
             eprintln!("pti-lint: cannot walk {}: {e}", root.display());
             return ExitCode::FAILURE;
         }
     };
 
+    if let Mode::Graph = mode {
+        let models: Vec<_> = inputs
+            .iter()
+            .map(|(path, src)| parse_file(path, &lex(src)))
+            .collect();
+        let graph = CallGraph::build(&models);
+        print!("{}", graph.to_dot(&models));
+        return ExitCode::SUCCESS;
+    }
+
+    let analysis = analyze_files(&inputs);
+    match mode {
+        Mode::Json => report_json(&analysis),
+        _ => report_text(
+            &analysis,
+            matches!(
+                mode,
+                Mode::Text {
+                    show_advisory: true
+                }
+            ),
+        ),
+    }
+}
+
+fn report_text(analysis: &Analysis, show_advisory: bool) -> ExitCode {
     let mut denies = 0usize;
     let mut advisory_by_rule: BTreeMap<&'static str, usize> = BTreeMap::new();
-    for f in &findings {
+    for f in &analysis.findings {
         match f.severity {
             Severity::Deny => {
                 denies += 1;
@@ -64,15 +115,110 @@ fn main() -> ExitCode {
             detail.join(", ")
         );
     }
+    println!(
+        "panic-reachability: {} site(s) reachable from Swarm::dispatch — \
+         see --json for the report",
+        analysis.panic_sites.len()
+    );
 
     if denies > 0 {
         println!("pti-lint: {denies} deny finding(s)");
         ExitCode::FAILURE
     } else {
         println!(
-            "pti-lint: clean ({} file-scoped rules enforced)",
-            pti_analyze::RULES.len()
+            "pti-lint: clean ({} file rules + {} interprocedural, {} allows in force)",
+            pti_analyze::RULES.len(),
+            pti_analyze::IPR_RULE_IDS.len(),
+            analysis.allow_count
         );
         ExitCode::SUCCESS
     }
+}
+
+fn report_json(analysis: &Analysis) -> ExitCode {
+    let denies = analysis
+        .findings
+        .iter()
+        .filter(|f| f.severity == Severity::Deny)
+        .count();
+    let advisories = analysis.findings.len() - denies;
+
+    let mut out = String::new();
+    out.push_str("{\n");
+    out.push_str(&format!("  \"schema_version\": {SCHEMA_VERSION},\n"));
+    out.push_str(&format!("  \"deny_count\": {denies},\n"));
+    out.push_str(&format!("  \"advisory_count\": {advisories},\n"));
+    out.push_str(&format!("  \"allow_count\": {},\n", analysis.allow_count));
+    out.push_str("  \"findings\": [");
+    for (i, f) in analysis.findings.iter().enumerate() {
+        let tier = match f.severity {
+            Severity::Deny => "deny",
+            Severity::Advisory => "advisory",
+        };
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n    {{\"path\": {}, \"line\": {}, \"rule\": {}, \"tier\": \"{}\", \
+             \"message\": {}}}",
+            json_str(&f.path),
+            f.line,
+            json_str(f.rule),
+            tier,
+            json_str(&f.message)
+        ));
+    }
+    out.push_str(if analysis.findings.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+    out.push_str("  \"panic_reachability\": {\n");
+    out.push_str(&format!("    \"count\": {},\n", analysis.panic_sites.len()));
+    out.push_str("    \"sites\": [");
+    for (i, s) in analysis.panic_sites.iter().enumerate() {
+        if i > 0 {
+            out.push(',');
+        }
+        out.push_str(&format!(
+            "\n      {{\"path\": {}, \"line\": {}, \"what\": {}, \"via\": {}}}",
+            json_str(&s.path),
+            s.line,
+            json_str(&s.what),
+            json_str(&s.via)
+        ));
+    }
+    out.push_str(if analysis.panic_sites.is_empty() {
+        "]\n"
+    } else {
+        "\n    ]\n"
+    });
+    out.push_str("  }\n}\n");
+    print!("{out}");
+
+    if denies > 0 {
+        ExitCode::FAILURE
+    } else {
+        ExitCode::SUCCESS
+    }
+}
+
+/// Minimal JSON string encoder (the only non-ASCII we emit is UTF-8,
+/// which JSON passes through verbatim).
+fn json_str(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
 }

@@ -1,12 +1,18 @@
-//! Drives the [rule table](crate::rules::RULES) over source text and a
-//! workspace tree: lex, check, apply `pti-allow` suppressions, report.
+//! Drives the [rule table](crate::rules::RULES) and the
+//! [interprocedural passes](crate::ipr) over source text and a
+//! workspace tree: lex, parse, build the call graph, check, apply
+//! `pti-allow` suppressions, report.
 
+use std::collections::BTreeSet;
 use std::fs;
 use std::path::{Path, PathBuf};
 
+use crate::graph::CallGraph;
+use crate::ipr::{self, IprContext, RawFinding};
 use crate::lexer::{lex, Line};
+use crate::parser::{parse_file, FileModel};
 use crate::rules::{
-    classify, code_is_blank, parse_allows, rule_by_id, AllowParse, Check, Severity, RULES,
+    classify, code_is_blank, known_rule_id, parse_allows, AllowParse, Check, Severity, RULES,
 };
 
 /// One reported violation.
@@ -37,6 +43,32 @@ impl std::fmt::Display for Finding {
             self.path, self.line, self.rule, tier, self.message
         )
     }
+}
+
+/// One entry of the `panic-reachability` report: a panic site in
+/// library code transitively reachable from `Swarm::dispatch`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct PanicSite {
+    /// Workspace-relative path.
+    pub path: String,
+    /// 1-based line number.
+    pub line: usize,
+    /// The spelling at the site (`.unwrap()`, `panic!`, …).
+    pub what: String,
+    /// The call path from the dispatch root.
+    pub via: String,
+}
+
+/// Everything one lint run produces.
+#[derive(Debug, Clone, Default)]
+pub struct Analysis {
+    /// Suppression-filtered findings, sorted by path/line/rule.
+    pub findings: Vec<Finding>,
+    /// Total `pti-allow` annotations parsed across the input set — the
+    /// number CI gates so it can only go down.
+    pub allow_count: usize,
+    /// The `panic-reachability` report (advisory; count gated in CI).
+    pub panic_sites: Vec<PanicSite>,
 }
 
 /// The allows in force for each line: an allow on a code line binds to
@@ -81,68 +113,184 @@ fn bind_allows(path: &str, lines: &[Line]) -> (Vec<Vec<(String, usize)>>, Vec<Fi
     (bound, findings)
 }
 
-/// Lints one file's source text. `relpath` chooses rule scopes (use the
-/// workspace-relative path with forward slashes).
-pub fn analyze_source(relpath: &str, src: &str) -> Vec<Finding> {
-    let class = classify(relpath);
-    let lines = lex(src);
-    let (bound, mut findings) = bind_allows(relpath, &lines);
-    let mut used: Vec<(usize, &str)> = Vec::new(); // (allow-line, rule)
+/// Finds an allow for `rule` governing the finding at 0-based `idx`.
+///
+/// Besides the finding's own line, rustfmt-split method chains are
+/// handled: when the finding's line starts with `.` (a chained
+/// continuation), the search walks back through the chain to the
+/// statement head, so an allow written where the statement begins
+/// suppresses a finding the checker attributes to a later link — and is
+/// marked *used* rather than surfacing as `unused-allow`.
+fn find_allow(
+    bound: &[Vec<(String, usize)>],
+    lines: &[Line],
+    mut idx: usize,
+    rule: &str,
+) -> Option<usize> {
+    loop {
+        if let Some(&(_, allow_line)) = bound
+            .get(idx)
+            .and_then(|b| b.iter().find(|(r, _)| r == rule))
+        {
+            return Some(allow_line);
+        }
+        let line = lines.get(idx)?;
+        if !line.code.trim_start().starts_with('.') || idx == 0 {
+            return None;
+        }
+        // Walk one link up the chain: the previous non-blank code line.
+        let mut j = idx;
+        loop {
+            j -= 1;
+            if !code_is_blank(&lines[j]) {
+                break;
+            }
+            if j == 0 {
+                return None;
+            }
+        }
+        idx = j;
+    }
+}
 
-    for rule in RULES {
-        let Some(severity) = (rule.severity_for)(relpath, class) else {
-            continue;
-        };
-        let raw: Vec<(usize, String)> = match rule.check {
-            Check::Line(f) => lines
-                .iter()
-                .enumerate()
-                .filter_map(|(i, l)| f(&l.code).map(|m| (i, m)))
-                .collect(),
-            Check::File(f) => f(&lines),
-        };
-        for (idx, message) in raw {
-            if rule.exempt_tests && lines[idx].in_test {
+/// Lints a set of files as one workspace: file-granularity rules per
+/// file, then the interprocedural passes over the whole set's call
+/// graph. `inputs` are `(relpath, source)` pairs; relpaths choose rule
+/// scopes and should use forward slashes.
+pub fn analyze_files(inputs: &[(String, String)]) -> Analysis {
+    let lines: Vec<Vec<Line>> = inputs.iter().map(|(_, src)| lex(src)).collect();
+
+    let mut findings = Vec::new();
+    let mut bounds: Vec<Vec<Vec<(String, usize)>>> = Vec::new();
+    let mut allow_count = 0usize;
+    for (fi, (path, _)) in inputs.iter().enumerate() {
+        let (bound, syntax) = bind_allows(path, &lines[fi]);
+        allow_count += bound.iter().map(Vec::len).sum::<usize>();
+        findings.extend(syntax);
+        bounds.push(bound);
+    }
+
+    // -- file-granularity rules -------------------------------------
+    let mut raw: Vec<RawFinding> = Vec::new();
+    for (fi, (path, _)) in inputs.iter().enumerate() {
+        let class = classify(path);
+        for rule in RULES {
+            let Some(severity) = (rule.severity_for)(path, class) else {
                 continue;
+            };
+            let hits: Vec<(usize, String)> = match rule.check {
+                Check::Line(f) => lines[fi]
+                    .iter()
+                    .enumerate()
+                    .filter_map(|(i, l)| f(&l.code).map(|m| (i, m)))
+                    .collect(),
+                Check::File(f) => f(&lines[fi]),
+            };
+            for (idx, message) in hits {
+                if rule.exempt_tests && lines[fi][idx].in_test {
+                    continue;
+                }
+                raw.push(RawFinding {
+                    file: fi,
+                    line: idx,
+                    rule: rule.id,
+                    severity,
+                    message,
+                });
             }
-            let allow = bound
-                .get(idx)
-                .and_then(|b| b.iter().find(|(r, _)| r == rule.id));
-            if let Some((_, allow_line)) = allow {
-                used.push((*allow_line, rule.id));
-                continue;
+        }
+    }
+
+    // -- interprocedural passes -------------------------------------
+    let models: Vec<FileModel> = inputs
+        .iter()
+        .enumerate()
+        .map(|(fi, (path, _))| parse_file(path, &lines[fi]))
+        .collect();
+    let graph = CallGraph::build(&models);
+    let ctx = IprContext {
+        files: &models,
+        lines: &lines,
+        graph: &graph,
+    };
+    raw.extend(ipr::reactor_blocking(&ctx));
+    raw.extend(ipr::refcell_reentrancy(&ctx));
+    raw.extend(ipr::wire_determinism_taint(&ctx));
+
+    // -- one suppression path for everything ------------------------
+    let mut used: BTreeSet<(usize, usize, String)> = BTreeSet::new();
+    for f in raw {
+        match find_allow(&bounds[f.file], &lines[f.file], f.line, f.rule) {
+            Some(allow_line) => {
+                used.insert((f.file, allow_line, f.rule.to_string()));
             }
-            findings.push(Finding {
-                path: relpath.to_string(),
-                line: idx + 1,
-                rule: rule.id,
-                severity,
-                message,
-            });
+            None => findings.push(Finding {
+                path: inputs[f.file].0.clone(),
+                line: f.line + 1,
+                rule: f.rule,
+                severity: f.severity,
+                message: f.message,
+            }),
+        }
+    }
+
+    // The panic report is suppression-aware too: an allowed site drops
+    // out of the count the CI ceiling gates.
+    let mut panic_sites = Vec::new();
+    for s in ipr::panic_reachability(&ctx) {
+        match find_allow(
+            &bounds[s.file],
+            &lines[s.file],
+            s.line,
+            "panic-reachability",
+        ) {
+            Some(allow_line) => {
+                used.insert((s.file, allow_line, "panic-reachability".to_string()));
+            }
+            None => panic_sites.push(PanicSite {
+                path: inputs[s.file].0.clone(),
+                line: s.line + 1,
+                what: s.what,
+                via: s.via,
+            }),
         }
     }
 
     // Advisory hygiene: an allow that suppressed nothing is stale —
     // either the violation was fixed (drop the comment) or the allow is
     // bound to the wrong line.
-    for binds in &bound {
-        for (rule, allow_line) in binds {
-            let consumed = used.iter().any(|&(l, r)| l == *allow_line && r == rule);
-            if !consumed && rule_by_id(rule).is_some() {
-                findings.push(Finding {
-                    path: relpath.to_string(),
-                    line: allow_line + 1,
-                    rule: "unused-allow",
-                    severity: Severity::Advisory,
-                    message: format!("pti-allow({rule}) suppresses nothing on its target line"),
-                });
+    for (fi, bound) in bounds.iter().enumerate() {
+        for binds in bound {
+            for (rule, allow_line) in binds {
+                let consumed = used.contains(&(fi, *allow_line, rule.clone()));
+                if !consumed && known_rule_id(rule) {
+                    findings.push(Finding {
+                        path: inputs[fi].0.clone(),
+                        line: allow_line + 1,
+                        rule: "unused-allow",
+                        severity: Severity::Advisory,
+                        message: format!("pti-allow({rule}) suppresses nothing on its target line"),
+                    });
+                }
             }
         }
     }
 
-    findings.sort_by(|a, b| (a.line, a.rule).cmp(&(b.line, b.rule)));
+    findings.sort_by(|a, b| {
+        (&a.path, a.line, a.rule, &a.message).cmp(&(&b.path, b.line, b.rule, &b.message))
+    });
     findings.dedup();
-    findings
+    Analysis {
+        findings,
+        allow_count,
+        panic_sites,
+    }
+}
+
+/// Lints one file's source text (single-file view of [`analyze_files`];
+/// interprocedural rules see only this file's call graph).
+pub fn analyze_source(relpath: &str, src: &str) -> Vec<Finding> {
+    analyze_files(&[(relpath.to_string(), src.to_string())]).findings
 }
 
 /// Recursively collects `.rs` files under `dir` (skipping `target`).
@@ -167,15 +315,15 @@ fn collect_rs(dir: &Path, out: &mut Vec<PathBuf>) {
     }
 }
 
-/// Lints the whole workspace rooted at `root` (the directory holding
-/// the top-level `Cargo.toml`): `crates/`, `tests/`, `examples/`.
-/// Returns findings sorted by path and line.
-pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
+/// Reads the workspace rooted at `root` (the directory holding the
+/// top-level `Cargo.toml`) into `(relpath, source)` pairs: `crates/`,
+/// `tests/`, `examples/`.
+pub fn read_workspace(root: &Path) -> std::io::Result<Vec<(String, String)>> {
     let mut files = Vec::new();
     for sub in ["crates", "tests", "examples"] {
         collect_rs(&root.join(sub), &mut files);
     }
-    let mut findings = Vec::new();
+    let mut inputs = Vec::new();
     for file in files {
         let rel = file
             .strip_prefix(root)
@@ -183,11 +331,14 @@ pub fn analyze_workspace(root: &Path) -> std::io::Result<Vec<Finding>> {
             .to_string_lossy()
             .replace('\\', "/");
         let src = fs::read_to_string(&file)?;
-        findings.extend(analyze_source(&rel, &src));
+        inputs.push((rel, src));
     }
-    findings
-        .sort_by(|a, b| (a.path.clone(), a.line, a.rule).cmp(&(b.path.clone(), b.line, b.rule)));
-    Ok(findings)
+    Ok(inputs)
+}
+
+/// Lints the whole workspace rooted at `root`.
+pub fn analyze_workspace(root: &Path) -> std::io::Result<Analysis> {
+    Ok(analyze_files(&read_workspace(root)?))
 }
 
 #[cfg(test)]
@@ -227,5 +378,23 @@ let deadline = Instant::now();
         assert!(f
             .iter()
             .any(|f| f.rule == "unused-allow" && f.severity == Severity::Advisory));
+    }
+
+    #[test]
+    fn chained_finding_uses_statement_head_allow() {
+        // The finding lands on a `.iter()` continuation line; the allow
+        // sits on the statement head. It must suppress AND be counted
+        // as used (no unused-allow).
+        let src = "\
+fn emit(&self, peers: HashMap<u64, Peer>) {
+    let order = peers // pti-allow(unordered-iter): sorted three lines down
+        .keys()
+        .copied()
+        .collect::<Vec<_>>();
+}
+";
+        let f = analyze_source("crates/serialize/src/wire.rs", src);
+        assert!(f.iter().all(|f| f.rule != "unordered-iter"), "{f:?}");
+        assert!(f.iter().all(|f| f.rule != "unused-allow"), "{f:?}");
     }
 }

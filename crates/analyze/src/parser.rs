@@ -1,0 +1,638 @@
+//! A hand-rolled recursive-descent *item* parser: just enough syntax to
+//! build a workspace-wide item index for the interprocedural rules.
+//!
+//! The [lexer](crate::lexer) already blanks comment bodies and literal
+//! interiors, so this parser tokenizes the blanked code (identifiers,
+//! numbers, single-char punctuation) and then walks the token stream
+//! recognising the item grammar the rules need:
+//!
+//! * `fn` items — free functions, inherent/trait-impl methods, trait
+//!   default methods — each with its enclosing module path, `Self` type,
+//!   trait name, and its **body kept as a token range** (bodies are
+//!   never parsed into expressions; the call-graph pass pattern-matches
+//!   call shapes over the raw tokens).
+//! * `impl Type { … }` / `impl Trait for Type { … }` blocks (context
+//!   for the methods inside).
+//! * `trait Name { … }` declarations (method names, so trait calls can
+//!   resolve to every impl).
+//! * `mod name { … }` nesting and `use` declarations (alias → path
+//!   segments, for resolving `Alias::method(…)` qualifiers).
+//! * `struct`/`enum` declarations — skipped, except that a struct whose
+//!   body mentions `RefCell` is recorded as a *cell type* for the
+//!   `refcell-reentrancy` rule.
+//!
+//! Everything else (consts, statics, macros, attributes) is skipped
+//! with balanced-delimiter error tolerance: an unrecognised token never
+//! aborts the parse, it just isn't an item.
+
+use crate::lexer::Line;
+
+/// One token of blanked code.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Tok {
+    /// Token text (identifier/number text, or the single punct char).
+    pub text: String,
+    /// Whether this is an identifier-shaped token.
+    pub is_ident: bool,
+    /// 0-based source line.
+    pub line: usize,
+    /// Whether the token sits in a `#[cfg(test)]` region.
+    pub in_test: bool,
+}
+
+/// Tokenizes blanked [`Line`]s: identifiers (incl. keywords), number
+/// literals, and single-char punctuation. String/char interiors were
+/// blanked by the lexer, so their delimiters surface as plain puncts
+/// with nothing interesting between them.
+pub fn tokenize(lines: &[Line]) -> Vec<Tok> {
+    let mut toks = Vec::new();
+    for (ln, line) in lines.iter().enumerate() {
+        let chars: Vec<char> = line.code.chars().collect();
+        let mut i = 0;
+        while i < chars.len() {
+            let c = chars[i];
+            if c.is_whitespace() {
+                i += 1;
+            } else if c.is_alphabetic() || c == '_' {
+                let start = i;
+                while i < chars.len() && (chars[i].is_alphanumeric() || chars[i] == '_') {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    text: chars[start..i].iter().collect(),
+                    is_ident: true,
+                    line: ln,
+                    in_test: line.in_test,
+                });
+            } else if c.is_ascii_digit() {
+                let start = i;
+                while i < chars.len()
+                    && (chars[i].is_alphanumeric() || chars[i] == '_' || chars[i] == '.')
+                {
+                    i += 1;
+                }
+                toks.push(Tok {
+                    text: chars[start..i].iter().collect(),
+                    is_ident: false,
+                    line: ln,
+                    in_test: line.in_test,
+                });
+            } else {
+                toks.push(Tok {
+                    text: c.to_string(),
+                    is_ident: false,
+                    line: ln,
+                    in_test: line.in_test,
+                });
+                i += 1;
+            }
+        }
+    }
+    toks
+}
+
+/// A function item: free fn, inherent or trait-impl method, or trait
+/// default method.
+#[derive(Debug, Clone)]
+pub struct FnDef {
+    /// Inline-module path within the file (`["tests"]`, …).
+    pub module: Vec<String>,
+    /// `Self` type for methods (base identifier: `Swarm`, not
+    /// `Swarm<T>`), `None` for free fns and trait-decl defaults.
+    pub self_ty: Option<String>,
+    /// Trait name for trait-impl methods and trait default methods.
+    pub trait_name: Option<String>,
+    /// The function's name.
+    pub name: String,
+    /// 0-based line of the `fn` keyword.
+    pub line: usize,
+    /// Whether the item sits in a `#[cfg(test)]` region.
+    pub in_test: bool,
+    /// Token range of the parameter list (between the parens).
+    pub params: std::ops::Range<usize>,
+    /// Token range of the body (between the braces); empty for
+    /// body-less trait method declarations.
+    pub body: std::ops::Range<usize>,
+}
+
+/// A `use` alias: local name → full path segments.
+#[derive(Debug, Clone)]
+pub struct UseDecl {
+    /// The name the item is visible under locally.
+    pub local: String,
+    /// The full path (`["std", "collections", "HashMap"]`).
+    pub path: Vec<String>,
+}
+
+/// A trait method declaration (`fn name(…);` inside `trait T`), used to
+/// spread trait calls to every impl.
+#[derive(Debug, Clone)]
+pub struct TraitMethod {
+    /// The declaring trait.
+    pub trait_name: String,
+    /// The method name.
+    pub method: String,
+}
+
+/// Everything the item parser learned about one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileModel {
+    /// Workspace-relative path (forward slashes).
+    pub relpath: String,
+    /// The file's token stream (fn bodies index into this).
+    pub toks: Vec<Tok>,
+    /// Every function item.
+    pub fns: Vec<FnDef>,
+    /// Every `use` alias.
+    pub uses: Vec<UseDecl>,
+    /// Trait method declarations.
+    pub trait_methods: Vec<TraitMethod>,
+    /// Struct names whose bodies mention `RefCell` (shared-cell types —
+    /// candidates for the reentrancy rule).
+    pub cell_types: Vec<String>,
+}
+
+/// Parses one file's blanked lines into a [`FileModel`].
+pub fn parse_file(relpath: &str, lines: &[Line]) -> FileModel {
+    let toks = tokenize(lines);
+    let mut model = FileModel {
+        relpath: relpath.to_string(),
+        ..FileModel::default()
+    };
+    let mut p = Parser {
+        toks: &toks,
+        model: &mut model,
+        module: Vec::new(),
+    };
+    let end = p.toks.len();
+    p.items(0, end, None, None);
+    model.toks = toks;
+    model
+}
+
+struct Parser<'a> {
+    toks: &'a [Tok],
+    model: &'a mut FileModel,
+    module: Vec<String>,
+}
+
+impl Parser<'_> {
+    fn is(&self, i: usize, text: &str) -> bool {
+        self.toks.get(i).is_some_and(|t| t.text == text)
+    }
+
+    fn ident(&self, i: usize) -> Option<&str> {
+        self.toks
+            .get(i)
+            .filter(|t| t.is_ident)
+            .map(|t| t.text.as_str())
+    }
+
+    /// Index just past the delimiter balanced-matching `open` at `i`
+    /// (where `toks[i] == open`). Caps at `end`.
+    fn skip_balanced(&self, i: usize, end: usize, open: &str, close: &str) -> usize {
+        let mut depth = 0usize;
+        let mut j = i;
+        while j < end {
+            if self.is(j, open) {
+                depth += 1;
+            } else if self.is(j, close) {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Skips a generic-argument list starting at `<` (angle depth
+    /// counting — fine in item headers, where shift operators cannot
+    /// appear).
+    fn skip_generics(&self, i: usize, end: usize) -> usize {
+        if !self.is(i, "<") {
+            return i;
+        }
+        let mut depth = 0i32;
+        let mut j = i;
+        while j < end {
+            if self.is(j, "<") {
+                depth += 1;
+            } else if self.is(j, ">") {
+                depth -= 1;
+                if depth == 0 {
+                    return j + 1;
+                }
+            }
+            j += 1;
+        }
+        end
+    }
+
+    /// Parses a type path (`a::b::C<D>` / `&mut C` / `dyn C`), returning
+    /// `(base identifier of the final segment, index past the path)`.
+    fn type_path(&self, mut i: usize, end: usize) -> (Option<String>, usize) {
+        while self.is(i, "&") || self.is(i, "'") || self.is(i, "*") {
+            i += 1;
+            // skip a lifetime name or `mut`/`const` qualifier
+            if self.ident(i).is_some_and(|t| t == "mut" || t == "const")
+                || (self.toks.get(i).is_some_and(|t| t.is_ident)
+                    && self
+                        .toks
+                        .get(i.wrapping_sub(1))
+                        .is_some_and(|t| t.text == "'"))
+            {
+                i += 1;
+            }
+        }
+        if self.ident(i) == Some("dyn") || self.ident(i) == Some("impl") {
+            i += 1;
+        }
+        let mut base = None;
+        while let Some(name) = self.ident(i) {
+            base = Some(name.to_string());
+            i += 1;
+            i = self.skip_generics(i, end);
+            if self.is(i, ":") && self.is(i + 1, ":") {
+                i += 2;
+            } else {
+                break;
+            }
+        }
+        (base, i)
+    }
+
+    /// Parses the items in `toks[start..end]` under the given impl
+    /// context.
+    fn items(&mut self, start: usize, end: usize, self_ty: Option<&str>, trait_name: Option<&str>) {
+        let mut i = start;
+        while i < end {
+            let Some(word) = self.ident(i) else {
+                i = self.skip_item_token(i, end);
+                continue;
+            };
+            match word {
+                "pub" => {
+                    i += 1;
+                    if self.is(i, "(") {
+                        i = self.skip_balanced(i, end, "(", ")");
+                    }
+                }
+                "unsafe" | "async" | "extern" | "default" => i += 1,
+                "const" if self.ident(i + 1) != Some("fn") => {
+                    // `const NAME: T = …;` — skip to the terminator.
+                    i = self.skip_to_semi(i, end);
+                }
+                "const" => i += 1, // `const fn`
+                "static" | "type" => i = self.skip_to_semi(i, end),
+                "macro_rules" => {
+                    // `macro_rules! name { … }`
+                    while i < end && !self.is(i, "{") {
+                        i += 1;
+                    }
+                    i = self.skip_balanced(i, end, "{", "}");
+                }
+                "mod" => {
+                    let name = self.ident(i + 1).unwrap_or("").to_string();
+                    i += 2;
+                    if self.is(i, "{") {
+                        let body_end = self.skip_balanced(i, end, "{", "}");
+                        self.module.push(name);
+                        self.items(i + 1, body_end.saturating_sub(1), None, None);
+                        self.module.pop();
+                        i = body_end;
+                    } else {
+                        i = self.skip_to_semi(i, end);
+                    }
+                }
+                "use" => {
+                    let semi = self.skip_to_semi(i, end);
+                    self.parse_use(i + 1, semi.saturating_sub(1));
+                    i = semi;
+                }
+                "impl" => {
+                    i += 1;
+                    i = self.skip_generics(i, end);
+                    let (first, after) = self.type_path(i, end);
+                    i = after;
+                    let (ty, tr) = if self.ident(i) == Some("for") {
+                        let (second, after) = self.type_path(i + 1, end);
+                        i = after;
+                        (second, first)
+                    } else {
+                        (first, None)
+                    };
+                    // skip a `where` clause up to the brace
+                    while i < end && !self.is(i, "{") && !self.is(i, ";") {
+                        i += 1;
+                    }
+                    if self.is(i, "{") {
+                        let body_end = self.skip_balanced(i, end, "{", "}");
+                        self.items(
+                            i + 1,
+                            body_end.saturating_sub(1),
+                            ty.as_deref(),
+                            tr.as_deref(),
+                        );
+                        i = body_end;
+                    } else {
+                        i += 1;
+                    }
+                }
+                "trait" => {
+                    let name = self.ident(i + 1).unwrap_or("").to_string();
+                    i += 2;
+                    while i < end && !self.is(i, "{") && !self.is(i, ";") {
+                        i += 1;
+                    }
+                    if self.is(i, "{") {
+                        let body_end = self.skip_balanced(i, end, "{", "}");
+                        self.trait_body(i + 1, body_end.saturating_sub(1), &name);
+                        i = body_end;
+                    } else {
+                        i += 1;
+                    }
+                }
+                "struct" | "enum" | "union" => {
+                    let name = self.ident(i + 1).unwrap_or("").to_string();
+                    i += 2;
+                    while i < end && !self.is(i, "{") && !self.is(i, ";") && !self.is(i, "(") {
+                        i += 1;
+                    }
+                    let body_start = i;
+                    if self.is(i, "{") {
+                        i = self.skip_balanced(i, end, "{", "}");
+                    } else if self.is(i, "(") {
+                        i = self.skip_balanced(i, end, "(", ")");
+                        i = self.skip_to_semi(i, end);
+                    } else {
+                        i += 1;
+                    }
+                    let body = &self.toks[body_start..i.min(end)];
+                    if !name.is_empty() && body.iter().any(|t| t.text == "RefCell") {
+                        self.model.cell_types.push(name);
+                    }
+                }
+                "fn" => i = self.parse_fn(i, end, self_ty, trait_name),
+                _ => i = self.skip_item_token(i, end),
+            }
+        }
+    }
+
+    /// Skips one non-item token; attributes skip their bracket group so
+    /// `#[derive(…)]` internals never look like items.
+    fn skip_item_token(&self, i: usize, end: usize) -> usize {
+        if self.is(i, "#") {
+            let mut j = i + 1;
+            if self.is(j, "!") {
+                j += 1;
+            }
+            if self.is(j, "[") {
+                return self.skip_balanced(j, end, "[", "]");
+            }
+        }
+        i + 1
+    }
+
+    fn skip_to_semi(&self, mut i: usize, end: usize) -> usize {
+        // Balanced skip: a `;` inside braces/brackets/parens (array
+        // types, const fn bodies in types) does not terminate the item.
+        let mut depth = 0i32;
+        while i < end {
+            match self.toks[i].text.as_str() {
+                "{" | "[" | "(" => depth += 1,
+                "}" | "]" | ")" => depth -= 1,
+                ";" if depth == 0 => return i + 1,
+                _ => {}
+            }
+            i += 1;
+        }
+        end
+    }
+
+    fn parse_use(&mut self, start: usize, end: usize) {
+        // `use a::b::{c, d as e, f::g}` — walk the tree, recording each
+        // leaf as local-name → full path.
+        let mut prefix: Vec<String> = Vec::new();
+        self.use_tree(start, end, &mut prefix);
+    }
+
+    fn use_tree(&mut self, start: usize, end: usize, prefix: &mut Vec<String>) {
+        let mut i = start;
+        let mut segs: Vec<String> = Vec::new();
+        while i < end {
+            if let Some(name) = self.ident(i) {
+                if name == "as" {
+                    let alias = self.ident(i + 1).unwrap_or("").to_string();
+                    let mut path = prefix.clone();
+                    path.append(&mut segs);
+                    if !alias.is_empty() {
+                        self.model.uses.push(UseDecl { local: alias, path });
+                    }
+                    segs = Vec::new();
+                    i += 2;
+                    continue;
+                }
+                segs.push(name.to_string());
+                i += 1;
+            } else if self.is(i, ":") && self.is(i + 1, ":") {
+                i += 2;
+            } else if self.is(i, "{") {
+                let close = self.skip_balanced(i, end + 1, "{", "}");
+                let depth_before = prefix.len();
+                prefix.append(&mut segs);
+                // split the group on top-level commas
+                let mut item_start = i + 1;
+                let mut depth = 0i32;
+                for j in i + 1..close.saturating_sub(1) {
+                    match self.toks[j].text.as_str() {
+                        "{" => depth += 1,
+                        "}" => depth -= 1,
+                        "," if depth == 0 => {
+                            self.use_tree(item_start, j, prefix);
+                            item_start = j + 1;
+                        }
+                        _ => {}
+                    }
+                }
+                self.use_tree(item_start, close.saturating_sub(1), prefix);
+                prefix.truncate(depth_before);
+                return;
+            } else if self.is(i, ",") || self.is(i, "*") {
+                i += 1;
+                segs.clear();
+            } else {
+                i += 1;
+            }
+        }
+        if let Some(local) = segs.last().cloned() {
+            let mut path = prefix.clone();
+            path.append(&mut segs);
+            self.model.uses.push(UseDecl { local, path });
+        }
+    }
+
+    fn trait_body(&mut self, start: usize, end: usize, trait_name: &str) {
+        let mut i = start;
+        while i < end {
+            match self.ident(i) {
+                Some("fn") => {
+                    if let Some(name) = self.ident(i + 1) {
+                        self.model.trait_methods.push(TraitMethod {
+                            trait_name: trait_name.to_string(),
+                            method: name.to_string(),
+                        });
+                    }
+                    i = self.parse_fn(i, end, None, Some(trait_name));
+                }
+                Some("type") | Some("const") => i = self.skip_to_semi(i, end),
+                _ => i = self.skip_item_token(i, end),
+            }
+        }
+    }
+
+    /// Parses `fn name<…>(params) -> Ret where … { body }` (or `;`),
+    /// starting at the `fn` keyword. Returns the index past the item.
+    fn parse_fn(
+        &mut self,
+        at: usize,
+        end: usize,
+        self_ty: Option<&str>,
+        trait_name: Option<&str>,
+    ) -> usize {
+        let fn_tok = &self.toks[at];
+        let Some(name) = self.ident(at + 1) else {
+            return at + 1;
+        };
+        let name = name.to_string();
+        let mut i = self.skip_generics(at + 2, end);
+        if !self.is(i, "(") {
+            return at + 2;
+        }
+        let params_end = self.skip_balanced(i, end, "(", ")");
+        let params = i + 1..params_end.saturating_sub(1);
+        i = params_end;
+        // Return type + where clause: scan to the body brace or `;`.
+        // Braces cannot appear in a return type in this codebase's
+        // idiom, and closures in where-clauses don't occur.
+        while i < end && !self.is(i, "{") && !self.is(i, ";") {
+            i += 1;
+        }
+        let body = if self.is(i, "{") {
+            let body_end = self.skip_balanced(i, end, "{", "}");
+            let r = i + 1..body_end.saturating_sub(1);
+            i = body_end;
+            r
+        } else {
+            i += 1;
+            0..0
+        };
+        self.model.fns.push(FnDef {
+            module: self.module.clone(),
+            self_ty: self_ty.map(str::to_string),
+            trait_name: trait_name.map(str::to_string),
+            name,
+            line: fn_tok.line,
+            in_test: fn_tok.in_test,
+            params,
+            body,
+        });
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse(src: &str) -> FileModel {
+        parse_file("crates/x/src/lib.rs", &lex(src))
+    }
+
+    #[test]
+    fn free_fns_and_methods_are_indexed() {
+        let m = parse(
+            "fn free() { a(); }\n\
+             impl Host { fn pump(&mut self) -> u32 { 1 } }\n\
+             impl Transport for Sim { fn send(&self, m: Msg) {} }\n",
+        );
+        assert_eq!(m.fns.len(), 3);
+        assert_eq!(m.fns[0].name, "free");
+        assert!(m.fns[0].self_ty.is_none());
+        assert_eq!(m.fns[1].self_ty.as_deref(), Some("Host"));
+        assert_eq!(m.fns[2].self_ty.as_deref(), Some("Sim"));
+        assert_eq!(m.fns[2].trait_name.as_deref(), Some("Transport"));
+    }
+
+    #[test]
+    fn generic_impl_headers_resolve_to_the_base_type() {
+        let m = parse("impl<T: Transport> Swarm<T> { fn run(&mut self) {} }\n");
+        assert_eq!(m.fns[0].self_ty.as_deref(), Some("Swarm"));
+    }
+
+    #[test]
+    fn bodies_are_token_ranges() {
+        let m = parse("fn f() { g(1); h(); }\n");
+        let body: Vec<&str> = m.fns[0]
+            .body
+            .clone()
+            .map(|i| m.toks[i].text.as_str())
+            .collect();
+        assert_eq!(body, ["g", "(", "1", ")", ";", "h", "(", ")", ";"]);
+    }
+
+    #[test]
+    fn nested_modules_carry_their_path() {
+        let m = parse("mod outer { mod inner { fn deep() {} } fn mid() {} }\n");
+        assert_eq!(m.fns[0].module, ["outer", "inner"]);
+        assert_eq!(m.fns[1].module, ["outer"]);
+    }
+
+    #[test]
+    fn trait_decl_methods_are_recorded() {
+        let m = parse("trait Transport { fn send(&self, m: Msg); fn kind(&self) -> u8 { 0 } }\n");
+        let names: Vec<&str> = m.trait_methods.iter().map(|t| t.method.as_str()).collect();
+        assert_eq!(names, ["send", "kind"]);
+        // The default method body is indexed as a fn with trait context.
+        assert_eq!(m.fns.len(), 2);
+        assert_eq!(m.fns[1].name, "kind");
+        assert_eq!(m.fns[1].trait_name.as_deref(), Some("Transport"));
+    }
+
+    #[test]
+    fn use_aliases_map_local_names_to_paths() {
+        let m = parse("use std::collections::{HashMap, hash_map::Entry};\nuse crate::sim::SimNet as Fabric;\n");
+        let find = |local: &str| m.uses.iter().find(|u| u.local == local).unwrap();
+        assert_eq!(find("HashMap").path, ["std", "collections", "HashMap"]);
+        assert_eq!(
+            find("Entry").path,
+            ["std", "collections", "hash_map", "Entry"]
+        );
+        assert_eq!(find("Fabric").path, ["crate", "sim", "SimNet"]);
+    }
+
+    #[test]
+    fn refcell_structs_are_cell_types() {
+        let m = parse(
+            "pub struct ReactorNet { core: Rc<RefCell<Core>> }\n\
+             pub struct Plain { x: u32 }\n",
+        );
+        assert_eq!(m.cell_types, ["ReactorNet"]);
+    }
+
+    #[test]
+    fn const_items_do_not_swallow_following_fns() {
+        let m = parse("const N: usize = 3;\nconst fn c() -> u8 { 1 }\nfn after() {}\n");
+        let names: Vec<&str> = m.fns.iter().map(|f| f.name.as_str()).collect();
+        assert_eq!(names, ["c", "after"]);
+    }
+
+    #[test]
+    fn cfg_test_fns_are_marked() {
+        let m = parse("#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn lib() {}\n");
+        assert!(m.fns[0].in_test);
+        assert!(!m.fns[1].in_test);
+    }
+}

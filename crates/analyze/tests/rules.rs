@@ -242,7 +242,7 @@ fn take(o: Option<u32>) -> u32 {
 fn print_discipline_fires_in_library_code_only() {
     let src = "fn log(n: u64) { println!(\"sent {n}\"); }\n";
     let f = analyze_source("crates/transport/src/swarm.rs", src);
-    assert_eq!(advisory_hits(&f, "print-discipline").len(), 1, "{f:?}");
+    assert_eq!(deny_hits(&f, "print-discipline").len(), 1, "{f:?}");
     // Binaries, bench and examples may print.
     for ok in [
         "crates/analyze/src/bin/pti_lint.rs",

@@ -476,7 +476,6 @@ impl ReactorNet {
     /// peers appeared or vanished (proxies are not included).
     pub fn registered_peers(&self) -> Vec<PeerId> {
         let core = self.core.borrow();
-        // pti-allow(unordered-iter): collected then sorted on the next line — callers only ever see id order
         let mut peers: Vec<PeerId> = core.owner.keys().copied().collect();
         peers.sort_unstable();
         peers

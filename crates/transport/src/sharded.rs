@@ -109,7 +109,7 @@ fn worker(
     loop {
         match cmds.try_recv() {
             Ok(cmd) => {
-                // pti-allow(wall-clock): busy-ns accounting only — the timings feed ShardStats, never protocol decisions
+                // pti-allow(reactor-blocking): busy-ns accounting only — the timings feed ShardStats, never protocol decisions
                 let start = Instant::now();
                 cmd(&mut host);
                 busy_ns.fetch_add(start.elapsed().as_nanos() as u64, Ordering::Relaxed);
@@ -119,7 +119,7 @@ fn worker(
             Err(TryRecvError::Empty) => {}
         }
         if autonomous.load(Ordering::Relaxed) {
-            // pti-allow(wall-clock): busy-ns accounting only — the timings feed ShardStats, never protocol decisions
+            // pti-allow(reactor-blocking): busy-ns accounting only — the timings feed ShardStats, never protocol decisions
             let start = Instant::now();
             let before = work_of(&host);
             host.run_until_quiescent()

@@ -1193,7 +1193,6 @@ impl<T: Transport> Swarm<T> {
     pub fn run_for(&mut self, idle: Duration) -> Result<()> {
         loop {
             self.flush_wire();
-            // pti-allow(wall-clock): live-fabric idle window — run_for is the LiveBus driver; virtual fabrics use run()/pump()
             let Some((at, msg)) = self.poll_deadline(Instant::now() + idle)? else {
                 return Ok(());
             };
